@@ -1,0 +1,132 @@
+//! Mapping diagnosed counters to tuning advice.
+//!
+//! The paper stops at identifying bottleneck counters and applies the fixes
+//! manually (§4); its conclusions name the missing piece as "automating the
+//! map from diagnosis results to code tuning". This module supplies that
+//! map for the counters the paper's experiments exercise: every §4 fix
+//! (larger transfers, seek-once reads, contiguous layout, alignment,
+//! collective buffering, merged files, stripe tuning) appears as the advice
+//! for the counter that diagnosed it.
+
+use aiio_darshan::CounterId;
+use serde::{Deserialize, Serialize};
+
+/// One piece of tuning advice tied to a diagnosed counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Advice {
+    /// The counter that triggered the advice.
+    pub counter: CounterId,
+    /// Human-readable tuning suggestion.
+    pub suggestion: String,
+}
+
+/// Advice for a counter flagged as a bottleneck with the given raw value.
+/// Returns `None` for counters with no actionable fix (e.g. `nprocs`).
+pub fn advice_for(counter: CounterId, raw_value: f64) -> Option<Advice> {
+    use CounterId::*;
+    let text: Option<String> = match counter {
+        PosixSizeWrite0_100 | PosixSizeWrite100_1k | PosixSizeWrite1k_10k => Some(format!(
+            "{raw_value:.0} small writes dominate: increase the transfer size (e.g. IOR -t 1m \
+             instead of -t 1k) or let collective buffering merge writes into \
+             stripe-sized requests"
+        )),
+        PosixSizeRead0_100 | PosixSizeRead100_1k | PosixSizeRead1k_10k => Some(format!(
+            "{raw_value:.0} small reads dominate: read in larger blocks or enable \
+             aggregation/readahead-friendly (contiguous) access"
+        )),
+        PosixWrites => Some(
+            "a very large number of write calls: batch data in memory and issue fewer, larger \
+             writes"
+                .into(),
+        ),
+        PosixReads => Some(
+            "a very large number of read calls: batch reads or memory-map the file".into(),
+        ),
+        PosixSeeks => Some(
+            "excessive seeking: the access pattern re-positions before operations (the stock \
+             IOR seeks before every read — seek once and read sequentially)"
+                .into(),
+        ),
+        PosixStride1Count | PosixStride2Count | PosixStride3Count | PosixStride4Count
+        | PosixStride1Stride | PosixStride2Stride | PosixStride3Stride | PosixStride4Stride => {
+            Some(
+                "strided access detected: convert to contiguous access (reorder the data or use \
+                 collective I/O so aggregators see contiguous ranges)"
+                    .into(),
+            )
+        }
+        PosixFileNotAligned => Some(
+            "accesses are not aligned to the file/stripe boundary: align request offsets to the \
+             stripe size or raise the stripe size to match the access size"
+                .into(),
+        ),
+        PosixMemNotAligned => Some(
+            "user buffers are not memory aligned: allocate I/O buffers with posix_memalign".into(),
+        ),
+        PosixOpens => Some(format!(
+            "{raw_value:.0} opens: too many files/reopens serialize on the metadata server — \
+             merge small files or open once per rank"
+        )),
+        PosixStats => {
+            Some("frequent stat calls: cache file metadata instead of re-stating".into())
+        }
+        PosixRwSwitches => Some(
+            "frequent read/write switching defeats caching: separate read and write phases"
+                .into(),
+        ),
+        LustreStripeSize => Some(
+            "stripe size mismatched to the access size: set the stripe size to the dominant \
+             request size (e.g. lfs setstripe -S 4m)"
+                .into(),
+        ),
+        LustreStripeWidth => Some(
+            "too few OSTs for the aggregate bandwidth: widen striping (lfs setstripe -c)".into(),
+        ),
+        PosixConsecReads | PosixConsecWrites | PosixSeqReads | PosixSeqWrites
+        | PosixBytesRead | PosixBytesWritten | PosixSizeRead10k_100k | PosixSizeRead100k_1m
+        | PosixSizeWrite10k_100k | PosixSizeWrite100k_1m | PosixAccess1Access
+        | PosixAccess2Access | PosixAccess3Access | PosixAccess4Access | PosixAccess1Count
+        | PosixAccess2Count | PosixAccess3Count | PosixAccess4Count | PosixFilenos
+        | PosixMemAlignment | PosixFileAlignment | Nprocs => None,
+    };
+    text.map(|suggestion| Advice { counter, suggestion })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fixes_are_covered() {
+        // §4.1.1: small writes → bigger transfer size.
+        let a = advice_for(CounterId::PosixSizeWrite100_1k, 1e6).unwrap();
+        assert!(a.suggestion.contains("transfer size"));
+        // §4.1.2: seeks → seek once.
+        let a = advice_for(CounterId::PosixSeeks, 1e6).unwrap();
+        assert!(a.suggestion.contains("seek once"));
+        // §4.1.3: stride → contiguous.
+        let a = advice_for(CounterId::PosixStride1Count, 1024.0).unwrap();
+        assert!(a.suggestion.contains("contiguous"));
+        // §4.2.2: stripe size.
+        let a = advice_for(CounterId::LustreStripeSize, 1048576.0).unwrap();
+        assert!(a.suggestion.contains("stripe"));
+        // §4.2.3: opens → merge files.
+        let a = advice_for(CounterId::PosixOpens, 1344.0).unwrap();
+        assert!(a.suggestion.contains("merge small files"));
+        // Alignment.
+        let a = advice_for(CounterId::PosixFileNotAligned, 10.0).unwrap();
+        assert!(a.suggestion.contains("align"));
+    }
+
+    #[test]
+    fn non_actionable_counters_get_none() {
+        assert!(advice_for(CounterId::Nprocs, 64.0).is_none());
+        assert!(advice_for(CounterId::PosixBytesWritten, 1e9).is_none());
+    }
+
+    #[test]
+    fn advice_embeds_the_raw_value_where_useful() {
+        let a = advice_for(CounterId::PosixOpens, 21.0).unwrap();
+        assert!(a.suggestion.contains("21"));
+    }
+}

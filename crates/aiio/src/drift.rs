@@ -1,0 +1,209 @@
+//! Distribution-drift detection for incoming logs.
+//!
+//! The paper's first stated limitation (§1) is portability: *"the models
+//! of a system themselves are not portable to another system."* A deployed
+//! AIIO service should therefore notice when the logs it is asked to
+//! diagnose no longer look like its training distribution — a different
+//! machine, a storage upgrade, a new workload era. This module implements
+//! the standard Population Stability Index (PSI) per counter:
+//!
+//! `PSI_f = Σ_bins (p_new − p_train) · ln(p_new / p_train)`
+//!
+//! with deciles of the training distribution as bins. Common practice
+//! reads PSI < 0.1 as stable, 0.1–0.25 as shifting, > 0.25 as drifted.
+
+use aiio_darshan::{CounterId, Dataset, N_COUNTERS};
+use serde::{Deserialize, Serialize};
+
+/// Fitted per-feature reference distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftDetector {
+    /// Per feature: interior bin edges (ascending) over transformed values.
+    edges: Vec<Vec<f64>>,
+    /// Per feature: training fraction per bin (edges.len() + 1 bins).
+    reference: Vec<Vec<f64>>,
+}
+
+/// One feature's drift score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftScore {
+    pub counter: CounterId,
+    pub psi: f64,
+}
+
+/// Conventional PSI threshold above which a feature counts as drifted.
+pub const PSI_DRIFTED: f64 = 0.25;
+
+impl DriftDetector {
+    /// Fit deciles of every feature of the (transformed) training dataset.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(train: &Dataset) -> DriftDetector {
+        assert!(!train.is_empty(), "cannot fit drift detector on empty data");
+        let n_features = train.n_features();
+        let mut edges = Vec::with_capacity(n_features);
+        let mut reference = Vec::with_capacity(n_features);
+        let mut col: Vec<f64> = Vec::with_capacity(train.len());
+        for f in 0..n_features {
+            col.clear();
+            col.extend(train.x.iter().map(|row| row[f]));
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // Decile edges, deduplicated (constant features get no edges).
+            let mut e = Vec::new();
+            for d in 1..10 {
+                let pos = (d as f64 / 10.0 * (col.len() - 1) as f64).round() as usize;
+                let v = col[pos];
+                if e.last() != Some(&v) && v > col[0] && v < col[col.len() - 1] {
+                    e.push(v);
+                }
+            }
+            let r = Self::fractions(&e, train.x.iter().map(|row| row[f]));
+            edges.push(e);
+            reference.push(r);
+        }
+        DriftDetector { edges, reference }
+    }
+
+    fn fractions(edges: &[f64], values: impl Iterator<Item = f64>) -> Vec<f64> {
+        let mut counts = vec![0usize; edges.len() + 1];
+        let mut n = 0usize;
+        for v in values {
+            let b = edges.partition_point(|&e| e < v);
+            counts[b] += 1;
+            n += 1;
+        }
+        counts.iter().map(|&c| c as f64 / n.max(1) as f64).collect()
+    }
+
+    /// Per-counter PSI of a batch of (transformed) feature rows against the
+    /// training reference, most-drifted first.
+    ///
+    /// # Panics
+    /// Panics on an empty batch or width mismatch.
+    pub fn psi(&self, batch: &[Vec<f64>]) -> Vec<DriftScore> {
+        assert!(!batch.is_empty(), "empty batch");
+        assert_eq!(batch[0].len(), self.edges.len(), "feature width mismatch");
+        // Laplace-style floor so empty bins don't blow up the logarithm.
+        let eps = 1e-4;
+        let mut scores: Vec<DriftScore> = (0..self.edges.len())
+            .map(|f| {
+                let new = Self::fractions(&self.edges[f], batch.iter().map(|row| row[f]));
+                let psi: f64 = new
+                    .iter()
+                    .zip(&self.reference[f])
+                    .map(|(&pn, &pt)| {
+                        let pn = pn.max(eps);
+                        let pt = pt.max(eps);
+                        (pn - pt) * (pn / pt).ln()
+                    })
+                    .sum();
+                DriftScore { counter: CounterId::from_index(f.min(N_COUNTERS - 1)), psi }
+            })
+            .collect();
+        scores.sort_by(|a, b| b.psi.partial_cmp(&a.psi).unwrap());
+        scores
+    }
+
+    /// Maximum PSI over counters — the batch-level drift signal.
+    pub fn max_psi(&self, batch: &[Vec<f64>]) -> f64 {
+        self.psi(batch).first().map(|s| s.psi).unwrap_or(0.0)
+    }
+
+    /// True when any counter's PSI exceeds [`PSI_DRIFTED`] — the service
+    /// should be retrained before its diagnoses are trusted.
+    pub fn is_drifted(&self, batch: &[Vec<f64>]) -> bool {
+        self.max_psi(batch) > PSI_DRIFTED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiio_darshan::FeaturePipeline;
+    use aiio_iosim::{DatabaseSampler, SamplerConfig, StorageConfig};
+
+    fn dataset(seed: u64, n: usize) -> Dataset {
+        let db = DatabaseSampler::new(SamplerConfig { n_jobs: n, seed, noise_sigma: 0.0 })
+            .generate();
+        FeaturePipeline::paper().dataset_of(&db)
+    }
+
+    #[test]
+    fn same_distribution_is_stable() {
+        let train = dataset(1, 800);
+        let fresh = dataset(2, 400); // same generator, new seed
+        let d = DriftDetector::fit(&train);
+        let max = d.max_psi(&fresh.x);
+        assert!(max < PSI_DRIFTED, "max PSI {max}");
+        assert!(!d.is_drifted(&fresh.x));
+    }
+
+    #[test]
+    fn shifted_feature_is_flagged() {
+        let train = dataset(3, 800);
+        let d = DriftDetector::fit(&train);
+        // Artificially shift one counter far outside its training range.
+        let idx = CounterId::PosixOpens.index();
+        let shifted: Vec<Vec<f64>> = dataset(4, 300)
+            .x
+            .into_iter()
+            .map(|mut row| {
+                row[idx] += 6.0; // +6 in log10 space = a million-fold jump
+                row
+            })
+            .collect();
+        let scores = d.psi(&shifted);
+        assert!(d.is_drifted(&shifted));
+        assert_eq!(scores[0].counter, CounterId::PosixOpens, "{:?}", &scores[..3]);
+        assert!(scores[0].psi > PSI_DRIFTED);
+    }
+
+    #[test]
+    fn different_storage_system_drifts() {
+        // "Another system": same workloads, radically different stripe
+        // defaults — the portability limitation in action.
+        let train = dataset(5, 800);
+        let d = DriftDetector::fit(&train);
+        let other_system = {
+            let db = DatabaseSampler::new(SamplerConfig { n_jobs: 300, seed: 6, noise_sigma: 0.0 })
+                .generate();
+            // Re-tag every job as if it ran on 8-wide 8 MiB stripes.
+            let pipeline = FeaturePipeline::paper();
+            db.jobs()
+                .iter()
+                .map(|log| {
+                    let mut l = log.clone();
+                    let cfg = StorageConfig::cori_like().with_stripe(8, 8 * 1024 * 1024);
+                    l.counters.set(CounterId::LustreStripeWidth, cfg.stripe_width as f64);
+                    l.counters.set(CounterId::LustreStripeSize, cfg.stripe_size as f64);
+                    l.counters.set(CounterId::PosixFileAlignment, cfg.stripe_size as f64);
+                    pipeline.features_of(&l)
+                })
+                .collect::<Vec<_>>()
+        };
+        let scores = d.psi(&other_system);
+        assert!(d.is_drifted(&other_system));
+        // The stripe counters dominate the drift ranking.
+        let top3: Vec<CounterId> = scores.iter().take(3).map(|s| s.counter).collect();
+        assert!(
+            top3.contains(&CounterId::LustreStripeWidth)
+                || top3.contains(&CounterId::LustreStripeSize)
+                || top3.contains(&CounterId::PosixFileAlignment),
+            "{top3:?}"
+        );
+    }
+
+    #[test]
+    fn constant_feature_contributes_no_psi() {
+        let train = dataset(7, 400);
+        let d = DriftDetector::fit(&train);
+        // MEM_ALIGNMENT is constant (8) in every simulated log.
+        let scores = d.psi(&train.x);
+        let mem = scores
+            .iter()
+            .find(|s| s.counter == CounterId::PosixMemAlignment)
+            .unwrap();
+        assert!(mem.psi.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,133 @@
+//! Merging predictions and diagnoses across models — the paper's Closest
+//! Method (Eq. 6) and Average Method (Eq. 7–8).
+
+use aiio_explain::Attribution;
+use serde::{Deserialize, Serialize};
+
+/// Which merge strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeMethod {
+    /// Eq. 6: use the model whose prediction is closest to the job's
+    /// Darshan-estimated performance.
+    Closest,
+    /// Eq. 7–8: error-inverse weighted average across models (the paper's
+    /// preferred method).
+    Average,
+}
+
+/// Index of the model whose prediction is closest to the estimate (Eq. 6).
+///
+/// # Panics
+/// Panics on an empty prediction list.
+pub fn closest_model(predictions: &[f64], estimated: f64) -> usize {
+    assert!(!predictions.is_empty(), "no model predictions");
+    predictions
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            (*a - estimated).abs().partial_cmp(&(*b - estimated).abs()).unwrap()
+        })
+        .map(|(i, _)| i)
+        .unwrap()
+}
+
+/// Eq. 8 weights: `r_m = Σ_m' |ŷ_m' − y| / |ŷ_m − y|`, normalised to sum
+/// to 1. A model that predicts the estimate exactly receives all the
+/// weight (split evenly among exact models).
+pub fn average_weights(predictions: &[f64], estimated: f64) -> Vec<f64> {
+    assert!(!predictions.is_empty(), "no model predictions");
+    let diffs: Vec<f64> = predictions.iter().map(|p| (p - estimated).abs()).collect();
+    let exact: Vec<bool> = diffs.iter().map(|&d| d < 1e-12).collect();
+    let n_exact = exact.iter().filter(|&&e| e).count();
+    if n_exact > 0 {
+        return exact
+            .iter()
+            .map(|&e| if e { 1.0 / n_exact as f64 } else { 0.0 })
+            .collect();
+    }
+    let total: f64 = diffs.iter().sum();
+    let r: Vec<f64> = diffs.iter().map(|d| total / d).collect();
+    let rsum: f64 = r.iter().sum();
+    r.into_iter().map(|v| v / rsum).collect()
+}
+
+/// Eq. 7: weighted average of per-model attributions (and of the expected
+/// values, so local accuracy carries into the merged decomposition).
+///
+/// # Panics
+/// Panics on empty input or mismatched feature counts.
+pub fn merge_attributions_average(attrs: &[Attribution], weights: &[f64]) -> Attribution {
+    assert!(!attrs.is_empty(), "no attributions to merge");
+    assert_eq!(attrs.len(), weights.len(), "attributions/weights length mismatch");
+    let n = attrs[0].values.len();
+    let mut values = vec![0.0; n];
+    let mut expected = 0.0;
+    for (a, &w) in attrs.iter().zip(weights) {
+        assert_eq!(a.values.len(), n, "attribution width mismatch");
+        expected += w * a.expected;
+        for (acc, &v) in values.iter_mut().zip(&a.values) {
+            *acc += w * v;
+        }
+    }
+    Attribution { values, expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closest_picks_minimum_absolute_error() {
+        assert_eq!(closest_model(&[1.0, 4.9, 9.0], 5.0), 1);
+        assert_eq!(closest_model(&[5.0], 5.0), 0);
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_favour_accuracy() {
+        let w = average_weights(&[5.0, 6.0, 10.0], 5.1);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[0] > w[1] && w[1] > w[2], "{w:?}");
+    }
+
+    #[test]
+    fn exact_prediction_takes_all_weight() {
+        let w = average_weights(&[5.0, 7.0], 5.0);
+        assert_eq!(w, vec![1.0, 0.0]);
+        let w = average_weights(&[5.0, 5.0, 9.0], 5.0);
+        assert_eq!(w, vec![0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn equal_errors_get_equal_weights() {
+        let w = average_weights(&[4.0, 6.0], 5.0);
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_attribution_is_convex_combination() {
+        let a = Attribution { values: vec![1.0, -2.0], expected: 1.0 };
+        let b = Attribution { values: vec![3.0, 0.0], expected: 3.0 };
+        let m = merge_attributions_average(&[a, b], &[0.25, 0.75]);
+        assert!((m.values[0] - 2.5).abs() < 1e-12);
+        assert!((m.values[1] + 0.5).abs() < 1e-12);
+        assert!((m.expected - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_zero_stays_zero() {
+        // Robustness survives merging: if every model assigns zero to a
+        // counter, the merge does too.
+        let a = Attribution { values: vec![0.0, 1.0], expected: 0.0 };
+        let b = Attribution { values: vec![0.0, 2.0], expected: 0.0 };
+        let m = merge_attributions_average(&[a, b], &[0.5, 0.5]);
+        assert_eq!(m.values[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_weights_rejected() {
+        let a = Attribution { values: vec![0.0], expected: 0.0 };
+        let _ = merge_attributions_average(&[a], &[0.5, 0.5]);
+    }
+}

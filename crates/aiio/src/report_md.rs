@@ -1,0 +1,143 @@
+//! Markdown rendering of diagnosis reports — the payload a web front-end
+//! (paper §3.4 / Fig. 17) would show users, and a convenient artifact to
+//! attach to tickets or CI runs.
+
+use crate::diagnosis::DiagnosisReport;
+use aiio_darshan::JobLog;
+
+/// Render a [`DiagnosisReport`] as a self-contained Markdown document.
+pub fn to_markdown(report: &DiagnosisReport) -> String {
+    let mut md = String::new();
+    md.push_str(&format!("# AIIO diagnosis — job {} (`{}`)\n\n", report.job_id, report.app));
+    md.push_str(&format!(
+        "Estimated performance (Darshan Eq. 1): **{:.2} MiB/s**\n\n",
+        report.performance_mib_s
+    ));
+
+    md.push_str("## Model predictions\n\n| model | predicted MiB/s |\n|---|---|\n");
+    for (kind, p) in &report.predictions_mib_s {
+        md.push_str(&format!("| {kind} | {p:.2} |\n"));
+    }
+
+    md.push_str("\n## Diagnosed bottlenecks (negative contributions)\n\n");
+    if report.bottlenecks.is_empty() {
+        md.push_str("_No counter contributes negatively — the job looks healthy._\n");
+    } else {
+        md.push_str("| counter | raw value | contribution | meaning |\n|---|---|---|---|\n");
+        for b in report.bottlenecks.iter().take(10) {
+            md.push_str(&format!(
+                "| `{}` | {} | {:+.4} | {} |\n",
+                b.counter.name(),
+                b.raw_value,
+                b.contribution,
+                b.counter.description()
+            ));
+        }
+    }
+
+    md.push_str("\n## Positive factors\n\n");
+    if report.positives.is_empty() {
+        md.push_str("_None._\n");
+    } else {
+        md.push_str("| counter | contribution |\n|---|---|\n");
+        for p in report.positives.iter().take(5) {
+            md.push_str(&format!("| `{}` | {:+.4} |\n", p.counter.name(), p.contribution));
+        }
+    }
+
+    if !report.advice.is_empty() {
+        md.push_str("\n## Suggested tuning\n\n");
+        for a in &report.advice {
+            md.push_str(&format!("- **`{}`** — {}\n", a.counter.name(), a.suggestion));
+        }
+    }
+
+    md.push_str(&format!(
+        "\n---\n_Merge method: {:?}; models: {}._\n",
+        report.merge,
+        report
+            .predictions_mib_s
+            .iter()
+            .map(|(k, _)| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    md
+}
+
+/// Render a report together with its robustness verdict for the given log.
+pub fn to_markdown_with_robustness(report: &DiagnosisReport, log: &JobLog) -> String {
+    let mut md = to_markdown(report);
+    md.push_str(&format!(
+        "_Robustness (zero counters carry zero impact): {}._\n",
+        if report.is_robust(log) { "✓ holds" } else { "✗ VIOLATED" }
+    ));
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnosis::CounterContribution;
+    use crate::{MergeMethod, ModelKind};
+    use aiio_darshan::CounterId;
+    use aiio_explain::Attribution;
+
+    fn sample_report() -> DiagnosisReport {
+        DiagnosisReport {
+            job_id: 42,
+            app: "ior".into(),
+            performance_mib_s: 123.45,
+            predictions_mib_s: vec![(ModelKind::XgboostLike, 130.0), (ModelKind::Mlp, 110.0)],
+            per_model: vec![],
+            merged: Attribution { values: vec![0.0; 46], expected: 1.0 },
+            merge: MergeMethod::Average,
+            bottlenecks: vec![CounterContribution {
+                counter: CounterId::PosixSeeks,
+                raw_value: 262144.0,
+                contribution: -0.25,
+            }],
+            positives: vec![CounterContribution {
+                counter: CounterId::PosixBytesWritten,
+                raw_value: 1e9,
+                contribution: 0.5,
+            }],
+            advice: vec![crate::advisor::advice_for(CounterId::PosixSeeks, 262144.0).unwrap()],
+        }
+    }
+
+    #[test]
+    fn markdown_contains_all_sections() {
+        let md = to_markdown(&sample_report());
+        for needle in [
+            "# AIIO diagnosis — job 42",
+            "123.45 MiB/s",
+            "| XGBoost | 130.00 |",
+            "`POSIX_SEEKS`",
+            "count of seeks",
+            "Suggested tuning",
+            "Merge method: Average",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+    }
+
+    #[test]
+    fn healthy_report_renders_no_bottleneck_text() {
+        let mut r = sample_report();
+        r.bottlenecks.clear();
+        r.advice.clear();
+        let md = to_markdown(&r);
+        assert!(md.contains("looks healthy"));
+        assert!(!md.contains("Suggested tuning"));
+    }
+
+    #[test]
+    fn robustness_verdict_appended() {
+        let r = sample_report();
+        let log = aiio_darshan::JobLog::new(42, "ior", 2022);
+        let md = to_markdown_with_robustness(&r, &log);
+        assert!(md.contains("Robustness"));
+        assert!(md.contains("✓ holds"));
+    }
+}

@@ -1,0 +1,224 @@
+//! A Drishti-style static-rule baseline for bottleneck detection.
+//!
+//! The paper's related work (§2.2) places Bez et al.'s Drishti and DigIO in
+//! the "semi-automatic" category: per-job, but driven by *manually defined
+//! static rules* over counter ratios rather than learned models. This
+//! module implements that style of checker so the classification
+//! evaluation (`aiio::eval`) can compare rule-based and AI-based diagnosis
+//! on the same tagged dataset.
+//!
+//! Each rule inspects the raw counters of one log and, when its threshold
+//! trips, flags a set of counters with a severity score. The output has
+//! the same shape as a diagnosis ranking (counters, most severe first), so
+//! both systems are scored identically.
+
+use aiio_darshan::{CounterId, JobLog};
+use serde::{Deserialize, Serialize};
+
+/// One tripped rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleHit {
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// Severity in [0, 1] — the ratio that tripped the rule.
+    pub severity: f64,
+    /// The counters this rule blames.
+    pub counters: Vec<CounterId>,
+}
+
+/// Thresholds for the static rules (Drishti-style defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuleThresholds {
+    /// Fraction of operations that must be "small" (≤ 1 KiB) to flag.
+    pub small_ratio: f64,
+    /// Seeks per data operation to flag excessive seeking.
+    pub seek_ratio: f64,
+    /// Opens per rank to flag metadata pressure.
+    pub opens_per_rank: f64,
+    /// Fraction of unaligned accesses to flag.
+    pub unaligned_ratio: f64,
+    /// Fraction of strided (non-consecutive) accesses to flag.
+    pub strided_ratio: f64,
+    /// Read/write switches per operation to flag interleaving.
+    pub switch_ratio: f64,
+}
+
+impl Default for RuleThresholds {
+    fn default() -> Self {
+        Self {
+            small_ratio: 0.5,
+            seek_ratio: 0.5,
+            opens_per_rank: 8.0,
+            unaligned_ratio: 0.5,
+            strided_ratio: 0.5,
+            switch_ratio: 0.1,
+        }
+    }
+}
+
+/// The static-rule checker.
+#[derive(Debug, Clone, Default)]
+pub struct RuleChecker {
+    pub thresholds: RuleThresholds,
+}
+
+impl RuleChecker {
+    pub fn new(thresholds: RuleThresholds) -> Self {
+        Self { thresholds }
+    }
+
+    /// Evaluate every rule against one log; hits sorted by severity.
+    pub fn check(&self, log: &JobLog) -> Vec<RuleHit> {
+        use CounterId::*;
+        let c = &log.counters;
+        let t = &self.thresholds;
+        let reads = c.get(PosixReads);
+        let writes = c.get(PosixWrites);
+        let ops = (reads + writes).max(1.0);
+        let nprocs = c.get(Nprocs).max(1.0);
+        let mut hits = Vec::new();
+
+        // Small writes dominate.
+        if writes > 0.0 {
+            let small = c.get(PosixSizeWrite0_100) + c.get(PosixSizeWrite100_1k);
+            let ratio = small / writes;
+            if ratio > t.small_ratio {
+                hits.push(RuleHit {
+                    rule: "small-writes",
+                    severity: ratio,
+                    counters: vec![PosixSizeWrite0_100, PosixSizeWrite100_1k, PosixWrites],
+                });
+            }
+        }
+        // Small reads dominate.
+        if reads > 0.0 {
+            let small = c.get(PosixSizeRead0_100) + c.get(PosixSizeRead100_1k);
+            let ratio = small / reads;
+            if ratio > t.small_ratio {
+                hits.push(RuleHit {
+                    rule: "small-reads",
+                    severity: ratio,
+                    counters: vec![PosixSizeRead0_100, PosixSizeRead100_1k, PosixReads],
+                });
+            }
+        }
+        // Excessive seeking.
+        let seek_ratio = c.get(PosixSeeks) / ops;
+        if seek_ratio > t.seek_ratio {
+            hits.push(RuleHit {
+                rule: "excessive-seeks",
+                severity: (seek_ratio / 2.0).min(1.0),
+                counters: vec![PosixSeeks],
+            });
+        }
+        // Metadata pressure.
+        let opens_per_rank = c.get(PosixOpens) / nprocs;
+        if opens_per_rank > t.opens_per_rank {
+            hits.push(RuleHit {
+                rule: "metadata-pressure",
+                severity: (opens_per_rank / (4.0 * t.opens_per_rank)).min(1.0),
+                counters: vec![PosixOpens, PosixStats],
+            });
+        }
+        // Unaligned accesses.
+        let unaligned_ratio = c.get(PosixFileNotAligned) / ops;
+        if unaligned_ratio > t.unaligned_ratio {
+            hits.push(RuleHit {
+                rule: "unaligned-access",
+                severity: unaligned_ratio.min(1.0),
+                counters: vec![PosixFileNotAligned, PosixFileAlignment, LustreStripeSize],
+            });
+        }
+        // Strided access.
+        let strided = c.get(PosixStride1Count)
+            + c.get(PosixStride2Count)
+            + c.get(PosixStride3Count)
+            + c.get(PosixStride4Count);
+        let strided_ratio = strided / ops;
+        if strided_ratio > t.strided_ratio {
+            hits.push(RuleHit {
+                rule: "strided-access",
+                severity: strided_ratio.min(1.0),
+                counters: vec![
+                    PosixStride1Count,
+                    PosixStride1Stride,
+                    PosixConsecReads,
+                    PosixConsecWrites,
+                ],
+            });
+        }
+        // Read/write interleaving.
+        let switch_ratio = c.get(PosixRwSwitches) / ops;
+        if switch_ratio > t.switch_ratio {
+            hits.push(RuleHit {
+                rule: "rw-interleaving",
+                severity: (switch_ratio * 5.0).min(1.0),
+                counters: vec![PosixRwSwitches],
+            });
+        }
+
+        hits.sort_by(|a, b| b.severity.partial_cmp(&a.severity).unwrap());
+        hits
+    }
+
+    /// Flattened counter ranking (most severe rule first, de-duplicated) —
+    /// the same shape as a diagnosis bottleneck list.
+    pub fn ranked_counters(&self, log: &JobLog) -> Vec<CounterId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for hit in self.check(log) {
+            for c in hit.counters {
+                if seen.insert(c) {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiio_iosim::ior::table3;
+    use aiio_iosim::{Simulator, StorageConfig};
+
+    fn log_for(cfg: aiio_iosim::IorConfig) -> JobLog {
+        Simulator::new(StorageConfig::cori_like_quiet()).simulate(&cfg.to_spec(), 0, 2022, 0)
+    }
+
+    #[test]
+    fn small_write_pattern_trips_small_write_rule() {
+        let hits = RuleChecker::default().check(&log_for(table3::fig7a()));
+        assert!(hits.iter().any(|h| h.rule == "small-writes"), "{hits:?}");
+    }
+
+    #[test]
+    fn seeky_read_pattern_trips_seek_rule() {
+        let hits = RuleChecker::default().check(&log_for(table3::fig8a()));
+        assert!(hits.iter().any(|h| h.rule == "excessive-seeks"), "{hits:?}");
+    }
+
+    #[test]
+    fn strided_pattern_trips_stride_rule() {
+        let hits = RuleChecker::default().check(&log_for(table3::fig9()));
+        assert!(hits.iter().any(|h| h.rule == "strided-access"), "{hits:?}");
+    }
+
+    #[test]
+    fn large_sequential_writes_trip_nothing_major() {
+        let hits = RuleChecker::default().check(&log_for(table3::fig7b()));
+        assert!(
+            hits.iter().all(|h| h.rule != "small-writes" && h.rule != "excessive-seeks"),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn ranked_counters_deduplicate_and_order() {
+        let ranked = RuleChecker::default().ranked_counters(&log_for(table3::fig9()));
+        let unique: std::collections::HashSet<_> = ranked.iter().collect();
+        assert_eq!(unique.len(), ranked.len());
+        assert!(!ranked.is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! The AIIO service (paper §3.4 / Fig. 17): train once, persist the
+//! models, and serve per-job diagnoses.
+//!
+//! The paper deploys AIIO as a web service so models can be managed
+//! centrally; this module provides the same lifecycle in-process — train /
+//! save / load / diagnose — which is the part the experiments depend on.
+//! (An HTTP front-end would add a network dependency without exercising
+//! anything new.)
+
+use crate::diagnosis::{DiagnosisConfig, DiagnosisReport, Diagnoser};
+use crate::zoo::{ModelZoo, ZooConfig};
+use aiio_darshan::{Dataset, FeaturePipeline, JobLog, LogDatabase};
+use serde::{Deserialize, Serialize};
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Everything needed to train a service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    pub zoo: ZooConfig,
+    pub diagnosis: DiagnosisConfig,
+    /// Train fraction of the shuffled database (paper: 0.5).
+    pub train_fraction: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            zoo: ZooConfig::default(),
+            diagnosis: DiagnosisConfig::default(),
+            train_fraction: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Reduced budgets for tests/examples.
+    pub fn fast() -> Self {
+        Self { zoo: ZooConfig::fast(), ..Self::default() }
+    }
+}
+
+/// A trained, persistable AIIO instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AiioService {
+    pipeline: FeaturePipeline,
+    zoo: ModelZoo,
+    diagnosis: DiagnosisConfig,
+    /// Validation RMSE per model at train time, for reporting.
+    pub validation_rmse: Vec<(crate::ModelKind, f64)>,
+}
+
+impl AiioService {
+    /// Train all models on a log database (half/half split as in §3.2).
+    pub fn train(config: &TrainConfig, db: &LogDatabase) -> AiioService {
+        let pipeline = FeaturePipeline::paper();
+        let ds = pipeline.dataset_of(db);
+        let split = db.split_indices(config.train_fraction, config.seed);
+        let train = ds.subset(&split.train);
+        let valid = ds.subset(&split.valid);
+        Self::train_on_datasets(config, pipeline, &train, &valid)
+    }
+
+    /// Train on pre-built datasets (exposed for experiments that need
+    /// custom splits).
+    pub fn train_on_datasets(
+        config: &TrainConfig,
+        pipeline: FeaturePipeline,
+        train: &Dataset,
+        valid: &Dataset,
+    ) -> AiioService {
+        let zoo = ModelZoo::train(&config.zoo, train, valid);
+        let validation_rmse = zoo.rmse_per_model(valid);
+        AiioService { pipeline, zoo, diagnosis: config.diagnosis.clone(), validation_rmse }
+    }
+
+    /// Diagnose one job log — works for unseen jobs without retraining
+    /// (the generalisation property of §3.2).
+    pub fn diagnose(&self, log: &JobLog) -> DiagnosisReport {
+        Diagnoser::new(&self.zoo, self.pipeline, self.diagnosis.clone()).diagnose(log)
+    }
+
+    /// Diagnose a batch of logs in parallel (one SHAP run per job per
+    /// model; jobs are independent, so this scales with cores).
+    pub fn diagnose_batch(&self, logs: &[JobLog]) -> Vec<DiagnosisReport> {
+        use rayon::prelude::*;
+        logs.par_iter().map(|log| self.diagnose(log)).collect()
+    }
+
+    /// The trained model zoo.
+    pub fn zoo(&self) -> &ModelZoo {
+        &self.zoo
+    }
+
+    /// The feature pipeline.
+    pub fn pipeline(&self) -> FeaturePipeline {
+        self.pipeline
+    }
+
+    /// Persist the trained service (pre-trained models of Fig. 17).
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(BufWriter::new(file), self)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Load a persisted service.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<AiioService> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(BufReader::new(file))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use aiio_gbdt::GbdtConfig;
+    use aiio_iosim::{DatabaseSampler, SamplerConfig, Simulator, StorageConfig};
+    use std::sync::OnceLock;
+
+    fn quick_config() -> TrainConfig {
+        let mut cfg = TrainConfig::fast();
+        cfg.zoo = ZooConfig {
+            xgboost: GbdtConfig { n_rounds: 25, max_depth: 4, ..GbdtConfig::xgboost_like() },
+            lightgbm: GbdtConfig { n_rounds: 25, max_leaves: 15, ..GbdtConfig::lightgbm_like() },
+            catboost: GbdtConfig { n_rounds: 25, max_depth: 4, ..GbdtConfig::catboost_like() },
+            ..ZooConfig::fast()
+        }
+        .with_kinds(&[ModelKind::XgboostLike, ModelKind::LightgbmLike]);
+        cfg.diagnosis.max_evals = 256;
+        cfg
+    }
+
+    fn service() -> &'static AiioService {
+        static CACHE: OnceLock<AiioService> = OnceLock::new();
+        CACHE.get_or_init(|| {
+            let db = DatabaseSampler::new(SamplerConfig { n_jobs: 300, seed: 5, noise_sigma: 0.0 })
+                .generate();
+            AiioService::train(&quick_config(), &db)
+        })
+    }
+
+    #[test]
+    fn trains_and_reports_validation_rmse() {
+        let s = service();
+        assert_eq!(s.validation_rmse.len(), 2);
+        for (_, e) in &s.validation_rmse {
+            assert!(e.is_finite() && *e >= 0.0);
+        }
+    }
+
+    #[test]
+    fn diagnoses_an_unseen_job_without_retraining() {
+        let s = service();
+        // A job from a different generator seed = unseen.
+        let spec = aiio_iosim::IorConfig::parse("ior -w -t 1k -b 1m -Y").unwrap().to_spec();
+        let log = Simulator::new(StorageConfig::cori_like_quiet()).simulate(&spec, 12345, 2022, 9);
+        let report = s.diagnose(&log);
+        assert!(report.is_robust(&log));
+        assert_eq!(report.job_id, 12345);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_diagnosis() {
+        let s = service();
+        let path = std::env::temp_dir().join("aiio_service_test.json");
+        s.save(&path).unwrap();
+        let loaded = AiioService::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        let spec = aiio_iosim::IorConfig::parse("ior -r -t 1k -b 1m").unwrap().to_spec();
+        let log = Simulator::new(StorageConfig::cori_like_quiet()).simulate(&spec, 7, 2022, 3);
+        let a = s.diagnose(&log);
+        let b = loaded.diagnose(&log);
+        assert_eq!(a.bottlenecks.len(), b.bottlenecks.len());
+        assert_eq!(a.top_bottleneck(), b.top_bottleneck());
+    }
+
+    #[test]
+    fn batch_diagnosis_matches_sequential() {
+        let s = service();
+        let sim = Simulator::new(StorageConfig::cori_like_quiet());
+        let logs: Vec<aiio_darshan::JobLog> = (0..4)
+            .map(|i| {
+                let spec =
+                    aiio_iosim::IorConfig::parse("ior -w -t 1k -b 64k -Y").unwrap().to_spec();
+                sim.simulate(&spec, 500 + i, 2022, i)
+            })
+            .collect();
+        let batch = s.diagnose_batch(&logs);
+        assert_eq!(batch.len(), 4);
+        for (log, report) in logs.iter().zip(&batch) {
+            let single = s.diagnose(log);
+            assert_eq!(report.top_bottleneck(), single.top_bottleneck());
+            assert_eq!(report.job_id, log.job_id);
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("aiio_service_garbage.json");
+        std::fs::write(&path, b"not json").unwrap();
+        assert!(AiioService::load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

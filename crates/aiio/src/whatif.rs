@@ -1,0 +1,198 @@
+//! Counterfactual ("what-if") performance prediction.
+//!
+//! Paper §3.2: *"By changing the inputs, i.e., the counters of I/O, the
+//! performance function also changes its output, i.e., predicted
+//! performance. This can be used to replace the simulation of expensive
+//! runs during the manual performance bottleneck diagnosis."* This module
+//! makes that use explicit: override selected counters of a job's log,
+//! re-run the performance functions, and report the predicted performance
+//! change — no storage system (or simulator) run required.
+//!
+//! Because the true performance of the *hypothetical* job is unknown, the
+//! per-model predictions are combined with equal weights (the
+//! error-inverse weights of Eq. 8 need the true value).
+
+use crate::service::AiioService;
+use aiio_darshan::{CounterId, JobLog};
+use serde::{Deserialize, Serialize};
+
+/// Result of one counterfactual query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfPrediction {
+    /// Equal-weight ensemble prediction for the unmodified job, MiB/s.
+    pub baseline_mib_s: f64,
+    /// Equal-weight ensemble prediction with the overrides applied, MiB/s.
+    pub modified_mib_s: f64,
+    /// Per-model predictions for the modified job, MiB/s.
+    pub per_model_mib_s: Vec<(crate::ModelKind, f64)>,
+}
+
+impl WhatIfPrediction {
+    /// Predicted speedup factor of the change.
+    pub fn predicted_speedup(&self) -> f64 {
+        self.modified_mib_s / self.baseline_mib_s.max(1e-12)
+    }
+}
+
+/// Counterfactual engine over a trained service.
+pub struct WhatIf<'a> {
+    service: &'a AiioService,
+}
+
+impl<'a> WhatIf<'a> {
+    pub fn new(service: &'a AiioService) -> Self {
+        Self { service }
+    }
+
+    /// Mean ensemble prediction (transformed space → MiB/s) for a raw
+    /// counter vector.
+    fn ensemble_mib_s(&self, counters: &JobLog) -> (f64, Vec<(crate::ModelKind, f64)>) {
+        let pipeline = self.service.pipeline();
+        let features = pipeline.features_of(counters);
+        let preds = self.service.zoo().predict_all(&features);
+        let per_model: Vec<(crate::ModelKind, f64)> = self
+            .service
+            .zoo()
+            .models()
+            .iter()
+            .zip(&preds)
+            .map(|(tm, &p)| (tm.kind, pipeline.tag_to_mib_s(p)))
+            .collect();
+        let mean_tag = preds.iter().sum::<f64>() / preds.len().max(1) as f64;
+        (pipeline.tag_to_mib_s(mean_tag), per_model)
+    }
+
+    /// Predict the effect of overriding counters (raw, untransformed
+    /// values) on the job's performance.
+    ///
+    /// # Panics
+    /// Panics if an override value is negative or not finite.
+    pub fn predict(&self, log: &JobLog, changes: &[(CounterId, f64)]) -> WhatIfPrediction {
+        let (baseline, _) = self.ensemble_mib_s(log);
+        let mut modified = log.clone();
+        for &(counter, value) in changes {
+            assert!(
+                value.is_finite() && value >= 0.0,
+                "counter overrides must be finite and non-negative"
+            );
+            modified.counters.set(counter, value);
+        }
+        let (after, per_model) = self.ensemble_mib_s(&modified);
+        WhatIfPrediction {
+            baseline_mib_s: baseline,
+            modified_mib_s: after,
+            per_model_mib_s: per_model,
+        }
+    }
+
+    /// Convenience: the paper's Fig. 7 experiment as a counterfactual —
+    /// "what if the small writes were merged into ~1 MiB transfers?".
+    /// Moves the write histogram mass to the top bucket and shrinks the
+    /// write count accordingly.
+    pub fn predict_merged_writes(&self, log: &JobLog) -> WhatIfPrediction {
+        use CounterId::*;
+        let c = &log.counters;
+        let bytes = c.get(PosixBytesWritten);
+        let new_writes = (bytes / (1024.0 * 1024.0)).ceil().max(1.0);
+        let changes = vec![
+            (PosixSizeWrite0_100, 0.0),
+            (PosixSizeWrite100_1k, 0.0),
+            (PosixSizeWrite1k_10k, 0.0),
+            (PosixSizeWrite10k_100k, 0.0),
+            (PosixSizeWrite100k_1m, new_writes),
+            (PosixWrites, new_writes),
+            (PosixConsecWrites, (new_writes - 1.0).max(0.0)),
+            (PosixSeqWrites, (new_writes - 1.0).max(0.0)),
+            (PosixAccess1Access, 1024.0 * 1024.0),
+            (PosixAccess1Count, new_writes),
+        ];
+        self.predict(log, &changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::TrainConfig;
+    use crate::zoo::ZooConfig;
+    use aiio_gbdt::GbdtConfig;
+    use aiio_iosim::ior::table3;
+    use aiio_iosim::{DatabaseSampler, SamplerConfig, Simulator, StorageConfig};
+    use std::sync::OnceLock;
+
+    fn service() -> &'static AiioService {
+        static CACHE: OnceLock<AiioService> = OnceLock::new();
+        CACHE.get_or_init(|| {
+            let db =
+                DatabaseSampler::new(SamplerConfig { n_jobs: 1600, seed: 91, noise_sigma: 0.0 })
+                    .generate();
+            let mut cfg = TrainConfig::fast();
+            cfg.zoo = ZooConfig {
+                xgboost: GbdtConfig { n_rounds: 80, ..GbdtConfig::xgboost_like() },
+                lightgbm: GbdtConfig { n_rounds: 80, ..GbdtConfig::lightgbm_like() },
+                catboost: GbdtConfig { n_rounds: 80, ..GbdtConfig::catboost_like() },
+                ..ZooConfig::fast()
+            }
+            .with_kinds(&[
+                crate::ModelKind::XgboostLike,
+                crate::ModelKind::LightgbmLike,
+                crate::ModelKind::CatboostLike,
+            ]);
+            AiioService::train(&cfg, &db)
+        })
+    }
+
+    #[test]
+    fn merged_writes_counterfactual_predicts_a_speedup() {
+        // Fig. 7's fix, predicted without running anything: the performance
+        // function should anticipate a large improvement.
+        let sim = Simulator::new(StorageConfig::cori_like_quiet());
+        let log = sim.simulate(&table3::fig7a().to_spec(), 1, 2022, 0);
+        let wi = WhatIf::new(service());
+        let p = wi.predict_merged_writes(&log);
+        assert!(
+            p.predicted_speedup() > 2.0,
+            "predicted speedup {:.2} (baseline {:.2}, modified {:.2})",
+            p.predicted_speedup(),
+            p.baseline_mib_s,
+            p.modified_mib_s
+        );
+        // Direction agrees with the simulator's actual tuned run.
+        let actual_tuned = sim.performance_of(&table3::fig7b().to_spec(), 0);
+        let actual_untuned = log.performance_mib_s();
+        assert!(actual_tuned > actual_untuned);
+    }
+
+    #[test]
+    fn noop_change_changes_nothing() {
+        let sim = Simulator::new(StorageConfig::cori_like_quiet());
+        let log = sim.simulate(&table3::fig8a().to_spec(), 2, 2022, 0);
+        let wi = WhatIf::new(service());
+        let p = wi.predict(&log, &[]);
+        assert!((p.predicted_speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metadata_counterfactual_predicts_slowdown() {
+        // Counterfactuals are only as good as the model's learned signal;
+        // the opens counter carries strong global importance, so a
+        // hundredfold open increase must predict a clear slowdown.
+        let sim = Simulator::new(StorageConfig::cori_like_quiet());
+        let log = sim.simulate(&table3::fig8a().to_spec(), 3, 2022, 0);
+        let wi = WhatIf::new(service());
+        let opens = log.counters.get(CounterId::PosixOpens);
+        let p = wi.predict(
+            &log,
+            &[(CounterId::PosixOpens, opens * 100.0), (CounterId::PosixStats, opens * 10.0)],
+        );
+        assert!(p.predicted_speedup() < 0.9, "predicted {:.3}", p.predicted_speedup());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_overrides_rejected() {
+        let sim = Simulator::new(StorageConfig::cori_like_quiet());
+        let log = sim.simulate(&table3::fig8a().to_spec(), 4, 2022, 0);
+        let _ = WhatIf::new(service()).predict(&log, &[(CounterId::PosixSeeks, -1.0)]);
+    }
+}

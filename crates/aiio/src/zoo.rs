@@ -1,0 +1,286 @@
+//! The model zoo: train all five performance functions on a log database
+//! and evaluate them (paper §3.2, Table 2's "Prediction Func." column).
+
+use crate::model::{AnyModel, ModelKind};
+use aiio_darshan::Dataset;
+use aiio_gbdt::{Booster, GbdtConfig};
+use aiio_linalg::stats::rmse;
+use aiio_nn::{Mlp, MlpConfig, TabNet, TabNetConfig};
+use serde::{Deserialize, Serialize};
+
+/// Per-model training configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZooConfig {
+    pub xgboost: GbdtConfig,
+    pub lightgbm: GbdtConfig,
+    pub catboost: GbdtConfig,
+    pub mlp: MlpConfig,
+    pub tabnet: TabNetConfig,
+    /// Which models to train (defaults to all five).
+    pub kinds: Vec<ModelKind>,
+}
+
+impl Default for ZooConfig {
+    fn default() -> Self {
+        Self {
+            xgboost: GbdtConfig::xgboost_like(),
+            lightgbm: GbdtConfig::lightgbm_like(),
+            catboost: GbdtConfig::catboost_like(),
+            mlp: MlpConfig::paper(),
+            tabnet: TabNetConfig::default(),
+            kinds: ModelKind::ALL.to_vec(),
+        }
+    }
+}
+
+impl ZooConfig {
+    /// Reduced budgets for tests and quick experiments: smaller trees and
+    /// far fewer epochs, same model diversity.
+    pub fn fast() -> Self {
+        Self {
+            xgboost: GbdtConfig { n_rounds: 60, max_depth: 5, ..GbdtConfig::xgboost_like() },
+            lightgbm: GbdtConfig { n_rounds: 60, max_leaves: 15, ..GbdtConfig::lightgbm_like() },
+            catboost: GbdtConfig { n_rounds: 60, max_depth: 4, ..GbdtConfig::catboost_like() },
+            mlp: MlpConfig {
+                hidden: vec![48, 24],
+                max_epochs: 30,
+                early_stopping: 5,
+                ..MlpConfig::paper()
+            },
+            tabnet: TabNetConfig {
+                n_steps: 2,
+                d_hidden: 24,
+                n_d: 12,
+                n_a: 12,
+                max_epochs: 25,
+                early_stopping: 5,
+                ..TabNetConfig::default()
+            },
+            kinds: ModelKind::ALL.to_vec(),
+        }
+    }
+
+    /// Keep only the listed kinds.
+    pub fn with_kinds(mut self, kinds: &[ModelKind]) -> Self {
+        self.kinds = kinds.to_vec();
+        self
+    }
+}
+
+/// One trained model plus its identity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedModel {
+    pub kind: ModelKind,
+    pub model: AnyModel,
+}
+
+/// The trained ensemble of performance functions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelZoo {
+    models: Vec<TrainedModel>,
+}
+
+impl ModelZoo {
+    /// Train every configured model on `train`, early-stopping against
+    /// `valid` (the paper's half/half shuffle-split with early-stopping
+    /// rounds = 10).
+    pub fn train(config: &ZooConfig, train: &Dataset, valid: &Dataset) -> ModelZoo {
+        let v = (valid.x.as_slice(), valid.y.as_slice());
+        let models = config
+            .kinds
+            .iter()
+            .map(|&kind| {
+                let model = match kind {
+                    ModelKind::XgboostLike => AnyModel::Gbdt(
+                        Booster::fit(&config.xgboost, &train.x, &train.y, Some(v))
+                            .expect("xgboost-like training failed"),
+                    ),
+                    ModelKind::LightgbmLike => AnyModel::Gbdt(
+                        Booster::fit(&config.lightgbm, &train.x, &train.y, Some(v))
+                            .expect("lightgbm-like training failed"),
+                    ),
+                    ModelKind::CatboostLike => AnyModel::Gbdt(
+                        Booster::fit(&config.catboost, &train.x, &train.y, Some(v))
+                            .expect("catboost-like training failed"),
+                    ),
+                    ModelKind::Mlp => {
+                        AnyModel::Mlp(Mlp::fit(&config.mlp, &train.x, &train.y, Some(v)))
+                    }
+                    ModelKind::TabNet => {
+                        AnyModel::TabNet(TabNet::fit(&config.tabnet, &train.x, &train.y, Some(v)))
+                    }
+                };
+                TrainedModel { kind, model }
+            })
+            .collect();
+        ModelZoo { models }
+    }
+
+    /// The trained models in training order.
+    pub fn models(&self) -> &[TrainedModel] {
+        &self.models
+    }
+
+    /// Look up one model by kind.
+    pub fn get(&self, kind: ModelKind) -> Option<&AnyModel> {
+        self.models.iter().find(|m| m.kind == kind).map(|m| &m.model)
+    }
+
+    /// Per-model predictions for one feature row, in training order.
+    pub fn predict_all(&self, x: &[f64]) -> Vec<f64> {
+        self.models.iter().map(|m| m.model.predict_one(x)).collect()
+    }
+
+    /// Per-model RMSE on a dataset (Table 2, "Prediction Func." rows).
+    pub fn rmse_per_model(&self, ds: &Dataset) -> Vec<(ModelKind, f64)> {
+        self.models
+            .iter()
+            .map(|m| (m.kind, rmse(&m.model.predict_batch(&ds.x), &ds.y)))
+            .collect()
+    }
+
+    /// RMSE of the Closest Method on a dataset: each job's prediction is
+    /// the model output nearest its true tag (paper Eq. 6 applied to
+    /// prediction).
+    pub fn rmse_closest(&self, ds: &Dataset) -> f64 {
+        let per_model: Vec<Vec<f64>> =
+            self.models.iter().map(|m| m.model.predict_batch(&ds.x)).collect();
+        let closest: Vec<f64> = (0..ds.len())
+            .map(|i| {
+                per_model
+                    .iter()
+                    .map(|p| p[i])
+                    .min_by(|a, b| {
+                        (a - ds.y[i]).abs().partial_cmp(&(b - ds.y[i]).abs()).unwrap()
+                    })
+                    .unwrap()
+            })
+            .collect();
+        rmse(&closest, &ds.y)
+    }
+
+    /// RMSE of the Average Method on a dataset: per-job error-inverse
+    /// weighted blend of model predictions (paper Eq. 7–8 applied to
+    /// prediction).
+    pub fn rmse_average(&self, ds: &Dataset) -> f64 {
+        let per_model: Vec<Vec<f64>> =
+            self.models.iter().map(|m| m.model.predict_batch(&ds.x)).collect();
+        let blended: Vec<f64> = (0..ds.len())
+            .map(|i| {
+                let preds: Vec<f64> = per_model.iter().map(|p| p[i]).collect();
+                let w = crate::merge::average_weights(&preds, ds.y[i]);
+                preds.iter().zip(&w).map(|(p, w)| p * w).sum()
+            })
+            .collect();
+        rmse(&blended, &ds.y)
+    }
+
+    /// Number of trained models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no models are trained.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiio_darshan::{FeaturePipeline, LogDatabase};
+    use aiio_iosim::{DatabaseSampler, SamplerConfig};
+
+    fn tiny_datasets() -> (Dataset, Dataset) {
+        let db: LogDatabase = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 300,
+            seed: 42,
+            noise_sigma: 0.0,
+        })
+        .generate();
+        let ds = FeaturePipeline::paper().dataset_of(&db);
+        let split = db.split_indices(0.5, 7);
+        (ds.subset(&split.train), ds.subset(&split.valid))
+    }
+
+    fn tiny_config() -> ZooConfig {
+        ZooConfig {
+            xgboost: GbdtConfig { n_rounds: 25, max_depth: 4, ..GbdtConfig::xgboost_like() },
+            lightgbm: GbdtConfig { n_rounds: 25, max_leaves: 15, ..GbdtConfig::lightgbm_like() },
+            catboost: GbdtConfig { n_rounds: 25, max_depth: 4, ..GbdtConfig::catboost_like() },
+            mlp: MlpConfig { hidden: vec![24], max_epochs: 10, ..MlpConfig::paper() },
+            tabnet: TabNetConfig {
+                n_steps: 2,
+                d_hidden: 12,
+                n_d: 6,
+                n_a: 6,
+                max_epochs: 8,
+                ..TabNetConfig::default()
+            },
+            kinds: ModelKind::ALL.to_vec(),
+        }
+    }
+
+    #[test]
+    fn trains_all_five_models_and_beats_the_mean_baseline() {
+        let (train, valid) = tiny_datasets();
+        let zoo = ModelZooCache::get(&tiny_config(), &train, &valid);
+        assert_eq!(zoo.len(), 5);
+        // Every tree model must beat predicting the mean tag.
+        let mean = train.y.iter().sum::<f64>() / train.y.len() as f64;
+        let baseline = rmse(&vec![mean; valid.len()], &valid.y);
+        for (kind, err) in zoo.rmse_per_model(&valid) {
+            if matches!(
+                kind,
+                ModelKind::XgboostLike | ModelKind::LightgbmLike | ModelKind::CatboostLike
+            ) {
+                assert!(err < baseline, "{kind}: {err} !< baseline {baseline}");
+            }
+        }
+    }
+
+    #[test]
+    fn closest_method_beats_every_single_model() {
+        let (train, valid) = tiny_datasets();
+        let zoo = ModelZooCache::get(&tiny_config(), &train, &valid);
+        let closest = zoo.rmse_closest(&valid);
+        for (kind, err) in zoo.rmse_per_model(&valid) {
+            assert!(closest <= err + 1e-12, "{kind}: closest {closest} > {err}");
+        }
+    }
+
+    #[test]
+    fn average_method_beats_the_worst_model() {
+        let (train, valid) = tiny_datasets();
+        let zoo = ModelZooCache::get(&tiny_config(), &train, &valid);
+        let avg = zoo.rmse_average(&valid);
+        let worst = zoo
+            .rmse_per_model(&valid)
+            .into_iter()
+            .map(|(_, e)| e)
+            .fold(0.0f64, f64::max);
+        assert!(avg < worst, "average {avg} !< worst {worst}");
+    }
+
+    #[test]
+    fn subset_of_kinds_trains_only_those() {
+        let (train, valid) = tiny_datasets();
+        let cfg = tiny_config().with_kinds(&[ModelKind::XgboostLike, ModelKind::CatboostLike]);
+        let zoo = ModelZoo::train(&cfg, &train, &valid);
+        assert_eq!(zoo.len(), 2);
+        assert!(zoo.get(ModelKind::XgboostLike).is_some());
+        assert!(zoo.get(ModelKind::Mlp).is_none());
+    }
+
+    /// Training all five models is the expensive part of these tests; cache
+    /// one zoo per (config) for reuse across test functions.
+    struct ModelZooCache;
+    impl ModelZooCache {
+        fn get(cfg: &ZooConfig, train: &Dataset, valid: &Dataset) -> ModelZoo {
+            use std::sync::OnceLock;
+            static CACHE: OnceLock<ModelZoo> = OnceLock::new();
+            CACHE.get_or_init(|| ModelZoo::train(cfg, train, valid)).clone()
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! End-to-end diagnosis latency: what a user of the AIIO service pays per
+//! submitted log, across merge methods and explainers.
+
+use aiio::prelude::*;
+use aiio::{DiagnosisConfig, ExplainerKind, MergeMethod};
+use aiio_darshan::FeaturePipeline;
+use aiio_gbdt::GbdtConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn setup() -> (AiioService, aiio_darshan::JobLog) {
+    let db =
+        DatabaseSampler::new(SamplerConfig { n_jobs: 512, seed: 31, noise_sigma: 0.0 }).generate();
+    let mut cfg = TrainConfig::fast();
+    // Tree models only keep the benchmark focused on diagnosis cost.
+    cfg.zoo.xgboost = GbdtConfig { n_rounds: 40, ..GbdtConfig::xgboost_like() };
+    cfg.zoo = cfg.zoo.with_kinds(&[
+        aiio::ModelKind::XgboostLike,
+        aiio::ModelKind::LightgbmLike,
+        aiio::ModelKind::CatboostLike,
+    ]);
+    let service = AiioService::train(&cfg, &db);
+    let spec = IorConfig::parse("ior -r -t 1k -b 1m").unwrap().to_spec();
+    let log = Simulator::new(StorageConfig::cori_like_quiet()).simulate(&spec, 1, 2022, 0);
+    (service, log)
+}
+
+fn bench_diagnose(c: &mut Criterion) {
+    let (service, log) = setup();
+    let mut g = c.benchmark_group("diagnose_one_log");
+    g.sample_size(10);
+    for (name, merge, explainer, evals) in [
+        ("kernel_shap_avg_512", MergeMethod::Average, ExplainerKind::KernelShap, 512usize),
+        ("kernel_shap_closest_512", MergeMethod::Closest, ExplainerKind::KernelShap, 512),
+        ("kernel_shap_avg_2048", MergeMethod::Average, ExplainerKind::KernelShap, 2048),
+        ("lime_avg_512", MergeMethod::Average, ExplainerKind::Lime, 512),
+    ] {
+        let d = aiio::Diagnoser::new(
+            service.zoo(),
+            FeaturePipeline::paper(),
+            DiagnosisConfig { merge, explainer, max_evals: evals, seed: 0 },
+        );
+        g.bench_function(name, |b| b.iter(|| black_box(d.diagnose(black_box(&log)))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_diagnose);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Microbenchmarks of the storage simulator and database sampler: cost of
+//! simulating one job and throughput of database generation.
+
+use aiio_iosim::ior::table3;
+use aiio_iosim::{DatabaseSampler, SamplerConfig, Simulator, StorageConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_single_jobs(c: &mut Criterion) {
+    let sim = Simulator::new(StorageConfig::cori_like_quiet());
+    let mut g = c.benchmark_group("simulate_one_job");
+    for (name, cfg) in [
+        ("fig7a_small_sync_writes", table3::fig7a()),
+        ("fig8a_seeky_reads", table3::fig8a()),
+        ("fig12_random_reads", table3::fig12()),
+    ] {
+        let spec = cfg.to_spec();
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(sim.simulate(black_box(&spec), 1, 2022, 0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_database_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("database_generation");
+    g.sample_size(10);
+    for n in [256usize, 1024] {
+        g.bench_function(format!("{n}_jobs"), |b| {
+            b.iter_batched(
+                || DatabaseSampler::new(SamplerConfig { n_jobs: n, seed: 1, noise_sigma: 0.03 }),
+                |s| black_box(s.generate()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_jobs, bench_database_generation);
+criterion_main!(benches);

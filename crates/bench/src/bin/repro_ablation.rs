@@ -1,0 +1,5 @@
+//! Run the DESIGN.md ablations.
+fn main() {
+    let ctx = aiio_bench::Context::standard();
+    aiio_bench::repro::ablation::run(&ctx);
+}

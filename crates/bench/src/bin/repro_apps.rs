@@ -1,0 +1,5 @@
+//! Regenerate the paper's Figs. 13-15 (E2E, OpenPMD, DASSA).
+fn main() {
+    let ctx = aiio_bench::Context::standard();
+    aiio_bench::repro::apps::run(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Run the closed-loop auto-tuning sweep (extension experiment).
+fn main() {
+    let ctx = aiio_bench::Context::standard();
+    aiio_bench::repro::autotune::run(&ctx);
+}

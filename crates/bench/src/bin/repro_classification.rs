@@ -1,0 +1,5 @@
+//! Run the classification-style evaluation (paper §5 future work).
+fn main() {
+    let ctx = aiio_bench::Context::standard();
+    aiio_bench::repro::classification::run(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig. 1 (group-level vs job-level diagnosis).
+fn main() {
+    let ctx = aiio_bench::Context::standard();
+    aiio_bench::repro::fig1::run(&ctx);
+}

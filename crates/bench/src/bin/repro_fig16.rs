@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig. 16 (training loss curve).
+fn main() {
+    let ctx = aiio_bench::Context::standard();
+    aiio_bench::repro::fig16::run(&ctx);
+}

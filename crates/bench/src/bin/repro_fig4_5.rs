@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig. 4 and Fig. 5 (transform + scatter).
+fn main() {
+    let ctx = aiio_bench::Context::standard();
+    aiio_bench::repro::fig4_5::run(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig. 6 (five-model diagnosis of one job).
+fn main() {
+    let ctx = aiio_bench::Context::standard();
+    aiio_bench::repro::fig6::run(&ctx);
+}

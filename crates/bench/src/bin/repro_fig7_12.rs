@@ -1,0 +1,5 @@
+//! Regenerate the paper's Figs. 7-12 (six IOR access patterns).
+fn main() {
+    let ctx = aiio_bench::Context::standard();
+    aiio_bench::repro::fig7_12::run(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Run the global-importance comparison (extension experiment).
+fn main() {
+    let ctx = aiio_bench::Context::standard();
+    aiio_bench::repro::importance::run(&ctx);
+}

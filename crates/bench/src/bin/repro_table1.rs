@@ -1,0 +1,5 @@
+//! Regenerate the paper's Table 1 (log database summary).
+fn main() {
+    let ctx = aiio_bench::Context::standard();
+    aiio_bench::repro::table1::run(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Table 2 (prediction & diagnosis RMSE).
+fn main() {
+    let ctx = aiio_bench::Context::standard();
+    aiio_bench::repro::table2::run(&ctx);
+}

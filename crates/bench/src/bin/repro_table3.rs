@@ -1,0 +1,4 @@
+//! Echo the paper's Table 3 IOR configurations through the parser.
+fn main() {
+    aiio_bench::repro::table3::run();
+}

@@ -1,0 +1,5 @@
+//! Run the counterfactual-vs-simulation comparison (extension experiment).
+fn main() {
+    let ctx = aiio_bench::Context::standard();
+    aiio_bench::repro::whatif::run(&ctx);
+}

@@ -1,0 +1,96 @@
+//! Extension experiment: closed-loop automatic tuning of every §4 workload
+//! (the paper's future-work item, §5: "Automating the map from diagnosis
+//! results to code tuning").
+//!
+//! For each of the paper's nine experiments (six IOR patterns + three
+//! applications) the auto-tuner starts from the *untuned* configuration
+//! and must discover fixes on its own; the table compares its final
+//! performance with the paper's hand-tuned result.
+
+use crate::{print_table, write_json, Context};
+use aiio::autotune::AutoTuner;
+use aiio_iosim::apps::{dassa, e2e, ml_training, openpmd, vpic};
+use aiio_iosim::ior::table3;
+use aiio_iosim::{JobSpec, StorageConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AutotuneResult {
+    workload: String,
+    initial_mib_s: f64,
+    autotuned_mib_s: f64,
+    autotune_speedup: f64,
+    paper_manual_speedup: Option<f64>,
+    accepted_actions: Vec<String>,
+    probes: usize,
+}
+
+/// Run the auto-tuning sweep.
+pub fn run(ctx: &Context) {
+    println!("\n== Extension: closed-loop auto-tuning of the paper's workloads ==");
+    let tuner = AutoTuner::new(&ctx.service);
+    let quiet = StorageConfig::cori_like_quiet();
+
+    let cases: Vec<(String, JobSpec, StorageConfig, Option<f64>)> = vec![
+        ("fig7a small writes".into(), table3::fig7a().to_spec(), quiet.clone(), Some(104.5)),
+        ("fig8a seeky reads".into(), table3::fig8a().to_spec(), quiet.clone(), Some(1.6)),
+        ("fig9 strided writes".into(), table3::fig9().to_spec(), quiet.clone(), Some(111.0)),
+        ("fig10 strided reads".into(), table3::fig10().to_spec(), quiet.clone(), Some(6.3)),
+        ("fig11 random writes".into(), table3::fig11().to_spec(), quiet.clone(), Some(113.3)),
+        ("fig12 random reads".into(), table3::fig12().to_spec(), quiet.clone(), Some(4.4)),
+        {
+            let r = e2e(false, &quiet);
+            ("e2e".into(), r.spec, r.storage, Some(147.0))
+        },
+        {
+            let r = openpmd(false, &quiet);
+            ("openpmd".into(), r.spec, r.storage, Some(1.8))
+        },
+        {
+            let r = dassa(false, &quiet);
+            ("dassa".into(), r.spec, r.storage, Some(2.1))
+        },
+        {
+            let r = vpic(false, &quiet);
+            ("vpic (ext)".into(), r.spec, r.storage, None)
+        },
+        {
+            let r = ml_training(false, &quiet);
+            ("ml-train (ext)".into(), r.spec, r.storage, None)
+        },
+    ];
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (name, spec, storage, paper) in cases {
+        let outcome = tuner.tune(spec, storage);
+        let actions: Vec<String> = outcome
+            .steps
+            .iter()
+            .filter(|s| s.accepted)
+            .map(|s| format!("{:?}", s.action))
+            .collect();
+        rows.push(vec![
+            name.clone(),
+            format!("{:.2}", outcome.initial_performance_mib_s),
+            format!("{:.2}", outcome.final_performance_mib_s),
+            format!("{:.1}x", outcome.speedup()),
+            paper.map(|p| format!("{p:.1}x")).unwrap_or_else(|| "-".into()),
+            actions.join(" + "),
+        ]);
+        results.push(AutotuneResult {
+            workload: name,
+            initial_mib_s: outcome.initial_performance_mib_s,
+            autotuned_mib_s: outcome.final_performance_mib_s,
+            autotune_speedup: outcome.speedup(),
+            paper_manual_speedup: paper,
+            accepted_actions: actions,
+            probes: outcome.steps.len(),
+        });
+    }
+    print_table(
+        &["workload", "initial", "autotuned", "speedup", "paper manual", "accepted actions"],
+        &rows,
+    );
+    write_json("autotune", &results);
+}

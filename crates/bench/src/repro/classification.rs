@@ -1,0 +1,138 @@
+//! Extension experiment: diagnosis as classification (the paper's stated
+//! future work, §5).
+//!
+//! The paper: *"a dataset with accurately tagged bottlenecks can help ...
+//! The recall and precision for diagnosis can be calculated with the
+//! availability of the classification models and the tagged dataset."*
+//! Our simulator produces exactly that tagged dataset
+//! ([`aiio_iosim::labels`]), so this bench scores — per true bottleneck
+//! class — how often each diagnosis system's top-k flagged counters
+//! include a counter implied by the truth:
+//!
+//! * AIIO with the Average merge (the paper's preferred configuration);
+//! * AIIO with the Closest merge;
+//! * each single model alone;
+//! * a Drishti-style static-rule checker ([`aiio::rules`]).
+
+use crate::{print_table, write_json, Context};
+use aiio::eval::ClassificationScorer;
+use aiio::rules::RuleChecker;
+use aiio::{DiagnosisConfig, Diagnoser, MergeMethod};
+use aiio_darshan::{CounterId, FeaturePipeline};
+use aiio_iosim::{BottleneckClass, DatabaseSampler, SamplerConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SystemResult {
+    system: String,
+    accuracy: f64,
+    per_class_recall: Vec<(String, f64, usize)>,
+}
+
+/// Run the classification evaluation on freshly sampled, *unseen*, tagged
+/// jobs.
+pub fn run(ctx: &Context) {
+    println!("\n== Extension: diagnosis as classification (paper §5 future work) ==");
+    let sample: usize = std::env::var("AIIO_BENCH_CLASS_SAMPLE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96);
+    let k: usize = std::env::var("AIIO_BENCH_CLASS_K")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+
+    // Unseen tagged jobs: a different sampler seed than training.
+    let (db, labels) = DatabaseSampler::new(SamplerConfig {
+        n_jobs: sample,
+        seed: ctx.scale.seed.wrapping_add(0xC1A55),
+        noise_sigma: 0.0,
+    })
+    .generate_labeled();
+
+    let pipeline = FeaturePipeline::paper();
+    let zoo = ctx.service.zoo();
+    let diagnose = |merge: MergeMethod, log: &aiio_darshan::JobLog| {
+        Diagnoser::new(
+            zoo,
+            pipeline,
+            DiagnosisConfig { merge, max_evals: 384, ..Default::default() },
+        )
+        .diagnose(log)
+    };
+
+    let mut avg_scorer = ClassificationScorer::new(k);
+    let mut closest_scorer = ClassificationScorer::new(k);
+    let mut single_scorers: Vec<ClassificationScorer> =
+        zoo.models().iter().map(|_| ClassificationScorer::new(k)).collect();
+    let mut rules_scorer = ClassificationScorer::new(k);
+    let rules = RuleChecker::default();
+
+    for (log, &truth) in db.jobs().iter().zip(&labels) {
+        if truth == BottleneckClass::BandwidthBound {
+            continue;
+        }
+        let report = diagnose(MergeMethod::Average, log);
+        avg_scorer.score_report(&report, truth);
+        // Per-model rankings from the same per-model attributions.
+        for (scorer, (_, attr)) in single_scorers.iter_mut().zip(&report.per_model) {
+            let mut ranked: Vec<(CounterId, f64)> = attr
+                .values
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v < 0.0)
+                .map(|(i, &v)| (CounterId::from_index(i), v))
+                .collect();
+            ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let counters: Vec<CounterId> = ranked.into_iter().map(|(c, _)| c).collect();
+            scorer.score(&counters, truth);
+        }
+        let report_c = diagnose(MergeMethod::Closest, log);
+        closest_scorer.score_report(&report_c, truth);
+        rules_scorer.score_rules(&rules, log, truth);
+    }
+
+    let mut systems: Vec<(String, aiio::ClassificationReport)> = Vec::new();
+    systems.push(("AIIO (Average)".into(), avg_scorer.finish()));
+    systems.push(("AIIO (Closest)".into(), closest_scorer.finish()));
+    for (scorer, tm) in single_scorers.into_iter().zip(zoo.models()) {
+        systems.push((format!("{} alone", tm.kind), scorer.finish()));
+    }
+    systems.push(("static rules (Drishti-style)".into(), rules_scorer.finish()));
+
+    let rows: Vec<Vec<String>> = systems
+        .iter()
+        .map(|(name, r)| {
+            vec![
+                name.clone(),
+                format!("{:.3}", r.accuracy()),
+                r.n_evaluated.to_string(),
+                format!("hit@{k}"),
+            ]
+        })
+        .collect();
+    print_table(&["system", "accuracy", "jobs", "metric"], &rows);
+
+    // Per-class detail for the merged system.
+    println!("\nper-class recall, AIIO (Average):");
+    let avg = &systems[0].1;
+    let mut classes: Vec<(&String, &aiio::eval::ClassScore)> = avg.per_class.iter().collect();
+    classes.sort_by_key(|(name, _)| name.as_str().to_string());
+    for (name, score) in classes {
+        println!("  {:<26} {:.3} ({} jobs)", name, score.recall(), score.n_jobs);
+    }
+
+    let json: Vec<SystemResult> = systems
+        .iter()
+        .map(|(name, r)| SystemResult {
+            system: name.clone(),
+            accuracy: r.accuracy(),
+            per_class_recall: r
+                .per_class
+                .iter()
+                .map(|(c, s)| (c.clone(), s.recall(), s.n_jobs))
+                .collect(),
+        })
+        .collect();
+    write_json("classification", &json);
+}

@@ -1,0 +1,154 @@
+//! Fig. 1: the four failure modes of group-level (Gauge-style) diagnosis,
+//! regenerated against our Gauge baseline:
+//!
+//! * (a) per-member prediction error vs the cluster-average error;
+//! * (b) cluster-level counter importance;
+//! * (c) one member's counter importance, which ranks differently;
+//! * (d) zero-valued counters receiving nonzero impact (non-robustness) —
+//!   contrasted with AIIO's zero-background diagnosis of the same job.
+
+use crate::{print_table, write_json, Context};
+use aiio::gauge::{GaugeAnalysis, GaugeConfig};
+use aiio::{DiagnosisConfig, Diagnoser, MergeMethod};
+use aiio_cluster::HdbscanConfig;
+use aiio_darshan::{CounterId, FeaturePipeline};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig1 {
+    n_clusters: usize,
+    n_noise: usize,
+    cluster_size: usize,
+    average_abs_error: f64,
+    member_abs_errors: Vec<f64>,
+    max_over_average: f64,
+    cluster_top_counters: Vec<(String, f64)>,
+    member_top_counters: Vec<(String, f64)>,
+    top_counter_differs: bool,
+    member_zero_counter_violations: Vec<(String, f64)>,
+    aiio_zero_counter_violations: usize,
+}
+
+fn top_k(importance: &[f64], k: usize) -> Vec<(String, f64)> {
+    let mut idx: Vec<usize> = (0..importance.len()).collect();
+    idx.sort_by(|&a, &b| importance[b].abs().partial_cmp(&importance[a].abs()).unwrap());
+    idx.into_iter()
+        .take(k)
+        .map(|i| (CounterId::from_index(i).name().to_string(), importance[i]))
+        .collect()
+}
+
+/// Regenerate Fig. 1.
+pub fn run(ctx: &Context) {
+    println!("\n== Fig. 1: group-level (Gauge-style) vs job-level diagnosis ==");
+    let ds = FeaturePipeline::paper().dataset_of(&ctx.db);
+    // Cluster a subsample — HDBSCAN here is O(n^2).
+    let take = ds.len().min(600);
+    let sub = ds.subset(&(0..take).collect::<Vec<_>>());
+    let cfg = GaugeConfig {
+        hdbscan: HdbscanConfig { min_cluster_size: 16, min_samples: 8 },
+        max_evals: 256,
+        ..GaugeConfig::default()
+    };
+    let gauge = GaugeAnalysis::fit(&sub, &cfg);
+    println!(
+        "HDBSCAN: {} clusters, {} noise points over {take} jobs",
+        gauge.clustering.n_clusters,
+        gauge.clustering.n_noise()
+    );
+    let Some(cluster) = gauge.clusters.iter().max_by_key(|c| c.members.len()) else {
+        println!("no clusters extracted — increase AIIO_BENCH_JOBS");
+        return;
+    };
+    println!("largest cluster ('Gamma' analogue): {} members", cluster.members.len());
+
+    // (a) member errors vs average.
+    let avg = cluster.average_abs_error();
+    let max = cluster.member_abs_errors.iter().copied().fold(0.0f64, f64::max);
+    println!("\n(a) cluster-average |error| {avg:.4}; member max {max:.4} ({:.1}x the average)", max / avg.max(1e-12));
+
+    // (b) cluster importance vs (c) member importance. Like the paper —
+    // which shows the specific member (the 204th) where the divergence is
+    // visible — scan a sample of members and show the first whose top
+    // counter disagrees with the cluster's (falling back to the median
+    // member if every sampled member agrees).
+    let cluster_imp = gauge.cluster_importance(cluster, &sub, 12);
+    let cluster_top_idx = (0..cluster_imp.len())
+        .max_by(|&a, &b| cluster_imp[a].abs().partial_cmp(&cluster_imp[b].abs()).unwrap())
+        .unwrap();
+    let mut member_row = cluster.members[cluster.members.len() / 2];
+    let mut member_attr = gauge.explain_member(cluster, &sub.x[member_row]);
+    for &cand in cluster.members.iter().step_by((cluster.members.len() / 24).max(1)) {
+        let attr = gauge.explain_member(cluster, &sub.x[cand]);
+        let top = (0..attr.values.len())
+            .max_by(|&a, &b| attr.values[a].abs().partial_cmp(&attr.values[b].abs()).unwrap())
+            .unwrap();
+        if top != cluster_top_idx {
+            member_row = cand;
+            member_attr = attr;
+            break;
+        }
+    }
+    let cluster_top = top_k(&cluster_imp, 5);
+    let member_top = top_k(&member_attr.values, 5);
+    println!("\n(b) cluster-level top counters vs (c) member-level:");
+    let rows: Vec<Vec<String>> = cluster_top
+        .iter()
+        .zip(&member_top)
+        .map(|((cn, cv), (mn, mv))| {
+            vec![format!("{cn} ({cv:+.4})"), format!("{mn} ({mv:+.4})")]
+        })
+        .collect();
+    print_table(&["cluster importance", "member importance"], &rows);
+    let differs = cluster_top.first().map(|(n, _)| n) != member_top.first().map(|(n, _)| n);
+    println!("top counter differs between group and member: {differs}");
+
+    // (d) non-robustness: zero counters with nonzero Gauge impact.
+    let violations: Vec<(String, f64)> = sub.x[member_row]
+        .iter()
+        .zip(&member_attr.values)
+        .enumerate()
+        .filter(|(_, (&x, &c))| x == 0.0 && c != 0.0)
+        .map(|(i, (_, &c))| (CounterId::from_index(i).name().to_string(), c))
+        .collect();
+    println!(
+        "\n(d) Gauge assigns impact to {} zero-valued counters of the member, e.g. {:?}",
+        violations.len(),
+        violations.first()
+    );
+
+    // AIIO on the same job: zero violations by construction.
+    let job_id = sub.job_ids[member_row];
+    let log = ctx.db.get(job_id).expect("job");
+    let aiio_report = Diagnoser::new(
+        ctx.service.zoo(),
+        FeaturePipeline::paper(),
+        DiagnosisConfig { merge: MergeMethod::Average, max_evals: 256, ..Default::default() },
+    )
+    .diagnose(log);
+    let aiio_violations = aiio_report
+        .merged
+        .values
+        .iter()
+        .zip(&sub.x[member_row])
+        .filter(|(&c, &x)| x == 0.0 && c != 0.0)
+        .count();
+    println!("AIIO on the same job assigns impact to {aiio_violations} zero counters (must be 0)");
+
+    write_json(
+        "fig1",
+        &Fig1 {
+            n_clusters: gauge.clustering.n_clusters,
+            n_noise: gauge.clustering.n_noise(),
+            cluster_size: cluster.members.len(),
+            average_abs_error: avg,
+            member_abs_errors: cluster.member_abs_errors.clone(),
+            max_over_average: max / avg.max(1e-12),
+            cluster_top_counters: cluster_top,
+            member_top_counters: member_top,
+            top_counter_differs: differs,
+            member_zero_counter_violations: violations,
+            aiio_zero_counter_violations: aiio_violations,
+        },
+    );
+}

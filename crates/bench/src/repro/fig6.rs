@@ -1,0 +1,89 @@
+//! Fig. 6: diagnosis results of the five models on one job (the paper uses
+//! `ior -r -t 1k -b 1m`, real performance 412 MiB/s), plus the merged
+//! (Average Method) diagnosis the paper shows in Fig. 8(a).
+//!
+//! Shape to reproduce: the five models rank bottlenecks differently; the
+//! Average merge surfaces `POSIX_SEEKS` as the dominant negative factor.
+
+use crate::{print_table, write_json, Context};
+use aiio::{DiagnosisConfig, Diagnoser, MergeMethod};
+use aiio_darshan::{CounterId, FeaturePipeline};
+use aiio_iosim::ior::table3;
+use aiio_iosim::{Simulator, StorageConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig6 {
+    real_performance_mib_s: f64,
+    per_model_predictions_mib_s: Vec<(String, f64)>,
+    per_model_top_negative: Vec<(String, Vec<(String, f64)>)>,
+    merged_top_negative: Vec<(String, f64)>,
+    merged_top_counter: String,
+}
+
+/// Regenerate Fig. 6 (and the merged view of Fig. 8(a)).
+pub fn run(ctx: &Context) {
+    println!("\n== Fig. 6: five-model diagnosis of one job (ior -r -t 1k -b 1m) ==");
+    let sim = Simulator::new(StorageConfig::cori_like_quiet());
+    let log = sim.simulate(&table3::fig8a().to_spec(), 600, 2022, 0);
+    println!("real performance: {:.2} MiB/s (paper: 412.70)", log.performance_mib_s());
+
+    let diagnoser = Diagnoser::new(
+        ctx.service.zoo(),
+        FeaturePipeline::paper(),
+        DiagnosisConfig { merge: MergeMethod::Average, max_evals: 1024, ..Default::default() },
+    );
+    let report = diagnoser.diagnose(&log);
+
+    let mut per_model_rows = Vec::new();
+    let mut per_model_json = Vec::new();
+    for (kind, attr) in &report.per_model {
+        let mut neg: Vec<(String, f64)> = attr
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v < 0.0)
+            .map(|(i, &v)| (CounterId::from_index(i).name().to_string(), v))
+            .collect();
+        neg.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        neg.truncate(3);
+        per_model_rows.push(vec![
+            kind.name().to_string(),
+            neg.first().map(|(n, v)| format!("{n} ({v:+.4})")).unwrap_or_default(),
+            neg.get(1).map(|(n, v)| format!("{n} ({v:+.4})")).unwrap_or_default(),
+            neg.get(2).map(|(n, v)| format!("{n} ({v:+.4})")).unwrap_or_default(),
+        ]);
+        per_model_json.push((kind.name().to_string(), neg));
+    }
+    print_table(&["model", "1st negative", "2nd negative", "3rd negative"], &per_model_rows);
+
+    println!("\nmerged (Average Method) — paper Fig. 8(a) flags POSIX_SEEKS first:");
+    for b in report.bottlenecks.iter().take(5) {
+        println!("  {:<28} {:+.4}", b.counter.name(), b.contribution);
+    }
+    let merged_top = report
+        .top_bottleneck()
+        .map(|c| c.name().to_string())
+        .unwrap_or_else(|| "none".into());
+    println!("merged top bottleneck: {merged_top}");
+
+    write_json(
+        "fig6",
+        &Fig6 {
+            real_performance_mib_s: log.performance_mib_s(),
+            per_model_predictions_mib_s: report
+                .predictions_mib_s
+                .iter()
+                .map(|(k, p)| (k.name().to_string(), *p))
+                .collect(),
+            per_model_top_negative: per_model_json,
+            merged_top_negative: report
+                .bottlenecks
+                .iter()
+                .take(8)
+                .map(|b| (b.counter.name().to_string(), b.contribution))
+                .collect(),
+            merged_top_counter: merged_top,
+        },
+    );
+}

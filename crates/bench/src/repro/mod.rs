@@ -1,0 +1,18 @@
+//! One module per regenerated table/figure. Each exposes `run(&Context)`
+//! (or `run()` for self-contained experiments), prints the regenerated
+//! rows next to the paper's numbers, and writes JSON under `results/`.
+
+pub mod ablation;
+pub mod apps;
+pub mod autotune;
+pub mod classification;
+pub mod fig1;
+pub mod fig16;
+pub mod fig4_5;
+pub mod fig6;
+pub mod fig7_12;
+pub mod importance;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod whatif;

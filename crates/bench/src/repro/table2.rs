@@ -1,0 +1,157 @@
+//! Table 2: RMSE of the prediction function and the diagnosis function for
+//! each of the five models plus the Closest and Average merge methods.
+//!
+//! Headline shapes to reproduce: the merged methods beat single models on
+//! prediction RMSE (paper: up to 3.11× better than the worst single model)
+//! and on diagnosis RMSE (paper: up to 2.19×).
+
+use crate::{print_table, write_json, Context};
+use aiio::merge::{average_weights, closest_model, merge_attributions_average};
+use aiio::{DiagnosisConfig, Diagnoser, MergeMethod};
+use aiio_darshan::FeaturePipeline;
+use aiio_explain::metrics::shap_rmse;
+use aiio_explain::Attribution;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table2 {
+    prediction_rmse: Vec<(String, f64)>,
+    prediction_closest: f64,
+    prediction_average: f64,
+    diagnosis_rmse: Vec<(String, f64)>,
+    diagnosis_closest: f64,
+    diagnosis_average: f64,
+    diagnosis_sample: usize,
+    paper: Vec<(String, f64, f64)>,
+}
+
+/// The paper's Table 2 values: (model, prediction RMSE, diagnosis RMSE).
+pub fn paper_values() -> Vec<(String, f64, f64)> {
+    vec![
+        ("CatBoost".into(), 0.2686, 0.2637),
+        ("LightGBM".into(), 0.2632, 0.2599),
+        ("XGBoost".into(), 0.5634, 0.2604),
+        ("MLP".into(), 0.5416, 0.4611),
+        ("TabNet".into(), 0.3078, 0.3077),
+        ("Closest Method".into(), 0.1860, 0.2130),
+        ("Average Method".into(), 0.2405, 0.2471),
+    ]
+}
+
+/// Regenerate Table 2.
+pub fn run(ctx: &Context) {
+    println!("\n== Table 2: prediction & diagnosis RMSE ==");
+    let (_, valid) = ctx.datasets();
+    let zoo = ctx.service.zoo();
+
+    // --- Prediction column ---------------------------------------------
+    let pred_rmse = zoo.rmse_per_model(&valid);
+    let pred_closest = zoo.rmse_closest(&valid);
+    let pred_average = zoo.rmse_average(&valid);
+
+    // --- Diagnosis column (Eq. 5 over a validation sample) --------------
+    let sample: usize = std::env::var("AIIO_BENCH_DIAG_SAMPLE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+        .min(valid.len());
+    let pipeline = FeaturePipeline::paper();
+    let diagnoser = Diagnoser::new(
+        zoo,
+        pipeline,
+        DiagnosisConfig { merge: MergeMethod::Average, max_evals: 512, ..Default::default() },
+    );
+
+    let n_models = zoo.len();
+    let mut per_model_attrs: Vec<Vec<Attribution>> = vec![Vec::new(); n_models];
+    let mut closest_attrs: Vec<Attribution> = Vec::new();
+    let mut average_attrs: Vec<Attribution> = Vec::new();
+    let mut y_true: Vec<f64> = Vec::new();
+
+    for i in 0..sample {
+        let job_id = valid.job_ids[i];
+        let log = ctx.db.get(job_id).expect("job in database");
+        let report = diagnoser.diagnose(log);
+        let tag = pipeline.tag_of(log);
+        y_true.push(tag);
+        // Per-model predictions in transformed space for the merges.
+        let preds: Vec<f64> = report
+            .predictions_mib_s
+            .iter()
+            .map(|(_, mib)| pipeline.transform_value(*mib))
+            .collect();
+        for (m, (_, attr)) in report.per_model.iter().enumerate() {
+            per_model_attrs[m].push(attr.clone());
+        }
+        let attrs: Vec<Attribution> = report.per_model.iter().map(|(_, a)| a.clone()).collect();
+        closest_attrs.push(attrs[closest_model(&preds, tag)].clone());
+        average_attrs.push(merge_attributions_average(&attrs, &average_weights(&preds, tag)));
+    }
+
+    let diag_rmse: Vec<(String, f64)> = zoo
+        .models()
+        .iter()
+        .enumerate()
+        .map(|(m, tm)| (tm.kind.name().to_string(), shap_rmse(&per_model_attrs[m], &y_true)))
+        .collect();
+    let diag_closest = shap_rmse(&closest_attrs, &y_true);
+    let diag_average = shap_rmse(&average_attrs, &y_true);
+
+    // --- Render ----------------------------------------------------------
+    let paper = paper_values();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for ((kind, p_rmse), (name, d_rmse)) in pred_rmse.iter().zip(&diag_rmse) {
+        let paper_row = paper.iter().find(|(n, _, _)| n == kind.name());
+        rows.push(vec![
+            name.clone(),
+            format!("{p_rmse:.4}"),
+            format!("{d_rmse:.4}"),
+            paper_row.map(|r| format!("{:.4}", r.1)).unwrap_or_default(),
+            paper_row.map(|r| format!("{:.4}", r.2)).unwrap_or_default(),
+        ]);
+    }
+    rows.push(vec![
+        "Closest Method".into(),
+        format!("{pred_closest:.4}"),
+        format!("{diag_closest:.4}"),
+        "0.1860".into(),
+        "0.2130".into(),
+    ]);
+    rows.push(vec![
+        "Average Method".into(),
+        format!("{pred_average:.4}"),
+        format!("{diag_average:.4}"),
+        "0.2405".into(),
+        "0.2471".into(),
+    ]);
+    print_table(
+        &["model", "pred RMSE", "diag RMSE", "paper pred", "paper diag"],
+        &rows,
+    );
+
+    let worst_pred = pred_rmse.iter().map(|(_, e)| *e).fold(0.0f64, f64::max);
+    let worst_diag = diag_rmse.iter().map(|(_, e)| *e).fold(0.0f64, f64::max);
+    println!(
+        "closest beats worst single model by {:.2}x on prediction (paper: up to 3.11x), \
+         {:.2}x on diagnosis (paper: up to 2.19x)",
+        worst_pred / pred_closest.max(1e-12),
+        worst_diag / diag_closest.max(1e-12),
+    );
+
+    write_json(
+        "table2",
+        &Table2 {
+            prediction_rmse: pred_rmse
+                .iter()
+                .map(|(k, e)| (k.name().to_string(), *e))
+                .collect(),
+            prediction_closest: pred_closest,
+            prediction_average: pred_average,
+            diagnosis_rmse: diag_rmse,
+            diagnosis_closest: diag_closest,
+            diagnosis_average: diag_average,
+            diagnosis_sample: sample,
+            paper,
+        },
+    );
+}

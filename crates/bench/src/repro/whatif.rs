@@ -1,0 +1,94 @@
+//! Extension experiment: counterfactual prediction vs simulation.
+//!
+//! Paper §3.2 claims the performance function "can be used to replace the
+//! simulation of expensive runs": change the counters, read off the
+//! predicted performance. Here the claim is tested — for the paper's write
+//! patterns the merged-writes counterfactual (`aiio::whatif`) is compared
+//! with the *actually simulated* tuned run, and for DASSA the merged-files
+//! counterfactual with its tuned run.
+
+use crate::{print_table, write_json, Context};
+use aiio::whatif::WhatIf;
+use aiio_darshan::CounterId;
+use aiio_iosim::apps::dassa;
+use aiio_iosim::ior::table3;
+use aiio_iosim::{Simulator, StorageConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct WhatIfRow {
+    workload: String,
+    counterfactual: String,
+    predicted_speedup: f64,
+    simulated_speedup: f64,
+    direction_correct: bool,
+}
+
+/// Run the counterfactual-vs-simulation comparison.
+pub fn run(ctx: &Context) {
+    println!("\n== Extension: counterfactual prediction vs simulation (paper §3.2) ==");
+    let wi = WhatIf::new(&ctx.service);
+    let quiet = StorageConfig::cori_like_quiet();
+    let sim = Simulator::new(quiet.clone());
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+
+    // Write patterns: merged-writes counterfactual vs the actual -t 1m run.
+    let tuned_write = sim.performance_of(&table3::fig7b().to_spec(), 0);
+    for (name, cfg) in [
+        ("fig7a small writes", table3::fig7a()),
+        ("fig9 strided writes", table3::fig9()),
+        ("fig11 random writes", table3::fig11()),
+    ] {
+        let log = sim.simulate(&cfg.to_spec(), 0, 2022, 0);
+        let p = wi.predict_merged_writes(&log);
+        let simulated = tuned_write / log.performance_mib_s();
+        push(&mut rows, &mut json, name, "merge writes to 1 MiB", p.predicted_speedup(), simulated);
+    }
+
+    // DASSA: merged-files counterfactual vs its tuned run.
+    {
+        let untuned = dassa(false, &quiet);
+        let tuned = dassa(true, &quiet);
+        let log = Simulator::new(untuned.storage.clone()).simulate(&untuned.spec, 1, 2022, 0);
+        let workers = log.counters.get(CounterId::Nprocs);
+        let p = wi.predict(&log, &[(CounterId::PosixOpens, workers * 2.0)]);
+        let simulated = Simulator::new(tuned.storage.clone()).performance_of(&tuned.spec, 0)
+            / log.performance_mib_s();
+        push(&mut rows, &mut json, "dassa many files", "merge files (2 opens/rank)", p.predicted_speedup(), simulated);
+    }
+
+    print_table(
+        &["workload", "counterfactual", "predicted", "simulated", "direction"],
+        &rows,
+    );
+    let correct = json.iter().filter(|r: &&WhatIfRow| r.direction_correct).count();
+    println!("direction correct for {correct}/{} counterfactuals", json.len());
+    write_json("whatif", &json);
+}
+
+fn push(
+    rows: &mut Vec<Vec<String>>,
+    json: &mut Vec<WhatIfRow>,
+    workload: &str,
+    counterfactual: &str,
+    predicted: f64,
+    simulated: f64,
+) {
+    let direction = (predicted > 1.0) == (simulated > 1.0);
+    rows.push(vec![
+        workload.to_string(),
+        counterfactual.to_string(),
+        format!("{predicted:.2}x"),
+        format!("{simulated:.2}x"),
+        if direction { "✓".into() } else { "✗".into() },
+    ]);
+    json.push(WhatIfRow {
+        workload: workload.into(),
+        counterfactual: counterfactual.into(),
+        predicted_speedup: predicted,
+        simulated_speedup: simulated,
+        direction_correct: direction,
+    });
+}

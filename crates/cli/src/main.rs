@@ -1,0 +1,26 @@
+//! `aiio` — command-line front-end for the AIIO reproduction.
+//!
+//! ```text
+//! aiio simulate "ior -w -t 1k -b 1m -Y" --out job.darshan.txt
+//! aiio sample   --jobs 2000 --seed 7 --out db.json
+//! aiio train    --db db.json --out model.json --fast
+//! aiio diagnose --model model.json --log job.darshan.txt
+//! ```
+//!
+//! The `diagnose` subcommand accepts either the darshan-parser text format
+//! (`.txt`, see `aiio-darshan::parser`) or a JSON `JobLog`.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

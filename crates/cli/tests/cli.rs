@@ -1,0 +1,200 @@
+//! End-to-end CLI tests: drive the real `aiio` binary through the full
+//! simulate → sample → train → diagnose workflow in a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn aiio() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aiio"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aiio_cli_test_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = aiio().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("diagnose"));
+    assert!(text.contains("simulate"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_message() {
+    let out = aiio().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn simulate_emits_parsable_darshan_text() {
+    let out = aiio().args(["simulate", "ior -w -t 1k -b 1m -Y"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total_POSIX_WRITES:"));
+    // And it round-trips through the parser.
+    let log = aiio_darshan::parse_text(&text).unwrap();
+    assert!(log.performance_mib_s() > 0.0);
+}
+
+#[test]
+fn simulate_rejects_bad_ior_lines() {
+    let out = aiio().args(["simulate", "ior -t 1k"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn full_workflow_sample_train_diagnose() {
+    let dir = tmpdir("workflow");
+    let db = dir.join("db.json");
+    let model = dir.join("model.json");
+    let log = dir.join("job.txt");
+
+    // sample
+    let out = aiio()
+        .args(["sample", "--jobs", "200", "--seed", "3", "--noise", "0", "--out"])
+        .arg(&db)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(db.exists());
+
+    // train (fast)
+    let out = aiio()
+        .args(["train", "--fast", "--db"])
+        .arg(&db)
+        .arg("--out")
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    // simulate an unseen job to a file
+    let out = aiio()
+        .args(["simulate", "ior -r -t 1k -b 1m", "--out"])
+        .arg(&log)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // diagnose it (text report)
+    let out = aiio()
+        .args(["diagnose", "--model"])
+        .arg(&model)
+        .arg("--log")
+        .arg(&log)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("AIIO diagnosis"));
+    assert!(text.contains("top bottlenecks"));
+
+    // diagnose as JSON
+    let out = aiio()
+        .args(["diagnose", "--json", "--model"])
+        .arg(&model)
+        .arg("--log")
+        .arg(&log)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let report: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON report");
+    assert!(report.get("bottlenecks").is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diagnose_accepts_json_joblog_too() {
+    let dir = tmpdir("jsonlog");
+    let db = dir.join("db.json");
+    let model = dir.join("model.json");
+    let log = dir.join("job.json");
+
+    assert!(aiio()
+        .args(["sample", "--jobs", "200", "--seed", "4", "--noise", "0", "--out"])
+        .arg(&db)
+        .status()
+        .unwrap()
+        .success());
+    assert!(aiio()
+        .args(["train", "--fast", "--db"])
+        .arg(&db)
+        .arg("--out")
+        .arg(&model)
+        .status()
+        .unwrap()
+        .success());
+    assert!(aiio()
+        .args(["simulate", "ior -w -t 1k -b 1m -Y", "--json", "--out"])
+        .arg(&log)
+        .status()
+        .unwrap()
+        .success());
+    let out = aiio()
+        .args(["diagnose", "--model"])
+        .arg(&model)
+        .arg("--log")
+        .arg(&log)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn train_rejects_tiny_databases() {
+    let dir = tmpdir("tinydb");
+    let db = dir.join("db.json");
+    assert!(aiio()
+        .args(["sample", "--jobs", "5", "--out"])
+        .arg(&db)
+        .status()
+        .unwrap()
+        .success());
+    let out = aiio()
+        .args(["train", "--db"])
+        .arg(&db)
+        .arg("--out")
+        .arg(dir.join("m.json"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least 20"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simulate_accepts_trace_files() {
+    let dir = tmpdir("trace");
+    let trace = dir.join("job.trace");
+    std::fs::write(
+        &trace,
+        "ranks 32\nopen 1\nwrite 2048 x512 consecutive fsync\n",
+    )
+    .unwrap();
+    let out = aiio().args(["simulate", "--trace"]).arg(&trace).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total_POSIX_WRITES: 16384")); // 32 ranks x 512
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simulate_trace_rejects_malformed_files() {
+    let dir = tmpdir("badtrace");
+    let trace = dir.join("bad.trace");
+    std::fs::write(&trace, "write 8 x8 consecutive\n").unwrap(); // no ranks header
+    let out = aiio().args(["simulate", "--trace"]).arg(&trace).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ranks"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,241 @@
+//! Agglomerative hierarchical clustering (bottom-up single/complete/average
+//! linkage) — the grouping method of Costa et al. (SC '21), the other
+//! group-level baseline family the paper cites (§2.2).
+//!
+//! Implementation: Lance–Williams updates over a dense distance matrix,
+//! O(n³) worst case and fine for the few-hundred-job groups these
+//! baselines operate on. The tree can be cut either at a distance
+//! threshold or at a target cluster count.
+
+use aiio_linalg::stats::euclidean;
+use serde::{Deserialize, Serialize};
+
+/// Linkage criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+/// One merge step of the dendrogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// Merged cluster ids (points are `0..n`; merges create `n`, `n+1`, …).
+    pub a: usize,
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Size of the merged cluster.
+    pub size: usize,
+}
+
+/// The fitted hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Agglomerative {
+    n_points: usize,
+    pub merges: Vec<Merge>,
+}
+
+impl Agglomerative {
+    /// Build the full dendrogram over `points`.
+    ///
+    /// # Panics
+    /// Panics on ragged input.
+    #[allow(clippy::needless_range_loop)] // symmetric distance-matrix updates use paired indices
+    pub fn fit(points: &[Vec<f64>], linkage: Linkage) -> Agglomerative {
+        let n = points.len();
+        if n <= 1 {
+            return Agglomerative { n_points: n, merges: vec![] };
+        }
+        let dims = points[0].len();
+        for p in points {
+            assert_eq!(p.len(), dims, "ragged input points");
+        }
+        // Active cluster list with Lance-Williams distance updates.
+        // dist[i][j] between active clusters i, j (by slot).
+        let mut ids: Vec<usize> = (0..n).collect();
+        let mut sizes: Vec<usize> = vec![1; n];
+        let mut dist: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| euclidean(&points[i], &points[j])).collect())
+            .collect();
+        let mut merges = Vec::with_capacity(n - 1);
+        let mut next_id = n;
+
+        while ids.len() > 1 {
+            // Find the closest active pair.
+            let (mut bi, mut bj, mut bd) = (0usize, 1usize, f64::INFINITY);
+            for i in 0..ids.len() {
+                for j in i + 1..ids.len() {
+                    if dist[i][j] < bd {
+                        bd = dist[i][j];
+                        bi = i;
+                        bj = j;
+                    }
+                }
+            }
+            let new_size = sizes[bi] + sizes[bj];
+            merges.push(Merge { a: ids[bi], b: ids[bj], distance: bd, size: new_size });
+
+            // Lance-Williams update of distances to the merged cluster,
+            // stored in slot bi; slot bj is removed.
+            for k in 0..ids.len() {
+                if k == bi || k == bj {
+                    continue;
+                }
+                let dik = dist[bi][k];
+                let djk = dist[bj][k];
+                let d = match linkage {
+                    Linkage::Single => dik.min(djk),
+                    Linkage::Complete => dik.max(djk),
+                    Linkage::Average => {
+                        (sizes[bi] as f64 * dik + sizes[bj] as f64 * djk) / new_size as f64
+                    }
+                };
+                dist[bi][k] = d;
+                dist[k][bi] = d;
+            }
+            ids[bi] = next_id;
+            sizes[bi] = new_size;
+            next_id += 1;
+            // Remove slot bj.
+            ids.remove(bj);
+            sizes.remove(bj);
+            dist.remove(bj);
+            for row in dist.iter_mut() {
+                row.remove(bj);
+            }
+        }
+        Agglomerative { n_points: n, merges }
+    }
+
+    /// Cut the dendrogram into exactly `k` clusters (1 ≤ k ≤ n). Returns
+    /// per-point labels `0..k`.
+    pub fn cut_k(&self, k: usize) -> Vec<usize> {
+        assert!(k >= 1 && k <= self.n_points.max(1), "k out of range");
+        // Apply the first n-k merges.
+        self.labels_after(self.n_points.saturating_sub(k))
+    }
+
+    /// Cut at a distance threshold: apply every merge with
+    /// `distance <= threshold`.
+    pub fn cut_distance(&self, threshold: f64) -> Vec<usize> {
+        let applied = self.merges.iter().take_while(|m| m.distance <= threshold).count();
+        self.labels_after(applied)
+    }
+
+    fn labels_after(&self, n_merges: usize) -> Vec<usize> {
+        let n = self.n_points;
+        let total = n + self.merges.len();
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (i, m) in self.merges.iter().take(n_merges).enumerate() {
+            let node = n + i;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = node;
+            parent[rb] = node;
+        }
+        // Relabel roots densely.
+        let mut label_of = std::collections::HashMap::new();
+        (0..n)
+            .map(|p| {
+                let root = find(&mut parent, p);
+                let next = label_of.len();
+                *label_of.entry(root).or_insert(next)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![i as f64 * 0.01, 0.0]);
+            pts.push(vec![100.0 + i as f64 * 0.01, 0.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn cut_k2_separates_blobs_for_all_linkages() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let h = Agglomerative::fit(&two_blobs(), linkage);
+            let labels = h.cut_k(2);
+            // Even indices are blob A, odd are blob B.
+            let a = labels[0];
+            let b = labels[1];
+            assert_ne!(a, b, "{linkage:?}");
+            for (i, &l) in labels.iter().enumerate() {
+                assert_eq!(l, if i % 2 == 0 { a } else { b }, "{linkage:?} point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_distances_are_monotone_for_single_and_complete() {
+        // Single/complete linkage produce monotone dendrograms.
+        for linkage in [Linkage::Single, Linkage::Complete] {
+            let h = Agglomerative::fit(&two_blobs(), linkage);
+            for w in h.merges.windows(2) {
+                assert!(
+                    w[1].distance >= w[0].distance - 1e-12,
+                    "{linkage:?}: {} then {}",
+                    w[0].distance,
+                    w[1].distance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cut_distance_matches_expected_granularity() {
+        let h = Agglomerative::fit(&two_blobs(), Linkage::Single);
+        // Threshold below the inter-blob gap: 2 clusters.
+        let labels = h.cut_distance(1.0);
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), 2);
+        // Threshold above everything: 1 cluster.
+        let labels = h.cut_distance(1e9);
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), 1);
+        // Threshold below everything: n clusters.
+        let labels = h.cut_distance(-1.0);
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), 20);
+    }
+
+    #[test]
+    fn full_cut_yields_singletons_and_k1_yields_everything() {
+        let pts = two_blobs();
+        let h = Agglomerative::fit(&pts, Linkage::Average);
+        assert_eq!(h.merges.len(), pts.len() - 1);
+        let labels = h.cut_k(pts.len());
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), pts.len());
+        let labels = h.cut_k(1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let h = Agglomerative::fit(&[], Linkage::Single);
+        assert!(h.merges.is_empty());
+        let h = Agglomerative::fit(&[vec![1.0]], Linkage::Single);
+        assert!(h.merges.is_empty());
+        assert_eq!(h.cut_k(1), vec![0]);
+    }
+}

@@ -1,0 +1,402 @@
+//! HDBSCAN (Campello, Moulavi & Sander, 2013; McInnes & Healy's reference
+//! implementation structure).
+//!
+//! Pipeline: core distances (k-NN) → mutual-reachability graph → minimum
+//! spanning tree (Prim, dense O(n²)) → single-linkage hierarchy → condensed
+//! tree (clusters below `min_cluster_size` fall out as noise) →
+//! excess-of-mass (EOM) stability extraction.
+
+use aiio_linalg::stats::euclidean;
+use serde::{Deserialize, Serialize};
+
+/// Label assigned to noise points.
+pub const NOISE: i32 = -1;
+
+/// HDBSCAN parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HdbscanConfig {
+    /// Minimum cluster size (smaller groups are noise).
+    pub min_cluster_size: usize,
+    /// Neighbours used for the core distance (defaults to
+    /// `min_cluster_size` when 0).
+    pub min_samples: usize,
+}
+
+impl Default for HdbscanConfig {
+    fn default() -> Self {
+        Self { min_cluster_size: 8, min_samples: 0 }
+    }
+}
+
+/// Fitted clustering result.
+///
+/// ```
+/// use aiio_cluster::{Hdbscan, HdbscanConfig};
+/// let mut pts: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.01, 0.0]).collect();
+/// pts.extend((0..20).map(|i| vec![50.0 + i as f64 * 0.01, 0.0]));
+/// let h = Hdbscan::fit(&pts, &HdbscanConfig { min_cluster_size: 5, min_samples: 5 });
+/// assert_eq!(h.n_clusters, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hdbscan {
+    /// Per-point labels: `0..n_clusters` or [`NOISE`].
+    pub labels: Vec<i32>,
+    /// Number of extracted clusters.
+    pub n_clusters: usize,
+}
+
+impl Hdbscan {
+    /// Cluster `points` (row-major feature vectors).
+    ///
+    /// # Panics
+    /// Panics on ragged input or `min_cluster_size < 2`.
+    #[allow(clippy::needless_range_loop, clippy::explicit_counter_loop)] // dense index math over the MST/dendrogram arrays
+    pub fn fit(points: &[Vec<f64>], config: &HdbscanConfig) -> Hdbscan {
+        assert!(config.min_cluster_size >= 2, "min_cluster_size must be >= 2");
+        let n = points.len();
+        if n == 0 {
+            return Hdbscan { labels: vec![], n_clusters: 0 };
+        }
+        if n < config.min_cluster_size {
+            return Hdbscan { labels: vec![NOISE; n], n_clusters: 0 };
+        }
+        let min_samples = if config.min_samples == 0 {
+            config.min_cluster_size
+        } else {
+            config.min_samples
+        }
+        .min(n - 1)
+        .max(1);
+
+        // 1. Pairwise distances + core distances.
+        let dims = points[0].len();
+        for p in points {
+            assert_eq!(p.len(), dims, "ragged input points");
+        }
+        let dist = |a: usize, b: usize| euclidean(&points[a], &points[b]);
+        let mut core = vec![0.0f64; n];
+        let mut scratch: Vec<f64> = Vec::with_capacity(n - 1);
+        for i in 0..n {
+            scratch.clear();
+            for j in 0..n {
+                if i != j {
+                    scratch.push(dist(i, j));
+                }
+            }
+            scratch.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            core[i] = scratch[min_samples - 1];
+        }
+        let mreach = |a: usize, b: usize| dist(a, b).max(core[a]).max(core[b]);
+
+        // 2. MST over mutual reachability (Prim, dense).
+        let mut in_tree = vec![false; n];
+        let mut best = vec![f64::INFINITY; n];
+        let mut best_from = vec![0usize; n];
+        let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(n - 1);
+        in_tree[0] = true;
+        for j in 1..n {
+            best[j] = mreach(0, j);
+            best_from[j] = 0;
+        }
+        for _ in 1..n {
+            let mut pick = usize::MAX;
+            let mut pick_d = f64::INFINITY;
+            for j in 0..n {
+                if !in_tree[j] && best[j] < pick_d {
+                    pick_d = best[j];
+                    pick = j;
+                }
+            }
+            in_tree[pick] = true;
+            edges.push((pick_d, best_from[pick], pick));
+            for j in 0..n {
+                if !in_tree[j] {
+                    let d = mreach(pick, j);
+                    if d < best[j] {
+                        best[j] = d;
+                        best_from[j] = pick;
+                    }
+                }
+            }
+        }
+        edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+        // 3. Single-linkage dendrogram via union-find. Nodes 0..n are
+        // points; nodes n..2n-1 are merges.
+        let total = 2 * n - 1;
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        // merge node -> (left child, right child, distance, size)
+        let mut merges: Vec<(usize, usize, f64, usize)> = Vec::with_capacity(n - 1);
+        let mut size = vec![1usize; total];
+        let mut next = n;
+        for (d, a, b) in edges {
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            debug_assert_ne!(ra, rb);
+            merges.push((ra, rb, d, size[ra] + size[rb]));
+            size[next] = size[ra] + size[rb];
+            parent[ra] = next;
+            parent[rb] = next;
+            next += 1;
+        }
+
+        // 4. Condensed tree. Walk from the root; a child with fewer than
+        // min_cluster_size points "falls out" of its parent cluster at the
+        // merge's lambda = 1/distance.
+        // Condensed clusters are identified by ids; cluster 0 is the root.
+        #[derive(Debug, Clone, Default)]
+        struct Cluster {
+            birth_lambda: f64,
+            stability: f64,
+            children: Vec<usize>,
+            points: Vec<usize>, // points that fall out of this cluster (with their lambda)
+            point_lambdas: Vec<f64>,
+        }
+        let mut clusters: Vec<Cluster> = vec![Cluster::default()];
+        // Stack of (dendrogram node, condensed cluster id).
+        let root_node = total - 1;
+        let mut stack = vec![(root_node, 0usize)];
+        let node_info = |i: usize| -> Option<&(usize, usize, f64, usize)> {
+            if i >= n {
+                Some(&merges[i - n])
+            } else {
+                None
+            }
+        };
+        while let Some((node, cid)) = stack.pop() {
+            let Some(&(l, r, d, _sz)) = node_info(node) else {
+                // Single dendrogram leaf: only reachable when
+                // min_cluster_size == 1, which the constructor forbids; a
+                // lone point simply stays in its cluster until it dies.
+                clusters[cid].points.push(node);
+                clusters[cid].point_lambdas.push(0.0);
+                continue;
+            };
+            // Duplicate points give d == 0; clamp so lambdas stay finite.
+            let lambda = 1.0 / d.max(1e-12);
+            let size_of = |x: usize| if x < n { 1 } else { merges[x - n].3 };
+            let (sl, sr) = (size_of(l), size_of(r));
+            let big_l = sl >= config.min_cluster_size;
+            let big_r = sr >= config.min_cluster_size;
+            match (big_l, big_r) {
+                (true, true) => {
+                    // True split: everything below leaves `cid` here, so
+                    // its excess of mass grows by (points below) * (lambda
+                    // - birth); two new clusters are born at this lambda.
+                    let below = (sl + sr) as f64;
+                    let birth = clusters[cid].birth_lambda;
+                    clusters[cid].stability += below * (lambda - birth);
+                    for child in [l, r] {
+                        let new_id = clusters.len();
+                        clusters.push(Cluster {
+                            birth_lambda: lambda,
+                            ..Cluster::default()
+                        });
+                        clusters[cid].children.push(new_id);
+                        stack.push((child, new_id));
+                    }
+                }
+                (true, false) => {
+                    // Small side falls out as points of cid at this lambda.
+                    let c = &mut clusters[cid];
+                    c.stability += sr as f64 * (lambda - c.birth_lambda);
+                    collect_points(r, n, &merges, &mut c.points, &mut c.point_lambdas, lambda);
+                    stack.push((l, cid));
+                }
+                (false, true) => {
+                    let c = &mut clusters[cid];
+                    c.stability += sl as f64 * (lambda - c.birth_lambda);
+                    collect_points(l, n, &merges, &mut c.points, &mut c.point_lambdas, lambda);
+                    stack.push((r, cid));
+                }
+                (false, false) => {
+                    let c = &mut clusters[cid];
+                    c.stability += (sl + sr) as f64 * (lambda - c.birth_lambda);
+                    collect_points(l, n, &merges, &mut c.points, &mut c.point_lambdas, lambda);
+                    collect_points(r, n, &merges, &mut c.points, &mut c.point_lambdas, lambda);
+                }
+            }
+        }
+
+        // 5. Stability was accumulated incrementally above: every point
+        // contributes (lambda at which it left the cluster - birth lambda),
+        // whether it fell out as noise or left via a split.
+
+        // 6. EOM selection bottom-up: if children's total stability exceeds
+        // the cluster's own, prefer the children.
+        let n_clusters_total = clusters.len();
+        let mut selected = vec![false; n_clusters_total];
+        let mut subtree_stability = vec![0.0; n_clusters_total];
+        // Process deepest-first (children always have higher ids).
+        for cid in (0..n_clusters_total).rev() {
+            let child_sum: f64 = clusters[cid].children.iter().map(|&c| subtree_stability[c]).sum();
+            // The root is never selected when it has children — that would
+            // declare the whole dataset one cluster with no density
+            // evidence — so its children always propagate through it.
+            let root_with_children = cid == 0 && !clusters[cid].children.is_empty();
+            if !root_with_children
+                && (clusters[cid].children.is_empty() || clusters[cid].stability >= child_sum)
+            {
+                subtree_stability[cid] = clusters[cid].stability;
+                selected[cid] = true;
+                // Deselect descendants.
+                let mut st = clusters[cid].children.clone();
+                while let Some(c) = st.pop() {
+                    selected[c] = false;
+                    st.extend(clusters[c].children.iter().copied());
+                }
+            } else {
+                subtree_stability[cid] = child_sum;
+                selected[cid] = false;
+            }
+        }
+
+        // 7. Labels: points of selected clusters (and their descendants'
+        // points) get the cluster's label.
+        let mut labels = vec![NOISE; n];
+        let mut n_out = 0usize;
+        for cid in 0..n_clusters_total {
+            if !selected[cid] {
+                continue;
+            }
+            let label = n_out as i32;
+            n_out += 1;
+            let mut st = vec![cid];
+            while let Some(c) = st.pop() {
+                for &p in &clusters[c].points {
+                    labels[p] = label;
+                }
+                st.extend(clusters[c].children.iter().copied());
+            }
+        }
+        Hdbscan { labels, n_clusters: n_out }
+    }
+
+    /// Members of cluster `label`.
+    pub fn members(&self, label: i32) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == label)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of noise points.
+    pub fn n_noise(&self) -> usize {
+        self.labels.iter().filter(|&&l| l == NOISE).count()
+    }
+}
+
+/// Push every point under dendrogram node `node` into the point/lambda
+/// lists of one condensed cluster.
+fn collect_points(
+    node: usize,
+    n: usize,
+    merges: &[(usize, usize, f64, usize)],
+    points: &mut Vec<usize>,
+    point_lambdas: &mut Vec<f64>,
+    lambda: f64,
+) {
+    let mut stack = vec![node];
+    while let Some(x) = stack.pop() {
+        if x < n {
+            points.push(x);
+            point_lambdas.push(lambda);
+        } else {
+            let (l, r, _, _) = merges[x - n];
+            stack.push(l);
+            stack.push(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn blobs(centers: &[(f64, f64)], per: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..per {
+                pts.push(vec![
+                    cx + rng.gen_range(-spread..spread),
+                    cy + rng.gen_range(-spread..spread),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = blobs(&[(0.0, 0.0), (10.0, 10.0)], 30, 0.5, 1);
+        let h = Hdbscan::fit(&pts, &HdbscanConfig { min_cluster_size: 5, min_samples: 5 });
+        assert_eq!(h.n_clusters, 2, "labels: {:?}", h.labels);
+        // Points within a blob share a label.
+        let l0 = h.labels[0];
+        assert!(h.labels[..30].iter().all(|&l| l == l0));
+        let l1 = h.labels[30];
+        assert!(h.labels[30..].iter().all(|&l| l == l1));
+        assert_ne!(l0, l1);
+    }
+
+    #[test]
+    fn far_outliers_are_noise() {
+        let mut pts = blobs(&[(0.0, 0.0), (10.0, 10.0)], 25, 0.4, 2);
+        pts.push(vec![100.0, -100.0]);
+        pts.push(vec![-100.0, 100.0]);
+        let h = Hdbscan::fit(&pts, &HdbscanConfig { min_cluster_size: 5, min_samples: 5 });
+        assert_eq!(h.labels[50], NOISE);
+        assert_eq!(h.labels[51], NOISE);
+        assert_eq!(h.n_noise(), 2);
+        assert_eq!(h.n_clusters, 2);
+    }
+
+    #[test]
+    fn three_blobs_three_clusters() {
+        let pts = blobs(&[(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)], 20, 0.6, 3);
+        let h = Hdbscan::fit(&pts, &HdbscanConfig { min_cluster_size: 6, min_samples: 4 });
+        assert_eq!(h.n_clusters, 3, "labels: {:?}", h.labels);
+    }
+
+    #[test]
+    fn tiny_input_is_all_noise() {
+        let pts = blobs(&[(0.0, 0.0)], 3, 0.1, 4);
+        let h = Hdbscan::fit(&pts, &HdbscanConfig { min_cluster_size: 8, min_samples: 4 });
+        assert_eq!(h.n_clusters, 0);
+        assert!(h.labels.iter().all(|&l| l == NOISE));
+    }
+
+    #[test]
+    fn empty_input() {
+        let h = Hdbscan::fit(&[], &HdbscanConfig::default());
+        assert!(h.labels.is_empty());
+        assert_eq!(h.n_clusters, 0);
+    }
+
+    #[test]
+    fn members_returns_cluster_indices() {
+        let pts = blobs(&[(0.0, 0.0), (10.0, 10.0)], 10, 0.3, 5);
+        let h = Hdbscan::fit(&pts, &HdbscanConfig { min_cluster_size: 4, min_samples: 3 });
+        let total: usize = (0..h.n_clusters as i32).map(|l| h.members(l).len()).sum();
+        assert_eq!(total + h.n_noise(), pts.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = blobs(&[(0.0, 0.0), (8.0, 8.0)], 15, 0.5, 6);
+        let cfg = HdbscanConfig { min_cluster_size: 5, min_samples: 5 };
+        assert_eq!(Hdbscan::fit(&pts, &cfg), Hdbscan::fit(&pts, &cfg));
+    }
+}

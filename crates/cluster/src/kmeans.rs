@@ -1,0 +1,168 @@
+//! Lloyd's k-means with k-means++ seeding.
+
+use aiio_linalg::stats::sq_euclidean;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// k-means parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    pub k: usize,
+    pub max_iters: usize,
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self { k: 8, max_iters: 100, seed: 0 }
+    }
+}
+
+/// Fitted k-means model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    pub centers: Vec<Vec<f64>>,
+    pub labels: Vec<usize>,
+    pub inertia: f64,
+}
+
+impl KMeans {
+    /// Fit on `points`.
+    ///
+    /// # Panics
+    /// Panics if `k` is 0 or exceeds the number of points.
+    pub fn fit(points: &[Vec<f64>], config: &KMeansConfig) -> KMeans {
+        let k = config.k;
+        assert!(k >= 1, "k must be at least 1");
+        assert!(k <= points.len(), "k exceeds number of points");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+        // k-means++ seeding.
+        let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centers.push(points[rng.gen_range(0..points.len())].clone());
+        let mut d2: Vec<f64> = points.iter().map(|p| sq_euclidean(p, &centers[0])).collect();
+        while centers.len() < k {
+            let total: f64 = d2.iter().sum();
+            let next = if total <= 0.0 {
+                rng.gen_range(0..points.len())
+            } else {
+                let mut pick = rng.gen_range(0.0..total);
+                let mut idx = points.len() - 1;
+                for (i, &d) in d2.iter().enumerate() {
+                    if pick < d {
+                        idx = i;
+                        break;
+                    }
+                    pick -= d;
+                }
+                idx
+            };
+            centers.push(points[next].clone());
+            for (d, p) in d2.iter_mut().zip(points) {
+                *d = d.min(sq_euclidean(p, centers.last().unwrap()));
+            }
+        }
+
+        // Lloyd iterations.
+        let mut labels = vec![0usize; points.len()];
+        for _ in 0..config.max_iters {
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let best = (0..k)
+                    .min_by(|&a, &b| {
+                        sq_euclidean(p, &centers[a])
+                            .partial_cmp(&sq_euclidean(p, &centers[b]))
+                            .unwrap()
+                    })
+                    .unwrap();
+                if labels[i] != best {
+                    labels[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            let dims = points[0].len();
+            let mut sums = vec![vec![0.0; dims]; k];
+            let mut counts = vec![0usize; k];
+            for (p, &l) in points.iter().zip(&labels) {
+                counts[l] += 1;
+                for (s, v) in sums[l].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, &count)) in centers.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    *c = sum.iter().map(|s| s / count as f64).collect();
+                }
+            }
+        }
+        let inertia = points.iter().zip(&labels).map(|(p, &l)| sq_euclidean(p, &centers[l])).sum();
+        KMeans { centers, labels, inertia }
+    }
+
+    /// Nearest-center label of a new point.
+    pub fn predict(&self, p: &[f64]) -> usize {
+        (0..self.centers.len())
+            .min_by(|&a, &b| {
+                sq_euclidean(p, &self.centers[a])
+                    .partial_cmp(&sq_euclidean(p, &self.centers[b]))
+                    .unwrap()
+            })
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![0.0 + (i % 5) as f64 * 0.01, 0.0]);
+            pts.push(vec![10.0 + (i % 5) as f64 * 0.01, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_two_centers() {
+        let m = KMeans::fit(&blobs(), &KMeansConfig { k: 2, max_iters: 50, seed: 1 });
+        let mut cx: Vec<f64> = m.centers.iter().map(|c| c[0]).collect();
+        cx.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((cx[0] - 0.02).abs() < 0.5, "{cx:?}");
+        assert!((cx[1] - 10.02).abs() < 0.5, "{cx:?}");
+    }
+
+    #[test]
+    fn predict_assigns_to_nearest() {
+        let m = KMeans::fit(&blobs(), &KMeansConfig { k: 2, max_iters: 50, seed: 1 });
+        let l0 = m.predict(&[0.5, 0.5]);
+        let l1 = m.predict(&[9.5, 9.5]);
+        assert_ne!(l0, l1);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let pts = blobs();
+        let i1 = KMeans::fit(&pts, &KMeansConfig { k: 1, max_iters: 50, seed: 1 }).inertia;
+        let i2 = KMeans::fit(&pts, &KMeansConfig { k: 2, max_iters: 50, seed: 1 }).inertia;
+        assert!(i2 < i1 * 0.1, "i1={i1} i2={i2}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = blobs();
+        let cfg = KMeansConfig { k: 3, max_iters: 50, seed: 7 };
+        assert_eq!(KMeans::fit(&pts, &cfg), KMeans::fit(&pts, &cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "k exceeds")]
+    fn k_larger_than_points_rejected() {
+        let _ = KMeans::fit(&[vec![0.0]], &KMeansConfig { k: 2, max_iters: 1, seed: 0 });
+    }
+}

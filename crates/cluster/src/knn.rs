@@ -1,0 +1,105 @@
+//! k-nearest-neighbour classification and regression.
+//!
+//! The paper's related work (Bang et al., 2021) groups I/O logs with KNN;
+//! AIIO's critique of the group-level approach includes the error rate of
+//! classifying an unseen job into an existing group — which this model
+//! makes measurable.
+
+use aiio_linalg::stats::sq_euclidean;
+use serde::{Deserialize, Serialize};
+
+/// A fitted (memorised) KNN model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Knn {
+    k: usize,
+    points: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl Knn {
+    /// Memorise the training set.
+    ///
+    /// # Panics
+    /// Panics if `k` is 0, inputs are empty, or lengths mismatch.
+    pub fn fit(k: usize, points: Vec<Vec<f64>>, targets: Vec<f64>) -> Knn {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(!points.is_empty(), "empty training set");
+        assert_eq!(points.len(), targets.len(), "points/targets length mismatch");
+        Knn { k, points, targets }
+    }
+
+    /// Indices of the k nearest training points.
+    pub fn neighbors(&self, x: &[f64]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.points.len()).collect();
+        idx.sort_by(|&a, &b| {
+            sq_euclidean(x, &self.points[a])
+                .partial_cmp(&sq_euclidean(x, &self.points[b]))
+                .unwrap()
+        });
+        idx.truncate(self.k);
+        idx
+    }
+
+    /// Regression: mean target of the k nearest neighbours.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let nn = self.neighbors(x);
+        nn.iter().map(|&i| self.targets[i]).sum::<f64>() / nn.len() as f64
+    }
+
+    /// Classification: majority (rounded) target among the k nearest; ties
+    /// break toward the smaller label.
+    pub fn classify(&self, x: &[f64]) -> i64 {
+        let nn = self.neighbors(x);
+        let mut counts: std::collections::BTreeMap<i64, usize> = Default::default();
+        for &i in &nn {
+            *counts.entry(self.targets[i].round() as i64).or_insert(0) += 1;
+        }
+        counts.into_iter().max_by_key(|&(label, c)| (c, std::cmp::Reverse(label))).unwrap().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Two labeled regions: x < 5 -> 0, x >= 5 -> 1.
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let t: Vec<f64> = (0..10).map(|i| if i < 5 { 0.0 } else { 1.0 }).collect();
+        (pts, t)
+    }
+
+    #[test]
+    fn classifies_by_neighbourhood() {
+        let (p, t) = grid();
+        let knn = Knn::fit(3, p, t);
+        assert_eq!(knn.classify(&[1.0]), 0);
+        assert_eq!(knn.classify(&[8.0]), 1);
+    }
+
+    #[test]
+    fn regression_is_local_mean() {
+        let (p, t) = grid();
+        let knn = Knn::fit(2, p, t);
+        assert_eq!(knn.predict(&[0.0]), 0.0);
+        assert_eq!(knn.predict(&[9.0]), 1.0);
+        // At the boundary the mean mixes.
+        let mid = knn.predict(&[4.6]);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_distance() {
+        let (p, t) = grid();
+        let knn = Knn::fit(3, p, t);
+        let nn = knn.neighbors(&[3.2]);
+        assert_eq!(nn[0], 3);
+        assert_eq!(nn.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_rejected() {
+        let _ = Knn::fit(1, vec![vec![0.0]], vec![]);
+    }
+}

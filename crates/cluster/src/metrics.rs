@@ -1,0 +1,176 @@
+//! Clustering quality metrics: silhouette scores and the adjusted Rand
+//! index, used to judge the group-level baselines' clusterings.
+
+use aiio_linalg::stats::euclidean;
+
+/// Mean silhouette coefficient over all clustered points
+/// (Rousseeuw, 1987). Noise points (label < 0) are excluded. Returns 0 when
+/// fewer than two clusters are present.
+///
+/// # Panics
+/// Panics when `points` and `labels` differ in length.
+pub fn silhouette_score(points: &[Vec<f64>], labels: &[i32]) -> f64 {
+    assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
+    let clusters: std::collections::BTreeSet<i32> =
+        labels.iter().copied().filter(|&l| l >= 0).collect();
+    if clusters.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (i, (p, &l)) in points.iter().zip(labels).enumerate() {
+        if l < 0 {
+            continue;
+        }
+        // a = mean distance to own cluster; b = min mean distance to others.
+        let mut own_sum = 0.0;
+        let mut own_n = 0usize;
+        let mut other: std::collections::BTreeMap<i32, (f64, usize)> = Default::default();
+        for (j, (q, &m)) in points.iter().zip(labels).enumerate() {
+            if i == j || m < 0 {
+                continue;
+            }
+            let d = euclidean(p, q);
+            if m == l {
+                own_sum += d;
+                own_n += 1;
+            } else {
+                let e = other.entry(m).or_insert((0.0, 0));
+                e.0 += d;
+                e.1 += 1;
+            }
+        }
+        if own_n == 0 {
+            // Singleton cluster: silhouette defined as 0.
+            n += 1;
+            continue;
+        }
+        let a = own_sum / own_n as f64;
+        let b = other
+            .values()
+            .map(|(s, c)| s / *c as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Adjusted Rand index between two labelings (chance-corrected agreement;
+/// 1 = identical partitions, ~0 = random).
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn adjusted_rand_index(a: &[i32], b: &[i32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings differ in length");
+    assert!(!a.is_empty(), "empty labelings");
+    let n = a.len();
+    // Contingency table.
+    let mut table: std::collections::BTreeMap<(i32, i32), u64> = Default::default();
+    let mut rows: std::collections::BTreeMap<i32, u64> = Default::default();
+    let mut cols: std::collections::BTreeMap<i32, u64> = Default::default();
+    for (&x, &y) in a.iter().zip(b) {
+        *table.entry((x, y)).or_insert(0) += 1;
+        *rows.entry(x).or_insert(0) += 1;
+        *cols.entry(y).or_insert(0) += 1;
+    }
+    let c2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let sum_ij: f64 = table.values().map(|&v| c2(v)).sum();
+    let sum_a: f64 = rows.values().map(|&v| c2(v)).sum();
+    let sum_b: f64 = cols.values().map(|&v| c2(v)).sum();
+    let total = c2(n as u64);
+    let expected = sum_a * sum_b / total;
+    let max = (sum_a + sum_b) / 2.0;
+    if (max - expected).abs() < 1e-12 {
+        return 1.0; // both partitions trivial
+    }
+    (sum_ij - expected) / (max - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<i32>) {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![i as f64 * 0.1, 0.0]);
+            labels.push(0);
+            pts.push(vec![100.0 + i as f64 * 0.1, 0.0]);
+            labels.push(1);
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let (pts, labels) = blobs();
+        let s = silhouette_score(&pts, &labels);
+        assert!(s > 0.95, "silhouette {s}");
+    }
+
+    #[test]
+    fn shuffled_labels_score_low() {
+        let (pts, mut labels) = blobs();
+        // Alternate labels across both blobs: terrible clustering.
+        for (i, l) in labels.iter_mut().enumerate() {
+            *l = (i % 2) as i32;
+        }
+        // Every point's own cluster spans both blobs.
+        let mixed: Vec<i32> = (0..pts.len()).map(|i| (i / 10 % 2) as i32).collect();
+        let s = silhouette_score(&pts, &mixed);
+        assert!(s < 0.5, "silhouette {s}");
+    }
+
+    #[test]
+    fn noise_points_excluded() {
+        let (mut pts, mut labels) = blobs();
+        pts.push(vec![1e6, 1e6]);
+        labels.push(-1);
+        let s = silhouette_score(&pts, &labels);
+        assert!(s > 0.95);
+    }
+
+    #[test]
+    fn single_cluster_scores_zero() {
+        let (pts, _) = blobs();
+        assert_eq!(silhouette_score(&pts, &vec![0; pts.len()]), 0.0);
+    }
+
+    #[test]
+    fn ari_identical_partitions() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        // Relabeling does not matter.
+        let b = vec![5, 5, 9, 9, 7, 7];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_random_partitions_near_zero() {
+        // Independent partitions: `a` cycles with period 4, `b` changes
+        // every 4 points, so each b-block holds every a-label once.
+        let a: Vec<i32> = (0..200).map(|i| (i % 4) as i32).collect();
+        let b: Vec<i32> = (0..200).map(|i| ((i / 4) % 4) as i32).collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.1, "ARI {ari}");
+    }
+
+    #[test]
+    fn hdbscan_clustering_scores_well_on_blobs() {
+        use crate::hdbscan::{Hdbscan, HdbscanConfig};
+        let (pts, truth) = blobs();
+        let h = Hdbscan::fit(&pts, &HdbscanConfig { min_cluster_size: 4, min_samples: 3 });
+        let s = silhouette_score(&pts, &h.labels);
+        assert!(s > 0.9, "silhouette {s}");
+        let ari = adjusted_rand_index(&h.labels, &truth);
+        assert!(ari > 0.95, "ARI {ari}");
+    }
+}

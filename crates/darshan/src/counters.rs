@@ -1,0 +1,476 @@
+//! The POSIX/Lustre I/O counters of the paper's Table 4.
+//!
+//! The paper's prose says 45 counters; its Table 4 enumerates 46. We
+//! implement every row of Table 4 (46 features) and note the off-by-one as a
+//! paper inconsistency (see DESIGN.md).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of feature counters (every row of the paper's Table 4).
+pub const N_COUNTERS: usize = 46;
+
+/// Identifier for one Darshan I/O counter.
+///
+/// The discriminant is the feature-vector index, so `CounterId as usize` is
+/// the column of this counter in every dataset built by this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(usize)]
+#[allow(non_camel_case_types)] // size-bucket variants mirror Darshan's 1K_10K naming
+pub enum CounterId {
+    /// Count of MPI ranks in the job.
+    Nprocs = 0,
+    /// Lustre stripe size in bytes.
+    LustreStripeSize = 1,
+    /// Count of Lustre OSTs the file is striped over.
+    LustreStripeWidth = 2,
+    /// Count of POSIX `open` calls.
+    PosixOpens = 3,
+    /// Count of POSIX `fileno` operations.
+    PosixFilenos = 4,
+    /// Memory alignment size in bytes.
+    PosixMemAlignment = 5,
+    /// File alignment size in bytes (the Lustre stripe size in practice).
+    PosixFileAlignment = 6,
+    /// Count of accesses not aligned in memory.
+    PosixMemNotAligned = 7,
+    /// Count of accesses not aligned in file.
+    PosixFileNotAligned = 8,
+    /// Count of POSIX reads.
+    PosixReads = 9,
+    /// Count of POSIX writes.
+    PosixWrites = 10,
+    /// Count of POSIX seeks.
+    PosixSeeks = 11,
+    /// Count of `stat`/`lstat`/`fstat` calls.
+    PosixStats = 12,
+    /// Total bytes read.
+    PosixBytesRead = 13,
+    /// Total bytes written.
+    PosixBytesWritten = 14,
+    /// Count of consecutive reads (offset exactly follows previous access).
+    PosixConsecReads = 15,
+    /// Count of consecutive writes.
+    PosixConsecWrites = 16,
+    /// Count of sequential reads (offset greater than previous access).
+    PosixSeqReads = 17,
+    /// Count of sequential writes.
+    PosixSeqWrites = 18,
+    /// Count of switches between read and write.
+    PosixRwSwitches = 19,
+    /// Reads of size 0–100 B.
+    PosixSizeRead0_100 = 20,
+    /// Reads of size 100 B–1 KiB.
+    PosixSizeRead100_1k = 21,
+    /// Reads of size 1–10 KiB.
+    PosixSizeRead1k_10k = 22,
+    /// Reads of size 10–100 KiB.
+    PosixSizeRead10k_100k = 23,
+    /// Reads of size 100 KiB–1 MiB.
+    PosixSizeRead100k_1m = 24,
+    /// Writes of size 0–100 B.
+    PosixSizeWrite0_100 = 25,
+    /// Writes of size 100 B–1 KiB.
+    PosixSizeWrite100_1k = 26,
+    /// Writes of size 1–10 KiB.
+    PosixSizeWrite1k_10k = 27,
+    /// Writes of size 10–100 KiB.
+    PosixSizeWrite10k_100k = 28,
+    /// Writes of size 100 KiB–1 MiB.
+    PosixSizeWrite100k_1m = 29,
+    /// Most frequent stride (1st) in bytes.
+    PosixStride1Stride = 30,
+    /// 2nd most frequent stride in bytes.
+    PosixStride2Stride = 31,
+    /// 3rd most frequent stride in bytes.
+    PosixStride3Stride = 32,
+    /// 4th most frequent stride in bytes.
+    PosixStride4Stride = 33,
+    /// Count of the most frequent stride.
+    PosixStride1Count = 34,
+    /// Count of the 2nd most frequent stride.
+    PosixStride2Count = 35,
+    /// Count of the 3rd most frequent stride.
+    PosixStride3Count = 36,
+    /// Count of the 4th most frequent stride.
+    PosixStride4Count = 37,
+    /// Most frequent access size (1st) in bytes.
+    PosixAccess1Access = 38,
+    /// 2nd most frequent access size in bytes.
+    PosixAccess2Access = 39,
+    /// 3rd most frequent access size in bytes.
+    PosixAccess3Access = 40,
+    /// 4th most frequent access size in bytes.
+    PosixAccess4Access = 41,
+    /// Count of the most frequent access size.
+    PosixAccess1Count = 42,
+    /// Count of the 2nd most frequent access size.
+    PosixAccess2Count = 43,
+    /// Count of the 3rd most frequent access size.
+    PosixAccess3Count = 44,
+    /// Count of the 4th most frequent access size.
+    PosixAccess4Count = 45,
+}
+
+/// Broad category of a counter, used for robustness checks (a read-only
+/// application must never have write counters flagged) and for mapping a
+/// diagnosed counter to tuning advice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CounterCategory {
+    /// Job/system configuration: ranks, stripe settings, alignment sizes.
+    Config,
+    /// Read-operation counters.
+    Read,
+    /// Write-operation counters.
+    Write,
+    /// Metadata-operation counters: opens, filenos, stats.
+    Metadata,
+    /// Alignment-violation counters.
+    Alignment,
+    /// Access-locality counters: seeks, rw switches, strides, access sizes.
+    Locality,
+}
+
+impl CounterId {
+    /// All counters in feature-vector order.
+    pub const ALL: [CounterId; N_COUNTERS] = {
+        use CounterId::*;
+        [
+            Nprocs,
+            LustreStripeSize,
+            LustreStripeWidth,
+            PosixOpens,
+            PosixFilenos,
+            PosixMemAlignment,
+            PosixFileAlignment,
+            PosixMemNotAligned,
+            PosixFileNotAligned,
+            PosixReads,
+            PosixWrites,
+            PosixSeeks,
+            PosixStats,
+            PosixBytesRead,
+            PosixBytesWritten,
+            PosixConsecReads,
+            PosixConsecWrites,
+            PosixSeqReads,
+            PosixSeqWrites,
+            PosixRwSwitches,
+            PosixSizeRead0_100,
+            PosixSizeRead100_1k,
+            PosixSizeRead1k_10k,
+            PosixSizeRead10k_100k,
+            PosixSizeRead100k_1m,
+            PosixSizeWrite0_100,
+            PosixSizeWrite100_1k,
+            PosixSizeWrite1k_10k,
+            PosixSizeWrite10k_100k,
+            PosixSizeWrite100k_1m,
+            PosixStride1Stride,
+            PosixStride2Stride,
+            PosixStride3Stride,
+            PosixStride4Stride,
+            PosixStride1Count,
+            PosixStride2Count,
+            PosixStride3Count,
+            PosixStride4Count,
+            PosixAccess1Access,
+            PosixAccess2Access,
+            PosixAccess3Access,
+            PosixAccess4Access,
+            PosixAccess1Count,
+            PosixAccess2Count,
+            PosixAccess3Count,
+            PosixAccess4Count,
+        ]
+    };
+
+    /// Feature-vector column index of this counter.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Counter at feature-vector index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= N_COUNTERS`.
+    pub fn from_index(i: usize) -> CounterId {
+        Self::ALL[i]
+    }
+
+    /// Darshan's canonical counter name (matches the paper's figures).
+    pub fn name(self) -> &'static str {
+        use CounterId::*;
+        match self {
+            Nprocs => "nprocs",
+            LustreStripeSize => "LUSTRE_STRIPE_SIZE",
+            LustreStripeWidth => "LUSTRE_STRIPE_WIDTH",
+            PosixOpens => "POSIX_OPENS",
+            PosixFilenos => "POSIX_FILENOS",
+            PosixMemAlignment => "POSIX_MEM_ALIGNMENT",
+            PosixFileAlignment => "POSIX_FILE_ALIGNMENT",
+            PosixMemNotAligned => "POSIX_MEM_NOT_ALIGNED",
+            PosixFileNotAligned => "POSIX_FILE_NOT_ALIGNED",
+            PosixReads => "POSIX_READS",
+            PosixWrites => "POSIX_WRITES",
+            PosixSeeks => "POSIX_SEEKS",
+            PosixStats => "POSIX_STATS",
+            PosixBytesRead => "POSIX_BYTES_READ",
+            PosixBytesWritten => "POSIX_BYTES_WRITTEN",
+            PosixConsecReads => "POSIX_CONSEC_READS",
+            PosixConsecWrites => "POSIX_CONSEC_WRITES",
+            PosixSeqReads => "POSIX_SEQ_READS",
+            PosixSeqWrites => "POSIX_SEQ_WRITES",
+            PosixRwSwitches => "POSIX_RW_SWITCHES",
+            PosixSizeRead0_100 => "POSIX_SIZE_READ_0_100",
+            PosixSizeRead100_1k => "POSIX_SIZE_READ_100_1K",
+            PosixSizeRead1k_10k => "POSIX_SIZE_READ_1K_10K",
+            PosixSizeRead10k_100k => "POSIX_SIZE_READ_10K_100K",
+            PosixSizeRead100k_1m => "POSIX_SIZE_READ_100K_1M",
+            PosixSizeWrite0_100 => "POSIX_SIZE_WRITE_0_100",
+            PosixSizeWrite100_1k => "POSIX_SIZE_WRITE_100_1K",
+            PosixSizeWrite1k_10k => "POSIX_SIZE_WRITE_1K_10K",
+            PosixSizeWrite10k_100k => "POSIX_SIZE_WRITE_10K_100K",
+            PosixSizeWrite100k_1m => "POSIX_SIZE_WRITE_100K_1M",
+            PosixStride1Stride => "POSIX_STRIDE1_STRIDE",
+            PosixStride2Stride => "POSIX_STRIDE2_STRIDE",
+            PosixStride3Stride => "POSIX_STRIDE3_STRIDE",
+            PosixStride4Stride => "POSIX_STRIDE4_STRIDE",
+            PosixStride1Count => "POSIX_STRIDE1_COUNT",
+            PosixStride2Count => "POSIX_STRIDE2_COUNT",
+            PosixStride3Count => "POSIX_STRIDE3_COUNT",
+            PosixStride4Count => "POSIX_STRIDE4_COUNT",
+            PosixAccess1Access => "POSIX_ACCESS1_ACCESS",
+            PosixAccess2Access => "POSIX_ACCESS2_ACCESS",
+            PosixAccess3Access => "POSIX_ACCESS3_ACCESS",
+            PosixAccess4Access => "POSIX_ACCESS4_ACCESS",
+            PosixAccess1Count => "POSIX_ACCESS1_COUNT",
+            PosixAccess2Count => "POSIX_ACCESS2_COUNT",
+            PosixAccess3Count => "POSIX_ACCESS3_COUNT",
+            PosixAccess4Count => "POSIX_ACCESS4_COUNT",
+        }
+    }
+
+    /// The paper's Table 4 description of the counter.
+    pub fn description(self) -> &'static str {
+        use CounterId::*;
+        match self {
+            Nprocs => "count of MPI ranks",
+            LustreStripeSize => "stripe size",
+            LustreStripeWidth => "count of OSTs",
+            PosixOpens => "count of POSIX opens",
+            PosixFilenos => "count of POSIX fileno operations",
+            PosixMemAlignment => "memory alignment size",
+            PosixFileAlignment => "file alignment size",
+            PosixMemNotAligned => "count of accesses not memory aligned",
+            PosixFileNotAligned => "count of accesses not file aligned",
+            PosixReads => "count of reads",
+            PosixWrites => "count of writes",
+            PosixSeeks => "count of seeks",
+            PosixStats => "count of stat/lstat/fstats",
+            PosixBytesRead => "total bytes read",
+            PosixBytesWritten => "total bytes written",
+            PosixConsecReads => "count of consecutive reads",
+            PosixConsecWrites => "count of consecutive writes",
+            PosixSeqReads => "count of sequential reads",
+            PosixSeqWrites => "count of sequential writes",
+            PosixRwSwitches => "count of switches between read and write",
+            PosixSizeRead0_100 => "reads of size 0-100 bytes",
+            PosixSizeRead100_1k => "reads of size 100 B-1 KiB",
+            PosixSizeRead1k_10k => "reads of size 1-10 KiB",
+            PosixSizeRead10k_100k => "reads of size 10-100 KiB",
+            PosixSizeRead100k_1m => "reads of size 100 KiB-1 MiB",
+            PosixSizeWrite0_100 => "writes of size 0-100 bytes",
+            PosixSizeWrite100_1k => "writes of size 100 B-1 KiB",
+            PosixSizeWrite1k_10k => "writes of size 1-10 KiB",
+            PosixSizeWrite10k_100k => "writes of size 10-100 KiB",
+            PosixSizeWrite100k_1m => "writes of size 100 KiB-1 MiB",
+            PosixStride1Stride => "most frequent stride (1st)",
+            PosixStride2Stride => "most frequent stride (2nd)",
+            PosixStride3Stride => "most frequent stride (3rd)",
+            PosixStride4Stride => "most frequent stride (4th)",
+            PosixStride1Count => "count of the most frequent stride (1st)",
+            PosixStride2Count => "count of the most frequent stride (2nd)",
+            PosixStride3Count => "count of the most frequent stride (3rd)",
+            PosixStride4Count => "count of the most frequent stride (4th)",
+            PosixAccess1Access => "most frequent access size (1st)",
+            PosixAccess2Access => "most frequent access size (2nd)",
+            PosixAccess3Access => "most frequent access size (3rd)",
+            PosixAccess4Access => "most frequent access size (4th)",
+            PosixAccess1Count => "count of the most frequent access size (1st)",
+            PosixAccess2Count => "count of the most frequent access size (2nd)",
+            PosixAccess3Count => "count of the most frequent access size (3rd)",
+            PosixAccess4Count => "count of the most frequent access size (4th)",
+        }
+    }
+
+    /// Parse a Darshan counter name back to an id.
+    pub fn from_name(name: &str) -> Option<CounterId> {
+        Self::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// Category of the counter (see [`CounterCategory`]).
+    pub fn category(self) -> CounterCategory {
+        use CounterCategory::*;
+        use CounterId::*;
+        match self {
+            Nprocs | LustreStripeSize | LustreStripeWidth | PosixMemAlignment
+            | PosixFileAlignment => Config,
+            PosixOpens | PosixFilenos | PosixStats => Metadata,
+            PosixMemNotAligned | PosixFileNotAligned => Alignment,
+            PosixReads | PosixBytesRead | PosixConsecReads | PosixSeqReads
+            | PosixSizeRead0_100 | PosixSizeRead100_1k | PosixSizeRead1k_10k
+            | PosixSizeRead10k_100k | PosixSizeRead100k_1m => Read,
+            PosixWrites | PosixBytesWritten | PosixConsecWrites | PosixSeqWrites
+            | PosixSizeWrite0_100 | PosixSizeWrite100_1k | PosixSizeWrite1k_10k
+            | PosixSizeWrite10k_100k | PosixSizeWrite100k_1m => Write,
+            PosixSeeks | PosixRwSwitches | PosixStride1Stride | PosixStride2Stride
+            | PosixStride3Stride | PosixStride4Stride | PosixStride1Count
+            | PosixStride2Count | PosixStride3Count | PosixStride4Count
+            | PosixAccess1Access | PosixAccess2Access | PosixAccess3Access
+            | PosixAccess4Access | PosixAccess1Count | PosixAccess2Count
+            | PosixAccess3Count | PosixAccess4Count => Locality,
+        }
+    }
+
+    /// True for counters that count *read* activity (used by robustness
+    /// checks: a write-only job has all of these at zero).
+    pub fn is_read_related(self) -> bool {
+        self.category() == CounterCategory::Read
+    }
+
+    /// True for counters that count *write* activity.
+    pub fn is_write_related(self) -> bool {
+        self.category() == CounterCategory::Write
+    }
+
+    /// The read-size-bucket counters in ascending size order.
+    pub fn read_size_buckets() -> [CounterId; 5] {
+        use CounterId::*;
+        [
+            PosixSizeRead0_100,
+            PosixSizeRead100_1k,
+            PosixSizeRead1k_10k,
+            PosixSizeRead10k_100k,
+            PosixSizeRead100k_1m,
+        ]
+    }
+
+    /// The write-size-bucket counters in ascending size order.
+    pub fn write_size_buckets() -> [CounterId; 5] {
+        use CounterId::*;
+        [
+            PosixSizeWrite0_100,
+            PosixSizeWrite100_1k,
+            PosixSizeWrite1k_10k,
+            PosixSizeWrite10k_100k,
+            PosixSizeWrite100k_1m,
+        ]
+    }
+
+    /// Size-bucket counter for a read of `size` bytes. Accesses of 1 MiB or
+    /// more fall in the top bucket, matching Darshan's histogram convention
+    /// for the bucket range used by the paper.
+    pub fn read_bucket_for(size: u64) -> CounterId {
+        bucket_for(size, Self::read_size_buckets())
+    }
+
+    /// Size-bucket counter for a write of `size` bytes.
+    pub fn write_bucket_for(size: u64) -> CounterId {
+        bucket_for(size, Self::write_size_buckets())
+    }
+}
+
+// Darshan's histogram bounds are upper-inclusive: a 1 KiB access counts in
+// the 100_1K bucket (which is why the paper's Fig. 7(a) flags
+// POSIX_SIZE_WRITE_100_1K for `ior -t 1k`).
+fn bucket_for(size: u64, buckets: [CounterId; 5]) -> CounterId {
+    if size <= 100 {
+        buckets[0]
+    } else if size <= 1024 {
+        buckets[1]
+    } else if size <= 10 * 1024 {
+        buckets[2]
+    } else if size <= 100 * 1024 {
+        buckets[3]
+    } else {
+        buckets[4]
+    }
+}
+
+impl std::fmt::Display for CounterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_unique_indices_in_order() {
+        for (i, c) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c} out of order");
+            assert_eq!(CounterId::from_index(i), *c);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_roundtrip() {
+        let mut seen = std::collections::HashSet::new();
+        for c in CounterId::ALL {
+            assert!(seen.insert(c.name()), "duplicate name {}", c.name());
+            assert_eq!(CounterId::from_name(c.name()), Some(c));
+        }
+        assert_eq!(CounterId::from_name("NOT_A_COUNTER"), None);
+    }
+
+    #[test]
+    fn read_and_write_partitions_are_disjoint() {
+        for c in CounterId::ALL {
+            assert!(!(c.is_read_related() && c.is_write_related()), "{c}");
+        }
+        assert_eq!(CounterId::ALL.iter().filter(|c| c.is_read_related()).count(), 9);
+        assert_eq!(CounterId::ALL.iter().filter(|c| c.is_write_related()).count(), 9);
+    }
+
+    #[test]
+    fn size_buckets_cover_expected_boundaries() {
+        use CounterId::*;
+        assert_eq!(CounterId::write_bucket_for(0), PosixSizeWrite0_100);
+        assert_eq!(CounterId::write_bucket_for(100), PosixSizeWrite0_100);
+        assert_eq!(CounterId::write_bucket_for(101), PosixSizeWrite100_1k);
+        // The paper's Fig. 7(a): `ior -t 1k` (1024 B) flags SIZE_WRITE_100_1K.
+        assert_eq!(CounterId::write_bucket_for(1024), PosixSizeWrite100_1k);
+        assert_eq!(CounterId::write_bucket_for(1025), PosixSizeWrite1k_10k);
+        assert_eq!(CounterId::read_bucket_for(10 * 1024), PosixSizeRead1k_10k);
+        assert_eq!(CounterId::read_bucket_for(10 * 1024 + 1), PosixSizeRead10k_100k);
+        assert_eq!(CounterId::read_bucket_for(u64::MAX), PosixSizeRead100k_1m);
+    }
+
+    #[test]
+    fn every_counter_has_a_category() {
+        // Exhaustiveness is enforced by the match; spot-check a few.
+        assert_eq!(CounterId::Nprocs.category(), CounterCategory::Config);
+        assert_eq!(CounterId::PosixOpens.category(), CounterCategory::Metadata);
+        assert_eq!(CounterId::PosixSeeks.category(), CounterCategory::Locality);
+        assert_eq!(CounterId::PosixFileNotAligned.category(), CounterCategory::Alignment);
+    }
+
+    #[test]
+    fn descriptions_are_nonempty_and_distinct_within_families() {
+        for c in CounterId::ALL {
+            assert!(!c.description().is_empty(), "{c}");
+        }
+        assert_ne!(
+            CounterId::PosixStride1Stride.description(),
+            CounterId::PosixStride2Stride.description()
+        );
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(CounterId::PosixSeqWrites.to_string(), "POSIX_SEQ_WRITES");
+    }
+}

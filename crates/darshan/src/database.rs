@@ -1,0 +1,267 @@
+//! The I/O log database (paper §3.1): a collection of job logs with
+//! persistence, per-year summaries (Table 1), average sparsity, and seeded
+//! train/validation splitting.
+
+use crate::log::JobLog;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// A database of Darshan-style job logs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogDatabase {
+    jobs: Vec<JobLog>,
+}
+
+/// Summary row for one year of logs — the shape of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YearSummary {
+    pub year: u16,
+    pub n_jobs: usize,
+    /// Approximate serialized size of this year's logs in bytes, the
+    /// analogue of the paper's on-disk gigabytes column.
+    pub approx_bytes: usize,
+}
+
+/// Index split produced by [`LogDatabase::split_indices`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitIndices {
+    pub train: Vec<usize>,
+    pub valid: Vec<usize>,
+}
+
+impl LogDatabase {
+    /// New empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one job log.
+    pub fn push(&mut self, log: JobLog) {
+        self.jobs.push(log);
+    }
+
+    /// Append all logs of another database.
+    pub fn extend(&mut self, other: LogDatabase) {
+        self.jobs.extend(other.jobs);
+    }
+
+    /// All logs, in insertion order.
+    pub fn jobs(&self) -> &[JobLog] {
+        &self.jobs
+    }
+
+    /// Number of logs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the database holds no logs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Find a job by id.
+    pub fn get(&self, job_id: u64) -> Option<&JobLog> {
+        self.jobs.iter().find(|j| j.job_id == job_id)
+    }
+
+    /// Average per-job sparsity (paper §3.1's `sparsity` formula).
+    pub fn average_sparsity(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.counters.sparsity()).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Per-year summaries in ascending year order (Table 1 rows).
+    pub fn year_summaries(&self) -> Vec<YearSummary> {
+        let mut years: Vec<u16> = self.jobs.iter().map(|j| j.year).collect();
+        years.sort_unstable();
+        years.dedup();
+        years
+            .into_iter()
+            .map(|year| {
+                let logs: Vec<&JobLog> = self.jobs.iter().filter(|j| j.year == year).collect();
+                let approx_bytes: usize = logs
+                    .iter()
+                    .map(|j| serde_json::to_vec(*j).map(|v| v.len()).unwrap_or(0))
+                    .sum();
+                YearSummary { year, n_jobs: logs.len(), approx_bytes }
+            })
+            .collect()
+    }
+
+    /// Deterministic shuffled split: `train_fraction` of rows go to the
+    /// training set, the rest to validation. The paper uses half/half
+    /// (§3.2: "one half for training and the other for evaluations").
+    ///
+    /// # Panics
+    /// Panics if `train_fraction` is outside `(0, 1)`.
+    pub fn split_indices(&self, train_fraction: f64, seed: u64) -> SplitIndices {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0, 1)"
+        );
+        let mut idx: Vec<usize> = (0..self.jobs.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_train = ((self.jobs.len() as f64) * train_fraction).round() as usize;
+        let n_train = n_train.min(self.jobs.len());
+        let valid = idx.split_off(n_train);
+        SplitIndices { train: idx, valid }
+    }
+
+    /// Database of the jobs satisfying `keep` (clones the matching logs).
+    pub fn filter(&self, keep: impl Fn(&JobLog) -> bool) -> LogDatabase {
+        self.jobs.iter().filter(|j| keep(j)).cloned().collect()
+    }
+
+    /// Jobs of one application.
+    pub fn by_app(&self, app: &str) -> LogDatabase {
+        self.filter(|j| j.app == app)
+    }
+
+    /// Jobs of one year.
+    pub fn by_year(&self, year: u16) -> LogDatabase {
+        self.filter(|j| j.year == year)
+    }
+
+    /// Jobs whose Eq. 1 performance falls in `[lo, hi)` MiB/s.
+    pub fn by_performance(&self, lo: f64, hi: f64) -> LogDatabase {
+        self.filter(|j| {
+            let p = j.performance_mib_s();
+            p >= lo && p < hi
+        })
+    }
+
+    /// Distinct application names, sorted.
+    pub fn apps(&self) -> Vec<String> {
+        let mut apps: Vec<String> = self.jobs.iter().map(|j| j.app.clone()).collect();
+        apps.sort();
+        apps.dedup();
+        apps
+    }
+
+    /// Persist as JSON to `path`.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(BufWriter::new(file), self)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Load a JSON database from `path`.
+    pub fn load_json(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(BufReader::new(file))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl FromIterator<JobLog> for LogDatabase {
+    fn from_iter<T: IntoIterator<Item = JobLog>>(iter: T) -> Self {
+        Self { jobs: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CounterId;
+
+    fn db_with(n: usize) -> LogDatabase {
+        (0..n as u64)
+            .map(|i| {
+                let mut log = JobLog::new(i, "t", 2019 + (i % 4) as u16);
+                log.counters.set(CounterId::Nprocs, 1.0 + i as f64);
+                log
+            })
+            .collect()
+    }
+
+    #[test]
+    fn push_get_len() {
+        let db = db_with(5);
+        assert_eq!(db.len(), 5);
+        assert!(!db.is_empty());
+        assert_eq!(db.get(3).unwrap().job_id, 3);
+        assert!(db.get(99).is_none());
+    }
+
+    #[test]
+    fn year_summaries_cover_all_years() {
+        let db = db_with(8);
+        let ys = db.year_summaries();
+        assert_eq!(ys.len(), 4);
+        assert_eq!(ys.iter().map(|y| y.n_jobs).sum::<usize>(), 8);
+        assert!(ys.windows(2).all(|w| w[0].year < w[1].year));
+        assert!(ys.iter().all(|y| y.approx_bytes > 0));
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let db = db_with(100);
+        let s1 = db.split_indices(0.5, 42);
+        let s2 = db.split_indices(0.5, 42);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.train.len(), 50);
+        assert_eq!(s1.valid.len(), 50);
+        let mut all: Vec<usize> = s1.train.iter().chain(&s1.valid).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        // A different seed shuffles differently.
+        let s3 = db.split_indices(0.5, 43);
+        assert_ne!(s1.train, s3.train);
+    }
+
+    #[test]
+    fn average_sparsity_of_empty_and_uniform() {
+        assert_eq!(LogDatabase::new().average_sparsity(), 0.0);
+        let db = db_with(3);
+        // Each job has exactly one nonzero counter.
+        let expected = 45.0 / 46.0;
+        assert!((db.average_sparsity() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip_via_tempfile() {
+        let db = db_with(4);
+        let path = std::env::temp_dir().join("aiio_darshan_db_test.json");
+        db.save_json(&path).unwrap();
+        let back = LogDatabase::load_json(&path).unwrap();
+        assert_eq!(db, back);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn filters_select_expected_subsets() {
+        let mut db = db_with(8);
+        let mut special = JobLog::new(100, "special", 2021);
+        special.counters.set(CounterId::PosixBytesRead, 10.0 * 1024.0 * 1024.0);
+        special.time.slowest_rank_seconds = 1.0; // 10 MiB/s
+        db.push(special);
+
+        assert_eq!(db.by_app("special").len(), 1);
+        assert_eq!(db.by_app("nope").len(), 0);
+        assert_eq!(db.by_year(2019).len() + db.by_year(2020).len()
+            + db.by_year(2021).len() + db.by_year(2022).len(), db.len());
+        let fast = db.by_performance(5.0, 100.0);
+        assert_eq!(fast.len(), 1);
+        assert_eq!(fast.jobs()[0].app, "special");
+        let apps = db.apps();
+        assert!(apps.contains(&"special".to_string()));
+        assert!(apps.contains(&"t".to_string()));
+        assert_eq!(apps.len(), 2);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = db_with(2);
+        let b = db_with(3);
+        a.extend(b);
+        assert_eq!(a.len(), 5);
+    }
+}

@@ -1,0 +1,217 @@
+//! Feature engineering (paper §3.1): the `log10(x+1)` transform of Eq. 2,
+//! the performance tag of Eq. 1, and dataset assembly.
+
+use crate::counters::{CounterId, N_COUNTERS};
+use crate::database::LogDatabase;
+use crate::log::JobLog;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A supervised dataset: one row of transformed counters per job plus the
+/// transformed performance tag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Row-major feature matrix, `n_jobs x N_COUNTERS`.
+    pub x: Vec<Vec<f64>>,
+    /// Transformed performance tags, one per row.
+    pub y: Vec<f64>,
+    /// Job ids aligned with rows (for tracing diagnoses back to jobs).
+    pub job_ids: Vec<u64>,
+}
+
+impl Dataset {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True if the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of feature columns (always [`N_COUNTERS`] for Darshan data).
+    pub fn n_features(&self) -> usize {
+        self.x.first().map_or(N_COUNTERS, Vec::len)
+    }
+
+    /// Select the rows at `indices` into a new dataset.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            job_ids: indices.iter().map(|&i| self.job_ids[i]).collect(),
+        }
+    }
+}
+
+/// The paper's feature pipeline: dense 46-counter vectors with zero fill,
+/// `log10(x+1)` on every feature, and `log10(perf+1)` as the tag.
+///
+/// The transform is stateless (no fitted statistics), which is what lets
+/// AIIO apply the same pipeline to an unseen job log without rebuilding
+/// anything (§3.1, §3.2).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct FeaturePipeline {
+    /// If false, skip Eq. 2 and feed raw counters (ablation knob; the paper
+    /// always transforms).
+    pub log_transform: bool,
+}
+
+impl FeaturePipeline {
+    /// The paper's configuration: transform enabled.
+    pub fn paper() -> Self {
+        Self { log_transform: true }
+    }
+
+    /// Ablation configuration: raw counters.
+    pub fn raw() -> Self {
+        Self { log_transform: false }
+    }
+
+    /// Eq. 2 applied to one scalar.
+    #[inline]
+    pub fn transform_value(&self, v: f64) -> f64 {
+        if self.log_transform {
+            (v + 1.0).log10()
+        } else {
+            v
+        }
+    }
+
+    /// Inverse of [`Self::transform_value`].
+    #[inline]
+    pub fn inverse_value(&self, t: f64) -> f64 {
+        if self.log_transform {
+            10f64.powf(t) - 1.0
+        } else {
+            t
+        }
+    }
+
+    /// Feature vector of one job: every counter of Table 4 in order,
+    /// transformed. Missing counters are zero in the log and stay zero
+    /// through the transform (log10(0+1) = 0), preserving sparsity.
+    pub fn features_of(&self, log: &JobLog) -> Vec<f64> {
+        log.counters.as_slice().iter().map(|&v| self.transform_value(v)).collect()
+    }
+
+    /// Tag of one job: transformed Eq. 1 performance.
+    pub fn tag_of(&self, log: &JobLog) -> f64 {
+        self.transform_value(log.performance_mib_s())
+    }
+
+    /// Tag expressed back in MiB/s.
+    pub fn tag_to_mib_s(&self, tag: f64) -> f64 {
+        self.inverse_value(tag)
+    }
+
+    /// Build the supervised dataset for a whole database, in parallel.
+    pub fn dataset_of(&self, db: &LogDatabase) -> Dataset {
+        let rows: Vec<(Vec<f64>, f64, u64)> = db
+            .jobs()
+            .par_iter()
+            .map(|log| (self.features_of(log), self.tag_of(log), log.job_id))
+            .collect();
+        let mut x = Vec::with_capacity(rows.len());
+        let mut y = Vec::with_capacity(rows.len());
+        let mut job_ids = Vec::with_capacity(rows.len());
+        for (fx, fy, id) in rows {
+            x.push(fx);
+            y.push(fy);
+            job_ids.push(id);
+        }
+        Dataset { x, y, job_ids }
+    }
+
+    /// Names of the feature columns, aligned with [`Self::features_of`].
+    pub fn feature_names() -> Vec<&'static str> {
+        CounterId::ALL.iter().map(|c| c.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::MIB;
+
+    fn log_with_perf(id: u64, mib_s: f64) -> JobLog {
+        let mut log = JobLog::new(id, "t", 2020);
+        log.counters.set(CounterId::PosixBytesWritten, mib_s * MIB);
+        log.counters.set(CounterId::PosixWrites, 4.0);
+        log.time.slowest_rank_seconds = 1.0;
+        log
+    }
+
+    #[test]
+    fn zero_counters_stay_zero_through_transform() {
+        let log = JobLog::new(0, "t", 2020);
+        let f = FeaturePipeline::paper().features_of(&log);
+        assert_eq!(f.len(), N_COUNTERS);
+        assert!(f.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn transform_compresses_range_like_fig4() {
+        // Paper Fig. 4: (1, 6_309_573) → about (0.3, 6.8).
+        let p = FeaturePipeline::paper();
+        assert!((p.transform_value(1.0) - 0.30103).abs() < 1e-4);
+        assert!((p.transform_value(6_309_573.0) - 6.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn transform_roundtrips() {
+        let p = FeaturePipeline::paper();
+        for &v in &[0.0, 1.0, 123.0, 1e6] {
+            assert!((p.inverse_value(p.transform_value(v)) - v).abs() < 1e-6 * (v + 1.0));
+        }
+    }
+
+    #[test]
+    fn raw_pipeline_is_identity() {
+        let p = FeaturePipeline::raw();
+        assert_eq!(p.transform_value(42.0), 42.0);
+        assert_eq!(p.inverse_value(42.0), 42.0);
+    }
+
+    #[test]
+    fn tag_is_transformed_performance() {
+        let p = FeaturePipeline::paper();
+        let log = log_with_perf(1, 99.0);
+        assert!((p.tag_of(&log) - 2.0).abs() < 1e-12); // log10(100)
+        assert!((p.tag_to_mib_s(p.tag_of(&log)) - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataset_rows_align_with_jobs() {
+        let mut db = LogDatabase::new();
+        db.push(log_with_perf(10, 9.0));
+        db.push(log_with_perf(20, 99.0));
+        let ds = FeaturePipeline::paper().dataset_of(&db);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.job_ids, vec![10, 20]);
+        assert!((ds.y[0] - 1.0).abs() < 1e-12);
+        assert!((ds.y[1] - 2.0).abs() < 1e-12);
+        assert_eq!(ds.n_features(), N_COUNTERS);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let mut db = LogDatabase::new();
+        for i in 0..5 {
+            db.push(log_with_perf(i, (i + 1) as f64));
+        }
+        let ds = FeaturePipeline::paper().dataset_of(&db);
+        let sub = ds.subset(&[4, 0]);
+        assert_eq!(sub.job_ids, vec![4, 0]);
+        assert_eq!(sub.len(), 2);
+    }
+
+    #[test]
+    fn feature_names_match_counter_order() {
+        let names = FeaturePipeline::feature_names();
+        assert_eq!(names.len(), N_COUNTERS);
+        assert_eq!(names[0], "nprocs");
+        assert_eq!(names[CounterId::PosixSeqWrites.index()], "POSIX_SEQ_WRITES");
+    }
+}

@@ -1,0 +1,177 @@
+//! Global interpretation methods: partial dependence (PDP) and permutation
+//! importance.
+//!
+//! The paper (§3.3) names PDP among the "traditional methods" that can
+//! misbehave on tabular data like Darshan logs, preferring SHAP for
+//! job-level work. Both global methods are implemented here so the
+//! comparison is runnable: PDP for effect curves, permutation importance
+//! for a model-agnostic global ranking.
+
+use crate::Predictor;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One partial-dependence curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PdpCurve {
+    /// Feature index the curve varies.
+    pub feature: usize,
+    /// Grid of feature values.
+    pub grid: Vec<f64>,
+    /// Mean model output at each grid value (Friedman, 2001).
+    pub mean_prediction: Vec<f64>,
+}
+
+/// Partial dependence of `model` on `feature` over `data`:
+/// `PD(v) = mean_i f(x_i with x_i[feature] := v)`.
+///
+/// # Panics
+/// Panics on empty data/grid or out-of-range feature.
+pub fn partial_dependence(
+    model: &dyn Predictor,
+    data: &[Vec<f64>],
+    feature: usize,
+    grid: &[f64],
+) -> PdpCurve {
+    assert!(!data.is_empty(), "empty background data");
+    assert!(!grid.is_empty(), "empty grid");
+    assert!(feature < data[0].len(), "feature out of range");
+    let mean_prediction = grid
+        .iter()
+        .map(|&v| {
+            let rows: Vec<Vec<f64>> = data
+                .iter()
+                .map(|row| {
+                    let mut r = row.clone();
+                    r[feature] = v;
+                    r
+                })
+                .collect();
+            let preds = model.predict_batch(&rows);
+            preds.iter().sum::<f64>() / preds.len() as f64
+        })
+        .collect();
+    PdpCurve { feature, grid: grid.to_vec(), mean_prediction }
+}
+
+/// Evenly spaced grid between a feature's observed min and max.
+pub fn feature_grid(data: &[Vec<f64>], feature: usize, points: usize) -> Vec<f64> {
+    assert!(points >= 2, "grid needs at least 2 points");
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for row in data {
+        lo = lo.min(row[feature]);
+        hi = hi.max(row[feature]);
+    }
+    if !lo.is_finite() || lo == hi {
+        return vec![lo];
+    }
+    (0..points).map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64).collect()
+}
+
+/// Permutation importance: the increase in squared error when one
+/// feature's column is shuffled (Breiman, 2001). Returns per-feature
+/// importance (0 when shuffling does not hurt).
+pub fn permutation_importance(
+    model: &dyn Predictor,
+    x: &[Vec<f64>],
+    y: &[f64],
+    seed: u64,
+) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    assert!(!x.is_empty(), "empty data");
+    let n_features = x[0].len();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let base = mse(&model.predict_batch(x), y);
+    (0..n_features)
+        .map(|f| {
+            let mut order: Vec<usize> = (0..x.len()).collect();
+            order.shuffle(&mut rng);
+            let rows: Vec<Vec<f64>> = x
+                .iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    let mut r = row.clone();
+                    r[f] = x[order[i]][f];
+                    r
+                })
+                .collect();
+            (mse(&model.predict_batch(&rows), y) - base).max(0.0)
+        })
+        .collect()
+}
+
+fn mse(pred: &[f64], y: &[f64]) -> f64 {
+    pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnPredictor;
+    use rand::Rng;
+
+    fn data(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+    }
+
+    #[test]
+    fn pdp_of_linear_model_is_linear_with_the_coefficient() {
+        let f = FnPredictor(|x: &[f64]| 3.0 * x[0] - x[1]);
+        let bg = data(50, 1);
+        let grid = vec![-1.0, 0.0, 1.0];
+        let curve = partial_dependence(&f, &bg, 0, &grid);
+        // Slope between grid points must be the coefficient 3.
+        let slope = (curve.mean_prediction[2] - curve.mean_prediction[0]) / 2.0;
+        assert!((slope - 3.0).abs() < 1e-9, "slope {slope}");
+    }
+
+    #[test]
+    fn pdp_flat_for_ignored_features() {
+        let f = FnPredictor(|x: &[f64]| x[0] * x[0]);
+        let bg = data(50, 2);
+        let curve = partial_dependence(&f, &bg, 2, &[-1.0, 0.0, 1.0]);
+        let spread = curve.mean_prediction.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - curve.mean_prediction.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(spread < 1e-12);
+    }
+
+    #[test]
+    fn pdp_misses_interactions_shap_catches() {
+        // f = x0 * x1 over a symmetric background: PD is ~flat in x0
+        // even though x0 matters — the failure mode the paper alludes to.
+        let f = FnPredictor(|x: &[f64]| x[0] * x[1]);
+        let bg = data(400, 3); // x1 symmetric around 0
+        let curve = partial_dependence(&f, &bg, 0, &[-1.0, 1.0]);
+        let spread = (curve.mean_prediction[1] - curve.mean_prediction[0]).abs();
+        assert!(spread < 0.2, "PD spread {spread} should be tiny despite real effect");
+        // SHAP at a concrete point does see the effect.
+        let attr = crate::exact::exact_shapley(&f, &[1.0, 1.0, 0.0], &[0.0; 3]);
+        assert!(attr.values[0] > 0.3);
+    }
+
+    #[test]
+    fn feature_grid_spans_observed_range() {
+        let bg = vec![vec![2.0], vec![5.0], vec![3.0]];
+        let g = feature_grid(&bg, 0, 4);
+        assert_eq!(g.first().copied(), Some(2.0));
+        assert_eq!(g.last().copied(), Some(5.0));
+        assert_eq!(g.len(), 4);
+        // Constant feature collapses to one point.
+        let g = feature_grid(&vec![vec![7.0]; 3], 0, 4);
+        assert_eq!(g, vec![7.0]);
+    }
+
+    #[test]
+    fn permutation_importance_ranks_signal_over_noise() {
+        let f = FnPredictor(|x: &[f64]| 5.0 * x[1]);
+        let x = data(300, 4);
+        let y: Vec<f64> = x.iter().map(|r| 5.0 * r[1]).collect();
+        let imp = permutation_importance(&f, &x, &y, 0);
+        assert!(imp[1] > 1.0, "{imp:?}");
+        assert!(imp[0] < 1e-9 && imp[2] < 1e-9, "{imp:?}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Model-interpretation substrate: Shapley-value attribution and LIME.
+//!
+//! AIIO's diagnosis function (paper §3.3) is SHAP run on each performance
+//! model: the contribution `C_j` of counter `j` to the predicted
+//! performance of one job, computed against a **zero background** so that
+//! counters that are zero in the job's log receive exactly zero
+//! contribution — the paper's robustness property. This crate provides:
+//!
+//! * [`exact`] — exact Shapley values by subset enumeration (the test
+//!   oracle; exponential, fine for ≤ 20 active features);
+//! * [`kernel`] — Kernel SHAP (Lundberg & Lee, 2017): coalition sampling
+//!   with Shapley-kernel weights and a constrained weighted least squares,
+//!   exactly the paper's "SHAP Kernel Explainer" including the sparse-input
+//!   handling;
+//! * [`tree`] — path-dependent TreeSHAP for `aiio-gbdt` ensembles
+//!   (polynomial-time, used for ablations and cross-checks);
+//! * [`lime`] — LIME (Ribeiro et al., 2016): local perturbation plus
+//!   distance-weighted ridge regression;
+//! * [`metrics`] — the paper's Eq. 5 "RMSE for SHAP" diagnosis-quality
+//!   metric and local-accuracy checks;
+//! * [`global`] — PDP (the "traditional method" the paper contrasts SHAP
+//!   against) and permutation importance.
+//!
+//! All explainers return an [`Attribution`]: per-feature contributions plus
+//! the expected (background) prediction, satisfying
+//! `expected + Σ values ≈ f(x)` (local accuracy).
+
+pub mod exact;
+pub mod global;
+pub mod kernel;
+pub mod lime;
+pub mod metrics;
+pub mod tree;
+
+use serde::{Deserialize, Serialize};
+
+/// A model that can be explained: batch prediction over raw feature rows.
+pub trait Predictor: Sync {
+    /// Predict a batch of rows.
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64>;
+
+    /// Predict a single row.
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        self.predict_batch(std::slice::from_ref(&row.to_vec()))[0]
+    }
+}
+
+/// Wrap a plain function as a [`Predictor`].
+pub struct FnPredictor<F: Fn(&[f64]) -> f64 + Sync>(pub F);
+
+impl<F: Fn(&[f64]) -> f64 + Sync> Predictor for FnPredictor<F> {
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| (self.0)(r)).collect()
+    }
+}
+
+/// Per-feature attribution of one prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribution {
+    /// Contribution of each feature (aligned with the input row).
+    pub values: Vec<f64>,
+    /// Expected model output over the background (`φ0`).
+    pub expected: f64,
+}
+
+impl Attribution {
+    /// `expected + Σ values` — should equal the model output at the
+    /// explained point (local accuracy).
+    pub fn reconstructed(&self) -> f64 {
+        self.expected + self.values.iter().sum::<f64>()
+    }
+
+    /// Indices sorted by most-negative contribution first (the paper's
+    /// bottleneck ranking).
+    pub fn most_negative_first(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.values.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.values[a].partial_cmp(&self.values[b]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx
+    }
+
+    /// Indices sorted by absolute contribution, largest first.
+    pub fn largest_magnitude_first(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.values.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.values[b]
+                .abs()
+                .partial_cmp(&self.values[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_predictor_wraps_closures() {
+        let p = FnPredictor(|x: &[f64]| x[0] * 2.0);
+        assert_eq!(p.predict_one(&[3.0]), 6.0);
+        assert_eq!(p.predict_batch(&[vec![1.0], vec![2.0]]), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn attribution_orderings() {
+        let a = Attribution { values: vec![0.5, -2.0, 1.0, -0.1], expected: 3.0 };
+        assert_eq!(a.most_negative_first()[0], 1);
+        assert_eq!(a.largest_magnitude_first()[0], 1);
+        assert_eq!(a.largest_magnitude_first()[1], 2);
+        assert!((a.reconstructed() - 2.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! LIME (Ribeiro, Singh & Guestrin, 2016) — local interpretable
+//! model-agnostic explanations.
+//!
+//! Perturbs the explained point by switching active features on/off against
+//! the background, weights the perturbations by proximity with an
+//! exponential kernel, and fits a weighted ridge regression whose
+//! coefficients are the explanation. AIIO supports LIME alongside SHAP as a
+//! diagnosis function (§3.3) but never merges across the two because their
+//! scales differ.
+
+use crate::{Attribution, Predictor};
+use aiio_linalg::{weighted_least_squares, Matrix};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// LIME configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LimeConfig {
+    /// Number of perturbation samples.
+    pub n_samples: usize,
+    /// Kernel width σ for the proximity weight `exp(-d² / σ²)`, where `d`
+    /// is the fraction of switched-off active features.
+    pub kernel_width: f64,
+    /// Ridge regularisation of the local surrogate.
+    pub ridge: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LimeConfig {
+    fn default() -> Self {
+        Self { n_samples: 1024, kernel_width: 0.75, ridge: 1e-3, seed: 0 }
+    }
+}
+
+/// The LIME explainer.
+#[derive(Debug, Clone, Default)]
+pub struct Lime {
+    config: LimeConfig,
+}
+
+impl Lime {
+    pub fn new(config: LimeConfig) -> Self {
+        Self { config }
+    }
+
+    /// Explain `model` at `x` against `background`. Inactive features
+    /// (equal to the background) receive exactly zero.
+    pub fn explain(&self, model: &dyn Predictor, x: &[f64], background: &[f64]) -> Attribution {
+        assert_eq!(x.len(), background.len(), "x/background length mismatch");
+        let active: Vec<usize> = (0..x.len()).filter(|&i| x[i] != background[i]).collect();
+        let k = active.len();
+        let expected = model.predict_one(background);
+        let mut values = vec![0.0; x.len()];
+        if k == 0 {
+            return Attribution { values, expected };
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let n = self.config.n_samples.max(k + 2);
+        // Binary masks; always include the full point and the empty point.
+        let mut masks: Vec<Vec<bool>> = Vec::with_capacity(n);
+        masks.push(vec![true; k]);
+        masks.push(vec![false; k]);
+        for _ in 2..n {
+            masks.push((0..k).map(|_| rng.gen_bool(0.5)).collect());
+        }
+
+        let rows: Vec<Vec<f64>> = masks
+            .iter()
+            .map(|mask| {
+                let mut row = background.to_vec();
+                for (on, &feat) in mask.iter().zip(&active) {
+                    if *on {
+                        row[feat] = x[feat];
+                    }
+                }
+                row
+            })
+            .collect();
+        let fvals = model.predict_batch(&rows);
+
+        // Proximity weights: distance = fraction of switched-off features.
+        let weights: Vec<f64> = masks
+            .iter()
+            .map(|mask| {
+                let off = mask.iter().filter(|&&b| !b).count() as f64 / k as f64;
+                (-off * off / (self.config.kernel_width * self.config.kernel_width)).exp()
+            })
+            .collect();
+
+        // Design: intercept + one column per active feature.
+        let mut design = Matrix::zeros(masks.len(), k + 1);
+        for (r, mask) in masks.iter().enumerate() {
+            design[(r, 0)] = 1.0;
+            for (j, &on) in mask.iter().enumerate() {
+                design[(r, j + 1)] = if on { 1.0 } else { 0.0 };
+            }
+        }
+        let beta = weighted_least_squares(&design, &fvals, &weights, self.config.ridge)
+            .unwrap_or_else(|_| vec![0.0; k + 1]);
+
+        for (j, &feat) in active.iter().enumerate() {
+            values[feat] = beta[j + 1];
+        }
+        // LIME's natural "expected" is its intercept; we keep the model's
+        // background prediction for comparability with SHAP outputs.
+        Attribution { values, expected }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnPredictor;
+
+    #[test]
+    fn recovers_linear_coefficients() {
+        let f = FnPredictor(|x: &[f64]| 3.0 * x[0] - 2.0 * x[1] + 7.0);
+        let x = [1.0, 1.0, 0.0];
+        let a = Lime::default().explain(&f, &x, &[0.0; 3]);
+        assert!((a.values[0] - 3.0).abs() < 0.2, "{:?}", a.values);
+        assert!((a.values[1] + 2.0).abs() < 0.2, "{:?}", a.values);
+        assert_eq!(a.values[2], 0.0);
+    }
+
+    #[test]
+    fn inactive_features_zero() {
+        let f = FnPredictor(|x: &[f64]| x.iter().sum());
+        let a = Lime::default().explain(&f, &[5.0, 0.0], &[0.0, 0.0]);
+        assert_eq!(a.values[1], 0.0);
+        assert!(a.values[0] > 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let f = FnPredictor(|x: &[f64]| x[0] * x[1] + x[2]);
+        let x = [1.0, 2.0, 3.0];
+        let a = Lime::default().explain(&f, &x, &[0.0; 3]);
+        let b = Lime::default().explain(&f, &x, &[0.0; 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sign_of_contributions_tracks_the_model() {
+        // A feature that hurts the output must get a negative coefficient.
+        let f = FnPredictor(|x: &[f64]| 10.0 - 4.0 * x[0] + x[1]);
+        let a = Lime::default().explain(&f, &[2.0, 3.0], &[0.0, 0.0]);
+        assert!(a.values[0] < 0.0);
+        assert!(a.values[1] > 0.0);
+    }
+
+    #[test]
+    fn no_active_features_yields_zeros() {
+        let f = FnPredictor(|x: &[f64]| x[0]);
+        let a = Lime::default().explain(&f, &[0.0], &[0.0]);
+        assert_eq!(a.values, vec![0.0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Diagnosis-quality metrics: the paper's Eq. 5 "RMSE for SHAP" and local
+//! accuracy checks.
+
+use crate::Attribution;
+
+/// Local-accuracy residual of one attribution: `E + Σ C_j − y` where `y` is
+/// the *real* (not predicted) performance of the job. Summed in quadrature
+/// across jobs this is the paper's Eq. 5.
+pub fn local_accuracy_residual(attr: &Attribution, y_true: f64) -> f64 {
+    attr.reconstructed() - y_true
+}
+
+/// The paper's Eq. 5: `RMSE for SHAP = sqrt(mean_i (E_i + Σ_j C_ij − y_i)²)`.
+///
+/// Measures how accurately the diagnosis function's decomposition accounts
+/// for the job's true performance: the attribution always reconstructs the
+/// *model's* prediction exactly, so this metric is the model error as seen
+/// through the diagnosis.
+///
+/// # Panics
+/// Panics on empty or mismatched inputs.
+pub fn shap_rmse(attrs: &[Attribution], y_true: &[f64]) -> f64 {
+    assert_eq!(attrs.len(), y_true.len(), "attribution/target length mismatch");
+    assert!(!attrs.is_empty(), "no attributions");
+    let sse: f64 = attrs
+        .iter()
+        .zip(y_true)
+        .map(|(a, &y)| {
+            let r = local_accuracy_residual(a, y);
+            r * r
+        })
+        .sum();
+    (sse / attrs.len() as f64).sqrt()
+}
+
+/// Robustness check (paper §3.3): every feature that is zero in `x` (equal
+/// to the zero background) must have exactly zero attribution. Returns the
+/// offending indices.
+pub fn robustness_violations(attr: &Attribution, x: &[f64]) -> Vec<usize> {
+    x.iter()
+        .zip(&attr.values)
+        .enumerate()
+        .filter(|(_, (&xv, &c))| xv == 0.0 && c != 0.0)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq5_rmse_zero_for_perfect_reconstruction() {
+        let attrs = vec![
+            Attribution { values: vec![1.0, 2.0], expected: 3.0 },
+            Attribution { values: vec![-1.0, 0.0], expected: 2.0 },
+        ];
+        assert_eq!(shap_rmse(&attrs, &[6.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn eq5_rmse_matches_hand_value() {
+        let attrs = vec![
+            Attribution { values: vec![0.0], expected: 3.0 }, // reconstructed 3, y 0 → err 3
+            Attribution { values: vec![0.0], expected: 4.0 }, // err 4... y = 0
+        ];
+        let got = shap_rmse(&attrs, &[0.0, 0.0]);
+        assert!((got - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robustness_violations_found() {
+        let attr = Attribution { values: vec![0.5, 0.0, -0.1], expected: 0.0 };
+        let x = [1.0, 0.0, 0.0];
+        assert_eq!(robustness_violations(&attr, &x), vec![2]);
+        let clean = Attribution { values: vec![0.5, 0.0, 0.0], expected: 0.0 };
+        assert!(robustness_violations(&clean, &x).is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! Path-dependent TreeSHAP (Lundberg, Erion & Lee, 2018) for the
+//! `aiio-gbdt` tree ensembles.
+//!
+//! Computes exact Shapley values in polynomial time for tree models, using
+//! node covers (training-sample counts) as the background distribution.
+//! This is the algorithm the `shap` package runs when handed a tree model;
+//! AIIO's default diagnosis path uses the Kernel Explainer, so this module
+//! serves cross-checks and the ablation benches comparing explainer
+//! choices.
+//!
+//! The implementation follows the reference `tree_shap.h` from the shap
+//! package: an incremental path of unique features with EXTEND / UNWIND
+//! operations maintaining the Shapley weights.
+
+use crate::Attribution;
+use aiio_gbdt::{Booster, Tree};
+
+/// One element of the unique-feature path.
+#[derive(Debug, Clone, Copy)]
+struct PathElem {
+    /// Feature index (-1 for the root dummy element).
+    feature: i64,
+    /// Fraction of "zero" (background) paths that flow through.
+    zero: f64,
+    /// 1 if the explained point's path goes this way, else 0.
+    one: f64,
+    /// Permutation weight.
+    weight: f64,
+}
+
+fn extend(path: &mut Vec<PathElem>, zero: f64, one: f64, feature: i64) {
+    let depth = path.len();
+    path.push(PathElem { feature, zero, one, weight: if depth == 0 { 1.0 } else { 0.0 } });
+    let d1 = (depth + 1) as f64;
+    for i in (0..depth).rev() {
+        path[i + 1].weight += one * path[i].weight * (i as f64 + 1.0) / d1;
+        path[i].weight = zero * path[i].weight * (depth - i) as f64 / d1;
+    }
+}
+
+fn unwind(path: &mut Vec<PathElem>, index: usize) {
+    let depth = path.len() - 1;
+    let one = path[index].one;
+    let zero = path[index].zero;
+    let mut next_one = path[depth].weight;
+    let d1 = (depth + 1) as f64;
+    for i in (0..depth).rev() {
+        if one != 0.0 {
+            let tmp = path[i].weight;
+            path[i].weight = next_one * d1 / ((i as f64 + 1.0) * one);
+            next_one = tmp - path[i].weight * zero * (depth - i) as f64 / d1;
+        } else {
+            path[i].weight = path[i].weight * d1 / (zero * (depth - i) as f64);
+        }
+    }
+    for i in index..depth {
+        path[i].feature = path[i + 1].feature;
+        path[i].zero = path[i + 1].zero;
+        path[i].one = path[i + 1].one;
+    }
+    path.pop();
+}
+
+fn unwound_sum(path: &[PathElem], index: usize) -> f64 {
+    let depth = path.len() - 1;
+    let one = path[index].one;
+    let zero = path[index].zero;
+    let mut next_one = path[depth].weight;
+    let d1 = (depth + 1) as f64;
+    let mut total = 0.0;
+    for i in (0..depth).rev() {
+        if one != 0.0 {
+            let tmp = next_one * d1 / ((i as f64 + 1.0) * one);
+            total += tmp;
+            next_one = path[i].weight - tmp * zero * (depth - i) as f64 / d1;
+        } else if zero != 0.0 {
+            total += path[i].weight * d1 / (zero * (depth - i) as f64);
+        }
+    }
+    total
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the reference tree_shap.h signature
+fn recurse(
+    tree: &Tree,
+    x: &[f64],
+    phi: &mut [f64],
+    node: usize,
+    mut path: Vec<PathElem>,
+    zero: f64,
+    one: f64,
+    feature: i64,
+) {
+    extend(&mut path, zero, one, feature);
+    let n = &tree.nodes()[node];
+    if n.is_leaf() {
+        for i in 1..path.len() {
+            let w = unwound_sum(&path, i);
+            let el = &path[i];
+            phi[el.feature as usize] += w * (el.one - el.zero) * n.value;
+        }
+        return;
+    }
+    let (hot, cold) = if x[n.feature as usize] <= n.threshold {
+        (n.left as usize, n.right as usize)
+    } else {
+        (n.right as usize, n.left as usize)
+    };
+    let cover = n.cover;
+    let frac = |child: usize| -> f64 {
+        if cover > 0.0 {
+            tree.nodes()[child].cover / cover
+        } else {
+            0.0
+        }
+    };
+    let (hot_frac, cold_frac) = (frac(hot), frac(cold));
+
+    // If this feature already appears on the path, undo its element and
+    // fold its fractions into the new ones.
+    let mut incoming_zero = 1.0;
+    let mut incoming_one = 1.0;
+    if let Some(k) = path.iter().position(|e| e.feature == n.feature as i64) {
+        incoming_zero = path[k].zero;
+        incoming_one = path[k].one;
+        unwind(&mut path, k);
+    }
+
+    // A branch with zero cover fraction and a zero one-fraction carries no
+    // weight at all (it also breaks UNWIND's division) — prune it. This
+    // happens for the empty leaves oblivious trees can produce.
+    let hot_zero = hot_frac * incoming_zero;
+    if hot_zero != 0.0 || incoming_one != 0.0 {
+        recurse(tree, x, phi, hot, path.clone(), hot_zero, incoming_one, n.feature as i64);
+    }
+    let cold_zero = cold_frac * incoming_zero;
+    if cold_zero != 0.0 {
+        recurse(tree, x, phi, cold, path, cold_zero, 0.0, n.feature as i64);
+    }
+}
+
+/// Expected prediction of a single tree under its cover distribution.
+pub fn tree_expected_value(tree: &Tree) -> f64 {
+    let root_cover = tree.nodes()[0].cover;
+    if root_cover <= 0.0 {
+        return tree.nodes()[0].value;
+    }
+    tree.nodes()
+        .iter()
+        .filter(|n| n.is_leaf())
+        .map(|n| n.value * n.cover / root_cover)
+        .sum()
+}
+
+/// TreeSHAP attribution of a single tree.
+pub fn tree_shap_single(tree: &Tree, x: &[f64]) -> Attribution {
+    let mut phi = vec![0.0; x.len()];
+    recurse(tree, x, &mut phi, 0, Vec::new(), 1.0, 1.0, -1);
+    Attribution { values: phi, expected: tree_expected_value(tree) }
+}
+
+/// TreeSHAP attribution of a fitted booster: per-tree attributions summed,
+/// expected value = base score + per-tree expectations.
+pub fn tree_shap(booster: &Booster, x: &[f64]) -> Attribution {
+    let mut values = vec![0.0; x.len()];
+    let mut expected = booster.base_score();
+    for tree in booster.trees() {
+        let a = tree_shap_single(tree, x);
+        for (v, a) in values.iter_mut().zip(&a.values) {
+            *v += a;
+        }
+        expected += a.expected;
+    }
+    Attribution { values, expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiio_gbdt::{GbdtConfig, Node};
+
+    /// Single split on x0 at 0.5: left (cover 3) -> 10, right (cover 1) -> 20.
+    fn stump() -> Tree {
+        Tree::new(vec![
+            Node { feature: 0, threshold: 0.5, left: 1, right: 2, value: 0.0, cover: 4.0 },
+            Node::leaf(10.0, 3.0),
+            Node::leaf(20.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn stump_attribution_is_delta_from_expectation() {
+        let t = stump();
+        // E[f] = (3*10 + 1*20)/4 = 12.5.
+        assert!((tree_expected_value(&t) - 12.5).abs() < 1e-12);
+        let a = tree_shap_single(&t, &[0.0, 9.0]);
+        // f(x) = 10 → phi0 = 10 - 12.5 = -2.5, feature 1 unused.
+        assert!((a.values[0] + 2.5).abs() < 1e-12);
+        assert_eq!(a.values[1], 0.0);
+        assert!((a.reconstructed() - 10.0).abs() < 1e-12);
+        let a = tree_shap_single(&t, &[1.0, 9.0]);
+        assert!((a.values[0] - 7.5).abs() < 1e-12);
+        assert!((a.reconstructed() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_feature_tree_local_accuracy_and_split() {
+        // x0 <= 0 ? (x1 <= 0 ? 0 : 4) : (x1 <= 0 ? 8 : 12), uniform covers.
+        let t = Tree::new(vec![
+            Node { feature: 0, threshold: 0.0, left: 1, right: 2, value: 0.0, cover: 4.0 },
+            Node { feature: 1, threshold: 0.0, left: 3, right: 4, value: 0.0, cover: 2.0 },
+            Node { feature: 1, threshold: 0.0, left: 5, right: 6, value: 0.0, cover: 2.0 },
+            Node::leaf(0.0, 1.0),
+            Node::leaf(4.0, 1.0),
+            Node::leaf(8.0, 1.0),
+            Node::leaf(12.0, 1.0),
+        ]);
+        assert!((tree_expected_value(&t) - 6.0).abs() < 1e-12);
+        // Additive structure f = 8*(x0>0) + 4*(x1>0): Shapley gives each
+        // feature its own main effect.
+        let a = tree_shap_single(&t, &[1.0, 1.0]);
+        assert!((a.values[0] - 4.0).abs() < 1e-12, "{:?}", a.values);
+        assert!((a.values[1] - 2.0).abs() < 1e-12, "{:?}", a.values);
+        assert!((a.reconstructed() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_feature_on_path_handled() {
+        // x0 <= 0.5 ? (x0 <= -0.5 ? 1 : 2) : 3 — feature 0 appears twice.
+        let t = Tree::new(vec![
+            Node { feature: 0, threshold: 0.5, left: 1, right: 2, value: 0.0, cover: 6.0 },
+            Node { feature: 0, threshold: -0.5, left: 3, right: 4, value: 0.0, cover: 4.0 },
+            Node::leaf(3.0, 2.0),
+            Node::leaf(1.0, 2.0),
+            Node::leaf(2.0, 2.0),
+        ]);
+        for x0 in [-1.0, 0.0, 1.0] {
+            let a = tree_shap_single(&t, &[x0]);
+            let fx = t.predict(&[x0]);
+            assert!(
+                (a.reconstructed() - fx).abs() < 1e-10,
+                "x0={x0}: {} vs {fx}",
+                a.reconstructed()
+            );
+        }
+    }
+
+    #[test]
+    fn local_accuracy_on_trained_boosters() {
+        // Train each growth strategy on nonlinear data and verify local
+        // accuracy of the ensemble attribution at many points.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let y: Vec<f64> =
+            x.iter().map(|r| r[0] * r[1] + (r[2] * 3.0).sin() + 0.5 * r[3]).collect();
+        for cfg in [
+            GbdtConfig { n_rounds: 20, ..GbdtConfig::xgboost_like() },
+            GbdtConfig { n_rounds: 20, ..GbdtConfig::lightgbm_like() },
+            GbdtConfig { n_rounds: 20, ..GbdtConfig::catboost_like() },
+        ] {
+            let m = Booster::fit(&cfg, &x, &y, None).unwrap();
+            for row in x.iter().take(20) {
+                let a = tree_shap(&m, row);
+                let fx = m.predict_one(row);
+                assert!(
+                    (a.reconstructed() - fx).abs() < 1e-8,
+                    "{:?}: {} vs {}",
+                    cfg.growth,
+                    a.reconstructed(),
+                    fx
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unused_features_get_zero() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(6);
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        // Only feature 0 matters.
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0).collect();
+        let cfg = GbdtConfig { n_rounds: 10, ..GbdtConfig::xgboost_like() };
+        let m = Booster::fit(&cfg, &x, &y, None).unwrap();
+        let a = tree_shap(&m, &x[0]);
+        // Feature 1 may appear in noise splits but should carry far less
+        // attribution than feature 0.
+        assert!(a.values[1].abs() < 0.05 * a.values[0].abs().max(0.1), "{:?}", a.values);
+    }
+
+    #[test]
+    fn expected_value_matches_mean_prediction() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] + r[1]).collect();
+        let cfg = GbdtConfig { n_rounds: 15, subsample: 1.0, ..GbdtConfig::xgboost_like() };
+        let m = Booster::fit(&cfg, &x, &y, None).unwrap();
+        let a = tree_shap(&m, &x[0]);
+        let mean_pred: f64 = m.predict(&x).iter().sum::<f64>() / x.len() as f64;
+        // Path-dependent expectation ≈ training-mean prediction.
+        assert!((a.expected - mean_pred).abs() < 0.05, "{} vs {}", a.expected, mean_pred);
+    }
+}

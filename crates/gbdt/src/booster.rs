@@ -1,0 +1,566 @@
+//! The gradient-boosting driver: shrinkage, subsampling, validation-based
+//! early stopping, and the three library presets.
+
+use crate::dataset::BinnedMatrix;
+use crate::grow::{grow_leaf_wise, grow_level_wise, grow_oblivious, GrowParams, RowGrads};
+use crate::tree::Tree;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Tree growth strategy (the axis separating XGBoost / LightGBM / CatBoost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Growth {
+    /// Level-wise to `max_depth` (XGBoost-style).
+    LevelWise,
+    /// Best-gain-first to `max_leaves` (LightGBM-style).
+    LeafWise,
+    /// Symmetric: one shared split per level (CatBoost-style).
+    Oblivious,
+}
+
+/// Booster hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbdtConfig {
+    pub growth: Growth,
+    /// Maximum boosting rounds.
+    pub n_rounds: usize,
+    /// Shrinkage applied to every leaf.
+    pub learning_rate: f64,
+    /// Depth cap (level-wise / oblivious; loose cap for leaf-wise).
+    pub max_depth: usize,
+    /// Leaf cap (leaf-wise).
+    pub max_leaves: usize,
+    /// Minimum hessian (sample count) per child.
+    pub min_child_weight: f64,
+    /// L2 regularisation on leaf weights.
+    pub lambda: f64,
+    /// Minimum split gain.
+    pub gamma: f64,
+    /// Row subsample fraction per round.
+    pub subsample: f64,
+    /// Column subsample fraction per round.
+    pub colsample: f64,
+    /// Histogram bins per feature.
+    pub max_bins: usize,
+    /// Stop after this many rounds without validation improvement (the
+    /// paper uses 10 across all models). 0 disables early stopping.
+    pub early_stopping_rounds: usize,
+    /// Gradient-based one-side sampling (LightGBM's GOSS): keep the
+    /// `goss_top` fraction of rows with the largest |gradient|, sample
+    /// `goss_other` of the rest and amplify them by `(1-top)/other`.
+    /// Disabled when either fraction is 0.
+    pub goss_top: f64,
+    /// See [`Self::goss_top`].
+    pub goss_other: f64,
+    /// RNG seed for subsampling.
+    pub seed: u64,
+}
+
+impl GbdtConfig {
+    /// XGBoost-style preset.
+    pub fn xgboost_like() -> Self {
+        Self {
+            growth: Growth::LevelWise,
+            n_rounds: 400,
+            learning_rate: 0.1,
+            max_depth: 6,
+            max_leaves: 64,
+            min_child_weight: 1.0,
+            lambda: 1.0,
+            gamma: 0.0,
+            subsample: 1.0,
+            colsample: 1.0,
+            max_bins: 64,
+            early_stopping_rounds: 10,
+            seed: 0,
+            goss_top: 0.0,
+            goss_other: 0.0,
+        }
+    }
+
+    /// LightGBM-style preset.
+    pub fn lightgbm_like() -> Self {
+        Self {
+            growth: Growth::LeafWise,
+            max_leaves: 31,
+            max_depth: 8,
+            subsample: 0.9,
+            colsample: 0.9,
+            ..Self::xgboost_like()
+        }
+    }
+
+    /// LightGBM-style preset with GOSS enabled (top 20% by gradient,
+    /// 10% random remainder — the defaults from the LightGBM paper).
+    pub fn lightgbm_goss() -> Self {
+        Self { goss_top: 0.2, goss_other: 0.1, subsample: 1.0, ..Self::lightgbm_like() }
+    }
+
+    /// CatBoost-style preset.
+    pub fn catboost_like() -> Self {
+        Self { growth: Growth::Oblivious, max_depth: 6, lambda: 3.0, ..Self::xgboost_like() }
+    }
+}
+
+/// One round of the evaluation history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalRecord {
+    pub round: usize,
+    pub train_rmse: f64,
+    /// RMSE on the validation set, when one was supplied.
+    pub valid_rmse: Option<f64>,
+}
+
+/// Errors from fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// No training rows.
+    EmptyTrainingSet,
+    /// x/y length mismatch.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::EmptyTrainingSet => write!(f, "empty training set"),
+            FitError::LengthMismatch => write!(f, "x and y have different lengths"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted gradient-boosting model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Booster {
+    config: GbdtConfig,
+    base_score: f64,
+    trees: Vec<Tree>,
+    /// Index one past the last tree used for prediction (early stopping may
+    /// make this smaller than `trees.len()`).
+    best_n_trees: usize,
+    eval_history: Vec<EvalRecord>,
+}
+
+impl Booster {
+    /// Fit on `(x, y)`, optionally early-stopping against `valid`.
+    pub fn fit(
+        config: &GbdtConfig,
+        x: &[Vec<f64>],
+        y: &[f64],
+        valid: Option<(&[Vec<f64>], &[f64])>,
+    ) -> Result<Booster, FitError> {
+        if x.is_empty() {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        if x.len() != y.len() {
+            return Err(FitError::LengthMismatch);
+        }
+        if let Some((vx, vy)) = valid {
+            if vx.len() != vy.len() {
+                return Err(FitError::LengthMismatch);
+            }
+        }
+
+        let matrix = BinnedMatrix::from_rows(x, config.max_bins);
+        let n = x.len();
+        let n_features = matrix.n_features();
+        let base_score = y.iter().sum::<f64>() / n as f64;
+
+        let params = GrowParams {
+            max_depth: config.max_depth,
+            max_leaves: config.max_leaves,
+            min_child_weight: config.min_child_weight,
+            lambda: config.lambda,
+            gamma: config.gamma,
+        };
+
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut pred = vec![base_score; n];
+        let mut valid_pred: Vec<f64> = valid.map(|(vx, _)| vec![base_score; vx.len()]).unwrap_or_default();
+        let mut trees: Vec<Tree> = Vec::new();
+        let mut history: Vec<EvalRecord> = Vec::new();
+        let mut best_valid = f64::INFINITY;
+        let mut best_n_trees = 0usize;
+        let mut rounds_since_best = 0usize;
+
+        for round in 0..config.n_rounds {
+            // Squared loss: gradient = prediction - target, hessian = 1.
+            let raw_grads: Vec<f64> = pred.iter().zip(y).map(|(p, t)| p - t).collect();
+
+            let (rows, grads) = if config.goss_top > 0.0 && config.goss_other > 0.0 {
+                goss_sample(&mut rng, raw_grads, config.goss_top, config.goss_other)
+            } else {
+                (sample_indices(&mut rng, n, config.subsample), RowGrads::unit(raw_grads))
+            };
+            let features = sample_indices(&mut rng, n_features, config.colsample);
+
+            let mut tree = match config.growth {
+                Growth::LevelWise => grow_level_wise(&matrix, &grads, rows, &features, &params),
+                Growth::LeafWise => grow_leaf_wise(&matrix, &grads, rows, &features, &params),
+                Growth::Oblivious => grow_oblivious(&matrix, &grads, rows, &features, &params),
+            };
+            shrink(&mut tree, config.learning_rate);
+
+            // Update cached predictions.
+            pred.par_iter_mut().zip(x.par_iter()).for_each(|(p, row)| *p += tree.predict(row));
+            if let Some((vx, _)) = valid {
+                valid_pred
+                    .par_iter_mut()
+                    .zip(vx.par_iter())
+                    .for_each(|(p, row)| *p += tree.predict(row));
+            }
+            trees.push(tree);
+
+            let train_rmse = rmse(&pred, y);
+            let valid_rmse = valid.map(|(_, vy)| rmse(&valid_pred, vy));
+            history.push(EvalRecord { round, train_rmse, valid_rmse });
+
+            match valid_rmse {
+                Some(v) => {
+                    if v < best_valid {
+                        best_valid = v;
+                        best_n_trees = trees.len();
+                        rounds_since_best = 0;
+                    } else {
+                        rounds_since_best += 1;
+                        if config.early_stopping_rounds > 0
+                            && rounds_since_best >= config.early_stopping_rounds
+                        {
+                            break;
+                        }
+                    }
+                }
+                None => best_n_trees = trees.len(),
+            }
+        }
+
+        Ok(Booster { config: config.clone(), base_score, trees, best_n_trees, eval_history: history })
+    }
+
+    /// Predict one sample (uses the early-stopped prefix of trees).
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        let mut p = self.base_score;
+        for tree in &self.trees[..self.best_n_trees] {
+            p += tree.predict(x);
+        }
+        p
+    }
+
+    /// Predict a batch in parallel.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.par_iter().map(|row| self.predict_one(row)).collect()
+    }
+
+    /// The trees used for prediction (early-stopped prefix).
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees[..self.best_n_trees]
+    }
+
+    /// The learned intercept (mean of the training target).
+    pub fn base_score(&self) -> f64 {
+        self.base_score
+    }
+
+    /// Per-round train/valid RMSE (paper Fig. 16's loss curve).
+    pub fn eval_history(&self) -> &[EvalRecord] {
+        &self.eval_history
+    }
+
+    /// Number of boosting rounds actually used after early stopping.
+    pub fn best_n_trees(&self) -> usize {
+        self.best_n_trees
+    }
+
+    /// The configuration this model was fitted with.
+    pub fn config(&self) -> &GbdtConfig {
+        &self.config
+    }
+
+    /// Split-based feature importance: for every feature, the number of
+    /// splits using it and the total training cover routed through those
+    /// splits, normalised to sum to 1 each. Returns `(split_share,
+    /// cover_share)` indexed by feature.
+    pub fn feature_importance(&self, n_features: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut splits = vec![0.0; n_features];
+        let mut cover = vec![0.0; n_features];
+        for tree in self.trees() {
+            for node in tree.nodes() {
+                if !node.is_leaf() {
+                    let f = node.feature as usize;
+                    if f < n_features {
+                        splits[f] += 1.0;
+                        cover[f] += node.cover;
+                    }
+                }
+            }
+        }
+        for v in [&mut splits, &mut cover] {
+            let total: f64 = v.iter().sum();
+            if total > 0.0 {
+                v.iter_mut().for_each(|x| *x /= total);
+            }
+        }
+        (splits, cover)
+    }
+}
+
+/// Scale every leaf by the learning rate.
+fn shrink(tree: &mut Tree, lr: f64) {
+    // Rebuild with scaled leaf values (Tree is immutable by design).
+    let nodes = tree
+        .nodes()
+        .iter()
+        .map(|n| {
+            let mut n = n.clone();
+            if n.is_leaf() {
+                n.value *= lr;
+            }
+            n
+        })
+        .collect();
+    *tree = Tree::new(nodes);
+}
+
+/// Sample `fraction` of `0..n` without replacement (at least 1), sorted.
+fn sample_indices(rng: &mut impl Rng, n: usize, fraction: f64) -> Vec<usize> {
+    if fraction >= 1.0 {
+        return (0..n).collect();
+    }
+    let k = ((n as f64 * fraction).round() as usize).clamp(1, n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+/// GOSS: keep the top-|gradient| rows, sample a fraction of the rest and
+/// amplify their gradient/hessian so split gains stay unbiased
+/// (Ke et al., 2017).
+fn goss_sample(
+    rng: &mut impl Rng,
+    grads: Vec<f64>,
+    top: f64,
+    other: f64,
+) -> (Vec<usize>, RowGrads) {
+    let n = grads.len();
+    let n_top = ((n as f64 * top).round() as usize).clamp(1, n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| grads[b].abs().partial_cmp(&grads[a].abs()).unwrap());
+    let mut rows: Vec<usize> = order[..n_top].to_vec();
+    let rest = &order[n_top..];
+    let n_other = ((n as f64 * other).round() as usize).min(rest.len());
+    let mut rest_shuffled = rest.to_vec();
+    rest_shuffled.shuffle(rng);
+    let amplify = if n_other > 0 { (1.0 - top) / other } else { 1.0 };
+    let mut rg = RowGrads::unit(grads);
+    for &r in rest_shuffled.iter().take(n_other) {
+        rows.push(r);
+        rg.grad[r] *= amplify;
+        rg.hess[r] *= amplify;
+    }
+    rows.sort_unstable();
+    (rows, rg)
+}
+
+fn rmse(pred: &[f64], y: &[f64]) -> f64 {
+    let sse: f64 = pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum();
+    (sse / y.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn friedmanish(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Deterministic nonlinear regression data.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..5).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 10.0 * (std::f64::consts::PI * r[0] * r[1]).sin() + 20.0 * (r[2] - 0.5).powi(2) + 10.0 * r[3])
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_linear_target_closely() {
+        let x: Vec<Vec<f64>> = (0..300).map(|i| vec![(i % 100) as f64, ((i * 7) % 13) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - r[1]).collect();
+        for growth in [Growth::LevelWise, Growth::LeafWise, Growth::Oblivious] {
+            let cfg = GbdtConfig { growth, n_rounds: 80, ..GbdtConfig::xgboost_like() };
+            let m = Booster::fit(&cfg, &x, &y, None).unwrap();
+            let pred = m.predict(&x);
+            let err = rmse(&pred, &y);
+            let spread = {
+                let mean = y.iter().sum::<f64>() / y.len() as f64;
+                (y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y.len() as f64).sqrt()
+            };
+            assert!(err < 0.1 * spread, "{growth:?}: rmse {err} vs spread {spread}");
+        }
+    }
+
+    #[test]
+    fn early_stopping_truncates_trees() {
+        let (x, y) = friedmanish(400, 3);
+        let (vx, vy) = friedmanish(200, 4);
+        let cfg = GbdtConfig { n_rounds: 300, early_stopping_rounds: 5, ..GbdtConfig::xgboost_like() };
+        let m = Booster::fit(&cfg, &x, &y, Some((&vx, &vy))).unwrap();
+        assert!(m.best_n_trees() <= m.eval_history().len());
+        assert!(m.eval_history().len() < 300, "should have stopped early");
+        // best_n_trees corresponds to the minimum validation RMSE seen.
+        let best = m
+            .eval_history()
+            .iter()
+            .min_by(|a, b| a.valid_rmse.partial_cmp(&b.valid_rmse).unwrap())
+            .unwrap();
+        assert_eq!(best.round + 1, m.best_n_trees());
+    }
+
+    #[test]
+    fn validation_rmse_decreases_substantially() {
+        let (x, y) = friedmanish(600, 5);
+        let (vx, vy) = friedmanish(300, 6);
+        let cfg = GbdtConfig { n_rounds: 150, ..GbdtConfig::lightgbm_like() };
+        let m = Booster::fit(&cfg, &x, &y, Some((&vx, &vy))).unwrap();
+        let first = m.eval_history()[0].valid_rmse.unwrap();
+        let best = m
+            .eval_history()
+            .iter()
+            .filter_map(|r| r.valid_rmse)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 0.5 * first, "first={first} best={best}");
+    }
+
+    #[test]
+    fn training_loss_is_monotone_nonincreasing_without_subsampling() {
+        let (x, y) = friedmanish(300, 9);
+        let cfg = GbdtConfig {
+            n_rounds: 40,
+            subsample: 1.0,
+            colsample: 1.0,
+            ..GbdtConfig::xgboost_like()
+        };
+        let m = Booster::fit(&cfg, &x, &y, None).unwrap();
+        let h = m.eval_history();
+        for w in h.windows(2) {
+            assert!(
+                w[1].train_rmse <= w[0].train_rmse + 1e-9,
+                "round {}: {} -> {}",
+                w[1].round,
+                w[0].train_rmse,
+                w[1].train_rmse
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = friedmanish(200, 11);
+        let cfg = GbdtConfig { n_rounds: 20, subsample: 0.8, ..GbdtConfig::lightgbm_like() };
+        let a = Booster::fit(&cfg, &x, &y, None).unwrap();
+        let b = Booster::fit(&cfg, &x, &y, None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(
+            Booster::fit(&GbdtConfig::xgboost_like(), &[], &[], None).unwrap_err(),
+            FitError::EmptyTrainingSet
+        );
+        assert_eq!(
+            Booster::fit(&GbdtConfig::xgboost_like(), &[vec![1.0]], &[1.0, 2.0], None).unwrap_err(),
+            FitError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let (x, y) = friedmanish(200, 13);
+        let cfg = GbdtConfig { n_rounds: 15, ..GbdtConfig::catboost_like() };
+        let m = Booster::fit(&cfg, &x, &y, None).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Booster = serde_json::from_str(&json).unwrap();
+        for row in x.iter().take(10) {
+            // JSON text roundtrips f64 to within an ulp or two.
+            assert!((m.predict_one(row) - back.predict_one(row)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn goss_training_tracks_full_training_closely() {
+        let (x, y) = friedmanish(600, 21);
+        let full = Booster::fit(
+            &GbdtConfig { n_rounds: 60, ..GbdtConfig::lightgbm_like() },
+            &x,
+            &y,
+            None,
+        )
+        .unwrap();
+        let goss = Booster::fit(
+            &GbdtConfig { n_rounds: 60, ..GbdtConfig::lightgbm_goss() },
+            &x,
+            &y,
+            None,
+        )
+        .unwrap();
+        let e_full = rmse(&full.predict(&x), &y);
+        let e_goss = rmse(&goss.predict(&x), &y);
+        // GOSS sees ~30% of rows per round yet must stay competitive.
+        assert!(e_goss < 3.0 * e_full + 0.1, "goss {e_goss} vs full {e_full}");
+    }
+
+    #[test]
+    fn goss_sample_amplifies_small_gradients() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let grads: Vec<f64> = (0..100).map(|i| if i < 10 { 100.0 } else { 0.5 }).collect();
+        let (rows, rg) = goss_sample(&mut rng, grads, 0.1, 0.2);
+        // 10 top rows + b*N = 20 sampled rows.
+        assert_eq!(rows.len(), 10 + 20);
+        // Top rows keep their gradient; sampled rows are amplified by
+        // (1 - 0.1) / 0.2 = 4.5.
+        for &r in &rows {
+            if rg.grad[r].abs() > 50.0 {
+                assert_eq!(rg.grad[r], 100.0);
+            } else {
+                assert!((rg.grad[r] - 2.25).abs() < 1e-12, "{}", rg.grad[r]);
+                assert!((rg.hess[r] - 4.5).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn feature_importance_identifies_the_signal_feature() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 10.0 * r[1]).collect();
+        let m = Booster::fit(
+            &GbdtConfig { n_rounds: 20, ..GbdtConfig::xgboost_like() },
+            &x,
+            &y,
+            None,
+        )
+        .unwrap();
+        let (splits, cover) = m.feature_importance(3);
+        assert!(splits[1] > 0.8, "{splits:?}");
+        assert!(cover[1] > 0.8, "{cover:?}");
+        assert!((splits.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_differ_in_growth() {
+        assert_eq!(GbdtConfig::xgboost_like().growth, Growth::LevelWise);
+        assert_eq!(GbdtConfig::lightgbm_like().growth, Growth::LeafWise);
+        assert_eq!(GbdtConfig::catboost_like().growth, Growth::Oblivious);
+    }
+}

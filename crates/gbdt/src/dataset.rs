@@ -1,0 +1,207 @@
+//! Quantile binning and the binned feature matrix histograms are built on.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of bins per feature (bin indices fit in a `u8`).
+pub const MAX_BINS: usize = 256;
+
+/// Per-feature quantile cut points.
+///
+/// Feature values are mapped to bins by `bin = #\{cuts < value\}`; a split
+/// "bin ≤ b" corresponds to the raw-value predicate `value ≤ cuts[b]`, which
+/// is what the grown trees store so prediction never needs the binner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Binner {
+    cuts: Vec<Vec<f64>>,
+}
+
+impl Binner {
+    /// Fit cut points from training rows. Each feature gets at most
+    /// `max_bins - 1` cuts at evenly spaced quantiles (deduplicated, so
+    /// near-constant features get few bins).
+    ///
+    /// # Panics
+    /// Panics if `max_bins` is not in `2..=256` or `x` is empty/ragged.
+    pub fn fit(x: &[Vec<f64>], max_bins: usize) -> Binner {
+        assert!((2..=MAX_BINS).contains(&max_bins), "max_bins must be in 2..=256");
+        assert!(!x.is_empty(), "cannot fit binner on empty data");
+        let n_features = x[0].len();
+        let mut cuts = Vec::with_capacity(n_features);
+        let mut col: Vec<f64> = Vec::with_capacity(x.len());
+        for f in 0..n_features {
+            col.clear();
+            col.extend(x.iter().map(|row| {
+                assert_eq!(row.len(), n_features, "ragged feature rows");
+                row[f]
+            }));
+            col.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature value"));
+            let mut feature_cuts = Vec::new();
+            for i in 1..max_bins {
+                let q = i as f64 / max_bins as f64;
+                let pos = (q * (col.len() - 1) as f64).round() as usize;
+                let c = col[pos];
+                if feature_cuts.last() != Some(&c) && c < col[col.len() - 1] {
+                    feature_cuts.push(c);
+                }
+            }
+            cuts.push(feature_cuts);
+        }
+        Binner { cuts }
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Number of bins for feature `f` (= cuts + 1).
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.cuts[f].len() + 1
+    }
+
+    /// Bin index of a raw value: the number of cuts strictly below `v`...
+    /// precisely, the first bin whose upper cut is ≥ `v`.
+    pub fn bin(&self, f: usize, v: f64) -> u8 {
+        let cuts = &self.cuts[f];
+        cuts.partition_point(|&c| c < v) as u8
+    }
+
+    /// Raw-value threshold realising the split "bin ≤ b": `value ≤ cuts[b]`.
+    ///
+    /// # Panics
+    /// Panics if `b` is the last bin (no cut above it — not a valid split).
+    pub fn threshold(&self, f: usize, b: usize) -> f64 {
+        self.cuts[f][b]
+    }
+}
+
+/// Column-major binned feature matrix.
+#[derive(Debug, Clone)]
+pub struct BinnedMatrix {
+    n_rows: usize,
+    n_features: usize,
+    /// `bins[f * n_rows + r]` is the bin of row `r`, feature `f`.
+    bins: Vec<u8>,
+    binner: Binner,
+}
+
+impl BinnedMatrix {
+    /// Bin the rows of `x` with a freshly fitted binner.
+    pub fn from_rows(x: &[Vec<f64>], max_bins: usize) -> BinnedMatrix {
+        let binner = Binner::fit(x, max_bins);
+        Self::with_binner(x, binner)
+    }
+
+    /// Bin the rows of `x` with an existing binner (e.g. validation data
+    /// binned with the training cuts).
+    pub fn with_binner(x: &[Vec<f64>], binner: Binner) -> BinnedMatrix {
+        let n_rows = x.len();
+        let n_features = binner.n_features();
+        let mut bins = vec![0u8; n_rows * n_features];
+        for (r, row) in x.iter().enumerate() {
+            assert_eq!(row.len(), n_features, "row width mismatch with binner");
+            for f in 0..n_features {
+                bins[f * n_rows + r] = binner.bin(f, row[f]);
+            }
+        }
+        BinnedMatrix { n_rows, n_features, bins, binner }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Bin of row `r`, feature `f`.
+    #[inline]
+    pub fn bin(&self, r: usize, f: usize) -> u8 {
+        self.bins[f * self.n_rows + r]
+    }
+
+    /// The whole binned column of feature `f`.
+    #[inline]
+    pub fn column(&self, f: usize) -> &[u8] {
+        &self.bins[f * self.n_rows..(f + 1) * self.n_rows]
+    }
+
+    /// The binner used to build this matrix.
+    pub fn binner(&self) -> &Binner {
+        &self.binner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(vals: &[f64]) -> Vec<Vec<f64>> {
+        vals.iter().map(|&v| vec![v]).collect()
+    }
+
+    #[test]
+    fn binner_orders_values_monotonically() {
+        let x = rows(&[1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 0.0, 7.0]);
+        let b = Binner::fit(&x, 4);
+        // Bins must be monotone in the value.
+        let mut last = 0u8;
+        for v in [0.0, 1.0, 2.0, 3.0, 5.0, 7.0, 8.0, 9.0] {
+            let bin = b.bin(0, v);
+            assert!(bin >= last, "bin({v}) = {bin} < {last}");
+            last = bin;
+        }
+    }
+
+    #[test]
+    fn constant_feature_gets_single_bin() {
+        let x = rows(&[4.0; 10]);
+        let b = Binner::fit(&x, 16);
+        assert_eq!(b.n_bins(0), 1);
+        assert_eq!(b.bin(0, 4.0), 0);
+        assert_eq!(b.bin(0, 100.0), 0);
+    }
+
+    #[test]
+    fn threshold_realises_bin_split() {
+        let x = rows(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let b = Binner::fit(&x, 4);
+        // For every valid split bin, value <= threshold iff bin <= split.
+        for split in 0..b.n_bins(0) - 1 {
+            let thr = b.threshold(0, split);
+            for v in [0.0, 1.5, 3.0, 4.2, 7.0] {
+                assert_eq!(v <= thr, b.bin(0, v) as usize <= split, "split={split} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn binned_matrix_is_column_major_and_consistent() {
+        let x = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let m = BinnedMatrix::from_rows(&x, 4);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_features(), 2);
+        for r in 0..3 {
+            for f in 0..2 {
+                assert_eq!(m.bin(r, f), m.column(f)[r]);
+                assert_eq!(m.bin(r, f), m.binner().bin(f, x[r][f]));
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rows_binned_with_training_cuts() {
+        let train = rows(&[0.0, 10.0, 20.0, 30.0]);
+        let m = BinnedMatrix::from_rows(&train, 4);
+        let valid = BinnedMatrix::with_binner(&rows(&[5.0, 25.0]), m.binner().clone());
+        assert_eq!(valid.bin(0, 0), m.binner().bin(0, 5.0));
+        assert_eq!(valid.bin(1, 0), m.binner().bin(0, 25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_bins")]
+    fn max_bins_bounds_enforced() {
+        let _ = Binner::fit(&rows(&[1.0]), 1);
+    }
+}

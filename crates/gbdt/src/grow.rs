@@ -1,0 +1,508 @@
+//! Tree growing: histogram split finding plus the three growth strategies
+//! (level-wise, leaf-wise, oblivious).
+
+use crate::dataset::BinnedMatrix;
+use crate::tree::{Node, Tree};
+use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Per-row gradient/hessian pairs. Plain squared-loss boosting has
+/// hessian 1 everywhere; GOSS (gradient-based one-side sampling,
+/// LightGBM's trick) amplifies the sampled small-gradient rows by
+/// scaling both.
+#[derive(Debug, Clone)]
+pub struct RowGrads {
+    pub grad: Vec<f64>,
+    pub hess: Vec<f64>,
+}
+
+impl RowGrads {
+    /// Unit-hessian gradients.
+    pub fn unit(grad: Vec<f64>) -> RowGrads {
+        let hess = vec![1.0; grad.len()];
+        RowGrads { grad, hess }
+    }
+}
+
+/// Gradient statistics of a set of rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GradStats {
+    /// Sum of gradients.
+    pub grad: f64,
+    /// Sum of hessians (= row count for squared loss).
+    pub hess: f64,
+}
+
+impl GradStats {
+    fn add(&mut self, g: f64, h: f64) {
+        self.grad += g;
+        self.hess += h;
+    }
+
+    fn sub(self, other: GradStats) -> GradStats {
+        GradStats { grad: self.grad - other.grad, hess: self.hess - other.hess }
+    }
+
+    /// Structure score `G² / (H + λ)`.
+    fn score(self, lambda: f64) -> f64 {
+        if self.hess <= 0.0 {
+            0.0
+        } else {
+            self.grad * self.grad / (self.hess + lambda)
+        }
+    }
+
+    /// Optimal leaf weight `-G / (H + λ)`.
+    pub fn leaf_value(self, lambda: f64) -> f64 {
+        if self.hess <= 0.0 {
+            0.0
+        } else {
+            -self.grad / (self.hess + lambda)
+        }
+    }
+}
+
+/// Growth hyper-parameters (a subset of [`crate::GbdtConfig`] that the
+/// grower needs).
+#[derive(Debug, Clone, Copy)]
+pub struct GrowParams {
+    pub max_depth: usize,
+    pub max_leaves: usize,
+    pub min_child_weight: f64,
+    pub lambda: f64,
+    pub gamma: f64,
+}
+
+/// A candidate split of one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Split {
+    feature: usize,
+    bin: usize,
+    gain: f64,
+    left: GradStats,
+    right: GradStats,
+}
+
+/// Histogram of (grad, hess) per bin for one feature over a row set.
+fn build_histogram(
+    matrix: &BinnedMatrix,
+    rows: &[usize],
+    grads: &RowGrads,
+    feature: usize,
+) -> Vec<GradStats> {
+    let mut hist = vec![GradStats::default(); matrix.binner().n_bins(feature)];
+    let col = matrix.column(feature);
+    for &r in rows {
+        hist[col[r] as usize].add(grads.grad[r], grads.hess[r]);
+    }
+    hist
+}
+
+/// Best split of one feature given its histogram and the node totals.
+#[allow(clippy::needless_range_loop)] // running prefix over hist bins
+fn best_split_of_feature(
+    hist: &[GradStats],
+    total: GradStats,
+    feature: usize,
+    p: &GrowParams,
+) -> Option<Split> {
+    let parent_score = total.score(p.lambda);
+    let mut left = GradStats::default();
+    let mut best: Option<Split> = None;
+    // Split "bin <= b" for every b except the last bin.
+    for b in 0..hist.len().saturating_sub(1) {
+        left.add(hist[b].grad, hist[b].hess);
+        let right = total.sub(left);
+        if left.hess < p.min_child_weight || right.hess < p.min_child_weight {
+            continue;
+        }
+        let gain = left.score(p.lambda) + right.score(p.lambda) - parent_score;
+        if gain > p.gamma && best.is_none_or(|s| gain > s.gain) {
+            best = Some(Split { feature, bin: b, gain, left, right });
+        }
+    }
+    best
+}
+
+/// Best split of a node across the candidate features (parallel).
+fn best_split(
+    matrix: &BinnedMatrix,
+    rows: &[usize],
+    grads: &RowGrads,
+    features: &[usize],
+    total: GradStats,
+    p: &GrowParams,
+) -> Option<Split> {
+    features
+        .par_iter()
+        .filter_map(|&f| {
+            let hist = build_histogram(matrix, rows, grads, f);
+            best_split_of_feature(&hist, total, f, p)
+        })
+        .max_by(|a, b| a.gain.partial_cmp(&b.gain).unwrap_or(Ordering::Equal))
+}
+
+fn stats_of(rows: &[usize], grads: &RowGrads) -> GradStats {
+    let mut s = GradStats::default();
+    for &r in rows {
+        s.add(grads.grad[r], grads.hess[r]);
+    }
+    s
+}
+
+/// Partition `rows` by the split predicate `bin <= b`.
+fn partition(matrix: &BinnedMatrix, rows: &[usize], feature: usize, bin: usize) -> (Vec<usize>, Vec<usize>) {
+    let col = matrix.column(feature);
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &r in rows {
+        if col[r] as usize <= bin {
+            left.push(r);
+        } else {
+            right.push(r);
+        }
+    }
+    (left, right)
+}
+
+/// Grow a tree level by level up to `max_depth` (XGBoost-style).
+pub fn grow_level_wise(
+    matrix: &BinnedMatrix,
+    grads: &RowGrads,
+    rows: Vec<usize>,
+    features: &[usize],
+    p: &GrowParams,
+) -> Tree {
+    let mut nodes: Vec<Node> = Vec::new();
+    // Work items: (node index, rows, depth).
+    let total = stats_of(&rows, grads);
+    nodes.push(Node::leaf(total.leaf_value(p.lambda), total.hess));
+    let mut queue = vec![(0usize, rows, 0usize, total)];
+
+    while let Some((idx, node_rows, depth, total)) = queue.pop() {
+        if depth >= p.max_depth {
+            continue;
+        }
+        let Some(split) = best_split(matrix, &node_rows, grads, features, total, p) else {
+            continue;
+        };
+        let (lrows, rrows) = partition(matrix, &node_rows, split.feature, split.bin);
+        let threshold = matrix.binner().threshold(split.feature, split.bin);
+        let li = nodes.len();
+        nodes.push(Node::leaf(split.left.leaf_value(p.lambda), split.left.hess));
+        let ri = nodes.len();
+        nodes.push(Node::leaf(split.right.leaf_value(p.lambda), split.right.hess));
+        let n = &mut nodes[idx];
+        n.feature = split.feature as u32;
+        n.threshold = threshold;
+        n.left = li as i32;
+        n.right = ri as i32;
+        n.value = 0.0;
+        queue.push((li, lrows, depth + 1, split.left));
+        queue.push((ri, rrows, depth + 1, split.right));
+    }
+    Tree::new(nodes)
+}
+
+/// Heap entry for leaf-wise growth, ordered by gain.
+struct Candidate {
+    node: usize,
+    rows: Vec<usize>,
+    split: Split,
+    depth: usize,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.split.gain == other.split.gain
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.split.gain.partial_cmp(&other.split.gain).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Grow a tree best-leaf-first up to `max_leaves` (LightGBM-style). Depth is
+/// still capped at a generous `2 * max_depth` to bound pathological chains.
+pub fn grow_leaf_wise(
+    matrix: &BinnedMatrix,
+    grads: &RowGrads,
+    rows: Vec<usize>,
+    features: &[usize],
+    p: &GrowParams,
+) -> Tree {
+    let depth_cap = (2 * p.max_depth).max(4);
+    let total = stats_of(&rows, grads);
+    let mut nodes = vec![Node::leaf(total.leaf_value(p.lambda), total.hess)];
+    let mut heap = BinaryHeap::new();
+    if let Some(split) = best_split(matrix, &rows, grads, features, total, p) {
+        heap.push(Candidate { node: 0, rows, split, depth: 0 });
+    }
+    let mut n_leaves = 1usize;
+
+    while n_leaves < p.max_leaves {
+        let Some(cand) = heap.pop() else { break };
+        let (lrows, rrows) = partition(matrix, &cand.rows, cand.split.feature, cand.split.bin);
+        let threshold = matrix.binner().threshold(cand.split.feature, cand.split.bin);
+        let li = nodes.len();
+        nodes.push(Node::leaf(cand.split.left.leaf_value(p.lambda), cand.split.left.hess));
+        let ri = nodes.len();
+        nodes.push(Node::leaf(cand.split.right.leaf_value(p.lambda), cand.split.right.hess));
+        {
+            let n = &mut nodes[cand.node];
+            n.feature = cand.split.feature as u32;
+            n.threshold = threshold;
+            n.left = li as i32;
+            n.right = ri as i32;
+            n.value = 0.0;
+        }
+        n_leaves += 1;
+        if cand.depth + 1 < depth_cap {
+            for (idx, child_rows, stats) in
+                [(li, lrows, cand.split.left), (ri, rrows, cand.split.right)]
+            {
+                if let Some(split) = best_split(matrix, &child_rows, grads, features, stats, p) {
+                    heap.push(Candidate { node: idx, rows: child_rows, split, depth: cand.depth + 1 });
+                }
+            }
+        }
+    }
+    Tree::new(nodes)
+}
+
+/// Grow an oblivious (symmetric) tree: one shared (feature, bin) split per
+/// level (CatBoost-style).
+#[allow(clippy::needless_range_loop)] // heap-layout tree assembly indexes by depth
+pub fn grow_oblivious(
+    matrix: &BinnedMatrix,
+    grads: &RowGrads,
+    rows: Vec<usize>,
+    features: &[usize],
+    p: &GrowParams,
+) -> Tree {
+    // Level nodes: row sets of the current leaves, in order.
+    let total = stats_of(&rows, grads);
+    let mut level: Vec<(Vec<usize>, GradStats)> = vec![(rows, total)];
+    // Chosen (feature, bin) per depth.
+    let mut chosen: Vec<(usize, usize)> = Vec::new();
+
+    for _depth in 0..p.max_depth {
+        // For every candidate feature, sum per-node best gain *at a common
+        // bin*: evaluate all bins, summing each node's gain at that bin.
+        let best = features
+            .par_iter()
+            .filter_map(|&f| {
+                let n_bins = matrix.binner().n_bins(f);
+                if n_bins < 2 {
+                    return None;
+                }
+                // Histograms per node.
+                let hists: Vec<Vec<GradStats>> = level
+                    .iter()
+                    .map(|(rows, _)| build_histogram(matrix, rows, grads, f))
+                    .collect();
+                let mut best_bin: Option<(usize, f64)> = None;
+                for b in 0..n_bins - 1 {
+                    let mut gain = 0.0;
+                    for (hist, (_, total)) in hists.iter().zip(&level) {
+                        let mut left = GradStats::default();
+                        for h in &hist[..=b] {
+                            left.add(h.grad, h.hess);
+                        }
+                        let right = total.sub(left);
+                        if left.hess < p.min_child_weight || right.hess < p.min_child_weight {
+                            continue; // this node contributes nothing at bin b
+                        }
+                        let g = left.score(p.lambda) + right.score(p.lambda) - total.score(p.lambda);
+                        if g > 0.0 {
+                            gain += g;
+                        }
+                    }
+                    if gain > p.gamma && best_bin.is_none_or(|(_, g)| gain > g) {
+                        best_bin = Some((b, gain));
+                    }
+                }
+                best_bin.map(|(b, g)| (f, b, g))
+            })
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(Ordering::Equal));
+
+        let Some((f, b, _gain)) = best else { break };
+        chosen.push((f, b));
+        // Split every node of the level.
+        let mut next = Vec::with_capacity(level.len() * 2);
+        for (node_rows, _) in &level {
+            let (l, r) = partition(matrix, node_rows, f, b);
+            let ls = stats_of(&l, grads);
+            let rs = stats_of(&r, grads);
+            next.push((l, ls));
+            next.push((r, rs));
+        }
+        level = next;
+    }
+
+    // Materialise the complete binary tree.
+    let depth = chosen.len();
+    if depth == 0 {
+        return Tree::constant(total.leaf_value(p.lambda), total.hess);
+    }
+    let mut nodes = Vec::with_capacity((1 << (depth + 1)) - 1);
+    // Internal levels: heap layout — node i has children 2i+1, 2i+2.
+    for d in 0..depth {
+        let (f, b) = chosen[d];
+        let thr = matrix.binner().threshold(f, b);
+        for _ in 0..(1 << d) {
+            let i = nodes.len();
+            nodes.push(Node {
+                feature: f as u32,
+                threshold: thr,
+                left: (2 * i + 1) as i32,
+                right: (2 * i + 2) as i32,
+                value: 0.0,
+                cover: 0.0,
+            });
+        }
+    }
+    // Leaves: `level` holds them in heap order (left-to-right).
+    debug_assert_eq!(level.len(), 1 << depth);
+    for (rows_leaf, stats) in &level {
+        let value = if rows_leaf.is_empty() { 0.0 } else { stats.leaf_value(p.lambda) };
+        nodes.push(Node::leaf(value, stats.hess));
+    }
+    // Fill internal covers bottom-up.
+    for i in (0..(1 << depth) - 1).rev() {
+        let (l, r) = (nodes[2 * i + 1].cover, nodes[2 * i + 2].cover);
+        nodes[i].cover = l + r;
+    }
+    Tree::new(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> GrowParams {
+        GrowParams { max_depth: 4, max_leaves: 16, min_child_weight: 1.0, lambda: 0.0, gamma: 0.0 }
+    }
+
+    /// Step function of x0: y = 1 for x0 < 5, else 9.
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64, 0.5]).collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] < 5.0 { 1.0 } else { 9.0 }).collect();
+        (x, y)
+    }
+
+    /// Gradients for squared loss with prediction 0: g = -y (leaf value = mean y).
+    fn grads_for(y: &[f64]) -> RowGrads {
+        RowGrads::unit(y.iter().map(|&v| -v).collect())
+    }
+
+    #[test]
+    fn all_growers_fit_a_step_function() {
+        let (x, y) = step_data();
+        let m = BinnedMatrix::from_rows(&x, 32);
+        let grads = grads_for(&y);
+        let rows: Vec<usize> = (0..x.len()).collect();
+        let feats = [0usize, 1];
+        for (name, tree) in [
+            ("level", grow_level_wise(&m, &grads, rows.clone(), &feats, &params())),
+            ("leaf", grow_leaf_wise(&m, &grads, rows.clone(), &feats, &params())),
+            ("oblivious", grow_oblivious(&m, &grads, rows.clone(), &feats, &params())),
+        ] {
+            for (xi, &yi) in x.iter().zip(&y) {
+                let p = tree.predict(xi);
+                assert!((p - yi).abs() < 1e-9, "{name}: pred {p} vs {yi} at {xi:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let grads = RowGrads::unit(vec![-3.0; 50]);
+        let m = BinnedMatrix::from_rows(&x, 16);
+        let t = grow_level_wise(&m, &grads, (0..50).collect(), &[0], &params());
+        assert_eq!(t.n_leaves(), 1);
+        assert!((t.predict(&[7.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaf_wise_respects_max_leaves() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        // Highly irregular target forces many candidate splits.
+        let y: Vec<f64> = (0..64).map(|i| ((i * 37) % 11) as f64).collect();
+        let m = BinnedMatrix::from_rows(&x, 64);
+        let p = GrowParams { max_leaves: 5, ..params() };
+        let t = grow_leaf_wise(&m, &grads_for(&y), (0..64).collect(), &[0], &p);
+        assert!(t.n_leaves() <= 5, "{} leaves", t.n_leaves());
+    }
+
+    #[test]
+    fn level_wise_respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| ((i * 37) % 11) as f64).collect();
+        let m = BinnedMatrix::from_rows(&x, 64);
+        let p = GrowParams { max_depth: 2, ..params() };
+        let t = grow_level_wise(&m, &grads_for(&y), (0..64).collect(), &[0], &p);
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn oblivious_tree_is_symmetric() {
+        let (x, y) = step_data();
+        let m = BinnedMatrix::from_rows(&x, 32);
+        let p = GrowParams { max_depth: 3, ..params() };
+        let t = grow_oblivious(&m, &grads_for(&y), (0..x.len()).collect(), &[0, 1], &p);
+        // Every level uses one feature/threshold: collect (feature,
+        // threshold) pairs per depth by walking the heap layout.
+        let d = t.depth();
+        assert!(d >= 1);
+        let nodes = t.nodes();
+        for depth in 0..d {
+            let start = (1usize << depth) - 1;
+            let end = (1usize << (depth + 1)) - 1;
+            let f0 = nodes[start].feature;
+            let t0 = nodes[start].threshold;
+            for n in &nodes[start..end] {
+                if !n.is_leaf() {
+                    assert_eq!(n.feature, f0);
+                    assert_eq!(n.threshold, t0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_child_weight_blocks_tiny_splits() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        // One outlier row would be isolated by an unconstrained split.
+        let mut y = vec![0.0; 10];
+        y[9] = 100.0;
+        let m = BinnedMatrix::from_rows(&x, 16);
+        let p = GrowParams { min_child_weight: 3.0, ..params() };
+        let t = grow_level_wise(&m, &grads_for(&y), (0..10).collect(), &[0], &p);
+        // No leaf may cover fewer than 3 samples.
+        for n in t.nodes() {
+            if n.is_leaf() {
+                assert!(n.cover >= 3.0, "leaf cover {}", n.cover);
+            }
+        }
+    }
+
+    #[test]
+    fn covers_sum_to_sample_count_at_each_level() {
+        let (x, y) = step_data();
+        let m = BinnedMatrix::from_rows(&x, 32);
+        let t = grow_level_wise(&m, &grads_for(&y), (0..x.len()).collect(), &[0, 1], &params());
+        let leaf_cover: f64 = t.nodes().iter().filter(|n| n.is_leaf()).map(|n| n.cover).sum();
+        assert!((leaf_cover - x.len() as f64).abs() < 1e-9);
+        assert!((t.nodes()[0].cover - x.len() as f64).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! The regression-tree representation shared by every growth strategy.
+//!
+//! Trees store *raw-value* thresholds so prediction is independent of the
+//! binner, and per-node covers (training-sample weight) so path-dependent
+//! TreeSHAP can be computed by `aiio-explain`.
+
+use serde::{Deserialize, Serialize};
+
+/// One tree node. Leaves have `left == right == -1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Split feature (unused for leaves).
+    pub feature: u32,
+    /// Split threshold: `x[feature] <= threshold` goes left.
+    pub threshold: f64,
+    /// Index of the left child, or -1 for a leaf.
+    pub left: i32,
+    /// Index of the right child, or -1 for a leaf.
+    pub right: i32,
+    /// Leaf output value (0 for internal nodes).
+    pub value: f64,
+    /// Number of training samples that reached this node.
+    pub cover: f64,
+}
+
+impl Node {
+    /// A leaf with the given value and cover.
+    pub fn leaf(value: f64, cover: f64) -> Node {
+        Node { feature: 0, threshold: 0.0, left: -1, right: -1, value, cover }
+    }
+
+    /// True if this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.left < 0
+    }
+}
+
+/// A single regression tree.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Tree from nodes; node 0 is the root.
+    ///
+    /// # Panics
+    /// Panics if the node list is empty or children point out of range.
+    pub fn new(nodes: Vec<Node>) -> Tree {
+        assert!(!nodes.is_empty(), "tree needs at least a root");
+        for (i, n) in nodes.iter().enumerate() {
+            if !n.is_leaf() {
+                assert!(
+                    (n.left as usize) < nodes.len() && (n.right as usize) < nodes.len(),
+                    "node {i} has out-of-range children"
+                );
+            }
+        }
+        Tree { nodes }
+    }
+
+    /// A single-leaf (constant) tree.
+    pub fn constant(value: f64, cover: f64) -> Tree {
+        Tree { nodes: vec![Node::leaf(value, cover)] }
+    }
+
+    /// All nodes; index 0 is the root.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty tree (never constructed by this crate).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Maximum root-to-leaf depth (root alone = 0).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], i: usize) -> usize {
+            let n = &nodes[i];
+            if n.is_leaf() {
+                0
+            } else {
+                1 + rec(nodes, n.left as usize).max(rec(nodes, n.right as usize))
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+
+    /// Predict the raw leaf value for one sample.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let n = &self.nodes[i];
+            if n.is_leaf() {
+                return n.value;
+            }
+            i = if x[n.feature as usize] <= n.threshold { n.left as usize } else { n.right as usize };
+        }
+    }
+
+    /// Set of features used by splits in this tree.
+    pub fn used_features(&self) -> Vec<u32> {
+        let mut feats: Vec<u32> =
+            self.nodes.iter().filter(|n| !n.is_leaf()).map(|n| n.feature).collect();
+        feats.sort_unstable();
+        feats.dedup();
+        feats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// x0 <= 1.0 ? 10 : (x1 <= 5.0 ? 20 : 30)
+    pub(crate) fn stump2() -> Tree {
+        Tree::new(vec![
+            Node { feature: 0, threshold: 1.0, left: 1, right: 2, value: 0.0, cover: 10.0 },
+            Node::leaf(10.0, 4.0),
+            Node { feature: 1, threshold: 5.0, left: 3, right: 4, value: 0.0, cover: 6.0 },
+            Node::leaf(20.0, 3.0),
+            Node::leaf(30.0, 3.0),
+        ])
+    }
+
+    #[test]
+    fn predict_routes_through_splits() {
+        let t = stump2();
+        assert_eq!(t.predict(&[0.5, 0.0]), 10.0);
+        assert_eq!(t.predict(&[1.0, 0.0]), 10.0); // boundary goes left
+        assert_eq!(t.predict(&[2.0, 4.0]), 20.0);
+        assert_eq!(t.predict(&[2.0, 6.0]), 30.0);
+    }
+
+    #[test]
+    fn structure_queries() {
+        let t = stump2();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.n_leaves(), 3);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.used_features(), vec![0, 1]);
+    }
+
+    #[test]
+    fn constant_tree() {
+        let t = Tree::constant(1.5, 100.0);
+        assert_eq!(t.predict(&[9.0, 9.0]), 1.5);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.n_leaves(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range children")]
+    fn bad_children_rejected() {
+        let _ = Tree::new(vec![Node {
+            feature: 0,
+            threshold: 0.0,
+            left: 5,
+            right: 6,
+            value: 0.0,
+            cover: 1.0,
+        }]);
+    }
+}

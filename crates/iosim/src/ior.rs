@@ -1,0 +1,370 @@
+//! IOR-like synthetic workload generator.
+//!
+//! IOR is the canonical HPC I/O benchmark; paper §4.1 drives six
+//! low-performing access patterns with it (Table 3). This module builds the
+//! matching [`JobSpec`]s and understands the exact command-line strings the
+//! paper's Table 3 lists, e.g. `ior -w -t 1k -b 1m -Y`.
+//!
+//! Semantics reproduced:
+//! * `-w` / `-r`: write / read phase (both may be given; writes run first);
+//! * `-t SIZE`: transfer size (bytes per POSIX call);
+//! * `-b SIZE`: block size (contiguous region per rank per segment);
+//! * `-s N`: segment count — with `t == b` and `s > 1` each rank's accesses
+//!   are strided by `nprocs * b`, the paper's "noncontiguous with fixed
+//!   stride" pattern (§4.1.3);
+//! * `-z`: random offsets;
+//! * `-Y`: fsync after every write;
+//! * `-a POSIX`: accepted and ignored (POSIX is the only API simulated);
+//! * `-k` is accepted as an alias for `-t` (the paper's Table 3 writes
+//!   `ior -w -k 1m -b 1m -Y` for Fig. 7(b), an apparent typo for `-t`).
+//!
+//! The original IOR issues an `lseek` before *every* read; §4.1.2 of the
+//! paper patches that to a single initial seek. [`IorConfig::seek_per_read`]
+//! models exactly that switch.
+
+use crate::ops::{AccessLayout, JobSpec, OpBlock, ReadWrite};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one IOR run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IorConfig {
+    /// Perform the write phase (`-w`).
+    pub write: bool,
+    /// Perform the read phase (`-r`).
+    pub read: bool,
+    /// Transfer size in bytes (`-t`).
+    pub transfer_size: u64,
+    /// Block size in bytes (`-b`).
+    pub block_size: u64,
+    /// Segment count (`-s`).
+    pub segments: u64,
+    /// Random offsets (`-z`).
+    pub random_offset: bool,
+    /// fsync after each write (`-Y`).
+    pub fsync_per_write: bool,
+    /// Issue an lseek before every read (original IOR behaviour; the paper
+    /// patches this to `false` in §4.1.2).
+    pub seek_per_read: bool,
+    /// Number of MPI ranks (the paper's §4.1 uses 256).
+    pub nprocs: u32,
+}
+
+impl Default for IorConfig {
+    fn default() -> Self {
+        Self {
+            write: false,
+            read: false,
+            transfer_size: 256 * 1024,
+            block_size: 1024 * 1024,
+            segments: 1,
+            random_offset: false,
+            fsync_per_write: false,
+            seek_per_read: true,
+            nprocs: 256,
+        }
+    }
+}
+
+/// Error from parsing an IOR command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IorParseError(pub String);
+
+impl std::fmt::Display for IorParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid ior command line: {}", self.0)
+    }
+}
+
+impl std::error::Error for IorParseError {}
+
+/// Parse an IOR-style size literal: `1k`, `4m`, `512`, `2g`.
+pub fn parse_size(s: &str) -> Result<u64, IorParseError> {
+    let s = s.trim().to_ascii_lowercase();
+    if s.is_empty() {
+        return Err(IorParseError("empty size".into()));
+    }
+    let (digits, mult) = match s.chars().last().unwrap() {
+        'k' => (&s[..s.len() - 1], 1024u64),
+        'm' => (&s[..s.len() - 1], 1024 * 1024),
+        'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        '0'..='9' => (s.as_str(), 1),
+        c => return Err(IorParseError(format!("unknown size suffix '{c}'"))),
+    };
+    digits
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|e| IorParseError(format!("bad size '{s}': {e}")))
+}
+
+impl IorConfig {
+    /// Parse a command line such as the paper's Table 3 entries
+    /// (`ior -w -t 1k -b 1m -Y`). A leading `ior` token is optional.
+    pub fn parse(cmdline: &str) -> Result<Self, IorParseError> {
+        let mut cfg = IorConfig::default();
+        let mut toks = cmdline.split_whitespace().peekable();
+        if toks.peek() == Some(&"ior") {
+            toks.next();
+        }
+        while let Some(tok) = toks.next() {
+            let mut arg = |name: &str| {
+                toks.next()
+                    .map(str::to_owned)
+                    .ok_or_else(|| IorParseError(format!("{name} needs an argument")))
+            };
+            match tok {
+                "-w" => cfg.write = true,
+                "-r" => cfg.read = true,
+                "-z" => cfg.random_offset = true,
+                "-Y" => cfg.fsync_per_write = true,
+                "-t" | "-k" => cfg.transfer_size = parse_size(&arg(tok)?)?,
+                "-b" => cfg.block_size = parse_size(&arg(tok)?)?,
+                "-s" => {
+                    cfg.segments = arg(tok)?
+                        .parse()
+                        .map_err(|e| IorParseError(format!("bad -s: {e}")))?
+                }
+                "-a" => {
+                    let api = arg(tok)?;
+                    if !api.eq_ignore_ascii_case("posix") {
+                        return Err(IorParseError(format!("unsupported API {api}")));
+                    }
+                }
+                other => return Err(IorParseError(format!("unknown option {other}"))),
+            }
+        }
+        if !cfg.write && !cfg.read {
+            return Err(IorParseError("need at least one of -w / -r".into()));
+        }
+        if cfg.transfer_size == 0 || cfg.block_size == 0 || cfg.segments == 0 {
+            return Err(IorParseError("sizes and segments must be positive".into()));
+        }
+        if cfg.transfer_size > cfg.block_size {
+            return Err(IorParseError("transfer size larger than block size".into()));
+        }
+        Ok(cfg)
+    }
+
+    /// Builder-style rank-count override.
+    pub fn with_nprocs(mut self, nprocs: u32) -> Self {
+        self.nprocs = nprocs;
+        self
+    }
+
+    /// Builder-style seek-per-read override (the §4.1.2 IOR patch).
+    pub fn with_seek_per_read(mut self, v: bool) -> Self {
+        self.seek_per_read = v;
+        self
+    }
+
+    /// Ops per rank in one phase.
+    fn ops_per_rank(&self) -> u64 {
+        self.segments * (self.block_size / self.transfer_size)
+    }
+
+    /// Offset layout of one rank's accesses.
+    fn layout(&self) -> AccessLayout {
+        if self.random_offset {
+            AccessLayout::Random
+        } else if self.segments > 1 {
+            // IOR's file layout interleaves ranks segment by segment: rank r
+            // writes segment s at offset ((s * nprocs) + r) * block, so a
+            // rank's successive accesses within a segment are consecutive
+            // and across segments are strided by nprocs * block. With
+            // t == b (the paper's §4.1.3 setup) every access is strided.
+            if self.transfer_size == self.block_size {
+                AccessLayout::Strided { stride: self.nprocs as u64 * self.block_size }
+            } else {
+                AccessLayout::Consecutive
+            }
+        } else {
+            AccessLayout::Consecutive
+        }
+    }
+
+    /// Build the job spec for this configuration.
+    pub fn to_spec(&self) -> JobSpec {
+        let mut script = vec![OpBlock::Open { count: 1 }];
+        let layout = self.layout();
+        if self.write {
+            script.push(OpBlock::Transfer {
+                kind: ReadWrite::Write,
+                size: self.transfer_size,
+                count: self.ops_per_rank(),
+                layout,
+                // Random-offset writes must reposition before each call.
+                seek_before_each: self.random_offset,
+                fsync_after_each: self.fsync_per_write,
+                mem_aligned: true,
+            });
+        }
+        if self.read {
+            script.push(OpBlock::Transfer {
+                kind: ReadWrite::Read,
+                size: self.transfer_size,
+                count: self.ops_per_rank(),
+                layout,
+                seek_before_each: self.seek_per_read || self.random_offset,
+                fsync_after_each: false,
+                mem_aligned: true,
+            });
+        }
+        JobSpec::uniform(self.describe(), self.nprocs, script)
+    }
+
+    /// Short description used as the app name in logs.
+    pub fn describe(&self) -> String {
+        let mut s = String::from("ior");
+        if self.write {
+            s.push_str("-w");
+        }
+        if self.read {
+            s.push_str("-r");
+        }
+        s.push_str(&format!("-t{}-b{}-s{}", self.transfer_size, self.block_size, self.segments));
+        if self.random_offset {
+            s.push_str("-z");
+        }
+        if self.fsync_per_write {
+            s.push_str("-Y");
+        }
+        s
+    }
+}
+
+/// The paper's Table 3 configurations, keyed by figure.
+pub mod table3 {
+    use super::IorConfig;
+
+    /// Fig. 7(a): sequential 1 KiB writes with fsync.
+    pub fn fig7a() -> IorConfig {
+        IorConfig::parse("ior -w -t 1k -b 1m -Y").unwrap()
+    }
+
+    /// Fig. 7(b): sequential 1 MiB writes with fsync.
+    pub fn fig7b() -> IorConfig {
+        IorConfig::parse("ior -w -k 1m -b 1m -Y").unwrap()
+    }
+
+    /// Fig. 8(a): sequential 1 KiB reads, seek before every read (original
+    /// IOR).
+    pub fn fig8a() -> IorConfig {
+        IorConfig::parse("ior -r -t 1k -b 1m").unwrap()
+    }
+
+    /// Fig. 8(b): the same run with IOR patched to seek only once.
+    pub fn fig8b() -> IorConfig {
+        fig8a().with_seek_per_read(false)
+    }
+
+    /// Fig. 9: noncontiguous (strided) 1 KiB writes.
+    pub fn fig9() -> IorConfig {
+        IorConfig::parse("ior -w -t 1k -b 1k -s 1024 -Y").unwrap()
+    }
+
+    /// Fig. 10: noncontiguous (strided) 1 KiB reads.
+    pub fn fig10() -> IorConfig {
+        IorConfig::parse("ior -r -t 1k -b 1k -s 1024").unwrap()
+    }
+
+    /// Fig. 11: random-offset 1 KiB writes.
+    pub fn fig11() -> IorConfig {
+        IorConfig::parse("ior -w -t 1k -b 1m -z -Y").unwrap()
+    }
+
+    /// Fig. 12: random-offset 1 KiB reads.
+    pub fn fig12() -> IorConfig {
+        IorConfig::parse("ior -a POSIX -r -t 1k -b 1m -z").unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::StorageConfig;
+
+    #[test]
+    fn size_literals_parse() {
+        assert_eq!(parse_size("1k").unwrap(), 1024);
+        assert_eq!(parse_size("1m").unwrap(), 1024 * 1024);
+        assert_eq!(parse_size("2g").unwrap(), 2 * 1024 * 1024 * 1024);
+        assert_eq!(parse_size("512").unwrap(), 512);
+        assert!(parse_size("x").is_err());
+        assert!(parse_size("").is_err());
+    }
+
+    #[test]
+    fn parses_paper_table3_lines() {
+        let cfg = IorConfig::parse("ior -w -t 1k -b 1m -Y").unwrap();
+        assert!(cfg.write && !cfg.read && cfg.fsync_per_write);
+        assert_eq!(cfg.transfer_size, 1024);
+        assert_eq!(cfg.block_size, 1024 * 1024);
+        let cfg = IorConfig::parse("ior -a POSIX -r -t 1k -b 1m -z").unwrap();
+        assert!(cfg.read && cfg.random_offset);
+        let cfg = IorConfig::parse("ior -w -k 1m -b 1m -Y").unwrap();
+        assert_eq!(cfg.transfer_size, 1024 * 1024);
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(IorConfig::parse("ior -t 1k -b 1m").is_err()); // no -w/-r
+        assert!(IorConfig::parse("ior -w -q").is_err());
+        assert!(IorConfig::parse("ior -w -t 1m -b 1k").is_err()); // t > b
+        assert!(IorConfig::parse("ior -w -a HDF5").is_err());
+    }
+
+    #[test]
+    fn strided_layout_when_t_equals_b_with_segments() {
+        let cfg = table3::fig9();
+        assert_eq!(
+            cfg.layout(),
+            AccessLayout::Strided { stride: 256 * 1024 }
+        );
+        assert_eq!(cfg.ops_per_rank(), 1024);
+    }
+
+    #[test]
+    fn random_layout_with_z() {
+        assert_eq!(table3::fig11().layout(), AccessLayout::Random);
+    }
+
+    #[test]
+    fn spec_contains_expected_phases() {
+        let spec = IorConfig::parse("ior -w -r -t 1k -b 4k").unwrap().to_spec();
+        // open + write + read
+        assert_eq!(spec.groups[0].script.len(), 3);
+        assert_eq!(spec.nprocs(), 256);
+        assert_eq!(spec.total_bytes(), 2 * 256 * 4096);
+    }
+
+    #[test]
+    fn paper_pattern1_small_vs_large_write_ratio() {
+        // Fig. 7: -t 1m is dramatically faster than -t 1k (paper: 104x).
+        let sim = Simulator::new(StorageConfig::cori_like_quiet());
+        let slow = sim.performance_of(&table3::fig7a().to_spec(), 0);
+        let fast = sim.performance_of(&table3::fig7b().to_spec(), 0);
+        assert!(fast > 50.0 * slow, "slow={slow:.2} fast={fast:.2}");
+    }
+
+    #[test]
+    fn paper_pattern2_seek_patch_speedup() {
+        // Fig. 8: removing the per-read seek improves performance (paper:
+        // 1.56x).
+        let sim = Simulator::new(StorageConfig::cori_like_quiet());
+        let orig = sim.performance_of(&table3::fig8a().to_spec(), 0);
+        let patched = sim.performance_of(&table3::fig8b().to_spec(), 0);
+        assert!(patched > 1.2 * orig, "orig={orig:.2} patched={patched:.2}");
+        assert!(patched < 5.0 * orig, "speedup should be moderate, not orders of magnitude");
+    }
+
+    #[test]
+    fn paper_pattern_orderings_hold() {
+        // Strided/random 1k reads are much slower than sequential 1k reads.
+        let sim = Simulator::new(StorageConfig::cori_like_quiet());
+        let seq = sim.performance_of(&table3::fig8a().to_spec(), 0);
+        let strided = sim.performance_of(&table3::fig10().to_spec(), 0);
+        let random = sim.performance_of(&table3::fig12().to_spec(), 0);
+        assert!(seq > 2.0 * strided, "seq={seq:.2} strided={strided:.2}");
+        assert!(seq > 2.0 * random, "seq={seq:.2} random={random:.2}");
+    }
+}

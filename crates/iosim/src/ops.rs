@@ -1,0 +1,173 @@
+//! Workload scripts: what a job *does*, independent of what it costs.
+//!
+//! A [`JobSpec`] holds one or more [`RankGroup`]s; every rank in a group
+//! executes the same sequence of [`OpBlock`]s. Blocks are run-length
+//! compressed (a `Transfer` block is "N operations of S bytes each in layout
+//! L"), which lets the recorder and the cost engine process millions of
+//! operations in O(blocks) instead of O(ops) — the trick that makes sampling
+//! a many-thousand-job training database cheap.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of a data transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReadWrite {
+    Read,
+    Write,
+}
+
+/// Spatial layout of the offsets of a run of transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessLayout {
+    /// Each access starts exactly where the previous one ended.
+    Consecutive,
+    /// Accesses advance by a fixed stride (> access size) between starts.
+    Strided {
+        /// Distance between consecutive access *starts*, bytes.
+        stride: u64,
+    },
+    /// Accesses land at pseudo-random offsets within the file.
+    Random,
+}
+
+/// One run-length-compressed block of operations executed by a rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpBlock {
+    /// `count` POSIX opens.
+    Open { count: u64 },
+    /// `count` `fileno` operations (issued by some I/O middleware stacks,
+    /// e.g. HDF5 over POSIX; plain IOR issues none).
+    Fileno { count: u64 },
+    /// `count` `stat`/`fstat` calls.
+    Stat { count: u64 },
+    /// `count` standalone `lseek` calls.
+    Seek { count: u64 },
+    /// `count` standalone `fsync` calls.
+    Fsync { count: u64 },
+    /// A run of `count` transfers of `size` bytes each.
+    Transfer {
+        kind: ReadWrite,
+        /// Bytes per operation.
+        size: u64,
+        /// Number of operations.
+        count: u64,
+        layout: AccessLayout,
+        /// Issue an `lseek` before every operation (IOR does this for every
+        /// read — paper §4.1.2 patches it out).
+        seek_before_each: bool,
+        /// Issue an `fsync` after every operation (IOR's `-Y`).
+        fsync_after_each: bool,
+        /// Whether the user buffer is memory-aligned.
+        mem_aligned: bool,
+    },
+}
+
+impl OpBlock {
+    /// Convenience constructor for a plain transfer run.
+    pub fn transfer(kind: ReadWrite, size: u64, count: u64, layout: AccessLayout) -> Self {
+        OpBlock::Transfer {
+            kind,
+            size,
+            count,
+            layout,
+            seek_before_each: false,
+            fsync_after_each: false,
+            mem_aligned: true,
+        }
+    }
+
+    /// Total bytes moved by this block.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            OpBlock::Transfer { size, count, .. } => size * count,
+            _ => 0,
+        }
+    }
+}
+
+/// A group of ranks that all execute the same script.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankGroup {
+    /// Number of ranks in the group.
+    pub n_ranks: u32,
+    /// The per-rank operation script.
+    pub script: Vec<OpBlock>,
+}
+
+/// A complete job description: application identity plus the scripts of all
+/// its rank groups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Application name recorded in the log.
+    pub app: String,
+    /// Rank groups; total `nprocs` is the sum of group sizes.
+    pub groups: Vec<RankGroup>,
+}
+
+impl JobSpec {
+    /// Job where every rank runs the same `script`.
+    pub fn uniform(app: impl Into<String>, n_ranks: u32, script: Vec<OpBlock>) -> Self {
+        assert!(n_ranks >= 1, "a job needs at least one rank");
+        Self { app: app.into(), groups: vec![RankGroup { n_ranks, script }] }
+    }
+
+    /// Total number of ranks.
+    pub fn nprocs(&self) -> u32 {
+        self.groups.iter().map(|g| g.n_ranks).sum()
+    }
+
+    /// Total bytes moved by all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| g.n_ranks as u64 * g.script.iter().map(OpBlock::bytes).sum::<u64>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spec_counts_ranks_and_bytes() {
+        let spec = JobSpec::uniform(
+            "t",
+            4,
+            vec![
+                OpBlock::Open { count: 1 },
+                OpBlock::transfer(ReadWrite::Write, 1024, 8, AccessLayout::Consecutive),
+            ],
+        );
+        assert_eq!(spec.nprocs(), 4);
+        assert_eq!(spec.total_bytes(), 4 * 8 * 1024);
+    }
+
+    #[test]
+    fn multi_group_totals() {
+        let spec = JobSpec {
+            app: "t".into(),
+            groups: vec![
+                RankGroup {
+                    n_ranks: 2,
+                    script: vec![OpBlock::transfer(ReadWrite::Read, 100, 1, AccessLayout::Random)],
+                },
+                RankGroup { n_ranks: 3, script: vec![] },
+            ],
+        };
+        assert_eq!(spec.nprocs(), 5);
+        assert_eq!(spec.total_bytes(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_rank_jobs_rejected() {
+        let _ = JobSpec::uniform("t", 0, vec![]);
+    }
+
+    #[test]
+    fn block_bytes_only_counts_transfers() {
+        assert_eq!(OpBlock::Open { count: 10 }.bytes(), 0);
+        assert_eq!(OpBlock::transfer(ReadWrite::Write, 3, 7, AccessLayout::Consecutive).bytes(), 21);
+    }
+}

@@ -1,0 +1,290 @@
+//! A small text format for hand-authoring workload scripts.
+//!
+//! The IOR generator and app kernels cover the paper's workloads; traces
+//! let users describe *their own* jobs without writing Rust. One line per
+//! op block, `#` comments, whitespace-separated fields:
+//!
+//! ```text
+//! # ranks <N>            — rank-group header (repeatable; groups follow)
+//! ranks 256
+//! open 1
+//! fileno 1
+//! stat 4
+//! seek 128
+//! write 1024 x1024 strided stride=262144 fsync
+//! read  1048576 x64 consecutive seek-each
+//! fsyncs 2
+//! ```
+//!
+//! Transfer lines: `<read|write> <size> x<count> <layout>` where layout is
+//! `consecutive`, `random`, or `strided stride=<bytes>`, followed by any of
+//! the flags `fsync` (fsync after each op), `seek-each`, `unaligned`
+//! (memory-unaligned buffers).
+
+use crate::ops::{AccessLayout, JobSpec, OpBlock, RankGroup, ReadWrite};
+
+/// Error from parsing a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceError {
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError { line, message: message.into() }
+}
+
+/// Parse a workload trace into a [`JobSpec`] named `app`.
+pub fn parse_trace(app: &str, text: &str) -> Result<JobSpec, TraceError> {
+    let mut groups: Vec<RankGroup> = Vec::new();
+    let mut current: Option<RankGroup> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let op = tok.next().expect("nonempty line has a token");
+        match op {
+            "ranks" => {
+                if let Some(g) = current.take() {
+                    groups.push(g);
+                }
+                let n: u32 = tok
+                    .next()
+                    .ok_or_else(|| err(lineno, "ranks needs a count"))?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad rank count: {e}")))?;
+                if n == 0 {
+                    return Err(err(lineno, "rank count must be positive"));
+                }
+                current = Some(RankGroup { n_ranks: n, script: Vec::new() });
+            }
+            "open" | "fileno" | "stat" | "seek" | "fsyncs" => {
+                let count: u64 = tok
+                    .next()
+                    .ok_or_else(|| err(lineno, format!("{op} needs a count")))?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad count: {e}")))?;
+                let block = match op {
+                    "open" => OpBlock::Open { count },
+                    "fileno" => OpBlock::Fileno { count },
+                    "stat" => OpBlock::Stat { count },
+                    "seek" => OpBlock::Seek { count },
+                    _ => OpBlock::Fsync { count },
+                };
+                current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "op before any `ranks` header"))?
+                    .script
+                    .push(block);
+            }
+            "read" | "write" => {
+                let kind = if op == "read" { ReadWrite::Read } else { ReadWrite::Write };
+                let size: u64 = tok
+                    .next()
+                    .ok_or_else(|| err(lineno, "transfer needs a size"))?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad size: {e}")))?;
+                let count_tok =
+                    tok.next().ok_or_else(|| err(lineno, "transfer needs xCOUNT"))?;
+                let count: u64 = count_tok
+                    .strip_prefix('x')
+                    .ok_or_else(|| err(lineno, "count must be written as x<count>"))?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad count: {e}")))?;
+                if size == 0 || count == 0 {
+                    return Err(err(lineno, "size and count must be positive"));
+                }
+                let layout_tok =
+                    tok.next().ok_or_else(|| err(lineno, "transfer needs a layout"))?;
+                let mut rest: Vec<&str> = tok.collect();
+                let layout = match layout_tok {
+                    "consecutive" => AccessLayout::Consecutive,
+                    "random" => AccessLayout::Random,
+                    "strided" => {
+                        let stride_kv = if let Some(first) = rest.first() {
+                            let v = *first;
+                            rest.remove(0);
+                            v
+                        } else {
+                            return Err(err(lineno, "strided needs stride=<bytes>"));
+                        };
+                        let stride: u64 = stride_kv
+                            .strip_prefix("stride=")
+                            .ok_or_else(|| err(lineno, "strided needs stride=<bytes>"))?
+                            .parse()
+                            .map_err(|e| err(lineno, format!("bad stride: {e}")))?;
+                        AccessLayout::Strided { stride }
+                    }
+                    other => return Err(err(lineno, format!("unknown layout '{other}'"))),
+                };
+                let mut fsync_after_each = false;
+                let mut seek_before_each = false;
+                let mut mem_aligned = true;
+                for flag in rest {
+                    match flag {
+                        "fsync" => fsync_after_each = true,
+                        "seek-each" => seek_before_each = true,
+                        "unaligned" => mem_aligned = false,
+                        other => return Err(err(lineno, format!("unknown flag '{other}'"))),
+                    }
+                }
+                current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "op before any `ranks` header"))?
+                    .script
+                    .push(OpBlock::Transfer {
+                        kind,
+                        size,
+                        count,
+                        layout,
+                        seek_before_each,
+                        fsync_after_each,
+                        mem_aligned,
+                    });
+            }
+            other => return Err(err(lineno, format!("unknown op '{other}'"))),
+        }
+    }
+    if let Some(g) = current.take() {
+        groups.push(g);
+    }
+    if groups.is_empty() {
+        return Err(err(0, "trace defines no rank groups"));
+    }
+    Ok(JobSpec { app: app.to_string(), groups })
+}
+
+/// Emit a [`JobSpec`] in the trace format (inverse of [`parse_trace`]).
+pub fn to_trace(spec: &JobSpec) -> String {
+    let mut out = format!("# workload: {}\n", spec.app);
+    for group in &spec.groups {
+        out.push_str(&format!("ranks {}\n", group.n_ranks));
+        for block in &group.script {
+            match *block {
+                OpBlock::Open { count } => out.push_str(&format!("open {count}\n")),
+                OpBlock::Fileno { count } => out.push_str(&format!("fileno {count}\n")),
+                OpBlock::Stat { count } => out.push_str(&format!("stat {count}\n")),
+                OpBlock::Seek { count } => out.push_str(&format!("seek {count}\n")),
+                OpBlock::Fsync { count } => out.push_str(&format!("fsyncs {count}\n")),
+                OpBlock::Transfer {
+                    kind,
+                    size,
+                    count,
+                    layout,
+                    seek_before_each,
+                    fsync_after_each,
+                    mem_aligned,
+                } => {
+                    let mut line = format!(
+                        "{} {size} x{count} ",
+                        if kind == ReadWrite::Read { "read" } else { "write" }
+                    );
+                    match layout {
+                        AccessLayout::Consecutive => line.push_str("consecutive"),
+                        AccessLayout::Random => line.push_str("random"),
+                        AccessLayout::Strided { stride } => {
+                            line.push_str(&format!("strided stride={stride}"))
+                        }
+                    }
+                    if fsync_after_each {
+                        line.push_str(" fsync");
+                    }
+                    if seek_before_each {
+                        line.push_str(" seek-each");
+                    }
+                    if !mem_aligned {
+                        line.push_str(" unaligned");
+                    }
+                    line.push('\n');
+                    out.push_str(&line);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ior::table3;
+
+    #[test]
+    fn parses_a_full_trace() {
+        let text = "\
+# my checkpoint job
+ranks 64
+open 1
+write 1024 x1024 strided stride=262144 fsync
+read 1048576 x16 consecutive seek-each
+ranks 8
+stat 4
+";
+        let spec = parse_trace("ckpt", text).unwrap();
+        assert_eq!(spec.nprocs(), 72);
+        assert_eq!(spec.groups.len(), 2);
+        assert_eq!(spec.groups[0].script.len(), 3);
+        match &spec.groups[0].script[1] {
+            OpBlock::Transfer { kind, size, count, layout, fsync_after_each, .. } => {
+                assert_eq!(*kind, ReadWrite::Write);
+                assert_eq!(*size, 1024);
+                assert_eq!(*count, 1024);
+                assert_eq!(*layout, AccessLayout::Strided { stride: 262144 });
+                assert!(fsync_after_each);
+            }
+            other => panic!("unexpected block {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_roundtrips_generated_workloads() {
+        for cfg in [table3::fig7a(), table3::fig9(), table3::fig12()] {
+            let spec = cfg.to_spec();
+            let text = to_trace(&spec);
+            let back = parse_trace(&spec.app, &text).unwrap();
+            assert_eq!(back, spec, "roundtrip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_trace("t", "ranks 4\nwrite 0 x8 consecutive\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_trace("t", "open 1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("ranks"));
+        let e = parse_trace("t", "ranks 4\nwrite 8 x8 zigzag\n").unwrap_err();
+        assert!(e.message.contains("zigzag"));
+        let e = parse_trace("t", "").unwrap_err();
+        assert!(e.message.contains("no rank groups"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = parse_trace("t", "\n# hi\nranks 2 # two ranks\n  open 1\n").unwrap();
+        assert_eq!(spec.nprocs(), 2);
+        assert_eq!(spec.groups[0].script.len(), 1);
+    }
+
+    #[test]
+    fn parsed_trace_simulates() {
+        let text = "ranks 16\nopen 1\nwrite 4096 x256 consecutive fsync\n";
+        let spec = parse_trace("sim", text).unwrap();
+        let perf = crate::Simulator::new(crate::StorageConfig::cori_like_quiet())
+            .performance_of(&spec, 0);
+        assert!(perf > 0.0);
+    }
+}

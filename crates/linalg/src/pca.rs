@@ -1,0 +1,186 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Used to compress 46-dimensional counter vectors before distance-based
+//! clustering (HDBSCAN's mutual-reachability distances lose contrast in
+//! high dimensions) and for exploratory views of the log database.
+
+use crate::matrix::Matrix;
+
+/// A fitted PCA basis.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Pca {
+    /// Per-feature means subtracted before projection.
+    pub mean: Vec<f64>,
+    /// Principal components, one row per component (unit norm).
+    pub components: Matrix,
+    /// Variance captured by each component.
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit `k` principal components of `data` (rows = samples).
+    ///
+    /// Power iteration on the covariance matrix with Hotelling deflation;
+    /// deterministic (fixed start vector), `iters` refinement steps per
+    /// component.
+    ///
+    /// # Panics
+    /// Panics on empty input or `k` larger than the feature count.
+    pub fn fit(data: &[Vec<f64>], k: usize) -> Pca {
+        assert!(!data.is_empty(), "empty data");
+        let d = data[0].len();
+        assert!(k >= 1 && k <= d, "k out of range");
+        let n = data.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in data {
+            assert_eq!(row.len(), d, "ragged rows");
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v / n;
+            }
+        }
+        // Covariance matrix (d x d).
+        let mut cov = Matrix::zeros(d, d);
+        for row in data {
+            for i in 0..d {
+                let di = row[i] - mean[i];
+                if di == 0.0 {
+                    continue;
+                }
+                for j in i..d {
+                    cov[(i, j)] += di * (row[j] - mean[j]) / n;
+                }
+            }
+        }
+        for i in 0..d {
+            for j in 0..i {
+                cov[(i, j)] = cov[(j, i)];
+            }
+        }
+
+        let iters = 200;
+        let mut components = Matrix::zeros(k, d);
+        let mut explained = Vec::with_capacity(k);
+        for c in 0..k {
+            // Deterministic start: basis vector with a small tilt.
+            let mut v: Vec<f64> = (0..d).map(|i| 1.0 + (i as f64 + c as f64) * 0.01).collect();
+            normalize(&mut v);
+            let mut eigenvalue = 0.0;
+            for _ in 0..iters {
+                let mut w = cov.matvec(&v);
+                // Deflate previously found components.
+                for prev in 0..c {
+                    let p = components.row(prev);
+                    let dot: f64 = w.iter().zip(p).map(|(a, b)| a * b).sum();
+                    for (wi, pi) in w.iter_mut().zip(p) {
+                        *wi -= dot * pi;
+                    }
+                }
+                eigenvalue = norm(&w);
+                if eigenvalue < 1e-12 {
+                    break;
+                }
+                for (vi, wi) in v.iter_mut().zip(&w) {
+                    *vi = wi / eigenvalue;
+                }
+            }
+            components.row_mut(c).copy_from_slice(&v);
+            explained.push(eigenvalue);
+        }
+        Pca { mean, components, explained_variance: explained }
+    }
+
+    /// Project one sample into the component space.
+    pub fn project(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.mean.len(), "dimension mismatch");
+        let centered: Vec<f64> = row.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+        (0..self.components.rows())
+            .map(|c| self.components.row(c).iter().zip(&centered).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Project a batch.
+    pub fn project_batch(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.project(r)).collect()
+    }
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = norm(v);
+    if n > 0.0 {
+        v.iter_mut().for_each(|x| *x /= n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Anisotropic cloud stretched along (1, 1)/sqrt(2).
+    fn stretched(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let t = (i as f64 / n as f64 - 0.5) * 10.0; // long axis
+                let s = ((i * 37 % 97) as f64 / 97.0 - 0.5) * 0.5; // short axis
+                vec![t + s, t - s]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_component_is_the_long_axis() {
+        let p = Pca::fit(&stretched(200), 2);
+        let c0 = p.components.row(0);
+        // The deterministic cloud's short-axis values correlate slightly
+        // with the long axis, so the empirical principal axis is within a
+        // few mrad of (1,1) rather than exact.
+        let along = (c0[0].abs() - c0[1].abs()).abs();
+        assert!(along < 5e-3, "component {c0:?} not along (1,1)");
+        assert!(p.explained_variance[0] > 10.0 * p.explained_variance[1]);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let p = Pca::fit(&stretched(200), 2);
+        let c0 = p.components.row(0);
+        let c1 = p.components.row(1);
+        let dot: f64 = c0.iter().zip(c1).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() < 1e-6, "dot {dot}");
+        assert!((norm(c0) - 1.0).abs() < 1e-9);
+        assert!((norm(c1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_preserves_separation() {
+        // Two clusters far apart must stay far apart in 1D projection.
+        let mut data = Vec::new();
+        for i in 0..20 {
+            data.push(vec![i as f64 * 0.01, 0.0, 5.0]);
+            data.push(vec![100.0 + i as f64 * 0.01, 0.0, 5.0]);
+        }
+        let p = Pca::fit(&data, 1);
+        let proj = p.project_batch(&data);
+        let a: f64 = proj.iter().step_by(2).map(|v| v[0]).sum::<f64>() / 20.0;
+        let b: f64 = proj.iter().skip(1).step_by(2).map(|v| v[0]).sum::<f64>() / 20.0;
+        assert!((a - b).abs() > 50.0, "a={a} b={b}");
+    }
+
+    #[test]
+    fn constant_features_carry_no_variance() {
+        let data = vec![vec![1.0, 7.0], vec![2.0, 7.0], vec![3.0, 7.0]];
+        let p = Pca::fit(&data, 2);
+        // Second component has ~zero variance.
+        assert!(p.explained_variance[1] < 1e-9, "{:?}", p.explained_variance);
+        // First component ignores the constant feature.
+        assert!(p.components.row(0)[1].abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn oversized_k_rejected() {
+        let _ = Pca::fit(&[vec![1.0]], 2);
+    }
+}

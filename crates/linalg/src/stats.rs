@@ -1,0 +1,195 @@
+//! Summary statistics used across the workspace: RMSE, means/variances,
+//! quantiles, correlation, and distance metrics.
+
+/// Root-mean-square error between predictions and targets (paper Eq. 3).
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "rmse length mismatch");
+    assert!(!pred.is_empty(), "rmse of empty slice");
+    let sse: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    (sse / pred.len() as f64).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mae length mismatch");
+    assert!(!pred.is_empty(), "mae of empty slice");
+    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for an empty slice.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Standard deviation (population).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolated quantile, `q` in `[0, 1]`.
+///
+/// # Panics
+/// Panics on an empty slice or `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Squared Euclidean distance.
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// Cosine distance `1 - cos(a, b)`; 1 when either vector is all-zero.
+pub fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        1.0
+    } else {
+        1.0 - dot / (na * nb)
+    }
+}
+
+/// Histogram of `xs` into `bins` equal-width buckets over `[min, max]`.
+/// Returns `(bin_edges, counts)`; values exactly at `max` land in the last
+/// bucket. Used to regenerate the paper's Fig. 4.
+pub fn histogram(xs: &[f64], bins: usize, min: f64, max: f64) -> (Vec<f64>, Vec<usize>) {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(max > min, "histogram range must be non-degenerate");
+    let width = (max - min) / bins as f64;
+    let edges: Vec<f64> = (0..=bins).map(|i| min + i as f64 * width).collect();
+    let mut counts = vec![0usize; bins];
+    for &x in xs {
+        if x < min || x > max {
+            continue;
+        }
+        let idx = (((x - min) / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    (edges, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_perfect_prediction_is_zero() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_matches_hand_value() {
+        // errors 3 and 4 → sqrt((9+16)/2)
+        let got = rmse(&[3.0, 0.0], &[0.0, 4.0]);
+        assert!((got - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_matches_hand_value() {
+        assert!((mae(&[3.0, 0.0], &[0.0, 4.0]) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg = [-2.0, -4.0, -6.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn distances_agree_on_axis_vectors() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((euclidean(&a, &b) - 2f64.sqrt()).abs() < 1e-12);
+        assert!((cosine_distance(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_distance(&a, &a), 0.0);
+        assert_eq!(cosine_distance(&a, &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let xs = [0.0, 0.5, 1.0, 2.0, 10.0];
+        let (edges, counts) = histogram(&xs, 2, 0.0, 2.0);
+        assert_eq!(edges, vec![0.0, 1.0, 2.0]);
+        // 0.0, 0.5 in first bin; 1.0, 2.0 in second; 10.0 ignored.
+        assert_eq!(counts, vec![2, 2]);
+    }
+}

@@ -1,0 +1,109 @@
+//! The Adam optimiser (Kingma & Ba, 2015).
+//!
+//! Parameter tensors are registered by a stable slot index; each slot keeps
+//! its own first/second-moment estimates. The caller passes the flattened
+//! parameter and gradient slices each step.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam state for a set of parameter slots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    pub lr: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    /// Per-slot timestep (bias correction).
+    t: Vec<u64>,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Adam with the usual defaults and the given learning rate.
+    pub fn new(lr: f64) -> Adam {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: vec![], m: vec![], v: vec![] }
+    }
+
+    /// Apply one update to parameter slot `slot`.
+    ///
+    /// # Panics
+    /// Panics if the slot is reused with a different length.
+    pub fn update(&mut self, slot: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        while self.m.len() <= slot {
+            self.m.push(vec![]);
+            self.v.push(vec![]);
+            self.t.push(0);
+        }
+        if self.m[slot].is_empty() {
+            self.m[slot] = vec![0.0; params.len()];
+            self.v[slot] = vec![0.0; params.len()];
+        }
+        assert_eq!(self.m[slot].len(), params.len(), "slot {slot} reused with new shape");
+        self.t[slot] += 1;
+        let t = self.t[slot] as f64;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (m, v) = (&mut self.m[slot], &mut self.v[slot]);
+        for ((p, &g), (mi, vi)) in
+            params.iter_mut().zip(grads).zip(m.iter_mut().zip(v.iter_mut()))
+        {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+            let m_hat = *mi / bc1;
+            let v_hat = *vi / bc2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_a_quadratic() {
+        // f(x) = (x - 3)^2, gradient 2(x - 3).
+        let mut adam = Adam::new(0.1);
+        let mut x = vec![0.0f64];
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            adam.update(0, &mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut adam = Adam::new(0.1);
+        let mut a = vec![0.0];
+        let mut b = vec![10.0];
+        for _ in 0..2000 {
+            let ga = vec![2.0 * (a[0] - 1.0)];
+            adam.update(0, &mut a, &ga);
+            let gb = vec![2.0 * (b[0] + 1.0)];
+            adam.update(1, &mut b, &gb);
+        }
+        assert!((a[0] - 1.0).abs() < 1e-2);
+        assert!((b[0] + 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn first_step_magnitude_close_to_lr() {
+        // With bias correction, the first Adam step is about lr in the
+        // gradient direction.
+        let mut adam = Adam::new(0.01);
+        let mut x = vec![0.0];
+        adam.update(0, &mut x, &[5.0]);
+        assert!((x[0] + 0.01).abs() < 1e-6, "x = {}", x[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let mut adam = Adam::new(0.01);
+        let mut x = vec![0.0];
+        adam.update(0, &mut x, &[1.0, 2.0]);
+    }
+}

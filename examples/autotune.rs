@@ -1,0 +1,51 @@
+//! Closed-loop automatic tuning (the paper's §5 future work, implemented):
+//! diagnose → transform → re-simulate → repeat, on the paper's six IOR
+//! patterns.
+//!
+//! ```sh
+//! cargo run --release --example autotune
+//! ```
+
+use aiio::autotune::AutoTuner;
+use aiio::prelude::*;
+use aiio_iosim::ior::table3;
+
+fn main() {
+    println!("training AIIO...");
+    let db = DatabaseSampler::new(SamplerConfig { n_jobs: 2000, seed: 31, noise_sigma: 0.0 })
+        .generate();
+    let service = AiioService::train(&TrainConfig::fast(), &db);
+    let tuner = AutoTuner::new(&service);
+
+    let patterns = [
+        ("Fig. 7a: sequential small writes", table3::fig7a()),
+        ("Fig. 8a: seek-per-read sequential reads", table3::fig8a()),
+        ("Fig. 9:  strided small writes", table3::fig9()),
+        ("Fig. 10: strided reads", table3::fig10()),
+        ("Fig. 11: random-offset writes", table3::fig11()),
+        ("Fig. 12: random-offset reads", table3::fig12()),
+    ];
+
+    for (name, cfg) in patterns {
+        let outcome = tuner.tune(cfg.to_spec(), StorageConfig::cori_like_quiet());
+        println!("\n=== {name} ===");
+        println!(
+            "  {:.2} -> {:.2} MiB/s ({:.1}x) in {} probes",
+            outcome.initial_performance_mib_s,
+            outcome.final_performance_mib_s,
+            outcome.speedup(),
+            outcome.steps.len()
+        );
+        for step in &outcome.steps {
+            println!(
+                "  round {}: {} -> {:?} : {:.2} -> {:.2} MiB/s [{}]",
+                step.round,
+                step.counter.name(),
+                step.action,
+                step.performance_before_mib_s,
+                step.performance_after_mib_s,
+                if step.accepted { "kept" } else { "rejected" }
+            );
+        }
+    }
+}

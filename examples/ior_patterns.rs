@@ -1,0 +1,83 @@
+//! The paper's six low-performing IOR access patterns (§4.1, Figs. 7–12):
+//! run each through the simulator, diagnose it with AIIO, apply the paper's
+//! fix, and show the speedup.
+//!
+//! ```sh
+//! cargo run --release --example ior_patterns
+//! ```
+
+use aiio::prelude::*;
+use aiio_iosim::ior::table3;
+
+fn main() {
+    println!("training AIIO on a synthetic log database...");
+    let db = DatabaseSampler::new(SamplerConfig { n_jobs: 1500, seed: 11, noise_sigma: 0.03 })
+        .generate();
+    let service = AiioService::train(&TrainConfig::fast(), &db);
+    let sim = Simulator::new(StorageConfig::cori_like_quiet());
+
+    // (pattern, untuned, tuned, paper's untuned/tuned MiB/s)
+    let experiments: Vec<(&str, IorConfig, IorConfig, (f64, f64))> = vec![
+        (
+            "pattern 1: sequential small writes (Fig. 7)",
+            table3::fig7a(),
+            table3::fig7b(),
+            (1.55, 162.01),
+        ),
+        (
+            "pattern 2: seek-per-read sequential reads (Fig. 8)",
+            table3::fig8a(),
+            table3::fig8b(),
+            (412.70, 644.67),
+        ),
+        (
+            "pattern 3: strided small writes (Fig. 9 -> Fig. 7b fix)",
+            table3::fig9(),
+            table3::fig7b(),
+            (1.46, 162.01),
+        ),
+        (
+            "pattern 4: strided reads (Fig. 10 -> Fig. 8a fix)",
+            table3::fig10(),
+            table3::fig8a(),
+            (65.33, 412.70),
+        ),
+        (
+            "pattern 5: random-offset writes (Fig. 11 -> Fig. 7b fix)",
+            table3::fig11(),
+            table3::fig7b(),
+            (1.43, 162.01),
+        ),
+        (
+            "pattern 6: random-offset reads (Fig. 12 -> Fig. 8a fix)",
+            table3::fig12(),
+            table3::fig8a(),
+            (94.52, 412.70),
+        ),
+    ];
+
+    for (i, (name, untuned, tuned, paper)) in experiments.into_iter().enumerate() {
+        let log = sim.simulate(&untuned.to_spec(), 1000 + i as u64, 2022, 0);
+        let report = service.diagnose(&log);
+        let tuned_log = sim.simulate(&tuned.to_spec(), 2000 + i as u64, 2022, 0);
+
+        println!("\n=== {name} ===");
+        println!(
+            "  measured: {:.2} -> {:.2} MiB/s ({:.1}x; paper: {:.2} -> {:.2}, {:.1}x)",
+            log.performance_mib_s(),
+            tuned_log.performance_mib_s(),
+            tuned_log.performance_mib_s() / log.performance_mib_s(),
+            paper.0,
+            paper.1,
+            paper.1 / paper.0,
+        );
+        println!("  diagnosed bottlenecks:");
+        for b in report.bottlenecks.iter().take(4) {
+            println!("    {:<28} {:+.4}", b.counter.name(), b.contribution);
+        }
+        for a in report.advice.iter().take(2) {
+            println!("  advice: {}", a.suggestion);
+        }
+        assert!(report.is_robust(&log), "diagnosis must be robust");
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: train AIIO on a synthetic log database and diagnose one job.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Steps:
+//! 1. generate a Darshan-style log database with the bundled storage
+//!    simulator (the stand-in for NERSC's production logs);
+//! 2. train the five performance functions (half train / half validation,
+//!    early stopping — paper §3.2);
+//! 3. diagnose an *unseen* IOR job (`ior -w -t 1k -b 1m -Y`, the paper's
+//!    Fig. 7(a) pattern) and print the ranked bottleneck report.
+
+use aiio::prelude::*;
+
+fn main() {
+    // 1. A small training database (increase for better models).
+    println!("generating synthetic Darshan log database...");
+    let db = DatabaseSampler::new(SamplerConfig { n_jobs: 1500, seed: 7, noise_sigma: 0.03 })
+        .generate();
+    println!(
+        "  {} jobs, average sparsity {:.3} (paper reports 0.2379)",
+        db.len(),
+        db.average_sparsity()
+    );
+
+    // 2. Train all five models with reduced budgets (TrainConfig::default()
+    //    is the paper-scale configuration).
+    println!("training the model zoo (5 performance functions)...");
+    let service = AiioService::train(&TrainConfig::fast(), &db);
+    for (kind, rmse) in &service.validation_rmse {
+        println!("  {kind:<9} validation RMSE: {rmse:.4}");
+    }
+
+    // 3. Diagnose an unseen job: the paper's small-sequential-writes IOR
+    //    pattern, which should flag the small-write counters.
+    let ior = IorConfig::parse("ior -w -t 1k -b 1m -Y").expect("valid IOR command line");
+    let log = Simulator::new(StorageConfig::cori_like()).simulate(&ior.to_spec(), 90_001, 2022, 99);
+    println!("\ndiagnosing unseen job: ior -w -t 1k -b 1m -Y ({} ranks)", ior.nprocs);
+    let report = service.diagnose(&log);
+    println!("{report}");
+
+    match report.top_bottleneck() {
+        Some(c) => println!("top diagnosed bottleneck: {c}"),
+        None => println!("no negative contributions found"),
+    }
+}

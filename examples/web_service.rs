@@ -1,0 +1,60 @@
+//! The AIIO service lifecycle (§3.4 / Fig. 17): train once, persist the
+//! pre-trained models, reload them elsewhere, and serve diagnoses for
+//! incoming logs.
+//!
+//! ```sh
+//! cargo run --release --example web_service
+//! ```
+
+use aiio::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let model_path = std::env::temp_dir().join("aiio_pretrained_models.json");
+
+    // --- Training side (the model-management half of the service) -------
+    println!("training AIIO and persisting the models to {}", model_path.display());
+    let db = DatabaseSampler::new(SamplerConfig { n_jobs: 1200, seed: 21, noise_sigma: 0.03 })
+        .generate();
+    let service = AiioService::train(&TrainConfig::fast(), &db);
+    service.save(&model_path)?;
+    println!(
+        "  saved ({} bytes)",
+        std::fs::metadata(&model_path).map(|m| m.len()).unwrap_or(0)
+    );
+
+    // --- Serving side (loads pre-trained models, Fig. 17) ---------------
+    let server = AiioService::load(&model_path)?;
+    println!("loaded pre-trained models; serving diagnosis requests:\n");
+
+    // Simulate a stream of user-submitted logs.
+    let requests = [
+        ("ior -w -t 1k -b 1m -Y", 5001u64),
+        ("ior -r -t 1k -b 1m", 5002),
+        ("ior -w -t 1k -b 1k -s 1024 -Y", 5003),
+        ("ior -a POSIX -r -t 1k -b 1m -z", 5004),
+    ];
+    let sim = Simulator::new(StorageConfig::cori_like());
+    for (cmdline, job_id) in requests {
+        let cfg = IorConfig::parse(cmdline).expect("valid command line");
+        let log = sim.simulate(&cfg.to_spec(), job_id, 2022, job_id);
+        let report = server.diagnose(&log);
+        println!("request: {cmdline}");
+        println!(
+            "  performance {:.2} MiB/s; top bottleneck: {}",
+            report.performance_mib_s,
+            report
+                .top_bottleneck()
+                .map(|c| c.name().to_string())
+                .unwrap_or_else(|| "none".into())
+        );
+        if let Some(a) = report.advice.first() {
+            println!("  advice: {}", a.suggestion);
+        }
+        // A JSON API would return the serialised report:
+        let json = serde_json::to_string(&report).expect("report serialises");
+        println!("  (JSON payload: {} bytes)\n", json.len());
+    }
+
+    let _ = std::fs::remove_file(&model_path);
+    Ok(())
+}

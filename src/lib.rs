@@ -1,0 +1,9 @@
+//! Workspace façade: re-exports every crate of the AIIO reproduction.
+pub use aiio;
+pub use aiio_cluster as cluster;
+pub use aiio_darshan as darshan;
+pub use aiio_explain as explain;
+pub use aiio_gbdt as gbdt;
+pub use aiio_iosim as iosim;
+pub use aiio_linalg as linalg;
+pub use aiio_nn as nn;

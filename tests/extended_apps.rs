@@ -1,0 +1,131 @@
+//! Integration: the extension application kernels (VPIC checkpoint, ML
+//! training input pipeline) and the ground-truth/classification machinery,
+//! driven end-to-end through the public API.
+
+use aiio::eval::ClassificationScorer;
+use aiio::prelude::*;
+use aiio::rules::RuleChecker;
+use aiio_gbdt::GbdtConfig;
+use aiio_iosim::apps::{ml_training, vpic};
+use aiio_iosim::{cost_breakdown, ground_truth, BottleneckClass};
+use std::sync::OnceLock;
+
+fn service() -> &'static AiioService {
+    static CACHE: OnceLock<AiioService> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let db = DatabaseSampler::new(SamplerConfig { n_jobs: 500, seed: 321, noise_sigma: 0.0 })
+            .generate();
+        let mut cfg = TrainConfig::fast();
+        cfg.zoo.xgboost = GbdtConfig { n_rounds: 40, ..GbdtConfig::xgboost_like() };
+        cfg.zoo = cfg.zoo.with_kinds(&[
+            aiio::ModelKind::XgboostLike,
+            aiio::ModelKind::LightgbmLike,
+            aiio::ModelKind::CatboostLike,
+        ]);
+        cfg.diagnosis.max_evals = 384;
+        AiioService::train(&cfg, &db)
+    })
+}
+
+#[test]
+fn vpic_checkpoint_diagnosis_flags_strided_writes() {
+    let base = StorageConfig::cori_like_quiet();
+    let untuned = vpic(false, &base);
+    let log = Simulator::new(untuned.storage.clone()).simulate(&untuned.spec, 81_000, 2022, 0);
+    let report = service().diagnose(&log);
+    assert!(report.is_robust(&log));
+    // Ground truth for the untuned checkpoint is buffered strided writes.
+    assert_eq!(
+        ground_truth(&untuned.spec, &untuned.storage),
+        BottleneckClass::StridedBufferedWrites
+    );
+    // And the diagnosis flags a stride or write counter among its top 3
+    // non-config bottlenecks.
+    let top: Vec<_> = report
+        .bottlenecks
+        .iter()
+        .filter(|b| b.counter.category() != aiio_darshan::CounterCategory::Config)
+        .take(3)
+        .map(|b| b.counter)
+        .collect();
+    let expected = aiio::eval::expected_counters(BottleneckClass::StridedBufferedWrites);
+    assert!(
+        top.iter().any(|c| expected.contains(c)),
+        "top {:?} missed all of {:?}",
+        top,
+        expected
+    );
+}
+
+#[test]
+fn ml_training_tuning_removes_the_seek_bottleneck() {
+    let base = StorageConfig::cori_like_quiet();
+    let untuned = ml_training(false, &base);
+    let tuned = ml_training(true, &base);
+    let sim_u = Simulator::new(untuned.storage.clone());
+    let sim_t = Simulator::new(tuned.storage.clone());
+    let log_u = sim_u.simulate(&untuned.spec, 81_001, 2022, 0);
+    let log_t = sim_t.simulate(&tuned.spec, 81_002, 2022, 0);
+    assert!(log_t.performance_mib_s() > 1.5 * log_u.performance_mib_s());
+
+    let report_u = service().diagnose(&log_u);
+    let report_t = service().diagnose(&log_t);
+    // Untuned: seeks (or small random reads) among the bottlenecks.
+    assert!(report_u
+        .bottlenecks
+        .iter()
+        .any(|b| b.counter == CounterId::PosixSeeks),
+        "{:?}",
+        report_u.bottlenecks.iter().map(|b| b.counter.name()).collect::<Vec<_>>()
+    );
+    // Tuned: the seek counter is zero so robustness forces zero attribution.
+    assert_eq!(report_t.merged.values[CounterId::PosixSeeks.index()], 0.0);
+}
+
+#[test]
+fn cost_breakdown_components_sum_and_rank_sanely() {
+    let base = StorageConfig::cori_like_quiet();
+    for run in [vpic(false, &base), vpic(true, &base), ml_training(false, &base)] {
+        let b = cost_breakdown(&run.spec, &run.storage);
+        assert!(b.total() > 0.0, "{}: empty breakdown", run.label);
+        // Every component non-negative.
+        assert!(b.seek_time >= 0.0 && b.metadata_time >= 0.0 && b.bandwidth_time >= 0.0);
+    }
+    // Tuned VPIC must be bandwidth-bound.
+    let tuned = vpic(true, &base);
+    assert_eq!(ground_truth(&tuned.spec, &tuned.storage), BottleneckClass::BandwidthBound);
+}
+
+#[test]
+fn classification_scorer_full_loop_on_unseen_jobs() {
+    // A miniature version of the repro_classification experiment that runs
+    // in CI time and asserts AIIO beats the static rules.
+    let (db, labels) = DatabaseSampler::new(SamplerConfig {
+        n_jobs: 48,
+        seed: 777,
+        noise_sigma: 0.0,
+    })
+    .generate_labeled();
+    let svc = service();
+    let rules = RuleChecker::default();
+    let mut aiio_scorer = ClassificationScorer::new(3);
+    let mut rules_scorer = ClassificationScorer::new(3);
+    for (log, &truth) in db.jobs().iter().zip(&labels) {
+        if truth == BottleneckClass::BandwidthBound {
+            continue;
+        }
+        let report = svc.diagnose(log);
+        aiio_scorer.score_report(&report, truth);
+        rules_scorer.score_rules(&rules, log, truth);
+    }
+    let aiio_report = aiio_scorer.finish();
+    let rules_report = rules_scorer.finish();
+    assert!(aiio_report.n_evaluated >= 10, "too few labeled jobs to evaluate");
+    assert!(
+        aiio_report.accuracy() > rules_report.accuracy(),
+        "AIIO {:.3} should beat rules {:.3}",
+        aiio_report.accuracy(),
+        rules_report.accuracy()
+    );
+    assert!(aiio_report.accuracy() > 0.5, "AIIO accuracy {:.3}", aiio_report.accuracy());
+}

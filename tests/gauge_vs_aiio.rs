@@ -1,0 +1,87 @@
+//! The paper's Fig. 1 contrast as an executable claim: group-level
+//! (Gauge-style) diagnosis is non-robust and its group statistics mask
+//! individual jobs, while AIIO's job-level diagnosis is robust.
+
+use aiio::gauge::{GaugeAnalysis, GaugeConfig};
+use aiio::prelude::*;
+use aiio_cluster::HdbscanConfig;
+use aiio_explain::metrics::robustness_violations;
+use aiio_gbdt::GbdtConfig;
+use std::sync::OnceLock;
+
+fn setup() -> &'static (GaugeAnalysis, Dataset, AiioService, LogDatabase) {
+    static CACHE: OnceLock<(GaugeAnalysis, Dataset, AiioService, LogDatabase)> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let db = DatabaseSampler::new(SamplerConfig { n_jobs: 320, seed: 23, noise_sigma: 0.0 })
+            .generate();
+        let ds = FeaturePipeline::paper().dataset_of(&db);
+        let gauge = GaugeAnalysis::fit(
+            &ds,
+            &GaugeConfig {
+                hdbscan: HdbscanConfig { min_cluster_size: 12, min_samples: 6 },
+                model: GbdtConfig { n_rounds: 25, max_depth: 4, ..GbdtConfig::xgboost_like() },
+                max_evals: 192,
+                seed: 0,
+            },
+        );
+        let mut cfg = TrainConfig::fast();
+        cfg.zoo = cfg.zoo.with_kinds(&[aiio::ModelKind::XgboostLike, aiio::ModelKind::CatboostLike]);
+        cfg.diagnosis.max_evals = 256;
+        let service = AiioService::train(&cfg, &db);
+        (gauge, ds, service, db)
+    })
+}
+
+#[test]
+fn hdbscan_extracts_groups_from_the_log_database() {
+    let (gauge, ds, _, _) = setup();
+    assert!(gauge.clustering.n_clusters >= 1);
+    let clustered: usize = gauge.clusters.iter().map(|c| c.members.len()).sum();
+    assert_eq!(clustered + gauge.clustering.n_noise(), ds.len());
+}
+
+#[test]
+fn group_average_error_hides_member_extremes() {
+    // Fig. 1(a): selecting one model for the whole group misrepresents
+    // individual members.
+    let (gauge, _, _, _) = setup();
+    let cluster = gauge.clusters.iter().max_by_key(|c| c.members.len()).unwrap();
+    let avg = cluster.average_abs_error();
+    let max = cluster.member_abs_errors.iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        max > 1.5 * avg.max(1e-9),
+        "worst member ({max:.4}) should far exceed the average ({avg:.4})"
+    );
+}
+
+#[test]
+fn gauge_explanations_violate_robustness_but_aiio_does_not() {
+    // Fig. 1(d): mean-background explanations put impact on zero counters;
+    // the same jobs diagnosed by AIIO never do.
+    let (gauge, ds, service, db) = setup();
+    let cluster = gauge.clusters.iter().max_by_key(|c| c.members.len()).unwrap();
+    let mut gauge_violations = 0usize;
+    let mut aiio_violations = 0usize;
+    for &i in cluster.members.iter().take(6) {
+        let attr = gauge.explain_member(cluster, &ds.x[i]);
+        gauge_violations += robustness_violations(&attr, &ds.x[i]).len();
+
+        let log = db.get(ds.job_ids[i]).unwrap();
+        let report = service.diagnose(log);
+        aiio_violations += robustness_violations(&report.merged, &ds.x[i]).len();
+    }
+    assert!(gauge_violations > 0, "Gauge-style background should violate robustness");
+    assert_eq!(aiio_violations, 0, "AIIO must never assign impact to zero counters");
+}
+
+#[test]
+fn unseen_job_needs_no_reclustering_in_aiio() {
+    // The paper's §2.2 criticism: group-level methods must re-cluster or
+    // classify an unseen log. AIIO just diagnoses it.
+    let (_, _, service, _) = setup();
+    let spec = IorConfig::parse("ior -r -t 1k -b 1m").unwrap().to_spec();
+    let log = Simulator::new(StorageConfig::cori_like_quiet()).simulate(&spec, 999_999, 2022, 1);
+    let report = service.diagnose(&log);
+    assert!(report.is_robust(&log));
+    assert!(!report.merged.values.iter().all(|&v| v == 0.0));
+}

@@ -1,0 +1,138 @@
+//! End-to-end integration: simulator → database → feature engineering →
+//! model zoo → diagnosis → advice, exercised exactly the way a downstream
+//! user would drive the public API.
+
+use aiio::prelude::*;
+use aiio::ModelKind;
+use aiio_gbdt::GbdtConfig;
+use aiio_nn::{MlpConfig, TabNetConfig};
+use std::sync::OnceLock;
+
+/// A compact but real training run shared by the tests in this file.
+fn service() -> &'static (AiioService, LogDatabase) {
+    static CACHE: OnceLock<(AiioService, LogDatabase)> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let db = DatabaseSampler::new(SamplerConfig { n_jobs: 600, seed: 101, noise_sigma: 0.02 })
+            .generate();
+        let mut cfg = TrainConfig::fast();
+        cfg.zoo.xgboost = GbdtConfig { n_rounds: 40, max_depth: 5, ..GbdtConfig::xgboost_like() };
+        cfg.zoo.lightgbm = GbdtConfig { n_rounds: 40, max_leaves: 15, ..GbdtConfig::lightgbm_like() };
+        cfg.zoo.catboost = GbdtConfig { n_rounds: 40, max_depth: 4, ..GbdtConfig::catboost_like() };
+        cfg.zoo.mlp = MlpConfig { hidden: vec![32], max_epochs: 12, ..MlpConfig::paper() };
+        cfg.zoo.tabnet = TabNetConfig {
+            n_steps: 2,
+            d_hidden: 16,
+            n_d: 8,
+            n_a: 8,
+            max_epochs: 10,
+            ..TabNetConfig::default()
+        };
+        cfg.diagnosis.max_evals = 384;
+        let service = AiioService::train(&cfg, &db);
+        (service, db)
+    })
+}
+
+#[test]
+fn all_five_models_train_and_beat_the_mean_baseline_on_validation() {
+    let (service, db) = service();
+    assert_eq!(service.validation_rmse.len(), 5);
+    // Baseline: predict the mean tag.
+    let ds = FeaturePipeline::paper().dataset_of(db);
+    let mean = ds.y.iter().sum::<f64>() / ds.y.len() as f64;
+    let baseline =
+        (ds.y.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / ds.y.len() as f64).sqrt();
+    // The tree models must clearly beat the baseline; the (tiny-budget)
+    // neural models must at least not be catastrophically worse.
+    for (kind, rmse) in &service.validation_rmse {
+        match kind {
+            ModelKind::XgboostLike | ModelKind::LightgbmLike | ModelKind::CatboostLike => {
+                assert!(rmse < &(0.8 * baseline), "{kind}: {rmse} vs baseline {baseline}")
+            }
+            _ => assert!(rmse < &(2.0 * baseline), "{kind}: {rmse} vs baseline {baseline}"),
+        }
+    }
+}
+
+#[test]
+fn diagnosis_of_unseen_small_write_job_flags_write_side_counters() {
+    let (service, _) = service();
+    let spec = IorConfig::parse("ior -w -t 1k -b 1m -Y").unwrap().to_spec();
+    let log = Simulator::new(StorageConfig::cori_like_quiet()).simulate(&spec, 70_001, 2022, 5);
+    let report = service.diagnose(&log);
+
+    // Robustness (paper §3.3): no zero counter carries impact, and a
+    // write-only job never has read counters flagged.
+    assert!(report.is_robust(&log));
+    for b in &report.bottlenecks {
+        assert!(!b.counter.is_read_related(), "{} flagged on a write-only job", b.counter);
+    }
+    // At least one diagnosed bottleneck and actionable advice exist.
+    assert!(!report.bottlenecks.is_empty());
+    assert!(!report.advice.is_empty());
+}
+
+#[test]
+fn diagnosis_report_identifies_known_seek_bottleneck() {
+    let (service, _) = service();
+    // Amplified seek workload: consecutive reads with a seek before every
+    // read (the paper's Fig. 8 pathology).
+    let spec = IorConfig::parse("ior -r -t 1k -b 1m").unwrap().to_spec();
+    let log = Simulator::new(StorageConfig::cori_like_quiet()).simulate(&spec, 70_002, 2022, 6);
+    let report = service.diagnose(&log);
+    assert!(report.is_robust(&log));
+    // POSIX_SEEKS must appear among the negative contributions.
+    let has_seeks = report.bottlenecks.iter().any(|b| b.counter == CounterId::PosixSeeks);
+    assert!(
+        has_seeks,
+        "expected POSIX_SEEKS among bottlenecks, got {:?}",
+        report.bottlenecks.iter().map(|b| b.counter.name()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn merged_prediction_beats_worst_single_model() {
+    let (service, db) = service();
+    let ds = FeaturePipeline::paper().dataset_of(db);
+    let split = db.split_indices(0.5, 0);
+    let valid = ds.subset(&split.valid);
+    let per_model = service.zoo().rmse_per_model(&valid);
+    let worst = per_model.iter().map(|(_, e)| *e).fold(0.0f64, f64::max);
+    let closest = service.zoo().rmse_closest(&valid);
+    let average = service.zoo().rmse_average(&valid);
+    assert!(closest < worst, "closest {closest} !< worst {worst}");
+    assert!(average < worst, "average {average} !< worst {worst}");
+}
+
+#[test]
+fn service_roundtrip_through_disk_preserves_behaviour() {
+    let (service, db) = service();
+    let path = std::env::temp_dir().join("aiio_it_service.json");
+    service.save(&path).unwrap();
+    let loaded = AiioService::load(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let log = &db.jobs()[17];
+    let a = service.diagnose(log);
+    let b = loaded.diagnose(log);
+    assert_eq!(a.top_bottleneck(), b.top_bottleneck());
+    assert_eq!(a.bottlenecks.len(), b.bottlenecks.len());
+}
+
+#[test]
+fn tuned_workload_outperforms_untuned_as_predicted_by_diagnosis() {
+    let (service, _) = service();
+    let sim = Simulator::new(StorageConfig::cori_like_quiet());
+    let untuned = IorConfig::parse("ior -w -t 1k -b 1m -Y").unwrap();
+    let tuned = IorConfig::parse("ior -w -t 1m -b 1m -Y").unwrap();
+    let log_u = sim.simulate(&untuned.to_spec(), 70_003, 2022, 0);
+    let log_t = sim.simulate(&tuned.to_spec(), 70_004, 2022, 0);
+    // The fix gives a large speedup (paper: 104x).
+    assert!(log_t.performance_mib_s() > 20.0 * log_u.performance_mib_s());
+    // And the diagnosed small-write bucket disappears from the tuned run's
+    // bottleneck list.
+    let report_t = service.diagnose(&log_t);
+    assert!(report_t
+        .bottlenecks
+        .iter()
+        .all(|b| b.counter != CounterId::PosixSizeWrite100_1k));
+}
