@@ -39,9 +39,9 @@ pub fn advice_for(counter: CounterId, raw_value: f64) -> Option<Advice> {
              writes"
                 .into(),
         ),
-        PosixReads => Some(
-            "a very large number of read calls: batch reads or memory-map the file".into(),
-        ),
+        PosixReads => {
+            Some("a very large number of read calls: batch reads or memory-map the file".into())
+        }
         PosixSeeks => Some(
             "excessive seeking: the access pattern re-positions before operations (the stock \
              IOR seeks before every read — seek once and read sequentially)"
@@ -67,12 +67,9 @@ pub fn advice_for(counter: CounterId, raw_value: f64) -> Option<Advice> {
             "{raw_value:.0} opens: too many files/reopens serialize on the metadata server — \
              merge small files or open once per rank"
         )),
-        PosixStats => {
-            Some("frequent stat calls: cache file metadata instead of re-stating".into())
-        }
+        PosixStats => Some("frequent stat calls: cache file metadata instead of re-stating".into()),
         PosixRwSwitches => Some(
-            "frequent read/write switching defeats caching: separate read and write phases"
-                .into(),
+            "frequent read/write switching defeats caching: separate read and write phases".into(),
         ),
         LustreStripeSize => Some(
             "stripe size mismatched to the access size: set the stripe size to the dominant \
@@ -82,14 +79,33 @@ pub fn advice_for(counter: CounterId, raw_value: f64) -> Option<Advice> {
         LustreStripeWidth => Some(
             "too few OSTs for the aggregate bandwidth: widen striping (lfs setstripe -c)".into(),
         ),
-        PosixConsecReads | PosixConsecWrites | PosixSeqReads | PosixSeqWrites
-        | PosixBytesRead | PosixBytesWritten | PosixSizeRead10k_100k | PosixSizeRead100k_1m
-        | PosixSizeWrite10k_100k | PosixSizeWrite100k_1m | PosixAccess1Access
-        | PosixAccess2Access | PosixAccess3Access | PosixAccess4Access | PosixAccess1Count
-        | PosixAccess2Count | PosixAccess3Count | PosixAccess4Count | PosixFilenos
-        | PosixMemAlignment | PosixFileAlignment | Nprocs => None,
+        PosixConsecReads
+        | PosixConsecWrites
+        | PosixSeqReads
+        | PosixSeqWrites
+        | PosixBytesRead
+        | PosixBytesWritten
+        | PosixSizeRead10k_100k
+        | PosixSizeRead100k_1m
+        | PosixSizeWrite10k_100k
+        | PosixSizeWrite100k_1m
+        | PosixAccess1Access
+        | PosixAccess2Access
+        | PosixAccess3Access
+        | PosixAccess4Access
+        | PosixAccess1Count
+        | PosixAccess2Count
+        | PosixAccess3Count
+        | PosixAccess4Count
+        | PosixFilenos
+        | PosixMemAlignment
+        | PosixFileAlignment
+        | Nprocs => None,
     };
-    text.map(|suggestion| Advice { counter, suggestion })
+    text.map(|suggestion| Advice {
+        counter,
+        suggestion,
+    })
 }
 
 #[cfg(test)]

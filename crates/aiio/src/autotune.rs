@@ -50,24 +50,39 @@ impl TuningAction {
     pub fn for_counter(counter: CounterId) -> Option<TuningAction> {
         use CounterId::*;
         Some(match counter {
-            PosixSizeWrite0_100 | PosixSizeWrite100_1k | PosixSizeWrite1k_10k
-            | PosixSizeWrite10k_100k | PosixWrites | PosixSizeRead0_100
-            | PosixSizeRead100_1k | PosixSizeRead1k_10k | PosixSizeRead10k_100k | PosixReads
-            | PosixAccess1Count | PosixAccess2Count | PosixAccess3Count | PosixAccess4Count => {
-                TuningAction::EnlargeTransfers
-            }
+            PosixSizeWrite0_100
+            | PosixSizeWrite100_1k
+            | PosixSizeWrite1k_10k
+            | PosixSizeWrite10k_100k
+            | PosixWrites
+            | PosixSizeRead0_100
+            | PosixSizeRead100_1k
+            | PosixSizeRead1k_10k
+            | PosixSizeRead10k_100k
+            | PosixReads
+            | PosixAccess1Count
+            | PosixAccess2Count
+            | PosixAccess3Count
+            | PosixAccess4Count => TuningAction::EnlargeTransfers,
             PosixSeeks => TuningAction::SeekOnce,
             PosixStride1Count | PosixStride2Count | PosixStride3Count | PosixStride4Count
-            | PosixStride1Stride | PosixStride2Stride | PosixStride3Stride
-            | PosixStride4Stride | PosixConsecReads | PosixConsecWrites | PosixSeqReads
-            | PosixSeqWrites | PosixRwSwitches => TuningAction::MakeContiguous,
+            | PosixStride1Stride | PosixStride2Stride | PosixStride3Stride | PosixStride4Stride
+            | PosixConsecReads | PosixConsecWrites | PosixSeqReads | PosixSeqWrites
+            | PosixRwSwitches => TuningAction::MakeContiguous,
             PosixFileNotAligned | PosixMemNotAligned => TuningAction::EnlargeTransfers,
             PosixOpens | PosixFilenos | PosixStats => TuningAction::MergeOpens,
             LustreStripeSize | PosixFileAlignment => TuningAction::EnlargeStripe,
             LustreStripeWidth => TuningAction::WidenStripe,
-            Nprocs | PosixMemAlignment | PosixBytesRead | PosixBytesWritten
-            | PosixSizeRead100k_1m | PosixSizeWrite100k_1m | PosixAccess1Access
-            | PosixAccess2Access | PosixAccess3Access | PosixAccess4Access => return None,
+            Nprocs
+            | PosixMemAlignment
+            | PosixBytesRead
+            | PosixBytesWritten
+            | PosixSizeRead100k_1m
+            | PosixSizeWrite100k_1m
+            | PosixAccess1Access
+            | PosixAccess2Access
+            | PosixAccess3Access
+            | PosixAccess4Access => return None,
         })
     }
 
@@ -127,7 +142,14 @@ impl TuningAction {
 fn map_transfers(spec: &mut JobSpec, mut f: impl FnMut(&mut TransferMut)) {
     for group in &mut spec.groups {
         for block in &mut group.script {
-            if let OpBlock::Transfer { size, count, layout, seek_before_each, .. } = block {
+            if let OpBlock::Transfer {
+                size,
+                count,
+                layout,
+                seek_before_each,
+                ..
+            } = block
+            {
                 let mut t = TransferMut {
                     size: *size,
                     count: *count,
@@ -207,7 +229,11 @@ pub struct AutoTuner<'a> {
 
 impl<'a> AutoTuner<'a> {
     pub fn new(service: &'a AiioService) -> Self {
-        Self { service, min_improvement: 1.05, max_rounds: 6 }
+        Self {
+            service,
+            min_improvement: 1.05,
+            max_rounds: 6,
+        }
     }
 
     /// Diagnose and transform until nothing improves.
@@ -294,14 +320,26 @@ mod tests {
         CACHE.get_or_init(|| {
             // The tuner's decisions are only as good as the diagnosis, so
             // train a real (if compact) three-tree zoo on a medium database.
-            let db =
-                DatabaseSampler::new(SamplerConfig { n_jobs: 1600, seed: 55, noise_sigma: 0.0 })
-                    .generate();
+            let db = DatabaseSampler::new(SamplerConfig {
+                n_jobs: 1600,
+                seed: 55,
+                noise_sigma: 0.0,
+            })
+            .generate();
             let mut cfg = TrainConfig::fast();
             cfg.zoo = ZooConfig {
-                xgboost: GbdtConfig { n_rounds: 80, ..GbdtConfig::xgboost_like() },
-                lightgbm: GbdtConfig { n_rounds: 80, ..GbdtConfig::lightgbm_like() },
-                catboost: GbdtConfig { n_rounds: 80, ..GbdtConfig::catboost_like() },
+                xgboost: GbdtConfig {
+                    n_rounds: 80,
+                    ..GbdtConfig::xgboost_like()
+                },
+                lightgbm: GbdtConfig {
+                    n_rounds: 80,
+                    ..GbdtConfig::lightgbm_like()
+                },
+                catboost: GbdtConfig {
+                    n_rounds: 80,
+                    ..GbdtConfig::catboost_like()
+                },
                 ..ZooConfig::fast()
             }
             .with_kinds(&[
@@ -320,12 +358,18 @@ mod tests {
             TuningAction::for_counter(CounterId::PosixSizeWrite100_1k),
             Some(TuningAction::EnlargeTransfers)
         );
-        assert_eq!(TuningAction::for_counter(CounterId::PosixSeeks), Some(TuningAction::SeekOnce));
+        assert_eq!(
+            TuningAction::for_counter(CounterId::PosixSeeks),
+            Some(TuningAction::SeekOnce)
+        );
         assert_eq!(
             TuningAction::for_counter(CounterId::PosixStride1Count),
             Some(TuningAction::MakeContiguous)
         );
-        assert_eq!(TuningAction::for_counter(CounterId::PosixOpens), Some(TuningAction::MergeOpens));
+        assert_eq!(
+            TuningAction::for_counter(CounterId::PosixOpens),
+            Some(TuningAction::MergeOpens)
+        );
         assert_eq!(
             TuningAction::for_counter(CounterId::LustreStripeWidth),
             Some(TuningAction::WidenStripe)
@@ -337,7 +381,8 @@ mod tests {
     fn enlarge_transfers_preserves_bytes() {
         let spec = table3::fig7a().to_spec();
         let before = spec.total_bytes();
-        let (tuned, _) = TuningAction::EnlargeTransfers.apply(&spec, &StorageConfig::cori_like_quiet());
+        let (tuned, _) =
+            TuningAction::EnlargeTransfers.apply(&spec, &StorageConfig::cori_like_quiet());
         assert_eq!(tuned.total_bytes(), before);
         // And the op count dropped.
         let count_of = |s: &JobSpec| {

@@ -48,7 +48,7 @@ impl DriftDetector {
         for f in 0..n_features {
             col.clear();
             col.extend(train.x.iter().map(|row| row[f]));
-            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            col.sort_by(|a, b| a.total_cmp(b));
             // Decile edges, deduplicated (constant features get no edges).
             let mut e = Vec::new();
             for d in 1..10 {
@@ -98,10 +98,13 @@ impl DriftDetector {
                         (pn - pt) * (pn / pt).ln()
                     })
                     .sum();
-                DriftScore { counter: CounterId::from_index(f.min(N_COUNTERS - 1)), psi }
+                DriftScore {
+                    counter: CounterId::from_index(f.min(N_COUNTERS - 1)),
+                    psi,
+                }
             })
             .collect();
-        scores.sort_by(|a, b| b.psi.partial_cmp(&a.psi).unwrap());
+        scores.sort_by(|a, b| b.psi.total_cmp(&a.psi));
         scores
     }
 
@@ -124,8 +127,12 @@ mod tests {
     use aiio_iosim::{DatabaseSampler, SamplerConfig, StorageConfig};
 
     fn dataset(seed: u64, n: usize) -> Dataset {
-        let db = DatabaseSampler::new(SamplerConfig { n_jobs: n, seed, noise_sigma: 0.0 })
-            .generate();
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: n,
+            seed,
+            noise_sigma: 0.0,
+        })
+        .generate();
         FeaturePipeline::paper().dataset_of(&db)
     }
 
@@ -155,7 +162,12 @@ mod tests {
             .collect();
         let scores = d.psi(&shifted);
         assert!(d.is_drifted(&shifted));
-        assert_eq!(scores[0].counter, CounterId::PosixOpens, "{:?}", &scores[..3]);
+        assert_eq!(
+            scores[0].counter,
+            CounterId::PosixOpens,
+            "{:?}",
+            &scores[..3]
+        );
         assert!(scores[0].psi > PSI_DRIFTED);
     }
 
@@ -166,8 +178,12 @@ mod tests {
         let train = dataset(5, 800);
         let d = DriftDetector::fit(&train);
         let other_system = {
-            let db = DatabaseSampler::new(SamplerConfig { n_jobs: 300, seed: 6, noise_sigma: 0.0 })
-                .generate();
+            let db = DatabaseSampler::new(SamplerConfig {
+                n_jobs: 300,
+                seed: 6,
+                noise_sigma: 0.0,
+            })
+            .generate();
             // Re-tag every job as if it ran on 8-wide 8 MiB stripes.
             let pipeline = FeaturePipeline::paper();
             db.jobs()
@@ -175,9 +191,12 @@ mod tests {
                 .map(|log| {
                     let mut l = log.clone();
                     let cfg = StorageConfig::cori_like().with_stripe(8, 8 * 1024 * 1024);
-                    l.counters.set(CounterId::LustreStripeWidth, cfg.stripe_width as f64);
-                    l.counters.set(CounterId::LustreStripeSize, cfg.stripe_size as f64);
-                    l.counters.set(CounterId::PosixFileAlignment, cfg.stripe_size as f64);
+                    l.counters
+                        .set(CounterId::LustreStripeWidth, cfg.stripe_width as f64);
+                    l.counters
+                        .set(CounterId::LustreStripeSize, cfg.stripe_size as f64);
+                    l.counters
+                        .set(CounterId::PosixFileAlignment, cfg.stripe_size as f64);
                     pipeline.features_of(&l)
                 })
                 .collect::<Vec<_>>()

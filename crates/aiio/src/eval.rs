@@ -20,7 +20,7 @@ use crate::rules::RuleChecker;
 use aiio_darshan::{CounterCategory, CounterId, JobLog};
 use aiio_iosim::BottleneckClass;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The counters a correct diagnosis should flag for each true bottleneck
 /// class.
@@ -96,7 +96,7 @@ pub struct ClassificationReport {
     /// Rank cutoff used for hit@k.
     pub k: usize,
     /// Per-class scores, keyed by class name for serialisability.
-    pub per_class: HashMap<String, ClassScore>,
+    pub per_class: BTreeMap<String, ClassScore>,
     /// Jobs evaluated (excludes bandwidth-bound jobs).
     pub n_evaluated: usize,
     /// Jobs skipped because their true class implies no counters.
@@ -126,7 +126,13 @@ impl ClassificationScorer {
     /// Score top-`k` flagged counters.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        Self { k, report: ClassificationReport { k, ..Default::default() } }
+        Self {
+            k,
+            report: ClassificationReport {
+                k,
+                ..Default::default()
+            },
+        }
     }
 
     /// Score one job: `ranked` are the diagnosed bottleneck counters, most
@@ -138,7 +144,11 @@ impl ClassificationScorer {
             return;
         }
         self.report.n_evaluated += 1;
-        let entry = self.report.per_class.entry(truth.name().to_string()).or_default();
+        let entry = self
+            .report
+            .per_class
+            .entry(truth.name().to_string())
+            .or_default();
         entry.n_jobs += 1;
         let hit = ranked
             .iter()
@@ -175,10 +185,17 @@ mod tests {
     fn hit_at_k_counts_intersections() {
         let mut s = ClassificationScorer::new(2);
         // Truth: seeks; diagnosis ranks seeks 2nd — hit at k=2.
-        s.score(&[CounterId::PosixOpens, CounterId::PosixSeeks], BottleneckClass::Seeks);
+        s.score(
+            &[CounterId::PosixOpens, CounterId::PosixSeeks],
+            BottleneckClass::Seeks,
+        );
         // Truth: seeks; diagnosis ranks seeks 3rd — miss at k=2.
         s.score(
-            &[CounterId::PosixOpens, CounterId::PosixWrites, CounterId::PosixSeeks],
+            &[
+                CounterId::PosixOpens,
+                CounterId::PosixWrites,
+                CounterId::PosixSeeks,
+            ],
             BottleneckClass::Seeks,
         );
         let r = s.finish();

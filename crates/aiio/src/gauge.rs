@@ -34,8 +34,15 @@ pub struct GaugeConfig {
 impl Default for GaugeConfig {
     fn default() -> Self {
         Self {
-            hdbscan: HdbscanConfig { min_cluster_size: 16, min_samples: 8 },
-            model: GbdtConfig { n_rounds: 60, max_depth: 5, ..GbdtConfig::xgboost_like() },
+            hdbscan: HdbscanConfig {
+                min_cluster_size: 16,
+                min_samples: 8,
+            },
+            model: GbdtConfig {
+                n_rounds: 60,
+                max_depth: 5,
+                ..GbdtConfig::xgboost_like()
+            },
             max_evals: 512,
             seed: 0,
         }
@@ -96,15 +103,28 @@ impl GaugeAnalysis {
                     *m += v / n;
                 }
             }
-            clusters.push(ClusterAnalysis { label, members, model, mean_features, member_abs_errors });
+            clusters.push(ClusterAnalysis {
+                label,
+                members,
+                model,
+                mean_features,
+                member_abs_errors,
+            });
         }
-        GaugeAnalysis { clustering, clusters, config: config.clone() }
+        GaugeAnalysis {
+            clustering,
+            clusters,
+            config: config.clone(),
+        }
     }
 
     /// Gauge-style explanation of one member: Kernel SHAP against the
     /// cluster-mean background. Because the background is nonzero, zero
     /// counters of the member participate in coalitions and receive
     /// nonzero impact — the Fig. 1(d) non-robustness.
+    // xtask-allow: AIIO-S001 — the Gauge baseline is deliberately non-robust
+    // (nonzero cluster-mean background) to reproduce Fig. 1(d); masking happens
+    // inside KernelShap::explain against that background
     pub fn explain_member(&self, cluster: &ClusterAnalysis, features: &[f64]) -> Attribution {
         let shap = KernelShap::new(KernelShapConfig {
             max_evals: self.config.max_evals,
@@ -116,12 +136,21 @@ impl GaugeAnalysis {
                 self.0.predict(rows)
             }
         }
-        shap.explain(&BoosterPredictor(&cluster.model), features, &cluster.mean_features)
+        shap.explain(
+            &BoosterPredictor(&cluster.model),
+            features,
+            &cluster.mean_features,
+        )
     }
 
     /// Cluster-level counter importance (Fig. 1b): mean |SHAP| over a
     /// sample of members.
-    pub fn cluster_importance(&self, cluster: &ClusterAnalysis, ds: &Dataset, sample: usize) -> Vec<f64> {
+    pub fn cluster_importance(
+        &self,
+        cluster: &ClusterAnalysis,
+        ds: &Dataset,
+        sample: usize,
+    ) -> Vec<f64> {
         let dims = ds.x[0].len();
         let mut total = vec![0.0; dims];
         let take = cluster.members.len().min(sample.max(1));
@@ -146,12 +175,23 @@ mod tests {
     fn fitted() -> &'static (GaugeAnalysis, Dataset) {
         static CACHE: OnceLock<(GaugeAnalysis, Dataset)> = OnceLock::new();
         CACHE.get_or_init(|| {
-            let db = DatabaseSampler::new(SamplerConfig { n_jobs: 240, seed: 11, noise_sigma: 0.0 })
-                .generate();
+            let db = DatabaseSampler::new(SamplerConfig {
+                n_jobs: 240,
+                seed: 11,
+                noise_sigma: 0.0,
+            })
+            .generate();
             let ds = FeaturePipeline::paper().dataset_of(&db);
             let cfg = GaugeConfig {
-                hdbscan: HdbscanConfig { min_cluster_size: 10, min_samples: 5 },
-                model: GbdtConfig { n_rounds: 20, max_depth: 4, ..GbdtConfig::xgboost_like() },
+                hdbscan: HdbscanConfig {
+                    min_cluster_size: 10,
+                    min_samples: 5,
+                },
+                model: GbdtConfig {
+                    n_rounds: 20,
+                    max_depth: 4,
+                    ..GbdtConfig::xgboost_like()
+                },
                 max_evals: 128,
                 seed: 0,
             };
@@ -193,7 +233,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found_violation, "expected Gauge-style explanations to be non-robust");
+        assert!(
+            found_violation,
+            "expected Gauge-style explanations to be non-robust"
+        );
     }
 
     #[test]

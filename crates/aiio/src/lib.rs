@@ -57,9 +57,9 @@ pub mod zoo;
 
 pub use advisor::{advice_for, Advice};
 pub use autotune::{AutoTuner, TuningAction, TuningOutcome};
+pub use diagnosis::{Diagnoser, DiagnosisConfig, DiagnosisReport, ExplainerKind};
 pub use drift::{DriftDetector, DriftScore};
 pub use eval::{ClassificationReport, ClassificationScorer};
-pub use diagnosis::{DiagnosisConfig, DiagnosisReport, Diagnoser, ExplainerKind};
 pub use merge::{average_weights, merge_attributions_average, MergeMethod};
 pub use model::{AnyModel, ModelKind};
 pub use report_md::to_markdown;
@@ -71,8 +71,8 @@ pub use zoo::{ModelZoo, ZooConfig};
 /// Convenient re-exports for downstream users and examples.
 pub mod prelude {
     pub use crate::{
-        AiioService, DiagnosisConfig, DiagnosisReport, Diagnoser, MergeMethod, ModelKind,
-        ModelZoo, TrainConfig, ZooConfig,
+        AiioService, Diagnoser, DiagnosisConfig, DiagnosisReport, MergeMethod, ModelKind, ModelZoo,
+        TrainConfig, ZooConfig,
     };
     pub use aiio_darshan::{CounterId, Dataset, FeaturePipeline, JobLog, LogDatabase};
     pub use aiio_iosim::{DatabaseSampler, IorConfig, SamplerConfig, Simulator, StorageConfig};

@@ -24,9 +24,7 @@ pub fn closest_model(predictions: &[f64], estimated: f64) -> usize {
     predictions
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            (*a - estimated).abs().partial_cmp(&(*b - estimated).abs()).unwrap()
-        })
+        .min_by(|(_, a), (_, b)| (*a - estimated).abs().total_cmp(&(*b - estimated).abs()))
         .map(|(i, _)| i)
         .unwrap()
 }
@@ -56,9 +54,15 @@ pub fn average_weights(predictions: &[f64], estimated: f64) -> Vec<f64> {
 ///
 /// # Panics
 /// Panics on empty input or mismatched feature counts.
+// xtask-allow: AIIO-S001 — merges attributions already produced by masked
+// explainers; a weighted average of exact zeros stays exactly zero
 pub fn merge_attributions_average(attrs: &[Attribution], weights: &[f64]) -> Attribution {
     assert!(!attrs.is_empty(), "no attributions to merge");
-    assert_eq!(attrs.len(), weights.len(), "attributions/weights length mismatch");
+    assert_eq!(
+        attrs.len(),
+        weights.len(),
+        "attributions/weights length mismatch"
+    );
     let n = attrs[0].values.len();
     let mut values = vec![0.0; n];
     let mut expected = 0.0;
@@ -106,8 +110,14 @@ mod tests {
 
     #[test]
     fn merged_attribution_is_convex_combination() {
-        let a = Attribution { values: vec![1.0, -2.0], expected: 1.0 };
-        let b = Attribution { values: vec![3.0, 0.0], expected: 3.0 };
+        let a = Attribution {
+            values: vec![1.0, -2.0],
+            expected: 1.0,
+        };
+        let b = Attribution {
+            values: vec![3.0, 0.0],
+            expected: 3.0,
+        };
         let m = merge_attributions_average(&[a, b], &[0.25, 0.75]);
         assert!((m.values[0] - 2.5).abs() < 1e-12);
         assert!((m.values[1] + 0.5).abs() < 1e-12);
@@ -118,8 +128,14 @@ mod tests {
     fn merged_zero_stays_zero() {
         // Robustness survives merging: if every model assigns zero to a
         // counter, the merge does too.
-        let a = Attribution { values: vec![0.0, 1.0], expected: 0.0 };
-        let b = Attribution { values: vec![0.0, 2.0], expected: 0.0 };
+        let a = Attribution {
+            values: vec![0.0, 1.0],
+            expected: 0.0,
+        };
+        let b = Attribution {
+            values: vec![0.0, 2.0],
+            expected: 0.0,
+        };
         let m = merge_attributions_average(&[a, b], &[0.5, 0.5]);
         assert_eq!(m.values[0], 0.0);
     }
@@ -127,7 +143,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_weights_rejected() {
-        let a = Attribution { values: vec![0.0], expected: 0.0 };
+        let a = Attribution {
+            values: vec![0.0],
+            expected: 0.0,
+        };
         let _ = merge_attributions_average(&[a], &[0.5, 0.5]);
     }
 }

@@ -107,7 +107,10 @@ mod tests {
     fn any_model_predicts_through_the_trait() {
         let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0).collect();
-        let cfg = GbdtConfig { n_rounds: 20, ..GbdtConfig::xgboost_like() };
+        let cfg = GbdtConfig {
+            n_rounds: 20,
+            ..GbdtConfig::xgboost_like()
+        };
         let m = AnyModel::Gbdt(Booster::fit(&cfg, &x, &y, None).unwrap());
         let p1 = m.predict_one(&[25.0]);
         let p2 = Predictor::predict_batch(&m, &[vec![25.0]])[0];

@@ -8,7 +8,10 @@ use aiio_darshan::JobLog;
 /// Render a [`DiagnosisReport`] as a self-contained Markdown document.
 pub fn to_markdown(report: &DiagnosisReport) -> String {
     let mut md = String::new();
-    md.push_str(&format!("# AIIO diagnosis — job {} (`{}`)\n\n", report.job_id, report.app));
+    md.push_str(&format!(
+        "# AIIO diagnosis — job {} (`{}`)\n\n",
+        report.job_id, report.app
+    ));
     md.push_str(&format!(
         "Estimated performance (Darshan Eq. 1): **{:.2} MiB/s**\n\n",
         report.performance_mib_s
@@ -41,14 +44,22 @@ pub fn to_markdown(report: &DiagnosisReport) -> String {
     } else {
         md.push_str("| counter | contribution |\n|---|---|\n");
         for p in report.positives.iter().take(5) {
-            md.push_str(&format!("| `{}` | {:+.4} |\n", p.counter.name(), p.contribution));
+            md.push_str(&format!(
+                "| `{}` | {:+.4} |\n",
+                p.counter.name(),
+                p.contribution
+            ));
         }
     }
 
     if !report.advice.is_empty() {
         md.push_str("\n## Suggested tuning\n\n");
         for a in &report.advice {
-            md.push_str(&format!("- **`{}`** — {}\n", a.counter.name(), a.suggestion));
+            md.push_str(&format!(
+                "- **`{}`** — {}\n",
+                a.counter.name(),
+                a.suggestion
+            ));
         }
     }
 
@@ -70,7 +81,11 @@ pub fn to_markdown_with_robustness(report: &DiagnosisReport, log: &JobLog) -> St
     let mut md = to_markdown(report);
     md.push_str(&format!(
         "_Robustness (zero counters carry zero impact): {}._\n",
-        if report.is_robust(log) { "✓ holds" } else { "✗ VIOLATED" }
+        if report.is_robust(log) {
+            "✓ holds"
+        } else {
+            "✗ VIOLATED"
+        }
     ));
     md
 }
@@ -90,7 +105,10 @@ mod tests {
             performance_mib_s: 123.45,
             predictions_mib_s: vec![(ModelKind::XgboostLike, 130.0), (ModelKind::Mlp, 110.0)],
             per_model: vec![],
-            merged: Attribution { values: vec![0.0; 46], expected: 1.0 },
+            merged: Attribution {
+                values: vec![0.0; 46],
+                expected: 1.0,
+            },
             merge: MergeMethod::Average,
             bottlenecks: vec![CounterContribution {
                 counter: CounterId::PosixSeeks,

@@ -157,7 +157,7 @@ impl RuleChecker {
             });
         }
 
-        hits.sort_by(|a, b| b.severity.partial_cmp(&a.severity).unwrap());
+        hits.sort_by(|a, b| b.severity.total_cmp(&a.severity));
         hits
     }
 
@@ -209,7 +209,8 @@ mod tests {
     fn large_sequential_writes_trip_nothing_major() {
         let hits = RuleChecker::default().check(&log_for(table3::fig7b()));
         assert!(
-            hits.iter().all(|h| h.rule != "small-writes" && h.rule != "excessive-seeks"),
+            hits.iter()
+                .all(|h| h.rule != "small-writes" && h.rule != "excessive-seeks"),
             "{hits:?}"
         );
     }

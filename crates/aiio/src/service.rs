@@ -7,7 +7,7 @@
 //! (An HTTP front-end would add a network dependency without exercising
 //! anything new.)
 
-use crate::diagnosis::{DiagnosisConfig, DiagnosisReport, Diagnoser};
+use crate::diagnosis::{Diagnoser, DiagnosisConfig, DiagnosisReport};
 use crate::zoo::{ModelZoo, ZooConfig};
 use aiio_darshan::{Dataset, FeaturePipeline, JobLog, LogDatabase};
 use serde::{Deserialize, Serialize};
@@ -39,7 +39,10 @@ impl Default for TrainConfig {
 impl TrainConfig {
     /// Reduced budgets for tests/examples.
     pub fn fast() -> Self {
-        Self { zoo: ZooConfig::fast(), ..Self::default() }
+        Self {
+            zoo: ZooConfig::fast(),
+            ..Self::default()
+        }
     }
 }
 
@@ -74,7 +77,12 @@ impl AiioService {
     ) -> AiioService {
         let zoo = ModelZoo::train(&config.zoo, train, valid);
         let validation_rmse = zoo.rmse_per_model(valid);
-        AiioService { pipeline, zoo, diagnosis: config.diagnosis.clone(), validation_rmse }
+        AiioService {
+            pipeline,
+            zoo,
+            diagnosis: config.diagnosis.clone(),
+            validation_rmse,
+        }
     }
 
     /// Diagnose one job log — works for unseen jobs without retraining
@@ -103,8 +111,7 @@ impl AiioService {
     /// Persist the trained service (pre-trained models of Fig. 17).
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(BufWriter::new(file), self)
-            .map_err(std::io::Error::other)
+        serde_json::to_writer(BufWriter::new(file), self).map_err(std::io::Error::other)
     }
 
     /// Load a persisted service.
@@ -126,9 +133,21 @@ mod tests {
     fn quick_config() -> TrainConfig {
         let mut cfg = TrainConfig::fast();
         cfg.zoo = ZooConfig {
-            xgboost: GbdtConfig { n_rounds: 25, max_depth: 4, ..GbdtConfig::xgboost_like() },
-            lightgbm: GbdtConfig { n_rounds: 25, max_leaves: 15, ..GbdtConfig::lightgbm_like() },
-            catboost: GbdtConfig { n_rounds: 25, max_depth: 4, ..GbdtConfig::catboost_like() },
+            xgboost: GbdtConfig {
+                n_rounds: 25,
+                max_depth: 4,
+                ..GbdtConfig::xgboost_like()
+            },
+            lightgbm: GbdtConfig {
+                n_rounds: 25,
+                max_leaves: 15,
+                ..GbdtConfig::lightgbm_like()
+            },
+            catboost: GbdtConfig {
+                n_rounds: 25,
+                max_depth: 4,
+                ..GbdtConfig::catboost_like()
+            },
             ..ZooConfig::fast()
         }
         .with_kinds(&[ModelKind::XgboostLike, ModelKind::LightgbmLike]);
@@ -139,8 +158,12 @@ mod tests {
     fn service() -> &'static AiioService {
         static CACHE: OnceLock<AiioService> = OnceLock::new();
         CACHE.get_or_init(|| {
-            let db = DatabaseSampler::new(SamplerConfig { n_jobs: 300, seed: 5, noise_sigma: 0.0 })
-                .generate();
+            let db = DatabaseSampler::new(SamplerConfig {
+                n_jobs: 300,
+                seed: 5,
+                noise_sigma: 0.0,
+            })
+            .generate();
             AiioService::train(&quick_config(), &db)
         })
     }
@@ -158,7 +181,9 @@ mod tests {
     fn diagnoses_an_unseen_job_without_retraining() {
         let s = service();
         // A job from a different generator seed = unseen.
-        let spec = aiio_iosim::IorConfig::parse("ior -w -t 1k -b 1m -Y").unwrap().to_spec();
+        let spec = aiio_iosim::IorConfig::parse("ior -w -t 1k -b 1m -Y")
+            .unwrap()
+            .to_spec();
         let log = Simulator::new(StorageConfig::cori_like_quiet()).simulate(&spec, 12345, 2022, 9);
         let report = s.diagnose(&log);
         assert!(report.is_robust(&log));
@@ -173,7 +198,9 @@ mod tests {
         let loaded = AiioService::load(&path).unwrap();
         let _ = std::fs::remove_file(&path);
 
-        let spec = aiio_iosim::IorConfig::parse("ior -r -t 1k -b 1m").unwrap().to_spec();
+        let spec = aiio_iosim::IorConfig::parse("ior -r -t 1k -b 1m")
+            .unwrap()
+            .to_spec();
         let log = Simulator::new(StorageConfig::cori_like_quiet()).simulate(&spec, 7, 2022, 3);
         let a = s.diagnose(&log);
         let b = loaded.diagnose(&log);
@@ -187,8 +214,9 @@ mod tests {
         let sim = Simulator::new(StorageConfig::cori_like_quiet());
         let logs: Vec<aiio_darshan::JobLog> = (0..4)
             .map(|i| {
-                let spec =
-                    aiio_iosim::IorConfig::parse("ior -w -t 1k -b 64k -Y").unwrap().to_spec();
+                let spec = aiio_iosim::IorConfig::parse("ior -w -t 1k -b 64k -Y")
+                    .unwrap()
+                    .to_spec();
                 sim.simulate(&spec, 500 + i, 2022, i)
             })
             .collect();

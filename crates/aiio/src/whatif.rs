@@ -123,14 +123,26 @@ mod tests {
     fn service() -> &'static AiioService {
         static CACHE: OnceLock<AiioService> = OnceLock::new();
         CACHE.get_or_init(|| {
-            let db =
-                DatabaseSampler::new(SamplerConfig { n_jobs: 1600, seed: 91, noise_sigma: 0.0 })
-                    .generate();
+            let db = DatabaseSampler::new(SamplerConfig {
+                n_jobs: 1600,
+                seed: 91,
+                noise_sigma: 0.0,
+            })
+            .generate();
             let mut cfg = TrainConfig::fast();
             cfg.zoo = ZooConfig {
-                xgboost: GbdtConfig { n_rounds: 80, ..GbdtConfig::xgboost_like() },
-                lightgbm: GbdtConfig { n_rounds: 80, ..GbdtConfig::lightgbm_like() },
-                catboost: GbdtConfig { n_rounds: 80, ..GbdtConfig::catboost_like() },
+                xgboost: GbdtConfig {
+                    n_rounds: 80,
+                    ..GbdtConfig::xgboost_like()
+                },
+                lightgbm: GbdtConfig {
+                    n_rounds: 80,
+                    ..GbdtConfig::lightgbm_like()
+                },
+                catboost: GbdtConfig {
+                    n_rounds: 80,
+                    ..GbdtConfig::catboost_like()
+                },
                 ..ZooConfig::fast()
             }
             .with_kinds(&[
@@ -183,9 +195,16 @@ mod tests {
         let opens = log.counters.get(CounterId::PosixOpens);
         let p = wi.predict(
             &log,
-            &[(CounterId::PosixOpens, opens * 100.0), (CounterId::PosixStats, opens * 10.0)],
+            &[
+                (CounterId::PosixOpens, opens * 100.0),
+                (CounterId::PosixStats, opens * 10.0),
+            ],
         );
-        assert!(p.predicted_speedup() < 0.9, "predicted {:.3}", p.predicted_speedup());
+        assert!(
+            p.predicted_speedup() < 0.9,
+            "predicted {:.3}",
+            p.predicted_speedup()
+        );
     }
 
     #[test]

@@ -38,9 +38,21 @@ impl ZooConfig {
     /// far fewer epochs, same model diversity.
     pub fn fast() -> Self {
         Self {
-            xgboost: GbdtConfig { n_rounds: 60, max_depth: 5, ..GbdtConfig::xgboost_like() },
-            lightgbm: GbdtConfig { n_rounds: 60, max_leaves: 15, ..GbdtConfig::lightgbm_like() },
-            catboost: GbdtConfig { n_rounds: 60, max_depth: 4, ..GbdtConfig::catboost_like() },
+            xgboost: GbdtConfig {
+                n_rounds: 60,
+                max_depth: 5,
+                ..GbdtConfig::xgboost_like()
+            },
+            lightgbm: GbdtConfig {
+                n_rounds: 60,
+                max_leaves: 15,
+                ..GbdtConfig::lightgbm_like()
+            },
+            catboost: GbdtConfig {
+                n_rounds: 60,
+                max_depth: 4,
+                ..GbdtConfig::catboost_like()
+            },
             mlp: MlpConfig {
                 hidden: vec![48, 24],
                 max_epochs: 30,
@@ -123,7 +135,10 @@ impl ModelZoo {
 
     /// Look up one model by kind.
     pub fn get(&self, kind: ModelKind) -> Option<&AnyModel> {
-        self.models.iter().find(|m| m.kind == kind).map(|m| &m.model)
+        self.models
+            .iter()
+            .find(|m| m.kind == kind)
+            .map(|m| &m.model)
     }
 
     /// Per-model predictions for one feature row, in training order.
@@ -143,16 +158,17 @@ impl ModelZoo {
     /// the model output nearest its true tag (paper Eq. 6 applied to
     /// prediction).
     pub fn rmse_closest(&self, ds: &Dataset) -> f64 {
-        let per_model: Vec<Vec<f64>> =
-            self.models.iter().map(|m| m.model.predict_batch(&ds.x)).collect();
+        let per_model: Vec<Vec<f64>> = self
+            .models
+            .iter()
+            .map(|m| m.model.predict_batch(&ds.x))
+            .collect();
         let closest: Vec<f64> = (0..ds.len())
             .map(|i| {
                 per_model
                     .iter()
                     .map(|p| p[i])
-                    .min_by(|a, b| {
-                        (a - ds.y[i]).abs().partial_cmp(&(b - ds.y[i]).abs()).unwrap()
-                    })
+                    .min_by(|a, b| (a - ds.y[i]).abs().total_cmp(&(b - ds.y[i]).abs()))
                     .unwrap()
             })
             .collect();
@@ -163,8 +179,11 @@ impl ModelZoo {
     /// weighted blend of model predictions (paper Eq. 7–8 applied to
     /// prediction).
     pub fn rmse_average(&self, ds: &Dataset) -> f64 {
-        let per_model: Vec<Vec<f64>> =
-            self.models.iter().map(|m| m.model.predict_batch(&ds.x)).collect();
+        let per_model: Vec<Vec<f64>> = self
+            .models
+            .iter()
+            .map(|m| m.model.predict_batch(&ds.x))
+            .collect();
         let blended: Vec<f64> = (0..ds.len())
             .map(|i| {
                 let preds: Vec<f64> = per_model.iter().map(|p| p[i]).collect();
@@ -206,10 +225,26 @@ mod tests {
 
     fn tiny_config() -> ZooConfig {
         ZooConfig {
-            xgboost: GbdtConfig { n_rounds: 25, max_depth: 4, ..GbdtConfig::xgboost_like() },
-            lightgbm: GbdtConfig { n_rounds: 25, max_leaves: 15, ..GbdtConfig::lightgbm_like() },
-            catboost: GbdtConfig { n_rounds: 25, max_depth: 4, ..GbdtConfig::catboost_like() },
-            mlp: MlpConfig { hidden: vec![24], max_epochs: 10, ..MlpConfig::paper() },
+            xgboost: GbdtConfig {
+                n_rounds: 25,
+                max_depth: 4,
+                ..GbdtConfig::xgboost_like()
+            },
+            lightgbm: GbdtConfig {
+                n_rounds: 25,
+                max_leaves: 15,
+                ..GbdtConfig::lightgbm_like()
+            },
+            catboost: GbdtConfig {
+                n_rounds: 25,
+                max_depth: 4,
+                ..GbdtConfig::catboost_like()
+            },
+            mlp: MlpConfig {
+                hidden: vec![24],
+                max_epochs: 10,
+                ..MlpConfig::paper()
+            },
             tabnet: TabNetConfig {
                 n_steps: 2,
                 d_hidden: 12,
@@ -280,7 +315,9 @@ mod tests {
         fn get(cfg: &ZooConfig, train: &Dataset, valid: &Dataset) -> ModelZoo {
             use std::sync::OnceLock;
             static CACHE: OnceLock<ModelZoo> = OnceLock::new();
-            CACHE.get_or_init(|| ModelZoo::train(cfg, train, valid)).clone()
+            CACHE
+                .get_or_init(|| ModelZoo::train(cfg, train, valid))
+                .clone()
         }
     }
 }

@@ -9,11 +9,18 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn setup() -> (AiioService, aiio_darshan::JobLog) {
-    let db =
-        DatabaseSampler::new(SamplerConfig { n_jobs: 512, seed: 31, noise_sigma: 0.0 }).generate();
+    let db = DatabaseSampler::new(SamplerConfig {
+        n_jobs: 512,
+        seed: 31,
+        noise_sigma: 0.0,
+    })
+    .generate();
     let mut cfg = TrainConfig::fast();
     // Tree models only keep the benchmark focused on diagnosis cost.
-    cfg.zoo.xgboost = GbdtConfig { n_rounds: 40, ..GbdtConfig::xgboost_like() };
+    cfg.zoo.xgboost = GbdtConfig {
+        n_rounds: 40,
+        ..GbdtConfig::xgboost_like()
+    };
     cfg.zoo = cfg.zoo.with_kinds(&[
         aiio::ModelKind::XgboostLike,
         aiio::ModelKind::LightgbmLike,
@@ -30,15 +37,40 @@ fn bench_diagnose(c: &mut Criterion) {
     let mut g = c.benchmark_group("diagnose_one_log");
     g.sample_size(10);
     for (name, merge, explainer, evals) in [
-        ("kernel_shap_avg_512", MergeMethod::Average, ExplainerKind::KernelShap, 512usize),
-        ("kernel_shap_closest_512", MergeMethod::Closest, ExplainerKind::KernelShap, 512),
-        ("kernel_shap_avg_2048", MergeMethod::Average, ExplainerKind::KernelShap, 2048),
-        ("lime_avg_512", MergeMethod::Average, ExplainerKind::Lime, 512),
+        (
+            "kernel_shap_avg_512",
+            MergeMethod::Average,
+            ExplainerKind::KernelShap,
+            512usize,
+        ),
+        (
+            "kernel_shap_closest_512",
+            MergeMethod::Closest,
+            ExplainerKind::KernelShap,
+            512,
+        ),
+        (
+            "kernel_shap_avg_2048",
+            MergeMethod::Average,
+            ExplainerKind::KernelShap,
+            2048,
+        ),
+        (
+            "lime_avg_512",
+            MergeMethod::Average,
+            ExplainerKind::Lime,
+            512,
+        ),
     ] {
         let d = aiio::Diagnoser::new(
             service.zoo(),
             FeaturePipeline::paper(),
-            DiagnosisConfig { merge, explainer, max_evals: evals, seed: 0 },
+            DiagnosisConfig {
+                merge,
+                explainer,
+                max_evals: evals,
+                seed: 0,
+            },
         );
         g.bench_function(name, |b| b.iter(|| black_box(d.diagnose(black_box(&log)))));
     }

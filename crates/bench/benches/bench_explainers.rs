@@ -20,10 +20,17 @@ impl Predictor for P<'_> {
 }
 
 fn setup() -> (Booster, Vec<f64>, Vec<f64>) {
-    let db =
-        DatabaseSampler::new(SamplerConfig { n_jobs: 512, seed: 9, noise_sigma: 0.0 }).generate();
+    let db = DatabaseSampler::new(SamplerConfig {
+        n_jobs: 512,
+        seed: 9,
+        noise_sigma: 0.0,
+    })
+    .generate();
     let ds = FeaturePipeline::paper().dataset_of(&db);
-    let cfg = GbdtConfig { n_rounds: 40, ..GbdtConfig::xgboost_like() };
+    let cfg = GbdtConfig {
+        n_rounds: 40,
+        ..GbdtConfig::xgboost_like()
+    };
     let model = Booster::fit(&cfg, &ds.x, &ds.y, None).unwrap();
     // Pick a moderately sparse row and sparsify it further so exact
     // enumeration stays tractable (<= 14 active features).
@@ -48,11 +55,17 @@ fn bench_explainers(c: &mut Criterion) {
     g.bench_function("exact_shapley_14_active", |b| {
         b.iter(|| black_box(exact_shapley(&P(&model), black_box(&x), &bg)))
     });
-    let ks = KernelShap::new(KernelShapConfig { max_evals: 1024, seed: 0 });
+    let ks = KernelShap::new(KernelShapConfig {
+        max_evals: 1024,
+        seed: 0,
+    });
     g.bench_function("kernel_shap_1024_evals", |b| {
         b.iter(|| black_box(ks.explain(&P(&model), black_box(&x), &bg)))
     });
-    let lime = Lime::new(LimeConfig { n_samples: 1024, ..LimeConfig::default() });
+    let lime = Lime::new(LimeConfig {
+        n_samples: 1024,
+        ..LimeConfig::default()
+    });
     g.bench_function("lime_1024_samples", |b| {
         b.iter(|| black_box(lime.explain(&P(&model), black_box(&x), &bg)))
     });

@@ -9,8 +9,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn data() -> (Vec<Vec<f64>>, Vec<f64>) {
-    let db =
-        DatabaseSampler::new(SamplerConfig { n_jobs: 512, seed: 3, noise_sigma: 0.0 }).generate();
+    let db = DatabaseSampler::new(SamplerConfig {
+        n_jobs: 512,
+        seed: 3,
+        noise_sigma: 0.0,
+    })
+    .generate();
     let ds = FeaturePipeline::paper().dataset_of(&db);
     (ds.x, ds.y)
 }
@@ -20,7 +24,11 @@ fn bench_gbdt_training(c: &mut Criterion) {
     let mut g = c.benchmark_group("gbdt_training_20_rounds");
     g.sample_size(10);
     for growth in [Growth::LevelWise, Growth::LeafWise, Growth::Oblivious] {
-        let cfg = GbdtConfig { growth, n_rounds: 20, ..GbdtConfig::xgboost_like() };
+        let cfg = GbdtConfig {
+            growth,
+            n_rounds: 20,
+            ..GbdtConfig::xgboost_like()
+        };
         g.bench_function(format!("{growth:?}"), |b| {
             b.iter(|| black_box(Booster::fit(&cfg, black_box(&x), black_box(&y), None).unwrap()))
         });
@@ -32,7 +40,11 @@ fn bench_nn_training(c: &mut Criterion) {
     let (x, y) = data();
     let mut g = c.benchmark_group("nn_training");
     g.sample_size(10);
-    let mlp_cfg = MlpConfig { hidden: vec![32, 16], max_epochs: 3, ..MlpConfig::paper() };
+    let mlp_cfg = MlpConfig {
+        hidden: vec![32, 16],
+        max_epochs: 3,
+        ..MlpConfig::paper()
+    };
     g.bench_function("mlp_3_epochs", |b| {
         b.iter(|| black_box(Mlp::fit(&mlp_cfg, black_box(&x), black_box(&y), None)))
     });
@@ -52,12 +64,20 @@ fn bench_nn_training(c: &mut Criterion) {
 
 fn bench_prediction(c: &mut Criterion) {
     let (x, y) = data();
-    let cfg = GbdtConfig { n_rounds: 60, ..GbdtConfig::xgboost_like() };
+    let cfg = GbdtConfig {
+        n_rounds: 60,
+        ..GbdtConfig::xgboost_like()
+    };
     let model = Booster::fit(&cfg, &x, &y, None).unwrap();
     c.bench_function("gbdt_predict_512_rows", |b| {
         b.iter(|| black_box(model.predict(black_box(&x))))
     });
 }
 
-criterion_group!(benches, bench_gbdt_training, bench_nn_training, bench_prediction);
+criterion_group!(
+    benches,
+    bench_gbdt_training,
+    bench_nn_training,
+    bench_prediction
+);
 criterion_main!(benches);

@@ -28,7 +28,13 @@ fn bench_database_generation(c: &mut Criterion) {
     for n in [256usize, 1024] {
         g.bench_function(format!("{n}_jobs"), |b| {
             b.iter_batched(
-                || DatabaseSampler::new(SamplerConfig { n_jobs: n, seed: 1, noise_sigma: 0.03 }),
+                || {
+                    DatabaseSampler::new(SamplerConfig {
+                        n_jobs: n,
+                        seed: 1,
+                        noise_sigma: 0.03,
+                    })
+                },
                 |s| black_box(s.generate()),
                 BatchSize::SmallInput,
             )

@@ -35,8 +35,10 @@ impl Default for Scale {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(4000);
-        let seed =
-            std::env::var("AIIO_BENCH_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
+        let seed = std::env::var("AIIO_BENCH_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(7);
         Scale { n_jobs, seed }
     }
 }
@@ -53,7 +55,10 @@ impl Context {
     /// Build (or load from the on-disk cache) the standard context.
     pub fn standard() -> Context {
         let scale = Scale::default();
-        eprintln!("[context] generating database ({} jobs, seed {})...", scale.n_jobs, scale.seed);
+        eprintln!(
+            "[context] generating database ({} jobs, seed {})...",
+            scale.n_jobs, scale.seed
+        );
         let db = DatabaseSampler::new(SamplerConfig {
             n_jobs: scale.n_jobs,
             seed: scale.seed,
@@ -116,14 +121,21 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: &[String]| {
-        let joined: Vec<String> =
-            cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
         println!("| {} |", joined.join(" | "));
     };
     line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
     println!(
         "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
     );
     for row in rows {
         line(row);

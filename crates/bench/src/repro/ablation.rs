@@ -26,9 +26,15 @@ pub fn run(ctx: &Context) {
 
     // --- 1. Background choice for SHAP ----------------------------------
     println!("\n[1] SHAP background: zero (AIIO) vs training-mean (Gauge-style)");
-    let cfg = GbdtConfig { n_rounds: 60, ..GbdtConfig::xgboost_like() };
+    let cfg = GbdtConfig {
+        n_rounds: 60,
+        ..GbdtConfig::xgboost_like()
+    };
     let model = Booster::fit(&cfg, &train.x, &train.y, Some((&valid.x, &valid.y))).unwrap();
-    let shap = KernelShap::new(KernelShapConfig { max_evals: 256, seed: 0 });
+    let shap = KernelShap::new(KernelShapConfig {
+        max_evals: 256,
+        seed: 0,
+    });
     let mean_bg: Vec<f64> = {
         let dims = train.x[0].len();
         let mut m = vec![0.0; dims];
@@ -60,7 +66,11 @@ pub fn run(ctx: &Context) {
     // --- 2. Early stopping ------------------------------------------------
     println!("\n[2] early stopping (rounds=10) vs none, unseen-job RMSE");
     let with = Booster::fit(
-        &GbdtConfig { n_rounds: 300, early_stopping_rounds: 10, ..GbdtConfig::xgboost_like() },
+        &GbdtConfig {
+            n_rounds: 300,
+            early_stopping_rounds: 10,
+            ..GbdtConfig::xgboost_like()
+        },
         &train.x,
         &train.y,
         Some((&valid.x, &valid.y)),
@@ -69,7 +79,11 @@ pub fn run(ctx: &Context) {
     // Without early stopping the validation set must not influence training:
     // fit blind, evaluate after.
     let without = Booster::fit(
-        &GbdtConfig { n_rounds: 300, early_stopping_rounds: 0, ..GbdtConfig::xgboost_like() },
+        &GbdtConfig {
+            n_rounds: 300,
+            early_stopping_rounds: 0,
+            ..GbdtConfig::xgboost_like()
+        },
         &train.x,
         &train.y,
         None,
@@ -77,8 +91,14 @@ pub fn run(ctx: &Context) {
     .unwrap();
     let rmse_with = rmse(&with.predict(&valid.x), &valid.y);
     let rmse_without = rmse(&without.predict(&valid.x), &valid.y);
-    println!("  with early stopping: {rmse_with:.4} ({} trees)", with.best_n_trees());
-    println!("  without:             {rmse_without:.4} ({} trees)", without.best_n_trees());
+    println!(
+        "  with early stopping: {rmse_with:.4} ({} trees)",
+        with.best_n_trees()
+    );
+    println!(
+        "  without:             {rmse_without:.4} ({} trees)",
+        without.best_n_trees()
+    );
 
     // --- 3. log10(x+1) transform ------------------------------------------
     println!("\n[3] feature/tag transform: Eq. 2 vs raw counters");
@@ -86,14 +106,26 @@ pub fn run(ctx: &Context) {
     let split = ctx.db.split_indices(0.5, ctx.scale.seed);
     let raw_train = raw_ds.subset(&split.train);
     let raw_valid = raw_ds.subset(&split.valid);
-    let m_raw = Booster::fit(&cfg, &raw_train.x, &raw_train.y, Some((&raw_valid.x, &raw_valid.y)))
-        .unwrap();
+    let m_raw = Booster::fit(
+        &cfg,
+        &raw_train.x,
+        &raw_train.y,
+        Some((&raw_valid.x, &raw_valid.y)),
+    )
+    .unwrap();
     // Compare in transformed space so the metric is commensurable: transform
     // the raw model's predictions and targets.
     let p = FeaturePipeline::paper();
-    let raw_pred_t: Vec<f64> =
-        m_raw.predict(&raw_valid.x).iter().map(|&v| p.transform_value(v.max(0.0))).collect();
-    let raw_y_t: Vec<f64> = raw_valid.y.iter().map(|&v| p.transform_value(v.max(0.0))).collect();
+    let raw_pred_t: Vec<f64> = m_raw
+        .predict(&raw_valid.x)
+        .iter()
+        .map(|&v| p.transform_value(v.max(0.0)))
+        .collect();
+    let raw_y_t: Vec<f64> = raw_valid
+        .y
+        .iter()
+        .map(|&v| p.transform_value(v.max(0.0)))
+        .collect();
     let rmse_raw = rmse(&raw_pred_t, &raw_y_t);
     let rmse_log = rmse(&model.predict(&valid.x), &valid.y);
     println!("  transformed pipeline: {rmse_log:.4}; raw pipeline (measured in log space): {rmse_raw:.4}");
@@ -103,7 +135,11 @@ pub fn run(ctx: &Context) {
     let mut growth_rows = Vec::new();
     let mut growth_json = Vec::new();
     for growth in [Growth::LevelWise, Growth::LeafWise, Growth::Oblivious] {
-        let gcfg = GbdtConfig { growth, n_rounds: 60, ..GbdtConfig::xgboost_like() };
+        let gcfg = GbdtConfig {
+            growth,
+            n_rounds: 60,
+            ..GbdtConfig::xgboost_like()
+        };
         let m = Booster::fit(&gcfg, &train.x, &train.y, Some((&valid.x, &valid.y))).unwrap();
         let e = rmse(&m.predict(&valid.x), &valid.y);
         growth_rows.push(vec![format!("{growth:?}"), format!("{e:.4}")]);
@@ -113,8 +149,14 @@ pub fn run(ctx: &Context) {
 
     // --- 5. Explainer choice -----------------------------------------------
     println!("\n[5] explainer choice on the level-wise booster (Eq. 5 RMSE, top-1 agreement with Kernel SHAP)");
-    let kernel = KernelShap::new(KernelShapConfig { max_evals: 512, seed: 0 });
-    let lime = Lime::new(LimeConfig { n_samples: 512, ..LimeConfig::default() });
+    let kernel = KernelShap::new(KernelShapConfig {
+        max_evals: 512,
+        seed: 0,
+    });
+    let lime = Lime::new(LimeConfig {
+        n_samples: 512,
+        ..LimeConfig::default()
+    });
     let zero_bg2 = vec![0.0; train.x[0].len()];
     let nj = valid.len().min(24);
     let mut kernel_attrs = Vec::new();
@@ -141,23 +183,42 @@ pub fn run(ctx: &Context) {
         y_sample.push(valid.y[i]);
     }
     let rows5 = vec![
-        vec!["KernelSHAP (zero bg)".into(), format!("{:.4}", shap_rmse(&kernel_attrs, &y_sample)), "-".into()],
-        vec!["TreeSHAP (cover bg)".into(), format!("{:.4}", shap_rmse(&tree_attrs, &y_sample)), format!("{tree_agree}/{nj}")],
-        vec!["LIME (zero bg)".into(), format!("{:.4}", shap_rmse(&lime_attrs, &y_sample)), format!("{lime_agree}/{nj}")],
+        vec![
+            "KernelSHAP (zero bg)".into(),
+            format!("{:.4}", shap_rmse(&kernel_attrs, &y_sample)),
+            "-".into(),
+        ],
+        vec![
+            "TreeSHAP (cover bg)".into(),
+            format!("{:.4}", shap_rmse(&tree_attrs, &y_sample)),
+            format!("{tree_agree}/{nj}"),
+        ],
+        vec![
+            "LIME (zero bg)".into(),
+            format!("{:.4}", shap_rmse(&lime_attrs, &y_sample)),
+            format!("{lime_agree}/{nj}"),
+        ],
     ];
     print_table(&["explainer", "Eq.5 RMSE", "top-1 agreement"], &rows5);
 
     // --- 6. GOSS vs plain subsampling --------------------------------------
     println!("\n[6] GOSS vs plain row subsampling at a matched ~30% row budget");
     let goss = Booster::fit(
-        &GbdtConfig { n_rounds: 60, ..GbdtConfig::lightgbm_goss() },
+        &GbdtConfig {
+            n_rounds: 60,
+            ..GbdtConfig::lightgbm_goss()
+        },
         &train.x,
         &train.y,
         Some((&valid.x, &valid.y)),
     )
     .unwrap();
     let sub = Booster::fit(
-        &GbdtConfig { n_rounds: 60, subsample: 0.3, ..GbdtConfig::lightgbm_like() },
+        &GbdtConfig {
+            n_rounds: 60,
+            subsample: 0.3,
+            ..GbdtConfig::lightgbm_like()
+        },
         &train.x,
         &train.y,
         Some((&valid.x, &valid.y)),

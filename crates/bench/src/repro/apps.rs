@@ -2,7 +2,7 @@
 //! DASSA) — untuned diagnosis, the paper's fix, and the speedup.
 
 use crate::{print_table, write_json, Context};
-use aiio::{DiagnosisConfig, Diagnoser, MergeMethod};
+use aiio::{Diagnoser, DiagnosisConfig, MergeMethod};
 use aiio_darshan::FeaturePipeline;
 use aiio_iosim::apps::{dassa, e2e, openpmd, AppRun};
 use aiio_iosim::{Simulator, StorageConfig};
@@ -31,20 +31,43 @@ pub fn run(ctx: &Context) {
     let diagnoser = Diagnoser::new(
         ctx.service.zoo(),
         FeaturePipeline::paper(),
-        DiagnosisConfig { merge: MergeMethod::Average, max_evals: 512, ..Default::default() },
+        DiagnosisConfig {
+            merge: MergeMethod::Average,
+            max_evals: 512,
+            ..Default::default()
+        },
     );
 
     let cases: Vec<(&str, AppRun, AppRun, (f64, f64))> = vec![
-        ("Fig. 13 (E2E)", e2e(false, &base), e2e(true, &base), (3.28, 482.22)),
-        ("Fig. 14 (OpenPMD)", openpmd(false, &base), openpmd(true, &base), (713.65, 1303.27)),
-        ("Fig. 15 (DASSA)", dassa(false, &base), dassa(true, &base), (695.91, 1482.06)),
+        (
+            "Fig. 13 (E2E)",
+            e2e(false, &base),
+            e2e(true, &base),
+            (3.28, 482.22),
+        ),
+        (
+            "Fig. 14 (OpenPMD)",
+            openpmd(false, &base),
+            openpmd(true, &base),
+            (713.65, 1303.27),
+        ),
+        (
+            "Fig. 15 (DASSA)",
+            dassa(false, &base),
+            dassa(true, &base),
+            (695.91, 1482.06),
+        ),
     ];
 
     let mut results = Vec::new();
     let mut rows = Vec::new();
     for (i, (figure, untuned, tuned, paper)) in cases.into_iter().enumerate() {
-        let log_u =
-            Simulator::new(untuned.storage.clone()).simulate(&untuned.spec, 900 + i as u64, 2022, 0);
+        let log_u = Simulator::new(untuned.storage.clone()).simulate(
+            &untuned.spec,
+            900 + i as u64,
+            2022,
+            0,
+        );
         let log_t =
             Simulator::new(tuned.storage.clone()).simulate(&tuned.spec, 950 + i as u64, 2022, 0);
         let report_u = diagnoser.diagnose(&log_u);
@@ -56,7 +79,12 @@ pub fn run(ctx: &Context) {
             format!("{u:.2}"),
             format!("{t:.2}"),
             format!("{:.1}x", t / u),
-            format!("{:.2} -> {:.2} ({:.1}x)", paper.0, paper.1, paper.1 / paper.0),
+            format!(
+                "{:.2} -> {:.2} ({:.1}x)",
+                paper.0,
+                paper.1,
+                paper.1 / paper.0
+            ),
             report_u
                 .top_bottleneck()
                 .map(|c| c.name().to_string())
@@ -78,12 +106,23 @@ pub fn run(ctx: &Context) {
                 .map(|b| (b.counter.name().to_string(), b.contribution))
                 .collect(),
             tuned_top_bottleneck: report_t.top_bottleneck().map(|c| c.name().to_string()),
-            advice: report_u.advice.iter().map(|a| a.suggestion.clone()).collect(),
+            advice: report_u
+                .advice
+                .iter()
+                .map(|a| a.suggestion.clone())
+                .collect(),
             robust: report_u.is_robust(&log_u) && report_t.is_robust(&log_t),
         });
     }
     print_table(
-        &["figure", "untuned", "tuned", "speedup", "paper", "top bottleneck"],
+        &[
+            "figure",
+            "untuned",
+            "tuned",
+            "speedup",
+            "paper",
+            "top bottleneck",
+        ],
         &rows,
     );
     write_json("fig13_15", &results);

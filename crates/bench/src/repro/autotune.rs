@@ -32,12 +32,42 @@ pub fn run(ctx: &Context) {
     let quiet = StorageConfig::cori_like_quiet();
 
     let cases: Vec<(String, JobSpec, StorageConfig, Option<f64>)> = vec![
-        ("fig7a small writes".into(), table3::fig7a().to_spec(), quiet.clone(), Some(104.5)),
-        ("fig8a seeky reads".into(), table3::fig8a().to_spec(), quiet.clone(), Some(1.6)),
-        ("fig9 strided writes".into(), table3::fig9().to_spec(), quiet.clone(), Some(111.0)),
-        ("fig10 strided reads".into(), table3::fig10().to_spec(), quiet.clone(), Some(6.3)),
-        ("fig11 random writes".into(), table3::fig11().to_spec(), quiet.clone(), Some(113.3)),
-        ("fig12 random reads".into(), table3::fig12().to_spec(), quiet.clone(), Some(4.4)),
+        (
+            "fig7a small writes".into(),
+            table3::fig7a().to_spec(),
+            quiet.clone(),
+            Some(104.5),
+        ),
+        (
+            "fig8a seeky reads".into(),
+            table3::fig8a().to_spec(),
+            quiet.clone(),
+            Some(1.6),
+        ),
+        (
+            "fig9 strided writes".into(),
+            table3::fig9().to_spec(),
+            quiet.clone(),
+            Some(111.0),
+        ),
+        (
+            "fig10 strided reads".into(),
+            table3::fig10().to_spec(),
+            quiet.clone(),
+            Some(6.3),
+        ),
+        (
+            "fig11 random writes".into(),
+            table3::fig11().to_spec(),
+            quiet.clone(),
+            Some(113.3),
+        ),
+        (
+            "fig12 random reads".into(),
+            table3::fig12().to_spec(),
+            quiet.clone(),
+            Some(4.4),
+        ),
         {
             let r = e2e(false, &quiet);
             ("e2e".into(), r.spec, r.storage, Some(147.0))
@@ -75,7 +105,9 @@ pub fn run(ctx: &Context) {
             format!("{:.2}", outcome.initial_performance_mib_s),
             format!("{:.2}", outcome.final_performance_mib_s),
             format!("{:.1}x", outcome.speedup()),
-            paper.map(|p| format!("{p:.1}x")).unwrap_or_else(|| "-".into()),
+            paper
+                .map(|p| format!("{p:.1}x"))
+                .unwrap_or_else(|| "-".into()),
             actions.join(" + "),
         ]);
         results.push(AutotuneResult {
@@ -89,7 +121,14 @@ pub fn run(ctx: &Context) {
         });
     }
     print_table(
-        &["workload", "initial", "autotuned", "speedup", "paper manual", "accepted actions"],
+        &[
+            "workload",
+            "initial",
+            "autotuned",
+            "speedup",
+            "paper manual",
+            "accepted actions",
+        ],
         &rows,
     );
     write_json("autotune", &results);

@@ -17,7 +17,7 @@
 use crate::{print_table, write_json, Context};
 use aiio::eval::ClassificationScorer;
 use aiio::rules::RuleChecker;
-use aiio::{DiagnosisConfig, Diagnoser, MergeMethod};
+use aiio::{Diagnoser, DiagnosisConfig, MergeMethod};
 use aiio_darshan::{CounterId, FeaturePipeline};
 use aiio_iosim::{BottleneckClass, DatabaseSampler, SamplerConfig};
 use serde::Serialize;
@@ -56,15 +56,22 @@ pub fn run(ctx: &Context) {
         Diagnoser::new(
             zoo,
             pipeline,
-            DiagnosisConfig { merge, max_evals: 384, ..Default::default() },
+            DiagnosisConfig {
+                merge,
+                max_evals: 384,
+                ..Default::default()
+            },
         )
         .diagnose(log)
     };
 
     let mut avg_scorer = ClassificationScorer::new(k);
     let mut closest_scorer = ClassificationScorer::new(k);
-    let mut single_scorers: Vec<ClassificationScorer> =
-        zoo.models().iter().map(|_| ClassificationScorer::new(k)).collect();
+    let mut single_scorers: Vec<ClassificationScorer> = zoo
+        .models()
+        .iter()
+        .map(|_| ClassificationScorer::new(k))
+        .collect();
     let mut rules_scorer = ClassificationScorer::new(k);
     let rules = RuleChecker::default();
 
@@ -83,7 +90,7 @@ pub fn run(ctx: &Context) {
                 .filter(|(_, &v)| v < 0.0)
                 .map(|(i, &v)| (CounterId::from_index(i), v))
                 .collect();
-            ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
             let counters: Vec<CounterId> = ranked.into_iter().map(|(c, _)| c).collect();
             scorer.score(&counters, truth);
         }
@@ -119,7 +126,12 @@ pub fn run(ctx: &Context) {
     let mut classes: Vec<(&String, &aiio::eval::ClassScore)> = avg.per_class.iter().collect();
     classes.sort_by_key(|(name, _)| name.as_str().to_string());
     for (name, score) in classes {
-        println!("  {:<26} {:.3} ({} jobs)", name, score.recall(), score.n_jobs);
+        println!(
+            "  {:<26} {:.3} ({} jobs)",
+            name,
+            score.recall(),
+            score.n_jobs
+        );
     }
 
     let json: Vec<SystemResult> = systems

@@ -9,7 +9,7 @@
 
 use crate::{print_table, write_json, Context};
 use aiio::gauge::{GaugeAnalysis, GaugeConfig};
-use aiio::{DiagnosisConfig, Diagnoser, MergeMethod};
+use aiio::{Diagnoser, DiagnosisConfig, MergeMethod};
 use aiio_cluster::HdbscanConfig;
 use aiio_darshan::{CounterId, FeaturePipeline};
 use serde::Serialize;
@@ -31,7 +31,7 @@ struct Fig1 {
 
 fn top_k(importance: &[f64], k: usize) -> Vec<(String, f64)> {
     let mut idx: Vec<usize> = (0..importance.len()).collect();
-    idx.sort_by(|&a, &b| importance[b].abs().partial_cmp(&importance[a].abs()).unwrap());
+    idx.sort_by(|&a, &b| importance[b].abs().total_cmp(&importance[a].abs()));
     idx.into_iter()
         .take(k)
         .map(|i| (CounterId::from_index(i).name().to_string(), importance[i]))
@@ -46,7 +46,10 @@ pub fn run(ctx: &Context) {
     let take = ds.len().min(600);
     let sub = ds.subset(&(0..take).collect::<Vec<_>>());
     let cfg = GaugeConfig {
-        hdbscan: HdbscanConfig { min_cluster_size: 16, min_samples: 8 },
+        hdbscan: HdbscanConfig {
+            min_cluster_size: 16,
+            min_samples: 8,
+        },
         max_evals: 256,
         ..GaugeConfig::default()
     };
@@ -60,12 +63,22 @@ pub fn run(ctx: &Context) {
         println!("no clusters extracted — increase AIIO_BENCH_JOBS");
         return;
     };
-    println!("largest cluster ('Gamma' analogue): {} members", cluster.members.len());
+    println!(
+        "largest cluster ('Gamma' analogue): {} members",
+        cluster.members.len()
+    );
 
     // (a) member errors vs average.
     let avg = cluster.average_abs_error();
-    let max = cluster.member_abs_errors.iter().copied().fold(0.0f64, f64::max);
-    println!("\n(a) cluster-average |error| {avg:.4}; member max {max:.4} ({:.1}x the average)", max / avg.max(1e-12));
+    let max = cluster
+        .member_abs_errors
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    println!(
+        "\n(a) cluster-average |error| {avg:.4}; member max {max:.4} ({:.1}x the average)",
+        max / avg.max(1e-12)
+    );
 
     // (b) cluster importance vs (c) member importance. Like the paper —
     // which shows the specific member (the 204th) where the divergence is
@@ -74,14 +87,18 @@ pub fn run(ctx: &Context) {
     // member if every sampled member agrees).
     let cluster_imp = gauge.cluster_importance(cluster, &sub, 12);
     let cluster_top_idx = (0..cluster_imp.len())
-        .max_by(|&a, &b| cluster_imp[a].abs().partial_cmp(&cluster_imp[b].abs()).unwrap())
+        .max_by(|&a, &b| cluster_imp[a].abs().total_cmp(&cluster_imp[b].abs()))
         .unwrap();
     let mut member_row = cluster.members[cluster.members.len() / 2];
     let mut member_attr = gauge.explain_member(cluster, &sub.x[member_row]);
-    for &cand in cluster.members.iter().step_by((cluster.members.len() / 24).max(1)) {
+    for &cand in cluster
+        .members
+        .iter()
+        .step_by((cluster.members.len() / 24).max(1))
+    {
         let attr = gauge.explain_member(cluster, &sub.x[cand]);
         let top = (0..attr.values.len())
-            .max_by(|&a, &b| attr.values[a].abs().partial_cmp(&attr.values[b].abs()).unwrap())
+            .max_by(|&a, &b| attr.values[a].abs().total_cmp(&attr.values[b].abs()))
             .unwrap();
         if top != cluster_top_idx {
             member_row = cand;
@@ -95,9 +112,7 @@ pub fn run(ctx: &Context) {
     let rows: Vec<Vec<String>> = cluster_top
         .iter()
         .zip(&member_top)
-        .map(|((cn, cv), (mn, mv))| {
-            vec![format!("{cn} ({cv:+.4})"), format!("{mn} ({mv:+.4})")]
-        })
+        .map(|((cn, cv), (mn, mv))| vec![format!("{cn} ({cv:+.4})"), format!("{mn} ({mv:+.4})")])
         .collect();
     print_table(&["cluster importance", "member importance"], &rows);
     let differs = cluster_top.first().map(|(n, _)| n) != member_top.first().map(|(n, _)| n);
@@ -108,6 +123,7 @@ pub fn run(ctx: &Context) {
         .iter()
         .zip(&member_attr.values)
         .enumerate()
+        // xtask-allow: AIIO-F001 — counting exact sparsity violations
         .filter(|(_, (&x, &c))| x == 0.0 && c != 0.0)
         .map(|(i, (_, &c))| (CounterId::from_index(i).name().to_string(), c))
         .collect();
@@ -123,7 +139,11 @@ pub fn run(ctx: &Context) {
     let aiio_report = Diagnoser::new(
         ctx.service.zoo(),
         FeaturePipeline::paper(),
-        DiagnosisConfig { merge: MergeMethod::Average, max_evals: 256, ..Default::default() },
+        DiagnosisConfig {
+            merge: MergeMethod::Average,
+            max_evals: 256,
+            ..Default::default()
+        },
     )
     .diagnose(log);
     let aiio_violations = aiio_report
@@ -131,6 +151,7 @@ pub fn run(ctx: &Context) {
         .values
         .iter()
         .zip(&sub.x[member_row])
+        // xtask-allow: AIIO-F001 — counting exact sparsity violations
         .filter(|(&c, &x)| x == 0.0 && c != 0.0)
         .count();
     println!("AIIO on the same job assigns impact to {aiio_violations} zero counters (must be 0)");

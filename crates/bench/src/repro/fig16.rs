@@ -21,7 +21,10 @@ struct Fig16 {
 pub fn run(ctx: &Context) {
     println!("\n== Fig. 16: training loss curve (XGBoost-style booster) ==");
     let (train, valid) = ctx.datasets();
-    let cfg = GbdtConfig { n_rounds: 200, ..GbdtConfig::xgboost_like() };
+    let cfg = GbdtConfig {
+        n_rounds: 200,
+        ..GbdtConfig::xgboost_like()
+    };
     let booster = aiio_gbdt::Booster::fit(&cfg, &train.x, &train.y, Some((&valid.x, &valid.y)))
         .expect("training");
     let h = booster.eval_history();

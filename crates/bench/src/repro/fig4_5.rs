@@ -27,7 +27,12 @@ struct Fig5 {
 /// compact after Eq. 2.
 pub fn run(ctx: &Context) {
     println!("\n== Fig. 4: performance before/after log10(x+1) ==");
-    let perfs: Vec<f64> = ctx.db.jobs().iter().map(|j| j.performance_mib_s()).collect();
+    let perfs: Vec<f64> = ctx
+        .db
+        .jobs()
+        .iter()
+        .map(|j| j.performance_mib_s())
+        .collect();
     let transformed: Vec<f64> = perfs.iter().map(|&p| (p + 1.0).log10()).collect();
 
     let raw_max = perfs.iter().copied().fold(0.0f64, f64::max);
@@ -88,5 +93,12 @@ pub fn run(ctx: &Context) {
         .step_by((ctx.db.len() / 500).max(1))
         .map(|(&a, &b)| (a, b))
         .collect();
-    write_json("fig5", &Fig5 { points, pearson_raw: p_raw, pearson_log: p_log });
+    write_json(
+        "fig5",
+        &Fig5 {
+            points,
+            pearson_raw: p_raw,
+            pearson_log: p_log,
+        },
+    );
 }

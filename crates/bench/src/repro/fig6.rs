@@ -6,7 +6,7 @@
 //! Average merge surfaces `POSIX_SEEKS` as the dominant negative factor.
 
 use crate::{print_table, write_json, Context};
-use aiio::{DiagnosisConfig, Diagnoser, MergeMethod};
+use aiio::{Diagnoser, DiagnosisConfig, MergeMethod};
 use aiio_darshan::{CounterId, FeaturePipeline};
 use aiio_iosim::ior::table3;
 use aiio_iosim::{Simulator, StorageConfig};
@@ -26,12 +26,19 @@ pub fn run(ctx: &Context) {
     println!("\n== Fig. 6: five-model diagnosis of one job (ior -r -t 1k -b 1m) ==");
     let sim = Simulator::new(StorageConfig::cori_like_quiet());
     let log = sim.simulate(&table3::fig8a().to_spec(), 600, 2022, 0);
-    println!("real performance: {:.2} MiB/s (paper: 412.70)", log.performance_mib_s());
+    println!(
+        "real performance: {:.2} MiB/s (paper: 412.70)",
+        log.performance_mib_s()
+    );
 
     let diagnoser = Diagnoser::new(
         ctx.service.zoo(),
         FeaturePipeline::paper(),
-        DiagnosisConfig { merge: MergeMethod::Average, max_evals: 1024, ..Default::default() },
+        DiagnosisConfig {
+            merge: MergeMethod::Average,
+            max_evals: 1024,
+            ..Default::default()
+        },
     );
     let report = diagnoser.diagnose(&log);
 
@@ -45,17 +52,26 @@ pub fn run(ctx: &Context) {
             .filter(|(_, &v)| v < 0.0)
             .map(|(i, &v)| (CounterId::from_index(i).name().to_string(), v))
             .collect();
-        neg.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        neg.sort_by(|a, b| a.1.total_cmp(&b.1));
         neg.truncate(3);
         per_model_rows.push(vec![
             kind.name().to_string(),
-            neg.first().map(|(n, v)| format!("{n} ({v:+.4})")).unwrap_or_default(),
-            neg.get(1).map(|(n, v)| format!("{n} ({v:+.4})")).unwrap_or_default(),
-            neg.get(2).map(|(n, v)| format!("{n} ({v:+.4})")).unwrap_or_default(),
+            neg.first()
+                .map(|(n, v)| format!("{n} ({v:+.4})"))
+                .unwrap_or_default(),
+            neg.get(1)
+                .map(|(n, v)| format!("{n} ({v:+.4})"))
+                .unwrap_or_default(),
+            neg.get(2)
+                .map(|(n, v)| format!("{n} ({v:+.4})"))
+                .unwrap_or_default(),
         ]);
         per_model_json.push((kind.name().to_string(), neg));
     }
-    print_table(&["model", "1st negative", "2nd negative", "3rd negative"], &per_model_rows);
+    print_table(
+        &["model", "1st negative", "2nd negative", "3rd negative"],
+        &per_model_rows,
+    );
 
     println!("\nmerged (Average Method) — paper Fig. 8(a) flags POSIX_SEEKS first:");
     for b in report.bottlenecks.iter().take(5) {

@@ -2,7 +2,7 @@
 //! diagnosis, the paper's fix, and the resulting speedup.
 
 use crate::{print_table, write_json, Context};
-use aiio::{DiagnosisConfig, Diagnoser, MergeMethod};
+use aiio::{Diagnoser, DiagnosisConfig, MergeMethod};
 use aiio_darshan::FeaturePipeline;
 use aiio_iosim::ior::table3;
 use aiio_iosim::{IorConfig, Simulator, StorageConfig};
@@ -92,7 +92,11 @@ pub fn run(ctx: &Context) {
     let diagnoser = Diagnoser::new(
         ctx.service.zoo(),
         FeaturePipeline::paper(),
-        DiagnosisConfig { merge: MergeMethod::Average, max_evals: 512, ..Default::default() },
+        DiagnosisConfig {
+            merge: MergeMethod::Average,
+            max_evals: 512,
+            ..Default::default()
+        },
     );
 
     let mut results = Vec::new();
@@ -115,7 +119,12 @@ pub fn run(ctx: &Context) {
             format!("{u:.2}"),
             format!("{t:.2}"),
             format!("{:.1}x", t / u),
-            format!("{:.2} -> {:.2} ({:.1}x)", e.paper.0, e.paper.1, e.paper.1 / e.paper.0),
+            format!(
+                "{:.2} -> {:.2} ({:.1}x)",
+                e.paper.0,
+                e.paper.1,
+                e.paper.1 / e.paper.0
+            ),
             top.first().map(|(n, _)| n.clone()).unwrap_or_default(),
         ]);
         results.push(PatternResult {
@@ -133,7 +142,15 @@ pub fn run(ctx: &Context) {
         });
     }
     print_table(
-        &["figure", "pattern", "untuned", "tuned", "speedup", "paper", "top bottleneck"],
+        &[
+            "figure",
+            "pattern",
+            "untuned",
+            "tuned",
+            "speedup",
+            "paper",
+            "top bottleneck",
+        ],
         &rows,
     );
     let all_robust = results.iter().all(|r| r.robust);

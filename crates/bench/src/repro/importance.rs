@@ -30,7 +30,7 @@ struct ImportanceResult {
 
 fn top_k(values: &[f64], k: usize) -> Vec<(String, f64)> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap());
+    idx.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
     idx.into_iter()
         .take(k)
         .map(|i| (CounterId::from_index(i).name().to_string(), values[i]))
@@ -59,12 +59,7 @@ pub fn run(ctx: &Context) {
         }
     }
     let take = valid.len().min(512);
-    let perm = permutation_importance(
-        &P(gbdt),
-        &valid.x[..take],
-        &valid.y[..take],
-        ctx.scale.seed,
-    );
+    let perm = permutation_importance(&P(gbdt), &valid.x[..take], &valid.y[..take], ctx.scale.seed);
 
     // 3. TabNet masks, when a TabNet is in the zoo.
     let masks = match zoo.get(ModelKind::TabNet) {
@@ -79,9 +74,18 @@ pub fn run(ctx: &Context) {
     let rows: Vec<Vec<String>> = (0..8)
         .map(|i| {
             vec![
-                split_top.get(i).map(|(n, v)| format!("{n} ({v:.3})")).unwrap_or_default(),
-                perm_top.get(i).map(|(n, v)| format!("{n} ({v:.3})")).unwrap_or_default(),
-                mask_top.get(i).map(|(n, v)| format!("{n} ({v:.3})")).unwrap_or_default(),
+                split_top
+                    .get(i)
+                    .map(|(n, v)| format!("{n} ({v:.3})"))
+                    .unwrap_or_default(),
+                perm_top
+                    .get(i)
+                    .map(|(n, v)| format!("{n} ({v:.3})"))
+                    .unwrap_or_default(),
+                mask_top
+                    .get(i)
+                    .map(|(n, v)| format!("{n} ({v:.3})"))
+                    .unwrap_or_default(),
             ]
         })
         .collect();
@@ -89,9 +93,11 @@ pub fn run(ctx: &Context) {
 
     // How many of the split-importance top 8 also appear in the
     // permutation top 8?
-    let split_set: std::collections::HashSet<&String> =
-        split_top.iter().map(|(n, _)| n).collect();
-    let overlap = perm_top.iter().filter(|(n, _)| split_set.contains(n)).count();
+    let split_set: std::collections::HashSet<&String> = split_top.iter().map(|(n, _)| n).collect();
+    let overlap = perm_top
+        .iter()
+        .filter(|(n, _)| split_set.contains(n))
+        .count();
     println!("top-8 overlap between tree-split and permutation importance: {overlap}/8");
 
     write_json(

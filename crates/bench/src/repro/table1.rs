@@ -45,7 +45,14 @@ pub fn run(ctx: &Context) {
         .collect();
 
     print_table(
-        &["year", "jobs", "approx MiB", "share", "paper share", "paper jobs"],
+        &[
+            "year",
+            "jobs",
+            "approx MiB",
+            "share",
+            "paper share",
+            "paper jobs",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -7,7 +7,7 @@
 
 use crate::{print_table, write_json, Context};
 use aiio::merge::{average_weights, closest_model, merge_attributions_average};
-use aiio::{DiagnosisConfig, Diagnoser, MergeMethod};
+use aiio::{Diagnoser, DiagnosisConfig, MergeMethod};
 use aiio_darshan::FeaturePipeline;
 use aiio_explain::metrics::shap_rmse;
 use aiio_explain::Attribution;
@@ -59,7 +59,11 @@ pub fn run(ctx: &Context) {
     let diagnoser = Diagnoser::new(
         zoo,
         pipeline,
-        DiagnosisConfig { merge: MergeMethod::Average, max_evals: 512, ..Default::default() },
+        DiagnosisConfig {
+            merge: MergeMethod::Average,
+            max_evals: 512,
+            ..Default::default()
+        },
     );
 
     let n_models = zoo.len();
@@ -85,14 +89,22 @@ pub fn run(ctx: &Context) {
         }
         let attrs: Vec<Attribution> = report.per_model.iter().map(|(_, a)| a.clone()).collect();
         closest_attrs.push(attrs[closest_model(&preds, tag)].clone());
-        average_attrs.push(merge_attributions_average(&attrs, &average_weights(&preds, tag)));
+        average_attrs.push(merge_attributions_average(
+            &attrs,
+            &average_weights(&preds, tag),
+        ));
     }
 
     let diag_rmse: Vec<(String, f64)> = zoo
         .models()
         .iter()
         .enumerate()
-        .map(|(m, tm)| (tm.kind.name().to_string(), shap_rmse(&per_model_attrs[m], &y_true)))
+        .map(|(m, tm)| {
+            (
+                tm.kind.name().to_string(),
+                shap_rmse(&per_model_attrs[m], &y_true),
+            )
+        })
         .collect();
     let diag_closest = shap_rmse(&closest_attrs, &y_true);
     let diag_average = shap_rmse(&average_attrs, &y_true);
@@ -125,7 +137,13 @@ pub fn run(ctx: &Context) {
         "0.2471".into(),
     ]);
     print_table(
-        &["model", "pred RMSE", "diag RMSE", "paper pred", "paper diag"],
+        &[
+            "model",
+            "pred RMSE",
+            "diag RMSE",
+            "paper pred",
+            "paper diag",
+        ],
         &rows,
     );
 

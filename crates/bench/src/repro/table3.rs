@@ -64,7 +64,9 @@ pub fn run() {
         });
     }
     print_table(
-        &["figure", "command", "t (B)", "b (B)", "segments", "ops/rank", "nprocs"],
+        &[
+            "figure", "command", "t (B)", "b (B)", "segments", "ops/rank", "nprocs",
+        ],
         &rows,
     );
     write_json("table3", &json);

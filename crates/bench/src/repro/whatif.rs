@@ -44,7 +44,14 @@ pub fn run(ctx: &Context) {
         let log = sim.simulate(&cfg.to_spec(), 0, 2022, 0);
         let p = wi.predict_merged_writes(&log);
         let simulated = tuned_write / log.performance_mib_s();
-        push(&mut rows, &mut json, name, "merge writes to 1 MiB", p.predicted_speedup(), simulated);
+        push(
+            &mut rows,
+            &mut json,
+            name,
+            "merge writes to 1 MiB",
+            p.predicted_speedup(),
+            simulated,
+        );
     }
 
     // DASSA: merged-files counterfactual vs its tuned run.
@@ -56,15 +63,34 @@ pub fn run(ctx: &Context) {
         let p = wi.predict(&log, &[(CounterId::PosixOpens, workers * 2.0)]);
         let simulated = Simulator::new(tuned.storage.clone()).performance_of(&tuned.spec, 0)
             / log.performance_mib_s();
-        push(&mut rows, &mut json, "dassa many files", "merge files (2 opens/rank)", p.predicted_speedup(), simulated);
+        push(
+            &mut rows,
+            &mut json,
+            "dassa many files",
+            "merge files (2 opens/rank)",
+            p.predicted_speedup(),
+            simulated,
+        );
     }
 
     print_table(
-        &["workload", "counterfactual", "predicted", "simulated", "direction"],
+        &[
+            "workload",
+            "counterfactual",
+            "predicted",
+            "simulated",
+            "direction",
+        ],
         &rows,
     );
-    let correct = json.iter().filter(|r: &&WhatIfRow| r.direction_correct).count();
-    println!("direction correct for {correct}/{} counterfactuals", json.len());
+    let correct = json
+        .iter()
+        .filter(|r: &&WhatIfRow| r.direction_correct)
+        .count();
+    println!(
+        "direction correct for {correct}/{} counterfactuals",
+        json.len()
+    );
     write_json("whatif", &json);
 }
 
@@ -82,7 +108,11 @@ fn push(
         counterfactual.to_string(),
         format!("{predicted:.2}x"),
         format!("{simulated:.2}x"),
-        if direction { "✓".into() } else { "✗".into() },
+        if direction {
+            "✓".into()
+        } else {
+            "✗".into()
+        },
     ]);
     json.push(WhatIfRow {
         workload: workload.into(),

@@ -93,7 +93,10 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     let (pos, flags) = parse_flags(args)?;
-    let seed: u64 = flag(&flags, "seed").map(|s| parse_num(s, "seed")).transpose()?.unwrap_or(0);
+    let seed: u64 = flag(&flags, "seed")
+        .map(|s| parse_num(s, "seed"))
+        .transpose()?
+        .unwrap_or(0);
     let spec = if let Some(trace_path) = flag(&flags, "trace") {
         let text = std::fs::read_to_string(trace_path).map_err(|e| e.to_string())?;
         let name = std::path::Path::new(trace_path)
@@ -124,20 +127,38 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
         Some(path) => std::fs::write(path, rendered).map_err(|e| e.to_string())?,
         None => print!("{rendered}"),
     }
-    eprintln!("simulated {} ranks, {:.2} MiB/s (Eq. 1)", nprocs, log.performance_mib_s());
+    eprintln!(
+        "simulated {} ranks, {:.2} MiB/s (Eq. 1)",
+        nprocs,
+        log.performance_mib_s()
+    );
     Ok(())
 }
 
 fn cmd_sample(args: &[String]) -> Result<(), CliError> {
     let (_, flags) = parse_flags(args)?;
     let n_jobs: usize = parse_num(required(&flags, "jobs")?, "jobs")?;
-    let seed: u64 = flag(&flags, "seed").map(|s| parse_num(s, "seed")).transpose()?.unwrap_or(7);
-    let noise: f64 =
-        flag(&flags, "noise").map(|s| parse_num(s, "noise")).transpose()?.unwrap_or(0.03);
+    let seed: u64 = flag(&flags, "seed")
+        .map(|s| parse_num(s, "seed"))
+        .transpose()?
+        .unwrap_or(7);
+    let noise: f64 = flag(&flags, "noise")
+        .map(|s| parse_num(s, "noise"))
+        .transpose()?
+        .unwrap_or(0.03);
     let out = required(&flags, "out")?;
-    let db = DatabaseSampler::new(SamplerConfig { n_jobs, seed, noise_sigma: noise }).generate();
+    let db = DatabaseSampler::new(SamplerConfig {
+        n_jobs,
+        seed,
+        noise_sigma: noise,
+    })
+    .generate();
     db.save_json(out).map_err(|e| e.to_string())?;
-    eprintln!("wrote {} jobs to {out} (avg sparsity {:.3})", db.len(), db.average_sparsity());
+    eprintln!(
+        "wrote {} jobs to {out} (avg sparsity {:.3})",
+        db.len(),
+        db.average_sparsity()
+    );
     Ok(())
 }
 
@@ -147,14 +168,24 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
     let out = required(&flags, "out")?;
     let db = LogDatabase::load_json(db_path).map_err(|e| e.to_string())?;
     if db.len() < 20 {
-        return Err(format!("database has only {} jobs; need at least 20", db.len()));
+        return Err(format!(
+            "database has only {} jobs; need at least 20",
+            db.len()
+        ));
     }
-    let mut cfg =
-        if flag(&flags, "fast").is_some() { TrainConfig::fast() } else { TrainConfig::default() };
+    let mut cfg = if flag(&flags, "fast").is_some() {
+        TrainConfig::fast()
+    } else {
+        TrainConfig::default()
+    };
     if let Some(s) = flag(&flags, "seed") {
         cfg.seed = parse_num(s, "seed")?;
     }
-    eprintln!("training on {} jobs ({} models)...", db.len(), cfg.zoo.kinds.len());
+    eprintln!(
+        "training on {} jobs ({} models)...",
+        db.len(),
+        cfg.zoo.kinds.len()
+    );
     let service = AiioService::train(&cfg, &db);
     for (kind, rmse) in &service.validation_rmse {
         eprintln!("  {kind:<9} validation RMSE {rmse:.4}");
@@ -180,7 +211,10 @@ fn cmd_diagnose(args: &[String]) -> Result<(), CliError> {
 
     let report = service.diagnose(&log);
     if flag(&flags, "json").is_some() {
-        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
     } else {
         println!("{report}");
     }
@@ -198,8 +232,10 @@ mod tests {
 
     #[test]
     fn flag_parser_splits_positional_and_flags() {
-        let args: Vec<String> =
-            ["ior -w", "--nprocs", "64", "--json"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["ior -w", "--nprocs", "64", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let (pos, flags) = parse_flags(&args).unwrap();
         assert_eq!(pos, vec!["ior -w"]);
         assert_eq!(flags.get("nprocs").unwrap(), "64");

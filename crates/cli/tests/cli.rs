@@ -33,8 +33,15 @@ fn unknown_subcommand_fails_with_message() {
 
 #[test]
 fn simulate_emits_parsable_darshan_text() {
-    let out = aiio().args(["simulate", "ior -w -t 1k -b 1m -Y"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = aiio()
+        .args(["simulate", "ior -w -t 1k -b 1m -Y"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("total_POSIX_WRITES:"));
     // And it round-trips through the parser.
@@ -57,11 +64,17 @@ fn full_workflow_sample_train_diagnose() {
 
     // sample
     let out = aiio()
-        .args(["sample", "--jobs", "200", "--seed", "3", "--noise", "0", "--out"])
+        .args([
+            "sample", "--jobs", "200", "--seed", "3", "--noise", "0", "--out",
+        ])
         .arg(&db)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(db.exists());
 
     // train (fast)
@@ -72,7 +85,11 @@ fn full_workflow_sample_train_diagnose() {
         .arg(&model)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
 
     // simulate an unseen job to a file
@@ -81,7 +98,11 @@ fn full_workflow_sample_train_diagnose() {
         .arg(&log)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // diagnose it (text report)
     let out = aiio()
@@ -91,7 +112,11 @@ fn full_workflow_sample_train_diagnose() {
         .arg(&log)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("AIIO diagnosis"));
     assert!(text.contains("top bottlenecks"));
@@ -105,8 +130,7 @@ fn full_workflow_sample_train_diagnose() {
         .output()
         .unwrap();
     assert!(out.status.success());
-    let report: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("valid JSON report");
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON report");
     assert!(report.get("bottlenecks").is_some());
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -146,7 +170,11 @@ fn diagnose_accepts_json_joblog_too() {
         .arg(&log)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -181,8 +209,16 @@ fn simulate_accepts_trace_files() {
         "ranks 32\nopen 1\nwrite 2048 x512 consecutive fsync\n",
     )
     .unwrap();
-    let out = aiio().args(["simulate", "--trace"]).arg(&trace).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = aiio()
+        .args(["simulate", "--trace"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("total_POSIX_WRITES: 16384")); // 32 ranks x 512
     let _ = std::fs::remove_dir_all(&dir);
@@ -193,7 +229,11 @@ fn simulate_trace_rejects_malformed_files() {
     let dir = tmpdir("badtrace");
     let trace = dir.join("bad.trace");
     std::fs::write(&trace, "write 8 x8 consecutive\n").unwrap(); // no ranks header
-    let out = aiio().args(["simulate", "--trace"]).arg(&trace).output().unwrap();
+    let out = aiio()
+        .args(["simulate", "--trace"])
+        .arg(&trace)
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("ranks"));
     let _ = std::fs::remove_dir_all(&dir);

@@ -49,7 +49,10 @@ impl Agglomerative {
     pub fn fit(points: &[Vec<f64>], linkage: Linkage) -> Agglomerative {
         let n = points.len();
         if n <= 1 {
-            return Agglomerative { n_points: n, merges: vec![] };
+            return Agglomerative {
+                n_points: n,
+                merges: vec![],
+            };
         }
         let dims = points[0].len();
         for p in points {
@@ -78,7 +81,12 @@ impl Agglomerative {
                 }
             }
             let new_size = sizes[bi] + sizes[bj];
-            merges.push(Merge { a: ids[bi], b: ids[bj], distance: bd, size: new_size });
+            merges.push(Merge {
+                a: ids[bi],
+                b: ids[bj],
+                distance: bd,
+                size: new_size,
+            });
 
             // Lance-Williams update of distances to the merged cluster,
             // stored in slot bi; slot bj is removed.
@@ -109,7 +117,10 @@ impl Agglomerative {
                 row.remove(bj);
             }
         }
-        Agglomerative { n_points: n, merges }
+        Agglomerative {
+            n_points: n,
+            merges,
+        }
     }
 
     /// Cut the dendrogram into exactly `k` clusters (1 ≤ k ≤ n). Returns
@@ -123,7 +134,11 @@ impl Agglomerative {
     /// Cut at a distance threshold: apply every merge with
     /// `distance <= threshold`.
     pub fn cut_distance(&self, threshold: f64) -> Vec<usize> {
-        let applied = self.merges.iter().take_while(|m| m.distance <= threshold).count();
+        let applied = self
+            .merges
+            .iter()
+            .take_while(|m| m.distance <= threshold)
+            .count();
         self.labels_after(applied)
     }
 

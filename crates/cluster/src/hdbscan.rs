@@ -24,7 +24,10 @@ pub struct HdbscanConfig {
 
 impl Default for HdbscanConfig {
     fn default() -> Self {
-        Self { min_cluster_size: 8, min_samples: 0 }
+        Self {
+            min_cluster_size: 8,
+            min_samples: 0,
+        }
     }
 }
 
@@ -52,13 +55,22 @@ impl Hdbscan {
     /// Panics on ragged input or `min_cluster_size < 2`.
     #[allow(clippy::needless_range_loop, clippy::explicit_counter_loop)] // dense index math over the MST/dendrogram arrays
     pub fn fit(points: &[Vec<f64>], config: &HdbscanConfig) -> Hdbscan {
-        assert!(config.min_cluster_size >= 2, "min_cluster_size must be >= 2");
+        assert!(
+            config.min_cluster_size >= 2,
+            "min_cluster_size must be >= 2"
+        );
         let n = points.len();
         if n == 0 {
-            return Hdbscan { labels: vec![], n_clusters: 0 };
+            return Hdbscan {
+                labels: vec![],
+                n_clusters: 0,
+            };
         }
         if n < config.min_cluster_size {
-            return Hdbscan { labels: vec![NOISE; n], n_clusters: 0 };
+            return Hdbscan {
+                labels: vec![NOISE; n],
+                n_clusters: 0,
+            };
         }
         let min_samples = if config.min_samples == 0 {
             config.min_cluster_size
@@ -83,7 +95,7 @@ impl Hdbscan {
                     scratch.push(dist(i, j));
                 }
             }
-            scratch.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            scratch.sort_by(|a, b| a.total_cmp(b));
             core[i] = scratch[min_samples - 1];
         }
         let mreach = |a: usize, b: usize| dist(a, b).max(core[a]).max(core[b]);
@@ -119,7 +131,7 @@ impl Hdbscan {
                 }
             }
         }
-        edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        edges.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         // 3. Single-linkage dendrogram via union-find. Nodes 0..n are
         // points; nodes n..2n-1 are merges.
@@ -236,7 +248,11 @@ impl Hdbscan {
         let mut subtree_stability = vec![0.0; n_clusters_total];
         // Process deepest-first (children always have higher ids).
         for cid in (0..n_clusters_total).rev() {
-            let child_sum: f64 = clusters[cid].children.iter().map(|&c| subtree_stability[c]).sum();
+            let child_sum: f64 = clusters[cid]
+                .children
+                .iter()
+                .map(|&c| subtree_stability[c])
+                .sum();
             // The root is never selected when it has children — that would
             // declare the whole dataset one cluster with no density
             // evidence — so its children always propagate through it.
@@ -276,7 +292,10 @@ impl Hdbscan {
                 st.extend(clusters[c].children.iter().copied());
             }
         }
-        Hdbscan { labels, n_clusters: n_out }
+        Hdbscan {
+            labels,
+            n_clusters: n_out,
+        }
     }
 
     /// Members of cluster `label`.
@@ -341,7 +360,13 @@ mod tests {
     #[test]
     fn separates_two_blobs() {
         let pts = blobs(&[(0.0, 0.0), (10.0, 10.0)], 30, 0.5, 1);
-        let h = Hdbscan::fit(&pts, &HdbscanConfig { min_cluster_size: 5, min_samples: 5 });
+        let h = Hdbscan::fit(
+            &pts,
+            &HdbscanConfig {
+                min_cluster_size: 5,
+                min_samples: 5,
+            },
+        );
         assert_eq!(h.n_clusters, 2, "labels: {:?}", h.labels);
         // Points within a blob share a label.
         let l0 = h.labels[0];
@@ -356,7 +381,13 @@ mod tests {
         let mut pts = blobs(&[(0.0, 0.0), (10.0, 10.0)], 25, 0.4, 2);
         pts.push(vec![100.0, -100.0]);
         pts.push(vec![-100.0, 100.0]);
-        let h = Hdbscan::fit(&pts, &HdbscanConfig { min_cluster_size: 5, min_samples: 5 });
+        let h = Hdbscan::fit(
+            &pts,
+            &HdbscanConfig {
+                min_cluster_size: 5,
+                min_samples: 5,
+            },
+        );
         assert_eq!(h.labels[50], NOISE);
         assert_eq!(h.labels[51], NOISE);
         assert_eq!(h.n_noise(), 2);
@@ -366,14 +397,26 @@ mod tests {
     #[test]
     fn three_blobs_three_clusters() {
         let pts = blobs(&[(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)], 20, 0.6, 3);
-        let h = Hdbscan::fit(&pts, &HdbscanConfig { min_cluster_size: 6, min_samples: 4 });
+        let h = Hdbscan::fit(
+            &pts,
+            &HdbscanConfig {
+                min_cluster_size: 6,
+                min_samples: 4,
+            },
+        );
         assert_eq!(h.n_clusters, 3, "labels: {:?}", h.labels);
     }
 
     #[test]
     fn tiny_input_is_all_noise() {
         let pts = blobs(&[(0.0, 0.0)], 3, 0.1, 4);
-        let h = Hdbscan::fit(&pts, &HdbscanConfig { min_cluster_size: 8, min_samples: 4 });
+        let h = Hdbscan::fit(
+            &pts,
+            &HdbscanConfig {
+                min_cluster_size: 8,
+                min_samples: 4,
+            },
+        );
         assert_eq!(h.n_clusters, 0);
         assert!(h.labels.iter().all(|&l| l == NOISE));
     }
@@ -388,7 +431,13 @@ mod tests {
     #[test]
     fn members_returns_cluster_indices() {
         let pts = blobs(&[(0.0, 0.0), (10.0, 10.0)], 10, 0.3, 5);
-        let h = Hdbscan::fit(&pts, &HdbscanConfig { min_cluster_size: 4, min_samples: 3 });
+        let h = Hdbscan::fit(
+            &pts,
+            &HdbscanConfig {
+                min_cluster_size: 4,
+                min_samples: 3,
+            },
+        );
         let total: usize = (0..h.n_clusters as i32).map(|l| h.members(l).len()).sum();
         assert_eq!(total + h.n_noise(), pts.len());
     }
@@ -396,7 +445,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let pts = blobs(&[(0.0, 0.0), (8.0, 8.0)], 15, 0.5, 6);
-        let cfg = HdbscanConfig { min_cluster_size: 5, min_samples: 5 };
+        let cfg = HdbscanConfig {
+            min_cluster_size: 5,
+            min_samples: 5,
+        };
         assert_eq!(Hdbscan::fit(&pts, &cfg), Hdbscan::fit(&pts, &cfg));
     }
 }

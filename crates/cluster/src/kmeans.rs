@@ -15,7 +15,11 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        Self { k: 8, max_iters: 100, seed: 0 }
+        Self {
+            k: 8,
+            max_iters: 100,
+            seed: 0,
+        }
     }
 }
 
@@ -41,7 +45,10 @@ impl KMeans {
         // k-means++ seeding.
         let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
         centers.push(points[rng.gen_range(0..points.len())].clone());
-        let mut d2: Vec<f64> = points.iter().map(|p| sq_euclidean(p, &centers[0])).collect();
+        let mut d2: Vec<f64> = points
+            .iter()
+            .map(|p| sq_euclidean(p, &centers[0]))
+            .collect();
         while centers.len() < k {
             let total: f64 = d2.iter().sum();
             let next = if total <= 0.0 {
@@ -71,9 +78,7 @@ impl KMeans {
             for (i, p) in points.iter().enumerate() {
                 let best = (0..k)
                     .min_by(|&a, &b| {
-                        sq_euclidean(p, &centers[a])
-                            .partial_cmp(&sq_euclidean(p, &centers[b]))
-                            .unwrap()
+                        sq_euclidean(p, &centers[a]).total_cmp(&sq_euclidean(p, &centers[b]))
                     })
                     .unwrap();
                 if labels[i] != best {
@@ -99,17 +104,23 @@ impl KMeans {
                 }
             }
         }
-        let inertia = points.iter().zip(&labels).map(|(p, &l)| sq_euclidean(p, &centers[l])).sum();
-        KMeans { centers, labels, inertia }
+        let inertia = points
+            .iter()
+            .zip(&labels)
+            .map(|(p, &l)| sq_euclidean(p, &centers[l]))
+            .sum();
+        KMeans {
+            centers,
+            labels,
+            inertia,
+        }
     }
 
     /// Nearest-center label of a new point.
     pub fn predict(&self, p: &[f64]) -> usize {
         (0..self.centers.len())
             .min_by(|&a, &b| {
-                sq_euclidean(p, &self.centers[a])
-                    .partial_cmp(&sq_euclidean(p, &self.centers[b]))
-                    .unwrap()
+                sq_euclidean(p, &self.centers[a]).total_cmp(&sq_euclidean(p, &self.centers[b]))
             })
             .unwrap()
     }
@@ -130,16 +141,30 @@ mod tests {
 
     #[test]
     fn recovers_two_centers() {
-        let m = KMeans::fit(&blobs(), &KMeansConfig { k: 2, max_iters: 50, seed: 1 });
+        let m = KMeans::fit(
+            &blobs(),
+            &KMeansConfig {
+                k: 2,
+                max_iters: 50,
+                seed: 1,
+            },
+        );
         let mut cx: Vec<f64> = m.centers.iter().map(|c| c[0]).collect();
-        cx.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        cx.sort_by(|a, b| a.total_cmp(b));
         assert!((cx[0] - 0.02).abs() < 0.5, "{cx:?}");
         assert!((cx[1] - 10.02).abs() < 0.5, "{cx:?}");
     }
 
     #[test]
     fn predict_assigns_to_nearest() {
-        let m = KMeans::fit(&blobs(), &KMeansConfig { k: 2, max_iters: 50, seed: 1 });
+        let m = KMeans::fit(
+            &blobs(),
+            &KMeansConfig {
+                k: 2,
+                max_iters: 50,
+                seed: 1,
+            },
+        );
         let l0 = m.predict(&[0.5, 0.5]);
         let l1 = m.predict(&[9.5, 9.5]);
         assert_ne!(l0, l1);
@@ -148,21 +173,48 @@ mod tests {
     #[test]
     fn inertia_decreases_with_more_clusters() {
         let pts = blobs();
-        let i1 = KMeans::fit(&pts, &KMeansConfig { k: 1, max_iters: 50, seed: 1 }).inertia;
-        let i2 = KMeans::fit(&pts, &KMeansConfig { k: 2, max_iters: 50, seed: 1 }).inertia;
+        let i1 = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 1,
+                max_iters: 50,
+                seed: 1,
+            },
+        )
+        .inertia;
+        let i2 = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                max_iters: 50,
+                seed: 1,
+            },
+        )
+        .inertia;
         assert!(i2 < i1 * 0.1, "i1={i1} i2={i2}");
     }
 
     #[test]
     fn deterministic() {
         let pts = blobs();
-        let cfg = KMeansConfig { k: 3, max_iters: 50, seed: 7 };
+        let cfg = KMeansConfig {
+            k: 3,
+            max_iters: 50,
+            seed: 7,
+        };
         assert_eq!(KMeans::fit(&pts, &cfg), KMeans::fit(&pts, &cfg));
     }
 
     #[test]
     #[should_panic(expected = "k exceeds")]
     fn k_larger_than_points_rejected() {
-        let _ = KMeans::fit(&[vec![0.0]], &KMeansConfig { k: 2, max_iters: 1, seed: 0 });
+        let _ = KMeans::fit(
+            &[vec![0.0]],
+            &KMeansConfig {
+                k: 2,
+                max_iters: 1,
+                seed: 0,
+            },
+        );
     }
 }

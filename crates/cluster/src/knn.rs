@@ -24,7 +24,11 @@ impl Knn {
     pub fn fit(k: usize, points: Vec<Vec<f64>>, targets: Vec<f64>) -> Knn {
         assert!(k >= 1, "k must be at least 1");
         assert!(!points.is_empty(), "empty training set");
-        assert_eq!(points.len(), targets.len(), "points/targets length mismatch");
+        assert_eq!(
+            points.len(),
+            targets.len(),
+            "points/targets length mismatch"
+        );
         Knn { k, points, targets }
     }
 
@@ -32,9 +36,7 @@ impl Knn {
     pub fn neighbors(&self, x: &[f64]) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.points.len()).collect();
         idx.sort_by(|&a, &b| {
-            sq_euclidean(x, &self.points[a])
-                .partial_cmp(&sq_euclidean(x, &self.points[b]))
-                .unwrap()
+            sq_euclidean(x, &self.points[a]).total_cmp(&sq_euclidean(x, &self.points[b]))
         });
         idx.truncate(self.k);
         idx
@@ -54,7 +56,11 @@ impl Knn {
         for &i in &nn {
             *counts.entry(self.targets[i].round() as i64).or_insert(0) += 1;
         }
-        counts.into_iter().max_by_key(|&(label, c)| (c, std::cmp::Reverse(label))).unwrap().0
+        counts
+            .into_iter()
+            .max_by_key(|&(label, c)| (c, std::cmp::Reverse(label)))
+            .unwrap()
+            .0
     }
 }
 

@@ -18,8 +18,8 @@
 pub mod agglomerative;
 pub mod hdbscan;
 pub mod kmeans;
-pub mod metrics;
 pub mod knn;
+pub mod metrics;
 
 pub use agglomerative::{Agglomerative, Linkage};
 pub use hdbscan::{Hdbscan, HdbscanConfig, NOISE};

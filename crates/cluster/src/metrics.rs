@@ -167,7 +167,13 @@ mod tests {
     fn hdbscan_clustering_scores_well_on_blobs() {
         use crate::hdbscan::{Hdbscan, HdbscanConfig};
         let (pts, truth) = blobs();
-        let h = Hdbscan::fit(&pts, &HdbscanConfig { min_cluster_size: 4, min_samples: 3 });
+        let h = Hdbscan::fit(
+            &pts,
+            &HdbscanConfig {
+                min_cluster_size: 4,
+                min_samples: 3,
+            },
+        );
         let s = silhouette_score(&pts, &h.labels);
         assert!(s > 0.9, "silhouette {s}");
         let ari = adjusted_rand_index(&h.labels, &truth);

@@ -318,17 +318,28 @@ impl CounterId {
             | PosixFileAlignment => Config,
             PosixOpens | PosixFilenos | PosixStats => Metadata,
             PosixMemNotAligned | PosixFileNotAligned => Alignment,
-            PosixReads | PosixBytesRead | PosixConsecReads | PosixSeqReads
-            | PosixSizeRead0_100 | PosixSizeRead100_1k | PosixSizeRead1k_10k
-            | PosixSizeRead10k_100k | PosixSizeRead100k_1m => Read,
-            PosixWrites | PosixBytesWritten | PosixConsecWrites | PosixSeqWrites
-            | PosixSizeWrite0_100 | PosixSizeWrite100_1k | PosixSizeWrite1k_10k
-            | PosixSizeWrite10k_100k | PosixSizeWrite100k_1m => Write,
+            PosixReads
+            | PosixBytesRead
+            | PosixConsecReads
+            | PosixSeqReads
+            | PosixSizeRead0_100
+            | PosixSizeRead100_1k
+            | PosixSizeRead1k_10k
+            | PosixSizeRead10k_100k
+            | PosixSizeRead100k_1m => Read,
+            PosixWrites
+            | PosixBytesWritten
+            | PosixConsecWrites
+            | PosixSeqWrites
+            | PosixSizeWrite0_100
+            | PosixSizeWrite100_1k
+            | PosixSizeWrite1k_10k
+            | PosixSizeWrite10k_100k
+            | PosixSizeWrite100k_1m => Write,
             PosixSeeks | PosixRwSwitches | PosixStride1Stride | PosixStride2Stride
-            | PosixStride3Stride | PosixStride4Stride | PosixStride1Count
-            | PosixStride2Count | PosixStride3Count | PosixStride4Count
-            | PosixAccess1Access | PosixAccess2Access | PosixAccess3Access
-            | PosixAccess4Access | PosixAccess1Count | PosixAccess2Count
+            | PosixStride3Stride | PosixStride4Stride | PosixStride1Count | PosixStride2Count
+            | PosixStride3Count | PosixStride4Count | PosixAccess1Access | PosixAccess2Access
+            | PosixAccess3Access | PosixAccess4Access | PosixAccess1Count | PosixAccess2Count
             | PosixAccess3Count | PosixAccess4Count => Locality,
         }
     }
@@ -431,8 +442,20 @@ mod tests {
         for c in CounterId::ALL {
             assert!(!(c.is_read_related() && c.is_write_related()), "{c}");
         }
-        assert_eq!(CounterId::ALL.iter().filter(|c| c.is_read_related()).count(), 9);
-        assert_eq!(CounterId::ALL.iter().filter(|c| c.is_write_related()).count(), 9);
+        assert_eq!(
+            CounterId::ALL
+                .iter()
+                .filter(|c| c.is_read_related())
+                .count(),
+            9
+        );
+        assert_eq!(
+            CounterId::ALL
+                .iter()
+                .filter(|c| c.is_write_related())
+                .count(),
+            9
+        );
     }
 
     #[test]
@@ -445,7 +468,10 @@ mod tests {
         assert_eq!(CounterId::write_bucket_for(1024), PosixSizeWrite100_1k);
         assert_eq!(CounterId::write_bucket_for(1025), PosixSizeWrite1k_10k);
         assert_eq!(CounterId::read_bucket_for(10 * 1024), PosixSizeRead1k_10k);
-        assert_eq!(CounterId::read_bucket_for(10 * 1024 + 1), PosixSizeRead10k_100k);
+        assert_eq!(
+            CounterId::read_bucket_for(10 * 1024 + 1),
+            PosixSizeRead10k_100k
+        );
         assert_eq!(CounterId::read_bucket_for(u64::MAX), PosixSizeRead100k_1m);
     }
 
@@ -455,7 +481,10 @@ mod tests {
         assert_eq!(CounterId::Nprocs.category(), CounterCategory::Config);
         assert_eq!(CounterId::PosixOpens.category(), CounterCategory::Metadata);
         assert_eq!(CounterId::PosixSeeks.category(), CounterCategory::Locality);
-        assert_eq!(CounterId::PosixFileNotAligned.category(), CounterCategory::Alignment);
+        assert_eq!(
+            CounterId::PosixFileNotAligned.category(),
+            CounterCategory::Alignment
+        );
     }
 
     #[test]

@@ -90,7 +90,11 @@ impl LogDatabase {
                     .iter()
                     .map(|j| serde_json::to_vec(*j).map(|v| v.len()).unwrap_or(0))
                     .sum();
-                YearSummary { year, n_jobs: logs.len(), approx_bytes }
+                YearSummary {
+                    year,
+                    n_jobs: logs.len(),
+                    approx_bytes,
+                }
             })
             .collect()
     }
@@ -149,8 +153,7 @@ impl LogDatabase {
     /// Persist as JSON to `path`.
     pub fn save_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(BufWriter::new(file), self)
-            .map_err(std::io::Error::other)
+        serde_json::to_writer(BufWriter::new(file), self).map_err(std::io::Error::other)
     }
 
     /// Load a JSON database from `path`.
@@ -163,7 +166,9 @@ impl LogDatabase {
 
 impl FromIterator<JobLog> for LogDatabase {
     fn from_iter<T: IntoIterator<Item = JobLog>>(iter: T) -> Self {
-        Self { jobs: iter.into_iter().collect() }
+        Self {
+            jobs: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -240,14 +245,21 @@ mod tests {
     fn filters_select_expected_subsets() {
         let mut db = db_with(8);
         let mut special = JobLog::new(100, "special", 2021);
-        special.counters.set(CounterId::PosixBytesRead, 10.0 * 1024.0 * 1024.0);
+        special
+            .counters
+            .set(CounterId::PosixBytesRead, 10.0 * 1024.0 * 1024.0);
         special.time.slowest_rank_seconds = 1.0; // 10 MiB/s
         db.push(special);
 
         assert_eq!(db.by_app("special").len(), 1);
         assert_eq!(db.by_app("nope").len(), 0);
-        assert_eq!(db.by_year(2019).len() + db.by_year(2020).len()
-            + db.by_year(2021).len() + db.by_year(2022).len(), db.len());
+        assert_eq!(
+            db.by_year(2019).len()
+                + db.by_year(2020).len()
+                + db.by_year(2021).len()
+                + db.by_year(2022).len(),
+            db.len()
+        );
         let fast = db.by_performance(5.0, 100.0);
         assert_eq!(fast.len(), 1);
         assert_eq!(fast.jobs()[0].app, "special");

@@ -61,12 +61,16 @@ pub struct FeaturePipeline {
 impl FeaturePipeline {
     /// The paper's configuration: transform enabled.
     pub fn paper() -> Self {
-        Self { log_transform: true }
+        Self {
+            log_transform: true,
+        }
     }
 
     /// Ablation configuration: raw counters.
     pub fn raw() -> Self {
-        Self { log_transform: false }
+        Self {
+            log_transform: false,
+        }
     }
 
     /// Eq. 2 applied to one scalar.
@@ -93,7 +97,11 @@ impl FeaturePipeline {
     /// transformed. Missing counters are zero in the log and stay zero
     /// through the transform (log10(0+1) = 0), preserving sparsity.
     pub fn features_of(&self, log: &JobLog) -> Vec<f64> {
-        log.counters.as_slice().iter().map(|&v| self.transform_value(v)).collect()
+        log.counters
+            .as_slice()
+            .iter()
+            .map(|&v| self.transform_value(v))
+            .collect()
     }
 
     /// Tag of one job: transformed Eq. 1 performance.

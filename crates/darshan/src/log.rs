@@ -26,7 +26,9 @@ impl Default for CounterSet {
 impl CounterSet {
     /// All-zero counter set.
     pub fn new() -> Self {
-        Self { values: vec![0.0; N_COUNTERS] }
+        Self {
+            values: vec![0.0; N_COUNTERS],
+        }
     }
 
     /// Build from a dense vector in [`CounterId::ALL`] order.
@@ -71,13 +73,19 @@ impl CounterSet {
     /// Fraction of counters that are exactly zero (paper §3.1's per-job
     /// sparsity term).
     pub fn sparsity(&self) -> f64 {
+        // xtask-allow: AIIO-F001 — absent counters are exactly zero by construction
         let zeros = self.values.iter().filter(|&&v| v == 0.0).count();
         zeros as f64 / N_COUNTERS as f64
     }
 
     /// Ids of counters with nonzero values.
     pub fn nonzero_counters(&self) -> Vec<CounterId> {
-        CounterId::ALL.iter().copied().filter(|c| self.get(*c) != 0.0).collect()
+        CounterId::ALL
+            .iter()
+            .copied()
+            // xtask-allow: AIIO-F001 — absent counters are exactly zero by construction
+            .filter(|c| self.get(*c) != 0.0)
+            .collect()
     }
 }
 
@@ -119,12 +127,19 @@ pub struct JobLog {
 impl JobLog {
     /// New empty log for an app.
     pub fn new(job_id: u64, app: impl Into<String>, year: u16) -> Self {
-        Self { job_id, app: app.into(), year, counters: CounterSet::new(), time: TimeCounters::default() }
+        Self {
+            job_id,
+            app: app.into(),
+            year,
+            counters: CounterSet::new(),
+            time: TimeCounters::default(),
+        }
     }
 
     /// Total bytes transferred (read + written) by all ranks.
     pub fn total_bytes(&self) -> f64 {
-        self.counters.get(CounterId::PosixBytesRead) + self.counters.get(CounterId::PosixBytesWritten)
+        self.counters.get(CounterId::PosixBytesRead)
+            + self.counters.get(CounterId::PosixBytesWritten)
     }
 
     /// The paper's Eq. 1 performance estimate in MiB/s:
@@ -146,6 +161,7 @@ impl JobLog {
         CounterId::ALL
             .iter()
             .filter(|c| c.is_write_related())
+            // xtask-allow: AIIO-F001 — absent counters are exactly zero by construction
             .all(|c| self.counters.get(*c) == 0.0)
     }
 
@@ -154,6 +170,7 @@ impl JobLog {
         CounterId::ALL
             .iter()
             .filter(|c| c.is_read_related())
+            // xtask-allow: AIIO-F001 — absent counters are exactly zero by construction
             .all(|c| self.counters.get(*c) == 0.0)
     }
 }

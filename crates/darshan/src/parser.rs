@@ -35,7 +35,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "darshan parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "darshan parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -103,7 +107,10 @@ pub fn parse_text(text: &str) -> Result<JobLog, ParseError> {
     }
 
     if !saw_counter {
-        return Err(ParseError { line: 0, message: "no POSIX/LUSTRE counters found".into() });
+        return Err(ParseError {
+            line: 0,
+            message: "no POSIX/LUSTRE counters found".into(),
+        });
     }
     if nprocs > 0.0 {
         log.counters.set(CounterId::Nprocs, nprocs);
@@ -126,7 +133,9 @@ pub fn parse_text(text: &str) -> Result<JobLog, ParseError> {
 }
 
 fn parse_header(rest: &str, log: &mut JobLog, nprocs: &mut f64, agg_perf: &mut Option<f64>) {
-    let Some((key, value)) = rest.split_once(':') else { return };
+    let Some((key, value)) = rest.split_once(':') else {
+        return;
+    };
     let value = value.trim();
     match key.trim() {
         "nprocs" => {
@@ -220,7 +229,10 @@ pub fn to_total_text(log: &JobLog) -> String {
     out.push_str(&format!("# exe: {}\n", log.app));
     out.push_str(&format!("# jobid: {}\n", log.job_id));
     out.push_str(&format!("# start_time_year: {}\n", log.year));
-    out.push_str(&format!("# nprocs: {}\n", log.counters.get(CounterId::Nprocs) as u64));
+    out.push_str(&format!(
+        "# nprocs: {}\n",
+        log.counters.get(CounterId::Nprocs) as u64
+    ));
     let perf = log.performance_mib_s();
     if perf > 0.0 {
         out.push_str(&format!("# agg_perf_by_slowest: {perf:.6} # MiB/s\n"));
@@ -231,9 +243,18 @@ pub fn to_total_text(log: &JobLog) -> String {
         }
         out.push_str(&format!("total_{}: {}\n", id.name(), log.counters.get(id)));
     }
-    out.push_str(&format!("total_POSIX_F_READ_TIME: {}\n", log.time.total_read_time));
-    out.push_str(&format!("total_POSIX_F_WRITE_TIME: {}\n", log.time.total_write_time));
-    out.push_str(&format!("total_POSIX_F_META_TIME: {}\n", log.time.total_meta_time));
+    out.push_str(&format!(
+        "total_POSIX_F_READ_TIME: {}\n",
+        log.time.total_read_time
+    ));
+    out.push_str(&format!(
+        "total_POSIX_F_WRITE_TIME: {}\n",
+        log.time.total_write_time
+    ));
+    out.push_str(&format!(
+        "total_POSIX_F_META_TIME: {}\n",
+        log.time.total_meta_time
+    ));
     out
 }
 

@@ -26,15 +26,16 @@ pub const MAX_ACTIVE: usize = 24;
 /// Panics if `x` and `background` differ in length or more than
 /// [`MAX_ACTIVE`] features are active.
 pub fn exact_shapley(model: &dyn Predictor, x: &[f64], background: &[f64]) -> Attribution {
-    assert_eq!(x.len(), background.len(), "x/background length mismatch");
-    let active: Vec<usize> =
-        (0..x.len()).filter(|&i| x[i] != background[i]).collect();
+    let active = crate::sparsity_mask(x, background);
     let k = active.len();
     assert!(k <= MAX_ACTIVE, "{k} active features exceed MAX_ACTIVE");
 
     let mut values = vec![0.0; x.len()];
     if k == 0 {
-        return Attribution { values, expected: model.predict_one(background) };
+        return Attribution {
+            values,
+            expected: model.predict_one(background),
+        };
     }
 
     // Evaluate the model at every masked point in one batch.
@@ -75,7 +76,10 @@ pub fn exact_shapley(model: &dyn Predictor, x: &[f64], background: &[f64]) -> At
         values[feat] = phi;
     }
 
-    Attribution { values, expected: fvals[0] }
+    Attribution {
+        values,
+        expected: fvals[0],
+    }
 }
 
 #[cfg(test)]

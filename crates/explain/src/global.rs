@@ -53,7 +53,11 @@ pub fn partial_dependence(
             preds.iter().sum::<f64>() / preds.len() as f64
         })
         .collect();
-    PdpCurve { feature, grid: grid.to_vec(), mean_prediction }
+    PdpCurve {
+        feature,
+        grid: grid.to_vec(),
+        mean_prediction,
+    }
 }
 
 /// Evenly spaced grid between a feature's observed min and max.
@@ -68,7 +72,9 @@ pub fn feature_grid(data: &[Vec<f64>], feature: usize, points: usize) -> Vec<f64
     if !lo.is_finite() || lo == hi {
         return vec![lo];
     }
-    (0..points).map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64).collect()
+    (0..points)
+        .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
+        .collect()
 }
 
 /// Permutation importance: the increase in squared error when one
@@ -104,7 +110,11 @@ pub fn permutation_importance(
 }
 
 fn mse(pred: &[f64], y: &[f64]) -> f64 {
-    pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64
+    pred.iter()
+        .zip(y)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / y.len() as f64
 }
 
 #[cfg(test)]
@@ -115,7 +125,9 @@ mod tests {
 
     fn data(n: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..n).map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+        (0..n)
+            .map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
     }
 
     #[test]
@@ -134,8 +146,16 @@ mod tests {
         let f = FnPredictor(|x: &[f64]| x[0] * x[0]);
         let bg = data(50, 2);
         let curve = partial_dependence(&f, &bg, 2, &[-1.0, 0.0, 1.0]);
-        let spread = curve.mean_prediction.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-            - curve.mean_prediction.iter().copied().fold(f64::INFINITY, f64::min);
+        let spread = curve
+            .mean_prediction
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            - curve
+                .mean_prediction
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
         assert!(spread < 1e-12);
     }
 
@@ -147,7 +167,10 @@ mod tests {
         let bg = data(400, 3); // x1 symmetric around 0
         let curve = partial_dependence(&f, &bg, 0, &[-1.0, 1.0]);
         let spread = (curve.mean_prediction[1] - curve.mean_prediction[0]).abs();
-        assert!(spread < 0.2, "PD spread {spread} should be tiny despite real effect");
+        assert!(
+            spread < 0.2,
+            "PD spread {spread} should be tiny despite real effect"
+        );
         // SHAP at a concrete point does see the effect.
         let attr = crate::exact::exact_shapley(&f, &[1.0, 1.0, 0.0], &[0.0; 3]);
         assert!(attr.values[0] > 0.3);

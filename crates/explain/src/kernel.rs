@@ -28,7 +28,10 @@ pub struct KernelShapConfig {
 
 impl Default for KernelShapConfig {
     fn default() -> Self {
-        Self { max_evals: 2048, seed: 0 }
+        Self {
+            max_evals: 2048,
+            seed: 0,
+        }
     }
 }
 
@@ -71,8 +74,7 @@ impl KernelShap {
 
     /// Explain `model` at `x` against `background`.
     pub fn explain(&self, model: &dyn Predictor, x: &[f64], background: &[f64]) -> Attribution {
-        assert_eq!(x.len(), background.len(), "x/background length mismatch");
-        let active: Vec<usize> = (0..x.len()).filter(|&i| x[i] != background[i]).collect();
+        let active = crate::sparsity_mask(x, background);
         let k = active.len();
         let expected = model.predict_one(background);
         let mut values = vec![0.0; x.len()];
@@ -256,13 +258,20 @@ mod tests {
     fn sampling_mode_approximates_exact() {
         // 14 active features: 2^14-2 = 16382 coalitions > budget of 600.
         let f = FnPredictor(|x: &[f64]| {
-            x.iter().enumerate().map(|(i, v)| (i as f64 + 1.0) * v).sum::<f64>()
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| (i as f64 + 1.0) * v)
+                .sum::<f64>()
                 + x[0] * x[1]
                 + x[2] * x[3]
         });
         let x: Vec<f64> = (0..14).map(|i| 1.0 + 0.1 * i as f64).collect();
         let bg = vec![0.0; 14];
-        let got = KernelShap::new(KernelShapConfig { max_evals: 600, seed: 3 }).explain(&f, &x, &bg);
+        let got = KernelShap::new(KernelShapConfig {
+            max_evals: 600,
+            seed: 3,
+        })
+        .explain(&f, &x, &bg);
         let want = exact_shapley(&f, &x, &bg);
         // Loose tolerance: it's a sampled estimate.
         let scale = want.values.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
@@ -278,7 +287,10 @@ mod tests {
         let f = FnPredictor(|x: &[f64]| x.iter().product::<f64>());
         let x: Vec<f64> = (0..13).map(|i| 1.0 + i as f64 * 0.01).collect();
         let bg = vec![0.0; 13];
-        let cfg = KernelShapConfig { max_evals: 300, seed: 9 };
+        let cfg = KernelShapConfig {
+            max_evals: 300,
+            seed: 9,
+        };
         let a = KernelShap::new(cfg.clone()).explain(&f, &x, &bg);
         let b = KernelShap::new(cfg).explain(&f, &x, &bg);
         assert_eq!(a, b);

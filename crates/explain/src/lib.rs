@@ -34,6 +34,23 @@ pub mod tree;
 
 use serde::{Deserialize, Serialize};
 
+/// The sparsity mask of the paper's robustness guarantee (§3.3): indices
+/// whose value differs from the background.
+///
+/// Every attribution-producing function must restrict its work to this
+/// set so that counters absent from a job's log — zero in the input and
+/// zero in the background — provably receive exactly zero attribution.
+/// This is the single routing point the `xtask` sparsity-guarantee lint
+/// (`AIIO-S001`) checks for.
+///
+/// The comparison is intentionally exact: "absent" in a Darshan log means
+/// the counter is exactly the background value, not merely close to it.
+pub fn sparsity_mask(x: &[f64], background: &[f64]) -> Vec<usize> {
+    assert_eq!(x.len(), background.len(), "x/background length mismatch");
+    // xtask-allow: AIIO-F001 — exact background equality defines the mask
+    (0..x.len()).filter(|&i| x[i] != background[i]).collect()
+}
+
 /// A model that can be explained: batch prediction over raw feature rows.
 pub trait Predictor: Sync {
     /// Predict a batch of rows.
@@ -74,21 +91,14 @@ impl Attribution {
     /// bottleneck ranking).
     pub fn most_negative_first(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.values.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.values[a].partial_cmp(&self.values[b]).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        idx.sort_by(|&a, &b| self.values[a].total_cmp(&self.values[b]));
         idx
     }
 
     /// Indices sorted by absolute contribution, largest first.
     pub fn largest_magnitude_first(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.values.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.values[b]
-                .abs()
-                .partial_cmp(&self.values[a].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        idx.sort_by(|&a, &b| self.values[b].abs().total_cmp(&self.values[a].abs()));
         idx
     }
 }
@@ -106,7 +116,10 @@ mod tests {
 
     #[test]
     fn attribution_orderings() {
-        let a = Attribution { values: vec![0.5, -2.0, 1.0, -0.1], expected: 3.0 };
+        let a = Attribution {
+            values: vec![0.5, -2.0, 1.0, -0.1],
+            expected: 3.0,
+        };
         assert_eq!(a.most_negative_first()[0], 1);
         assert_eq!(a.largest_magnitude_first()[0], 1);
         assert_eq!(a.largest_magnitude_first()[1], 2);

@@ -30,7 +30,12 @@ pub struct LimeConfig {
 
 impl Default for LimeConfig {
     fn default() -> Self {
-        Self { n_samples: 1024, kernel_width: 0.75, ridge: 1e-3, seed: 0 }
+        Self {
+            n_samples: 1024,
+            kernel_width: 0.75,
+            ridge: 1e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -48,8 +53,7 @@ impl Lime {
     /// Explain `model` at `x` against `background`. Inactive features
     /// (equal to the background) receive exactly zero.
     pub fn explain(&self, model: &dyn Predictor, x: &[f64], background: &[f64]) -> Attribution {
-        assert_eq!(x.len(), background.len(), "x/background length mismatch");
-        let active: Vec<usize> = (0..x.len()).filter(|&i| x[i] != background[i]).collect();
+        let active = crate::sparsity_mask(x, background);
         let k = active.len();
         let expected = model.predict_one(background);
         let mut values = vec![0.0; x.len()];

@@ -20,7 +20,11 @@ pub fn local_accuracy_residual(attr: &Attribution, y_true: f64) -> f64 {
 /// # Panics
 /// Panics on empty or mismatched inputs.
 pub fn shap_rmse(attrs: &[Attribution], y_true: &[f64]) -> f64 {
-    assert_eq!(attrs.len(), y_true.len(), "attribution/target length mismatch");
+    assert_eq!(
+        attrs.len(),
+        y_true.len(),
+        "attribution/target length mismatch"
+    );
     assert!(!attrs.is_empty(), "no attributions");
     let sse: f64 = attrs
         .iter()
@@ -40,6 +44,7 @@ pub fn robustness_violations(attr: &Attribution, x: &[f64]) -> Vec<usize> {
     x.iter()
         .zip(&attr.values)
         .enumerate()
+        // xtask-allow: AIIO-F001 — detecting exact sparsity violations is this function's purpose
         .filter(|(_, (&xv, &c))| xv == 0.0 && c != 0.0)
         .map(|(i, _)| i)
         .collect()
@@ -52,8 +57,14 @@ mod tests {
     #[test]
     fn eq5_rmse_zero_for_perfect_reconstruction() {
         let attrs = vec![
-            Attribution { values: vec![1.0, 2.0], expected: 3.0 },
-            Attribution { values: vec![-1.0, 0.0], expected: 2.0 },
+            Attribution {
+                values: vec![1.0, 2.0],
+                expected: 3.0,
+            },
+            Attribution {
+                values: vec![-1.0, 0.0],
+                expected: 2.0,
+            },
         ];
         assert_eq!(shap_rmse(&attrs, &[6.0, 1.0]), 0.0);
     }
@@ -61,8 +72,14 @@ mod tests {
     #[test]
     fn eq5_rmse_matches_hand_value() {
         let attrs = vec![
-            Attribution { values: vec![0.0], expected: 3.0 }, // reconstructed 3, y 0 → err 3
-            Attribution { values: vec![0.0], expected: 4.0 }, // err 4... y = 0
+            Attribution {
+                values: vec![0.0],
+                expected: 3.0,
+            }, // reconstructed 3, y 0 → err 3
+            Attribution {
+                values: vec![0.0],
+                expected: 4.0,
+            }, // err 4... y = 0
         ];
         let got = shap_rmse(&attrs, &[0.0, 0.0]);
         assert!((got - (12.5f64).sqrt()).abs() < 1e-12);
@@ -70,10 +87,16 @@ mod tests {
 
     #[test]
     fn robustness_violations_found() {
-        let attr = Attribution { values: vec![0.5, 0.0, -0.1], expected: 0.0 };
+        let attr = Attribution {
+            values: vec![0.5, 0.0, -0.1],
+            expected: 0.0,
+        };
         let x = [1.0, 0.0, 0.0];
         assert_eq!(robustness_violations(&attr, &x), vec![2]);
-        let clean = Attribution { values: vec![0.5, 0.0, 0.0], expected: 0.0 };
+        let clean = Attribution {
+            values: vec![0.5, 0.0, 0.0],
+            expected: 0.0,
+        };
         assert!(robustness_violations(&clean, &x).is_empty());
     }
 }

@@ -30,7 +30,12 @@ struct PathElem {
 
 fn extend(path: &mut Vec<PathElem>, zero: f64, one: f64, feature: i64) {
     let depth = path.len();
-    path.push(PathElem { feature, zero, one, weight: if depth == 0 { 1.0 } else { 0.0 } });
+    path.push(PathElem {
+        feature,
+        zero,
+        one,
+        weight: if depth == 0 { 1.0 } else { 0.0 },
+    });
     let d1 = (depth + 1) as f64;
     for i in (0..depth).rev() {
         path[i + 1].weight += one * path[i].weight * (i as f64 + 1.0) / d1;
@@ -45,6 +50,7 @@ fn unwind(path: &mut Vec<PathElem>, index: usize) {
     let mut next_one = path[depth].weight;
     let d1 = (depth + 1) as f64;
     for i in (0..depth).rev() {
+        // xtask-allow: AIIO-F001 — exact-zero path fractions guard the divisions below
         if one != 0.0 {
             let tmp = path[i].weight;
             path[i].weight = next_one * d1 / ((i as f64 + 1.0) * one);
@@ -69,10 +75,12 @@ fn unwound_sum(path: &[PathElem], index: usize) -> f64 {
     let d1 = (depth + 1) as f64;
     let mut total = 0.0;
     for i in (0..depth).rev() {
+        // xtask-allow: AIIO-F001 — exact-zero path fractions guard the divisions below
         if one != 0.0 {
             let tmp = next_one * d1 / ((i as f64 + 1.0) * one);
             total += tmp;
             next_one = path[i].weight - tmp * zero * (depth - i) as f64 / d1;
+        // xtask-allow: AIIO-F001 — exact-zero path fractions guard the divisions below
         } else if zero != 0.0 {
             total += path[i].weight * d1 / (zero * (depth - i) as f64);
         }
@@ -130,10 +138,21 @@ fn recurse(
     // weight at all (it also breaks UNWIND's division) — prune it. This
     // happens for the empty leaves oblivious trees can produce.
     let hot_zero = hot_frac * incoming_zero;
+    // xtask-allow: AIIO-F001 — exactly-empty branches are pruned, near-zero must recurse
     if hot_zero != 0.0 || incoming_one != 0.0 {
-        recurse(tree, x, phi, hot, path.clone(), hot_zero, incoming_one, n.feature as i64);
+        recurse(
+            tree,
+            x,
+            phi,
+            hot,
+            path.clone(),
+            hot_zero,
+            incoming_one,
+            n.feature as i64,
+        );
     }
     let cold_zero = cold_frac * incoming_zero;
+    // xtask-allow: AIIO-F001 — exactly-empty branches are pruned, near-zero must recurse
     if cold_zero != 0.0 {
         recurse(tree, x, phi, cold, path, cold_zero, 0.0, n.feature as i64);
     }
@@ -153,10 +172,15 @@ pub fn tree_expected_value(tree: &Tree) -> f64 {
 }
 
 /// TreeSHAP attribution of a single tree.
+// xtask-allow: AIIO-S001 — path-dependent TreeSHAP has no background vector; zero
+// attribution for unused features follows from the tree paths themselves
 pub fn tree_shap_single(tree: &Tree, x: &[f64]) -> Attribution {
     let mut phi = vec![0.0; x.len()];
     recurse(tree, x, &mut phi, 0, Vec::new(), 1.0, 1.0, -1);
-    Attribution { values: phi, expected: tree_expected_value(tree) }
+    Attribution {
+        values: phi,
+        expected: tree_expected_value(tree),
+    }
 }
 
 /// TreeSHAP attribution of a fitted booster: per-tree attributions summed,
@@ -182,7 +206,14 @@ mod tests {
     /// Single split on x0 at 0.5: left (cover 3) -> 10, right (cover 1) -> 20.
     fn stump() -> Tree {
         Tree::new(vec![
-            Node { feature: 0, threshold: 0.5, left: 1, right: 2, value: 0.0, cover: 4.0 },
+            Node {
+                feature: 0,
+                threshold: 0.5,
+                left: 1,
+                right: 2,
+                value: 0.0,
+                cover: 4.0,
+            },
             Node::leaf(10.0, 3.0),
             Node::leaf(20.0, 1.0),
         ])
@@ -207,9 +238,30 @@ mod tests {
     fn two_feature_tree_local_accuracy_and_split() {
         // x0 <= 0 ? (x1 <= 0 ? 0 : 4) : (x1 <= 0 ? 8 : 12), uniform covers.
         let t = Tree::new(vec![
-            Node { feature: 0, threshold: 0.0, left: 1, right: 2, value: 0.0, cover: 4.0 },
-            Node { feature: 1, threshold: 0.0, left: 3, right: 4, value: 0.0, cover: 2.0 },
-            Node { feature: 1, threshold: 0.0, left: 5, right: 6, value: 0.0, cover: 2.0 },
+            Node {
+                feature: 0,
+                threshold: 0.0,
+                left: 1,
+                right: 2,
+                value: 0.0,
+                cover: 4.0,
+            },
+            Node {
+                feature: 1,
+                threshold: 0.0,
+                left: 3,
+                right: 4,
+                value: 0.0,
+                cover: 2.0,
+            },
+            Node {
+                feature: 1,
+                threshold: 0.0,
+                left: 5,
+                right: 6,
+                value: 0.0,
+                cover: 2.0,
+            },
             Node::leaf(0.0, 1.0),
             Node::leaf(4.0, 1.0),
             Node::leaf(8.0, 1.0),
@@ -228,8 +280,22 @@ mod tests {
     fn repeated_feature_on_path_handled() {
         // x0 <= 0.5 ? (x0 <= -0.5 ? 1 : 2) : 3 — feature 0 appears twice.
         let t = Tree::new(vec![
-            Node { feature: 0, threshold: 0.5, left: 1, right: 2, value: 0.0, cover: 6.0 },
-            Node { feature: 0, threshold: -0.5, left: 3, right: 4, value: 0.0, cover: 4.0 },
+            Node {
+                feature: 0,
+                threshold: 0.5,
+                left: 1,
+                right: 2,
+                value: 0.0,
+                cover: 6.0,
+            },
+            Node {
+                feature: 0,
+                threshold: -0.5,
+                left: 3,
+                right: 4,
+                value: 0.0,
+                cover: 4.0,
+            },
             Node::leaf(3.0, 2.0),
             Node::leaf(1.0, 2.0),
             Node::leaf(2.0, 2.0),
@@ -254,12 +320,23 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..300)
             .map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect())
             .collect();
-        let y: Vec<f64> =
-            x.iter().map(|r| r[0] * r[1] + (r[2] * 3.0).sin() + 0.5 * r[3]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| r[0] * r[1] + (r[2] * 3.0).sin() + 0.5 * r[3])
+            .collect();
         for cfg in [
-            GbdtConfig { n_rounds: 20, ..GbdtConfig::xgboost_like() },
-            GbdtConfig { n_rounds: 20, ..GbdtConfig::lightgbm_like() },
-            GbdtConfig { n_rounds: 20, ..GbdtConfig::catboost_like() },
+            GbdtConfig {
+                n_rounds: 20,
+                ..GbdtConfig::xgboost_like()
+            },
+            GbdtConfig {
+                n_rounds: 20,
+                ..GbdtConfig::lightgbm_like()
+            },
+            GbdtConfig {
+                n_rounds: 20,
+                ..GbdtConfig::catboost_like()
+            },
         ] {
             let m = Booster::fit(&cfg, &x, &y, None).unwrap();
             for row in x.iter().take(20) {
@@ -285,12 +362,19 @@ mod tests {
             .collect();
         // Only feature 0 matters.
         let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0).collect();
-        let cfg = GbdtConfig { n_rounds: 10, ..GbdtConfig::xgboost_like() };
+        let cfg = GbdtConfig {
+            n_rounds: 10,
+            ..GbdtConfig::xgboost_like()
+        };
         let m = Booster::fit(&cfg, &x, &y, None).unwrap();
         let a = tree_shap(&m, &x[0]);
         // Feature 1 may appear in noise splits but should carry far less
         // attribution than feature 0.
-        assert!(a.values[1].abs() < 0.05 * a.values[0].abs().max(0.1), "{:?}", a.values);
+        assert!(
+            a.values[1].abs() < 0.05 * a.values[0].abs().max(0.1),
+            "{:?}",
+            a.values
+        );
     }
 
     #[test]
@@ -301,11 +385,20 @@ mod tests {
             .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
             .collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] + r[1]).collect();
-        let cfg = GbdtConfig { n_rounds: 15, subsample: 1.0, ..GbdtConfig::xgboost_like() };
+        let cfg = GbdtConfig {
+            n_rounds: 15,
+            subsample: 1.0,
+            ..GbdtConfig::xgboost_like()
+        };
         let m = Booster::fit(&cfg, &x, &y, None).unwrap();
         let a = tree_shap(&m, &x[0]);
         let mean_pred: f64 = m.predict(&x).iter().sum::<f64>() / x.len() as f64;
         // Path-dependent expectation ≈ training-mean prediction.
-        assert!((a.expected - mean_pred).abs() < 0.05, "{} vs {}", a.expected, mean_pred);
+        assert!(
+            (a.expected - mean_pred).abs() < 0.05,
+            "{} vs {}",
+            a.expected,
+            mean_pred
+        );
     }
 }

@@ -96,12 +96,22 @@ impl GbdtConfig {
     /// LightGBM-style preset with GOSS enabled (top 20% by gradient,
     /// 10% random remainder — the defaults from the LightGBM paper).
     pub fn lightgbm_goss() -> Self {
-        Self { goss_top: 0.2, goss_other: 0.1, subsample: 1.0, ..Self::lightgbm_like() }
+        Self {
+            goss_top: 0.2,
+            goss_other: 0.1,
+            subsample: 1.0,
+            ..Self::lightgbm_like()
+        }
     }
 
     /// CatBoost-style preset.
     pub fn catboost_like() -> Self {
-        Self { growth: Growth::Oblivious, max_depth: 6, lambda: 3.0, ..Self::xgboost_like() }
+        Self {
+            growth: Growth::Oblivious,
+            max_depth: 6,
+            lambda: 3.0,
+            ..Self::xgboost_like()
+        }
     }
 }
 
@@ -181,7 +191,9 @@ impl Booster {
 
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let mut pred = vec![base_score; n];
-        let mut valid_pred: Vec<f64> = valid.map(|(vx, _)| vec![base_score; vx.len()]).unwrap_or_default();
+        let mut valid_pred: Vec<f64> = valid
+            .map(|(vx, _)| vec![base_score; vx.len()])
+            .unwrap_or_default();
         let mut trees: Vec<Tree> = Vec::new();
         let mut history: Vec<EvalRecord> = Vec::new();
         let mut best_valid = f64::INFINITY;
@@ -195,7 +207,10 @@ impl Booster {
             let (rows, grads) = if config.goss_top > 0.0 && config.goss_other > 0.0 {
                 goss_sample(&mut rng, raw_grads, config.goss_top, config.goss_other)
             } else {
-                (sample_indices(&mut rng, n, config.subsample), RowGrads::unit(raw_grads))
+                (
+                    sample_indices(&mut rng, n, config.subsample),
+                    RowGrads::unit(raw_grads),
+                )
             };
             let features = sample_indices(&mut rng, n_features, config.colsample);
 
@@ -207,7 +222,9 @@ impl Booster {
             shrink(&mut tree, config.learning_rate);
 
             // Update cached predictions.
-            pred.par_iter_mut().zip(x.par_iter()).for_each(|(p, row)| *p += tree.predict(row));
+            pred.par_iter_mut()
+                .zip(x.par_iter())
+                .for_each(|(p, row)| *p += tree.predict(row));
             if let Some((vx, _)) = valid {
                 valid_pred
                     .par_iter_mut()
@@ -218,7 +235,11 @@ impl Booster {
 
             let train_rmse = rmse(&pred, y);
             let valid_rmse = valid.map(|(_, vy)| rmse(&valid_pred, vy));
-            history.push(EvalRecord { round, train_rmse, valid_rmse });
+            history.push(EvalRecord {
+                round,
+                train_rmse,
+                valid_rmse,
+            });
 
             match valid_rmse {
                 Some(v) => {
@@ -239,7 +260,13 @@ impl Booster {
             }
         }
 
-        Ok(Booster { config: config.clone(), base_score, trees, best_n_trees, eval_history: history })
+        Ok(Booster {
+            config: config.clone(),
+            base_score,
+            trees,
+            best_n_trees,
+            eval_history: history,
+        })
     }
 
     /// Predict one sample (uses the early-stopped prefix of trees).
@@ -351,13 +378,17 @@ fn goss_sample(
     let n = grads.len();
     let n_top = ((n as f64 * top).round() as usize).clamp(1, n);
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| grads[b].abs().partial_cmp(&grads[a].abs()).unwrap());
+    order.sort_by(|&a, &b| grads[b].abs().total_cmp(&grads[a].abs()));
     let mut rows: Vec<usize> = order[..n_top].to_vec();
     let rest = &order[n_top..];
     let n_other = ((n as f64 * other).round() as usize).min(rest.len());
     let mut rest_shuffled = rest.to_vec();
     rest_shuffled.shuffle(rng);
-    let amplify = if n_other > 0 { (1.0 - top) / other } else { 1.0 };
+    let amplify = if n_other > 0 {
+        (1.0 - top) / other
+    } else {
+        1.0
+    };
     let mut rg = RowGrads::unit(grads);
     for &r in rest_shuffled.iter().take(n_other) {
         rows.push(r);
@@ -385,17 +416,27 @@ mod tests {
             .collect();
         let y: Vec<f64> = x
             .iter()
-            .map(|r| 10.0 * (std::f64::consts::PI * r[0] * r[1]).sin() + 20.0 * (r[2] - 0.5).powi(2) + 10.0 * r[3])
+            .map(|r| {
+                10.0 * (std::f64::consts::PI * r[0] * r[1]).sin()
+                    + 20.0 * (r[2] - 0.5).powi(2)
+                    + 10.0 * r[3]
+            })
             .collect();
         (x, y)
     }
 
     #[test]
     fn fits_linear_target_closely() {
-        let x: Vec<Vec<f64>> = (0..300).map(|i| vec![(i % 100) as f64, ((i * 7) % 13) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i % 100) as f64, ((i * 7) % 13) as f64])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - r[1]).collect();
         for growth in [Growth::LevelWise, Growth::LeafWise, Growth::Oblivious] {
-            let cfg = GbdtConfig { growth, n_rounds: 80, ..GbdtConfig::xgboost_like() };
+            let cfg = GbdtConfig {
+                growth,
+                n_rounds: 80,
+                ..GbdtConfig::xgboost_like()
+            };
             let m = Booster::fit(&cfg, &x, &y, None).unwrap();
             let pred = m.predict(&x);
             let err = rmse(&pred, &y);
@@ -403,7 +444,10 @@ mod tests {
                 let mean = y.iter().sum::<f64>() / y.len() as f64;
                 (y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y.len() as f64).sqrt()
             };
-            assert!(err < 0.1 * spread, "{growth:?}: rmse {err} vs spread {spread}");
+            assert!(
+                err < 0.1 * spread,
+                "{growth:?}: rmse {err} vs spread {spread}"
+            );
         }
     }
 
@@ -411,7 +455,11 @@ mod tests {
     fn early_stopping_truncates_trees() {
         let (x, y) = friedmanish(400, 3);
         let (vx, vy) = friedmanish(200, 4);
-        let cfg = GbdtConfig { n_rounds: 300, early_stopping_rounds: 5, ..GbdtConfig::xgboost_like() };
+        let cfg = GbdtConfig {
+            n_rounds: 300,
+            early_stopping_rounds: 5,
+            ..GbdtConfig::xgboost_like()
+        };
         let m = Booster::fit(&cfg, &x, &y, Some((&vx, &vy))).unwrap();
         assert!(m.best_n_trees() <= m.eval_history().len());
         assert!(m.eval_history().len() < 300, "should have stopped early");
@@ -419,7 +467,7 @@ mod tests {
         let best = m
             .eval_history()
             .iter()
-            .min_by(|a, b| a.valid_rmse.partial_cmp(&b.valid_rmse).unwrap())
+            .min_by(|a, b| a.valid_rmse.unwrap().total_cmp(&b.valid_rmse.unwrap()))
             .unwrap();
         assert_eq!(best.round + 1, m.best_n_trees());
     }
@@ -428,7 +476,10 @@ mod tests {
     fn validation_rmse_decreases_substantially() {
         let (x, y) = friedmanish(600, 5);
         let (vx, vy) = friedmanish(300, 6);
-        let cfg = GbdtConfig { n_rounds: 150, ..GbdtConfig::lightgbm_like() };
+        let cfg = GbdtConfig {
+            n_rounds: 150,
+            ..GbdtConfig::lightgbm_like()
+        };
         let m = Booster::fit(&cfg, &x, &y, Some((&vx, &vy))).unwrap();
         let first = m.eval_history()[0].valid_rmse.unwrap();
         let best = m
@@ -464,7 +515,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = friedmanish(200, 11);
-        let cfg = GbdtConfig { n_rounds: 20, subsample: 0.8, ..GbdtConfig::lightgbm_like() };
+        let cfg = GbdtConfig {
+            n_rounds: 20,
+            subsample: 0.8,
+            ..GbdtConfig::lightgbm_like()
+        };
         let a = Booster::fit(&cfg, &x, &y, None).unwrap();
         let b = Booster::fit(&cfg, &x, &y, None).unwrap();
         assert_eq!(a, b);
@@ -485,7 +540,10 @@ mod tests {
     #[test]
     fn serde_roundtrip_preserves_predictions() {
         let (x, y) = friedmanish(200, 13);
-        let cfg = GbdtConfig { n_rounds: 15, ..GbdtConfig::catboost_like() };
+        let cfg = GbdtConfig {
+            n_rounds: 15,
+            ..GbdtConfig::catboost_like()
+        };
         let m = Booster::fit(&cfg, &x, &y, None).unwrap();
         let json = serde_json::to_string(&m).unwrap();
         let back: Booster = serde_json::from_str(&json).unwrap();
@@ -499,14 +557,20 @@ mod tests {
     fn goss_training_tracks_full_training_closely() {
         let (x, y) = friedmanish(600, 21);
         let full = Booster::fit(
-            &GbdtConfig { n_rounds: 60, ..GbdtConfig::lightgbm_like() },
+            &GbdtConfig {
+                n_rounds: 60,
+                ..GbdtConfig::lightgbm_like()
+            },
             &x,
             &y,
             None,
         )
         .unwrap();
         let goss = Booster::fit(
-            &GbdtConfig { n_rounds: 60, ..GbdtConfig::lightgbm_goss() },
+            &GbdtConfig {
+                n_rounds: 60,
+                ..GbdtConfig::lightgbm_goss()
+            },
             &x,
             &y,
             None,
@@ -515,7 +579,10 @@ mod tests {
         let e_full = rmse(&full.predict(&x), &y);
         let e_goss = rmse(&goss.predict(&x), &y);
         // GOSS sees ~30% of rows per round yet must stay competitive.
-        assert!(e_goss < 3.0 * e_full + 0.1, "goss {e_goss} vs full {e_full}");
+        assert!(
+            e_goss < 3.0 * e_full + 0.1,
+            "goss {e_goss} vs full {e_full}"
+        );
     }
 
     #[test]
@@ -541,11 +608,20 @@ mod tests {
     fn feature_importance_identifies_the_signal_feature() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let x: Vec<Vec<f64>> = (0..300)
-            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .map(|_| {
+                vec![
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ]
+            })
             .collect();
         let y: Vec<f64> = x.iter().map(|r| 10.0 * r[1]).collect();
         let m = Booster::fit(
-            &GbdtConfig { n_rounds: 20, ..GbdtConfig::xgboost_like() },
+            &GbdtConfig {
+                n_rounds: 20,
+                ..GbdtConfig::xgboost_like()
+            },
             &x,
             &y,
             None,

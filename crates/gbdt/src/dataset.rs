@@ -23,7 +23,10 @@ impl Binner {
     /// # Panics
     /// Panics if `max_bins` is not in `2..=256` or `x` is empty/ragged.
     pub fn fit(x: &[Vec<f64>], max_bins: usize) -> Binner {
-        assert!((2..=MAX_BINS).contains(&max_bins), "max_bins must be in 2..=256");
+        assert!(
+            (2..=MAX_BINS).contains(&max_bins),
+            "max_bins must be in 2..=256"
+        );
         assert!(!x.is_empty(), "cannot fit binner on empty data");
         let n_features = x[0].len();
         let mut cuts = Vec::with_capacity(n_features);
@@ -34,7 +37,7 @@ impl Binner {
                 assert_eq!(row.len(), n_features, "ragged feature rows");
                 row[f]
             }));
-            col.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature value"));
+            col.sort_by(|a, b| a.total_cmp(b));
             let mut feature_cuts = Vec::new();
             for i in 1..max_bins {
                 let q = i as f64 / max_bins as f64;
@@ -104,7 +107,12 @@ impl BinnedMatrix {
                 bins[f * n_rows + r] = binner.bin(f, row[f]);
             }
         }
-        BinnedMatrix { n_rows, n_features, bins, binner }
+        BinnedMatrix {
+            n_rows,
+            n_features,
+            bins,
+            binner,
+        }
     }
 
     pub fn n_rows(&self) -> usize {
@@ -171,7 +179,11 @@ mod tests {
         for split in 0..b.n_bins(0) - 1 {
             let thr = b.threshold(0, split);
             for v in [0.0, 1.5, 3.0, 4.2, 7.0] {
-                assert_eq!(v <= thr, b.bin(0, v) as usize <= split, "split={split} v={v}");
+                assert_eq!(
+                    v <= thr,
+                    b.bin(0, v) as usize <= split,
+                    "split={split} v={v}"
+                );
             }
         }
     }

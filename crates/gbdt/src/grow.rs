@@ -41,7 +41,10 @@ impl GradStats {
     }
 
     fn sub(self, other: GradStats) -> GradStats {
-        GradStats { grad: self.grad - other.grad, hess: self.hess - other.hess }
+        GradStats {
+            grad: self.grad - other.grad,
+            hess: self.hess - other.hess,
+        }
     }
 
     /// Structure score `G² / (H + λ)`.
@@ -119,7 +122,13 @@ fn best_split_of_feature(
         }
         let gain = left.score(p.lambda) + right.score(p.lambda) - parent_score;
         if gain > p.gamma && best.is_none_or(|s| gain > s.gain) {
-            best = Some(Split { feature, bin: b, gain, left, right });
+            best = Some(Split {
+                feature,
+                bin: b,
+                gain,
+                left,
+                right,
+            });
         }
     }
     best
@@ -140,7 +149,7 @@ fn best_split(
             let hist = build_histogram(matrix, rows, grads, f);
             best_split_of_feature(&hist, total, f, p)
         })
-        .max_by(|a, b| a.gain.partial_cmp(&b.gain).unwrap_or(Ordering::Equal))
+        .max_by(|a, b| a.gain.total_cmp(&b.gain))
 }
 
 fn stats_of(rows: &[usize], grads: &RowGrads) -> GradStats {
@@ -152,7 +161,12 @@ fn stats_of(rows: &[usize], grads: &RowGrads) -> GradStats {
 }
 
 /// Partition `rows` by the split predicate `bin <= b`.
-fn partition(matrix: &BinnedMatrix, rows: &[usize], feature: usize, bin: usize) -> (Vec<usize>, Vec<usize>) {
+fn partition(
+    matrix: &BinnedMatrix,
+    rows: &[usize],
+    feature: usize,
+    bin: usize,
+) -> (Vec<usize>, Vec<usize>) {
     let col = matrix.column(feature);
     let mut left = Vec::new();
     let mut right = Vec::new();
@@ -192,7 +206,10 @@ pub fn grow_level_wise(
         let li = nodes.len();
         nodes.push(Node::leaf(split.left.leaf_value(p.lambda), split.left.hess));
         let ri = nodes.len();
-        nodes.push(Node::leaf(split.right.leaf_value(p.lambda), split.right.hess));
+        nodes.push(Node::leaf(
+            split.right.leaf_value(p.lambda),
+            split.right.hess,
+        ));
         let n = &mut nodes[idx];
         n.feature = split.feature as u32;
         n.threshold = threshold;
@@ -226,7 +243,7 @@ impl PartialOrd for Candidate {
 }
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.split.gain.partial_cmp(&other.split.gain).unwrap_or(Ordering::Equal)
+        self.split.gain.total_cmp(&other.split.gain)
     }
 }
 
@@ -244,18 +261,31 @@ pub fn grow_leaf_wise(
     let mut nodes = vec![Node::leaf(total.leaf_value(p.lambda), total.hess)];
     let mut heap = BinaryHeap::new();
     if let Some(split) = best_split(matrix, &rows, grads, features, total, p) {
-        heap.push(Candidate { node: 0, rows, split, depth: 0 });
+        heap.push(Candidate {
+            node: 0,
+            rows,
+            split,
+            depth: 0,
+        });
     }
     let mut n_leaves = 1usize;
 
     while n_leaves < p.max_leaves {
         let Some(cand) = heap.pop() else { break };
         let (lrows, rrows) = partition(matrix, &cand.rows, cand.split.feature, cand.split.bin);
-        let threshold = matrix.binner().threshold(cand.split.feature, cand.split.bin);
+        let threshold = matrix
+            .binner()
+            .threshold(cand.split.feature, cand.split.bin);
         let li = nodes.len();
-        nodes.push(Node::leaf(cand.split.left.leaf_value(p.lambda), cand.split.left.hess));
+        nodes.push(Node::leaf(
+            cand.split.left.leaf_value(p.lambda),
+            cand.split.left.hess,
+        ));
         let ri = nodes.len();
-        nodes.push(Node::leaf(cand.split.right.leaf_value(p.lambda), cand.split.right.hess));
+        nodes.push(Node::leaf(
+            cand.split.right.leaf_value(p.lambda),
+            cand.split.right.hess,
+        ));
         {
             let n = &mut nodes[cand.node];
             n.feature = cand.split.feature as u32;
@@ -270,7 +300,12 @@ pub fn grow_leaf_wise(
                 [(li, lrows, cand.split.left), (ri, rrows, cand.split.right)]
             {
                 if let Some(split) = best_split(matrix, &child_rows, grads, features, stats, p) {
-                    heap.push(Candidate { node: idx, rows: child_rows, split, depth: cand.depth + 1 });
+                    heap.push(Candidate {
+                        node: idx,
+                        rows: child_rows,
+                        split,
+                        depth: cand.depth + 1,
+                    });
                 }
             }
         }
@@ -321,7 +356,8 @@ pub fn grow_oblivious(
                         if left.hess < p.min_child_weight || right.hess < p.min_child_weight {
                             continue; // this node contributes nothing at bin b
                         }
-                        let g = left.score(p.lambda) + right.score(p.lambda) - total.score(p.lambda);
+                        let g =
+                            left.score(p.lambda) + right.score(p.lambda) - total.score(p.lambda);
                         if g > 0.0 {
                             gain += g;
                         }
@@ -332,7 +368,7 @@ pub fn grow_oblivious(
                 }
                 best_bin.map(|(b, g)| (f, b, g))
             })
-            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(Ordering::Equal));
+            .max_by(|a, b| a.2.total_cmp(&b.2));
 
         let Some((f, b, _gain)) = best else { break };
         chosen.push((f, b));
@@ -373,7 +409,11 @@ pub fn grow_oblivious(
     // Leaves: `level` holds them in heap order (left-to-right).
     debug_assert_eq!(level.len(), 1 << depth);
     for (rows_leaf, stats) in &level {
-        let value = if rows_leaf.is_empty() { 0.0 } else { stats.leaf_value(p.lambda) };
+        let value = if rows_leaf.is_empty() {
+            0.0
+        } else {
+            stats.leaf_value(p.lambda)
+        };
         nodes.push(Node::leaf(value, stats.hess));
     }
     // Fill internal covers bottom-up.
@@ -389,13 +429,22 @@ mod tests {
     use super::*;
 
     fn params() -> GrowParams {
-        GrowParams { max_depth: 4, max_leaves: 16, min_child_weight: 1.0, lambda: 0.0, gamma: 0.0 }
+        GrowParams {
+            max_depth: 4,
+            max_leaves: 16,
+            min_child_weight: 1.0,
+            lambda: 0.0,
+            gamma: 0.0,
+        }
     }
 
     /// Step function of x0: y = 1 for x0 < 5, else 9.
     fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
         let x: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64, 0.5]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] < 5.0 { 1.0 } else { 9.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] < 5.0 { 1.0 } else { 9.0 })
+            .collect();
         (x, y)
     }
 
@@ -412,9 +461,18 @@ mod tests {
         let rows: Vec<usize> = (0..x.len()).collect();
         let feats = [0usize, 1];
         for (name, tree) in [
-            ("level", grow_level_wise(&m, &grads, rows.clone(), &feats, &params())),
-            ("leaf", grow_leaf_wise(&m, &grads, rows.clone(), &feats, &params())),
-            ("oblivious", grow_oblivious(&m, &grads, rows.clone(), &feats, &params())),
+            (
+                "level",
+                grow_level_wise(&m, &grads, rows.clone(), &feats, &params()),
+            ),
+            (
+                "leaf",
+                grow_leaf_wise(&m, &grads, rows.clone(), &feats, &params()),
+            ),
+            (
+                "oblivious",
+                grow_oblivious(&m, &grads, rows.clone(), &feats, &params()),
+            ),
         ] {
             for (xi, &yi) in x.iter().zip(&y) {
                 let p = tree.predict(xi);
@@ -439,7 +497,10 @@ mod tests {
         // Highly irregular target forces many candidate splits.
         let y: Vec<f64> = (0..64).map(|i| ((i * 37) % 11) as f64).collect();
         let m = BinnedMatrix::from_rows(&x, 64);
-        let p = GrowParams { max_leaves: 5, ..params() };
+        let p = GrowParams {
+            max_leaves: 5,
+            ..params()
+        };
         let t = grow_leaf_wise(&m, &grads_for(&y), (0..64).collect(), &[0], &p);
         assert!(t.n_leaves() <= 5, "{} leaves", t.n_leaves());
     }
@@ -449,7 +510,10 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..64).map(|i| ((i * 37) % 11) as f64).collect();
         let m = BinnedMatrix::from_rows(&x, 64);
-        let p = GrowParams { max_depth: 2, ..params() };
+        let p = GrowParams {
+            max_depth: 2,
+            ..params()
+        };
         let t = grow_level_wise(&m, &grads_for(&y), (0..64).collect(), &[0], &p);
         assert!(t.depth() <= 2);
     }
@@ -458,7 +522,10 @@ mod tests {
     fn oblivious_tree_is_symmetric() {
         let (x, y) = step_data();
         let m = BinnedMatrix::from_rows(&x, 32);
-        let p = GrowParams { max_depth: 3, ..params() };
+        let p = GrowParams {
+            max_depth: 3,
+            ..params()
+        };
         let t = grow_oblivious(&m, &grads_for(&y), (0..x.len()).collect(), &[0, 1], &p);
         // Every level uses one feature/threshold: collect (feature,
         // threshold) pairs per depth by walking the heap layout.
@@ -486,7 +553,10 @@ mod tests {
         let mut y = vec![0.0; 10];
         y[9] = 100.0;
         let m = BinnedMatrix::from_rows(&x, 16);
-        let p = GrowParams { min_child_weight: 3.0, ..params() };
+        let p = GrowParams {
+            min_child_weight: 3.0,
+            ..params()
+        };
         let t = grow_level_wise(&m, &grads_for(&y), (0..10).collect(), &[0], &p);
         // No leaf may cover fewer than 3 samples.
         for n in t.nodes() {
@@ -500,8 +570,19 @@ mod tests {
     fn covers_sum_to_sample_count_at_each_level() {
         let (x, y) = step_data();
         let m = BinnedMatrix::from_rows(&x, 32);
-        let t = grow_level_wise(&m, &grads_for(&y), (0..x.len()).collect(), &[0, 1], &params());
-        let leaf_cover: f64 = t.nodes().iter().filter(|n| n.is_leaf()).map(|n| n.cover).sum();
+        let t = grow_level_wise(
+            &m,
+            &grads_for(&y),
+            (0..x.len()).collect(),
+            &[0, 1],
+            &params(),
+        );
+        let leaf_cover: f64 = t
+            .nodes()
+            .iter()
+            .filter(|n| n.is_leaf())
+            .map(|n| n.cover)
+            .sum();
         assert!((leaf_cover - x.len() as f64).abs() < 1e-9);
         assert!((t.nodes()[0].cover - x.len() as f64).abs() < 1e-9);
     }

@@ -26,7 +26,14 @@ pub struct Node {
 impl Node {
     /// A leaf with the given value and cover.
     pub fn leaf(value: f64, cover: f64) -> Node {
-        Node { feature: 0, threshold: 0.0, left: -1, right: -1, value, cover }
+        Node {
+            feature: 0,
+            threshold: 0.0,
+            left: -1,
+            right: -1,
+            value,
+            cover,
+        }
     }
 
     /// True if this node is a leaf.
@@ -62,7 +69,9 @@ impl Tree {
 
     /// A single-leaf (constant) tree.
     pub fn constant(value: f64, cover: f64) -> Tree {
-        Tree { nodes: vec![Node::leaf(value, cover)] }
+        Tree {
+            nodes: vec![Node::leaf(value, cover)],
+        }
     }
 
     /// All nodes; index 0 is the root.
@@ -106,14 +115,22 @@ impl Tree {
             if n.is_leaf() {
                 return n.value;
             }
-            i = if x[n.feature as usize] <= n.threshold { n.left as usize } else { n.right as usize };
+            i = if x[n.feature as usize] <= n.threshold {
+                n.left as usize
+            } else {
+                n.right as usize
+            };
         }
     }
 
     /// Set of features used by splits in this tree.
     pub fn used_features(&self) -> Vec<u32> {
-        let mut feats: Vec<u32> =
-            self.nodes.iter().filter(|n| !n.is_leaf()).map(|n| n.feature).collect();
+        let mut feats: Vec<u32> = self
+            .nodes
+            .iter()
+            .filter(|n| !n.is_leaf())
+            .map(|n| n.feature)
+            .collect();
         feats.sort_unstable();
         feats.dedup();
         feats
@@ -127,9 +144,23 @@ mod tests {
     /// x0 <= 1.0 ? 10 : (x1 <= 5.0 ? 20 : 30)
     pub(crate) fn stump2() -> Tree {
         Tree::new(vec![
-            Node { feature: 0, threshold: 1.0, left: 1, right: 2, value: 0.0, cover: 10.0 },
+            Node {
+                feature: 0,
+                threshold: 1.0,
+                left: 1,
+                right: 2,
+                value: 0.0,
+                cover: 10.0,
+            },
             Node::leaf(10.0, 4.0),
-            Node { feature: 1, threshold: 5.0, left: 3, right: 4, value: 0.0, cover: 6.0 },
+            Node {
+                feature: 1,
+                threshold: 5.0,
+                left: 3,
+                right: 4,
+                value: 0.0,
+                cover: 6.0,
+            },
             Node::leaf(20.0, 3.0),
             Node::leaf(30.0, 3.0),
         ])

@@ -59,7 +59,11 @@ pub fn e2e(tuned: bool, base: &StorageConfig) -> AppRun {
                 },
             ],
         );
-        AppRun { label: "e2e-untuned".into(), spec, storage: base.clone() }
+        AppRun {
+            label: "e2e-untuned".into(),
+            spec,
+            storage: base.clone(),
+        }
     } else {
         // Grid resized to (1024, 64, 32) so each rank's data is contiguous;
         // collective buffering funnels it through 8 aggregators writing
@@ -82,10 +86,17 @@ pub fn e2e(tuned: bool, base: &StorageConfig) -> AppRun {
                         ),
                     ],
                 },
-                crate::ops::RankGroup { n_ranks: 64 - aggregators, script: vec![] },
+                crate::ops::RankGroup {
+                    n_ranks: 64 - aggregators,
+                    script: vec![],
+                },
             ],
         };
-        AppRun { label: "e2e-tuned".into(), spec, storage: base.clone() }
+        AppRun {
+            label: "e2e-tuned".into(),
+            spec,
+            storage: base.clone(),
+        }
     }
 }
 
@@ -104,19 +115,30 @@ pub fn openpmd(tuned: bool, base: &StorageConfig) -> AppRun {
             nprocs,
             vec![
                 OpBlock::Open { count: 1 },
-                OpBlock::transfer(ReadWrite::Write, MIB, mesh_bytes / MIB, AccessLayout::Consecutive),
+                OpBlock::transfer(
+                    ReadWrite::Write,
+                    MIB,
+                    mesh_bytes / MIB,
+                    AccessLayout::Consecutive,
+                ),
                 OpBlock::Transfer {
                     kind: ReadWrite::Write,
                     size: particle_chunk,
                     count: particle_chunks,
-                    layout: AccessLayout::Strided { stride: particle_chunk * nprocs as u64 },
+                    layout: AccessLayout::Strided {
+                        stride: particle_chunk * nprocs as u64,
+                    },
                     seek_before_each: false,
                     fsync_after_each: false,
                     mem_aligned: true,
                 },
             ],
         );
-        AppRun { label: "openpmd-untuned".into(), spec, storage: base.clone() }
+        AppRun {
+            label: "openpmd-untuned".into(),
+            spec,
+            storage: base.clone(),
+        }
     } else {
         // OPENPMD_HDF5_INDEPENDENT off + 4 MiB stripe: collective buffering
         // merges the particle writes into the mesh stream.
@@ -135,7 +157,11 @@ pub fn openpmd(tuned: bool, base: &StorageConfig) -> AppRun {
             ],
         );
         let storage = base.clone().with_stripe(base.stripe_width, 4 * MIB);
-        AppRun { label: "openpmd-tuned".into(), spec, storage }
+        AppRun {
+            label: "openpmd-tuned".into(),
+            spec,
+            storage,
+        }
     }
 }
 
@@ -159,14 +185,20 @@ pub fn vpic(tuned: bool, base: &StorageConfig) -> AppRun {
                     kind: ReadWrite::Write,
                     size: 64 * 1024,
                     count: per_rank_bytes / (64 * 1024),
-                    layout: AccessLayout::Strided { stride: 64 * 1024 * nprocs as u64 + 4096 },
+                    layout: AccessLayout::Strided {
+                        stride: 64 * 1024 * nprocs as u64 + 4096,
+                    },
                     seek_before_each: false,
                     fsync_after_each: false,
                     mem_aligned: true,
                 },
             ],
         );
-        AppRun { label: "vpic-untuned".into(), spec, storage: base.clone() }
+        AppRun {
+            label: "vpic-untuned".into(),
+            spec,
+            storage: base.clone(),
+        }
     } else {
         let spec = JobSpec::uniform(
             "vpic",
@@ -182,7 +214,11 @@ pub fn vpic(tuned: bool, base: &StorageConfig) -> AppRun {
             ],
         );
         let storage = base.clone().with_stripe(8, base.stripe_size);
-        AppRun { label: "vpic-tuned".into(), spec, storage }
+        AppRun {
+            label: "vpic-tuned".into(),
+            spec,
+            storage,
+        }
     }
 }
 
@@ -211,7 +247,11 @@ pub fn ml_training(tuned: bool, base: &StorageConfig) -> AppRun {
                 },
             ],
         );
-        AppRun { label: "ml-train-untuned".into(), spec, storage: base.clone() }
+        AppRun {
+            label: "ml-train-untuned".into(),
+            spec,
+            storage: base.clone(),
+        }
     } else {
         let total = sample_bytes * samples_per_worker;
         let spec = JobSpec::uniform(
@@ -219,10 +259,19 @@ pub fn ml_training(tuned: bool, base: &StorageConfig) -> AppRun {
             workers,
             vec![
                 OpBlock::Open { count: 1 },
-                OpBlock::transfer(ReadWrite::Read, MIB, total.div_ceil(MIB), AccessLayout::Consecutive),
+                OpBlock::transfer(
+                    ReadWrite::Read,
+                    MIB,
+                    total.div_ceil(MIB),
+                    AccessLayout::Consecutive,
+                ),
             ],
         );
-        AppRun { label: "ml-train-tuned".into(), spec, storage: base.clone() }
+        AppRun {
+            label: "ml-train-tuned".into(),
+            spec,
+            storage: base.clone(),
+        }
     }
 }
 
@@ -239,7 +288,9 @@ pub fn dassa(tuned: bool, base: &StorageConfig) -> AppRun {
             "dassa",
             workers,
             vec![
-                OpBlock::Open { count: minute_files + 1 },
+                OpBlock::Open {
+                    count: minute_files + 1,
+                },
                 OpBlock::transfer(
                     ReadWrite::Read,
                     MIB,
@@ -248,7 +299,11 @@ pub fn dassa(tuned: bool, base: &StorageConfig) -> AppRun {
                 ),
             ],
         );
-        AppRun { label: "dassa-untuned".into(), spec, storage: base.clone() }
+        AppRun {
+            label: "dassa-untuned".into(),
+            spec,
+            storage: base.clone(),
+        }
     } else {
         // Minute files merged into one; a single open per worker.
         let spec = JobSpec::uniform(
@@ -264,7 +319,11 @@ pub fn dassa(tuned: bool, base: &StorageConfig) -> AppRun {
                 ),
             ],
         );
-        AppRun { label: "dassa-tuned".into(), spec, storage: base.clone() }
+        AppRun {
+            label: "dassa-tuned".into(),
+            spec,
+            storage: base.clone(),
+        }
     }
 }
 
@@ -287,7 +346,10 @@ mod tests {
         // separation, not the exact factor.
         let untuned = perf(&e2e(false, &quiet()));
         let tuned = perf(&e2e(true, &quiet()));
-        assert!(tuned > 30.0 * untuned, "untuned={untuned:.2} tuned={tuned:.2}");
+        assert!(
+            tuned > 30.0 * untuned,
+            "untuned={untuned:.2} tuned={tuned:.2}"
+        );
         assert!(untuned < 20.0, "untuned should be slow, got {untuned:.2}");
     }
 
@@ -372,6 +434,9 @@ mod tests {
         assert!(lu.counters.get(CounterId::PosixSizeWrite100_1k) > 0.0);
         assert_eq!(lt.counters.get(CounterId::PosixSizeWrite100_1k), 0.0);
         // Tuned run records the larger stripe.
-        assert_eq!(lt.counters.get(CounterId::LustreStripeSize), (4 * MIB) as f64);
+        assert_eq!(
+            lt.counters.get(CounterId::LustreStripeSize),
+            (4 * MIB) as f64
+        );
     }
 }

@@ -89,7 +89,10 @@ impl StorageConfig {
     /// Same as [`Self::cori_like`] but with zero noise — used by tests and
     /// by experiments that need exact reproducibility of a single run.
     pub fn cori_like_quiet() -> Self {
-        Self { noise_sigma: 0.0, ..Self::cori_like() }
+        Self {
+            noise_sigma: 0.0,
+            ..Self::cori_like()
+        }
     }
 
     /// Override the stripe settings (the OpenPMD tuning knob).

@@ -394,8 +394,16 @@ mod tests {
             )
         };
         let consec = s.performance_of(&mk(AccessLayout::Consecutive), 0);
-        let strided = s.performance_of(&mk(AccessLayout::Strided { stride: 1024 * 1024 + 17 }), 0);
-        assert!(consec > 10.0 * strided, "consec={consec:.2} strided={strided:.2}");
+        let strided = s.performance_of(
+            &mk(AccessLayout::Strided {
+                stride: 1024 * 1024 + 17,
+            }),
+            0,
+        );
+        assert!(
+            consec > 10.0 * strided,
+            "consec={consec:.2} strided={strided:.2}"
+        );
     }
 
     #[test]
@@ -419,9 +427,17 @@ mod tests {
             )
         };
         let consec = s.performance_of(&mk(AccessLayout::Consecutive), 0);
-        let strided = s.performance_of(&mk(AccessLayout::Strided { stride: 1024 * 1024 + 17 }), 0);
+        let strided = s.performance_of(
+            &mk(AccessLayout::Strided {
+                stride: 1024 * 1024 + 17,
+            }),
+            0,
+        );
         assert!(consec >= strided, "consec={consec:.2} strided={strided:.2}");
-        assert!(consec < 1.5 * strided, "should be within 50%: consec={consec:.2} strided={strided:.2}");
+        assert!(
+            consec < 1.5 * strided,
+            "should be within 50%: consec={consec:.2} strided={strided:.2}"
+        );
     }
 
     #[test]
@@ -449,11 +465,19 @@ mod tests {
         let spec = JobSpec::uniform(
             "bw",
             256,
-            vec![OpBlock::transfer(ReadWrite::Write, MIB, 64, AccessLayout::Consecutive)],
+            vec![OpBlock::transfer(
+                ReadWrite::Write,
+                MIB,
+                64,
+                AccessLayout::Consecutive,
+            )],
         );
         let p_narrow = narrow.performance_of(&spec, 0);
         let p_wide = wide.performance_of(&spec, 0);
-        assert!(p_wide > 2.0 * p_narrow, "narrow={p_narrow:.2} wide={p_wide:.2}");
+        assert!(
+            p_wide > 2.0 * p_narrow,
+            "narrow={p_narrow:.2} wide={p_wide:.2}"
+        );
     }
 
     #[test]
@@ -492,8 +516,7 @@ mod tests {
         // 1 RPC on 4 MiB stripes, so the wide-stripe config is faster even
         // with a single OST.
         let small_stripe = Simulator::new(StorageConfig::cori_like_quiet());
-        let big_stripe =
-            Simulator::new(StorageConfig::cori_like_quiet().with_stripe(1, 4 * MIB));
+        let big_stripe = Simulator::new(StorageConfig::cori_like_quiet().with_stripe(1, 4 * MIB));
         let spec = JobSpec::uniform(
             "span",
             64,
@@ -509,7 +532,10 @@ mod tests {
         );
         let p_small = small_stripe.performance_of(&spec, 0);
         let p_big = big_stripe.performance_of(&spec, 0);
-        assert!(p_big > p_small, "small-stripe {p_small:.2} big-stripe {p_big:.2}");
+        assert!(
+            p_big > p_small,
+            "small-stripe {p_small:.2} big-stripe {p_big:.2}"
+        );
     }
 
     #[test]
@@ -539,9 +565,15 @@ mod tests {
     fn unaligned_strided_ops_counted() {
         let s = sim();
         // Stride of 1 MiB + 17 is never aligned after the first op.
-        assert_eq!(s.unaligned_ops(100, 1024, AccessLayout::Strided { stride: MIB + 17 }), 99);
+        assert_eq!(
+            s.unaligned_ops(100, 1024, AccessLayout::Strided { stride: MIB + 17 }),
+            99
+        );
         // Stride exactly 1 MiB is always aligned.
-        assert_eq!(s.unaligned_ops(100, 1024, AccessLayout::Strided { stride: MIB }), 0);
+        assert_eq!(
+            s.unaligned_ops(100, 1024, AccessLayout::Strided { stride: MIB }),
+            0
+        );
         assert_eq!(s.unaligned_ops(100, 1024, AccessLayout::Random), 100);
     }
 }

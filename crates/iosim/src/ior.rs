@@ -80,10 +80,10 @@ impl std::error::Error for IorParseError {}
 /// Parse an IOR-style size literal: `1k`, `4m`, `512`, `2g`.
 pub fn parse_size(s: &str) -> Result<u64, IorParseError> {
     let s = s.trim().to_ascii_lowercase();
-    if s.is_empty() {
+    let Some(last) = s.chars().last() else {
         return Err(IorParseError("empty size".into()));
-    }
-    let (digits, mult) = match s.chars().last().unwrap() {
+    };
+    let (digits, mult) = match last {
         'k' => (&s[..s.len() - 1], 1024u64),
         'm' => (&s[..s.len() - 1], 1024 * 1024),
         'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
@@ -172,7 +172,9 @@ impl IorConfig {
             // and across segments are strided by nprocs * block. With
             // t == b (the paper's §4.1.3 setup) every access is strided.
             if self.transfer_size == self.block_size {
-                AccessLayout::Strided { stride: self.nprocs as u64 * self.block_size }
+                AccessLayout::Strided {
+                    stride: self.nprocs as u64 * self.block_size,
+                }
             } else {
                 AccessLayout::Consecutive
             }
@@ -220,7 +222,10 @@ impl IorConfig {
         if self.read {
             s.push_str("-r");
         }
-        s.push_str(&format!("-t{}-b{}-s{}", self.transfer_size, self.block_size, self.segments));
+        s.push_str(&format!(
+            "-t{}-b{}-s{}",
+            self.transfer_size, self.block_size, self.segments
+        ));
         if self.random_offset {
             s.push_str("-z");
         }
@@ -316,10 +321,7 @@ mod tests {
     #[test]
     fn strided_layout_when_t_equals_b_with_segments() {
         let cfg = table3::fig9();
-        assert_eq!(
-            cfg.layout(),
-            AccessLayout::Strided { stride: 256 * 1024 }
-        );
+        assert_eq!(cfg.layout(), AccessLayout::Strided { stride: 256 * 1024 });
         assert_eq!(cfg.ops_per_rank(), 1024);
     }
 
@@ -354,7 +356,10 @@ mod tests {
         let orig = sim.performance_of(&table3::fig8a().to_spec(), 0);
         let patched = sim.performance_of(&table3::fig8b().to_spec(), 0);
         assert!(patched > 1.2 * orig, "orig={orig:.2} patched={patched:.2}");
-        assert!(patched < 5.0 * orig, "speedup should be moderate, not orders of magnitude");
+        assert!(
+            patched < 5.0 * orig,
+            "speedup should be moderate, not orders of magnitude"
+        );
     }
 
     #[test]

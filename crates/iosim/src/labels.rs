@@ -94,7 +94,10 @@ impl CostBreakdown {
             (BottleneckClass::Metadata, self.metadata_time),
             (BottleneckClass::SyncSmallWrites, self.sync_write_overhead),
             (BottleneckClass::SmallRpcReads, self.read_rpc_overhead),
-            (BottleneckClass::StridedBufferedWrites, self.buffered_write_rpc_overhead),
+            (
+                BottleneckClass::StridedBufferedWrites,
+                self.buffered_write_rpc_overhead,
+            ),
             (BottleneckClass::UnalignedAccess, self.unaligned_penalty),
             (BottleneckClass::BandwidthBound, self.bandwidth_time),
         ]
@@ -104,7 +107,7 @@ impl CostBreakdown {
     pub fn dominant(&self) -> BottleneckClass {
         self.components()
             .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(c, _)| c)
             .unwrap_or(BottleneckClass::BandwidthBound)
     }
@@ -134,9 +137,7 @@ pub fn cost_breakdown(spec: &JobSpec, config: &StorageConfig) -> CostBreakdown {
         for block in &group.script {
             match *block {
                 OpBlock::Open { count } => b.metadata_time += n * count as f64 * c.open_cost,
-                OpBlock::Fileno { count } => {
-                    b.metadata_time += n * count as f64 * c.client_syscall
-                }
+                OpBlock::Fileno { count } => b.metadata_time += n * count as f64 * c.client_syscall,
                 OpBlock::Stat { count } => b.metadata_time += n * count as f64 * c.stat_cost,
                 OpBlock::Seek { count } => group_seek += count as f64 * c.seek_cost,
                 OpBlock::Fsync { count } => {
@@ -170,8 +171,7 @@ pub fn cost_breakdown(spec: &JobSpec, config: &StorageConfig) -> CostBreakdown {
                                 }
                                 _ => {
                                     let split = size.div_ceil(c.stripe_size).max(1);
-                                    b.read_rpc_overhead +=
-                                        nf * split as f64 * c.read_rpc_base;
+                                    b.read_rpc_overhead += nf * split as f64 * c.read_rpc_base;
                                     b.unaligned_penalty += unaligned * c.unaligned_extra;
                                 }
                             }
@@ -180,10 +180,9 @@ pub fn cost_breakdown(spec: &JobSpec, config: &StorageConfig) -> CostBreakdown {
                             b.bandwidth_time += bytes / c.aggregate_write_bw();
                             if fsync_after_each {
                                 let split = size.div_ceil(c.stripe_size).max(1);
-                                b.sync_write_overhead += nf
-                                    * split as f64
-                                    * (c.write_rpc_base + c.sync_write_extra)
-                                    + nf * c.fsync_cost;
+                                b.sync_write_overhead +=
+                                    nf * split as f64 * (c.write_rpc_base + c.sync_write_extra)
+                                        + nf * c.fsync_cost;
                                 b.unaligned_penalty += unaligned * c.unaligned_extra;
                             } else {
                                 match layout {
@@ -237,7 +236,10 @@ mod tests {
             BottleneckClass::SyncSmallWrites,
             "Fig. 7a is a sync-small-write pathology"
         );
-        assert_eq!(ground_truth(&table3::fig8a().to_spec(), &q), BottleneckClass::Seeks);
+        assert_eq!(
+            ground_truth(&table3::fig8a().to_spec(), &q),
+            BottleneckClass::Seeks
+        );
         assert_eq!(
             ground_truth(&table3::fig9().to_spec(), &q),
             BottleneckClass::SyncSmallWrites
@@ -264,7 +266,10 @@ mod tests {
         let b_large = cost_breakdown(&spec, &q);
         let ratio_small = b_small.sync_write_overhead / b_small.bandwidth_time;
         let ratio_large = b_large.sync_write_overhead / b_large.bandwidth_time;
-        assert!(ratio_small > 50.0 * ratio_large, "{ratio_small} vs {ratio_large}");
+        assert!(
+            ratio_small > 50.0 * ratio_large,
+            "{ratio_small} vs {ratio_large}"
+        );
     }
 
     #[test]
@@ -272,8 +277,14 @@ mod tests {
         let q = quiet();
         let untuned = apps::dassa(false, &q);
         let tuned = apps::dassa(true, &q);
-        assert_eq!(ground_truth(&untuned.spec, &untuned.storage), BottleneckClass::Metadata);
-        assert_ne!(ground_truth(&tuned.spec, &tuned.storage), BottleneckClass::Metadata);
+        assert_eq!(
+            ground_truth(&untuned.spec, &untuned.storage),
+            BottleneckClass::Metadata
+        );
+        assert_ne!(
+            ground_truth(&tuned.spec, &tuned.storage),
+            BottleneckClass::Metadata
+        );
     }
 
     #[test]

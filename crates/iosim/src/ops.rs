@@ -108,7 +108,10 @@ impl JobSpec {
     /// Job where every rank runs the same `script`.
     pub fn uniform(app: impl Into<String>, n_ranks: u32, script: Vec<OpBlock>) -> Self {
         assert!(n_ranks >= 1, "a job needs at least one rank");
-        Self { app: app.into(), groups: vec![RankGroup { n_ranks, script }] }
+        Self {
+            app: app.into(),
+            groups: vec![RankGroup { n_ranks, script }],
+        }
     }
 
     /// Total number of ranks.
@@ -150,9 +153,17 @@ mod tests {
             groups: vec![
                 RankGroup {
                     n_ranks: 2,
-                    script: vec![OpBlock::transfer(ReadWrite::Read, 100, 1, AccessLayout::Random)],
+                    script: vec![OpBlock::transfer(
+                        ReadWrite::Read,
+                        100,
+                        1,
+                        AccessLayout::Random,
+                    )],
                 },
-                RankGroup { n_ranks: 3, script: vec![] },
+                RankGroup {
+                    n_ranks: 3,
+                    script: vec![],
+                },
             ],
         };
         assert_eq!(spec.nprocs(), 5);
@@ -168,6 +179,9 @@ mod tests {
     #[test]
     fn block_bytes_only_counts_transfers() {
         assert_eq!(OpBlock::Open { count: 10 }.bytes(), 0);
-        assert_eq!(OpBlock::transfer(ReadWrite::Write, 3, 7, AccessLayout::Consecutive).bytes(), 21);
+        assert_eq!(
+            OpBlock::transfer(ReadWrite::Write, 3, 7, AccessLayout::Consecutive).bytes(),
+            21
+        );
     }
 }

@@ -5,7 +5,7 @@
 use crate::config::StorageConfig;
 use crate::ops::{AccessLayout, JobSpec, OpBlock, ReadWrite};
 use aiio_darshan::{CounterId, CounterSet};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Greatest common divisor (Euclid); `gcd(0, 0)` is defined as 1 so callers
 /// can divide by the result.
@@ -54,14 +54,15 @@ fn random_strides(size: u64) -> [u64; 4] {
 /// Accumulates counters while walking one rank's script.
 #[derive(Debug, Default)]
 struct RankCounters {
-    counters: HashMap<CounterId, f64>,
-    strides: HashMap<u64, u64>,
-    access_sizes: HashMap<u64, u64>,
+    counters: BTreeMap<CounterId, f64>,
+    strides: BTreeMap<u64, u64>,
+    access_sizes: BTreeMap<u64, u64>,
     last_kind: Option<ReadWrite>,
 }
 
 impl RankCounters {
     fn add(&mut self, id: CounterId, v: f64) {
+        // xtask-allow: AIIO-F001 — exact-zero adds are skipped to keep logs sparse
         if v != 0.0 {
             *self.counters.entry(id).or_insert(0.0) += v;
         }
@@ -165,8 +166,8 @@ impl RankCounters {
 /// configuration (the config supplies the stripe/alignment settings).
 pub fn record_counters(spec: &JobSpec, config: &StorageConfig) -> CounterSet {
     let mut total = CounterSet::new();
-    let mut strides: HashMap<u64, u64> = HashMap::new();
-    let mut access_sizes: HashMap<u64, u64> = HashMap::new();
+    let mut strides: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut access_sizes: BTreeMap<u64, u64> = BTreeMap::new();
 
     for group in &spec.groups {
         let mut rc = RankCounters::default();
@@ -278,7 +279,12 @@ mod tests {
         let spec = JobSpec::uniform(
             "s",
             1,
-            vec![OpBlock::transfer(ReadWrite::Write, 1024, 101, AccessLayout::Strided { stride: 4096 })],
+            vec![OpBlock::transfer(
+                ReadWrite::Write,
+                1024,
+                101,
+                AccessLayout::Strided { stride: 4096 },
+            )],
         );
         let c = record_counters(&spec, &cfg());
         assert_eq!(c.get(CounterId::PosixStride1Stride), 4096.0);
@@ -293,7 +299,12 @@ mod tests {
         let spec = JobSpec::uniform(
             "r",
             1,
-            vec![OpBlock::transfer(ReadWrite::Read, 1024, 41, AccessLayout::Random)],
+            vec![OpBlock::transfer(
+                ReadWrite::Read,
+                1024,
+                41,
+                AccessLayout::Random,
+            )],
         );
         let c = record_counters(&spec, &cfg());
         assert!(c.get(CounterId::PosixStride1Count) > 0.0);
@@ -377,7 +388,13 @@ mod tests {
         let c = record_counters(&spec, &config);
         assert_eq!(c.get(CounterId::Nprocs), 7.0);
         assert_eq!(c.get(CounterId::LustreStripeWidth), 4.0);
-        assert_eq!(c.get(CounterId::LustreStripeSize), (4 * crate::config::MIB) as f64);
-        assert_eq!(c.get(CounterId::PosixFileAlignment), (4 * crate::config::MIB) as f64);
+        assert_eq!(
+            c.get(CounterId::LustreStripeSize),
+            (4 * crate::config::MIB) as f64
+        );
+        assert_eq!(
+            c.get(CounterId::PosixFileAlignment),
+            (4 * crate::config::MIB) as f64
+        );
     }
 }

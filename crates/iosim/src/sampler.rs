@@ -39,7 +39,11 @@ pub struct SamplerConfig {
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        Self { n_jobs: 4096, seed: 7, noise_sigma: 0.03 }
+        Self {
+            n_jobs: 4096,
+            seed: 7,
+            noise_sigma: 0.03,
+        }
     }
 }
 
@@ -90,9 +94,17 @@ impl DatabaseSampler {
 
     /// Generate one job plus its ground-truth label.
     pub fn generate_labeled_job(&self, job_id: u64) -> (JobLog, BottleneckClass) {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(job_id));
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(job_id),
+        );
         let (spec, storage) = sample_workload(&mut rng);
-        let storage = StorageConfig { noise_sigma: self.config.noise_sigma, ..storage };
+        let storage = StorageConfig {
+            noise_sigma: self.config.noise_sigma,
+            ..storage
+        };
         let year = sample_year(&mut rng);
         let label = ground_truth(&spec, &storage);
         let log = Simulator::new(storage).simulate(&spec, job_id, year, rng.gen());
@@ -132,13 +144,19 @@ pub fn sample_workload(rng: &mut impl Rng) -> (JobSpec, StorageConfig) {
 
     let mut script = Vec::new();
     let opens = log_uniform(rng, 1.0, 64.0) as u64;
-    script.push(OpBlock::Open { count: opens.max(1) });
+    script.push(OpBlock::Open {
+        count: opens.max(1),
+    });
     if rng.gen_bool(0.4) {
         // Middleware stacks (HDF5 etc.) call fileno; plain POSIX apps don't.
-        script.push(OpBlock::Fileno { count: rng.gen_range(1..=opens.max(1)) });
+        script.push(OpBlock::Fileno {
+            count: rng.gen_range(1..=opens.max(1)),
+        });
     }
     if rng.gen_bool(0.3) {
-        script.push(OpBlock::Stat { count: rng.gen_range(1..=32) });
+        script.push(OpBlock::Stat {
+            count: rng.gen_range(1..=32),
+        });
     }
 
     fn push_phase<R: Rng>(rng: &mut R, kind: ReadWrite) -> OpBlock {
@@ -148,7 +166,9 @@ pub fn sample_workload(rng: &mut impl Rng) -> (JobSpec, StorageConfig) {
             0 | 1 => AccessLayout::Consecutive,
             2 => {
                 let mult = rng.gen_range(2..=64) as u64;
-                AccessLayout::Strided { stride: size.saturating_mul(mult).max(size + 1) }
+                AccessLayout::Strided {
+                    stride: size.saturating_mul(mult).max(size + 1),
+                }
             }
             _ => AccessLayout::Random,
         };
@@ -182,7 +202,9 @@ pub fn sample_workload(rng: &mut impl Rng) -> (JobSpec, StorageConfig) {
         script.push(b);
     }
     if rng.gen_bool(0.15) {
-        script.push(OpBlock::Seek { count: rng.gen_range(1..=256) });
+        script.push(OpBlock::Seek {
+            count: rng.gen_range(1..=256),
+        });
     }
 
     let family = if do_write && do_read {
@@ -202,7 +224,7 @@ fn sample_storage(rng: &mut impl Rng) -> StorageConfig {
         base
     } else {
         let width = 1u32 << rng.gen_range(0..=3); // 1..8 OSTs
-        let size = (64 * 1024) << rng.gen_range(0..=7); // 64 KiB..8 MiB
+        let size = (64u64 * 1024) << rng.gen_range(0..=7); // 64 KiB..8 MiB
         base.with_stripe(width, size)
     }
 }
@@ -214,7 +236,11 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = SamplerConfig { n_jobs: 32, seed: 11, noise_sigma: 0.03 };
+        let cfg = SamplerConfig {
+            n_jobs: 32,
+            seed: 11,
+            noise_sigma: 0.03,
+        };
         let a = DatabaseSampler::new(cfg.clone()).generate();
         let b = DatabaseSampler::new(cfg).generate();
         assert_eq!(a, b);
@@ -222,14 +248,29 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = DatabaseSampler::new(SamplerConfig { n_jobs: 16, seed: 1, noise_sigma: 0.0 }).generate();
-        let b = DatabaseSampler::new(SamplerConfig { n_jobs: 16, seed: 2, noise_sigma: 0.0 }).generate();
+        let a = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 16,
+            seed: 1,
+            noise_sigma: 0.0,
+        })
+        .generate();
+        let b = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 16,
+            seed: 2,
+            noise_sigma: 0.0,
+        })
+        .generate();
         assert_ne!(a, b);
     }
 
     #[test]
     fn jobs_have_positive_performance_and_ids() {
-        let db = DatabaseSampler::new(SamplerConfig { n_jobs: 64, seed: 3, noise_sigma: 0.0 }).generate();
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 64,
+            seed: 3,
+            noise_sigma: 0.0,
+        })
+        .generate();
         assert_eq!(db.len(), 64);
         for (i, j) in db.jobs().iter().enumerate() {
             assert_eq!(j.job_id, i as u64);
@@ -241,14 +282,24 @@ mod tests {
     #[test]
     fn database_is_sparse_like_the_paper() {
         // Paper §3.1: average sparsity 0.2379 (~10 of 45 counters zero).
-        let db = DatabaseSampler::new(SamplerConfig { n_jobs: 256, seed: 5, noise_sigma: 0.0 }).generate();
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 256,
+            seed: 5,
+            noise_sigma: 0.0,
+        })
+        .generate();
         let s = db.average_sparsity();
         assert!(s > 0.1 && s < 0.7, "sparsity {s} out of plausible range");
     }
 
     #[test]
     fn years_cover_table1_range() {
-        let db = DatabaseSampler::new(SamplerConfig { n_jobs: 512, seed: 9, noise_sigma: 0.0 }).generate();
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 512,
+            seed: 9,
+            noise_sigma: 0.0,
+        })
+        .generate();
         let years = db.year_summaries();
         assert_eq!(years.len(), 4);
         assert!(years.iter().all(|y| (2019..=2022).contains(&y.year)));
@@ -260,7 +311,12 @@ mod tests {
     #[test]
     fn performance_spans_multiple_orders_of_magnitude() {
         // Fig. 4/5 shape: performance spread over a wide range.
-        let db = DatabaseSampler::new(SamplerConfig { n_jobs: 256, seed: 13, noise_sigma: 0.0 }).generate();
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 256,
+            seed: 13,
+            noise_sigma: 0.0,
+        })
+        .generate();
         let perfs: Vec<f64> = db.jobs().iter().map(|j| j.performance_mib_s()).collect();
         let max = perfs.iter().copied().fold(0.0f64, f64::max);
         let min = perfs.iter().copied().fold(f64::INFINITY, f64::min);
@@ -269,7 +325,11 @@ mod tests {
 
     #[test]
     fn labeled_generation_matches_unlabeled_and_covers_classes() {
-        let cfg = SamplerConfig { n_jobs: 256, seed: 5, noise_sigma: 0.0 };
+        let cfg = SamplerConfig {
+            n_jobs: 256,
+            seed: 5,
+            noise_sigma: 0.0,
+        };
         let (db, labels) = DatabaseSampler::new(cfg.clone()).generate_labeled();
         assert_eq!(db, DatabaseSampler::new(cfg).generate());
         assert_eq!(labels.len(), db.len());
@@ -280,7 +340,12 @@ mod tests {
 
     #[test]
     fn mixed_jobs_record_rw_switches() {
-        let db = DatabaseSampler::new(SamplerConfig { n_jobs: 256, seed: 21, noise_sigma: 0.0 }).generate();
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 256,
+            seed: 21,
+            noise_sigma: 0.0,
+        })
+        .generate();
         let with_switch = db
             .jobs()
             .iter()

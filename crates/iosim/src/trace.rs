@@ -33,14 +33,21 @@ pub struct TraceError {
 
 impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
 impl std::error::Error for TraceError {}
 
 fn err(line: usize, message: impl Into<String>) -> TraceError {
-    TraceError { line, message: message.into() }
+    TraceError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parse a workload trace into a [`JobSpec`] named `app`.
@@ -55,7 +62,7 @@ pub fn parse_trace(app: &str, text: &str) -> Result<JobSpec, TraceError> {
             continue;
         }
         let mut tok = line.split_whitespace();
-        let op = tok.next().expect("nonempty line has a token");
+        let Some(op) = tok.next() else { continue };
         match op {
             "ranks" => {
                 if let Some(g) = current.take() {
@@ -69,7 +76,10 @@ pub fn parse_trace(app: &str, text: &str) -> Result<JobSpec, TraceError> {
                 if n == 0 {
                     return Err(err(lineno, "rank count must be positive"));
                 }
-                current = Some(RankGroup { n_ranks: n, script: Vec::new() });
+                current = Some(RankGroup {
+                    n_ranks: n,
+                    script: Vec::new(),
+                });
             }
             "open" | "fileno" | "stat" | "seek" | "fsyncs" => {
                 let count: u64 = tok
@@ -91,14 +101,19 @@ pub fn parse_trace(app: &str, text: &str) -> Result<JobSpec, TraceError> {
                     .push(block);
             }
             "read" | "write" => {
-                let kind = if op == "read" { ReadWrite::Read } else { ReadWrite::Write };
+                let kind = if op == "read" {
+                    ReadWrite::Read
+                } else {
+                    ReadWrite::Write
+                };
                 let size: u64 = tok
                     .next()
                     .ok_or_else(|| err(lineno, "transfer needs a size"))?
                     .parse()
                     .map_err(|e| err(lineno, format!("bad size: {e}")))?;
-                let count_tok =
-                    tok.next().ok_or_else(|| err(lineno, "transfer needs xCOUNT"))?;
+                let count_tok = tok
+                    .next()
+                    .ok_or_else(|| err(lineno, "transfer needs xCOUNT"))?;
                 let count: u64 = count_tok
                     .strip_prefix('x')
                     .ok_or_else(|| err(lineno, "count must be written as x<count>"))?
@@ -107,8 +122,9 @@ pub fn parse_trace(app: &str, text: &str) -> Result<JobSpec, TraceError> {
                 if size == 0 || count == 0 {
                     return Err(err(lineno, "size and count must be positive"));
                 }
-                let layout_tok =
-                    tok.next().ok_or_else(|| err(lineno, "transfer needs a layout"))?;
+                let layout_tok = tok
+                    .next()
+                    .ok_or_else(|| err(lineno, "transfer needs a layout"))?;
                 let mut rest: Vec<&str> = tok.collect();
                 let layout = match layout_tok {
                     "consecutive" => AccessLayout::Consecutive,
@@ -164,7 +180,10 @@ pub fn parse_trace(app: &str, text: &str) -> Result<JobSpec, TraceError> {
     if groups.is_empty() {
         return Err(err(0, "trace defines no rank groups"));
     }
-    Ok(JobSpec { app: app.to_string(), groups })
+    Ok(JobSpec {
+        app: app.to_string(),
+        groups,
+    })
 }
 
 /// Emit a [`JobSpec`] in the trace format (inverse of [`parse_trace`]).
@@ -190,7 +209,11 @@ pub fn to_trace(spec: &JobSpec) -> String {
                 } => {
                     let mut line = format!(
                         "{} {size} x{count} ",
-                        if kind == ReadWrite::Read { "read" } else { "write" }
+                        if kind == ReadWrite::Read {
+                            "read"
+                        } else {
+                            "write"
+                        }
                     );
                     match layout {
                         AccessLayout::Consecutive => line.push_str("consecutive"),
@@ -238,7 +261,14 @@ stat 4
         assert_eq!(spec.groups.len(), 2);
         assert_eq!(spec.groups[0].script.len(), 3);
         match &spec.groups[0].script[1] {
-            OpBlock::Transfer { kind, size, count, layout, fsync_after_each, .. } => {
+            OpBlock::Transfer {
+                kind,
+                size,
+                count,
+                layout,
+                fsync_after_each,
+                ..
+            } => {
                 assert_eq!(*kind, ReadWrite::Write);
                 assert_eq!(*size, 1024);
                 assert_eq!(*count, 1024);
@@ -283,8 +313,8 @@ stat 4
     fn parsed_trace_simulates() {
         let text = "ranks 16\nopen 1\nwrite 4096 x256 consecutive fsync\n";
         let spec = parse_trace("sim", text).unwrap();
-        let perf = crate::Simulator::new(crate::StorageConfig::cori_like_quiet())
-            .performance_of(&spec, 0);
+        let perf =
+            crate::Simulator::new(crate::StorageConfig::cori_like_quiet()).performance_of(&spec, 0);
         assert!(perf > 0.0);
     }
 }

@@ -66,7 +66,7 @@ pub fn sparsemax(z: &[f64]) -> Vec<f64> {
     // Sort descending, find the support size via the threshold condition
     // 1 + j*z_(j) > Σ_{i<=j} z_(i).
     let mut sorted: Vec<f64> = z.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("NaN passed to sparsemax"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let mut cumsum = 0.0;
     let mut support = 0;
     let mut support_sum = 0.0;
@@ -92,8 +92,13 @@ pub fn sparsemax_jvp(p: &[f64], g: &[f64]) -> Vec<f64> {
     if k == 0 {
         return vec![0.0; p.len()];
     }
-    let mean_g: f64 =
-        g.iter().zip(&support).filter(|(_, &s)| s).map(|(&x, _)| x).sum::<f64>() / k as f64;
+    let mean_g: f64 = g
+        .iter()
+        .zip(&support)
+        .filter(|(_, &s)| s)
+        .map(|(&x, _)| x)
+        .sum::<f64>()
+        / k as f64;
     g.iter()
         .zip(&support)
         .map(|(&gi, &s)| if s { gi - mean_g } else { 0.0 })

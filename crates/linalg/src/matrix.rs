@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix from a flat row-major buffer.
@@ -45,7 +49,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows passed to Matrix::from_rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -137,6 +145,7 @@ impl Matrix {
             .for_each(|(i, out_row)| {
                 let a_row = self.row(i);
                 for (k, &a) in a_row.iter().enumerate() {
+                    // xtask-allow: AIIO-F001 — exact-zero skip: sparse rows shortcut, correct for any nonzero
                     if a == 0.0 {
                         continue;
                     }
@@ -163,7 +172,11 @@ impl Matrix {
     /// Elementwise map into a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Matrix {
         let data = self.data.iter().map(|&x| f(x)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise map in place.
@@ -176,14 +189,31 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "zip_map shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "zip_map shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Add `other` scaled by `alpha` into `self` (axpy).
     pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -278,7 +308,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
         let c = a.matmul(&b);
-        assert_eq!(c, Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]));
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]])
+        );
     }
 
     #[test]
@@ -333,7 +366,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, -2.0]]);
         assert_eq!(a.map(f64::abs), Matrix::from_rows(&[vec![1.0, 2.0]]));
         let b = Matrix::from_rows(&[vec![3.0, 3.0]]);
-        assert_eq!(a.zip_map(&b, |x, y| x * y), Matrix::from_rows(&[vec![3.0, -6.0]]));
+        assert_eq!(
+            a.zip_map(&b, |x, y| x * y),
+            Matrix::from_rows(&[vec![3.0, -6.0]])
+        );
     }
 
     #[test]

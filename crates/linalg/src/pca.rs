@@ -43,6 +43,7 @@ impl Pca {
         for row in data {
             for i in 0..d {
                 let di = row[i] - mean[i];
+                // xtask-allow: AIIO-F001 — exact-zero skip: sparse deviations shortcut
                 if di == 0.0 {
                     continue;
                 }
@@ -86,7 +87,11 @@ impl Pca {
             components.row_mut(c).copy_from_slice(&v);
             explained.push(eigenvalue);
         }
-        Pca { mean, components, explained_variance: explained }
+        Pca {
+            mean,
+            components,
+            explained_variance: explained,
+        }
     }
 
     /// Project one sample into the component space.
@@ -94,7 +99,14 @@ impl Pca {
         assert_eq!(row.len(), self.mean.len(), "dimension mismatch");
         let centered: Vec<f64> = row.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
         (0..self.components.rows())
-            .map(|c| self.components.row(c).iter().zip(&centered).map(|(a, b)| a * b).sum())
+            .map(|c| {
+                self.components
+                    .row(c)
+                    .iter()
+                    .zip(&centered)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
             .collect()
     }
 

@@ -17,7 +17,10 @@ impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolveError::NotPositiveDefinite => {
-                write!(f, "matrix is not positive definite (rank-deficient design?)")
+                write!(
+                    f,
+                    "matrix is not positive definite (rank-deficient design?)"
+                )
             }
             SolveError::DimensionMismatch => write!(f, "inconsistent dimensions"),
         }
@@ -106,12 +109,14 @@ pub fn weighted_least_squares(
     let mut xtwy = vec![0.0; p];
     for i in 0..n {
         let w = weights[i];
+        // xtask-allow: AIIO-F001 — exact-zero skip: zero-weight rows contribute nothing
         if w == 0.0 {
             continue;
         }
         let row = x.row(i);
         for a in 0..p {
             let wa = w * row[a];
+            // xtask-allow: AIIO-F001 — exact-zero skip: zero terms contribute nothing
             if wa == 0.0 {
                 continue;
             }
@@ -130,6 +135,7 @@ pub fn weighted_least_squares(
     }
     match cholesky_solve(&xtwx, &xtwy) {
         Ok(beta) => Ok(beta),
+        // xtask-allow: AIIO-F001 — ridge = 0.0 is an exact config sentinel, not arithmetic
         Err(SolveError::NotPositiveDefinite) if ridge == 0.0 => {
             let trace: f64 = (0..p).map(|i| xtwx[(i, i)]).sum();
             let jitter = 1e-8 * (trace / p.max(1) as f64).max(1.0);
@@ -191,7 +197,9 @@ mod tests {
             vec![1.0, 1.0],
             vec![2.0, -1.0],
         ]);
-        let y: Vec<f64> = (0..x.rows()).map(|i| 3.0 * x[(i, 0)] - 2.0 * x[(i, 1)]).collect();
+        let y: Vec<f64> = (0..x.rows())
+            .map(|i| 3.0 * x[(i, 0)] - 2.0 * x[(i, 1)])
+            .collect();
         let beta = ridge_regression(&x, &y, 0.0).unwrap();
         approx(&beta, &[3.0, -2.0], 1e-10);
     }
@@ -205,8 +213,9 @@ mod tests {
             vec![1.0, 1.0],
             vec![5.0, 5.0],
         ]);
-        let mut y: Vec<f64> =
-            (0..x.rows()).map(|i| 3.0 * x[(i, 0)] - 2.0 * x[(i, 1)]).collect();
+        let mut y: Vec<f64> = (0..x.rows())
+            .map(|i| 3.0 * x[(i, 0)] - 2.0 * x[(i, 1)])
+            .collect();
         y[3] = 1e6;
         let w = vec![1.0, 1.0, 1.0, 0.0];
         let beta = weighted_least_squares(&x, &y, &w, 0.0).unwrap();
@@ -230,7 +239,9 @@ mod tests {
         let y = vec![2.0, 4.0, 6.0];
         let beta = ridge_regression(&x, &y, 0.0).unwrap();
         // The two coefficients split the slope; their sum predicts y.
-        let pred: Vec<f64> = (0..3).map(|i| x.row(i).iter().zip(&beta).map(|(a, b)| a * b).sum()).collect();
+        let pred: Vec<f64> = (0..3)
+            .map(|i| x.row(i).iter().zip(&beta).map(|(a, b)| a * b).sum())
+            .collect();
         approx(&pred, &y, 1e-3);
     }
 
@@ -241,6 +252,9 @@ mod tests {
             weighted_least_squares(&x, &[1.0; 2], &[1.0; 3], 0.0),
             Err(SolveError::DimensionMismatch)
         );
-        assert_eq!(cholesky_solve(&Matrix::identity(2), &[1.0; 3]), Err(SolveError::DimensionMismatch));
+        assert_eq!(
+            cholesky_solve(&Matrix::identity(2), &[1.0; 3]),
+            Err(SolveError::DimensionMismatch)
+        );
     }
 }

@@ -16,7 +16,11 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
 pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len(), "mae length mismatch");
     assert!(!pred.is_empty(), "mae of empty slice");
-    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Arithmetic mean; 0 for an empty slice.
@@ -49,7 +53,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile level out of range");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -77,6 +81,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
         vx += (x - mx) * (x - mx);
         vy += (y - my) * (y - my);
     }
+    // xtask-allow: AIIO-F001 — only exactly-constant input is degenerate for correlation
     if vx == 0.0 || vy == 0.0 {
         0.0
     } else {
@@ -101,6 +106,7 @@ pub fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
     let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
     let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
     let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    // xtask-allow: AIIO-F001 — only exactly-zero vectors lack a cosine direction
     if na == 0.0 || nb == 0.0 {
         1.0
     } else {

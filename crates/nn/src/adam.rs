@@ -22,7 +22,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with the usual defaults and the given learning rate.
     pub fn new(lr: f64) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: vec![], m: vec![], v: vec![] }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: vec![],
+            m: vec![],
+            v: vec![],
+        }
     }
 
     /// Apply one update to parameter slot `slot`.
@@ -40,14 +48,20 @@ impl Adam {
             self.m[slot] = vec![0.0; params.len()];
             self.v[slot] = vec![0.0; params.len()];
         }
-        assert_eq!(self.m[slot].len(), params.len(), "slot {slot} reused with new shape");
+        assert_eq!(
+            self.m[slot].len(),
+            params.len(),
+            "slot {slot} reused with new shape"
+        );
         self.t[slot] += 1;
         let t = self.t[slot] as f64;
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);
         let (m, v) = (&mut self.m[slot], &mut self.v[slot]);
-        for ((p, &g), (mi, vi)) in
-            params.iter_mut().zip(grads).zip(m.iter_mut().zip(v.iter_mut()))
+        for ((p, &g), (mi, vi)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(m.iter_mut().zip(v.iter_mut()))
         {
             *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
             *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;

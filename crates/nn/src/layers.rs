@@ -26,8 +26,16 @@ impl Dense {
     /// He-initialised dense layer.
     pub fn new(inputs: usize, outputs: usize, rng: &mut impl Rng) -> Dense {
         let scale = (2.0 / inputs as f64).sqrt();
-        let w = Matrix::from_fn(inputs, outputs, |_, _| (rng.gen::<f64>() * 2.0 - 1.0) * scale);
-        Dense { w, b: vec![0.0; outputs], gw: None, gb: vec![], x_cache: None }
+        let w = Matrix::from_fn(inputs, outputs, |_, _| {
+            (rng.gen::<f64>() * 2.0 - 1.0) * scale
+        });
+        Dense {
+            w,
+            b: vec![0.0; outputs],
+            gw: None,
+            gb: vec![],
+            x_cache: None,
+        }
     }
 
     pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
@@ -55,7 +63,6 @@ impl Dense {
         self.gb = gb;
         dy.matmul(&self.w.transpose())
     }
-
 }
 
 /// ReLU activation.
@@ -176,8 +183,7 @@ impl BatchNorm {
             let sum_dy_xhat = ggamma[j];
             let k = self.gamma[j] * cache.std_inv[j] / n;
             for i in 0..dy.rows() {
-                dx[(i, j)] =
-                    k * (n * dy[(i, j)] - sum_dy - cache.x_hat[(i, j)] * sum_dy_xhat);
+                dx[(i, j)] = k * (n * dy[(i, j)] - sum_dy - cache.x_hat[(i, j)] * sum_dy_xhat);
             }
         }
         self.ggamma = ggamma;
@@ -201,6 +207,7 @@ impl Dropout {
     }
 
     pub fn forward(&mut self, x: &Matrix, train: bool, rng: &mut impl Rng) -> Matrix {
+        // xtask-allow: AIIO-F001 — p = 0.0 is an exact config sentinel (dropout disabled)
         if !train || self.p == 0.0 {
             self.mask = None;
             return x.clone();
@@ -321,7 +328,12 @@ mod tests {
         let mut bn = BatchNorm::new(2);
         bn.gamma = vec![1.3, 0.7];
         bn.beta = vec![0.1, -0.2];
-        let x = Matrix::from_rows(&[vec![0.5, -1.0], vec![1.5, 0.3], vec![-0.7, 2.0], vec![0.1, 0.9]]);
+        let x = Matrix::from_rows(&[
+            vec![0.5, -1.0],
+            vec![1.5, 0.3],
+            vec![-0.7, 2.0],
+            vec![0.1, 0.9],
+        ]);
         // Loss = sum of squares of output / 2 → dL/dy = y.
         let y = bn.forward(&x, true);
         let dx = bn.backward(&y);

@@ -48,7 +48,11 @@ impl MlpConfig {
 
     /// A small architecture for tests and quick experiments.
     pub fn small() -> Self {
-        Self { hidden: vec![32, 16], max_epochs: 300, ..Self::paper() }
+        Self {
+            hidden: vec![32, 16],
+            max_epochs: 300,
+            ..Self::paper()
+        }
     }
 }
 
@@ -100,7 +104,12 @@ impl Mlp {
             inputs = h;
         }
         let head = Dense::new(inputs, 1, &mut rng);
-        let mut model = Mlp { config: config.clone(), blocks, head, history: vec![] };
+        let mut model = Mlp {
+            config: config.clone(),
+            blocks,
+            head,
+            history: vec![],
+        };
 
         let mut adam = Adam::new(config.learning_rate);
         let mut order: Vec<usize> = (0..x.len()).collect();
@@ -111,7 +120,8 @@ impl Mlp {
         for epoch in 0..config.max_epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(config.batch_size.max(1)) {
-                let xb = Matrix::from_rows(&chunk.iter().map(|&i| x[i].clone()).collect::<Vec<_>>());
+                let xb =
+                    Matrix::from_rows(&chunk.iter().map(|&i| x[i].clone()).collect::<Vec<_>>());
                 let yb: Vec<f64> = chunk.iter().map(|&i| y[i]).collect();
                 let pred = model.forward(&xb, true, &mut rng);
                 // MSE loss: dL/dpred = 2 (pred - y) / batch.
@@ -122,7 +132,11 @@ impl Mlp {
             }
             let train_rmse = rmse(&model.predict(x), y);
             let valid_rmse = valid.map(|(vx, vy)| rmse(&model.predict(vx), vy));
-            model.history.push(EpochRecord { epoch, train_rmse, valid_rmse });
+            model.history.push(EpochRecord {
+                epoch,
+                train_rmse,
+                valid_rmse,
+            });
             if let Some(v) = valid_rmse {
                 if v < best_valid {
                     best_valid = v;
@@ -241,14 +255,21 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..n)
             .map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect())
             .collect();
-        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - r[1] + 0.5 * r[2] * r[3]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 2.0 * r[0] - r[1] + 0.5 * r[2] * r[3])
+            .collect();
         (x, y)
     }
 
     #[test]
     fn learns_a_smooth_function() {
         let (x, y) = linearish(600, 1);
-        let cfg = MlpConfig { max_epochs: 120, dropout: 0.0, ..MlpConfig::small() };
+        let cfg = MlpConfig {
+            max_epochs: 120,
+            dropout: 0.0,
+            ..MlpConfig::small()
+        };
         let m = Mlp::fit(&cfg, &x, &y, None);
         let err = rmse(&m.predict(&x), &y);
         let spread = {
@@ -262,7 +283,11 @@ mod tests {
     fn early_stopping_halts_training() {
         let (x, y) = linearish(300, 2);
         let (vx, vy) = linearish(100, 3);
-        let cfg = MlpConfig { max_epochs: 500, early_stopping: 3, ..MlpConfig::small() };
+        let cfg = MlpConfig {
+            max_epochs: 500,
+            early_stopping: 3,
+            ..MlpConfig::small()
+        };
         let m = Mlp::fit(&cfg, &x, &y, Some((&vx, &vy)));
         assert!(m.history().len() < 500, "ran all epochs");
     }
@@ -272,7 +297,10 @@ mod tests {
         let cfg = MlpConfig::paper();
         assert_eq!(cfg.hidden, vec![90, 89, 69, 49, 29, 9]);
         let (x, y) = linearish(64, 4);
-        let cfg = MlpConfig { max_epochs: 1, ..cfg };
+        let cfg = MlpConfig {
+            max_epochs: 1,
+            ..cfg
+        };
         let m = Mlp::fit(&cfg, &x, &y, None);
         assert_eq!(m.layer_widths(), vec![90, 89, 69, 49, 29, 9, 1]);
     }
@@ -280,7 +308,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = linearish(128, 5);
-        let cfg = MlpConfig { max_epochs: 5, ..MlpConfig::small() };
+        let cfg = MlpConfig {
+            max_epochs: 5,
+            ..MlpConfig::small()
+        };
         let a = Mlp::fit(&cfg, &x, &y, None);
         let b = Mlp::fit(&cfg, &x, &y, None);
         assert_eq!(a.predict(&x), b.predict(&x));
@@ -289,7 +320,10 @@ mod tests {
     #[test]
     fn predict_is_pure() {
         let (x, y) = linearish(64, 6);
-        let cfg = MlpConfig { max_epochs: 3, ..MlpConfig::small() };
+        let cfg = MlpConfig {
+            max_epochs: 3,
+            ..MlpConfig::small()
+        };
         let m = Mlp::fit(&cfg, &x, &y, None);
         assert_eq!(m.predict(&x), m.predict(&x));
     }
@@ -297,7 +331,11 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let (x, y) = linearish(400, 7);
-        let cfg = MlpConfig { max_epochs: 60, dropout: 0.0, ..MlpConfig::small() };
+        let cfg = MlpConfig {
+            max_epochs: 60,
+            dropout: 0.0,
+            ..MlpConfig::small()
+        };
         let m = Mlp::fit(&cfg, &x, &y, None);
         let h = m.history();
         assert!(h.last().unwrap().train_rmse < 0.7 * h[0].train_rmse);

@@ -64,7 +64,13 @@ impl Default for TabNetConfig {
 impl TabNetConfig {
     /// Small variant for tests.
     pub fn small() -> Self {
-        Self { n_steps: 2, d_hidden: 16, n_d: 8, n_a: 8, ..Self::default() }
+        Self {
+            n_steps: 2,
+            d_hidden: 16,
+            n_d: 8,
+            n_a: 8,
+            ..Self::default()
+        }
     }
 }
 
@@ -177,13 +183,18 @@ impl TabNet {
         for epoch in 0..config.max_epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(config.batch_size.max(1)) {
-                let xb = Matrix::from_rows(&chunk.iter().map(|&i| x[i].clone()).collect::<Vec<_>>());
+                let xb =
+                    Matrix::from_rows(&chunk.iter().map(|&i| x[i].clone()).collect::<Vec<_>>());
                 let yb: Vec<f64> = chunk.iter().map(|&i| y[i]).collect();
                 model.train_batch(&xb, &yb, &mut adam);
             }
             let train_rmse = rmse(&model.predict(x), y);
             let valid_rmse = valid.map(|(vx, vy)| rmse(&model.predict(vx), vy));
-            model.history.push(EpochRecord { epoch, train_rmse, valid_rmse });
+            model.history.push(EpochRecord {
+                epoch,
+                train_rmse,
+                valid_rmse,
+            });
             if let Some(v) = valid_rmse {
                 if v < best_valid {
                     best_valid = v;
@@ -225,7 +236,12 @@ impl TabNet {
             // Mask = rowwise sparsemax(z * prior).
             let mut mask = Matrix::zeros(n, d_in);
             for i in 0..n {
-                let zi: Vec<f64> = z.row(i).iter().zip(prior.row(i)).map(|(a, b)| a * b).collect();
+                let zi: Vec<f64> = z
+                    .row(i)
+                    .iter()
+                    .zip(prior.row(i))
+                    .map(|(a, b)| a * b)
+                    .collect();
                 mask.row_mut(i).copy_from_slice(&sparsemax(&zi));
             }
             let xm = x.zip_map(&mask, |a, b| a * b);
@@ -280,7 +296,9 @@ impl TabNet {
             }
         }
         // dL/dagg_d (same for every step's decision output).
-        let d_agg = Matrix::from_fn(x.rows(), self.config.n_d, |i, j| dpred[i] * self.head_w[(j, 0)]);
+        let d_agg = Matrix::from_fn(x.rows(), self.config.n_d, |i, j| {
+            dpred[i] * self.head_w[(j, 0)]
+        });
 
         // Per-step parameter gradients, walking steps in reverse.
         struct StepGrads {
@@ -420,7 +438,12 @@ impl TabNet {
             add_bias(&mut z, &step.attn_b);
             let mut mask = Matrix::zeros(n, d_in);
             for i in 0..n {
-                let zi: Vec<f64> = z.row(i).iter().zip(prior.row(i)).map(|(a, b)| a * b).collect();
+                let zi: Vec<f64> = z
+                    .row(i)
+                    .iter()
+                    .zip(prior.row(i))
+                    .map(|(a, b)| a * b)
+                    .collect();
                 mask.row_mut(i).copy_from_slice(&sparsemax(&zi));
             }
             for i in 0..n {
@@ -470,7 +493,10 @@ mod tests {
     #[test]
     fn learns_a_sparse_linear_target() {
         let (x, y) = data(800, 1);
-        let cfg = TabNetConfig { max_epochs: 80, ..TabNetConfig::small() };
+        let cfg = TabNetConfig {
+            max_epochs: 80,
+            ..TabNetConfig::small()
+        };
         let m = TabNet::fit(&cfg, &x, &y, None);
         let err = rmse(&m.predict(&x), &y);
         let spread = {
@@ -503,7 +529,11 @@ mod tests {
 
         let loss = |m: &TabNet| -> f64 {
             let p = m.predict(&x);
-            p.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / y.len() as f64
+            p.iter()
+                .zip(&y)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / y.len() as f64
         };
 
         // Analytic gradient of ft_w[0] of step 0 via a single SGD-like probe:
@@ -538,7 +568,10 @@ mod tests {
     #[test]
     fn training_reduces_loss_substantially() {
         let (x, y) = data(600, 3);
-        let cfg = TabNetConfig { max_epochs: 60, ..TabNetConfig::small() };
+        let cfg = TabNetConfig {
+            max_epochs: 60,
+            ..TabNetConfig::small()
+        };
         let m = TabNet::fit(&cfg, &x, &y, None);
         let h = m.history();
         assert!(
@@ -552,7 +585,10 @@ mod tests {
     #[test]
     fn masks_are_a_distribution_and_favour_informative_features() {
         let (x, y) = data(800, 5);
-        let cfg = TabNetConfig { max_epochs: 60, ..TabNetConfig::small() };
+        let cfg = TabNetConfig {
+            max_epochs: 60,
+            ..TabNetConfig::small()
+        };
         let m = TabNet::fit(&cfg, &x, &y, None);
         let masks = m.feature_masks(&x[..64]);
         assert_eq!(masks.len(), 6);
@@ -570,7 +606,11 @@ mod tests {
     fn early_stopping_halts() {
         let (x, y) = data(300, 7);
         let (vx, vy) = data(100, 8);
-        let cfg = TabNetConfig { max_epochs: 400, early_stopping: 3, ..TabNetConfig::small() };
+        let cfg = TabNetConfig {
+            max_epochs: 400,
+            early_stopping: 3,
+            ..TabNetConfig::small()
+        };
         let m = TabNet::fit(&cfg, &x, &y, Some((&vx, &vy)));
         assert!(m.history().len() < 400);
     }
@@ -578,7 +618,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = data(128, 9);
-        let cfg = TabNetConfig { max_epochs: 5, ..TabNetConfig::small() };
+        let cfg = TabNetConfig {
+            max_epochs: 5,
+            ..TabNetConfig::small()
+        };
         let a = TabNet::fit(&cfg, &x, &y, None);
         let b = TabNet::fit(&cfg, &x, &y, None);
         assert_eq!(a.predict(&x), b.predict(&x));

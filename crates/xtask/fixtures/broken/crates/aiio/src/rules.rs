@@ -1,0 +1,8 @@
+//! Fixture diagnosis rules: cover every counter except `OrphanCounter`,
+//! so the counter-schema lint must report AIIO-C004 for that variant.
+
+use crate::counters::CounterId;
+
+pub fn rule_counters() -> [CounterId; 3] {
+    [CounterId::PosixReads, CounterId::PosixWrites, CounterId::GhostCounter]
+}

@@ -1,0 +1,23 @@
+//! Deliberately broken counter schema for lint tests.
+//!
+//! Defects, each of which must be caught:
+//! * `N_COUNTERS` says 5 but only 4 variants exist        (AIIO-C001)
+//! * discriminant 3 is skipped (`OrphanCounter = 4`)      (AIIO-C001)
+//! * `OrphanCounter` is missing from `ALL`                (AIIO-C001)
+//! * `GhostCounter` is never emitted by the recorder      (AIIO-C002)
+//! * `OrphanCounter` is never referenced by diagnosis     (AIIO-C004)
+
+pub const N_COUNTERS: usize = 5;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterId {
+    PosixReads = 0,
+    PosixWrites = 1,
+    GhostCounter = 2,
+    OrphanCounter = 4,
+}
+
+impl CounterId {
+    pub const ALL: [CounterId; 3] =
+        [CounterId::PosixReads, CounterId::PosixWrites, CounterId::GhostCounter];
+}

@@ -1,0 +1,6 @@
+//! Fixture feature pipeline: hand-picks two columns instead of consuming
+//! the dense `CounterId::ALL` vector, so AIIO-C003 must fire.
+
+pub fn feature_row(reads: f64, writes: f64) -> Vec<f64> {
+    vec![reads, writes]
+}

@@ -1,0 +1,52 @@
+//! Fixture explainer: one deliberate violation per remaining lint.
+
+use std::collections::HashMap;
+
+pub struct Attribution {
+    pub values: Vec<f64>,
+    pub expected: f64,
+}
+
+// AIIO-S001: returns an Attribution without routing through sparsity_mask.
+pub fn unmasked_explain(x: &[f64], background: &[f64]) -> Attribution {
+    let values: Vec<f64> = x.iter().zip(background).map(|(a, b)| a - b).collect();
+    Attribution { values, expected: 0.0 }
+}
+
+// AIIO-F001: exact comparison against a float literal.
+pub fn is_zero(a: f64) -> bool {
+    a == 0.0
+}
+
+// AIIO-F002: NaN-unsafe comparator.
+pub fn nan_unsafe_sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+// AIIO-D001: iteration over a hash-ordered collection.
+pub fn report_lines() -> Vec<String> {
+    let mut scores: HashMap<String, f64> = HashMap::new();
+    scores.insert("posix_reads".to_string(), 1.0);
+    let mut out = Vec::new();
+    for (k, v) in scores.iter() {
+        out.push(format!("{k}: {v}"));
+    }
+    out
+}
+
+// AIIO-P001: unwrap in library code.
+pub fn first_score(v: &[f64]) -> f64 {
+    v.first().copied().unwrap()
+}
+
+// AIIO-P002: expect in library code.
+pub fn last_score(v: &[f64]) -> f64 {
+    v.last().copied().expect("nonempty scores")
+}
+
+// AIIO-P003: panic in library code.
+pub fn assert_positive(v: f64) {
+    if v < 0.0 {
+        panic!("negative score");
+    }
+}

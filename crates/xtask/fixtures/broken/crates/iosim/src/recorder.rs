@@ -1,0 +1,20 @@
+//! Fixture recorder: emits every counter except `GhostCounter`, so the
+//! counter-schema lint must report AIIO-C002 for that variant.
+
+use crate::counters::CounterId;
+
+#[derive(Default)]
+pub struct Recorder {
+    emitted: Vec<CounterId>,
+}
+
+impl Recorder {
+    pub fn record_read(&mut self) {
+        self.emitted.push(CounterId::PosixReads);
+    }
+
+    pub fn record_write(&mut self) {
+        self.emitted.push(CounterId::PosixWrites);
+        self.emitted.push(CounterId::OrphanCounter);
+    }
+}

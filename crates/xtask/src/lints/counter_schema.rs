@@ -1,0 +1,418 @@
+//! `AIIO-C001..C004` — the Table-4 counter schema must agree across crates.
+//!
+//! The schema has four legs, each in a different crate:
+//!
+//! 1. **Definition** (`darshan::counters`): `CounterId` discriminants must
+//!    be contiguous `0..N_COUNTERS` (they are the feature-vector columns)
+//!    and every variant must appear in the `ALL` ordering (`AIIO-C001`).
+//! 2. **Emission** (`iosim::recorder`): every counter must be producible
+//!    by the simulator, directly or through a `CounterId` helper the
+//!    recorder calls (`AIIO-C002` — defined but never emitted is drift).
+//! 3. **Feature extraction** (`darshan::features`): the pipeline must
+//!    consume the full dense vector (`CounterId::ALL` / `as_slice`), so a
+//!    new counter cannot silently fall out of the model's columns
+//!    (`AIIO-C003`).
+//! 4. **Diagnosis** (`aiio`: rules/advisor/diagnosis): every counter must
+//!    be referenced by at least one static rule or advice mapping —
+//!    otherwise a bottleneck on it could never be explained to the user
+//!    (`AIIO-C004`).
+//!
+//! Emission is checked with a one-level-deep reference closure: helper
+//! functions that the recorder calls on `CounterId` (e.g.
+//! `write_bucket_for`) are resolved against their bodies in `counters.rs`,
+//! transitively, so histogram buckets reached only through `bucket_for`
+//! still count as emitted.
+
+use crate::source::{functions, match_brace, word_present, SourceFile, Workspace};
+use crate::{Finding, Lint};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where each leg of the schema lives, relative to the workspace root.
+#[derive(Debug, Clone)]
+pub struct SchemaPaths {
+    /// The `CounterId` definition.
+    pub counters: &'static str,
+    /// The simulator's counter emission.
+    pub recorder: &'static str,
+    /// The feature pipeline.
+    pub features: &'static str,
+    /// The diagnosis surface: static rules, tuning advice, diagnosis.
+    pub diagnosis: &'static [&'static str],
+}
+
+impl Default for SchemaPaths {
+    fn default() -> Self {
+        SchemaPaths {
+            counters: "crates/darshan/src/counters.rs",
+            recorder: "crates/iosim/src/recorder.rs",
+            features: "crates/darshan/src/features.rs",
+            diagnosis: &[
+                "crates/aiio/src/rules.rs",
+                "crates/aiio/src/advisor.rs",
+                "crates/aiio/src/diagnosis.rs",
+            ],
+        }
+    }
+}
+
+/// The counter-schema consistency pass.
+#[derive(Debug, Default)]
+pub struct CounterSchemaLint {
+    pub paths: SchemaPaths,
+}
+
+/// One parsed `CounterId` variant.
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    discriminant: usize,
+    line: usize,
+}
+
+impl Lint for CounterSchemaLint {
+    fn name(&self) -> &'static str {
+        "counter-schema"
+    }
+
+    fn description(&self) -> &'static str {
+        "CounterId discriminants are contiguous and every counter is defined, emitted, featurized and diagnosable"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let Some(counters) = ws.file(self.paths.counters) else {
+            findings.push(Finding {
+                file: self.paths.counters.to_string(),
+                line: 1,
+                rule: "AIIO-C001",
+                message: "counter schema file not found in workspace".to_string(),
+                hint: "the CounterId definition moved; update SchemaPaths in crates/xtask",
+            });
+            return findings;
+        };
+
+        let variants = parse_variants(counters);
+        let n_counters = parse_n_counters(counters);
+        findings.extend(check_definition(counters, &variants, n_counters));
+
+        // Leg 2: emission.
+        if let Some(recorder) = ws.file(self.paths.recorder) {
+            let emitted = emitted_counters(recorder, counters);
+            for v in &variants {
+                if !emitted.contains(v.name.as_str()) && !counters.is_waived(v.line, "AIIO-C002") {
+                    findings.push(Finding {
+                        file: counters.rel.clone(),
+                        line: v.line,
+                        rule: "AIIO-C002",
+                        message: format!(
+                            "counter `{}` is defined but never emitted by the simulator recorder",
+                            v.name
+                        ),
+                        hint: "record it in iosim::recorder (or a CounterId helper the recorder calls); a counter the simulator cannot produce is schema drift",
+                    });
+                }
+            }
+        }
+
+        // Leg 3: feature extraction must consume the dense vector.
+        if let Some(features) = ws.file(self.paths.features) {
+            let covers_all = features.code.contains("CounterId::ALL")
+                || features.code.contains(".as_slice()")
+                || variants
+                    .iter()
+                    .all(|v| word_present(&features.code, &v.name));
+            if !covers_all {
+                findings.push(Finding {
+                    file: features.rel.clone(),
+                    line: 1,
+                    rule: "AIIO-C003",
+                    message: "feature pipeline does not cover the full counter vector".to_string(),
+                    hint: "iterate CounterId::ALL (or counters.as_slice()) so new counters cannot silently drop out of the feature columns",
+                });
+            }
+        }
+
+        // Leg 4: diagnosis coverage.
+        let diagnosis_text: String = self
+            .paths
+            .diagnosis
+            .iter()
+            .filter_map(|p| ws.file(p))
+            .map(|f| f.code.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        if !diagnosis_text.is_empty() {
+            for v in &variants {
+                if !word_present(&diagnosis_text, &v.name)
+                    && !counters.is_waived(v.line, "AIIO-C004")
+                {
+                    findings.push(Finding {
+                        file: counters.rel.clone(),
+                        line: v.line,
+                        rule: "AIIO-C004",
+                        message: format!(
+                            "counter `{}` is never referenced by a diagnosis rule or advice mapping",
+                            v.name
+                        ),
+                        hint: "reference it from aiio::rules or aiio::advisor — a bottleneck on an unmapped counter cannot be explained to the user",
+                    });
+                }
+            }
+        }
+
+        findings
+    }
+}
+
+/// Parse `Name = <discriminant>,` variants inside `pub enum CounterId`.
+fn parse_variants(file: &SourceFile) -> Vec<Variant> {
+    let Some(body) = item_body(&file.code, "enum CounterId") else {
+        return Vec::new();
+    };
+    let mut variants = Vec::new();
+    for (name, eq_rest, offset) in ident_eq_sites(&file.code[body.clone()]) {
+        let digits: String = eq_rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if let Ok(d) = digits.parse::<usize>() {
+            variants.push(Variant {
+                name,
+                discriminant: d,
+                line: file.line_of(body.start + offset),
+            });
+        }
+    }
+    variants
+}
+
+/// Yield `(identifier, text-after-=, offset)` for `Ident = ...` sites.
+fn ident_eq_sites(text: &str) -> Vec<(String, &str, usize)> {
+    let mut sites = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // An identifier starting with an uppercase letter...
+        if bytes[i].is_ascii_uppercase() && (i == 0 || !is_ident(bytes[i - 1])) {
+            let start = i;
+            while i < bytes.len() && is_ident(bytes[i]) {
+                i += 1;
+            }
+            // ... followed by ` = `.
+            let mut j = i;
+            while j < bytes.len() && bytes[j] == b' ' {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'=' && bytes.get(j + 1) != Some(&b'=') {
+                let mut k = j + 1;
+                while k < bytes.len() && bytes[k] == b' ' {
+                    k += 1;
+                }
+                sites.push((text[start..i].to_string(), &text[k..], start));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    sites
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Contents of the `const ALL` array initializer (the bracket expression
+/// after `=`, not the `[CounterId; N]` type annotation).
+fn all_body(code: &str) -> Option<&str> {
+    let at = code.find("const ALL")?;
+    let eq = at + code[at..].find('=')?;
+    let open = eq + code[eq..].find('[')?;
+    let mut depth = 0usize;
+    for (i, &b) in code.as_bytes().iter().enumerate().skip(open) {
+        match b {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&code[open + 1..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Body byte range of the item whose header contains `marker`.
+fn item_body(code: &str, marker: &str) -> Option<std::ops::Range<usize>> {
+    let at = code.find(marker)?;
+    let open = at + code[at..].find('{')?;
+    let end = match_brace(code.as_bytes(), open)?;
+    Some(open + 1..end - 1)
+}
+
+fn parse_n_counters(file: &SourceFile) -> Option<usize> {
+    let at = file.code.find("const N_COUNTERS")?;
+    let rest = &file.code[at..];
+    let eq = rest.find('=')?;
+    let digits: String = rest[eq + 1..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// `AIIO-C001`: contiguity of discriminants, N_COUNTERS agreement, and
+/// completeness of the `ALL` ordering.
+fn check_definition(
+    counters: &SourceFile,
+    variants: &[Variant],
+    n_counters: Option<usize>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut by_disc: BTreeMap<usize, &Variant> = BTreeMap::new();
+    for v in variants {
+        if let Some(prev) = by_disc.insert(v.discriminant, v) {
+            findings.push(Finding {
+                file: counters.rel.clone(),
+                line: v.line,
+                rule: "AIIO-C001",
+                message: format!(
+                    "duplicate discriminant {}: `{}` collides with `{}`",
+                    v.discriminant, v.name, prev.name
+                ),
+                hint: "discriminants are feature-vector columns; every counter needs its own",
+            });
+        }
+    }
+    for (expect, (&disc, v)) in by_disc.iter().enumerate() {
+        if disc != expect {
+            findings.push(Finding {
+                file: counters.rel.clone(),
+                line: v.line,
+                rule: "AIIO-C001",
+                message: format!(
+                    "discriminant gap: expected {expect} next but found `{}` = {disc}",
+                    v.name
+                ),
+                hint: "keep discriminants contiguous 0..N_COUNTERS — datasets index columns by `CounterId as usize`",
+            });
+            break;
+        }
+    }
+    match n_counters {
+        Some(n) if n != variants.len() => findings.push(Finding {
+            file: counters.rel.clone(),
+            line: 1,
+            rule: "AIIO-C001",
+            message: format!(
+                "N_COUNTERS = {n} but {} variants are defined",
+                variants.len()
+            ),
+            hint: "N_COUNTERS sizes every feature vector; it must equal the variant count",
+        }),
+        None => findings.push(Finding {
+            file: counters.rel.clone(),
+            line: 1,
+            rule: "AIIO-C001",
+            message: "could not find `const N_COUNTERS`".to_string(),
+            hint: "the schema constant moved; update the counter-schema lint",
+        }),
+        _ => {}
+    }
+    if let Some(all_text) = all_body(&counters.code) {
+        for v in variants {
+            if !word_present(all_text, &v.name) {
+                findings.push(Finding {
+                    file: counters.rel.clone(),
+                    line: v.line,
+                    rule: "AIIO-C001",
+                    message: format!("counter `{}` is missing from `CounterId::ALL`", v.name),
+                    hint: "ALL defines the canonical feature order; every variant must appear exactly once",
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// The set of variant names the recorder can emit: literal references in
+/// the recorder plus the transitive closure of `CounterId` helper
+/// functions it calls, resolved against their bodies in `counters.rs`.
+fn emitted_counters(recorder: &SourceFile, counters: &SourceFile) -> BTreeSet<String> {
+    let helper_bodies: BTreeMap<String, &str> = functions(&counters.code)
+        .into_iter()
+        .filter(|f| !f.body.is_empty())
+        .map(|f| {
+            let body = &counters.code[f.body.clone()];
+            (f.name, body)
+        })
+        .collect();
+
+    let mut texts: Vec<&str> = vec![&recorder.code];
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    let mut emitted = BTreeSet::new();
+    while let Some(text) = texts.pop() {
+        // Follow `CounterId::helper(...)` / `Self::helper(...)` / bare
+        // `helper(...)` calls into their bodies in counters.rs. Method
+        // calls (`.helper(`) are excluded so accessors like `name()` do
+        // not make the emission check vacuous.
+        for (name, body) in &helper_bodies {
+            if !visited.contains(name.as_str()) && calls_fn(text, name) {
+                visited.insert(name);
+                texts.push(body);
+            }
+        }
+        // Any UpperCamel identifier reachable from the recorder closure
+        // counts as referenced; membership is checked per-variant later.
+        for ident in upper_idents(text) {
+            emitted.insert(ident);
+        }
+    }
+    emitted
+}
+
+/// Collect UpperCamel identifiers (candidate variant references).
+fn upper_idents(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_uppercase() && (i == 0 || !is_ident(bytes[i - 1])) {
+            let start = i;
+            while i < bytes.len() && is_ident(bytes[i]) {
+                i += 1;
+            }
+            out.push(text[start..i].to_string());
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when `text` contains a call `name(...)` as a free or
+/// `Path::`-qualified function (method calls `.name(` do not count).
+fn calls_fn(text: &str, name: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        from = start + 1;
+        let left_ok = start == 0 || !is_ident(bytes[start - 1]);
+        if !left_ok {
+            continue;
+        }
+        // Exclude method-call receivers: `.name(`.
+        if start > 0 && bytes[start - 1] == b'.' {
+            continue;
+        }
+        let mut j = end;
+        while j < bytes.len() && bytes[j] == b' ' {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b'(' {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,148 @@
+//! `AIIO-D001` — no hash-order iteration in library code.
+//!
+//! Everything in this workspace is seeded: the simulator, the samplers,
+//! the explainers, training. Iterating a `HashMap`/`HashSet` reintroduces
+//! nondeterminism through the back door (`RandomState` is randomly seeded
+//! per process), so feature matrices, report orderings and training sets
+//! built from such iteration differ run to run even with fixed seeds.
+//!
+//! The pass flags iteration over bindings and fields declared with a
+//! hash-based type. Membership-only usage (`insert`/`contains`) is fine
+//! and not flagged. Fixes, in preference order: use `BTreeMap`/`BTreeSet`,
+//! or collect-and-sort before consuming the order.
+
+use crate::source::{SourceFile, Workspace};
+use crate::{Finding, Lint};
+use std::collections::BTreeSet;
+
+/// The determinism pass.
+#[derive(Debug)]
+pub struct DeterminismLint;
+
+impl Lint for DeterminismLint {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "no HashMap/HashSet iteration in library code (hash order breaks seeded reproducibility)"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            let names = hash_bindings(&file.code);
+            if names.is_empty() {
+                continue;
+            }
+            iteration_sites(file, &names, &mut findings);
+        }
+        findings
+    }
+}
+
+/// Names of local bindings and struct fields with a hash-based type.
+fn hash_bindings(code: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in code.lines() {
+        if !(line.contains("HashMap") || line.contains("HashSet")) {
+            continue;
+        }
+        // `let [mut] name ... = HashMap::...` / `let name: HashSet<..>`.
+        if let Some(pos) = line.find("let ") {
+            let rest = line[pos + 4..]
+                .trim_start()
+                .trim_start_matches("mut ")
+                .trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                names.insert(name);
+            }
+            continue;
+        }
+        // Struct fields / fn params: `name: HashMap<...>`.
+        if let Some(colon) = line.find(": Hash") {
+            let before = &line[..colon];
+            let name: String = before
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            if !name.is_empty() {
+                names.insert(name);
+            }
+        }
+    }
+    names
+}
+
+/// Flag `name.iter()`, `name.keys()`, … and `for _ in &name` sites.
+fn iteration_sites(file: &SourceFile, names: &BTreeSet<String>, findings: &mut Vec<Finding>) {
+    const ITER_METHODS: [&str; 7] = [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".drain(",
+        ".into_iter()",
+    ];
+    for name in names {
+        // Method-based iteration, optionally through `self.`.
+        for method in ITER_METHODS {
+            for prefix in ["", "self."] {
+                let needle = format!("{prefix}{name}{method}");
+                let mut from = 0;
+                while let Some(pos) = file.code[from..].find(&needle) {
+                    let at = from + pos;
+                    from = at + needle.len();
+                    if at > 0 {
+                        let prev = file.code.as_bytes()[at - 1];
+                        if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b'.' {
+                            continue;
+                        }
+                    }
+                    push_site(file, at, name, findings);
+                }
+            }
+        }
+        // `for x in &name {` / `for x in name {`.
+        let mut from = 0;
+        while let Some(pos) = file.code[from..].find("for ") {
+            let at = from + pos;
+            from = at + 4;
+            let Some(in_rel) = file.code[at..].find(" in ") else {
+                continue;
+            };
+            let expr_start = at + in_rel + 4;
+            let Some(brace_rel) = file.code[expr_start..].find('{') else {
+                continue;
+            };
+            let expr = file.code[expr_start..expr_start + brace_rel].trim();
+            let expr = expr.trim_start_matches('&').trim_start_matches("mut ");
+            if expr == name || expr == format!("self.{name}") {
+                push_site(file, at, name, findings);
+            }
+        }
+    }
+}
+
+fn push_site(file: &SourceFile, at: usize, name: &str, findings: &mut Vec<Finding>) {
+    let line = file.line_of(at);
+    if file.is_test_code(line) || file.is_waived(line, "AIIO-D001") {
+        return;
+    }
+    findings.push(Finding {
+        file: file.rel.clone(),
+        line,
+        rule: "AIIO-D001",
+        message: format!("iteration over hash-ordered collection `{name}`"),
+        hint: "hash iteration order is random per process and breaks seeded reproducibility; use BTreeMap/BTreeSet or sort before consuming the order",
+    });
+}

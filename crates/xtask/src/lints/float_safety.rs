@@ -1,0 +1,199 @@
+//! `AIIO-F001/F002` — float comparisons that are wrong under NaN or
+//! rounding.
+//!
+//! * `AIIO-F001`: `==` / `!=` against a float literal (or `f64::NAN`,
+//!   which never compares equal). Counter values that are *exactly* zero
+//!   by construction — the sparsity representation — are the one
+//!   legitimate exception and carry inline waivers.
+//! * `AIIO-F002`: `partial_cmp(..).unwrap()` (and `unwrap_or*`)
+//!   comparators. `unwrap` panics on NaN; `unwrap_or(Equal)` silently
+//!   breaks sort transitivity. `f64::total_cmp` is total, NaN-safe and
+//!   allocation-free — use it.
+//!
+//! Both rules scan library code only (the fixtures and tests exercise the
+//! detectors themselves).
+
+use crate::source::{SourceFile, Workspace};
+use crate::{Finding, Lint};
+
+/// The float-safety pass.
+#[derive(Debug)]
+pub struct FloatSafetyLint;
+
+impl Lint for FloatSafetyLint {
+    fn name(&self) -> &'static str {
+        "float-safety"
+    }
+
+    fn description(&self) -> &'static str {
+        "no float-literal ==/!=, no NaN-unsafe partial_cmp().unwrap() comparators"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            float_eq_sites(file, &mut findings);
+            partial_cmp_sites(file, &mut findings);
+        }
+        findings
+    }
+}
+
+/// `AIIO-F001`: `==` / `!=` with a float literal on either side.
+fn float_eq_sites(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let bytes = file.code.as_bytes();
+    for (i, pair) in bytes.windows(2).enumerate() {
+        let op = match pair {
+            b"==" => "==",
+            b"!=" => "!=",
+            _ => continue,
+        };
+        // Skip `===`-like runs (impossible in Rust) and `<=`, `>=`, `=>`.
+        if i > 0 && matches!(bytes[i - 1], b'=' | b'<' | b'>' | b'!') {
+            continue;
+        }
+        if bytes.get(i + 2) == Some(&b'=') {
+            continue;
+        }
+        let lhs_float = token_before(&file.code, i).is_some_and(is_float_token);
+        let rhs_float = token_after(&file.code, i + 2).is_some_and(is_float_token);
+        if !(lhs_float || rhs_float) {
+            continue;
+        }
+        let line = file.line_of(i);
+        if file.is_test_code(line) || file.is_waived(line, "AIIO-F001") {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.rel.clone(),
+            line,
+            rule: "AIIO-F001",
+            message: format!("`{op}` against a float literal"),
+            hint: "compare with a tolerance ((a - b).abs() < eps) or justify exact-zero semantics with `// xtask-allow: AIIO-F001 — reason`",
+        });
+    }
+}
+
+/// `AIIO-F002`: `partial_cmp(...)` whose result is immediately unwrapped.
+fn partial_cmp_sites(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("partial_cmp") {
+        let at = from + pos;
+        from = at + "partial_cmp".len();
+        // Find the call's argument list and skip past it.
+        let Some(open) = code[at..].find('(').map(|o| at + o) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // Whitespace, then `.unwrap` / `.unwrap_or` / `.unwrap_or_else`.
+        let mut k = j + 1;
+        while k < bytes.len() && (bytes[k] as char).is_whitespace() {
+            k += 1;
+        }
+        if !code[k..].starts_with(".unwrap") {
+            continue;
+        }
+        let line = file.line_of(at);
+        if file.is_test_code(line) || file.is_waived(line, "AIIO-F002") {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.rel.clone(),
+            line,
+            rule: "AIIO-F002",
+            message: "NaN-unsafe `partial_cmp(..).unwrap*()` comparator".to_string(),
+            hint: "use f64::total_cmp (total order, NaN-safe): a.total_cmp(&b) — unwrap panics on NaN, unwrap_or(Equal) breaks sort transitivity",
+        });
+    }
+}
+
+/// The token ending just before byte `op` (skipping spaces backwards).
+fn token_before(code: &str, op: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut end = op;
+    while end > 0 && bytes[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && is_token_char(bytes[start - 1]) {
+        start -= 1;
+    }
+    // Reject method/field chains: `x.0 == y` must not read as float `0.`.
+    if start > 0 && (bytes[start - 1] == b'.' || is_token_char(bytes[start - 1])) {
+        return None;
+    }
+    (start < end).then(|| &code[start..end])
+}
+
+/// The token starting at/after byte `after` (skipping spaces and a sign).
+fn token_after(code: &str, after: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut start = after;
+    while start < bytes.len() && bytes[start] == b' ' {
+        start += 1;
+    }
+    if start < bytes.len() && bytes[start] == b'-' {
+        start += 1;
+    }
+    let mut end = start;
+    while end < bytes.len() && is_token_char(bytes[end]) {
+        end += 1;
+    }
+    // Absorb `f64::NAN`-style paths.
+    if code[end..].starts_with("::") {
+        let mut e2 = end + 2;
+        while e2 < bytes.len() && is_token_char(bytes[e2]) {
+            e2 += 1;
+        }
+        end = e2;
+    }
+    (start < end).then(|| &code[start..end])
+}
+
+fn is_token_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'.'
+}
+
+/// `1.0`, `0.5f64`, `1e-3` (with a dot), `f64::NAN`, `f32::INFINITY`.
+fn is_float_token(token: &str) -> bool {
+    if matches!(
+        token,
+        "f64::NAN" | "f32::NAN" | "f64::INFINITY" | "f32::INFINITY" | "f64::NEG_INFINITY"
+    ) {
+        return true;
+    }
+    let body = token
+        .strip_suffix("f64")
+        .or_else(|| token.strip_suffix("f32"))
+        .unwrap_or(token);
+    // Must start with a digit: rejects idents and `.0` tuple-field tails.
+    if !body.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    let mut digits = false;
+    let mut dot = false;
+    for c in body.chars() {
+        match c {
+            '0'..='9' | '_' => digits = true,
+            '.' if !dot => dot = true,
+            _ => return false,
+        }
+    }
+    digits && dot
+}

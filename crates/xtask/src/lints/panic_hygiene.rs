@@ -1,0 +1,184 @@
+//! `AIIO-P001..P003` — no `unwrap()`, `expect()` or panic macros in
+//! library code.
+//!
+//! A diagnosis *service* (the ROADMAP's north star) must degrade
+//! gracefully on malformed logs, not abort; panics in library crates are
+//! therefore forbidden. The pre-existing violations are recorded in a
+//! checked-in ratchet file (`crates/xtask/panic-baseline.txt`): counts may
+//! only go down. New code must use `Result` and contextual errors.
+//!
+//! Rules: `AIIO-P001` = `.unwrap()`, `AIIO-P002` = `.expect(`,
+//! `AIIO-P003` = `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+//! `#[cfg(test)]` items, `tests/`, and `benches/` are allowlisted
+//! (never scanned); `debug_assert*` is deliberately allowed.
+
+use crate::source::{SourceFile, Workspace};
+use crate::{Finding, Lint};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Workspace-relative path of the ratchet file.
+pub const BASELINE_PATH: &str = "crates/xtask/panic-baseline.txt";
+
+/// Counts per `(file, rule)`.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// The panic-hygiene pass.
+#[derive(Debug, Default)]
+pub struct PanicHygieneLint;
+
+/// One raw panic site (before the ratchet is applied).
+#[derive(Debug)]
+pub struct PanicSite {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub what: &'static str,
+}
+
+impl Lint for PanicHygieneLint {
+    fn name(&self) -> &'static str {
+        "panic-hygiene"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic in library code (ratcheted against panic-baseline.txt)"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        let baseline = load_baseline(&ws.root);
+        let sites = scan(ws);
+        let mut counts: Baseline = BTreeMap::new();
+        let mut first_excess: BTreeMap<(String, String), &PanicSite> = BTreeMap::new();
+        for site in &sites {
+            let key = (site.file.clone(), site.rule.to_string());
+            let n = counts.entry(key.clone()).or_insert(0);
+            *n += 1;
+            let allowed = baseline.get(&key).copied().unwrap_or(0);
+            if *n == allowed + 1 {
+                first_excess.insert(key, site);
+            }
+        }
+        let mut findings = Vec::new();
+        for (key, site) in first_excess {
+            let found = counts.get(&key).copied().unwrap_or(0);
+            let allowed = baseline.get(&key).copied().unwrap_or(0);
+            if found > allowed {
+                findings.push(Finding {
+                    file: site.file.clone(),
+                    line: site.line,
+                    rule: site.rule,
+                    message: format!(
+                        "{} in library code: {found} site(s), baseline allows {allowed} (first new site shown)",
+                        site.what
+                    ),
+                    hint: "return Result with a contextual error instead; the baseline only ratchets down (regenerate with `cargo run -p xtask -- check --baseline write` after removing sites)",
+                });
+            }
+        }
+        findings
+    }
+}
+
+/// All panic sites in library code, in file order.
+pub fn scan(ws: &Workspace) -> Vec<PanicSite> {
+    let mut sites = Vec::new();
+    for file in &ws.files {
+        scan_file(file, &mut sites);
+    }
+    sites
+}
+
+fn scan_file(file: &SourceFile, sites: &mut Vec<PanicSite>) {
+    let patterns: [(&str, &str, &str); 6] = [
+        (".unwrap()", "AIIO-P001", "`.unwrap()`"),
+        (".expect(", "AIIO-P002", "`.expect()`"),
+        ("panic!", "AIIO-P003", "`panic!`"),
+        ("unreachable!", "AIIO-P003", "`unreachable!`"),
+        ("todo!", "AIIO-P003", "`todo!`"),
+        ("unimplemented!", "AIIO-P003", "`unimplemented!`"),
+    ];
+    for (pattern, rule, what) in patterns {
+        let mut from = 0;
+        while let Some(pos) = file.code[from..].find(pattern) {
+            let at = from + pos;
+            from = at + pattern.len();
+            // Word boundary on the left (skips e.g. `debug_unreachable!`
+            // and `checked.unwrap()` matching inside longer idents).
+            if at > 0 && pattern.as_bytes()[0] != b'.' {
+                let prev = file.code.as_bytes()[at - 1];
+                if prev.is_ascii_alphanumeric() || prev == b'_' {
+                    continue;
+                }
+            }
+            let line = file.line_of(at);
+            if file.is_test_code(line) || file.is_waived(line, rule) {
+                continue;
+            }
+            sites.push(PanicSite {
+                file: file.rel.clone(),
+                line,
+                rule,
+                what,
+            });
+        }
+    }
+    sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+}
+
+/// Load the ratchet file; missing file means an empty baseline.
+pub fn load_baseline(root: &Path) -> Baseline {
+    let Ok(text) = std::fs::read_to_string(root.join(BASELINE_PATH)) else {
+        return Baseline::new();
+    };
+    let mut baseline = Baseline::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(count), Some(rule), Some(file)) = (parts.next(), parts.next(), parts.next()) {
+            if let Ok(count) = count.parse::<usize>() {
+                baseline.insert((file.to_string(), rule.to_string()), count);
+            }
+        }
+    }
+    baseline
+}
+
+/// Render the current counts as ratchet-file contents.
+pub fn render_baseline(ws: &Workspace) -> String {
+    let mut counts: Baseline = BTreeMap::new();
+    for site in scan(ws) {
+        *counts
+            .entry((site.file, site.rule.to_string()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# Panic-hygiene ratchet: allowed unwrap/expect/panic sites per library file.\n\
+         # Counts may only decrease. Regenerate with:\n\
+         #   cargo run -p xtask -- check --baseline write\n\
+         # format: <count> <rule> <file>\n",
+    );
+    for ((file, rule), count) in &counts {
+        let _ = writeln!(out, "{count} {rule} {file}");
+    }
+    out
+}
+
+/// True when the current tree has fewer sites than the baseline somewhere
+/// (the ratchet can be tightened).
+pub fn can_tighten(ws: &Workspace) -> bool {
+    let baseline = load_baseline(&ws.root);
+    let mut counts: Baseline = BTreeMap::new();
+    for site in scan(ws) {
+        *counts
+            .entry((site.file, site.rule.to_string()))
+            .or_insert(0) += 1;
+    }
+    baseline
+        .iter()
+        .any(|(key, &allowed)| counts.get(key).copied().unwrap_or(0) < allowed)
+}

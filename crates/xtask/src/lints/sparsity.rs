@@ -1,0 +1,87 @@
+//! `AIIO-S001` — every attribution path routes through the sparsity mask.
+//!
+//! The paper's robustness guarantee (§3.3) is that counters absent from a
+//! job's log — zero in both the input and the zero background — receive
+//! exactly zero attribution. The workspace encodes that guarantee in one
+//! place, `aiio_explain::sparsity_mask`, and this pass enforces that every
+//! function returning an `Attribution` in the `explain` and `aiio` crates
+//! either calls that helper or delegates to a function that does.
+//!
+//! Structural explainers whose sparsity argument is different in kind
+//! (path-dependent TreeSHAP attributes only along decision paths) carry an
+//! inline `// xtask-allow: AIIO-S001` waiver stating why.
+
+use crate::source::{functions, Workspace};
+use crate::{Finding, Lint};
+
+/// Crates whose attribution-producing functions are checked.
+const SCOPES: [&str; 2] = ["crates/explain/src/", "crates/aiio/src/"];
+
+/// The blessed routing point.
+const MASK_FN: &str = "sparsity_mask";
+
+/// The sparsity-guarantee pass.
+#[derive(Debug)]
+pub struct SparsityLint;
+
+impl Lint for SparsityLint {
+    fn name(&self) -> &'static str {
+        "sparsity-guarantee"
+    }
+
+    fn description(&self) -> &'static str {
+        "functions returning Attribution route through aiio_explain::sparsity_mask"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            if !SCOPES.iter().any(|s| file.rel.starts_with(s)) {
+                continue;
+            }
+            for f in functions(&file.code) {
+                if !returns_attribution(&f.signature) || f.body.is_empty() {
+                    continue;
+                }
+                let line = file.line_of(f.start);
+                if file.is_test_code(line) || file.is_waived(line, "AIIO-S001") {
+                    continue;
+                }
+                let body = &file.code[f.body.clone()];
+                // Routing through the mask directly, or delegating to
+                // another attribution function (which is itself checked).
+                let routed =
+                    body.contains(MASK_FN) || delegates_to_checked_fn(body, &f.name, &file.code);
+                if !routed {
+                    findings.push(Finding {
+                        file: file.rel.clone(),
+                        line,
+                        rule: "AIIO-S001",
+                        message: format!(
+                            "`{}` returns an Attribution without routing through `{MASK_FN}`",
+                            f.name
+                        ),
+                        hint: "restrict attribution to sparsity_mask(x, background) so zero counters provably get zero attribution, or waive with a stated reason",
+                    });
+                }
+            }
+        }
+        findings
+    }
+}
+
+fn returns_attribution(signature: &str) -> bool {
+    signature
+        .split("->")
+        .nth(1)
+        .is_some_and(|ret| ret.contains("Attribution") && !ret.contains("Vec<"))
+}
+
+/// True when `body` calls another function in this file that itself
+/// returns an `Attribution` — delegation chains end at a checked function.
+fn delegates_to_checked_fn(body: &str, own_name: &str, file_code: &str) -> bool {
+    functions(file_code)
+        .iter()
+        .filter(|f| f.name != own_name && returns_attribution(&f.signature))
+        .any(|f| body.contains(&format!("{}(", f.name)))
+}

@@ -1,0 +1,94 @@
+//! `cargo run -p xtask -- check` — run the workspace invariant suite.
+//!
+//! Exit status is non-zero when any lint reports a finding, so the command
+//! slots directly into CI. `--baseline write` regenerates the
+//! panic-hygiene ratchet file instead of checking.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtask::lints::panic_hygiene;
+use xtask::source::Workspace;
+use xtask::{all_lints, Finding};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    match args.as_slice() {
+        ["check"] => check(&workspace_root()),
+        ["check", "--root", root] => check(Path::new(root)),
+        ["check", "--baseline", "write"] | ["--baseline", "write", "check"] => {
+            write_baseline(&workspace_root())
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- check [--root DIR] [--baseline write]");
+            eprintln!();
+            eprintln!("passes:");
+            for lint in all_lints() {
+                eprintln!("  {:<18} {}", lint.name(), lint.description());
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let raw = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    raw.canonicalize().unwrap_or(raw)
+}
+
+fn check(root: &Path) -> ExitCode {
+    let ws = match Workspace::load(root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xtask: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut findings: Vec<Finding> = Vec::new();
+    for lint in all_lints() {
+        let found = lint.run(&ws);
+        let status = if found.is_empty() { "ok" } else { "FAIL" };
+        println!("{:<18} {:>4}   {}", lint.name(), status, lint.description());
+        findings.extend(found);
+    }
+    if panic_hygiene::can_tighten(&ws) {
+        println!(
+            "note: panic-hygiene sites dropped below the baseline — tighten the ratchet with `cargo run -p xtask -- check --baseline write`"
+        );
+    }
+    if findings.is_empty() {
+        println!(
+            "xtask check: all invariants hold ({} files scanned)",
+            ws.files.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!();
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!();
+    println!("xtask check: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}
+
+fn write_baseline(root: &Path) -> ExitCode {
+    let ws = match Workspace::load(root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xtask: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let contents = panic_hygiene::render_baseline(&ws);
+    let path = root.join(panic_hygiene::BASELINE_PATH);
+    if let Err(e) = std::fs::write(&path, &contents) {
+        eprintln!("xtask: failed to write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    let sites = contents.lines().filter(|l| !l.starts_with('#')).count();
+    println!("wrote {} ({sites} ratchet entries)", path.display());
+    ExitCode::SUCCESS
+}

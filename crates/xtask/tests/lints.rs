@@ -1,0 +1,131 @@
+//! End-to-end lint tests: the broken fixture tree must trip every rule ID
+//! (and fail the CLI with a non-zero exit), while the real workspace must
+//! pass clean.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xtask::source::Workspace;
+use xtask::{all_lints, Finding};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/broken")
+}
+
+fn run_on(root: &Path) -> Vec<Finding> {
+    let ws = Workspace::load(root).expect("scan fixture tree");
+    all_lints().iter().flat_map(|l| l.run(&ws)).collect()
+}
+
+fn rules_fired(findings: &[Finding]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn broken_fixture_trips_every_rule() {
+    let findings = run_on(&fixture_root());
+    let fired = rules_fired(&findings);
+    for rule in [
+        "AIIO-C001",
+        "AIIO-C002",
+        "AIIO-C003",
+        "AIIO-C004",
+        "AIIO-S001",
+        "AIIO-P001",
+        "AIIO-P002",
+        "AIIO-P003",
+        "AIIO-F001",
+        "AIIO-F002",
+        "AIIO-D001",
+    ] {
+        assert!(
+            fired.contains(&rule),
+            "{rule} did not fire; findings:\n{findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn broken_counter_schema_findings_are_specific() {
+    let findings = run_on(&fixture_root());
+    let c001: Vec<&Finding> = findings.iter().filter(|f| f.rule == "AIIO-C001").collect();
+    assert!(
+        c001.iter().any(|f| f.message.contains("discriminant gap")),
+        "missing gap finding: {c001:#?}"
+    );
+    assert!(
+        c001.iter().any(|f| f.message.contains("N_COUNTERS = 5")),
+        "missing N_COUNTERS mismatch: {c001:#?}"
+    );
+    assert!(
+        c001.iter()
+            .any(|f| f.message.contains("missing from `CounterId::ALL`")),
+        "missing ALL-completeness finding: {c001:#?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "AIIO-C002" && f.message.contains("`GhostCounter`")),
+        "GhostCounter not reported as never emitted: {findings:#?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "AIIO-C004" && f.message.contains("`OrphanCounter`")),
+        "OrphanCounter not reported as never diagnosable: {findings:#?}"
+    );
+}
+
+#[test]
+fn broken_fixture_findings_point_at_the_right_files() {
+    let findings = run_on(&fixture_root());
+    let file_of = |rule: &str| -> &str {
+        &findings
+            .iter()
+            .find(|f| f.rule == rule)
+            .map(|f| f.file.as_str())
+            .unwrap_or("<none>")
+    };
+    assert_eq!(file_of("AIIO-S001"), "crates/explain/src/lib.rs");
+    assert_eq!(file_of("AIIO-F001"), "crates/explain/src/lib.rs");
+    assert_eq!(file_of("AIIO-F002"), "crates/explain/src/lib.rs");
+    assert_eq!(file_of("AIIO-D001"), "crates/explain/src/lib.rs");
+    assert_eq!(file_of("AIIO-C002"), "crates/darshan/src/counters.rs");
+    assert_eq!(file_of("AIIO-C003"), "crates/darshan/src/features.rs");
+}
+
+#[test]
+fn cli_fails_on_broken_fixture_with_rule_ids() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["check", "--root"])
+        .arg(fixture_root())
+        .output()
+        .expect("run xtask binary");
+    assert!(
+        !out.status.success(),
+        "xtask check must fail on the broken fixture"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "AIIO-C001",
+        "AIIO-S001",
+        "AIIO-F001",
+        "AIIO-F002",
+        "AIIO-D001",
+    ] {
+        assert!(
+            stdout.contains(rule),
+            "missing {rule} in CLI output:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn clean_workspace_passes() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = xtask::run_all(&root).expect("scan workspace");
+    assert!(findings.is_empty(), "clean tree must pass:\n{findings:#?}");
+}

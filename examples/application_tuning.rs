@@ -11,8 +11,12 @@ use aiio_iosim::apps;
 
 fn main() {
     println!("training AIIO on a synthetic log database...");
-    let db = DatabaseSampler::new(SamplerConfig { n_jobs: 1500, seed: 13, noise_sigma: 0.03 })
-        .generate();
+    let db = DatabaseSampler::new(SamplerConfig {
+        n_jobs: 1500,
+        seed: 13,
+        noise_sigma: 0.03,
+    })
+    .generate();
     let service = AiioService::train(&TrainConfig::fast(), &db);
     let base = StorageConfig::cori_like_quiet();
 
@@ -47,7 +51,12 @@ fn main() {
         let report_u = service.diagnose(&log_u);
         println!("  untuned diagnosis (top bottlenecks):");
         for b in report_u.bottlenecks.iter().take(4) {
-            println!("    {:<28} {:+.4}  (raw {})", b.counter.name(), b.contribution, b.raw_value);
+            println!(
+                "    {:<28} {:+.4}  (raw {})",
+                b.counter.name(),
+                b.contribution,
+                b.raw_value
+            );
         }
         for a in report_u.advice.iter().take(2) {
             println!("  advice: {}", a.suggestion);

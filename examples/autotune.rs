@@ -12,8 +12,12 @@ use aiio_iosim::ior::table3;
 
 fn main() {
     println!("training AIIO...");
-    let db = DatabaseSampler::new(SamplerConfig { n_jobs: 2000, seed: 31, noise_sigma: 0.0 })
-        .generate();
+    let db = DatabaseSampler::new(SamplerConfig {
+        n_jobs: 2000,
+        seed: 31,
+        noise_sigma: 0.0,
+    })
+    .generate();
     let service = AiioService::train(&TrainConfig::fast(), &db);
     let tuner = AutoTuner::new(&service);
 

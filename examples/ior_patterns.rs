@@ -11,8 +11,12 @@ use aiio_iosim::ior::table3;
 
 fn main() {
     println!("training AIIO on a synthetic log database...");
-    let db = DatabaseSampler::new(SamplerConfig { n_jobs: 1500, seed: 11, noise_sigma: 0.03 })
-        .generate();
+    let db = DatabaseSampler::new(SamplerConfig {
+        n_jobs: 1500,
+        seed: 11,
+        noise_sigma: 0.03,
+    })
+    .generate();
     let service = AiioService::train(&TrainConfig::fast(), &db);
     let sim = Simulator::new(StorageConfig::cori_like_quiet());
 

@@ -17,8 +17,12 @@ use aiio::prelude::*;
 fn main() {
     // 1. A small training database (increase for better models).
     println!("generating synthetic Darshan log database...");
-    let db = DatabaseSampler::new(SamplerConfig { n_jobs: 1500, seed: 7, noise_sigma: 0.03 })
-        .generate();
+    let db = DatabaseSampler::new(SamplerConfig {
+        n_jobs: 1500,
+        seed: 7,
+        noise_sigma: 0.03,
+    })
+    .generate();
     println!(
         "  {} jobs, average sparsity {:.3} (paper reports 0.2379)",
         db.len(),
@@ -37,7 +41,10 @@ fn main() {
     //    pattern, which should flag the small-write counters.
     let ior = IorConfig::parse("ior -w -t 1k -b 1m -Y").expect("valid IOR command line");
     let log = Simulator::new(StorageConfig::cori_like()).simulate(&ior.to_spec(), 90_001, 2022, 99);
-    println!("\ndiagnosing unseen job: ior -w -t 1k -b 1m -Y ({} ranks)", ior.nprocs);
+    println!(
+        "\ndiagnosing unseen job: ior -w -t 1k -b 1m -Y ({} ranks)",
+        ior.nprocs
+    );
     let report = service.diagnose(&log);
     println!("{report}");
 

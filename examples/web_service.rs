@@ -12,9 +12,16 @@ fn main() -> std::io::Result<()> {
     let model_path = std::env::temp_dir().join("aiio_pretrained_models.json");
 
     // --- Training side (the model-management half of the service) -------
-    println!("training AIIO and persisting the models to {}", model_path.display());
-    let db = DatabaseSampler::new(SamplerConfig { n_jobs: 1200, seed: 21, noise_sigma: 0.03 })
-        .generate();
+    println!(
+        "training AIIO and persisting the models to {}",
+        model_path.display()
+    );
+    let db = DatabaseSampler::new(SamplerConfig {
+        n_jobs: 1200,
+        seed: 21,
+        noise_sigma: 0.03,
+    })
+    .generate();
     let service = AiioService::train(&TrainConfig::fast(), &db);
     service.save(&model_path)?;
     println!(

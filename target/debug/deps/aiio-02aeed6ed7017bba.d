@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/aiio-02aeed6ed7017bba.d: crates/aiio/src/lib.rs crates/aiio/src/advisor.rs crates/aiio/src/autotune.rs crates/aiio/src/diagnosis.rs crates/aiio/src/drift.rs crates/aiio/src/eval.rs crates/aiio/src/gauge.rs crates/aiio/src/merge.rs crates/aiio/src/model.rs crates/aiio/src/report_md.rs crates/aiio/src/rules.rs crates/aiio/src/service.rs crates/aiio/src/whatif.rs crates/aiio/src/zoo.rs
+
+/root/repo/target/debug/deps/aiio-02aeed6ed7017bba: crates/aiio/src/lib.rs crates/aiio/src/advisor.rs crates/aiio/src/autotune.rs crates/aiio/src/diagnosis.rs crates/aiio/src/drift.rs crates/aiio/src/eval.rs crates/aiio/src/gauge.rs crates/aiio/src/merge.rs crates/aiio/src/model.rs crates/aiio/src/report_md.rs crates/aiio/src/rules.rs crates/aiio/src/service.rs crates/aiio/src/whatif.rs crates/aiio/src/zoo.rs
+
+crates/aiio/src/lib.rs:
+crates/aiio/src/advisor.rs:
+crates/aiio/src/autotune.rs:
+crates/aiio/src/diagnosis.rs:
+crates/aiio/src/drift.rs:
+crates/aiio/src/eval.rs:
+crates/aiio/src/gauge.rs:
+crates/aiio/src/merge.rs:
+crates/aiio/src/model.rs:
+crates/aiio/src/report_md.rs:
+crates/aiio/src/rules.rs:
+crates/aiio/src/service.rs:
+crates/aiio/src/whatif.rs:
+crates/aiio/src/zoo.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/aiio-2b8aaa49134b462c.d: crates/aiio/src/lib.rs crates/aiio/src/advisor.rs crates/aiio/src/autotune.rs crates/aiio/src/diagnosis.rs crates/aiio/src/drift.rs crates/aiio/src/eval.rs crates/aiio/src/gauge.rs crates/aiio/src/merge.rs crates/aiio/src/model.rs crates/aiio/src/report_md.rs crates/aiio/src/rules.rs crates/aiio/src/service.rs crates/aiio/src/whatif.rs crates/aiio/src/zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaiio-2b8aaa49134b462c.rmeta: crates/aiio/src/lib.rs crates/aiio/src/advisor.rs crates/aiio/src/autotune.rs crates/aiio/src/diagnosis.rs crates/aiio/src/drift.rs crates/aiio/src/eval.rs crates/aiio/src/gauge.rs crates/aiio/src/merge.rs crates/aiio/src/model.rs crates/aiio/src/report_md.rs crates/aiio/src/rules.rs crates/aiio/src/service.rs crates/aiio/src/whatif.rs crates/aiio/src/zoo.rs Cargo.toml
+
+crates/aiio/src/lib.rs:
+crates/aiio/src/advisor.rs:
+crates/aiio/src/autotune.rs:
+crates/aiio/src/diagnosis.rs:
+crates/aiio/src/drift.rs:
+crates/aiio/src/eval.rs:
+crates/aiio/src/gauge.rs:
+crates/aiio/src/merge.rs:
+crates/aiio/src/model.rs:
+crates/aiio/src/report_md.rs:
+crates/aiio/src/rules.rs:
+crates/aiio/src/service.rs:
+crates/aiio/src/whatif.rs:
+crates/aiio/src/zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

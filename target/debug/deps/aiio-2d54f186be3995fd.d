@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/aiio-2d54f186be3995fd.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/aiio-2d54f186be3995fd: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/aiio-d08690b78e1bb92f.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/aiio-d08690b78e1bb92f: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/aiio-f174bd8dfe7c6a7d.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/aiio-f174bd8dfe7c6a7d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

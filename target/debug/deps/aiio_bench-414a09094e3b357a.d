@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/aiio_bench-414a09094e3b357a.d: crates/bench/src/lib.rs crates/bench/src/repro/mod.rs crates/bench/src/repro/ablation.rs crates/bench/src/repro/apps.rs crates/bench/src/repro/autotune.rs crates/bench/src/repro/classification.rs crates/bench/src/repro/fig1.rs crates/bench/src/repro/fig16.rs crates/bench/src/repro/fig4_5.rs crates/bench/src/repro/fig6.rs crates/bench/src/repro/fig7_12.rs crates/bench/src/repro/importance.rs crates/bench/src/repro/table1.rs crates/bench/src/repro/table2.rs crates/bench/src/repro/table3.rs crates/bench/src/repro/whatif.rs
+
+/root/repo/target/debug/deps/libaiio_bench-414a09094e3b357a.rlib: crates/bench/src/lib.rs crates/bench/src/repro/mod.rs crates/bench/src/repro/ablation.rs crates/bench/src/repro/apps.rs crates/bench/src/repro/autotune.rs crates/bench/src/repro/classification.rs crates/bench/src/repro/fig1.rs crates/bench/src/repro/fig16.rs crates/bench/src/repro/fig4_5.rs crates/bench/src/repro/fig6.rs crates/bench/src/repro/fig7_12.rs crates/bench/src/repro/importance.rs crates/bench/src/repro/table1.rs crates/bench/src/repro/table2.rs crates/bench/src/repro/table3.rs crates/bench/src/repro/whatif.rs
+
+/root/repo/target/debug/deps/libaiio_bench-414a09094e3b357a.rmeta: crates/bench/src/lib.rs crates/bench/src/repro/mod.rs crates/bench/src/repro/ablation.rs crates/bench/src/repro/apps.rs crates/bench/src/repro/autotune.rs crates/bench/src/repro/classification.rs crates/bench/src/repro/fig1.rs crates/bench/src/repro/fig16.rs crates/bench/src/repro/fig4_5.rs crates/bench/src/repro/fig6.rs crates/bench/src/repro/fig7_12.rs crates/bench/src/repro/importance.rs crates/bench/src/repro/table1.rs crates/bench/src/repro/table2.rs crates/bench/src/repro/table3.rs crates/bench/src/repro/whatif.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/repro/mod.rs:
+crates/bench/src/repro/ablation.rs:
+crates/bench/src/repro/apps.rs:
+crates/bench/src/repro/autotune.rs:
+crates/bench/src/repro/classification.rs:
+crates/bench/src/repro/fig1.rs:
+crates/bench/src/repro/fig16.rs:
+crates/bench/src/repro/fig4_5.rs:
+crates/bench/src/repro/fig6.rs:
+crates/bench/src/repro/fig7_12.rs:
+crates/bench/src/repro/importance.rs:
+crates/bench/src/repro/table1.rs:
+crates/bench/src/repro/table2.rs:
+crates/bench/src/repro/table3.rs:
+crates/bench/src/repro/whatif.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

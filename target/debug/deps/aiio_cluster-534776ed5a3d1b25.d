@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aiio_cluster-534776ed5a3d1b25.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/hdbscan.rs crates/cluster/src/kmeans.rs crates/cluster/src/knn.rs crates/cluster/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaiio_cluster-534776ed5a3d1b25.rmeta: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/hdbscan.rs crates/cluster/src/kmeans.rs crates/cluster/src/knn.rs crates/cluster/src/metrics.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/hdbscan.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/knn.rs:
+crates/cluster/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aiio_cluster-848a13c91da615bc.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/hdbscan.rs crates/cluster/src/kmeans.rs crates/cluster/src/knn.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/debug/deps/aiio_cluster-848a13c91da615bc: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/hdbscan.rs crates/cluster/src/kmeans.rs crates/cluster/src/knn.rs crates/cluster/src/metrics.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/hdbscan.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/knn.rs:
+crates/cluster/src/metrics.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aiio_cluster-850b4f9c563569c6.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/hdbscan.rs crates/cluster/src/kmeans.rs crates/cluster/src/metrics.rs crates/cluster/src/knn.rs
+
+/root/repo/target/debug/deps/libaiio_cluster-850b4f9c563569c6.rlib: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/hdbscan.rs crates/cluster/src/kmeans.rs crates/cluster/src/metrics.rs crates/cluster/src/knn.rs
+
+/root/repo/target/debug/deps/libaiio_cluster-850b4f9c563569c6.rmeta: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/hdbscan.rs crates/cluster/src/kmeans.rs crates/cluster/src/metrics.rs crates/cluster/src/knn.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/hdbscan.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/metrics.rs:
+crates/cluster/src/knn.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aiio_cluster-e889270409490c6c.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/hdbscan.rs crates/cluster/src/kmeans.rs crates/cluster/src/knn.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/debug/deps/libaiio_cluster-e889270409490c6c.rlib: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/hdbscan.rs crates/cluster/src/kmeans.rs crates/cluster/src/knn.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/debug/deps/libaiio_cluster-e889270409490c6c.rmeta: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/hdbscan.rs crates/cluster/src/kmeans.rs crates/cluster/src/knn.rs crates/cluster/src/metrics.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/hdbscan.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/knn.rs:
+crates/cluster/src/metrics.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aiio_darshan-0c2c11707436afe4.d: crates/darshan/src/lib.rs crates/darshan/src/counters.rs crates/darshan/src/database.rs crates/darshan/src/features.rs crates/darshan/src/log.rs crates/darshan/src/parser.rs
+
+/root/repo/target/debug/deps/aiio_darshan-0c2c11707436afe4: crates/darshan/src/lib.rs crates/darshan/src/counters.rs crates/darshan/src/database.rs crates/darshan/src/features.rs crates/darshan/src/log.rs crates/darshan/src/parser.rs
+
+crates/darshan/src/lib.rs:
+crates/darshan/src/counters.rs:
+crates/darshan/src/database.rs:
+crates/darshan/src/features.rs:
+crates/darshan/src/log.rs:
+crates/darshan/src/parser.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aiio_darshan-159726d5b1514aab.d: crates/darshan/src/lib.rs crates/darshan/src/counters.rs crates/darshan/src/database.rs crates/darshan/src/features.rs crates/darshan/src/log.rs crates/darshan/src/parser.rs
+
+/root/repo/target/debug/deps/libaiio_darshan-159726d5b1514aab.rlib: crates/darshan/src/lib.rs crates/darshan/src/counters.rs crates/darshan/src/database.rs crates/darshan/src/features.rs crates/darshan/src/log.rs crates/darshan/src/parser.rs
+
+/root/repo/target/debug/deps/libaiio_darshan-159726d5b1514aab.rmeta: crates/darshan/src/lib.rs crates/darshan/src/counters.rs crates/darshan/src/database.rs crates/darshan/src/features.rs crates/darshan/src/log.rs crates/darshan/src/parser.rs
+
+crates/darshan/src/lib.rs:
+crates/darshan/src/counters.rs:
+crates/darshan/src/database.rs:
+crates/darshan/src/features.rs:
+crates/darshan/src/log.rs:
+crates/darshan/src/parser.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aiio_darshan-b632e2fc8b34a28c.d: crates/darshan/src/lib.rs crates/darshan/src/counters.rs crates/darshan/src/database.rs crates/darshan/src/features.rs crates/darshan/src/log.rs crates/darshan/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaiio_darshan-b632e2fc8b34a28c.rmeta: crates/darshan/src/lib.rs crates/darshan/src/counters.rs crates/darshan/src/database.rs crates/darshan/src/features.rs crates/darshan/src/log.rs crates/darshan/src/parser.rs Cargo.toml
+
+crates/darshan/src/lib.rs:
+crates/darshan/src/counters.rs:
+crates/darshan/src/database.rs:
+crates/darshan/src/features.rs:
+crates/darshan/src/log.rs:
+crates/darshan/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aiio_darshan-f3d4fbc75d2f368d.d: crates/darshan/src/lib.rs crates/darshan/src/counters.rs crates/darshan/src/database.rs crates/darshan/src/features.rs crates/darshan/src/log.rs crates/darshan/src/parser.rs
+
+/root/repo/target/debug/deps/libaiio_darshan-f3d4fbc75d2f368d.rlib: crates/darshan/src/lib.rs crates/darshan/src/counters.rs crates/darshan/src/database.rs crates/darshan/src/features.rs crates/darshan/src/log.rs crates/darshan/src/parser.rs
+
+/root/repo/target/debug/deps/libaiio_darshan-f3d4fbc75d2f368d.rmeta: crates/darshan/src/lib.rs crates/darshan/src/counters.rs crates/darshan/src/database.rs crates/darshan/src/features.rs crates/darshan/src/log.rs crates/darshan/src/parser.rs
+
+crates/darshan/src/lib.rs:
+crates/darshan/src/counters.rs:
+crates/darshan/src/database.rs:
+crates/darshan/src/features.rs:
+crates/darshan/src/log.rs:
+crates/darshan/src/parser.rs:

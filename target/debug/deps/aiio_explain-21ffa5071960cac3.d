@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aiio_explain-21ffa5071960cac3.d: crates/explain/src/lib.rs crates/explain/src/exact.rs crates/explain/src/global.rs crates/explain/src/kernel.rs crates/explain/src/lime.rs crates/explain/src/metrics.rs crates/explain/src/tree.rs
+
+/root/repo/target/debug/deps/libaiio_explain-21ffa5071960cac3.rlib: crates/explain/src/lib.rs crates/explain/src/exact.rs crates/explain/src/global.rs crates/explain/src/kernel.rs crates/explain/src/lime.rs crates/explain/src/metrics.rs crates/explain/src/tree.rs
+
+/root/repo/target/debug/deps/libaiio_explain-21ffa5071960cac3.rmeta: crates/explain/src/lib.rs crates/explain/src/exact.rs crates/explain/src/global.rs crates/explain/src/kernel.rs crates/explain/src/lime.rs crates/explain/src/metrics.rs crates/explain/src/tree.rs
+
+crates/explain/src/lib.rs:
+crates/explain/src/exact.rs:
+crates/explain/src/global.rs:
+crates/explain/src/kernel.rs:
+crates/explain/src/lime.rs:
+crates/explain/src/metrics.rs:
+crates/explain/src/tree.rs:

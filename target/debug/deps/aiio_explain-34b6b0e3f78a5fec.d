@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aiio_explain-34b6b0e3f78a5fec.d: crates/explain/src/lib.rs crates/explain/src/exact.rs crates/explain/src/global.rs crates/explain/src/kernel.rs crates/explain/src/lime.rs crates/explain/src/metrics.rs crates/explain/src/tree.rs
+
+/root/repo/target/debug/deps/libaiio_explain-34b6b0e3f78a5fec.rlib: crates/explain/src/lib.rs crates/explain/src/exact.rs crates/explain/src/global.rs crates/explain/src/kernel.rs crates/explain/src/lime.rs crates/explain/src/metrics.rs crates/explain/src/tree.rs
+
+/root/repo/target/debug/deps/libaiio_explain-34b6b0e3f78a5fec.rmeta: crates/explain/src/lib.rs crates/explain/src/exact.rs crates/explain/src/global.rs crates/explain/src/kernel.rs crates/explain/src/lime.rs crates/explain/src/metrics.rs crates/explain/src/tree.rs
+
+crates/explain/src/lib.rs:
+crates/explain/src/exact.rs:
+crates/explain/src/global.rs:
+crates/explain/src/kernel.rs:
+crates/explain/src/lime.rs:
+crates/explain/src/metrics.rs:
+crates/explain/src/tree.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/aiio_explain-95cf846717cc7e87.d: crates/explain/src/lib.rs crates/explain/src/exact.rs crates/explain/src/global.rs crates/explain/src/kernel.rs crates/explain/src/lime.rs crates/explain/src/metrics.rs crates/explain/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaiio_explain-95cf846717cc7e87.rmeta: crates/explain/src/lib.rs crates/explain/src/exact.rs crates/explain/src/global.rs crates/explain/src/kernel.rs crates/explain/src/lime.rs crates/explain/src/metrics.rs crates/explain/src/tree.rs Cargo.toml
+
+crates/explain/src/lib.rs:
+crates/explain/src/exact.rs:
+crates/explain/src/global.rs:
+crates/explain/src/kernel.rs:
+crates/explain/src/lime.rs:
+crates/explain/src/metrics.rs:
+crates/explain/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aiio_explain-e5c9c5454f00d38b.d: crates/explain/src/lib.rs crates/explain/src/exact.rs crates/explain/src/global.rs crates/explain/src/kernel.rs crates/explain/src/lime.rs crates/explain/src/metrics.rs crates/explain/src/tree.rs
+
+/root/repo/target/debug/deps/aiio_explain-e5c9c5454f00d38b: crates/explain/src/lib.rs crates/explain/src/exact.rs crates/explain/src/global.rs crates/explain/src/kernel.rs crates/explain/src/lime.rs crates/explain/src/metrics.rs crates/explain/src/tree.rs
+
+crates/explain/src/lib.rs:
+crates/explain/src/exact.rs:
+crates/explain/src/global.rs:
+crates/explain/src/kernel.rs:
+crates/explain/src/lime.rs:
+crates/explain/src/metrics.rs:
+crates/explain/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aiio_gbdt-0f29057a686f8798.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/dataset.rs crates/gbdt/src/grow.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/debug/deps/libaiio_gbdt-0f29057a686f8798.rlib: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/dataset.rs crates/gbdt/src/grow.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/debug/deps/libaiio_gbdt-0f29057a686f8798.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/dataset.rs crates/gbdt/src/grow.rs crates/gbdt/src/tree.rs
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/dataset.rs:
+crates/gbdt/src/grow.rs:
+crates/gbdt/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aiio_gbdt-642aa3f16fe26a5b.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/dataset.rs crates/gbdt/src/grow.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/debug/deps/libaiio_gbdt-642aa3f16fe26a5b.rlib: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/dataset.rs crates/gbdt/src/grow.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/debug/deps/libaiio_gbdt-642aa3f16fe26a5b.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/dataset.rs crates/gbdt/src/grow.rs crates/gbdt/src/tree.rs
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/dataset.rs:
+crates/gbdt/src/grow.rs:
+crates/gbdt/src/tree.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aiio_gbdt-991cc79a1792357f.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/dataset.rs crates/gbdt/src/grow.rs crates/gbdt/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaiio_gbdt-991cc79a1792357f.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/dataset.rs crates/gbdt/src/grow.rs crates/gbdt/src/tree.rs Cargo.toml
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/dataset.rs:
+crates/gbdt/src/grow.rs:
+crates/gbdt/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

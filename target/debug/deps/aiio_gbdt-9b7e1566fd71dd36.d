@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aiio_gbdt-9b7e1566fd71dd36.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/dataset.rs crates/gbdt/src/grow.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/debug/deps/aiio_gbdt-9b7e1566fd71dd36: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/dataset.rs crates/gbdt/src/grow.rs crates/gbdt/src/tree.rs
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/dataset.rs:
+crates/gbdt/src/grow.rs:
+crates/gbdt/src/tree.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/aiio_iosim-16883b35ff8f1b0b.d: crates/iosim/src/lib.rs crates/iosim/src/apps.rs crates/iosim/src/config.rs crates/iosim/src/engine.rs crates/iosim/src/ior.rs crates/iosim/src/labels.rs crates/iosim/src/ops.rs crates/iosim/src/recorder.rs crates/iosim/src/sampler.rs crates/iosim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaiio_iosim-16883b35ff8f1b0b.rmeta: crates/iosim/src/lib.rs crates/iosim/src/apps.rs crates/iosim/src/config.rs crates/iosim/src/engine.rs crates/iosim/src/ior.rs crates/iosim/src/labels.rs crates/iosim/src/ops.rs crates/iosim/src/recorder.rs crates/iosim/src/sampler.rs crates/iosim/src/trace.rs Cargo.toml
+
+crates/iosim/src/lib.rs:
+crates/iosim/src/apps.rs:
+crates/iosim/src/config.rs:
+crates/iosim/src/engine.rs:
+crates/iosim/src/ior.rs:
+crates/iosim/src/labels.rs:
+crates/iosim/src/ops.rs:
+crates/iosim/src/recorder.rs:
+crates/iosim/src/sampler.rs:
+crates/iosim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aiio_iosim-40c3b8edbfe4d325.d: crates/iosim/src/lib.rs crates/iosim/src/apps.rs crates/iosim/src/config.rs crates/iosim/src/engine.rs crates/iosim/src/ior.rs crates/iosim/src/labels.rs crates/iosim/src/ops.rs crates/iosim/src/recorder.rs crates/iosim/src/sampler.rs crates/iosim/src/trace.rs
+
+/root/repo/target/debug/deps/aiio_iosim-40c3b8edbfe4d325: crates/iosim/src/lib.rs crates/iosim/src/apps.rs crates/iosim/src/config.rs crates/iosim/src/engine.rs crates/iosim/src/ior.rs crates/iosim/src/labels.rs crates/iosim/src/ops.rs crates/iosim/src/recorder.rs crates/iosim/src/sampler.rs crates/iosim/src/trace.rs
+
+crates/iosim/src/lib.rs:
+crates/iosim/src/apps.rs:
+crates/iosim/src/config.rs:
+crates/iosim/src/engine.rs:
+crates/iosim/src/ior.rs:
+crates/iosim/src/labels.rs:
+crates/iosim/src/ops.rs:
+crates/iosim/src/recorder.rs:
+crates/iosim/src/sampler.rs:
+crates/iosim/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aiio_linalg-3326f360579f1b8c.d: crates/linalg/src/lib.rs crates/linalg/src/func.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libaiio_linalg-3326f360579f1b8c.rlib: crates/linalg/src/lib.rs crates/linalg/src/func.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libaiio_linalg-3326f360579f1b8c.rmeta: crates/linalg/src/lib.rs crates/linalg/src/func.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/func.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aiio_linalg-4c3d74c20fe462d4.d: crates/linalg/src/lib.rs crates/linalg/src/func.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/aiio_linalg-4c3d74c20fe462d4: crates/linalg/src/lib.rs crates/linalg/src/func.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/func.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aiio_linalg-c28d105af16aa192.d: crates/linalg/src/lib.rs crates/linalg/src/func.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libaiio_linalg-c28d105af16aa192.rlib: crates/linalg/src/lib.rs crates/linalg/src/func.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libaiio_linalg-c28d105af16aa192.rmeta: crates/linalg/src/lib.rs crates/linalg/src/func.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/func.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/stats.rs:

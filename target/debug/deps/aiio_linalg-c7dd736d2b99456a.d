@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aiio_linalg-c7dd736d2b99456a.d: crates/linalg/src/lib.rs crates/linalg/src/func.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaiio_linalg-c7dd736d2b99456a.rmeta: crates/linalg/src/lib.rs crates/linalg/src/func.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/func.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

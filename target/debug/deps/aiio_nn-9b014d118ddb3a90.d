@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aiio_nn-9b014d118ddb3a90.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/tabnet.rs
+
+/root/repo/target/debug/deps/libaiio_nn-9b014d118ddb3a90.rlib: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/tabnet.rs
+
+/root/repo/target/debug/deps/libaiio_nn-9b014d118ddb3a90.rmeta: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/tabnet.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/tabnet.rs:

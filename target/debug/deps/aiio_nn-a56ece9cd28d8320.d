@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aiio_nn-a56ece9cd28d8320.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/tabnet.rs
+
+/root/repo/target/debug/deps/libaiio_nn-a56ece9cd28d8320.rlib: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/tabnet.rs
+
+/root/repo/target/debug/deps/libaiio_nn-a56ece9cd28d8320.rmeta: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/tabnet.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/tabnet.rs:

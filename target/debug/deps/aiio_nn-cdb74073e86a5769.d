@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aiio_nn-cdb74073e86a5769.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/tabnet.rs
+
+/root/repo/target/debug/deps/aiio_nn-cdb74073e86a5769: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/tabnet.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/tabnet.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aiio_nn-fd43263e52425cb6.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/tabnet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaiio_nn-fd43263e52425cb6.rmeta: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/tabnet.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/tabnet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aiio_repro-0c7d606c9f18a1bd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaiio_repro-0c7d606c9f18a1bd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

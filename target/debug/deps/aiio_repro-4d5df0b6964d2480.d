@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aiio_repro-4d5df0b6964d2480.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaiio_repro-4d5df0b6964d2480.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaiio_repro-4d5df0b6964d2480.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aiio_repro-614bcde8f0a25b6b.d: src/lib.rs
+
+/root/repo/target/debug/deps/aiio_repro-614bcde8f0a25b6b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aiio_repro-7c88d9158af2afe8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaiio_repro-7c88d9158af2afe8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaiio_repro-7c88d9158af2afe8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-2caca6119452c104.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-2caca6119452c104: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_aiio=/root/repo/target/debug/aiio

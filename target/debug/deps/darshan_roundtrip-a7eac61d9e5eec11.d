@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/darshan_roundtrip-a7eac61d9e5eec11.d: tests/darshan_roundtrip.rs
+
+/root/repo/target/debug/deps/darshan_roundtrip-a7eac61d9e5eec11: tests/darshan_roundtrip.rs
+
+tests/darshan_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extended_apps-de366696bd1ed2b6.d: tests/extended_apps.rs
+
+/root/repo/target/debug/deps/extended_apps-de366696bd1ed2b6: tests/extended_apps.rs
+
+tests/extended_apps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gauge_vs_aiio-cf79af702d1937a7.d: tests/gauge_vs_aiio.rs
+
+/root/repo/target/debug/deps/gauge_vs_aiio-cf79af702d1937a7: tests/gauge_vs_aiio.rs
+
+tests/gauge_vs_aiio.rs:

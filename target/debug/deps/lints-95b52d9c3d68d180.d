@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lints-95b52d9c3d68d180.d: crates/xtask/tests/lints.rs
+
+/root/repo/target/debug/deps/lints-95b52d9c3d68d180: crates/xtask/tests/lints.rs
+
+crates/xtask/tests/lints.rs:
+
+# env-dep:CARGO_BIN_EXE_xtask=/root/repo/target/debug/xtask
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

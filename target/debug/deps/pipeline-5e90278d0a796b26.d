@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-5e90278d0a796b26.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-5e90278d0a796b26: tests/pipeline.rs
+
+tests/pipeline.rs:

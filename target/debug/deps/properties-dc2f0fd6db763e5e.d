@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dc2f0fd6db763e5e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-dc2f0fd6db763e5e: tests/properties.rs
+
+tests/properties.rs:

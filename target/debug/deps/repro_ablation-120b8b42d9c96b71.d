@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_ablation-120b8b42d9c96b71.d: crates/bench/src/bin/repro_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_ablation-120b8b42d9c96b71.rmeta: crates/bench/src/bin/repro_ablation.rs Cargo.toml
+
+crates/bench/src/bin/repro_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

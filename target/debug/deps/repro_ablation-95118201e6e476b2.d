@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation-95118201e6e476b2.d: crates/bench/src/bin/repro_ablation.rs
+
+/root/repo/target/debug/deps/repro_ablation-95118201e6e476b2: crates/bench/src/bin/repro_ablation.rs
+
+crates/bench/src/bin/repro_ablation.rs:

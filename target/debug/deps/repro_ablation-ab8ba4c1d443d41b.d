@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation-ab8ba4c1d443d41b.d: crates/bench/src/bin/repro_ablation.rs
+
+/root/repo/target/debug/deps/repro_ablation-ab8ba4c1d443d41b: crates/bench/src/bin/repro_ablation.rs
+
+crates/bench/src/bin/repro_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-9a40714ad3c9c441.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-9a40714ad3c9c441: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

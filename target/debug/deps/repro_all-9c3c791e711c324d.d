@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-9c3c791e711c324d.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-9c3c791e711c324d: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

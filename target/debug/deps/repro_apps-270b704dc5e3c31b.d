@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_apps-270b704dc5e3c31b.d: crates/bench/src/bin/repro_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_apps-270b704dc5e3c31b.rmeta: crates/bench/src/bin/repro_apps.rs Cargo.toml
+
+crates/bench/src/bin/repro_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

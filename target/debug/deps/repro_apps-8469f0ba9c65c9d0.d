@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_apps-8469f0ba9c65c9d0.d: crates/bench/src/bin/repro_apps.rs
+
+/root/repo/target/debug/deps/repro_apps-8469f0ba9c65c9d0: crates/bench/src/bin/repro_apps.rs
+
+crates/bench/src/bin/repro_apps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_apps-f056348f2f37353c.d: crates/bench/src/bin/repro_apps.rs
+
+/root/repo/target/debug/deps/repro_apps-f056348f2f37353c: crates/bench/src/bin/repro_apps.rs
+
+crates/bench/src/bin/repro_apps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_autotune-0780235223ff8662.d: crates/bench/src/bin/repro_autotune.rs
+
+/root/repo/target/debug/deps/repro_autotune-0780235223ff8662: crates/bench/src/bin/repro_autotune.rs
+
+crates/bench/src/bin/repro_autotune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_autotune-3a977424f932ed84.d: crates/bench/src/bin/repro_autotune.rs
+
+/root/repo/target/debug/deps/repro_autotune-3a977424f932ed84: crates/bench/src/bin/repro_autotune.rs
+
+crates/bench/src/bin/repro_autotune.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_autotune-e8c4b9c6b6576295.d: crates/bench/src/bin/repro_autotune.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_autotune-e8c4b9c6b6576295.rmeta: crates/bench/src/bin/repro_autotune.rs Cargo.toml
+
+crates/bench/src/bin/repro_autotune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_classification-02c9470fdc984ce2.d: crates/bench/src/bin/repro_classification.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_classification-02c9470fdc984ce2.rmeta: crates/bench/src/bin/repro_classification.rs Cargo.toml
+
+crates/bench/src/bin/repro_classification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

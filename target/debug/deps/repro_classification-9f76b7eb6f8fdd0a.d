@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_classification-9f76b7eb6f8fdd0a.d: crates/bench/src/bin/repro_classification.rs
+
+/root/repo/target/debug/deps/repro_classification-9f76b7eb6f8fdd0a: crates/bench/src/bin/repro_classification.rs
+
+crates/bench/src/bin/repro_classification.rs:

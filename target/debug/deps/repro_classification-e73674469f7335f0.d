@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_classification-e73674469f7335f0.d: crates/bench/src/bin/repro_classification.rs
+
+/root/repo/target/debug/deps/repro_classification-e73674469f7335f0: crates/bench/src/bin/repro_classification.rs
+
+crates/bench/src/bin/repro_classification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig1-3451d44a1a8e1dbf.d: crates/bench/src/bin/repro_fig1.rs
+
+/root/repo/target/debug/deps/repro_fig1-3451d44a1a8e1dbf: crates/bench/src/bin/repro_fig1.rs
+
+crates/bench/src/bin/repro_fig1.rs:

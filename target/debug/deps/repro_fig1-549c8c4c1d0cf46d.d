@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig1-549c8c4c1d0cf46d.d: crates/bench/src/bin/repro_fig1.rs
+
+/root/repo/target/debug/deps/repro_fig1-549c8c4c1d0cf46d: crates/bench/src/bin/repro_fig1.rs
+
+crates/bench/src/bin/repro_fig1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig1-876d3d4a9acc8dbb.d: crates/bench/src/bin/repro_fig1.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig1-876d3d4a9acc8dbb.rmeta: crates/bench/src/bin/repro_fig1.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig16-3481860c8f99ec6f.d: crates/bench/src/bin/repro_fig16.rs
+
+/root/repo/target/debug/deps/repro_fig16-3481860c8f99ec6f: crates/bench/src/bin/repro_fig16.rs
+
+crates/bench/src/bin/repro_fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig16-4bd0ca8eb7f4485d.d: crates/bench/src/bin/repro_fig16.rs
+
+/root/repo/target/debug/deps/repro_fig16-4bd0ca8eb7f4485d: crates/bench/src/bin/repro_fig16.rs
+
+crates/bench/src/bin/repro_fig16.rs:

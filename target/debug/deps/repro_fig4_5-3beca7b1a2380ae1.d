@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig4_5-3beca7b1a2380ae1.d: crates/bench/src/bin/repro_fig4_5.rs
+
+/root/repo/target/debug/deps/repro_fig4_5-3beca7b1a2380ae1: crates/bench/src/bin/repro_fig4_5.rs
+
+crates/bench/src/bin/repro_fig4_5.rs:

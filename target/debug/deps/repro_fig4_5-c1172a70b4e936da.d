@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig4_5-c1172a70b4e936da.d: crates/bench/src/bin/repro_fig4_5.rs
+
+/root/repo/target/debug/deps/repro_fig4_5-c1172a70b4e936da: crates/bench/src/bin/repro_fig4_5.rs
+
+crates/bench/src/bin/repro_fig4_5.rs:

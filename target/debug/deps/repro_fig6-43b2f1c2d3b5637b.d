@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig6-43b2f1c2d3b5637b.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/debug/deps/repro_fig6-43b2f1c2d3b5637b: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig6-d04b10614f1605b5.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/debug/deps/repro_fig6-d04b10614f1605b5: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

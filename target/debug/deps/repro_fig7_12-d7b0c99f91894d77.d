@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig7_12-d7b0c99f91894d77.d: crates/bench/src/bin/repro_fig7_12.rs
+
+/root/repo/target/debug/deps/repro_fig7_12-d7b0c99f91894d77: crates/bench/src/bin/repro_fig7_12.rs
+
+crates/bench/src/bin/repro_fig7_12.rs:

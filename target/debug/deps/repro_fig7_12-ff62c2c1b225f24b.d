@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig7_12-ff62c2c1b225f24b.d: crates/bench/src/bin/repro_fig7_12.rs
+
+/root/repo/target/debug/deps/repro_fig7_12-ff62c2c1b225f24b: crates/bench/src/bin/repro_fig7_12.rs
+
+crates/bench/src/bin/repro_fig7_12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_importance-2028d886e08e6c31.d: crates/bench/src/bin/repro_importance.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_importance-2028d886e08e6c31.rmeta: crates/bench/src/bin/repro_importance.rs Cargo.toml
+
+crates/bench/src/bin/repro_importance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_importance-b28944f0fb7c7b75.d: crates/bench/src/bin/repro_importance.rs
+
+/root/repo/target/debug/deps/repro_importance-b28944f0fb7c7b75: crates/bench/src/bin/repro_importance.rs
+
+crates/bench/src/bin/repro_importance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_importance-c7e8b51cd07868d1.d: crates/bench/src/bin/repro_importance.rs
+
+/root/repo/target/debug/deps/repro_importance-c7e8b51cd07868d1: crates/bench/src/bin/repro_importance.rs
+
+crates/bench/src/bin/repro_importance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-67f6fc802b981fe4.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-67f6fc802b981fe4: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

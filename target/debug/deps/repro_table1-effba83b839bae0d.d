@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-effba83b839bae0d.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-effba83b839bae0d: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

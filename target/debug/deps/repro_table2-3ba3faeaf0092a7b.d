@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-3ba3faeaf0092a7b.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-3ba3faeaf0092a7b: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-e045fcbd13910bf2.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-e045fcbd13910bf2: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-1047258aa49462e7.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-1047258aa49462e7: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

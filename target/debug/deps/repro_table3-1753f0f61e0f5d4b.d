@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-1753f0f61e0f5d4b.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-1753f0f61e0f5d4b: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

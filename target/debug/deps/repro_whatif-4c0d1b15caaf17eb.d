@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_whatif-4c0d1b15caaf17eb.d: crates/bench/src/bin/repro_whatif.rs
+
+/root/repo/target/debug/deps/repro_whatif-4c0d1b15caaf17eb: crates/bench/src/bin/repro_whatif.rs
+
+crates/bench/src/bin/repro_whatif.rs:

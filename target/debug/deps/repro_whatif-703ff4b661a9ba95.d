@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_whatif-703ff4b661a9ba95.d: crates/bench/src/bin/repro_whatif.rs
+
+/root/repo/target/debug/deps/repro_whatif-703ff4b661a9ba95: crates/bench/src/bin/repro_whatif.rs
+
+crates/bench/src/bin/repro_whatif.rs:

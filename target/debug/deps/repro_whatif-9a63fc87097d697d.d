@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_whatif-9a63fc87097d697d.d: crates/bench/src/bin/repro_whatif.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_whatif-9a63fc87097d697d.rmeta: crates/bench/src/bin/repro_whatif.rs Cargo.toml
+
+crates/bench/src/bin/repro_whatif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-2ef6ce46c985983d.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-2ef6ce46c985983d: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

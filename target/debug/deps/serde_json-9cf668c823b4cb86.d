@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-9cf668c823b4cb86.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9cf668c823b4cb86.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9cf668c823b4cb86.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

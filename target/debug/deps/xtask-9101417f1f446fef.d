@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xtask-9101417f1f446fef.d: crates/xtask/src/lib.rs crates/xtask/src/lints/mod.rs crates/xtask/src/lints/counter_schema.rs crates/xtask/src/lints/determinism.rs crates/xtask/src/lints/float_safety.rs crates/xtask/src/lints/panic_hygiene.rs crates/xtask/src/lints/sparsity.rs crates/xtask/src/source.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-9101417f1f446fef.rmeta: crates/xtask/src/lib.rs crates/xtask/src/lints/mod.rs crates/xtask/src/lints/counter_schema.rs crates/xtask/src/lints/determinism.rs crates/xtask/src/lints/float_safety.rs crates/xtask/src/lints/panic_hygiene.rs crates/xtask/src/lints/sparsity.rs crates/xtask/src/source.rs Cargo.toml
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/lints/mod.rs:
+crates/xtask/src/lints/counter_schema.rs:
+crates/xtask/src/lints/determinism.rs:
+crates/xtask/src/lints/float_safety.rs:
+crates/xtask/src/lints/panic_hygiene.rs:
+crates/xtask/src/lints/sparsity.rs:
+crates/xtask/src/source.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

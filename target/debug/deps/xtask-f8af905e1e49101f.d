@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xtask-f8af905e1e49101f.d: crates/xtask/src/lib.rs crates/xtask/src/lints/mod.rs crates/xtask/src/lints/counter_schema.rs crates/xtask/src/lints/determinism.rs crates/xtask/src/lints/float_safety.rs crates/xtask/src/lints/panic_hygiene.rs crates/xtask/src/lints/sparsity.rs crates/xtask/src/source.rs
+
+/root/repo/target/debug/deps/xtask-f8af905e1e49101f: crates/xtask/src/lib.rs crates/xtask/src/lints/mod.rs crates/xtask/src/lints/counter_schema.rs crates/xtask/src/lints/determinism.rs crates/xtask/src/lints/float_safety.rs crates/xtask/src/lints/panic_hygiene.rs crates/xtask/src/lints/sparsity.rs crates/xtask/src/source.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/lints/mod.rs:
+crates/xtask/src/lints/counter_schema.rs:
+crates/xtask/src/lints/determinism.rs:
+crates/xtask/src/lints/float_safety.rs:
+crates/xtask/src/lints/panic_hygiene.rs:
+crates/xtask/src/lints/sparsity.rs:
+crates/xtask/src/source.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xtask-fef9f4cda5c828a0.d: crates/xtask/src/lib.rs crates/xtask/src/lints/mod.rs crates/xtask/src/lints/counter_schema.rs crates/xtask/src/lints/determinism.rs crates/xtask/src/lints/float_safety.rs crates/xtask/src/lints/panic_hygiene.rs crates/xtask/src/lints/sparsity.rs crates/xtask/src/source.rs
+
+/root/repo/target/debug/deps/libxtask-fef9f4cda5c828a0.rlib: crates/xtask/src/lib.rs crates/xtask/src/lints/mod.rs crates/xtask/src/lints/counter_schema.rs crates/xtask/src/lints/determinism.rs crates/xtask/src/lints/float_safety.rs crates/xtask/src/lints/panic_hygiene.rs crates/xtask/src/lints/sparsity.rs crates/xtask/src/source.rs
+
+/root/repo/target/debug/deps/libxtask-fef9f4cda5c828a0.rmeta: crates/xtask/src/lib.rs crates/xtask/src/lints/mod.rs crates/xtask/src/lints/counter_schema.rs crates/xtask/src/lints/determinism.rs crates/xtask/src/lints/float_safety.rs crates/xtask/src/lints/panic_hygiene.rs crates/xtask/src/lints/sparsity.rs crates/xtask/src/source.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/lints/mod.rs:
+crates/xtask/src/lints/counter_schema.rs:
+crates/xtask/src/lints/determinism.rs:
+crates/xtask/src/lints/float_safety.rs:
+crates/xtask/src/lints/panic_hygiene.rs:
+crates/xtask/src/lints/sparsity.rs:
+crates/xtask/src/source.rs:

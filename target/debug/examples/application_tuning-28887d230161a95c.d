@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/application_tuning-28887d230161a95c.d: examples/application_tuning.rs
+
+/root/repo/target/debug/examples/application_tuning-28887d230161a95c: examples/application_tuning.rs
+
+examples/application_tuning.rs:

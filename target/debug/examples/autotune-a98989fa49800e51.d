@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune-a98989fa49800e51.d: examples/autotune.rs
+
+/root/repo/target/debug/examples/autotune-a98989fa49800e51: examples/autotune.rs
+
+examples/autotune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ior_patterns-a1e7bc5b2f96ffe2.d: examples/ior_patterns.rs
+
+/root/repo/target/debug/examples/ior_patterns-a1e7bc5b2f96ffe2: examples/ior_patterns.rs
+
+examples/ior_patterns.rs:

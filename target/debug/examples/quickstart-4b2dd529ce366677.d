@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4b2dd529ce366677.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4b2dd529ce366677: examples/quickstart.rs
+
+examples/quickstart.rs:

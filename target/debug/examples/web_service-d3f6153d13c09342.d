@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_service-d3f6153d13c09342.d: examples/web_service.rs
+
+/root/repo/target/debug/examples/web_service-d3f6153d13c09342: examples/web_service.rs
+
+examples/web_service.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/aiio-2cadaee29a8f8779.d: crates/aiio/src/lib.rs crates/aiio/src/advisor.rs crates/aiio/src/autotune.rs crates/aiio/src/diagnosis.rs crates/aiio/src/drift.rs crates/aiio/src/eval.rs crates/aiio/src/gauge.rs crates/aiio/src/merge.rs crates/aiio/src/model.rs crates/aiio/src/report_md.rs crates/aiio/src/rules.rs crates/aiio/src/service.rs crates/aiio/src/whatif.rs crates/aiio/src/zoo.rs
+
+/root/repo/target/release/deps/libaiio-2cadaee29a8f8779.rlib: crates/aiio/src/lib.rs crates/aiio/src/advisor.rs crates/aiio/src/autotune.rs crates/aiio/src/diagnosis.rs crates/aiio/src/drift.rs crates/aiio/src/eval.rs crates/aiio/src/gauge.rs crates/aiio/src/merge.rs crates/aiio/src/model.rs crates/aiio/src/report_md.rs crates/aiio/src/rules.rs crates/aiio/src/service.rs crates/aiio/src/whatif.rs crates/aiio/src/zoo.rs
+
+/root/repo/target/release/deps/libaiio-2cadaee29a8f8779.rmeta: crates/aiio/src/lib.rs crates/aiio/src/advisor.rs crates/aiio/src/autotune.rs crates/aiio/src/diagnosis.rs crates/aiio/src/drift.rs crates/aiio/src/eval.rs crates/aiio/src/gauge.rs crates/aiio/src/merge.rs crates/aiio/src/model.rs crates/aiio/src/report_md.rs crates/aiio/src/rules.rs crates/aiio/src/service.rs crates/aiio/src/whatif.rs crates/aiio/src/zoo.rs
+
+crates/aiio/src/lib.rs:
+crates/aiio/src/advisor.rs:
+crates/aiio/src/autotune.rs:
+crates/aiio/src/diagnosis.rs:
+crates/aiio/src/drift.rs:
+crates/aiio/src/eval.rs:
+crates/aiio/src/gauge.rs:
+crates/aiio/src/merge.rs:
+crates/aiio/src/model.rs:
+crates/aiio/src/report_md.rs:
+crates/aiio/src/rules.rs:
+crates/aiio/src/service.rs:
+crates/aiio/src/whatif.rs:
+crates/aiio/src/zoo.rs:

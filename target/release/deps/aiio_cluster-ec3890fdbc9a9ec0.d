@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aiio_cluster-ec3890fdbc9a9ec0.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/hdbscan.rs crates/cluster/src/kmeans.rs crates/cluster/src/knn.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/release/deps/libaiio_cluster-ec3890fdbc9a9ec0.rlib: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/hdbscan.rs crates/cluster/src/kmeans.rs crates/cluster/src/knn.rs crates/cluster/src/metrics.rs
+
+/root/repo/target/release/deps/libaiio_cluster-ec3890fdbc9a9ec0.rmeta: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/hdbscan.rs crates/cluster/src/kmeans.rs crates/cluster/src/knn.rs crates/cluster/src/metrics.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/hdbscan.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/knn.rs:
+crates/cluster/src/metrics.rs:

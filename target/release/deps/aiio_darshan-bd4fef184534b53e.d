@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aiio_darshan-bd4fef184534b53e.d: crates/darshan/src/lib.rs crates/darshan/src/counters.rs crates/darshan/src/database.rs crates/darshan/src/features.rs crates/darshan/src/log.rs crates/darshan/src/parser.rs
+
+/root/repo/target/release/deps/libaiio_darshan-bd4fef184534b53e.rlib: crates/darshan/src/lib.rs crates/darshan/src/counters.rs crates/darshan/src/database.rs crates/darshan/src/features.rs crates/darshan/src/log.rs crates/darshan/src/parser.rs
+
+/root/repo/target/release/deps/libaiio_darshan-bd4fef184534b53e.rmeta: crates/darshan/src/lib.rs crates/darshan/src/counters.rs crates/darshan/src/database.rs crates/darshan/src/features.rs crates/darshan/src/log.rs crates/darshan/src/parser.rs
+
+crates/darshan/src/lib.rs:
+crates/darshan/src/counters.rs:
+crates/darshan/src/database.rs:
+crates/darshan/src/features.rs:
+crates/darshan/src/log.rs:
+crates/darshan/src/parser.rs:

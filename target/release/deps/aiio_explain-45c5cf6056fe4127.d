@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/aiio_explain-45c5cf6056fe4127.d: crates/explain/src/lib.rs crates/explain/src/exact.rs crates/explain/src/global.rs crates/explain/src/kernel.rs crates/explain/src/lime.rs crates/explain/src/metrics.rs crates/explain/src/tree.rs
+
+/root/repo/target/release/deps/libaiio_explain-45c5cf6056fe4127.rlib: crates/explain/src/lib.rs crates/explain/src/exact.rs crates/explain/src/global.rs crates/explain/src/kernel.rs crates/explain/src/lime.rs crates/explain/src/metrics.rs crates/explain/src/tree.rs
+
+/root/repo/target/release/deps/libaiio_explain-45c5cf6056fe4127.rmeta: crates/explain/src/lib.rs crates/explain/src/exact.rs crates/explain/src/global.rs crates/explain/src/kernel.rs crates/explain/src/lime.rs crates/explain/src/metrics.rs crates/explain/src/tree.rs
+
+crates/explain/src/lib.rs:
+crates/explain/src/exact.rs:
+crates/explain/src/global.rs:
+crates/explain/src/kernel.rs:
+crates/explain/src/lime.rs:
+crates/explain/src/metrics.rs:
+crates/explain/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aiio_gbdt-55a7f3a6e5307224.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/dataset.rs crates/gbdt/src/grow.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/release/deps/libaiio_gbdt-55a7f3a6e5307224.rlib: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/dataset.rs crates/gbdt/src/grow.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/release/deps/libaiio_gbdt-55a7f3a6e5307224.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/dataset.rs crates/gbdt/src/grow.rs crates/gbdt/src/tree.rs
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/dataset.rs:
+crates/gbdt/src/grow.rs:
+crates/gbdt/src/tree.rs:

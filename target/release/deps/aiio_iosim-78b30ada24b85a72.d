@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/aiio_iosim-78b30ada24b85a72.d: crates/iosim/src/lib.rs crates/iosim/src/apps.rs crates/iosim/src/config.rs crates/iosim/src/engine.rs crates/iosim/src/ior.rs crates/iosim/src/labels.rs crates/iosim/src/ops.rs crates/iosim/src/recorder.rs crates/iosim/src/sampler.rs crates/iosim/src/trace.rs
+
+/root/repo/target/release/deps/libaiio_iosim-78b30ada24b85a72.rlib: crates/iosim/src/lib.rs crates/iosim/src/apps.rs crates/iosim/src/config.rs crates/iosim/src/engine.rs crates/iosim/src/ior.rs crates/iosim/src/labels.rs crates/iosim/src/ops.rs crates/iosim/src/recorder.rs crates/iosim/src/sampler.rs crates/iosim/src/trace.rs
+
+/root/repo/target/release/deps/libaiio_iosim-78b30ada24b85a72.rmeta: crates/iosim/src/lib.rs crates/iosim/src/apps.rs crates/iosim/src/config.rs crates/iosim/src/engine.rs crates/iosim/src/ior.rs crates/iosim/src/labels.rs crates/iosim/src/ops.rs crates/iosim/src/recorder.rs crates/iosim/src/sampler.rs crates/iosim/src/trace.rs
+
+crates/iosim/src/lib.rs:
+crates/iosim/src/apps.rs:
+crates/iosim/src/config.rs:
+crates/iosim/src/engine.rs:
+crates/iosim/src/ior.rs:
+crates/iosim/src/labels.rs:
+crates/iosim/src/ops.rs:
+crates/iosim/src/recorder.rs:
+crates/iosim/src/sampler.rs:
+crates/iosim/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aiio_linalg-d53158f46e23f3a8.d: crates/linalg/src/lib.rs crates/linalg/src/func.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+/root/repo/target/release/deps/libaiio_linalg-d53158f46e23f3a8.rlib: crates/linalg/src/lib.rs crates/linalg/src/func.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+/root/repo/target/release/deps/libaiio_linalg-d53158f46e23f3a8.rmeta: crates/linalg/src/lib.rs crates/linalg/src/func.rs crates/linalg/src/matrix.rs crates/linalg/src/pca.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/func.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/pca.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/stats.rs:

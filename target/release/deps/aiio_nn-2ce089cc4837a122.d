@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aiio_nn-2ce089cc4837a122.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/tabnet.rs
+
+/root/repo/target/release/deps/libaiio_nn-2ce089cc4837a122.rlib: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/tabnet.rs
+
+/root/repo/target/release/deps/libaiio_nn-2ce089cc4837a122.rmeta: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/tabnet.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/tabnet.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/aiio_repro-980c8105d447b971.d: src/lib.rs
+
+/root/repo/target/release/deps/libaiio_repro-980c8105d447b971.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libaiio_repro-980c8105d447b971.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -13,10 +13,17 @@ use std::sync::OnceLock;
 fn service() -> &'static AiioService {
     static CACHE: OnceLock<AiioService> = OnceLock::new();
     CACHE.get_or_init(|| {
-        let db = DatabaseSampler::new(SamplerConfig { n_jobs: 500, seed: 321, noise_sigma: 0.0 })
-            .generate();
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 500,
+            seed: 321,
+            noise_sigma: 0.0,
+        })
+        .generate();
         let mut cfg = TrainConfig::fast();
-        cfg.zoo.xgboost = GbdtConfig { n_rounds: 40, ..GbdtConfig::xgboost_like() };
+        cfg.zoo.xgboost = GbdtConfig {
+            n_rounds: 40,
+            ..GbdtConfig::xgboost_like()
+        };
         cfg.zoo = cfg.zoo.with_kinds(&[
             aiio::ModelKind::XgboostLike,
             aiio::ModelKind::LightgbmLike,
@@ -71,12 +78,17 @@ fn ml_training_tuning_removes_the_seek_bottleneck() {
     let report_u = service().diagnose(&log_u);
     let report_t = service().diagnose(&log_t);
     // Untuned: seeks (or small random reads) among the bottlenecks.
-    assert!(report_u
-        .bottlenecks
-        .iter()
-        .any(|b| b.counter == CounterId::PosixSeeks),
+    assert!(
+        report_u
+            .bottlenecks
+            .iter()
+            .any(|b| b.counter == CounterId::PosixSeeks),
         "{:?}",
-        report_u.bottlenecks.iter().map(|b| b.counter.name()).collect::<Vec<_>>()
+        report_u
+            .bottlenecks
+            .iter()
+            .map(|b| b.counter.name())
+            .collect::<Vec<_>>()
     );
     // Tuned: the seek counter is zero so robustness forces zero attribution.
     assert_eq!(report_t.merged.values[CounterId::PosixSeeks.index()], 0.0);
@@ -85,7 +97,11 @@ fn ml_training_tuning_removes_the_seek_bottleneck() {
 #[test]
 fn cost_breakdown_components_sum_and_rank_sanely() {
     let base = StorageConfig::cori_like_quiet();
-    for run in [vpic(false, &base), vpic(true, &base), ml_training(false, &base)] {
+    for run in [
+        vpic(false, &base),
+        vpic(true, &base),
+        ml_training(false, &base),
+    ] {
         let b = cost_breakdown(&run.spec, &run.storage);
         assert!(b.total() > 0.0, "{}: empty breakdown", run.label);
         // Every component non-negative.
@@ -93,7 +109,10 @@ fn cost_breakdown_components_sum_and_rank_sanely() {
     }
     // Tuned VPIC must be bandwidth-bound.
     let tuned = vpic(true, &base);
-    assert_eq!(ground_truth(&tuned.spec, &tuned.storage), BottleneckClass::BandwidthBound);
+    assert_eq!(
+        ground_truth(&tuned.spec, &tuned.storage),
+        BottleneckClass::BandwidthBound
+    );
 }
 
 #[test]
@@ -120,12 +139,19 @@ fn classification_scorer_full_loop_on_unseen_jobs() {
     }
     let aiio_report = aiio_scorer.finish();
     let rules_report = rules_scorer.finish();
-    assert!(aiio_report.n_evaluated >= 10, "too few labeled jobs to evaluate");
+    assert!(
+        aiio_report.n_evaluated >= 10,
+        "too few labeled jobs to evaluate"
+    );
     assert!(
         aiio_report.accuracy() > rules_report.accuracy(),
         "AIIO {:.3} should beat rules {:.3}",
         aiio_report.accuracy(),
         rules_report.accuracy()
     );
-    assert!(aiio_report.accuracy() > 0.5, "AIIO accuracy {:.3}", aiio_report.accuracy());
+    assert!(
+        aiio_report.accuracy() > 0.5,
+        "AIIO accuracy {:.3}",
+        aiio_report.accuracy()
+    );
 }

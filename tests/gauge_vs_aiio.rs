@@ -12,20 +12,33 @@ use std::sync::OnceLock;
 fn setup() -> &'static (GaugeAnalysis, Dataset, AiioService, LogDatabase) {
     static CACHE: OnceLock<(GaugeAnalysis, Dataset, AiioService, LogDatabase)> = OnceLock::new();
     CACHE.get_or_init(|| {
-        let db = DatabaseSampler::new(SamplerConfig { n_jobs: 320, seed: 23, noise_sigma: 0.0 })
-            .generate();
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 320,
+            seed: 23,
+            noise_sigma: 0.0,
+        })
+        .generate();
         let ds = FeaturePipeline::paper().dataset_of(&db);
         let gauge = GaugeAnalysis::fit(
             &ds,
             &GaugeConfig {
-                hdbscan: HdbscanConfig { min_cluster_size: 12, min_samples: 6 },
-                model: GbdtConfig { n_rounds: 25, max_depth: 4, ..GbdtConfig::xgboost_like() },
+                hdbscan: HdbscanConfig {
+                    min_cluster_size: 12,
+                    min_samples: 6,
+                },
+                model: GbdtConfig {
+                    n_rounds: 25,
+                    max_depth: 4,
+                    ..GbdtConfig::xgboost_like()
+                },
                 max_evals: 192,
                 seed: 0,
             },
         );
         let mut cfg = TrainConfig::fast();
-        cfg.zoo = cfg.zoo.with_kinds(&[aiio::ModelKind::XgboostLike, aiio::ModelKind::CatboostLike]);
+        cfg.zoo = cfg
+            .zoo
+            .with_kinds(&[aiio::ModelKind::XgboostLike, aiio::ModelKind::CatboostLike]);
         cfg.diagnosis.max_evals = 256;
         let service = AiioService::train(&cfg, &db);
         (gauge, ds, service, db)
@@ -45,9 +58,17 @@ fn group_average_error_hides_member_extremes() {
     // Fig. 1(a): selecting one model for the whole group misrepresents
     // individual members.
     let (gauge, _, _, _) = setup();
-    let cluster = gauge.clusters.iter().max_by_key(|c| c.members.len()).unwrap();
+    let cluster = gauge
+        .clusters
+        .iter()
+        .max_by_key(|c| c.members.len())
+        .unwrap();
     let avg = cluster.average_abs_error();
-    let max = cluster.member_abs_errors.iter().copied().fold(0.0f64, f64::max);
+    let max = cluster
+        .member_abs_errors
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
     assert!(
         max > 1.5 * avg.max(1e-9),
         "worst member ({max:.4}) should far exceed the average ({avg:.4})"
@@ -59,7 +80,11 @@ fn gauge_explanations_violate_robustness_but_aiio_does_not() {
     // Fig. 1(d): mean-background explanations put impact on zero counters;
     // the same jobs diagnosed by AIIO never do.
     let (gauge, ds, service, db) = setup();
-    let cluster = gauge.clusters.iter().max_by_key(|c| c.members.len()).unwrap();
+    let cluster = gauge
+        .clusters
+        .iter()
+        .max_by_key(|c| c.members.len())
+        .unwrap();
     let mut gauge_violations = 0usize;
     let mut aiio_violations = 0usize;
     for &i in cluster.members.iter().take(6) {
@@ -70,8 +95,14 @@ fn gauge_explanations_violate_robustness_but_aiio_does_not() {
         let report = service.diagnose(log);
         aiio_violations += robustness_violations(&report.merged, &ds.x[i]).len();
     }
-    assert!(gauge_violations > 0, "Gauge-style background should violate robustness");
-    assert_eq!(aiio_violations, 0, "AIIO must never assign impact to zero counters");
+    assert!(
+        gauge_violations > 0,
+        "Gauge-style background should violate robustness"
+    );
+    assert_eq!(
+        aiio_violations, 0,
+        "AIIO must never assign impact to zero counters"
+    );
 }
 
 #[test]

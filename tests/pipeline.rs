@@ -12,13 +12,33 @@ use std::sync::OnceLock;
 fn service() -> &'static (AiioService, LogDatabase) {
     static CACHE: OnceLock<(AiioService, LogDatabase)> = OnceLock::new();
     CACHE.get_or_init(|| {
-        let db = DatabaseSampler::new(SamplerConfig { n_jobs: 600, seed: 101, noise_sigma: 0.02 })
-            .generate();
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 600,
+            seed: 101,
+            noise_sigma: 0.02,
+        })
+        .generate();
         let mut cfg = TrainConfig::fast();
-        cfg.zoo.xgboost = GbdtConfig { n_rounds: 40, max_depth: 5, ..GbdtConfig::xgboost_like() };
-        cfg.zoo.lightgbm = GbdtConfig { n_rounds: 40, max_leaves: 15, ..GbdtConfig::lightgbm_like() };
-        cfg.zoo.catboost = GbdtConfig { n_rounds: 40, max_depth: 4, ..GbdtConfig::catboost_like() };
-        cfg.zoo.mlp = MlpConfig { hidden: vec![32], max_epochs: 12, ..MlpConfig::paper() };
+        cfg.zoo.xgboost = GbdtConfig {
+            n_rounds: 40,
+            max_depth: 5,
+            ..GbdtConfig::xgboost_like()
+        };
+        cfg.zoo.lightgbm = GbdtConfig {
+            n_rounds: 40,
+            max_leaves: 15,
+            ..GbdtConfig::lightgbm_like()
+        };
+        cfg.zoo.catboost = GbdtConfig {
+            n_rounds: 40,
+            max_depth: 4,
+            ..GbdtConfig::catboost_like()
+        };
+        cfg.zoo.mlp = MlpConfig {
+            hidden: vec![32],
+            max_epochs: 12,
+            ..MlpConfig::paper()
+        };
         cfg.zoo.tabnet = TabNetConfig {
             n_steps: 2,
             d_hidden: 16,
@@ -47,9 +67,15 @@ fn all_five_models_train_and_beat_the_mean_baseline_on_validation() {
     for (kind, rmse) in &service.validation_rmse {
         match kind {
             ModelKind::XgboostLike | ModelKind::LightgbmLike | ModelKind::CatboostLike => {
-                assert!(rmse < &(0.8 * baseline), "{kind}: {rmse} vs baseline {baseline}")
+                assert!(
+                    rmse < &(0.8 * baseline),
+                    "{kind}: {rmse} vs baseline {baseline}"
+                )
             }
-            _ => assert!(rmse < &(2.0 * baseline), "{kind}: {rmse} vs baseline {baseline}"),
+            _ => assert!(
+                rmse < &(2.0 * baseline),
+                "{kind}: {rmse} vs baseline {baseline}"
+            ),
         }
     }
 }
@@ -65,7 +91,11 @@ fn diagnosis_of_unseen_small_write_job_flags_write_side_counters() {
     // write-only job never has read counters flagged.
     assert!(report.is_robust(&log));
     for b in &report.bottlenecks {
-        assert!(!b.counter.is_read_related(), "{} flagged on a write-only job", b.counter);
+        assert!(
+            !b.counter.is_read_related(),
+            "{} flagged on a write-only job",
+            b.counter
+        );
     }
     // At least one diagnosed bottleneck and actionable advice exist.
     assert!(!report.bottlenecks.is_empty());
@@ -82,11 +112,18 @@ fn diagnosis_report_identifies_known_seek_bottleneck() {
     let report = service.diagnose(&log);
     assert!(report.is_robust(&log));
     // POSIX_SEEKS must appear among the negative contributions.
-    let has_seeks = report.bottlenecks.iter().any(|b| b.counter == CounterId::PosixSeeks);
+    let has_seeks = report
+        .bottlenecks
+        .iter()
+        .any(|b| b.counter == CounterId::PosixSeeks);
     assert!(
         has_seeks,
         "expected POSIX_SEEKS among bottlenecks, got {:?}",
-        report.bottlenecks.iter().map(|b| b.counter.name()).collect::<Vec<_>>()
+        report
+            .bottlenecks
+            .iter()
+            .map(|b| b.counter.name())
+            .collect::<Vec<_>>()
     );
 }
 

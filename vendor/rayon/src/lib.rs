@@ -1,0 +1,103 @@
+//! Offline shim for the `rayon` entry points this workspace uses.
+//!
+//! Every `par_*` method returns the corresponding **sequential** std
+//! iterator, so all downstream adapter calls (`map`, `zip`, `collect`,
+//! `for_each`, ...) compile and behave identically minus the parallelism.
+//! Swapping in real rayon later is a Cargo.toml change only.
+//! `current_num_threads` reports 1 so callers that size batches by thread
+//! count stay correct.
+
+pub mod prelude {
+    /// `par_iter`/`par_chunks` family over slices (and `Vec` via deref).
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Mutable counterpart of [`ParallelSlice`].
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `into_par_iter` for any owned iterable (vectors, ranges, maps...).
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Number of worker threads (always 1: the shim is sequential).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Run two closures "in parallel" (sequentially here) and return both.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let total: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn par_iter_mut_and_chunks() {
+        let mut v = vec![1, 2, 3, 4, 5];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13, 14, 15]);
+        let chunk_sums: Vec<i32> = v.par_chunks(2).map(|chunk| chunk.iter().sum()).collect();
+        assert_eq!(chunk_sums, vec![23, 27, 15]);
+        v.par_chunks_mut(2).for_each(|chunk| chunk.reverse());
+        assert_eq!(v, vec![12, 11, 14, 13, 15]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+}

@@ -1,0 +1,559 @@
+//! Offline shim for `serde_derive`: expands `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` into impls of the Value-based traits in the
+//! vendored `serde` shim.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote`, which the offline
+//! container cannot download). The parser handles the shapes this
+//! workspace actually derives: non-generic structs with named fields,
+//! tuple/newtype structs, and enums with unit, newtype, tuple, and struct
+//! variants (externally tagged, like real serde). Recognised field
+//! attributes: `#[serde(skip)]` and `#[serde(default)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse()
+                .expect("serde_derive shim generated invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("literal"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Skip attributes, recording `#[serde(...)]` flags.
+    fn skip_attrs(&mut self) -> (bool, bool) {
+        let (mut skip, mut default) = (false, false);
+        while self.eat_punct('#') {
+            // `#![...]` inner attributes start with `!`; eat it if present.
+            self.eat_punct('!');
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let mut inner = Cursor::new(g.stream());
+                if inner.eat_ident("serde") {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        for t in args.stream() {
+                            if let TokenTree::Ident(id) = t {
+                                match id.to_string().as_str() {
+                                    "skip" => skip = true,
+                                    "default" => default = true,
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (skip, default)
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip a type (or discriminant expression) up to a top-level comma,
+    /// tracking `<`/`>` nesting. Leaves the cursor ON the comma (if any).
+    fn skip_until_top_level_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && angle > 0 => angle -= 1,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        return Err("serde shim derive: expected `struct` or `enum`".into());
+    };
+
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected item name".into()),
+    };
+
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported; \
+             write manual impls or drop the derive"
+        ));
+    }
+
+    if is_enum {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            _ => Err(format!("serde shim derive: malformed enum `{name}`")),
+        }
+    } else {
+        match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok(Item::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            _ => Err(format!("serde shim derive: malformed struct `{name}`")),
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        let (skip, default) = c.skip_attrs();
+        c.skip_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("serde shim derive: unexpected token `{other}`")),
+        };
+        if !c.eat_punct(':') {
+            return Err(format!(
+                "serde shim derive: expected `:` after field `{name}`"
+            ));
+        }
+        c.skip_until_top_level_comma();
+        c.eat_punct(',');
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut arity = 0;
+    loop {
+        c.skip_attrs();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_until_top_level_comma();
+        arity += 1;
+        if !c.eat_punct(',') {
+            break;
+        }
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("serde shim derive: unexpected token `{other}`")),
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantShape::Tuple(arity)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= 3`) if present.
+        if c.eat_punct('=') {
+            c.skip_until_top_level_comma();
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn push_named_fields_ser(out: &mut String, fields: &[Field], access_prefix: &str) {
+    out.push_str("{ let mut m: Vec<(String, serde::Value)> = Vec::new();");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        out.push_str(&format!(
+            "m.push((String::from(\"{n}\"), serde::Serialize::to_value({p}{n})));",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    out.push_str("serde::Value::Map(m) }");
+}
+
+/// Build the `Name { field: ..., }` constructor body for named fields read
+/// out of map expression `map_expr`, for type `ty` (error messages).
+fn push_named_fields_de(out: &mut String, ty: &str, fields: &[Field], map_expr: &str) {
+    out.push_str("{ ");
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{}: Default::default(), ", f.name));
+        } else if f.default {
+            out.push_str(&format!(
+                "{n}: match serde::value_get({m}, \"{n}\") {{ \
+                   Some(x) => serde::Deserialize::from_value(x)?, \
+                   None => Default::default() }}, ",
+                n = f.name,
+                m = map_expr,
+            ));
+        } else {
+            out.push_str(&format!(
+                "{n}: match serde::value_get({m}, \"{n}\") {{ \
+                   Some(x) => serde::Deserialize::from_value(x)?, \
+                   None => return Err(serde::missing_field(\"{ty}\", \"{n}\")) }}, ",
+                n = f.name,
+                m = map_expr,
+            ));
+        }
+    }
+    out.push('}');
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{ fn to_value(&self) -> serde::Value "
+            ));
+            push_named_fields_ser(&mut out, fields, "&self.");
+            out.push_str("}\n");
+        }
+        Item::UnitStruct { name } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> serde::Value {{ serde::Value::Null }} }}\n"
+            ));
+        }
+        Item::TupleStruct { name, arity } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{ fn to_value(&self) -> serde::Value {{ "
+            ));
+            if *arity == 1 {
+                out.push_str("serde::Serialize::to_value(&self.0)");
+            } else {
+                out.push_str("serde::Value::Seq(vec![");
+                for i in 0..*arity {
+                    out.push_str(&format!("serde::Serialize::to_value(&self.{i}),"));
+                }
+                out.push_str("])");
+            }
+            out.push_str("} }\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> serde::Value {{ match self {{"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => out.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(String::from(\"{vn}\")),"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(vec![{}])", items.join(","))
+                        };
+                        out.push_str(&format!(
+                            "{name}::{vn}({binds}) => serde::Value::Map(vec![\
+                             (String::from(\"{vn}\"), {payload})]),",
+                            binds = binders.join(","),
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ \
+                             let payload = ",
+                            binds = binders.join(","),
+                        ));
+                        push_named_fields_ser(&mut out, fields, "");
+                        out.push_str(&format!(
+                            "; serde::Value::Map(vec![(String::from(\"{vn}\"), payload)]) }},"
+                        ));
+                    }
+                }
+            }
+            out.push_str("} } }\n");
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            out.push_str(&format!(
+                "impl serde::Deserialize for {name} {{ \
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ \
+                 let m = v.as_map().ok_or_else(|| \
+                   serde::Error::custom(\"expected map for {name}\"))?; \
+                 Ok({name} "
+            ));
+            push_named_fields_de(&mut out, name, fields, "m");
+            out.push_str(") } }\n");
+        }
+        Item::UnitStruct { name } => {
+            out.push_str(&format!(
+                "impl serde::Deserialize for {name} {{ \
+                 fn from_value(_v: &serde::Value) -> Result<Self, serde::Error> {{ \
+                 Ok({name}) }} }}\n"
+            ));
+        }
+        Item::TupleStruct { name, arity } => {
+            out.push_str(&format!(
+                "impl serde::Deserialize for {name} {{ \
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ "
+            ));
+            if *arity == 1 {
+                out.push_str(&format!("Ok({name}(serde::Deserialize::from_value(v)?))"));
+            } else {
+                out.push_str(&format!(
+                    "let seq = v.as_array().ok_or_else(|| \
+                       serde::Error::custom(\"expected array for {name}\"))?; \
+                     if seq.len() != {arity} {{ \
+                       return Err(serde::Error::custom(\"wrong arity for {name}\")); }} \
+                     Ok({name}("
+                ));
+                for i in 0..*arity {
+                    out.push_str(&format!("serde::Deserialize::from_value(&seq[{i}])?,"));
+                }
+                out.push_str("))");
+            }
+            out.push_str("} }\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl serde::Deserialize for {name} {{ \
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ "
+            ));
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .collect();
+            if !units.is_empty() {
+                out.push_str("if let Some(s) = v.as_str() { return match s { ");
+                for v in &units {
+                    out.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name));
+                }
+                out.push_str(&format!(
+                    "other => Err(serde::Error::custom(format!(\
+                     \"unknown {name} variant {{other}}\"))), }}; }} "
+                ));
+            }
+            let tagged: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .collect();
+            if !tagged.is_empty() {
+                out.push_str(
+                    "if let Some(m) = v.as_map() { \
+                     if m.len() == 1 { \
+                     let (tag, payload) = &m[0]; \
+                     return match tag.as_str() { ",
+                );
+                for v in &tagged {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => unreachable!("filtered above"),
+                        VariantShape::Tuple(arity) => {
+                            if *arity == 1 {
+                                out.push_str(&format!(
+                                    "\"{vn}\" => Ok({name}::{vn}(\
+                                     serde::Deserialize::from_value(payload)?)),"
+                                ));
+                            } else {
+                                out.push_str(&format!(
+                                    "\"{vn}\" => {{ \
+                                     let seq = payload.as_array().ok_or_else(|| \
+                                       serde::Error::custom(\"expected array for {name}::{vn}\"))?; \
+                                     if seq.len() != {arity} {{ \
+                                       return Err(serde::Error::custom(\
+                                         \"wrong arity for {name}::{vn}\")); }} \
+                                     Ok({name}::{vn}("
+                                ));
+                                for i in 0..*arity {
+                                    out.push_str(&format!(
+                                        "serde::Deserialize::from_value(&seq[{i}])?,"
+                                    ));
+                                }
+                                out.push_str(")) },");
+                            }
+                        }
+                        VariantShape::Struct(fields) => {
+                            out.push_str(&format!(
+                                "\"{vn}\" => {{ \
+                                 let mm = payload.as_map().ok_or_else(|| \
+                                   serde::Error::custom(\"expected map for {name}::{vn}\"))?; \
+                                 Ok({name}::{vn} "
+                            ));
+                            push_named_fields_de(&mut out, &format!("{name}::{vn}"), fields, "mm");
+                            out.push_str(") },");
+                        }
+                    }
+                }
+                out.push_str(&format!(
+                    "other => Err(serde::Error::custom(format!(\
+                     \"unknown {name} variant {{other}}\"))), }}; }} }} "
+                ));
+            }
+            out.push_str(&format!(
+                "Err(serde::Error::custom(\"unexpected value for enum {name}\")) }} }}\n"
+            ));
+        }
+    }
+    out
+}
