@@ -348,7 +348,7 @@ mod tests {
                 crate::ModelKind::CatboostLike,
             ]);
             cfg.diagnosis.max_evals = 384;
-            AiioService::train(&cfg, &db)
+            AiioService::train(&cfg, &db).unwrap()
         })
     }
 

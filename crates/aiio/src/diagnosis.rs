@@ -3,7 +3,9 @@
 //! bottleneck report.
 
 use crate::advisor::{advice_for, Advice};
-use crate::merge::{average_weights, closest_model, merge_attributions_average, MergeMethod};
+use crate::merge::{
+    average_weights, closest_model, merge_attributions_average, MergeError, MergeMethod,
+};
 use crate::model::ModelKind;
 use crate::zoo::ModelZoo;
 use aiio_darshan::{CounterId, FeaturePipeline, JobLog, N_COUNTERS};
@@ -144,6 +146,32 @@ impl std::fmt::Display for DiagnosisReport {
     }
 }
 
+/// Error from a diagnosis request — the typed boundary the serving layer
+/// maps to HTTP 422 instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagnoseError {
+    /// The model zoo holds no trained models.
+    EmptyZoo,
+}
+
+impl std::fmt::Display for DiagnoseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiagnoseError::EmptyZoo => write!(f, "cannot diagnose with an empty model zoo"),
+        }
+    }
+}
+
+impl std::error::Error for DiagnoseError {}
+
+impl From<MergeError> for DiagnoseError {
+    fn from(e: MergeError) -> Self {
+        match e {
+            MergeError::NoModels => DiagnoseError::EmptyZoo,
+        }
+    }
+}
+
 /// The diagnosis engine: a trained zoo plus the feature pipeline and
 /// explainer configuration.
 #[derive(Debug, Clone)]
@@ -186,12 +214,28 @@ impl<'a> Diagnoser<'a> {
     /// Diagnose one job log.
     ///
     /// # Panics
-    /// Panics if the zoo is empty.
+    /// Panics if the zoo is empty — use [`Diagnoser::try_diagnose`] at
+    /// service boundaries.
     pub fn diagnose(&self, log: &JobLog) -> DiagnosisReport {
         assert!(
             !self.zoo.is_empty(),
             "cannot diagnose with an empty model zoo"
         );
+        // The assert above rules out `EmptyZoo`, the only error variant;
+        // this arm cannot run (and `panic_any` keeps the invariant loud
+        // if the error enum ever grows).
+        match self.try_diagnose(log) {
+            Ok(report) => report,
+            Err(e @ DiagnoseError::EmptyZoo) => std::panic::panic_any(e),
+        }
+    }
+
+    /// Diagnose one job log, returning a typed error on an empty zoo
+    /// instead of panicking (the serving layer maps this to HTTP 422).
+    pub fn try_diagnose(&self, log: &JobLog) -> Result<DiagnosisReport, DiagnoseError> {
+        if self.zoo.is_empty() {
+            return Err(DiagnoseError::EmptyZoo);
+        }
         let features = self.pipeline.features_of(log);
         let tag = self.pipeline.tag_of(log);
 
@@ -212,11 +256,11 @@ impl<'a> Diagnoser<'a> {
 
         let merged = match self.config.merge {
             MergeMethod::Closest => {
-                let idx = closest_model(&predictions, tag);
+                let idx = closest_model(&predictions, tag)?;
                 per_model[idx].1.clone()
             }
             MergeMethod::Average => {
-                let w = average_weights(&predictions, tag);
+                let w = average_weights(&predictions, tag)?;
                 let attrs: Vec<Attribution> = per_model.iter().map(|(_, a)| a.clone()).collect();
                 merge_attributions_average(&attrs, &w)
             }
@@ -250,7 +294,7 @@ impl<'a> Diagnoser<'a> {
             .take(4)
             .collect();
 
-        DiagnosisReport {
+        Ok(DiagnosisReport {
             job_id: log.job_id,
             app: log.app.clone(),
             performance_mib_s: log.performance_mib_s(),
@@ -261,9 +305,19 @@ impl<'a> Diagnoser<'a> {
             bottlenecks,
             positives,
             advice,
-        }
+        })
     }
 }
+
+// The serving layer shares one `AiioService` snapshot across worker
+// threads; this audit fails to compile if the diagnosis path ever grows
+// non-`Send + Sync` state (e.g. interior mutability or `Rc`).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Diagnoser<'static>>();
+    assert_send_sync::<DiagnosisReport>();
+    assert_send_sync::<DiagnoseError>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -309,7 +363,8 @@ mod tests {
                 ModelKind::LightgbmLike,
                 ModelKind::CatboostLike,
             ]);
-            let zoo = ModelZoo::train(&cfg, &ds.subset(&split.train), &ds.subset(&split.valid));
+            let zoo =
+                ModelZoo::train(&cfg, &ds.subset(&split.train), &ds.subset(&split.valid)).unwrap();
             (zoo, db)
         })
     }
@@ -413,6 +468,14 @@ mod tests {
         );
         let r = d.diagnose(job);
         assert!(r.is_robust(job));
+    }
+
+    #[test]
+    fn empty_zoo_yields_typed_error_not_panic() {
+        let (_, db) = trained();
+        let zoo: ModelZoo = serde_json::from_str(r#"{"models":[],"failed":[]}"#).unwrap();
+        let d = Diagnoser::new(&zoo, FeaturePipeline::paper(), DiagnosisConfig::default());
+        assert_eq!(d.try_diagnose(&db.jobs()[0]), Err(DiagnoseError::EmptyZoo));
     }
 
     #[test]

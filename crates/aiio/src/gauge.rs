@@ -83,15 +83,16 @@ pub struct GaugeAnalysis {
 }
 
 impl GaugeAnalysis {
-    /// Cluster the dataset and fit one model per cluster.
-    pub fn fit(ds: &Dataset, config: &GaugeConfig) -> GaugeAnalysis {
+    /// Cluster the dataset and fit one model per cluster. A cluster whose
+    /// model fails to fit propagates its [`aiio_gbdt::FitError`].
+    pub fn fit(ds: &Dataset, config: &GaugeConfig) -> Result<GaugeAnalysis, aiio_gbdt::FitError> {
         let clustering = Hdbscan::fit(&ds.x, &config.hdbscan);
         let mut clusters = Vec::new();
         for label in 0..clustering.n_clusters as i32 {
             let members = clustering.members(label);
             let x: Vec<Vec<f64>> = members.iter().map(|&i| ds.x[i].clone()).collect();
             let y: Vec<f64> = members.iter().map(|&i| ds.y[i]).collect();
-            let model = Booster::fit(&config.model, &x, &y, None).expect("cluster model fit");
+            let model = Booster::fit(&config.model, &x, &y, None)?;
             let pred = model.predict(&x);
             let member_abs_errors: Vec<f64> =
                 pred.iter().zip(&y).map(|(p, t)| (p - t).abs()).collect();
@@ -111,11 +112,11 @@ impl GaugeAnalysis {
                 member_abs_errors,
             });
         }
-        GaugeAnalysis {
+        Ok(GaugeAnalysis {
             clustering,
             clusters,
             config: config.clone(),
-        }
+        })
     }
 
     /// Gauge-style explanation of one member: Kernel SHAP against the
@@ -195,7 +196,7 @@ mod tests {
                 max_evals: 128,
                 seed: 0,
             };
-            (GaugeAnalysis::fit(&ds, &cfg), ds)
+            (GaugeAnalysis::fit(&ds, &cfg).unwrap(), ds)
         })
     }
 

@@ -32,7 +32,7 @@
 //!
 //! // Build a training database with the bundled simulator.
 //! let db = DatabaseSampler::new(SamplerConfig { n_jobs: 2000, ..Default::default() }).generate();
-//! let service = AiioService::train(&TrainConfig::fast(), &db);
+//! let service = AiioService::train(&TrainConfig::fast(), &db).expect("zoo trains");
 //!
 //! // Diagnose an unseen job.
 //! let job = IorConfig::parse("ior -w -t 1k -b 1m -Y").unwrap().to_spec();
@@ -57,22 +57,22 @@ pub mod zoo;
 
 pub use advisor::{advice_for, Advice};
 pub use autotune::{AutoTuner, TuningAction, TuningOutcome};
-pub use diagnosis::{Diagnoser, DiagnosisConfig, DiagnosisReport, ExplainerKind};
+pub use diagnosis::{DiagnoseError, Diagnoser, DiagnosisConfig, DiagnosisReport, ExplainerKind};
 pub use drift::{DriftDetector, DriftScore};
 pub use eval::{ClassificationReport, ClassificationScorer};
-pub use merge::{average_weights, merge_attributions_average, MergeMethod};
+pub use merge::{average_weights, merge_attributions_average, MergeError, MergeMethod};
 pub use model::{AnyModel, ModelKind};
 pub use report_md::to_markdown;
 pub use rules::{RuleChecker, RuleThresholds};
-pub use service::{AiioService, TrainConfig};
+pub use service::{AiioService, TrainConfig, TrainError};
 pub use whatif::{WhatIf, WhatIfPrediction};
-pub use zoo::{ModelZoo, ZooConfig};
+pub use zoo::{ModelZoo, ZooConfig, ZooError};
 
 /// Convenient re-exports for downstream users and examples.
 pub mod prelude {
     pub use crate::{
-        AiioService, Diagnoser, DiagnosisConfig, DiagnosisReport, MergeMethod, ModelKind, ModelZoo,
-        TrainConfig, ZooConfig,
+        AiioService, DiagnoseError, Diagnoser, DiagnosisConfig, DiagnosisReport, MergeMethod,
+        ModelKind, ModelZoo, TrainConfig, TrainError, ZooConfig,
     };
     pub use aiio_darshan::{CounterId, Dataset, FeaturePipeline, JobLog, LogDatabase};
     pub use aiio_iosim::{DatabaseSampler, IorConfig, SamplerConfig, Simulator, StorageConfig};

@@ -15,38 +15,56 @@ pub enum MergeMethod {
     Average,
 }
 
+/// Error from a merge over an empty model list — the API boundary the
+/// serving layer maps to HTTP 422 instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// No model predictions to merge (empty zoo).
+    NoModels,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::NoModels => write!(f, "no model predictions to merge (empty model zoo)"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// Index of the model whose prediction is closest to the estimate (Eq. 6).
-///
-/// # Panics
-/// Panics on an empty prediction list.
-pub fn closest_model(predictions: &[f64], estimated: f64) -> usize {
-    assert!(!predictions.is_empty(), "no model predictions");
-    predictions
-        .iter()
-        .enumerate()
-        .min_by(|(_, a), (_, b)| (*a - estimated).abs().total_cmp(&(*b - estimated).abs()))
-        .map(|(i, _)| i)
-        .unwrap()
+pub fn closest_model(predictions: &[f64], estimated: f64) -> Result<usize, MergeError> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, p) in predictions.iter().enumerate() {
+        let d = (p - estimated).abs();
+        if best.is_none_or(|(_, bd)| d.total_cmp(&bd).is_lt()) {
+            best = Some((i, d));
+        }
+    }
+    best.map(|(i, _)| i).ok_or(MergeError::NoModels)
 }
 
 /// Eq. 8 weights: `r_m = Σ_m' |ŷ_m' − y| / |ŷ_m − y|`, normalised to sum
 /// to 1. A model that predicts the estimate exactly receives all the
 /// weight (split evenly among exact models).
-pub fn average_weights(predictions: &[f64], estimated: f64) -> Vec<f64> {
-    assert!(!predictions.is_empty(), "no model predictions");
+pub fn average_weights(predictions: &[f64], estimated: f64) -> Result<Vec<f64>, MergeError> {
+    if predictions.is_empty() {
+        return Err(MergeError::NoModels);
+    }
     let diffs: Vec<f64> = predictions.iter().map(|p| (p - estimated).abs()).collect();
     let exact: Vec<bool> = diffs.iter().map(|&d| d < 1e-12).collect();
     let n_exact = exact.iter().filter(|&&e| e).count();
     if n_exact > 0 {
-        return exact
+        return Ok(exact
             .iter()
             .map(|&e| if e { 1.0 / n_exact as f64 } else { 0.0 })
-            .collect();
+            .collect());
     }
     let total: f64 = diffs.iter().sum();
     let r: Vec<f64> = diffs.iter().map(|d| total / d).collect();
     let rsum: f64 = r.iter().sum();
-    r.into_iter().map(|v| v / rsum).collect()
+    Ok(r.into_iter().map(|v| v / rsum).collect())
 }
 
 /// Eq. 7: weighted average of per-model attributions (and of the expected
@@ -82,28 +100,35 @@ mod tests {
 
     #[test]
     fn closest_picks_minimum_absolute_error() {
-        assert_eq!(closest_model(&[1.0, 4.9, 9.0], 5.0), 1);
-        assert_eq!(closest_model(&[5.0], 5.0), 0);
+        assert_eq!(closest_model(&[1.0, 4.9, 9.0], 5.0), Ok(1));
+        assert_eq!(closest_model(&[5.0], 5.0), Ok(0));
+    }
+
+    #[test]
+    fn empty_model_list_is_a_typed_error() {
+        assert_eq!(closest_model(&[], 5.0), Err(MergeError::NoModels));
+        assert_eq!(average_weights(&[], 5.0), Err(MergeError::NoModels));
+        assert!(MergeError::NoModels.to_string().contains("empty model zoo"));
     }
 
     #[test]
     fn weights_sum_to_one_and_favour_accuracy() {
-        let w = average_weights(&[5.0, 6.0, 10.0], 5.1);
+        let w = average_weights(&[5.0, 6.0, 10.0], 5.1).unwrap();
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(w[0] > w[1] && w[1] > w[2], "{w:?}");
     }
 
     #[test]
     fn exact_prediction_takes_all_weight() {
-        let w = average_weights(&[5.0, 7.0], 5.0);
+        let w = average_weights(&[5.0, 7.0], 5.0).unwrap();
         assert_eq!(w, vec![1.0, 0.0]);
-        let w = average_weights(&[5.0, 5.0, 9.0], 5.0);
+        let w = average_weights(&[5.0, 5.0, 9.0], 5.0).unwrap();
         assert_eq!(w, vec![0.5, 0.5, 0.0]);
     }
 
     #[test]
     fn equal_errors_get_equal_weights() {
-        let w = average_weights(&[4.0, 6.0], 5.0);
+        let w = average_weights(&[4.0, 6.0], 5.0).unwrap();
         assert!((w[0] - 0.5).abs() < 1e-12);
         assert!((w[1] - 0.5).abs() < 1e-12);
     }

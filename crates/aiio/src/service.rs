@@ -7,12 +7,35 @@
 //! (An HTTP front-end would add a network dependency without exercising
 //! anything new.)
 
-use crate::diagnosis::{Diagnoser, DiagnosisConfig, DiagnosisReport};
-use crate::zoo::{ModelZoo, ZooConfig};
+use crate::diagnosis::{DiagnoseError, Diagnoser, DiagnosisConfig, DiagnosisReport};
+use crate::zoo::{ModelZoo, ZooConfig, ZooError};
 use aiio_darshan::{Dataset, FeaturePipeline, JobLog, LogDatabase};
 use serde::{Deserialize, Serialize};
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
+
+/// Error from training a service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// Zoo training produced no usable models.
+    Zoo(ZooError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Zoo(e) => write!(f, "zoo training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<ZooError> for TrainError {
+    fn from(e: ZooError) -> Self {
+        TrainError::Zoo(e)
+    }
+}
 
 /// Everything needed to train a service.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,7 +81,10 @@ pub struct AiioService {
 
 impl AiioService {
     /// Train all models on a log database (half/half split as in §3.2).
-    pub fn train(config: &TrainConfig, db: &LogDatabase) -> AiioService {
+    ///
+    /// A model whose fit fails degrades the zoo (see [`ModelZoo::failed`]);
+    /// only a zoo with zero usable models is an error.
+    pub fn train(config: &TrainConfig, db: &LogDatabase) -> Result<AiioService, TrainError> {
         let pipeline = FeaturePipeline::paper();
         let ds = pipeline.dataset_of(db);
         let split = db.split_indices(config.train_fraction, config.seed);
@@ -74,21 +100,31 @@ impl AiioService {
         pipeline: FeaturePipeline,
         train: &Dataset,
         valid: &Dataset,
-    ) -> AiioService {
-        let zoo = ModelZoo::train(&config.zoo, train, valid);
+    ) -> Result<AiioService, TrainError> {
+        let zoo = ModelZoo::train(&config.zoo, train, valid)?;
         let validation_rmse = zoo.rmse_per_model(valid);
-        AiioService {
+        Ok(AiioService {
             pipeline,
             zoo,
             diagnosis: config.diagnosis.clone(),
             validation_rmse,
-        }
+        })
     }
 
     /// Diagnose one job log — works for unseen jobs without retraining
     /// (the generalisation property of §3.2).
+    ///
+    /// # Panics
+    /// Panics if the zoo is empty (impossible for a trained service; a
+    /// hand-crafted or corrupted persisted service can hit it — servers
+    /// should use [`AiioService::try_diagnose`]).
     pub fn diagnose(&self, log: &JobLog) -> DiagnosisReport {
         Diagnoser::new(&self.zoo, self.pipeline, self.diagnosis.clone()).diagnose(log)
+    }
+
+    /// Diagnose one job log, returning a typed error on an empty zoo.
+    pub fn try_diagnose(&self, log: &JobLog) -> Result<DiagnosisReport, DiagnoseError> {
+        Diagnoser::new(&self.zoo, self.pipeline, self.diagnosis.clone()).try_diagnose(log)
     }
 
     /// Diagnose a batch of logs in parallel (one SHAP run per job per
@@ -164,7 +200,7 @@ mod tests {
                 noise_sigma: 0.0,
             })
             .generate();
-            AiioService::train(&quick_config(), &db)
+            AiioService::train(&quick_config(), &db).unwrap()
         })
     }
 
@@ -227,6 +263,60 @@ mod tests {
             assert_eq!(report.top_bottleneck(), single.top_bottleneck());
             assert_eq!(report.job_id, log.job_id);
         }
+    }
+
+    #[test]
+    fn save_load_under_concurrent_diagnosis_is_stable() {
+        // The serving layer hot-reloads persisted models while reader
+        // threads keep diagnosing; persistence must not wobble under that
+        // concurrency. N readers diagnose the same log continuously while
+        // the main thread saves and reloads the service; every report —
+        // before, during and after the reload — must be identical.
+        let s = service();
+        let spec = aiio_iosim::IorConfig::parse("ior -w -t 1k -b 1m -Y")
+            .unwrap()
+            .to_spec();
+        let log = Simulator::new(StorageConfig::cori_like_quiet()).simulate(&spec, 4242, 2022, 1);
+        let baseline = serde_json::to_string(&s.diagnose(&log)).unwrap();
+
+        let path = std::env::temp_dir().join("aiio_service_concurrent_test.json");
+        let loaded = std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let log = &log;
+                    let baseline = &baseline;
+                    scope.spawn(move || {
+                        for _ in 0..3 {
+                            let r = serde_json::to_string(&s.diagnose(log)).unwrap();
+                            assert_eq!(&r, baseline, "report drifted during save/load");
+                        }
+                    })
+                })
+                .collect();
+            s.save(&path).unwrap();
+            let loaded = AiioService::load(&path).unwrap();
+            for handle in readers {
+                handle.join().unwrap();
+            }
+            loaded
+        });
+        let _ = std::fs::remove_file(&path);
+
+        let after = serde_json::to_string(&loaded.diagnose(&log)).unwrap();
+        assert_eq!(after, baseline, "report drifted across a hot reload");
+    }
+
+    #[test]
+    fn training_on_empty_kind_list_is_an_error() {
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 60,
+            seed: 1,
+            noise_sigma: 0.0,
+        })
+        .generate();
+        let mut cfg = TrainConfig::fast();
+        cfg.zoo = cfg.zoo.with_kinds(&[]);
+        assert!(AiioService::train(&cfg, &db).is_err());
     }
 
     #[test]

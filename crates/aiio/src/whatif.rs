@@ -150,7 +150,7 @@ mod tests {
                 crate::ModelKind::LightgbmLike,
                 crate::ModelKind::CatboostLike,
             ]);
-            AiioService::train(&cfg, &db)
+            AiioService::train(&cfg, &db).unwrap()
         })
     }
 

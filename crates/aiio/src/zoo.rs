@@ -86,46 +86,100 @@ pub struct TrainedModel {
     pub model: AnyModel,
 }
 
+/// Error from zoo training: every configured model failed to fit (or none
+/// were configured), so no ensemble exists to serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZooError {
+    /// `ZooConfig::kinds` was empty.
+    NoKindsConfigured,
+    /// Every configured fit failed; each failure with its reason.
+    AllFitsFailed(Vec<(ModelKind, String)>),
+}
+
+impl std::fmt::Display for ZooError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZooError::NoKindsConfigured => write!(f, "no model kinds configured for the zoo"),
+            ZooError::AllFitsFailed(fails) => {
+                write!(f, "every model fit failed:")?;
+                for (kind, why) in fails {
+                    write!(f, " {kind}: {why};")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZooError {}
+
 /// The trained ensemble of performance functions.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ModelZoo {
     models: Vec<TrainedModel>,
+    /// Models whose fit failed at train time, with the failure reason —
+    /// the zoo degrades rather than aborting the service.
+    #[serde(default)]
+    failed: Vec<(ModelKind, String)>,
 }
 
 impl ModelZoo {
     /// Train every configured model on `train`, early-stopping against
     /// `valid` (the paper's half/half shuffle-split with early-stopping
     /// rounds = 10).
-    pub fn train(config: &ZooConfig, train: &Dataset, valid: &Dataset) -> ModelZoo {
+    ///
+    /// A model whose fit fails is recorded in [`ModelZoo::failed`] and
+    /// skipped — the zoo degrades to the models that did train. Only a zoo
+    /// that would end up empty is an error.
+    pub fn train(
+        config: &ZooConfig,
+        train: &Dataset,
+        valid: &Dataset,
+    ) -> Result<ModelZoo, ZooError> {
+        if config.kinds.is_empty() {
+            return Err(ZooError::NoKindsConfigured);
+        }
         let v = (valid.x.as_slice(), valid.y.as_slice());
-        let models = config
-            .kinds
-            .iter()
-            .map(|&kind| {
-                let model = match kind {
-                    ModelKind::XgboostLike => AnyModel::Gbdt(
-                        Booster::fit(&config.xgboost, &train.x, &train.y, Some(v))
-                            .expect("xgboost-like training failed"),
-                    ),
-                    ModelKind::LightgbmLike => AnyModel::Gbdt(
-                        Booster::fit(&config.lightgbm, &train.x, &train.y, Some(v))
-                            .expect("lightgbm-like training failed"),
-                    ),
-                    ModelKind::CatboostLike => AnyModel::Gbdt(
-                        Booster::fit(&config.catboost, &train.x, &train.y, Some(v))
-                            .expect("catboost-like training failed"),
-                    ),
-                    ModelKind::Mlp => {
-                        AnyModel::Mlp(Mlp::fit(&config.mlp, &train.x, &train.y, Some(v)))
-                    }
-                    ModelKind::TabNet => {
-                        AnyModel::TabNet(TabNet::fit(&config.tabnet, &train.x, &train.y, Some(v)))
-                    }
-                };
-                TrainedModel { kind, model }
-            })
-            .collect();
-        ModelZoo { models }
+        let mut models = Vec::new();
+        let mut failed = Vec::new();
+        for &kind in &config.kinds {
+            let fit = match kind {
+                ModelKind::XgboostLike => {
+                    Booster::fit(&config.xgboost, &train.x, &train.y, Some(v)).map(AnyModel::Gbdt)
+                }
+                ModelKind::LightgbmLike => {
+                    Booster::fit(&config.lightgbm, &train.x, &train.y, Some(v)).map(AnyModel::Gbdt)
+                }
+                ModelKind::CatboostLike => {
+                    Booster::fit(&config.catboost, &train.x, &train.y, Some(v)).map(AnyModel::Gbdt)
+                }
+                ModelKind::Mlp => Ok(AnyModel::Mlp(Mlp::fit(
+                    &config.mlp,
+                    &train.x,
+                    &train.y,
+                    Some(v),
+                ))),
+                ModelKind::TabNet => Ok(AnyModel::TabNet(TabNet::fit(
+                    &config.tabnet,
+                    &train.x,
+                    &train.y,
+                    Some(v),
+                ))),
+            };
+            match fit {
+                Ok(model) => models.push(TrainedModel { kind, model }),
+                Err(e) => failed.push((kind, e.to_string())),
+            }
+        }
+        if models.is_empty() {
+            return Err(ZooError::AllFitsFailed(failed));
+        }
+        Ok(ModelZoo { models, failed })
+    }
+
+    /// Models whose fit failed at train time (the zoo serves without them).
+    pub fn failed(&self) -> &[(ModelKind, String)] {
+        &self.failed
     }
 
     /// The trained models in training order.
@@ -169,7 +223,8 @@ impl ModelZoo {
                     .iter()
                     .map(|p| p[i])
                     .min_by(|a, b| (a - ds.y[i]).abs().total_cmp(&(b - ds.y[i]).abs()))
-                    .unwrap()
+                    // A trained zoo is never empty; NaN (not a panic) if it were.
+                    .unwrap_or(f64::NAN)
             })
             .collect();
         rmse(&closest, &ds.y)
@@ -187,8 +242,11 @@ impl ModelZoo {
         let blended: Vec<f64> = (0..ds.len())
             .map(|i| {
                 let preds: Vec<f64> = per_model.iter().map(|p| p[i]).collect();
-                let w = crate::merge::average_weights(&preds, ds.y[i]);
-                preds.iter().zip(&w).map(|(p, w)| p * w).sum()
+                // A trained zoo is never empty; NaN (not a panic) if it were.
+                match crate::merge::average_weights(&preds, ds.y[i]) {
+                    Ok(w) => preds.iter().zip(&w).map(|(p, w)| p * w).sum(),
+                    Err(_) => f64::NAN,
+                }
             })
             .collect();
         rmse(&blended, &ds.y)
@@ -302,10 +360,38 @@ mod tests {
     fn subset_of_kinds_trains_only_those() {
         let (train, valid) = tiny_datasets();
         let cfg = tiny_config().with_kinds(&[ModelKind::XgboostLike, ModelKind::CatboostLike]);
-        let zoo = ModelZoo::train(&cfg, &train, &valid);
+        let zoo = ModelZoo::train(&cfg, &train, &valid).unwrap();
         assert_eq!(zoo.len(), 2);
         assert!(zoo.get(ModelKind::XgboostLike).is_some());
         assert!(zoo.get(ModelKind::Mlp).is_none());
+        assert!(zoo.failed().is_empty());
+    }
+
+    #[test]
+    fn empty_kind_list_is_a_typed_error() {
+        let (train, valid) = tiny_datasets();
+        let cfg = tiny_config().with_kinds(&[]);
+        assert!(matches!(
+            ModelZoo::train(&cfg, &train, &valid),
+            Err(ZooError::NoKindsConfigured)
+        ));
+    }
+
+    #[test]
+    fn failed_fits_degrade_the_zoo_instead_of_aborting() {
+        // An empty training set makes every Booster fit fail; with a tree
+        // kind alongside nothing else, training errs with the reasons.
+        let (train, valid) = tiny_datasets();
+        let empty = train.subset(&[]);
+        let cfg = tiny_config().with_kinds(&[ModelKind::XgboostLike, ModelKind::LightgbmLike]);
+        let err = ModelZoo::train(&cfg, &empty, &valid).unwrap_err();
+        match err {
+            ZooError::AllFitsFailed(fails) => {
+                assert_eq!(fails.len(), 2);
+                assert!(fails.iter().all(|(_, why)| why.contains("empty")));
+            }
+            other => panic!("expected AllFitsFailed, got {other:?}"),
+        }
     }
 
     /// Training all five models is the expensive part of these tests; cache
@@ -316,7 +402,7 @@ mod tests {
             use std::sync::OnceLock;
             static CACHE: OnceLock<ModelZoo> = OnceLock::new();
             CACHE
-                .get_or_init(|| ModelZoo::train(cfg, train, valid))
+                .get_or_init(|| ModelZoo::train(cfg, train, valid).unwrap())
                 .clone()
         }
     }

@@ -26,7 +26,7 @@ fn setup() -> (AiioService, aiio_darshan::JobLog) {
         aiio::ModelKind::LightgbmLike,
         aiio::ModelKind::CatboostLike,
     ]);
-    let service = AiioService::train(&cfg, &db);
+    let service = AiioService::train(&cfg, &db).expect("zoo trains");
     let spec = IorConfig::parse("ior -r -t 1k -b 1m").unwrap().to_spec();
     let log = Simulator::new(StorageConfig::cori_like_quiet()).simulate(&spec, 1, 2022, 0);
     (service, log)

@@ -74,7 +74,8 @@ impl Context {
             }
             Err(_) => {
                 eprintln!("[context] training the model zoo (cache miss)...");
-                let s = AiioService::train(&TrainConfig::fast(), &db);
+                let s = AiioService::train(&TrainConfig::fast(), &db)
+                    .expect("bench context: model zoo must train"); // xtask-allow: AIIO-P002 — harness entry point; a zero-model zoo cannot produce any figure
                 if let Err(e) = s.save(&cache) {
                     eprintln!("[context] warning: could not cache service: {e}");
                 }

@@ -53,7 +53,13 @@ pub fn run(ctx: &Context) {
         max_evals: 256,
         ..GaugeConfig::default()
     };
-    let gauge = GaugeAnalysis::fit(&sub, &cfg);
+    let gauge = match GaugeAnalysis::fit(&sub, &cfg) {
+        Ok(g) => g,
+        Err(e) => {
+            println!("Gauge baseline failed to fit ({e}) — skipping Fig. 1");
+            return;
+        }
+    };
     println!(
         "HDBSCAN: {} clusters, {} noise points over {take} jobs",
         gauge.clustering.n_clusters,

@@ -88,10 +88,13 @@ pub fn run(ctx: &Context) {
             per_model_attrs[m].push(attr.clone());
         }
         let attrs: Vec<Attribution> = report.per_model.iter().map(|(_, a)| a.clone()).collect();
-        closest_attrs.push(attrs[closest_model(&preds, tag)].clone());
+        // `preds` is nonempty for any trained zoo; fall back to model 0 /
+        // uniform weights rather than aborting the table.
+        closest_attrs.push(attrs[closest_model(&preds, tag).unwrap_or(0)].clone());
         average_attrs.push(merge_attributions_average(
             &attrs,
-            &average_weights(&preds, tag),
+            &average_weights(&preds, tag)
+                .unwrap_or_else(|_| vec![1.0 / attrs.len() as f64; attrs.len()]),
         ));
     }
 

@@ -29,6 +29,19 @@ USAGE:
       Diagnose one job log (darshan text or JSON JobLog) and print the
       ranked bottleneck report.
 
+  aiio serve --model FILE [--addr HOST:PORT] [--workers N] [--queue N]
+      Serve diagnoses over HTTP (the paper's §3.4 web service): POST
+      /diagnose and /diagnose/batch, GET /healthz and /metrics, POST
+      /admin/reload and /admin/shutdown. Prints `listening on ADDR` once
+      bound (use --addr 127.0.0.1:0 for an ephemeral port) and runs until
+      /admin/shutdown.
+
+  aiio client --addr HOST:PORT <health|metrics|diagnose|batch|reload|shutdown>
+              [LOG-FILE...] [--path FILE] [--deadline-ms N]
+      Talk to a running `aiio serve`: diagnose sends one log file (darshan
+      text or JSON), batch sends all of them in one request, reload
+      hot-swaps the server's models from --path.
+
   aiio help
       Show this message.
 ";
@@ -83,6 +96,8 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "sample" => cmd_sample(rest),
         "train" => cmd_train(rest),
         "diagnose" => cmd_diagnose(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -186,7 +201,10 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
         db.len(),
         cfg.zoo.kinds.len()
     );
-    let service = AiioService::train(&cfg, &db);
+    let service = AiioService::train(&cfg, &db).map_err(|e| e.to_string())?;
+    for (kind, reason) in service.zoo().failed() {
+        eprintln!("  warning: {kind:?} failed to fit: {reason}");
+    }
     for (kind, rmse) in &service.validation_rmse {
         eprintln!("  {kind:<9} validation RMSE {rmse:.4}");
     }
@@ -222,6 +240,108 @@ fn cmd_diagnose(args: &[String]) -> Result<(), CliError> {
         // Merge selection is fixed at train time in the service config;
         // accept the flag for forward compatibility but tell the truth.
         eprintln!("note: merge method is configured at training time; '{merge}' ignored");
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let (_, flags) = parse_flags(args)?;
+    let model_path = required(&flags, "model")?;
+    let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:7380");
+    let service = AiioService::load(model_path).map_err(|e| e.to_string())?;
+    let mut config = aiio_serve::ServeConfig::default();
+    if let Some(w) = flag(&flags, "workers") {
+        config.workers = parse_num(w, "workers")?;
+    }
+    if let Some(q) = flag(&flags, "queue") {
+        config.queue_capacity = parse_num(q, "queue")?;
+    }
+    eprintln!(
+        "serving {} models with {} workers (queue depth {})",
+        service.zoo().models().len(),
+        config.workers,
+        config.queue_capacity
+    );
+    let server = aiio_serve::Server::bind(addr, service, config).map_err(|e| e.to_string())?;
+    // The smoke script and tests discover ephemeral ports from this line.
+    println!(
+        "listening on {}",
+        server.local_addr().map_err(|e| e.to_string())?
+    );
+    server.run().map_err(|e| e.to_string())
+}
+
+/// Read a log file (darshan text or JSON JobLog) as a JSON body.
+fn log_file_as_json(path: &str) -> Result<String, CliError> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if raw.trim_start().starts_with('{') {
+        // Validate rather than pass through blindly.
+        let log: JobLog = serde_json::from_str(&raw).map_err(|e| format!("{path}: {e}"))?;
+        serde_json::to_string(&log).map_err(|e| e.to_string())
+    } else {
+        let log = parse_text(&raw).map_err(|e| format!("{path}: {e}"))?;
+        serde_json::to_string(&log).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_client(args: &[String]) -> Result<(), CliError> {
+    let (pos, flags) = parse_flags(args)?;
+    let addr = required(&flags, "addr")?;
+    let action = pos.first().ok_or_else(|| {
+        "client needs an action (health|metrics|diagnose|batch|reload|shutdown)".to_string()
+    })?;
+    let timeout = std::time::Duration::from_secs(120);
+    let (method, path, body) = match action.as_str() {
+        "health" => ("GET", "/healthz", None),
+        "metrics" => ("GET", "/metrics", None),
+        "shutdown" => ("POST", "/admin/shutdown", None),
+        "reload" => {
+            let model = required(&flags, "path")?;
+            let body = format!("{{\"path\":{}}}", aiio_serve::http::json_string(model));
+            ("POST", "/admin/reload", Some(body))
+        }
+        "diagnose" => {
+            let log = pos
+                .get(1)
+                .ok_or_else(|| "diagnose needs a log file".to_string())?;
+            ("POST", "/diagnose", Some(log_file_as_json(log)?))
+        }
+        "batch" => {
+            let logs: Vec<String> = pos[1..]
+                .iter()
+                .map(|p| log_file_as_json(p))
+                .collect::<Result<_, _>>()?;
+            if logs.is_empty() {
+                return Err("batch needs at least one log file".into());
+            }
+            (
+                "POST",
+                "/diagnose/batch",
+                Some(format!("[{}]", logs.join(","))),
+            )
+        }
+        other => return Err(format!("unknown client action '{other}'")),
+    };
+    let deadline = flag(&flags, "deadline-ms");
+    let headers: Vec<(&str, &str)> = deadline
+        .map(|v| vec![("X-Deadline-Ms", v)])
+        .unwrap_or_default();
+    let response = aiio_serve::client::request_with_headers(
+        addr,
+        method,
+        path,
+        body.as_deref(),
+        timeout,
+        &headers,
+    )
+    .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    println!("{}", response.body);
+    if response.status >= 400 {
+        return Err(format!(
+            "{method} {path} answered {} {}",
+            response.status,
+            aiio_serve::http::reason(response.status)
+        ));
     }
     Ok(())
 }

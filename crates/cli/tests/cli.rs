@@ -201,6 +201,113 @@ fn train_rejects_tiny_databases() {
 }
 
 #[test]
+fn serve_and_client_roundtrip_over_loopback() {
+    use std::io::BufRead;
+
+    let dir = tmpdir("serve");
+    let db = dir.join("db.json");
+    let model = dir.join("model.json");
+    let log = dir.join("job.json");
+    let log2 = dir.join("job2.txt");
+
+    assert!(aiio()
+        .args(["sample", "--jobs", "200", "--seed", "6", "--noise", "0", "--out"])
+        .arg(&db)
+        .status()
+        .unwrap()
+        .success());
+    assert!(aiio()
+        .args(["train", "--fast", "--db"])
+        .arg(&db)
+        .arg("--out")
+        .arg(&model)
+        .status()
+        .unwrap()
+        .success());
+    assert!(aiio()
+        .args(["simulate", "ior -w -t 1k -b 1m -Y", "--json", "--out"])
+        .arg(&log)
+        .status()
+        .unwrap()
+        .success());
+    assert!(aiio()
+        .args(["simulate", "ior -r -t 1k -b 1m", "--out"])
+        .arg(&log2)
+        .status()
+        .unwrap()
+        .success());
+
+    // Serve on an ephemeral port; discover it from the announce line.
+    let mut server = aiio()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--model",
+        ])
+        .arg(&model)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut announce = String::new();
+    std::io::BufReader::new(server.stdout.take().unwrap())
+        .read_line(&mut announce)
+        .unwrap();
+    let addr = announce
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line {announce:?}"))
+        .to_string();
+
+    let client = |args: &[&str]| {
+        let mut cmd = aiio();
+        cmd.args(["client", "--addr", &addr]).args(args);
+        let out = cmd.output().unwrap();
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    };
+
+    let (ok, body, err) = client(&["health"]);
+    assert!(ok, "{err}");
+    assert!(body.contains("\"status\":\"ok\""));
+
+    let (ok, body, err) = client(&["diagnose", log.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(body.contains("\"bottlenecks\""));
+
+    // Batch accepts a mix of JSON and darshan-text logs.
+    let (ok, body, err) = client(&["batch", log.to_str().unwrap(), log2.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(body.starts_with('[') && body.contains("\"bottlenecks\""));
+
+    let (ok, _, err) = client(&["reload", "--path", model.to_str().unwrap()]);
+    assert!(ok, "{err}");
+
+    let (ok, body, err) = client(&["metrics"]);
+    assert!(ok, "{err}");
+    assert!(body.contains("aiio_requests_total{endpoint=\"diagnose\"} 1"));
+    assert!(body.contains("aiio_requests_total{endpoint=\"diagnose_batch\"} 1"));
+    assert!(body.contains("aiio_reloads_total 1"));
+
+    // A missing log file fails client-side without touching the server.
+    let (ok, _, err) = client(&["diagnose", "/nonexistent.json"]);
+    assert!(!ok);
+    assert!(err.contains("/nonexistent.json"));
+
+    let (ok, _, err) = client(&["shutdown"]);
+    assert!(ok, "{err}");
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server exited nonzero after shutdown");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn simulate_accepts_trace_files() {
     let dir = tmpdir("trace");
     let trace = dir.join("job.trace");

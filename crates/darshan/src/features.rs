@@ -163,7 +163,7 @@ mod tests {
     fn transform_compresses_range_like_fig4() {
         // Paper Fig. 4: (1, 6_309_573) → about (0.3, 6.8).
         let p = FeaturePipeline::paper();
-        assert!((p.transform_value(1.0) - 0.30103).abs() < 1e-4);
+        assert!((p.transform_value(1.0) - std::f64::consts::LOG10_2).abs() < 1e-4);
         assert!((p.transform_value(6_309_573.0) - 6.8).abs() < 0.01);
     }
 

@@ -145,13 +145,13 @@ impl IorConfig {
     }
 
     /// Builder-style rank-count override.
-    pub fn with_nprocs(mut self, nprocs: u32) -> Self {
+    pub const fn with_nprocs(mut self, nprocs: u32) -> Self {
         self.nprocs = nprocs;
         self
     }
 
     /// Builder-style seek-per-read override (the §4.1.2 IOR patch).
-    pub fn with_seek_per_read(mut self, v: bool) -> Self {
+    pub const fn with_seek_per_read(mut self, v: bool) -> Self {
         self.seek_per_read = v;
         self
     }
@@ -237,48 +237,102 @@ impl IorConfig {
 }
 
 /// The paper's Table 3 configurations, keyed by figure.
+///
+/// The seven command lines are compile-time constants, so they are
+/// `const`-constructed rather than parsed at call time — the parser is
+/// exercised against the exact Table 3 strings in this module's tests.
 pub mod table3 {
     use super::IorConfig;
 
-    /// Fig. 7(a): sequential 1 KiB writes with fsync.
-    pub fn fig7a() -> IorConfig {
-        IorConfig::parse("ior -w -t 1k -b 1m -Y").unwrap()
+    const KIB: u64 = 1024;
+    const MIB: u64 = 1024 * 1024;
+
+    /// The defaults shared by every Table 3 run (write-only until a phase
+    /// flag is set, 256 ranks, original IOR seek-per-read behaviour).
+    const BASE: IorConfig = IorConfig {
+        write: false,
+        read: false,
+        transfer_size: 256 * KIB,
+        block_size: MIB,
+        segments: 1,
+        random_offset: false,
+        fsync_per_write: false,
+        seek_per_read: true,
+        nprocs: 256,
+    };
+
+    /// Fig. 7(a): sequential 1 KiB writes with fsync
+    /// (`ior -w -t 1k -b 1m -Y`).
+    pub const fn fig7a() -> IorConfig {
+        IorConfig {
+            write: true,
+            transfer_size: KIB,
+            block_size: MIB,
+            fsync_per_write: true,
+            ..BASE
+        }
     }
 
-    /// Fig. 7(b): sequential 1 MiB writes with fsync.
-    pub fn fig7b() -> IorConfig {
-        IorConfig::parse("ior -w -k 1m -b 1m -Y").unwrap()
+    /// Fig. 7(b): sequential 1 MiB writes with fsync
+    /// (`ior -w -k 1m -b 1m -Y`; the paper's `-k` is a typo for `-t`).
+    pub const fn fig7b() -> IorConfig {
+        IorConfig {
+            transfer_size: MIB,
+            ..fig7a()
+        }
     }
 
     /// Fig. 8(a): sequential 1 KiB reads, seek before every read (original
-    /// IOR).
-    pub fn fig8a() -> IorConfig {
-        IorConfig::parse("ior -r -t 1k -b 1m").unwrap()
+    /// IOR; `ior -r -t 1k -b 1m`).
+    pub const fn fig8a() -> IorConfig {
+        IorConfig {
+            read: true,
+            transfer_size: KIB,
+            block_size: MIB,
+            ..BASE
+        }
     }
 
     /// Fig. 8(b): the same run with IOR patched to seek only once.
-    pub fn fig8b() -> IorConfig {
+    pub const fn fig8b() -> IorConfig {
         fig8a().with_seek_per_read(false)
     }
 
-    /// Fig. 9: noncontiguous (strided) 1 KiB writes.
-    pub fn fig9() -> IorConfig {
-        IorConfig::parse("ior -w -t 1k -b 1k -s 1024 -Y").unwrap()
+    /// Fig. 9: noncontiguous (strided) 1 KiB writes
+    /// (`ior -w -t 1k -b 1k -s 1024 -Y`).
+    pub const fn fig9() -> IorConfig {
+        IorConfig {
+            block_size: KIB,
+            segments: 1024,
+            ..fig7a()
+        }
     }
 
-    /// Fig. 10: noncontiguous (strided) 1 KiB reads.
-    pub fn fig10() -> IorConfig {
-        IorConfig::parse("ior -r -t 1k -b 1k -s 1024").unwrap()
+    /// Fig. 10: noncontiguous (strided) 1 KiB reads
+    /// (`ior -r -t 1k -b 1k -s 1024`).
+    pub const fn fig10() -> IorConfig {
+        IorConfig {
+            block_size: KIB,
+            segments: 1024,
+            ..fig8a()
+        }
     }
 
-    /// Fig. 11: random-offset 1 KiB writes.
-    pub fn fig11() -> IorConfig {
-        IorConfig::parse("ior -w -t 1k -b 1m -z -Y").unwrap()
+    /// Fig. 11: random-offset 1 KiB writes (`ior -w -t 1k -b 1m -z -Y`).
+    pub const fn fig11() -> IorConfig {
+        IorConfig {
+            random_offset: true,
+            ..fig7a()
+        }
     }
 
-    /// Fig. 12: random-offset 1 KiB reads.
-    pub fn fig12() -> IorConfig {
-        IorConfig::parse("ior -a POSIX -r -t 1k -b 1m -z").unwrap()
+    /// Fig. 12: random-offset 1 KiB reads
+    /// (`ior -a POSIX -r -t 1k -b 1m -z`).
+    pub const fn fig12() -> IorConfig {
+        IorConfig {
+            random_offset: true,
+            ..fig8a()
+        }
     }
 }
 
@@ -308,6 +362,26 @@ mod tests {
         assert!(cfg.read && cfg.random_offset);
         let cfg = IorConfig::parse("ior -w -k 1m -b 1m -Y").unwrap();
         assert_eq!(cfg.transfer_size, 1024 * 1024);
+    }
+
+    #[test]
+    fn table3_consts_match_their_command_lines() {
+        // The `table3` constructors are const structs; pin each one to the
+        // exact Table 3 command line it documents.
+        let cases: [(IorConfig, &str); 7] = [
+            (table3::fig7a(), "ior -w -t 1k -b 1m -Y"),
+            (table3::fig7b(), "ior -w -k 1m -b 1m -Y"),
+            (table3::fig8a(), "ior -r -t 1k -b 1m"),
+            (table3::fig9(), "ior -w -t 1k -b 1k -s 1024 -Y"),
+            (table3::fig10(), "ior -r -t 1k -b 1k -s 1024"),
+            (table3::fig11(), "ior -w -t 1k -b 1m -z -Y"),
+            (table3::fig12(), "ior -a POSIX -r -t 1k -b 1m -z"),
+        ];
+        for (built, line) in cases {
+            assert_eq!(built, IorConfig::parse(line).unwrap(), "{line}");
+        }
+        // Fig. 8(b) is 8(a) with the §4.1.2 seek patch applied.
+        assert_eq!(table3::fig8b(), table3::fig8a().with_seek_per_read(false));
     }
 
     #[test]

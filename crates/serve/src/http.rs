@@ -1,0 +1,289 @@
+//! Minimal HTTP/1.1 framing over `std::io` — just enough for the AIIO
+//! serving API: request line + headers + `Content-Length` bodies in, fixed
+//! `Connection: close` responses out. No chunked encoding, no keep-alive;
+//! every exchange is one connection, which keeps the server's state
+//! machine trivial and testable.
+
+use std::io::{BufRead, Write};
+
+/// A parsed request head plus body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    /// Header names lowercased at parse time.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names were lowercased at parse).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8, for JSON endpoints.
+    pub fn body_utf8(&self) -> Result<&str, ParseError> {
+        std::str::from_utf8(&self.body).map_err(|_| ParseError::Bad("body is not UTF-8".into()))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed framing or header.
+    Bad(String),
+    /// Body exceeds the configured limit (maps to 413).
+    TooLarge { limit: usize },
+    /// The peer closed before a full request arrived.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Bad(m) => write!(f, "bad request: {m}"),
+            ParseError::TooLarge { limit } => {
+                write!(f, "body exceeds the {limit}-byte limit")
+            }
+            ParseError::Io(e) => write!(f, "i/o error reading request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Read the request line and headers (up to the blank line).
+pub fn read_head(reader: &mut impl BufRead) -> Result<Request, ParseError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ParseError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before request line",
+        )));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("request line has no path".into()))?
+        .to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(ParseError::Bad("not an HTTP/1.x request".into())),
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            return Err(ParseError::Bad("connection closed inside headers".into()));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        let Some((name, value)) = h.split_once(':') else {
+            return Err(ParseError::Bad(format!("malformed header line '{h}'")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > 100 {
+            return Err(ParseError::Bad("too many headers".into()));
+        }
+    }
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    })
+}
+
+/// Read the `Content-Length` body into `req` (bounded by `max_bytes`).
+pub fn read_body(
+    reader: &mut impl BufRead,
+    req: &mut Request,
+    max_bytes: usize,
+) -> Result<(), ParseError> {
+    let len: usize = match req.header("content-length") {
+        None => return Ok(()),
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseError::Bad(format!("bad Content-Length '{v}'")))?,
+    };
+    if len > max_bytes {
+        return Err(ParseError::TooLarge { limit: max_bytes });
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    req.body = body;
+    Ok(())
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response (the `/metrics` exposition).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, format!("{{\"error\":{}}}", json_string(message)))
+    }
+
+    /// Add a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serialize status line, headers and body.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(w, "Connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+impl From<&ParseError> for Response {
+    fn from(e: &ParseError) -> Response {
+        match e {
+            ParseError::Bad(m) => Response::error(400, m),
+            ParseError::TooLarge { .. } => Response::error(413, &e.to_string()),
+            ParseError::Io(_) => Response::error(400, &e.to_string()),
+        }
+    }
+}
+
+/// Canonical reason phrases for the statuses the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "",
+    }
+}
+
+/// JSON string literal (quotes + escapes) for error envelopes, without a
+/// round-trip through the serializer.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        let mut r = BufReader::new(raw.as_bytes());
+        let mut req = read_head(&mut r)?;
+        read_body(&mut r, &mut req, 1024)?;
+        Ok(req)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse("POST /diagnose HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/diagnose");
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
+        assert!(matches!(
+            parse(raw),
+            Err(ParseError::TooLarge { limit: 1024 })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_http() {
+        assert!(parse("GARBAGE\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut buf = Vec::new();
+        Response::json(200, "{}")
+            .with_header("Retry-After", "1")
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

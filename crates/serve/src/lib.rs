@@ -1,0 +1,457 @@
+//! `aiio-serve` — the paper's §3.4 deployment story made concrete: a
+//! std-only HTTP/1.1 JSON server wrapping a trained [`AiioService`].
+//!
+//! Design invariants (see `DESIGN.md` § Serving architecture):
+//!
+//! * **Bounded everywhere.** Diagnosis work flows through one bounded MPMC
+//!   queue into a fixed worker pool. A full queue answers
+//!   `503 Service Unavailable` + `Retry-After` immediately — the server
+//!   never buffers more than `queue_capacity` jobs, no matter how fast
+//!   clients push.
+//! * **Deadlines.** Every request carries a deadline (`X-Deadline-Ms`
+//!   header, capped by the server-side maximum); a job that misses it
+//!   answers `504` and its eventual result is discarded.
+//! * **Panic isolation.** A diagnosis that panics poisons nothing: the
+//!   worker catches the unwind, answers `500`, and keeps serving.
+//! * **Atomic hot reload.** Models live behind `RwLock<Arc<AiioService>>`.
+//!   Workers clone the `Arc` per job; `POST /admin/reload` swaps the slot,
+//!   so in-flight jobs finish on the snapshot they started with and zero
+//!   requests are dropped.
+//! * **Graceful shutdown.** `POST /admin/shutdown` (or
+//!   [`Handle::shutdown`]) stops the accept loop, drains admitted work,
+//!   and joins every thread before [`Server::run`] returns.
+//!
+//! ```no_run
+//! use aiio_serve::{Server, ServeConfig};
+//! # fn main() -> std::io::Result<()> {
+//! # let service: aiio::AiioService = unimplemented!();
+//! let server = Server::bind("127.0.0.1:0", service, ServeConfig::default())?;
+//! println!("listening on {}", server.local_addr()?);
+//! server.run()
+//! # }
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod queue;
+
+use aiio::AiioService;
+use aiio_darshan::JobLog;
+use http::{Request, Response};
+use metrics::{Endpoint, Metrics};
+use pool::{Job, JobError, ModelSlot, Pool};
+use queue::{Bounded, PushError};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Fixed worker-pool size (diagnosis threads).
+    pub workers: usize,
+    /// Bounded queue capacity; beyond this, requests get 503.
+    pub queue_capacity: usize,
+    /// Default and maximum per-request deadline.
+    pub deadline: Duration,
+    /// `Retry-After` seconds advertised on 503.
+    pub retry_after_secs: u32,
+    /// Maximum accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            deadline: Duration::from_secs(30),
+            retry_after_secs: 1,
+            max_body_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+struct Shared {
+    slot: Arc<ModelSlot>,
+    queue: Arc<Bounded<Job>>,
+    metrics: Arc<Metrics>,
+    shutdown: AtomicBool,
+    config: ServeConfig,
+}
+
+/// A cheap clone-able handle for observing and stopping a running server.
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// Request a graceful shutdown: stop accepting, drain admitted work,
+    /// join all threads.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Live metrics (shared with the server).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+}
+
+/// The bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    pool: Pool,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and spawn
+    /// the worker pool. The accept loop starts on [`Server::run`].
+    pub fn bind(addr: &str, service: AiioService, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            slot: Arc::new(RwLock::new(Arc::new(service))),
+            queue: Arc::new(Bounded::new(config.queue_capacity)),
+            metrics: Arc::new(Metrics::new(config.workers)),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let pool = Pool::spawn(
+            shared.config.workers,
+            Arc::clone(&shared.queue),
+            Arc::clone(&shared.slot),
+            Arc::clone(&shared.metrics),
+        );
+        Ok(Server {
+            listener,
+            shared,
+            pool,
+        })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for shutdown and metrics from other threads.
+    pub fn handle(&self) -> Handle {
+        Handle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serve until shutdown is requested, then drain and join everything.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    let spawned = std::thread::Builder::new()
+                        .name("aiio-conn".into())
+                        .spawn(move || handle_connection(stream, &shared));
+                    if let Ok(h) = spawned {
+                        connections.push(h);
+                    }
+                    connections.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // A fatal accept error still shuts the server down
+                    // cleanly before surfacing.
+                    self.shared.queue.close();
+                    for h in connections {
+                        let _ = h.join();
+                    }
+                    self.pool.join();
+                    return Err(e);
+                }
+            }
+        }
+        // Graceful: in-flight connections finish (they may still enqueue
+        // until the queue closes below, which is fine — admitted work is
+        // always completed), then workers drain.
+        for h in connections {
+            let _ = h.join();
+        }
+        self.shared.queue.close();
+        self.pool.join();
+        Ok(())
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let started = Instant::now();
+
+    let (endpoint, response) = match http::read_head(&mut reader) {
+        Err(e) => (Endpoint::Other, Response::from(&e)),
+        Ok(mut req) => {
+            // `curl` sends `Expect: 100-continue` for JSON bodies over 1 KiB
+            // and stalls ~1 s waiting for this interim reply.
+            if req
+                .header("expect")
+                .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+            {
+                let _ = writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+                let _ = writer.flush();
+            }
+            match http::read_body(&mut reader, &mut req, shared.config.max_body_bytes) {
+                Err(e) => (classify(&req.path), Response::from(&e)),
+                Ok(()) => (classify(&req.path), route(&req, shared)),
+            }
+        }
+    };
+    let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    shared
+        .metrics
+        .record_request(endpoint, response.status, elapsed_ms);
+    let _ = response.write_to(&mut writer);
+}
+
+fn classify(path: &str) -> Endpoint {
+    match path {
+        "/diagnose" => Endpoint::Diagnose,
+        "/diagnose/batch" => Endpoint::DiagnoseBatch,
+        "/healthz" => Endpoint::Healthz,
+        "/metrics" => Endpoint::Metrics,
+        "/admin/reload" => Endpoint::AdminReload,
+        "/admin/shutdown" => Endpoint::AdminShutdown,
+        _ => Endpoint::Other,
+    }
+}
+
+fn route(req: &Request, shared: &Arc<Shared>) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/diagnose") => diagnose_one(req, shared),
+        ("POST", "/diagnose/batch") => diagnose_batch(req, shared),
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => Response::text(
+            200,
+            shared
+                .metrics
+                .render(shared.queue.len(), shared.queue.capacity()),
+        ),
+        ("POST", "/admin/reload") => admin_reload(req, shared),
+        ("POST", "/admin/shutdown") => {
+            shared.shutdown.store(true, Ordering::Release);
+            Response::json(200, "{\"shutting_down\":true}")
+        }
+        ("GET" | "POST", _) => Response::error(404, &format!("no such endpoint {}", req.path)),
+        (m, _) => Response::error(405, &format!("method {m} not supported")),
+    }
+}
+
+/// The request deadline: `X-Deadline-Ms` header, capped by the server max.
+fn deadline_of(req: &Request, shared: &Shared) -> Duration {
+    req.header("x-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .map(|d| d.min(shared.config.deadline))
+        .unwrap_or(shared.config.deadline)
+}
+
+fn busy_response(shared: &Shared, err: PushError) -> Response {
+    match err {
+        PushError::Full => {
+            shared
+                .metrics
+                .rejected_total
+                .fetch_add(1, Ordering::Relaxed);
+            Response::error(503, "diagnosis queue is full")
+                .with_header("Retry-After", shared.config.retry_after_secs.to_string())
+        }
+        PushError::Closed => Response::error(503, "server is shutting down"),
+    }
+}
+
+fn job_error_response(err: &JobError) -> Response {
+    match err {
+        JobError::EmptyZoo => Response::error(422, "model zoo has no usable models"),
+        JobError::WorkerPanicked => {
+            Response::error(500, "diagnosis panicked (isolated; server still serving)")
+        }
+    }
+}
+
+fn diagnose_one(req: &Request, shared: &Arc<Shared>) -> Response {
+    let body = match req.body_utf8() {
+        Ok(b) => b,
+        Err(e) => return Response::from(&e),
+    };
+    let log: JobLog = match serde_json::from_str(body) {
+        Ok(l) => l,
+        Err(e) => return Response::error(400, &format!("bad JobLog JSON: {e}")),
+    };
+    let deadline = deadline_of(req, shared);
+    let (tx, rx) = sync_channel(1);
+    if let Err(e) = shared.queue.try_push(Job {
+        log,
+        index: 0,
+        reply: tx,
+    }) {
+        return busy_response(shared, e);
+    }
+    match rx.recv_timeout(deadline) {
+        Ok((_, Ok(report))) => match serde_json::to_string(&report) {
+            Ok(json) => Response::json(200, json),
+            Err(e) => Response::error(500, &format!("serialization failed: {e}")),
+        },
+        Ok((_, Err(job_err))) => job_error_response(&job_err),
+        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+            shared
+                .metrics
+                .timeouts_total
+                .fetch_add(1, Ordering::Relaxed);
+            Response::error(504, "diagnosis missed its deadline")
+        }
+    }
+}
+
+fn diagnose_batch(req: &Request, shared: &Arc<Shared>) -> Response {
+    let body = match req.body_utf8() {
+        Ok(b) => b,
+        Err(e) => return Response::from(&e),
+    };
+    let logs: Vec<JobLog> = match serde_json::from_str(body) {
+        Ok(l) => l,
+        Err(e) => return Response::error(400, &format!("bad JobLog array JSON: {e}")),
+    };
+    if logs.is_empty() {
+        return Response::json(200, "[]");
+    }
+    let n = logs.len();
+    if n > shared.queue.capacity() {
+        return Response::error(
+            413,
+            &format!(
+                "batch of {n} exceeds queue capacity {}; split it",
+                shared.queue.capacity()
+            ),
+        );
+    }
+    let deadline = deadline_of(req, shared);
+    let (tx, rx) = sync_channel(n);
+    let jobs: Vec<Job> = logs
+        .into_iter()
+        .enumerate()
+        .map(|(index, log)| Job {
+            log,
+            index,
+            reply: tx.clone(),
+        })
+        .collect();
+    drop(tx);
+    // All-or-nothing admission: a batch the queue cannot hold right now is
+    // refused outright rather than half-started.
+    if let Err(e) = shared.queue.try_push_many(jobs) {
+        return busy_response(shared, e);
+    }
+    let started = Instant::now();
+    let mut reports: Vec<Option<String>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        let remaining = deadline.saturating_sub(started.elapsed());
+        match rx.recv_timeout(remaining) {
+            Ok((index, Ok(report))) => match serde_json::to_string(&report) {
+                Ok(json) => {
+                    if let Some(slot) = reports.get_mut(index) {
+                        *slot = Some(json);
+                    }
+                }
+                Err(e) => return Response::error(500, &format!("serialization failed: {e}")),
+            },
+            Ok((_, Err(job_err))) => return job_error_response(&job_err),
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                shared
+                    .metrics
+                    .timeouts_total
+                    .fetch_add(1, Ordering::Relaxed);
+                return Response::error(504, "batch missed its deadline");
+            }
+        }
+    }
+    let mut body =
+        String::with_capacity(reports.iter().flatten().map(String::len).sum::<usize>() + n + 2);
+    body.push('[');
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        match r {
+            Some(json) => body.push_str(json),
+            None => return Response::error(500, "batch result missing an index"),
+        }
+    }
+    body.push(']');
+    Response::json(200, body)
+}
+
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let service = pool::snapshot(&shared.slot);
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"models\":{},\"failed_fits\":{},\"workers\":{},\"queue_depth\":{},\"queue_capacity\":{}}}",
+            service.zoo().models().len(),
+            service.zoo().failed().len(),
+            shared.config.workers,
+            shared.queue.len(),
+            shared.queue.capacity()
+        ),
+    )
+}
+
+fn admin_reload(req: &Request, shared: &Arc<Shared>) -> Response {
+    let body = match req.body_utf8() {
+        Ok(b) => b,
+        Err(e) => return Response::from(&e),
+    };
+    let parsed = serde_json::parse_value(body);
+    let path = match parsed
+        .as_ref()
+        .ok()
+        .and_then(|v| v.get("path"))
+        .and_then(|p| p.as_str())
+    {
+        Some(p) => p,
+        None => return Response::error(400, "reload body must be {\"path\": \"<service.json>\"}"),
+    };
+    let service = match AiioService::load(path) {
+        Ok(s) => s,
+        Err(e) => return Response::error(400, &format!("cannot load service from {path}: {e}")),
+    };
+    if service.zoo().models().is_empty() {
+        return Response::error(422, "refusing to load a service with an empty model zoo");
+    }
+    let models = service.zoo().models().len();
+    pool::swap(&shared.slot, service);
+    shared.metrics.reloads_total.fetch_add(1, Ordering::Relaxed);
+    Response::json(200, format!("{{\"reloaded\":true,\"models\":{models}}}"))
+}

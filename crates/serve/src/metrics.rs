@@ -1,0 +1,289 @@
+//! Live server metrics with a text exposition endpoint.
+//!
+//! Everything is lock-free (`AtomicU64`) so the hot path never contends:
+//! per-endpoint request/error counters and latency histograms, queue
+//! rejections, worker panics, reloads, per-model inference counters and
+//! per-worker job counters. `GET /metrics` renders the familiar
+//! `name{label="v"} value` text format.
+
+use aiio::ModelKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (milliseconds) of the latency histogram buckets; one
+/// implicit `+Inf` bucket follows.
+pub const LATENCY_BOUNDS_MS: [u64; 8] = [1, 5, 10, 25, 100, 250, 1000, 5000];
+
+/// The endpoints the server distinguishes in metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Diagnose,
+    DiagnoseBatch,
+    Healthz,
+    Metrics,
+    AdminReload,
+    AdminShutdown,
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 7] = [
+        Endpoint::Diagnose,
+        Endpoint::DiagnoseBatch,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::AdminReload,
+        Endpoint::AdminShutdown,
+        Endpoint::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Diagnose => 0,
+            Endpoint::DiagnoseBatch => 1,
+            Endpoint::Healthz => 2,
+            Endpoint::Metrics => 3,
+            Endpoint::AdminReload => 4,
+            Endpoint::AdminShutdown => 5,
+            Endpoint::Other => 6,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::Diagnose => "diagnose",
+            Endpoint::DiagnoseBatch => "diagnose_batch",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::AdminReload => "admin_reload",
+            Endpoint::AdminShutdown => "admin_shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+#[derive(Default)]
+struct Histogram {
+    /// One counter per bound in [`LATENCY_BOUNDS_MS`] plus `+Inf`.
+    buckets: [AtomicU64; LATENCY_BOUNDS_MS.len() + 1],
+    sum_ms: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn observe(&self, ms: u64) {
+        let mut idx = LATENCY_BOUNDS_MS.len();
+        for (i, bound) in LATENCY_BOUNDS_MS.iter().enumerate() {
+            if ms <= *bound {
+                idx = i;
+                break;
+            }
+        }
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ms.fetch_add(ms, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct EndpointStats {
+    requests_total: AtomicU64,
+    errors_total: AtomicU64,
+    latency: Histogram,
+}
+
+/// All server counters; shared as `Arc<Metrics>` between the accept loop,
+/// connection threads and the worker pool.
+pub struct Metrics {
+    endpoints: [EndpointStats; 7],
+    /// Requests refused with 503 because the queue was full.
+    pub rejected_total: AtomicU64,
+    /// Requests that missed their deadline (504).
+    pub timeouts_total: AtomicU64,
+    /// Diagnoses that panicked inside a worker (isolated, answered 500).
+    pub worker_panics_total: AtomicU64,
+    /// Successful `/admin/reload` model swaps.
+    pub reloads_total: AtomicU64,
+    /// Diagnoses served, by model kind (in [`ModelKind::ALL`] order).
+    inference: [AtomicU64; ModelKind::ALL.len()],
+    /// Jobs completed per worker thread.
+    worker_jobs: Vec<AtomicU64>,
+}
+
+impl Metrics {
+    /// Counters for a pool of `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        Metrics {
+            endpoints: Default::default(),
+            rejected_total: AtomicU64::new(0),
+            timeouts_total: AtomicU64::new(0),
+            worker_panics_total: AtomicU64::new(0),
+            reloads_total: AtomicU64::new(0),
+            inference: Default::default(),
+            worker_jobs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record one finished HTTP exchange.
+    pub fn record_request(&self, endpoint: Endpoint, status: u16, elapsed_ms: u64) {
+        let s = &self.endpoints[endpoint.index()];
+        s.requests_total.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            s.errors_total.fetch_add(1, Ordering::Relaxed);
+        }
+        s.latency.observe(elapsed_ms);
+    }
+
+    /// Record the models a successful diagnosis ran.
+    pub fn record_inference(&self, kinds: impl Iterator<Item = ModelKind>) {
+        for kind in kinds {
+            for (i, k) in ModelKind::ALL.iter().enumerate() {
+                if *k == kind {
+                    self.inference[i].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Record one job completed by worker `worker`.
+    pub fn record_worker_job(&self, worker: usize) {
+        if let Some(c) = self.worker_jobs.get(worker) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Jobs completed per worker (for tests asserting pool fan-out).
+    pub fn worker_job_counts(&self) -> Vec<u64> {
+        self.worker_jobs
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total requests seen on one endpoint.
+    pub fn requests_on(&self, endpoint: Endpoint) -> u64 {
+        self.endpoints[endpoint.index()]
+            .requests_total
+            .load(Ordering::Relaxed)
+    }
+
+    /// Render the text exposition (`GET /metrics`). `queue_depth` is
+    /// sampled by the caller so the gauge is current.
+    pub fn render(&self, queue_depth: usize, queue_capacity: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        for ep in Endpoint::ALL {
+            let s = &self.endpoints[ep.index()];
+            let requests = s.requests_total.load(Ordering::Relaxed);
+            if requests == 0 {
+                continue;
+            }
+            let label = ep.label();
+            let _ = writeln!(
+                out,
+                "aiio_requests_total{{endpoint=\"{label}\"}} {requests}"
+            );
+            let _ = writeln!(
+                out,
+                "aiio_request_errors_total{{endpoint=\"{label}\"}} {}",
+                s.errors_total.load(Ordering::Relaxed)
+            );
+            let mut cumulative = 0u64;
+            for (i, bound) in LATENCY_BOUNDS_MS.iter().enumerate() {
+                cumulative += s.latency.buckets[i].load(Ordering::Relaxed);
+                let _ = writeln!(
+                    out,
+                    "aiio_request_latency_ms_bucket{{endpoint=\"{label}\",le=\"{bound}\"}} {cumulative}",
+                );
+            }
+            cumulative += s.latency.buckets[LATENCY_BOUNDS_MS.len()].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "aiio_request_latency_ms_bucket{{endpoint=\"{label}\",le=\"+Inf\"}} {cumulative}",
+            );
+            let _ = writeln!(
+                out,
+                "aiio_request_latency_ms_sum{{endpoint=\"{label}\"}} {}",
+                s.latency.sum_ms.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "aiio_request_latency_ms_count{{endpoint=\"{label}\"}} {}",
+                s.latency.count.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(out, "aiio_queue_depth {queue_depth}");
+        let _ = writeln!(out, "aiio_queue_capacity {queue_capacity}");
+        let _ = writeln!(
+            out,
+            "aiio_rejected_total {}",
+            self.rejected_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "aiio_timeouts_total {}",
+            self.timeouts_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "aiio_worker_panics_total {}",
+            self.worker_panics_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "aiio_reloads_total {}",
+            self.reloads_total.load(Ordering::Relaxed)
+        );
+        for (i, kind) in ModelKind::ALL.iter().enumerate() {
+            let n = self.inference[i].load(Ordering::Relaxed);
+            if n > 0 {
+                let _ = writeln!(out, "aiio_inference_total{{model=\"{}\"}} {n}", kind.name());
+            }
+        }
+        for (w, c) in self.worker_jobs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "aiio_worker_jobs_total{{worker=\"{w}\"}} {}",
+                c.load(Ordering::Relaxed)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_render() {
+        let m = Metrics::new(2);
+        m.record_request(Endpoint::Diagnose, 200, 3);
+        m.record_request(Endpoint::Diagnose, 200, 8);
+        m.record_request(Endpoint::Diagnose, 500, 7000);
+        let text = m.render(1, 8);
+        assert!(text.contains("aiio_requests_total{endpoint=\"diagnose\"} 3"));
+        assert!(text.contains("aiio_request_errors_total{endpoint=\"diagnose\"} 1"));
+        assert!(text.contains("le=\"5\"} 1"));
+        assert!(text.contains("le=\"10\"} 2"));
+        assert!(text.contains("le=\"+Inf\"} 3"));
+        assert!(text.contains("aiio_queue_depth 1"));
+    }
+
+    #[test]
+    fn inference_counts_by_kind() {
+        let m = Metrics::new(1);
+        m.record_inference([ModelKind::Mlp, ModelKind::Mlp, ModelKind::TabNet].into_iter());
+        let text = m.render(0, 8);
+        assert!(text.contains("aiio_inference_total{model=\"MLP\"} 2"));
+        assert!(text.contains("aiio_inference_total{model=\"TabNet\"} 1"));
+    }
+
+    #[test]
+    fn idle_endpoints_are_omitted() {
+        let m = Metrics::new(1);
+        m.record_request(Endpoint::Healthz, 200, 0);
+        let text = m.render(0, 8);
+        assert!(text.contains("endpoint=\"healthz\""));
+        assert!(!text.contains("endpoint=\"diagnose\""));
+    }
+}

@@ -1,0 +1,190 @@
+//! A bounded MPMC queue with explicit backpressure.
+//!
+//! The server never buffers work it cannot hold: a full queue makes
+//! [`Bounded::try_push`] fail immediately, and the HTTP layer turns that
+//! into `503 Service Unavailable` + `Retry-After` instead of growing an
+//! unbounded backlog. Batches enqueue atomically — all jobs or none — so a
+//! half-admitted batch can never wedge the pool.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry later.
+    Full,
+    /// The queue was closed for shutdown; no new work is accepted.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full => write!(f, "queue full"),
+            PushError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded multi-producer/multi-consumer FIFO over `Mutex` + `Condvar`.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// A poisoned mutex only means another thread panicked while holding
+    /// the lock; the queue state (a VecDeque) is still structurally valid,
+    /// so serving continues.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently waiting (the live `/metrics` queue-depth gauge).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push; fails fast when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Atomic all-or-nothing batch push: either every item is admitted or
+    /// the queue is left untouched.
+    pub fn try_push_many(&self, items: Vec<T>) -> Result<(), PushError> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let n = items.len();
+        let mut s = self.lock();
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if self.capacity - s.items.len() < n {
+            return Err(PushError::Full);
+        }
+        s.items.extend(items);
+        drop(s);
+        self.not_empty.notify_all();
+        Ok(())
+    }
+
+    /// Blocking pop. Returns `None` only after [`Bounded::close`] once the
+    /// queue has drained — admitted work is always completed.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Stop admitting work and wake every blocked consumer; already-queued
+    /// items are still handed out.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_buffer() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2, "rejected item must not be buffered");
+    }
+
+    #[test]
+    fn batch_push_is_all_or_nothing() {
+        let q = Bounded::new(3);
+        q.try_push(0).unwrap();
+        assert_eq!(q.try_push_many(vec![1, 2, 3]), Err(PushError::Full));
+        assert_eq!(q.len(), 1, "failed batch must admit nothing");
+        q.try_push_many(vec![1, 2]).unwrap();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = Bounded::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(7), "admitted work completes after close");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(Bounded::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+}

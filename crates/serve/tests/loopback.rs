@@ -1,0 +1,287 @@
+//! Loopback integration tests: a real server on an ephemeral port, driven
+//! through the bundled blocking client.
+//!
+//! The acceptance triad from the serving issue:
+//! 1. a batch of 100 jobs fanned across ≥4 workers is byte-identical to
+//!    sequential in-process diagnosis;
+//! 2. queue overflow answers 503 + `Retry-After` without buffering;
+//! 3. a hot reload mid-traffic drops zero in-flight requests.
+
+use aiio::{AiioService, TrainConfig};
+use aiio_iosim::{DatabaseSampler, IorConfig, SamplerConfig, Simulator};
+use aiio_serve::client::{request, ClientResponse};
+use aiio_serve::{ServeConfig, Server};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const RPC_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One small-but-real service shared by every test (training dominates
+/// test wall-clock; the serving layer under test is cheap).
+fn service() -> &'static AiioService {
+    static CACHE: OnceLock<AiioService> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 150,
+            seed: 9,
+            noise_sigma: 0.0,
+        })
+        .generate();
+        let mut cfg = TrainConfig::fast();
+        cfg.zoo = cfg
+            .zoo
+            .with_kinds(&[aiio::ModelKind::XgboostLike, aiio::ModelKind::LightgbmLike]);
+        cfg.diagnosis.max_evals = 64;
+        AiioService::train(&cfg, &db).unwrap()
+    })
+}
+
+fn job_json(seed: u64) -> String {
+    let spec = IorConfig::parse("ior -w -t 1k -b 1m -Y").unwrap().to_spec();
+    let log = Simulator::default().simulate(&spec, seed, 2022, seed);
+    serde_json::to_string(&log).unwrap()
+}
+
+struct Running {
+    addr: String,
+    handle: aiio_serve::Handle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl Running {
+    fn start(config: ServeConfig) -> Running {
+        let server = Server::bind("127.0.0.1:0", service().clone(), config).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run());
+        Running {
+            addr,
+            handle,
+            thread,
+        }
+    }
+
+    fn rpc(&self, method: &str, path: &str, body: Option<&str>) -> ClientResponse {
+        request(&self.addr, method, path, body, RPC_TIMEOUT).unwrap()
+    }
+
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().unwrap().unwrap();
+    }
+}
+
+#[test]
+fn healthz_and_metrics_roundtrip() {
+    let s = Running::start(ServeConfig::default());
+    let health = s.rpc("GET", "/healthz", None);
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"status\":\"ok\""));
+    assert!(health.body.contains("\"models\":2"));
+
+    let one = s.rpc("POST", "/diagnose", Some(&job_json(1)));
+    assert_eq!(one.status, 200, "{}", one.body);
+
+    let metrics = s.rpc("GET", "/metrics", None);
+    assert_eq!(metrics.status, 200);
+    assert!(metrics
+        .body
+        .contains("aiio_requests_total{endpoint=\"diagnose\"} 1"));
+    assert!(metrics
+        .body
+        .contains("aiio_request_latency_ms_bucket{endpoint=\"diagnose\",le=\"+Inf\"} 1"));
+    assert!(metrics.body.contains("aiio_queue_depth 0"));
+    assert!(metrics
+        .body
+        .contains("aiio_inference_total{model=\"XGBoost\"} 1"));
+    assert!(metrics
+        .body
+        .contains("aiio_inference_total{model=\"LightGBM\"} 1"));
+    s.stop();
+}
+
+#[test]
+fn batch_of_100_matches_sequential_bytes_across_4_workers() {
+    let s = Running::start(ServeConfig {
+        workers: 4,
+        queue_capacity: 128,
+        ..ServeConfig::default()
+    });
+
+    let logs: Vec<String> = (0..100).map(job_json).collect();
+    let batch_body = format!("[{}]", logs.join(","));
+    let resp = s.rpc("POST", "/diagnose/batch", Some(&batch_body));
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    // Byte-identical to sequential in-process diagnosis, in order.
+    let expected: Vec<String> = logs
+        .iter()
+        .map(|l| {
+            let log: aiio_darshan::JobLog = serde_json::from_str(l).unwrap();
+            serde_json::to_string(&service().diagnose(&log)).unwrap()
+        })
+        .collect();
+    assert_eq!(resp.body, format!("[{}]", expected.join(",")));
+
+    // The batch really fanned out over all four workers.
+    let per_worker = s.handle.metrics().worker_job_counts();
+    assert_eq!(per_worker.len(), 4);
+    assert_eq!(per_worker.iter().sum::<u64>(), 100);
+    for (w, n) in per_worker.iter().enumerate() {
+        assert!(*n > 0, "worker {w} processed no jobs: {per_worker:?}");
+    }
+    s.stop();
+}
+
+#[test]
+fn overflow_answers_503_with_retry_after_and_stays_bounded() {
+    // One worker and a tiny queue; a spray of concurrent singles must
+    // overflow. The queue never holds more than its capacity and rejected
+    // requests are counted — bounded memory by construction.
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..ServeConfig::default()
+    };
+    let s = Running::start(config);
+
+    let n_clients = 16;
+    let mut total_busy = 0usize;
+    // The race between the spray and the draining worker is inherently
+    // timing-dependent; retry a few rounds until an overflow is observed.
+    for _round in 0..5 {
+        let results: Vec<ClientResponse> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_clients)
+                .map(|i| {
+                    let addr = s.addr.clone();
+                    let body = job_json(i);
+                    scope.spawn(move || {
+                        request(&addr, "POST", "/diagnose", Some(&body), RPC_TIMEOUT).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let ok = results.iter().filter(|r| r.status == 200).count();
+        let busy: Vec<&ClientResponse> = results.iter().filter(|r| r.status == 503).collect();
+        assert_eq!(ok + busy.len(), n_clients as usize, "only 200/503 expected");
+        for r in &busy {
+            assert_eq!(
+                r.header("retry-after"),
+                Some("1"),
+                "503 must carry Retry-After"
+            );
+        }
+        assert!(s.handle.queue_depth() <= 2, "queue exceeded its bound");
+        total_busy += busy.len();
+        if total_busy > 0 {
+            break;
+        }
+    }
+    assert!(
+        total_busy > 0,
+        "expected at least one 503 from a 2-deep queue"
+    );
+    let metrics = s.rpc("GET", "/metrics", None);
+    assert!(metrics
+        .body
+        .contains(&format!("aiio_rejected_total {total_busy}")));
+    s.stop();
+}
+
+#[test]
+fn reload_mid_traffic_drops_zero_requests() {
+    let s = Running::start(ServeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    });
+    let baseline = {
+        let log: aiio_darshan::JobLog = serde_json::from_str(&job_json(77)).unwrap();
+        serde_json::to_string(&service().diagnose(&log)).unwrap()
+    };
+
+    let path = std::env::temp_dir().join("aiio_serve_reload_test.json");
+    service().save(&path).unwrap();
+    let reload_body = format!(
+        "{{\"path\":{}}}",
+        serde_json::to_string(path.to_str().unwrap()).unwrap()
+    );
+
+    // Readers hammer /diagnose while the main thread swaps the models;
+    // every single request must succeed with the identical report.
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = s.addr.clone();
+                let body = job_json(77);
+                let baseline = baseline.clone();
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        let r =
+                            request(&addr, "POST", "/diagnose", Some(&body), RPC_TIMEOUT).unwrap();
+                        assert_eq!(r.status, 200, "request dropped during reload: {}", r.body);
+                        assert_eq!(r.body, baseline, "report changed during reload");
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..3 {
+            let r = s.rpc("POST", "/admin/reload", Some(&reload_body));
+            assert_eq!(r.status, 200, "{}", r.body);
+            assert!(r.body.contains("\"reloaded\":true"));
+        }
+        for h in readers {
+            h.join().unwrap();
+        }
+    });
+    let _ = std::fs::remove_file(&path);
+
+    let metrics = s.rpc("GET", "/metrics", None);
+    assert!(metrics.body.contains("aiio_reloads_total 3"));
+    assert!(metrics
+        .body
+        .contains("aiio_request_errors_total{endpoint=\"diagnose\"} 0"));
+    s.stop();
+}
+
+#[test]
+fn reload_refuses_garbage_and_empty_paths() {
+    let s = Running::start(ServeConfig::default());
+    let r = s.rpc("POST", "/admin/reload", Some("{\"nope\":1}"));
+    assert_eq!(r.status, 400);
+    let r = s.rpc(
+        "POST",
+        "/admin/reload",
+        Some("{\"path\":\"/nonexistent/x.json\"}"),
+    );
+    assert_eq!(r.status, 400);
+    // Traffic still flows after refused reloads.
+    let one = s.rpc("POST", "/diagnose", Some(&job_json(5)));
+    assert_eq!(one.status, 200);
+    s.stop();
+}
+
+#[test]
+fn bad_requests_get_4xx_not_a_hang() {
+    let s = Running::start(ServeConfig::default());
+    assert_eq!(s.rpc("POST", "/diagnose", Some("not json")).status, 400);
+    assert_eq!(s.rpc("GET", "/nope", None).status, 404);
+    assert_eq!(s.rpc("DELETE", "/diagnose", None).status, 405);
+    assert_eq!(s.rpc("POST", "/diagnose/batch", Some("[]")).status, 200);
+    // A batch larger than the queue is refused up front with 413.
+    let big = format!("[{}]", (0..65).map(job_json).collect::<Vec<_>>().join(","));
+    assert_eq!(s.rpc("POST", "/diagnose/batch", Some(&big)).status, 413);
+    s.stop();
+}
+
+#[test]
+fn admin_shutdown_is_graceful() {
+    let s = Running::start(ServeConfig::default());
+    let r = s.rpc("POST", "/admin/shutdown", None);
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("\"shutting_down\":true"));
+    // run() exits cleanly without Handle::shutdown being called.
+    s.thread.join().unwrap().unwrap();
+}

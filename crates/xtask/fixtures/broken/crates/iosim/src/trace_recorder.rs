@@ -1,0 +1,8 @@
+//! Fixture second emitter: a trace-ingest recorder that DOES emit
+//! `GhostCounter`. Registered only by the multi-recorder test — the
+//! default `SchemaPaths` must still flag `GhostCounter` as never emitted,
+//! while a `recorders` list containing this file unions it in.
+
+pub fn ingest(set: &mut CounterSet) {
+    set.add(CounterId::GhostCounter, 1);
+}

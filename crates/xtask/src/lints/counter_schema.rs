@@ -32,8 +32,9 @@ use std::collections::{BTreeMap, BTreeSet};
 pub struct SchemaPaths {
     /// The `CounterId` definition.
     pub counters: &'static str,
-    /// The simulator's counter emission.
-    pub recorder: &'static str,
+    /// Every file that emits counters (the simulator recorder today;
+    /// additional emitters — e.g. a live trace ingester — join the union).
+    pub recorders: &'static [&'static str],
     /// The feature pipeline.
     pub features: &'static str,
     /// The diagnosis surface: static rules, tuning advice, diagnosis.
@@ -44,7 +45,7 @@ impl Default for SchemaPaths {
     fn default() -> Self {
         SchemaPaths {
             counters: "crates/darshan/src/counters.rs",
-            recorder: "crates/iosim/src/recorder.rs",
+            recorders: &["crates/iosim/src/recorder.rs"],
             features: "crates/darshan/src/features.rs",
             diagnosis: &[
                 "crates/aiio/src/rules.rs",
@@ -95,9 +96,18 @@ impl Lint for CounterSchemaLint {
         let n_counters = parse_n_counters(counters);
         findings.extend(check_definition(counters, &variants, n_counters));
 
-        // Leg 2: emission.
-        if let Some(recorder) = ws.file(self.paths.recorder) {
-            let emitted = emitted_counters(recorder, counters);
+        // Leg 2: emission — the union over every registered recorder.
+        let recorders: Vec<_> = self
+            .paths
+            .recorders
+            .iter()
+            .filter_map(|p| ws.file(p))
+            .collect();
+        if !recorders.is_empty() {
+            let mut emitted = BTreeSet::new();
+            for recorder in &recorders {
+                emitted.extend(emitted_counters(recorder, counters));
+            }
             for v in &variants {
                 if !emitted.contains(v.name.as_str()) && !counters.is_waived(v.line, "AIIO-C002") {
                     findings.push(Finding {
@@ -105,10 +115,10 @@ impl Lint for CounterSchemaLint {
                         line: v.line,
                         rule: "AIIO-C002",
                         message: format!(
-                            "counter `{}` is defined but never emitted by the simulator recorder",
+                            "counter `{}` is defined but never emitted by any recorder",
                             v.name
                         ),
-                        hint: "record it in iosim::recorder (or a CounterId helper the recorder calls); a counter the simulator cannot produce is schema drift",
+                        hint: "record it in iosim::recorder (or a CounterId helper a recorder calls); a counter no emitter can produce is schema drift",
                     });
                 }
             }

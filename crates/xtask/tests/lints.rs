@@ -83,7 +83,7 @@ fn broken_counter_schema_findings_are_specific() {
 fn broken_fixture_findings_point_at_the_right_files() {
     let findings = run_on(&fixture_root());
     let file_of = |rule: &str| -> &str {
-        &findings
+        findings
             .iter()
             .find(|f| f.rule == rule)
             .map(|f| f.file.as_str())
@@ -120,6 +120,60 @@ fn cli_fails_on_broken_fixture_with_rule_ids() {
             stdout.contains(rule),
             "missing {rule} in CLI output:\n{stdout}"
         );
+    }
+}
+
+#[test]
+fn recorder_union_covers_multi_emitter_schemas() {
+    use xtask::lints::counter_schema::{CounterSchemaLint, SchemaPaths};
+    use xtask::Lint;
+
+    let ws = Workspace::load(&fixture_root()).expect("scan fixture tree");
+
+    // Default paths: only the simulator recorder → GhostCounter drifts.
+    let default_lint = CounterSchemaLint::default();
+    assert!(
+        default_lint
+            .run(&ws)
+            .iter()
+            .any(|f| f.rule == "AIIO-C002" && f.message.contains("`GhostCounter`")),
+        "single-recorder baseline should flag GhostCounter"
+    );
+
+    // Registering the second emitter unions its counters in.
+    let multi = CounterSchemaLint {
+        paths: SchemaPaths {
+            recorders: &[
+                "crates/iosim/src/recorder.rs",
+                "crates/iosim/src/trace_recorder.rs",
+            ],
+            ..SchemaPaths::default()
+        },
+    };
+    assert!(
+        !multi
+            .run(&ws)
+            .iter()
+            .any(|f| f.rule == "AIIO-C002" && f.message.contains("`GhostCounter`")),
+        "a recorders list containing the trace ingester must satisfy emission"
+    );
+}
+
+#[test]
+fn serve_crate_is_inside_the_lint_perimeter() {
+    // The serving layer is library code: the panic-hygiene ratchet, float
+    // safety and determinism lints must scan it like every other crate.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root).expect("scan workspace");
+    for file in [
+        "crates/serve/src/lib.rs",
+        "crates/serve/src/queue.rs",
+        "crates/serve/src/pool.rs",
+        "crates/serve/src/metrics.rs",
+        "crates/serve/src/http.rs",
+        "crates/serve/src/client.rs",
+    ] {
+        assert!(ws.file(file).is_some(), "{file} missing from lint scan");
     }
 }
 

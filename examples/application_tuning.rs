@@ -17,7 +17,7 @@ fn main() {
         noise_sigma: 0.03,
     })
     .generate();
-    let service = AiioService::train(&TrainConfig::fast(), &db);
+    let service = AiioService::train(&TrainConfig::fast(), &db).expect("zoo trains");
     let base = StorageConfig::cori_like_quiet();
 
     let experiments: [(&str, apps::AppRun, apps::AppRun, (f64, f64)); 3] = [

@@ -18,7 +18,7 @@ fn main() {
         noise_sigma: 0.0,
     })
     .generate();
-    let service = AiioService::train(&TrainConfig::fast(), &db);
+    let service = AiioService::train(&TrainConfig::fast(), &db).expect("zoo trains");
     let tuner = AutoTuner::new(&service);
 
     let patterns = [

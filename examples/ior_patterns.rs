@@ -17,7 +17,7 @@ fn main() {
         noise_sigma: 0.03,
     })
     .generate();
-    let service = AiioService::train(&TrainConfig::fast(), &db);
+    let service = AiioService::train(&TrainConfig::fast(), &db).expect("zoo trains");
     let sim = Simulator::new(StorageConfig::cori_like_quiet());
 
     // (pattern, untuned, tuned, paper's untuned/tuned MiB/s)

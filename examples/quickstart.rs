@@ -32,7 +32,7 @@ fn main() {
     // 2. Train all five models with reduced budgets (TrainConfig::default()
     //    is the paper-scale configuration).
     println!("training the model zoo (5 performance functions)...");
-    let service = AiioService::train(&TrainConfig::fast(), &db);
+    let service = AiioService::train(&TrainConfig::fast(), &db).expect("zoo trains");
     for (kind, rmse) in &service.validation_rmse {
         println!("  {kind:<9} validation RMSE: {rmse:.4}");
     }

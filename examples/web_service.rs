@@ -1,12 +1,14 @@
 //! The AIIO service lifecycle (§3.4 / Fig. 17): train once, persist the
-//! pre-trained models, reload them elsewhere, and serve diagnoses for
-//! incoming logs.
+//! pre-trained models, reload them into a real HTTP server, and serve
+//! diagnoses for incoming logs over loopback.
 //!
 //! ```sh
 //! cargo run --release --example web_service
 //! ```
 
 use aiio::prelude::*;
+use aiio_serve::{client, ServeConfig, Server};
+use std::time::Duration;
 
 fn main() -> std::io::Result<()> {
     let model_path = std::env::temp_dir().join("aiio_pretrained_models.json");
@@ -22,7 +24,7 @@ fn main() -> std::io::Result<()> {
         noise_sigma: 0.03,
     })
     .generate();
-    let service = AiioService::train(&TrainConfig::fast(), &db);
+    let service = AiioService::train(&TrainConfig::fast(), &db).expect("zoo trains");
     service.save(&model_path)?;
     println!(
         "  saved ({} bytes)",
@@ -30,10 +32,14 @@ fn main() -> std::io::Result<()> {
     );
 
     // --- Serving side (loads pre-trained models, Fig. 17) ---------------
-    let server = AiioService::load(&model_path)?;
-    println!("loaded pre-trained models; serving diagnosis requests:\n");
+    let loaded = AiioService::load(&model_path)?;
+    let server = Server::bind("127.0.0.1:0", loaded, ServeConfig::default())?;
+    let addr = server.local_addr()?;
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    println!("loaded pre-trained models; serving on http://{addr}\n");
 
-    // Simulate a stream of user-submitted logs.
+    // Simulate a stream of user-submitted logs POSTed by clients.
     let requests = [
         ("ior -w -t 1k -b 1m -Y", 5001u64),
         ("ior -r -t 1k -b 1m", 5002),
@@ -41,10 +47,15 @@ fn main() -> std::io::Result<()> {
         ("ior -a POSIX -r -t 1k -b 1m -z", 5004),
     ];
     let sim = Simulator::new(StorageConfig::cori_like());
+    let timeout = Duration::from_secs(30);
     for (cmdline, job_id) in requests {
         let cfg = IorConfig::parse(cmdline).expect("valid command line");
         let log = sim.simulate(&cfg.to_spec(), job_id, 2022, job_id);
-        let report = server.diagnose(&log);
+        let body = serde_json::to_string(&log).expect("log serialises");
+        let resp = client::request(&addr.to_string(), "POST", "/diagnose", Some(&body), timeout)?;
+        assert_eq!(resp.status, 200, "diagnosis failed: {}", resp.body);
+        let report: DiagnosisReport =
+            serde_json::from_str(&resp.body).expect("report deserialises");
         println!("request: {cmdline}");
         println!(
             "  performance {:.2} MiB/s; top bottleneck: {}",
@@ -57,10 +68,24 @@ fn main() -> std::io::Result<()> {
         if let Some(a) = report.advice.first() {
             println!("  advice: {}", a.suggestion);
         }
-        // A JSON API would return the serialised report:
-        let json = serde_json::to_string(&report).expect("report serialises");
-        println!("  (JSON payload: {} bytes)\n", json.len());
+        println!("  (JSON payload: {} bytes)\n", resp.body.len());
     }
+
+    // A scrape of the live metrics, then a graceful shutdown.
+    let metrics = client::request(&addr.to_string(), "GET", "/metrics", None, timeout)?;
+    let served = metrics
+        .body
+        .lines()
+        .find(|l| l.starts_with("aiio_requests_total{endpoint=\"diagnose\"}"))
+        .unwrap_or("aiio_requests_total{endpoint=\"diagnose\"} ?");
+    println!("metrics: {served}");
+    handle.shutdown();
+    // Nudge the accept loop so it notices the flag immediately.
+    let _ = client::request(&addr.to_string(), "GET", "/healthz", None, timeout);
+    thread
+        .join()
+        .unwrap_or_else(|_| Err(std::io::Error::other("server thread panicked")))?;
+    println!("server shut down cleanly");
 
     let _ = std::fs::remove_file(&model_path);
     Ok(())

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Loopback smoke test for `aiio serve`: bind an ephemeral port, drive the
+# full API surface through `aiio client` (single, batch, overflow-sized
+# batch, metrics scrape, hot reload), then shut down gracefully and check
+# the server exits 0. CI runs this against the release binary.
+set -euo pipefail
+
+AIIO="${AIIO:-cargo run --release -q -p aiio-cli --}"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== preparing a trained service =="
+$AIIO sample --jobs 200 --seed 6 --noise 0 --out "$WORKDIR/db.json"
+$AIIO train --fast --db "$WORKDIR/db.json" --out "$WORKDIR/model.json"
+$AIIO simulate "ior -w -t 1k -b 1m -Y" --json --out "$WORKDIR/job1.json"
+$AIIO simulate "ior -r -t 1k -b 1m" --out "$WORKDIR/job2.txt"
+
+echo "== starting the server on an ephemeral port =="
+$AIIO serve --model "$WORKDIR/model.json" --addr 127.0.0.1:0 \
+    --workers 4 --queue 8 >"$WORKDIR/serve.out" &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^listening on //p' "$WORKDIR/serve.out" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died before binding"; exit 1; }
+    sleep 0.2
+done
+[[ -n "$ADDR" ]] || { echo "server never announced its address"; exit 1; }
+echo "   listening on $ADDR"
+
+client() { $AIIO client --addr "$ADDR" "$@"; }
+
+echo "== health =="
+client health | grep -q '"status":"ok"'
+
+echo "== single diagnosis (JSON log) =="
+client diagnose "$WORKDIR/job1.json" | grep -q '"bottlenecks"'
+
+echo "== single diagnosis (darshan text log) =="
+client diagnose "$WORKDIR/job2.txt" | grep -q '"bottlenecks"'
+
+echo "== batch diagnosis =="
+client batch "$WORKDIR/job1.json" "$WORKDIR/job2.txt" "$WORKDIR/job1.json" \
+    | grep -q '^\['
+
+echo "== oversized batch is refused with 413, not buffered =="
+BIG=()
+for _ in $(seq 1 9); do BIG+=("$WORKDIR/job1.json"); done
+if client batch "${BIG[@]}" >"$WORKDIR/big.out" 2>&1; then
+    echo "expected the 9-job batch to exceed the 8-deep queue"; exit 1
+fi
+grep -q "queue capacity" "$WORKDIR/big.out"
+
+echo "== hot reload =="
+client reload --path "$WORKDIR/model.json" | grep -q '"reloaded":true'
+
+echo "== metrics scrape =="
+client metrics >"$WORKDIR/metrics.out"
+grep -q 'aiio_requests_total{endpoint="diagnose"} 2' "$WORKDIR/metrics.out"
+# Two batch requests: the accepted 3-job batch and the 413-refused 9-job
+# one — refusals are still requests, and the error counter must say so.
+grep -q 'aiio_requests_total{endpoint="diagnose_batch"} 2' "$WORKDIR/metrics.out"
+grep -q 'aiio_request_errors_total{endpoint="diagnose_batch"} 1' "$WORKDIR/metrics.out"
+grep -q 'aiio_reloads_total 1' "$WORKDIR/metrics.out"
+grep -q 'aiio_queue_depth' "$WORKDIR/metrics.out"
+grep -q 'aiio_inference_total' "$WORKDIR/metrics.out"
+
+echo "== graceful shutdown =="
+client shutdown | grep -q '"shutting_down":true'
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "serve smoke: all checks passed"

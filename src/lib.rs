@@ -7,3 +7,4 @@ pub use aiio_gbdt as gbdt;
 pub use aiio_iosim as iosim;
 pub use aiio_linalg as linalg;
 pub use aiio_nn as nn;
+pub use aiio_serve as serve;

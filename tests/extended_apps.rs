@@ -30,7 +30,7 @@ fn service() -> &'static AiioService {
             aiio::ModelKind::CatboostLike,
         ]);
         cfg.diagnosis.max_evals = 384;
-        AiioService::train(&cfg, &db)
+        AiioService::train(&cfg, &db).expect("zoo trains")
     })
 }
 

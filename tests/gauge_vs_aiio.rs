@@ -34,13 +34,14 @@ fn setup() -> &'static (GaugeAnalysis, Dataset, AiioService, LogDatabase) {
                 max_evals: 192,
                 seed: 0,
             },
-        );
+        )
+        .expect("gauge baseline fits");
         let mut cfg = TrainConfig::fast();
         cfg.zoo = cfg
             .zoo
             .with_kinds(&[aiio::ModelKind::XgboostLike, aiio::ModelKind::CatboostLike]);
         cfg.diagnosis.max_evals = 256;
-        let service = AiioService::train(&cfg, &db);
+        let service = AiioService::train(&cfg, &db).expect("zoo trains");
         (gauge, ds, service, db)
     })
 }

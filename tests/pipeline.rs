@@ -48,7 +48,7 @@ fn service() -> &'static (AiioService, LogDatabase) {
             ..TabNetConfig::default()
         };
         cfg.diagnosis.max_evals = 384;
-        let service = AiioService::train(&cfg, &db);
+        let service = AiioService::train(&cfg, &db).expect("zoo trains");
         (service, db)
     })
 }
