@@ -13,6 +13,8 @@ use aiio_explain::kernel::{KernelShap, KernelShapConfig};
 use aiio_explain::lime::{Lime, LimeConfig};
 use aiio_explain::{Attribution, Predictor};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Which interpretation technology drives the diagnosis (§3.3 supports
 /// both; results are never merged across technologies).
@@ -172,6 +174,68 @@ impl From<MergeError> for DiagnoseError {
     }
 }
 
+/// Per-model memo of the background ("baseline") prediction
+/// `f_m(background)`. The zero background is shared by every diagnosis, so
+/// its prediction is the one model evaluation repeated diagnoses would
+/// otherwise recompute; caching it is safe because the value is a pure
+/// function of the (immutable) trained model. Slots are keyed by position
+/// in the zoo and lazily sized on first use; a size mismatch (e.g. a
+/// hand-rolled zoo shrank after the cache warmed) falls back to computing
+/// without memoising.
+#[derive(Debug, Default)]
+pub struct BaselineCache {
+    slots: OnceLock<Vec<OnceLock<f64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BaselineCache {
+    /// An empty (cold) cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The baseline of model `index` in a zoo of `n_models`, computed via
+    /// `compute` on the first call and memoised after.
+    pub fn expected_for(
+        &self,
+        n_models: usize,
+        index: usize,
+        compute: impl FnOnce() -> f64,
+    ) -> f64 {
+        let slots = self
+            .slots
+            .get_or_init(|| (0..n_models).map(|_| OnceLock::new()).collect());
+        match slots.get(index) {
+            Some(slot) => {
+                if let Some(&v) = slot.get() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    v
+                } else {
+                    // Concurrent first calls may both compute; the slot
+                    // keeps one value and both count as misses.
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    *slot.get_or_init(compute)
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                compute()
+            }
+        }
+    }
+
+    /// Lookups answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to evaluate the model.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 /// The diagnosis engine: a trained zoo plus the feature pipeline and
 /// explainer configuration.
 #[derive(Debug, Clone)]
@@ -179,6 +243,7 @@ pub struct Diagnoser<'a> {
     zoo: &'a ModelZoo,
     pipeline: FeaturePipeline,
     config: DiagnosisConfig,
+    baselines: Option<&'a BaselineCache>,
 }
 
 impl<'a> Diagnoser<'a> {
@@ -187,27 +252,46 @@ impl<'a> Diagnoser<'a> {
             zoo,
             pipeline,
             config,
+            baselines: None,
         }
     }
 
+    /// Reuse (and warm) `cache` for per-model background predictions.
+    pub fn with_baselines(mut self, cache: &'a BaselineCache) -> Self {
+        self.baselines = Some(cache);
+        self
+    }
+
     /// Explain one model at the job's feature vector with the zero
-    /// background required for sparsity robustness.
-    // xtask-allow: AIIO-S001 — delegates to KernelShap/Lime::explain, which route
-    // through aiio_explain::sparsity_mask (cross-crate, invisible to the lint)
-    fn explain_one(&self, model: &dyn Predictor, features: &[f64]) -> Attribution {
+    /// background required for sparsity robustness. `model_index` keys the
+    /// baseline cache by the model's position in the zoo.
+    // xtask-allow: AIIO-S001 — delegates to KernelShap/Lime explainers, which
+    // route through aiio_explain::sparsity_mask (cross-crate, invisible to the lint)
+    fn explain_one(
+        &self,
+        model: &dyn Predictor,
+        features: &[f64],
+        model_index: usize,
+    ) -> Attribution {
         let background = vec![0.0; features.len()];
+        let expected = match self.baselines {
+            Some(cache) => cache.expected_for(self.zoo.models().len(), model_index, || {
+                model.predict_one(&background)
+            }),
+            None => model.predict_one(&background),
+        };
         match self.config.explainer {
             ExplainerKind::KernelShap => KernelShap::new(KernelShapConfig {
                 max_evals: self.config.max_evals,
                 seed: self.config.seed,
             })
-            .explain(model, features, &background),
+            .explain_with_baseline(model, features, &background, expected),
             ExplainerKind::Lime => Lime::new(LimeConfig {
                 n_samples: self.config.max_evals,
                 seed: self.config.seed,
                 ..LimeConfig::default()
             })
-            .explain(model, features, &background),
+            .explain_with_baseline(model, features, &background, expected),
         }
     }
 
@@ -239,12 +323,13 @@ impl<'a> Diagnoser<'a> {
         let features = self.pipeline.features_of(log);
         let tag = self.pipeline.tag_of(log);
 
-        let per_model: Vec<(ModelKind, Attribution)> = self
-            .zoo
-            .models()
-            .iter()
-            .map(|tm| (tm.kind, self.explain_one(&tm.model, &features)))
-            .collect();
+        // One independent explanation per model (each explainer reseeds
+        // its own RNG), gathered in zoo order by the index-ordered
+        // reduction — the parallel and sequential paths are bit-identical.
+        let per_model: Vec<(ModelKind, Attribution)> =
+            aiio_par::map_indexed(self.zoo.models(), |i, tm| {
+                (tm.kind, self.explain_one(&tm.model, &features, i))
+            });
         let predictions: Vec<f64> = self.zoo.predict_all(&features);
         let predictions_mib_s: Vec<(ModelKind, f64)> = self
             .zoo
@@ -317,6 +402,7 @@ const _: () = {
     assert_send_sync::<Diagnoser<'static>>();
     assert_send_sync::<DiagnosisReport>();
     assert_send_sync::<DiagnoseError>();
+    assert_send_sync::<BaselineCache>();
 };
 
 #[cfg(test)]

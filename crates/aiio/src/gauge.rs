@@ -87,8 +87,10 @@ impl GaugeAnalysis {
     /// model fails to fit propagates its [`aiio_gbdt::FitError`].
     pub fn fit(ds: &Dataset, config: &GaugeConfig) -> Result<GaugeAnalysis, aiio_gbdt::FitError> {
         let clustering = Hdbscan::fit(&ds.x, &config.hdbscan);
-        let mut clusters = Vec::new();
-        for label in 0..clustering.n_clusters as i32 {
+        // One independent booster per cluster; parallel over clusters with
+        // results gathered in label order.
+        let labels: Vec<i32> = (0..clustering.n_clusters as i32).collect();
+        let fits = aiio_par::map(&labels, |&label| {
             let members = clustering.members(label);
             let x: Vec<Vec<f64>> = members.iter().map(|&i| ds.x[i].clone()).collect();
             let y: Vec<f64> = members.iter().map(|&i| ds.y[i]).collect();
@@ -104,14 +106,15 @@ impl GaugeAnalysis {
                     *m += v / n;
                 }
             }
-            clusters.push(ClusterAnalysis {
+            Ok(ClusterAnalysis {
                 label,
                 members,
                 model,
                 mean_features,
                 member_abs_errors,
-            });
-        }
+            })
+        });
+        let clusters = fits.into_iter().collect::<Result<Vec<_>, _>>()?;
         Ok(GaugeAnalysis {
             clustering,
             clusters,

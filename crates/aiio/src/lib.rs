@@ -57,7 +57,9 @@ pub mod zoo;
 
 pub use advisor::{advice_for, Advice};
 pub use autotune::{AutoTuner, TuningAction, TuningOutcome};
-pub use diagnosis::{DiagnoseError, Diagnoser, DiagnosisConfig, DiagnosisReport, ExplainerKind};
+pub use diagnosis::{
+    BaselineCache, DiagnoseError, Diagnoser, DiagnosisConfig, DiagnosisReport, ExplainerKind,
+};
 pub use drift::{DriftDetector, DriftScore};
 pub use eval::{ClassificationReport, ClassificationScorer};
 pub use merge::{average_weights, merge_attributions_average, MergeError, MergeMethod};

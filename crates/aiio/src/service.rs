@@ -7,12 +7,13 @@
 //! (An HTTP front-end would add a network dependency without exercising
 //! anything new.)
 
-use crate::diagnosis::{DiagnoseError, Diagnoser, DiagnosisConfig, DiagnosisReport};
+use crate::diagnosis::{BaselineCache, DiagnoseError, Diagnoser, DiagnosisConfig, DiagnosisReport};
 use crate::zoo::{ModelZoo, ZooConfig, ZooError};
 use aiio_darshan::{Dataset, FeaturePipeline, JobLog, LogDatabase};
 use serde::{Deserialize, Serialize};
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Error from training a service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +78,15 @@ pub struct AiioService {
     diagnosis: DiagnosisConfig,
     /// Validation RMSE per model at train time, for reporting.
     pub validation_rmse: Vec<(crate::ModelKind, f64)>,
+    /// Per-model background-prediction memo. Runtime-only (rebuilt cold on
+    /// load, shared across clones of one trained service); excluded from
+    /// persistence because it's derivable from the models.
+    #[serde(skip, default = "fresh_baselines")]
+    baselines: Arc<BaselineCache>,
+}
+
+fn fresh_baselines() -> Arc<BaselineCache> {
+    Arc::new(BaselineCache::new())
 }
 
 impl AiioService {
@@ -108,6 +118,7 @@ impl AiioService {
             zoo,
             diagnosis: config.diagnosis.clone(),
             validation_rmse,
+            baselines: fresh_baselines(),
         })
     }
 
@@ -119,19 +130,31 @@ impl AiioService {
     /// hand-crafted or corrupted persisted service can hit it — servers
     /// should use [`AiioService::try_diagnose`]).
     pub fn diagnose(&self, log: &JobLog) -> DiagnosisReport {
-        Diagnoser::new(&self.zoo, self.pipeline, self.diagnosis.clone()).diagnose(log)
+        self.diagnoser().diagnose(log)
     }
 
     /// Diagnose one job log, returning a typed error on an empty zoo.
     pub fn try_diagnose(&self, log: &JobLog) -> Result<DiagnosisReport, DiagnoseError> {
-        Diagnoser::new(&self.zoo, self.pipeline, self.diagnosis.clone()).try_diagnose(log)
+        self.diagnoser().try_diagnose(log)
     }
 
     /// Diagnose a batch of logs in parallel (one SHAP run per job per
-    /// model; jobs are independent, so this scales with cores).
+    /// model; jobs are independent, so this scales with cores). The
+    /// deterministic map keeps the reports in input order and bit-identical
+    /// to diagnosing each log sequentially, at any thread count.
     pub fn diagnose_batch(&self, logs: &[JobLog]) -> Vec<DiagnosisReport> {
-        use rayon::prelude::*;
-        logs.par_iter().map(|log| self.diagnose(log)).collect()
+        aiio_par::map(logs, |log| self.diagnose(log))
+    }
+
+    fn diagnoser(&self) -> Diagnoser<'_> {
+        Diagnoser::new(&self.zoo, self.pipeline, self.diagnosis.clone())
+            .with_baselines(&self.baselines)
+    }
+
+    /// The per-model background-prediction memo (hit/miss counters are
+    /// what tests and the serving layer's metrics read).
+    pub fn baseline_cache(&self) -> &BaselineCache {
+        &self.baselines
     }
 
     /// The trained model zoo.

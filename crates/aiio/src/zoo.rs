@@ -140,9 +140,11 @@ impl ModelZoo {
             return Err(ZooError::NoKindsConfigured);
         }
         let v = (valid.x.as_slice(), valid.y.as_slice());
-        let mut models = Vec::new();
-        let mut failed = Vec::new();
-        for &kind in &config.kinds {
+        // Each family fits from its own seeded config and never reads
+        // shared mutable state, so training them in parallel produces the
+        // identical models; the index-ordered reduction keeps them in
+        // configuration order.
+        let fits = aiio_par::map(&config.kinds, |&kind| {
             let fit = match kind {
                 ModelKind::XgboostLike => {
                     Booster::fit(&config.xgboost, &train.x, &train.y, Some(v)).map(AnyModel::Gbdt)
@@ -166,9 +168,14 @@ impl ModelZoo {
                     Some(v),
                 ))),
             };
+            (kind, fit.map_err(|e| e.to_string()))
+        });
+        let mut models = Vec::new();
+        let mut failed = Vec::new();
+        for (kind, fit) in fits {
             match fit {
                 Ok(model) => models.push(TrainedModel { kind, model }),
-                Err(e) => failed.push((kind, e.to_string())),
+                Err(e) => failed.push((kind, e)),
             }
         }
         if models.is_empty() {

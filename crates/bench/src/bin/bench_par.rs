@@ -1,0 +1,143 @@
+//! Sequential vs parallel benchmark for the deterministic engine.
+//!
+//! Times zoo training and batch diagnosis at 1 engine thread and at
+//! `AIIO_BENCH_THREADS` (default: all cores, capped at 8), verifies the
+//! outputs are byte-identical either way, and writes the trajectory point
+//! to `results/BENCH_par.json`.
+//!
+//! Scale knobs: `AIIO_BENCH_JOBS` (default 10000 — CI smoke downscales),
+//! `AIIO_BENCH_SEED` (default 7), `AIIO_BENCH_THREADS`.
+//!
+//! The zoo leg trains the three tree families only: per-family parallelism
+//! is bounded by the slowest member, so mixing the (much slower) neural
+//! models in would measure their serial tail, not the engine.
+
+use aiio::prelude::*;
+use aiio_bench::write_json;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Leg {
+    seq_ms: u64,
+    par_ms: u64,
+    speedup: f64,
+    identical: bool,
+}
+
+#[derive(Serialize)]
+struct BenchPar {
+    n_jobs: usize,
+    seed: u64,
+    threads: usize,
+    cores: usize,
+    zoo_fit: Leg,
+    batch_diagnosis: Leg,
+    batch_len: usize,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn leg(seq_ms: u64, par_ms: u64, identical: bool) -> Leg {
+    Leg {
+        seq_ms,
+        par_ms,
+        speedup: seq_ms as f64 / (par_ms.max(1)) as f64,
+        identical,
+    }
+}
+
+fn main() {
+    let n_jobs = env_usize("AIIO_BENCH_JOBS", 10_000);
+    let seed = env_usize("AIIO_BENCH_SEED", 7) as u64;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = env_usize("AIIO_BENCH_THREADS", cores.min(8));
+
+    eprintln!("[bench_par] database: {n_jobs} jobs, seed {seed}");
+    let db = DatabaseSampler::new(SamplerConfig {
+        n_jobs,
+        seed,
+        noise_sigma: 0.03,
+    })
+    .generate();
+    let ds = FeaturePipeline::paper().dataset_of(&db);
+    let split = db.split_indices(0.5, seed);
+    let (train, valid) = (ds.subset(&split.train), ds.subset(&split.valid));
+
+    let zoo_cfg = ZooConfig::fast().with_kinds(&[
+        ModelKind::XgboostLike,
+        ModelKind::LightgbmLike,
+        ModelKind::CatboostLike,
+    ]);
+
+    eprintln!("[bench_par] zoo fit, 1 thread...");
+    let t = Instant::now();
+    let zoo_seq = aiio_par::with_threads(1, || ModelZoo::train(&zoo_cfg, &train, &valid))
+        .expect("bench_par: zoo must train"); // xtask-allow: AIIO-P002 — harness entry point; nothing to measure without a zoo
+    let zoo_seq_ms = t.elapsed().as_millis() as u64;
+
+    eprintln!("[bench_par] zoo fit, {threads} threads...");
+    let t = Instant::now();
+    let zoo_par = aiio_par::with_threads(threads, || ModelZoo::train(&zoo_cfg, &train, &valid))
+        .expect("bench_par: zoo must train"); // xtask-allow: AIIO-P002 — harness entry point; nothing to measure without a zoo
+    let zoo_par_ms = t.elapsed().as_millis() as u64;
+
+    let zoo_identical =
+        serde_json::to_string(&zoo_seq).ok() == serde_json::to_string(&zoo_par).ok();
+
+    eprintln!("[bench_par] training service for the diagnosis leg...");
+    let mut cfg = TrainConfig::fast();
+    cfg.zoo = zoo_cfg.clone();
+    cfg.diagnosis.max_evals = 256;
+    let service = aiio_par::with_threads(threads, || AiioService::train(&cfg, &db))
+        .expect("bench_par: service must train"); // xtask-allow: AIIO-P002 — harness entry point; nothing to measure without a service
+    let batch: Vec<JobLog> = db.jobs().iter().take(200).cloned().collect();
+
+    eprintln!(
+        "[bench_par] batch diagnosis ({} jobs), 1 thread...",
+        batch.len()
+    );
+    let t = Instant::now();
+    let reports_seq = aiio_par::with_threads(1, || service.diagnose_batch(&batch));
+    let batch_seq_ms = t.elapsed().as_millis() as u64;
+
+    eprintln!(
+        "[bench_par] batch diagnosis ({} jobs), {threads} threads...",
+        batch.len()
+    );
+    let t = Instant::now();
+    let reports_par = aiio_par::with_threads(threads, || service.diagnose_batch(&batch));
+    let batch_par_ms = t.elapsed().as_millis() as u64;
+
+    let batch_identical =
+        serde_json::to_string(&reports_seq).ok() == serde_json::to_string(&reports_par).ok();
+
+    let result = BenchPar {
+        n_jobs,
+        seed,
+        threads,
+        cores,
+        zoo_fit: leg(zoo_seq_ms, zoo_par_ms, zoo_identical),
+        batch_diagnosis: leg(batch_seq_ms, batch_par_ms, batch_identical),
+        batch_len: batch.len(),
+    };
+    println!(
+        "zoo fit: {zoo_seq_ms} ms seq / {zoo_par_ms} ms at {threads} threads ({:.2}x), identical: {zoo_identical}",
+        result.zoo_fit.speedup
+    );
+    println!(
+        "batch diagnosis: {batch_seq_ms} ms seq / {batch_par_ms} ms at {threads} threads ({:.2}x), identical: {batch_identical}",
+        result.batch_diagnosis.speedup
+    );
+    write_json("BENCH_par", &result);
+    assert!(zoo_identical, "parallel zoo fit must be byte-identical");
+    assert!(
+        batch_identical,
+        "parallel batch diagnosis must be byte-identical"
+    );
+}

@@ -18,18 +18,20 @@ USAGE:
       aiio-iosim::trace for the format) through the storage simulator and
       emit its Darshan log (darshan-parser --total text, or JSON).
 
-  aiio sample --jobs N [--seed S] [--noise SIGMA] --out FILE
+  aiio sample --jobs N [--seed S] [--noise SIGMA] [--threads T] --out FILE
       Generate a synthetic Darshan log database (JSON).
 
-  aiio train --db FILE --out FILE [--fast] [--seed S]
+  aiio train --db FILE --out FILE [--fast] [--seed S] [--threads T]
       Train the five performance functions on a database and persist the
       service (pre-trained models, paper Fig. 17).
 
   aiio diagnose --model FILE --log FILE [--json] [--merge average|closest]
+               [--threads T]
       Diagnose one job log (darshan text or JSON JobLog) and print the
       ranked bottleneck report.
 
   aiio serve --model FILE [--addr HOST:PORT] [--workers N] [--queue N]
+             [--threads T]
       Serve diagnoses over HTTP (the paper's §3.4 web service): POST
       /diagnose and /diagnose/batch, GET /healthz and /metrics, POST
       /admin/reload and /admin/shutdown. Prints `listening on ADDR` once
@@ -44,7 +46,22 @@ USAGE:
 
   aiio help
       Show this message.
+
+Parallelism: --threads T pins the deterministic engine (aiio-par) to T
+worker threads; results are bit-identical at any setting. Without the
+flag, AIIO_THREADS or the machine's core count decides. For serve,
+--threads sets the per-worker engine threads (default 1: the worker pool
+is the parallelism).
 ";
+
+/// Apply `--threads T` to the deterministic engine; results are identical
+/// at any thread count, so this is purely a speed knob.
+fn apply_threads_flag(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    if let Some(t) = flag(flags, "threads") {
+        aiio_par::set_threads(parse_num(t, "threads")?);
+    }
+    Ok(())
+}
 
 /// Parse `--flag value` pairs and bare `--switch`es after the positionals.
 fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), CliError> {
@@ -152,6 +169,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_sample(args: &[String]) -> Result<(), CliError> {
     let (_, flags) = parse_flags(args)?;
+    apply_threads_flag(&flags)?;
     let n_jobs: usize = parse_num(required(&flags, "jobs")?, "jobs")?;
     let seed: u64 = flag(&flags, "seed")
         .map(|s| parse_num(s, "seed"))
@@ -179,6 +197,7 @@ fn cmd_sample(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_train(args: &[String]) -> Result<(), CliError> {
     let (_, flags) = parse_flags(args)?;
+    apply_threads_flag(&flags)?;
     let db_path = required(&flags, "db")?;
     let out = required(&flags, "out")?;
     let db = LogDatabase::load_json(db_path).map_err(|e| e.to_string())?;
@@ -215,6 +234,7 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_diagnose(args: &[String]) -> Result<(), CliError> {
     let (_, flags) = parse_flags(args)?;
+    apply_threads_flag(&flags)?;
     let model_path = required(&flags, "model")?;
     let log_path = required(&flags, "log")?;
     let mut service = AiioService::load(model_path).map_err(|e| e.to_string())?;
@@ -256,11 +276,15 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     if let Some(q) = flag(&flags, "queue") {
         config.queue_capacity = parse_num(q, "queue")?;
     }
+    if let Some(t) = flag(&flags, "threads") {
+        config.engine_threads = parse_num(t, "threads")?;
+    }
     eprintln!(
-        "serving {} models with {} workers (queue depth {})",
+        "serving {} models with {} workers (queue depth {}, engine threads {})",
         service.zoo().models().len(),
         config.workers,
-        config.queue_capacity
+        config.queue_capacity,
+        config.engine_threads
     );
     let server = aiio_serve::Server::bind(addr, service, config).map_err(|e| e.to_string())?;
     // The smoke script and tests discover ephemeral ports from this line.

@@ -65,10 +65,11 @@ impl KMeans {
                 }
                 idx
             };
-            centers.push(points[next].clone());
+            let picked = points[next].clone();
             for (d, p) in d2.iter_mut().zip(points) {
-                *d = d.min(sq_euclidean(p, centers.last().unwrap()));
+                *d = d.min(sq_euclidean(p, &picked));
             }
+            centers.push(picked);
         }
 
         // Lloyd iterations.
@@ -76,11 +77,7 @@ impl KMeans {
         for _ in 0..config.max_iters {
             let mut changed = false;
             for (i, p) in points.iter().enumerate() {
-                let best = (0..k)
-                    .min_by(|&a, &b| {
-                        sq_euclidean(p, &centers[a]).total_cmp(&sq_euclidean(p, &centers[b]))
-                    })
-                    .unwrap();
+                let best = nearest_center(p, &centers);
                 if labels[i] != best {
                     labels[i] = best;
                     changed = true;
@@ -116,14 +113,30 @@ impl KMeans {
         }
     }
 
-    /// Nearest-center label of a new point.
+    /// Nearest-center label of a new point. A model with no centers
+    /// (possible only via deserialisation — `fit` asserts `k >= 1`)
+    /// degenerates to label 0.
     pub fn predict(&self, p: &[f64]) -> usize {
-        (0..self.centers.len())
-            .min_by(|&a, &b| {
-                sq_euclidean(p, &self.centers[a]).total_cmp(&sq_euclidean(p, &self.centers[b]))
-            })
-            .unwrap()
+        nearest_center(p, &self.centers)
     }
+}
+
+/// Index of the center nearest to `p`, keeping the first minimum on ties
+/// (the same answer `min_by` + `total_cmp` gave). Returns 0 for an empty
+/// center list.
+fn nearest_center(p: &[f64], centers: &[Vec<f64>]) -> usize {
+    centers
+        .iter()
+        .enumerate()
+        .fold((0usize, f64::INFINITY), |(bi, bd), (i, c)| {
+            let d = sq_euclidean(p, c);
+            if d < bd {
+                (i, d)
+            } else {
+                (bi, bd)
+            }
+        })
+        .0
 }
 
 #[cfg(test)]
@@ -203,6 +216,39 @@ mod tests {
             seed: 7,
         };
         assert_eq!(KMeans::fit(&pts, &cfg), KMeans::fit(&pts, &cfg));
+    }
+
+    #[test]
+    fn singleton_input_fits_and_predicts() {
+        let m = KMeans::fit(
+            &[vec![3.0, 4.0]],
+            &KMeansConfig {
+                k: 1,
+                max_iters: 10,
+                seed: 0,
+            },
+        );
+        assert_eq!(m.centers.len(), 1);
+        assert_eq!(m.labels, vec![0]);
+        assert_eq!(m.inertia, 0.0);
+        assert_eq!(m.predict(&[100.0, -100.0]), 0);
+    }
+
+    #[test]
+    fn predict_with_no_centers_degenerates_to_zero() {
+        // Only reachable through deserialisation; must not panic.
+        let m = KMeans {
+            centers: vec![],
+            labels: vec![],
+            inertia: 0.0,
+        };
+        assert_eq!(m.predict(&[1.0, 2.0]), 0);
+    }
+
+    #[test]
+    fn nearest_center_keeps_first_minimum_on_ties() {
+        let centers = vec![vec![1.0], vec![-1.0], vec![1.0]];
+        assert_eq!(nearest_center(&[0.0], &centers), 0);
     }
 
     #[test]

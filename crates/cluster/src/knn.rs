@@ -49,18 +49,24 @@ impl Knn {
     }
 
     /// Classification: majority (rounded) target among the k nearest; ties
-    /// break toward the smaller label.
+    /// break toward the smaller label. A vacuous neighbour set (possible
+    /// only via deserialisation — `fit` asserts a non-empty training set)
+    /// degenerates to label 0.
     pub fn classify(&self, x: &[f64]) -> i64 {
         let nn = self.neighbors(x);
         let mut counts: std::collections::BTreeMap<i64, usize> = Default::default();
         for &i in &nn {
             *counts.entry(self.targets[i].round() as i64).or_insert(0) += 1;
         }
+        // Ascending label order + strictly-greater count ⇒ the smallest
+        // label wins count ties, as the old `(c, Reverse(label))` key did.
         counts
             .into_iter()
-            .max_by_key(|&(label, c)| (c, std::cmp::Reverse(label)))
-            .unwrap()
-            .0
+            .fold(None, |best: Option<(i64, usize)>, (label, c)| match best {
+                Some((_, bc)) if c <= bc => best,
+                _ => Some((label, c)),
+            })
+            .map_or(0, |(label, _)| label)
     }
 }
 
@@ -107,5 +113,20 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_inputs_rejected() {
         let _ = Knn::fit(1, vec![vec![0.0]], vec![]);
+    }
+
+    #[test]
+    fn singleton_training_set_classifies_and_predicts() {
+        let knn = Knn::fit(1, vec![vec![2.0]], vec![7.0]);
+        assert_eq!(knn.classify(&[99.0]), 7);
+        assert_eq!(knn.predict(&[99.0]), 7.0);
+        assert_eq!(knn.neighbors(&[0.0]), vec![0]);
+    }
+
+    #[test]
+    fn count_ties_break_toward_smaller_label() {
+        // k=2 over one point of each label: both counts are 1.
+        let knn = Knn::fit(2, vec![vec![0.0], vec![1.0]], vec![5.0, 3.0]);
+        assert_eq!(knn.classify(&[0.5]), 3);
     }
 }

@@ -4,7 +4,6 @@
 use crate::counters::{CounterId, N_COUNTERS};
 use crate::database::LogDatabase;
 use crate::log::JobLog;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A supervised dataset: one row of transformed counters per job plus the
@@ -114,11 +113,13 @@ impl FeaturePipeline {
         self.inverse_value(tag)
     }
 
-    /// Build the supervised dataset for a whole database, in parallel.
+    /// Build the supervised dataset for a whole database. The per-job
+    /// transform is a handful of float ops over 46 counters — threading
+    /// overhead would dominate, so this stays sequential.
     pub fn dataset_of(&self, db: &LogDatabase) -> Dataset {
         let rows: Vec<(Vec<f64>, f64, u64)> = db
             .jobs()
-            .par_iter()
+            .iter()
             .map(|log| (self.features_of(log), self.tag_of(log), log.job_id))
             .collect();
         let mut x = Vec::with_capacity(rows.len());

@@ -74,9 +74,23 @@ impl KernelShap {
 
     /// Explain `model` at `x` against `background`.
     pub fn explain(&self, model: &dyn Predictor, x: &[f64], background: &[f64]) -> Attribution {
+        self.explain_with_baseline(model, x, background, model.predict_one(background))
+    }
+
+    /// [`Self::explain`] with the baseline `f(background)` supplied by the
+    /// caller — the hook for per-model background caches: the background
+    /// prediction is the one model evaluation repeated diagnoses share, so
+    /// callers that explain many jobs against one background compute it
+    /// once. `expected` must equal `model.predict_one(background)`.
+    pub fn explain_with_baseline(
+        &self,
+        model: &dyn Predictor,
+        x: &[f64],
+        background: &[f64],
+        expected: f64,
+    ) -> Attribution {
         let active = crate::sparsity_mask(x, background);
         let k = active.len();
-        let expected = model.predict_one(background);
         let mut values = vec![0.0; x.len()];
         if k == 0 {
             return Attribution { values, expected };
@@ -103,7 +117,10 @@ impl KernelShap {
                 row
             })
             .collect();
-        let fvals = model.predict_batch(&rows);
+        // Parallel over the stable chunk partition: each chunk is a slice
+        // of complete rows, and predictions are per-row, so the chunked
+        // evaluation is bit-identical at any thread count.
+        let fvals = aiio_par::map_chunks(&rows, |chunk| model.predict_batch(chunk));
 
         // Constrained WLS by eliminating the last variable:
         //   y_S - z_last (fx - f0)  =  Σ_{j<k-1} φ_j (z_j - z_last)

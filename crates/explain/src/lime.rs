@@ -53,9 +53,21 @@ impl Lime {
     /// Explain `model` at `x` against `background`. Inactive features
     /// (equal to the background) receive exactly zero.
     pub fn explain(&self, model: &dyn Predictor, x: &[f64], background: &[f64]) -> Attribution {
+        self.explain_with_baseline(model, x, background, model.predict_one(background))
+    }
+
+    /// [`Self::explain`] with the baseline `f(background)` supplied by the
+    /// caller (see `KernelShap::explain_with_baseline`; same caching hook).
+    /// `expected` must equal `model.predict_one(background)`.
+    pub fn explain_with_baseline(
+        &self,
+        model: &dyn Predictor,
+        x: &[f64],
+        background: &[f64],
+        expected: f64,
+    ) -> Attribution {
         let active = crate::sparsity_mask(x, background);
         let k = active.len();
-        let expected = model.predict_one(background);
         let mut values = vec![0.0; x.len()];
         if k == 0 {
             return Attribution { values, expected };
@@ -83,7 +95,9 @@ impl Lime {
                 row
             })
             .collect();
-        let fvals = model.predict_batch(&rows);
+        // Parallel over the stable chunk partition; per-row predictions
+        // make the chunked evaluation bit-identical at any thread count.
+        let fvals = aiio_par::map_chunks(&rows, |chunk| model.predict_batch(chunk));
 
         // Proximity weights: distance = fraction of switched-off features.
         let weights: Vec<f64> = masks

@@ -7,7 +7,6 @@ use crate::tree::Tree;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Tree growth strategy (the axis separating XGBoost / LightGBM / CatBoost).
@@ -222,13 +221,13 @@ impl Booster {
             shrink(&mut tree, config.learning_rate);
 
             // Update cached predictions.
-            pred.par_iter_mut()
-                .zip(x.par_iter())
+            pred.iter_mut()
+                .zip(x.iter())
                 .for_each(|(p, row)| *p += tree.predict(row));
             if let Some((vx, _)) = valid {
                 valid_pred
-                    .par_iter_mut()
-                    .zip(vx.par_iter())
+                    .iter_mut()
+                    .zip(vx.iter())
                     .for_each(|(p, row)| *p += tree.predict(row));
             }
             trees.push(tree);
@@ -278,9 +277,9 @@ impl Booster {
         p
     }
 
-    /// Predict a batch in parallel.
+    /// Predict a batch.
     pub fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
-        x.par_iter().map(|row| self.predict_one(row)).collect()
+        x.iter().map(|row| self.predict_one(row)).collect()
     }
 
     /// The trees used for prediction (early-stopped prefix).

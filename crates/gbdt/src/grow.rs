@@ -3,7 +3,6 @@
 
 use crate::dataset::BinnedMatrix;
 use crate::tree::{Node, Tree};
-use rayon::prelude::*;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -134,7 +133,7 @@ fn best_split_of_feature(
     best
 }
 
-/// Best split of a node across the candidate features (parallel).
+/// Best split of a node across the candidate features.
 fn best_split(
     matrix: &BinnedMatrix,
     rows: &[usize],
@@ -144,7 +143,7 @@ fn best_split(
     p: &GrowParams,
 ) -> Option<Split> {
     features
-        .par_iter()
+        .iter()
         .filter_map(|&f| {
             let hist = build_histogram(matrix, rows, grads, f);
             best_split_of_feature(&hist, total, f, p)
@@ -333,7 +332,7 @@ pub fn grow_oblivious(
         // For every candidate feature, sum per-node best gain *at a common
         // bin*: evaluate all bins, summing each node's gain at that bin.
         let best = features
-            .par_iter()
+            .iter()
             .filter_map(|&f| {
                 let n_bins = matrix.binner().n_bins(f);
                 if n_bins < 2 {

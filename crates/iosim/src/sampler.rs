@@ -15,7 +15,6 @@ use crate::ops::{AccessLayout, JobSpec, OpBlock, ReadWrite};
 use aiio_darshan::{JobLog, LogDatabase};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Relative per-year job volumes from the paper's Table 1 (2019-2022).
@@ -61,10 +60,8 @@ impl DatabaseSampler {
 
     /// Generate the full database (parallel, deterministic).
     pub fn generate(&self) -> LogDatabase {
-        let jobs: Vec<JobLog> = (0..self.config.n_jobs as u64)
-            .into_par_iter()
-            .map(|job_id| self.generate_job(job_id))
-            .collect();
+        let ids: Vec<u64> = (0..self.config.n_jobs as u64).collect();
+        let jobs = aiio_par::map(&ids, |&job_id| self.generate_job(job_id));
         jobs.into_iter().collect()
     }
 
@@ -72,10 +69,8 @@ impl DatabaseSampler {
     /// bottleneck label (see [`crate::labels`]) — the tagged dataset the
     /// paper's conclusion proposes for classification-style evaluation.
     pub fn generate_labeled(&self) -> (LogDatabase, Vec<BottleneckClass>) {
-        let rows: Vec<(JobLog, BottleneckClass)> = (0..self.config.n_jobs as u64)
-            .into_par_iter()
-            .map(|job_id| self.generate_labeled_job(job_id))
-            .collect();
+        let ids: Vec<u64> = (0..self.config.n_jobs as u64).collect();
+        let rows = aiio_par::map(&ids, |&job_id| self.generate_labeled_job(job_id));
         let mut labels = Vec::with_capacity(rows.len());
         let db = rows
             .into_iter()

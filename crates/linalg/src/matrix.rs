@@ -1,8 +1,7 @@
 //! Row-major dense `f64` matrix with the operations the rest of the
 //! workspace needs: construction, elementwise maps, transpose, and a
-//! cache-blocked, Rayon-parallel matrix multiply.
+//! vectorisation-friendly matrix multiply.
 
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Dense row-major matrix of `f64`.
@@ -128,7 +127,7 @@ impl Matrix {
         out
     }
 
-    /// Matrix multiply `self * other`, parallelised over output rows.
+    /// Matrix multiply `self * other`.
     ///
     /// The inner loops run in `ikj` order so the innermost accesses both
     /// operands sequentially, which lets the compiler vectorise.
@@ -139,22 +138,19 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
         let n = other.cols;
-        out.data
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, out_row)| {
-                let a_row = self.row(i);
-                for (k, &a) in a_row.iter().enumerate() {
-                    // xtask-allow: AIIO-F001 — exact-zero skip: sparse rows shortcut, correct for any nonzero
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = other.row(k);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
+        out.data.chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+            let a_row = self.row(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                // xtask-allow: AIIO-F001 — exact-zero skip: sparse rows shortcut, correct for any nonzero
+                if a == 0.0 {
+                    continue;
                 }
-            });
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        });
         out
     }
 

@@ -63,6 +63,13 @@ pub struct ServeConfig {
     pub retry_after_secs: u32,
     /// Maximum accepted request body.
     pub max_body_bytes: usize,
+    /// Threads the deterministic diagnosis engine (`aiio-par`) may use
+    /// *inside* each worker. Defaults to 1: the pool's workers are the
+    /// server's parallelism, and per-job engine threads on top would
+    /// oversubscribe the cores. Raise it only with few workers and large
+    /// per-job work. 0 leaves the engine's own resolution
+    /// (`AIIO_THREADS`/auto) untouched.
+    pub engine_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +80,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(30),
             retry_after_secs: 1,
             max_body_bytes: 16 * 1024 * 1024,
+            engine_threads: 1,
         }
     }
 }
@@ -127,6 +135,12 @@ impl Server {
     pub fn bind(addr: &str, service: AiioService, config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        if config.engine_threads > 0 {
+            // Process-global: workers share one engine setting rather than
+            // each oversubscribing the machine. Results are thread-count-
+            // invariant by aiio-par's contract, so this only affects speed.
+            aiio_par::set_threads(config.engine_threads);
+        }
         let shared = Arc::new(Shared {
             slot: Arc::new(RwLock::new(Arc::new(service))),
             queue: Arc::new(Bounded::new(config.queue_capacity)),
@@ -134,6 +148,10 @@ impl Server {
             shutdown: AtomicBool::new(false),
             config,
         });
+        shared.metrics.engine_threads.store(
+            shared.config.engine_threads.max(1) as u64,
+            Ordering::Relaxed,
+        );
         let pool = Pool::spawn(
             shared.config.workers,
             Arc::clone(&shared.queue),
@@ -374,6 +392,10 @@ fn diagnose_batch(req: &Request, shared: &Arc<Shared>) -> Response {
     if let Err(e) = shared.queue.try_push_many(jobs) {
         return busy_response(shared, e);
     }
+    shared
+        .metrics
+        .batch_jobs_total
+        .fetch_add(n as u64, Ordering::Relaxed);
     let started = Instant::now();
     let mut reports: Vec<Option<String>> = (0..n).map(|_| None).collect();
     for _ in 0..n {

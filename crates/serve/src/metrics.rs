@@ -103,6 +103,13 @@ pub struct Metrics {
     pub worker_panics_total: AtomicU64,
     /// Successful `/admin/reload` model swaps.
     pub reloads_total: AtomicU64,
+    /// Successfully completed diagnoses (single and batch jobs alike) —
+    /// the server's throughput counter.
+    pub diagnoses_total: AtomicU64,
+    /// Jobs admitted through `/diagnose/batch`.
+    pub batch_jobs_total: AtomicU64,
+    /// Deterministic-engine thread count (gauge, set once at bind).
+    pub engine_threads: AtomicU64,
     /// Diagnoses served, by model kind (in [`ModelKind::ALL`] order).
     inference: [AtomicU64; ModelKind::ALL.len()],
     /// Jobs completed per worker thread.
@@ -118,6 +125,9 @@ impl Metrics {
             timeouts_total: AtomicU64::new(0),
             worker_panics_total: AtomicU64::new(0),
             reloads_total: AtomicU64::new(0),
+            diagnoses_total: AtomicU64::new(0),
+            batch_jobs_total: AtomicU64::new(0),
+            engine_threads: AtomicU64::new(1),
             inference: Default::default(),
             worker_jobs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -232,6 +242,21 @@ impl Metrics {
             out,
             "aiio_reloads_total {}",
             self.reloads_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "aiio_diagnoses_total {}",
+            self.diagnoses_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "aiio_batch_jobs_total {}",
+            self.batch_jobs_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "aiio_engine_threads {}",
+            self.engine_threads.load(Ordering::Relaxed)
         );
         for (i, kind) in ModelKind::ALL.iter().enumerate() {
             let n = self.inference[i].load(Ordering::Relaxed);

@@ -104,6 +104,7 @@ fn worker_loop(worker_id: usize, queue: &Bounded<Job>, slot: &ModelSlot, metrics
         let result = match outcome {
             Ok(Ok(report)) => {
                 metrics.record_inference(report.predictions_mib_s.iter().map(|(k, _)| *k));
+                metrics.diagnoses_total.fetch_add(1, Ordering::Relaxed);
                 Ok(report)
             }
             Ok(Err(DiagnoseError::EmptyZoo)) => Err(JobError::EmptyZoo),

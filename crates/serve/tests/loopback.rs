@@ -276,6 +276,105 @@ fn bad_requests_get_4xx_not_a_hang() {
     s.stop();
 }
 
+/// Value of one un-labelled counter in a `/metrics` exposition.
+fn metric_value(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("{name} missing from /metrics:\n{body}"))
+}
+
+#[test]
+fn parallel_engine_stress_stays_bounded_with_monotone_throughput() {
+    // Parallel engine enabled: each pool worker fans its SHAP evaluations
+    // over 2 engine threads while batches and singles race.
+    let s = Running::start(ServeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        engine_threads: 2,
+        ..ServeConfig::default()
+    });
+
+    let mid_scrape = std::sync::Mutex::new(String::new());
+    std::thread::scope(|scope| {
+        // Two concurrent 20-job batches.
+        let batches: Vec<_> = (0..2)
+            .map(|b| {
+                let addr = s.addr.clone();
+                let body = format!(
+                    "[{}]",
+                    (b * 20..b * 20 + 20)
+                        .map(job_json)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+                scope.spawn(move || {
+                    request(&addr, "POST", "/diagnose/batch", Some(&body), RPC_TIMEOUT).unwrap()
+                })
+            })
+            .collect();
+        // Four single-request clients interleaved with the batches.
+        let singles: Vec<_> = (0..4)
+            .map(|i| {
+                let addr = s.addr.clone();
+                scope.spawn(move || {
+                    let mut ok = 0u64;
+                    for j in 0..5 {
+                        let r = request(
+                            &addr,
+                            "POST",
+                            "/diagnose",
+                            Some(&job_json(100 + i * 5 + j)),
+                            RPC_TIMEOUT,
+                        )
+                        .unwrap();
+                        assert!(
+                            r.status == 200 || r.status == 503,
+                            "unexpected status {}: {}",
+                            r.status,
+                            r.body
+                        );
+                        if r.status == 200 {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+
+        // While traffic is in flight: the queue must never exceed its
+        // bound, and a mid-traffic scrape gives the monotonicity baseline.
+        for _ in 0..50 {
+            assert!(s.handle.queue_depth() <= 64, "queue exceeded its bound");
+            std::thread::yield_now();
+        }
+        *mid_scrape.lock().unwrap() = s.rpc("GET", "/metrics", None).body;
+
+        for b in batches {
+            let r = b.join().unwrap();
+            assert_eq!(r.status, 200, "batch failed under stress: {}", r.body);
+        }
+        let ok_singles: u64 = singles.into_iter().map(|h| h.join().unwrap()).sum();
+
+        // No deadlock: everything answered. Final scrape ≥ mid scrape on
+        // both throughput counters, and the totals add up exactly.
+        let mid = mid_scrape.lock().unwrap().clone();
+        let end = s.rpc("GET", "/metrics", None).body;
+        for name in ["aiio_diagnoses_total", "aiio_batch_jobs_total"] {
+            assert!(
+                metric_value(&end, name) >= metric_value(&mid, name),
+                "{name} went backwards"
+            );
+        }
+        assert_eq!(metric_value(&end, "aiio_batch_jobs_total"), 40);
+        assert_eq!(metric_value(&end, "aiio_diagnoses_total"), 40 + ok_singles);
+        assert_eq!(metric_value(&end, "aiio_engine_threads"), 2);
+    });
+    assert_eq!(s.handle.queue_depth(), 0, "queue must drain");
+    s.stop();
+}
+
 #[test]
 fn admin_shutdown_is_graceful() {
     let s = Running::start(ServeConfig::default());

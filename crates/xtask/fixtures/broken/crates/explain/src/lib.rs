@@ -34,6 +34,11 @@ pub fn report_lines() -> Vec<String> {
     out
 }
 
+// AIIO-D002: work-stealing parallel iterator in library code.
+pub fn par_scores(v: &[f64]) -> f64 {
+    v.par_iter().sum()
+}
+
 // AIIO-P001: unwrap in library code.
 pub fn first_score(v: &[f64]) -> f64 {
     v.first().copied().unwrap()

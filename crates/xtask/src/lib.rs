@@ -21,6 +21,7 @@
 //! | `AIIO-P001..P003` | no `unwrap`/`expect`/`panic!` in library code |
 //! | `AIIO-F001/F002`  | no float `==`, no NaN-unsafe `partial_cmp` |
 //! | `AIIO-D001`       | no hash-order iteration in library code |
+//! | `AIIO-D002`       | no work-stealing parallel iterators — parallelism routes through `aiio_par` |
 
 pub mod lints;
 pub mod source;

@@ -1,15 +1,21 @@
-//! `AIIO-D001` — no hash-order iteration in library code.
+//! `AIIO-D001`/`AIIO-D002` — determinism in library code.
 //!
 //! Everything in this workspace is seeded: the simulator, the samplers,
-//! the explainers, training. Iterating a `HashMap`/`HashSet` reintroduces
-//! nondeterminism through the back door (`RandomState` is randomly seeded
-//! per process), so feature matrices, report orderings and training sets
-//! built from such iteration differ run to run even with fixed seeds.
+//! the explainers, training. Two back doors reintroduce nondeterminism:
 //!
-//! The pass flags iteration over bindings and fields declared with a
-//! hash-based type. Membership-only usage (`insert`/`contains`) is fine
-//! and not flagged. Fixes, in preference order: use `BTreeMap`/`BTreeSet`,
-//! or collect-and-sort before consuming the order.
+//! * **`AIIO-D001`** — iterating a `HashMap`/`HashSet` (`RandomState` is
+//!   randomly seeded per process), so feature matrices, report orderings
+//!   and training sets built from such iteration differ run to run even
+//!   with fixed seeds. The pass flags iteration over bindings and fields
+//!   declared with a hash-based type; membership-only usage
+//!   (`insert`/`contains`) is fine. Fixes, in preference order: use
+//!   `BTreeMap`/`BTreeSet`, or collect-and-sort before consuming the order.
+//! * **`AIIO-D002`** — rayon-style parallel iterators (`par_iter()`,
+//!   `into_par_iter()`, `par_chunks`, `use rayon`). Work-stealing decides
+//!   chunk boundaries and reduction order at runtime, so float reductions
+//!   are not bit-stable across thread counts. All parallelism must route
+//!   through `aiio_par` (fixed chunking, index-ordered reduction), which
+//!   is thread-count-invariant by construction.
 
 use crate::source::{SourceFile, Workspace};
 use crate::{Finding, Lint};
@@ -25,17 +31,17 @@ impl Lint for DeterminismLint {
     }
 
     fn description(&self) -> &'static str {
-        "no HashMap/HashSet iteration in library code (hash order breaks seeded reproducibility)"
+        "no hash-order iteration or work-stealing parallel iterators in library code"
     }
 
     fn run(&self, ws: &Workspace) -> Vec<Finding> {
         let mut findings = Vec::new();
         for file in &ws.files {
             let names = hash_bindings(&file.code);
-            if names.is_empty() {
-                continue;
+            if !names.is_empty() {
+                iteration_sites(file, &names, &mut findings);
             }
-            iteration_sites(file, &names, &mut findings);
+            par_iter_sites(file, &mut findings);
         }
         findings
     }
@@ -130,6 +136,54 @@ fn iteration_sites(file: &SourceFile, names: &BTreeSet<String>, findings: &mut V
                 push_site(file, at, name, findings);
             }
         }
+    }
+}
+
+/// `AIIO-D002`: flag rayon-style parallel-iterator entry points. The
+/// crate itself is banned from the workspace, but a revived `use rayon`
+/// or a hand-rolled `par_iter()` would silently trade bit-stability for
+/// speed; all parallelism must route through `aiio_par`.
+fn par_iter_sites(file: &SourceFile, findings: &mut Vec<Finding>) {
+    // The `aiio_par` crate is the sanctioned implementation; it may name
+    // these concepts in docs/identifiers without being a call site.
+    if file.rel.starts_with("crates/par/") {
+        return;
+    }
+    const PAR_PATTERNS: [&str; 5] = [
+        ".par_iter()",
+        ".par_iter_mut()",
+        ".into_par_iter()",
+        ".par_chunks(",
+        ".par_chunks_mut(",
+    ];
+    let mut hits: Vec<(usize, &str)> = Vec::new();
+    for pattern in PAR_PATTERNS {
+        let mut from = 0;
+        while let Some(pos) = file.code[from..].find(pattern) {
+            let at = from + pos;
+            from = at + pattern.len();
+            hits.push((at, "work-stealing parallel iterator"));
+        }
+    }
+    let mut from = 0;
+    while let Some(pos) = file.code[from..].find("use rayon") {
+        let at = from + pos;
+        from = at + "use rayon".len();
+        hits.push((at, "rayon import"));
+    }
+    hits.sort_unstable();
+    for (at, what) in hits {
+        let line = file.line_of(at);
+        if file.is_test_code(line) || file.is_waived(line, "AIIO-D002") {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.rel.clone(),
+            line,
+            rule: "AIIO-D002",
+            message: format!("{what} in library code"),
+            hint: "work-stealing chunking and reduction order vary with thread count, breaking bit-stable results; use aiio_par::map/map_indexed/map_chunks (fixed chunking, index-ordered reduction) instead",
+        });
     }
 }
 

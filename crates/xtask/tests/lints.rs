@@ -40,6 +40,7 @@ fn broken_fixture_trips_every_rule() {
         "AIIO-F001",
         "AIIO-F002",
         "AIIO-D001",
+        "AIIO-D002",
     ] {
         assert!(
             fired.contains(&rule),
@@ -93,6 +94,7 @@ fn broken_fixture_findings_point_at_the_right_files() {
     assert_eq!(file_of("AIIO-F001"), "crates/explain/src/lib.rs");
     assert_eq!(file_of("AIIO-F002"), "crates/explain/src/lib.rs");
     assert_eq!(file_of("AIIO-D001"), "crates/explain/src/lib.rs");
+    assert_eq!(file_of("AIIO-D002"), "crates/explain/src/lib.rs");
     assert_eq!(file_of("AIIO-C002"), "crates/darshan/src/counters.rs");
     assert_eq!(file_of("AIIO-C003"), "crates/darshan/src/features.rs");
 }

@@ -1,0 +1,131 @@
+//! Differential test harness for the deterministic parallel engine: every
+//! parallelised stage must produce byte-identical output at 1, 2 and 8
+//! engine threads.
+//!
+//! The comparison is on `serde_json` strings, so any drift — a float ULP,
+//! a reordered model, a changed ranking — fails loudly. Thread counts are
+//! pinned with `aiio_par::with_threads`, which scopes the override and
+//! restores the previous setting on exit (these tests share one process
+//! with the rest of the suite).
+
+use aiio::prelude::*;
+use aiio::{Diagnoser, DiagnosisConfig, ExplainerKind};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// The seeded 1k-job database every test diagnoses from.
+fn database() -> LogDatabase {
+    DatabaseSampler::new(SamplerConfig {
+        n_jobs: 1000,
+        seed: 0xD1FF,
+        noise_sigma: 0.02,
+    })
+    .generate()
+}
+
+/// A zoo config small enough to train three times in a test, with enough
+/// model diversity to exercise the per-family parallel map.
+fn zoo_config() -> ZooConfig {
+    let mut cfg = ZooConfig::fast().with_kinds(&[
+        ModelKind::XgboostLike,
+        ModelKind::LightgbmLike,
+        ModelKind::CatboostLike,
+    ]);
+    cfg.xgboost.n_rounds = 20;
+    cfg.lightgbm.n_rounds = 20;
+    cfg.catboost.n_rounds = 20;
+    cfg
+}
+
+fn train_config() -> TrainConfig {
+    let mut cfg = TrainConfig::fast();
+    cfg.zoo = zoo_config();
+    cfg.diagnosis.max_evals = 128;
+    cfg
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("test value serialises")
+}
+
+/// Database generation is chunk-parallel in `iosim`; the generated jobs
+/// (and therefore everything downstream) must not depend on the chunking.
+#[test]
+fn database_generation_is_thread_count_invariant() {
+    let reference = aiio_par::with_threads(1, || json(&database()));
+    for t in THREAD_COUNTS {
+        let got = aiio_par::with_threads(t, || json(&database()));
+        assert_eq!(got, reference, "database differs at {t} threads");
+    }
+}
+
+/// Zoo training fans out across model families; the trained models (every
+/// split threshold, every leaf value) must be bit-identical regardless.
+#[test]
+fn zoo_fit_is_thread_count_invariant() {
+    let db = database();
+    let ds = FeaturePipeline::paper().dataset_of(&db);
+    let split = db.split_indices(0.5, 17);
+    let (train, valid) = (ds.subset(&split.train), ds.subset(&split.valid));
+    let fit = |t: usize| {
+        aiio_par::with_threads(t, || {
+            json(&ModelZoo::train(&zoo_config(), &train, &valid).expect("zoo trains"))
+        })
+    };
+    let reference = fit(1);
+    for t in THREAD_COUNTS {
+        assert_eq!(fit(t), reference, "trained zoo differs at {t} threads");
+    }
+}
+
+/// Merged attributions — under BOTH merge methods — are identical at any
+/// thread count: the per-model SHAP maps, the chunked model evaluations
+/// inside each explainer, and the merge itself all reduce in index order.
+#[test]
+fn merged_attributions_are_thread_count_invariant_for_both_merges() {
+    let db = database();
+    let service =
+        aiio_par::with_threads(1, || AiioService::train(&train_config(), &db)).expect("trains");
+    let jobs = &db.jobs()[..8];
+    for merge in [MergeMethod::Closest, MergeMethod::Average] {
+        let diagnose_all = |t: usize| {
+            aiio_par::with_threads(t, || {
+                let config = DiagnosisConfig {
+                    merge,
+                    explainer: ExplainerKind::KernelShap,
+                    max_evals: 128,
+                    seed: 0,
+                };
+                let d = Diagnoser::new(service.zoo(), FeaturePipeline::paper(), config);
+                let reports: Vec<DiagnosisReport> = jobs
+                    .iter()
+                    .map(|log| d.try_diagnose(log).expect("diagnoses"))
+                    .collect();
+                json(&reports)
+            })
+        };
+        let reference = diagnose_all(1);
+        for t in THREAD_COUNTS {
+            assert_eq!(
+                diagnose_all(t),
+                reference,
+                "merged {merge:?} attributions differ at {t} threads"
+            );
+        }
+    }
+}
+
+/// `diagnose_batch` fans out across jobs; the full report vector must be
+/// byte-identical and in input order at every thread count.
+#[test]
+fn batch_diagnosis_is_thread_count_invariant() {
+    let db = database();
+    let service =
+        aiio_par::with_threads(1, || AiioService::train(&train_config(), &db)).expect("trains");
+    let batch: Vec<JobLog> = db.jobs().iter().take(64).cloned().collect();
+    let run = |t: usize| aiio_par::with_threads(t, || json(&service.diagnose_batch(&batch)));
+    let reference = run(1);
+    for t in THREAD_COUNTS {
+        assert_eq!(run(t), reference, "batch reports differ at {t} threads");
+    }
+}

@@ -9,8 +9,9 @@
 use aiio_darshan::{CounterId, FeaturePipeline, JobLog, N_COUNTERS};
 use aiio_explain::exact::exact_shapley;
 use aiio_explain::kernel::{KernelShap, KernelShapConfig};
+use aiio_explain::lime::{Lime, LimeConfig};
 use aiio_explain::tree::{tree_shap, tree_shap_single};
-use aiio_explain::{FnPredictor, Predictor};
+use aiio_explain::{Attribution, FnPredictor, Predictor};
 use aiio_gbdt::{Booster, GbdtConfig, Node, Tree};
 use aiio_iosim::{AccessLayout, JobSpec, OpBlock, ReadWrite, Simulator, StorageConfig};
 use rand::{Rng, SeedableRng};
@@ -282,6 +283,115 @@ fn kernel_shap_sparsity_robustness() {
         // Local accuracy.
         assert!((attr.reconstructed() - f.predict_one(&x)).abs() < 1e-8);
     }
+}
+
+// ---------------------------------------------------------------------
+// Parallel-path explainer invariants
+// ---------------------------------------------------------------------
+
+/// Sparse inputs for the parallel sparsity properties: each case mixes
+/// exactly-zero and positive features.
+fn arb_sparse_x(rng: &mut ChaCha8Rng, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                0.0
+            } else {
+                rng.gen_range(0.5..3.0)
+            }
+        })
+        .collect()
+}
+
+fn coupled_predictor() -> FnPredictor<impl Fn(&[f64]) -> f64> {
+    FnPredictor(|v: &[f64]| {
+        v.iter()
+            .enumerate()
+            .map(|(i, a)| a * (i as f64 + 1.0))
+            .sum::<f64>()
+            + v[0] * v[3]
+    })
+}
+
+fn assert_sparse(x: &[f64], attr: &Attribution, what: &str) {
+    for (xi, phi) in x.iter().zip(&attr.values) {
+        if *xi == 0.0 {
+            assert_eq!(*phi, 0.0, "{what}: zero input received attribution");
+        }
+    }
+}
+
+/// The sparsity guarantee holds for every explainer when its model
+/// evaluations run on the parallel engine — and each attribution is
+/// byte-identical to the sequential (1-thread) one.
+#[test]
+fn explainer_sparsity_holds_on_the_parallel_path() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA110_0008);
+    let f = coupled_predictor();
+    for _ in 0..16 {
+        let x = arb_sparse_x(&mut rng, 8);
+        let bg = [0.0; 8];
+        let kernel = KernelShap::new(KernelShapConfig {
+            max_evals: 256,
+            seed: 1,
+        });
+        let lime = Lime::new(LimeConfig {
+            n_samples: 256,
+            seed: 1,
+            ..LimeConfig::default()
+        });
+        let seq_k = aiio_par::with_threads(1, || kernel.explain(&f, &x, &bg));
+        let seq_l = aiio_par::with_threads(1, || lime.explain(&f, &x, &bg));
+        for t in [2, 8] {
+            let par_k = aiio_par::with_threads(t, || kernel.explain(&f, &x, &bg));
+            let par_l = aiio_par::with_threads(t, || lime.explain(&f, &x, &bg));
+            assert_sparse(&x, &par_k, "KernelShap");
+            assert_sparse(&x, &par_l, "Lime");
+            assert_eq!(par_k, seq_k, "KernelShap drifted at {t} threads");
+            assert_eq!(par_l, seq_l, "Lime drifted at {t} threads");
+        }
+    }
+}
+
+/// A warm baseline cache answers from the memo (hits go up, misses don't)
+/// and returns the same attribution bytes as the cold computation.
+#[test]
+fn baseline_cache_hits_match_cold_attributions() {
+    use aiio::prelude::*;
+
+    let db = DatabaseSampler::new(SamplerConfig {
+        n_jobs: 300,
+        seed: 41,
+        noise_sigma: 0.0,
+    })
+    .generate();
+    let mut cfg = TrainConfig::fast();
+    cfg.zoo = cfg
+        .zoo
+        .with_kinds(&[ModelKind::XgboostLike, ModelKind::LightgbmLike]);
+    cfg.zoo.xgboost.n_rounds = 20;
+    cfg.zoo.lightgbm.n_rounds = 20;
+    cfg.diagnosis.max_evals = 128;
+    let service = AiioService::train(&cfg, &db).expect("service trains");
+
+    let cache = service.baseline_cache();
+    assert_eq!(cache.hits() + cache.misses(), 0, "cache starts cold");
+
+    let log = &db.jobs()[0];
+    let cold = serde_json::to_string(&service.diagnose(log)).expect("report serialises");
+    let misses_after_cold = cache.misses();
+    assert!(misses_after_cold > 0, "cold diagnosis must fill the cache");
+
+    for _ in 0..3 {
+        let warm = serde_json::to_string(&service.diagnose(log)).expect("report serialises");
+        assert_eq!(warm, cold, "warm (cached) diagnosis drifted");
+    }
+    assert!(cache.hits() > 0, "repeat diagnoses must hit the memo");
+    assert_eq!(
+        cache.misses(),
+        misses_after_cold,
+        "repeat diagnoses must not recompute baselines"
+    );
 }
 
 // ---------------------------------------------------------------------
