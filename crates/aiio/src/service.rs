@@ -8,8 +8,9 @@
 //! anything new.)
 
 use crate::diagnosis::{BaselineCache, DiagnoseError, Diagnoser, DiagnosisConfig, DiagnosisReport};
+use crate::drift::DriftDetector;
 use crate::zoo::{ModelZoo, ZooConfig, ZooError};
-use aiio_darshan::{Dataset, FeaturePipeline, JobLog, LogDatabase};
+use aiio_darshan::{Dataset, FeaturePipeline, JobLog, LogDatabase, SplitIndices, StoreBackend};
 use serde::{Deserialize, Serialize};
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
@@ -20,12 +21,16 @@ use std::sync::Arc;
 pub enum TrainError {
     /// Zoo training produced no usable models.
     Zoo(ZooError),
+    /// The storage backend failed while streaming the training logs.
+    /// (Stringified so `TrainError` stays `Clone + Eq`.)
+    Backend(String),
 }
 
 impl std::fmt::Display for TrainError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TrainError::Zoo(e) => write!(f, "zoo training failed: {e}"),
+            TrainError::Backend(e) => write!(f, "storage backend failed: {e}"),
         }
     }
 }
@@ -78,6 +83,12 @@ pub struct AiioService {
     diagnosis: DiagnosisConfig,
     /// Validation RMSE per model at train time, for reporting.
     pub validation_rmse: Vec<(crate::ModelKind, f64)>,
+    /// Reference feature distribution fitted on the training split, so a
+    /// deployed service can score incoming logs for drift (§1's portability
+    /// limitation). `#[serde(default)]` keeps services persisted before this
+    /// field existed loadable.
+    #[serde(default)]
+    drift: Option<DriftDetector>,
     /// Per-model background-prediction memo. Runtime-only (rebuilt cold on
     /// load, shared across clones of one trained service); excluded from
     /// persistence because it's derivable from the models.
@@ -103,6 +114,26 @@ impl AiioService {
         Self::train_on_datasets(config, pipeline, &train, &valid)
     }
 
+    /// Train all models by streaming logs from a storage backend (e.g. an
+    /// `aiio-store` on-disk store) instead of an in-memory database.
+    ///
+    /// The split uses the same seeded shuffle over row indices as
+    /// [`AiioService::train`], so a store holding the same logs in the same
+    /// order trains a byte-identical service.
+    pub fn train_from_backend(
+        config: &TrainConfig,
+        src: &dyn StoreBackend,
+    ) -> Result<AiioService, TrainError> {
+        let pipeline = FeaturePipeline::paper();
+        let ds = pipeline
+            .dataset_of_backend(src)
+            .map_err(|e| TrainError::Backend(e.to_string()))?;
+        let split = SplitIndices::of_len(ds.len(), config.train_fraction, config.seed);
+        let train = ds.subset(&split.train);
+        let valid = ds.subset(&split.valid);
+        Self::train_on_datasets(config, pipeline, &train, &valid)
+    }
+
     /// Train on pre-built datasets (exposed for experiments that need
     /// custom splits).
     pub fn train_on_datasets(
@@ -113,11 +144,13 @@ impl AiioService {
     ) -> Result<AiioService, TrainError> {
         let zoo = ModelZoo::train(&config.zoo, train, valid)?;
         let validation_rmse = zoo.rmse_per_model(valid);
+        let drift = (!train.is_empty()).then(|| DriftDetector::fit(train));
         Ok(AiioService {
             pipeline,
             zoo,
             diagnosis: config.diagnosis.clone(),
             validation_rmse,
+            drift,
             baselines: fresh_baselines(),
         })
     }
@@ -165,6 +198,12 @@ impl AiioService {
     /// The feature pipeline.
     pub fn pipeline(&self) -> FeaturePipeline {
         self.pipeline
+    }
+
+    /// The drift detector fitted on the training split, if any (`None` for
+    /// services persisted before drift tracking existed).
+    pub fn drift_detector(&self) -> Option<&DriftDetector> {
+        self.drift.as_ref()
     }
 
     /// Persist the trained service (pre-trained models of Fig. 17).
@@ -340,6 +379,57 @@ mod tests {
         let mut cfg = TrainConfig::fast();
         cfg.zoo = cfg.zoo.with_kinds(&[]);
         assert!(AiioService::train(&cfg, &db).is_err());
+    }
+
+    #[test]
+    fn backend_training_is_byte_identical_to_in_memory() {
+        // LogDatabase is itself a StoreBackend (streams its jobs in order),
+        // so training through the backend path must reproduce the in-memory
+        // path exactly — same split, same models, same RMSE, bit for bit.
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 120,
+            seed: 11,
+            noise_sigma: 0.0,
+        })
+        .generate();
+        let cfg = quick_config();
+        let a = AiioService::train(&cfg, &db).unwrap();
+        let b = AiioService::train_from_backend(&cfg, &db).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn training_fits_a_drift_detector() {
+        let s = service();
+        let d = s.drift_detector().expect("trained service tracks drift");
+        // The training distribution itself must read as stable.
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 100,
+            seed: 5,
+            noise_sigma: 0.0,
+        })
+        .generate();
+        let fresh = s.pipeline().dataset_of(&db);
+        assert!(!d.is_drifted(&fresh.x));
+    }
+
+    #[test]
+    fn load_tolerates_missing_drift_field() {
+        // Services persisted before drift tracking have no `drift` key.
+        let s = service();
+        let mut v = serde_json::parse_value(&serde_json::to_string(s).unwrap()).unwrap();
+        if let serde_json::Value::Map(fields) = &mut v {
+            fields.retain(|(k, _)| k != "drift");
+        }
+        let path = std::env::temp_dir().join("aiio_service_no_drift.json");
+        std::fs::write(&path, serde_json::to_string(&v).unwrap()).unwrap();
+        let loaded = AiioService::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(loaded.drift_detector().is_none());
+        assert_eq!(loaded.validation_rmse.len(), s.validation_rmse.len());
     }
 
     #[test]

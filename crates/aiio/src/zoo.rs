@@ -147,28 +147,28 @@ impl ModelZoo {
         let fits = aiio_par::map(&config.kinds, |&kind| {
             let fit = match kind {
                 ModelKind::XgboostLike => {
-                    Booster::fit(&config.xgboost, &train.x, &train.y, Some(v)).map(AnyModel::Gbdt)
+                    Booster::fit(&config.xgboost, &train.x, &train.y, Some(v))
+                        .map(AnyModel::Gbdt)
+                        .map_err(|e| e.to_string())
                 }
                 ModelKind::LightgbmLike => {
-                    Booster::fit(&config.lightgbm, &train.x, &train.y, Some(v)).map(AnyModel::Gbdt)
+                    Booster::fit(&config.lightgbm, &train.x, &train.y, Some(v))
+                        .map(AnyModel::Gbdt)
+                        .map_err(|e| e.to_string())
                 }
                 ModelKind::CatboostLike => {
-                    Booster::fit(&config.catboost, &train.x, &train.y, Some(v)).map(AnyModel::Gbdt)
+                    Booster::fit(&config.catboost, &train.x, &train.y, Some(v))
+                        .map(AnyModel::Gbdt)
+                        .map_err(|e| e.to_string())
                 }
-                ModelKind::Mlp => Ok(AnyModel::Mlp(Mlp::fit(
-                    &config.mlp,
-                    &train.x,
-                    &train.y,
-                    Some(v),
-                ))),
-                ModelKind::TabNet => Ok(AnyModel::TabNet(TabNet::fit(
-                    &config.tabnet,
-                    &train.x,
-                    &train.y,
-                    Some(v),
-                ))),
+                ModelKind::Mlp => Mlp::fit(&config.mlp, &train.x, &train.y, Some(v))
+                    .map(AnyModel::Mlp)
+                    .map_err(|e| e.to_string()),
+                ModelKind::TabNet => TabNet::fit(&config.tabnet, &train.x, &train.y, Some(v))
+                    .map(AnyModel::TabNet)
+                    .map_err(|e| e.to_string()),
             };
-            (kind, fit.map_err(|e| e.to_string()))
+            (kind, fit)
         });
         let mut models = Vec::new();
         let mut failed = Vec::new();

@@ -46,7 +46,7 @@ fn bench_nn_training(c: &mut Criterion) {
         ..MlpConfig::paper()
     };
     g.bench_function("mlp_3_epochs", |b| {
-        b.iter(|| black_box(Mlp::fit(&mlp_cfg, black_box(&x), black_box(&y), None)))
+        b.iter(|| black_box(Mlp::fit(&mlp_cfg, black_box(&x), black_box(&y), None).unwrap()))
     });
     let tn_cfg = TabNetConfig {
         n_steps: 2,
@@ -57,7 +57,7 @@ fn bench_nn_training(c: &mut Criterion) {
         ..TabNetConfig::default()
     };
     g.bench_function("tabnet_3_epochs", |b| {
-        b.iter(|| black_box(TabNet::fit(&tn_cfg, black_box(&x), black_box(&y), None)))
+        b.iter(|| black_box(TabNet::fit(&tn_cfg, black_box(&x), black_box(&y), None).unwrap()))
     });
     g.finish();
 }

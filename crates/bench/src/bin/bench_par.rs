@@ -52,7 +52,7 @@ fn leg(seq_ms: u64, par_ms: u64, identical: bool) -> Leg {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let n_jobs = env_usize("AIIO_BENCH_JOBS", 10_000);
     let seed = env_usize("AIIO_BENCH_SEED", 7) as u64;
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -134,10 +134,14 @@ fn main() {
         "batch diagnosis: {batch_seq_ms} ms seq / {batch_par_ms} ms at {threads} threads ({:.2}x), identical: {batch_identical}",
         result.batch_diagnosis.speedup
     );
-    write_json("BENCH_par", &result);
+    if let Err(e) = write_json("BENCH_par", &result) {
+        eprintln!("bench_par: could not write results: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
     assert!(zoo_identical, "parallel zoo fit must be byte-identical");
     assert!(
         batch_identical,
         "parallel batch diagnosis must be byte-identical"
     );
+    std::process::ExitCode::SUCCESS
 }

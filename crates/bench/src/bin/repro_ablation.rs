@@ -1,5 +1,9 @@
 //! Run the DESIGN.md ablations.
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::ablation::run(&ctx);
+    if let Err(e) = aiio_bench::repro::ablation::run(&ctx) {
+        eprintln!("repro_ablation failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

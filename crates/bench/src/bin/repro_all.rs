@@ -1,19 +1,28 @@
 //! Regenerate every table and figure of the paper in one run.
-fn main() {
+fn run() -> std::io::Result<()> {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::table1::run(&ctx);
-    aiio_bench::repro::table3::run();
-    aiio_bench::repro::fig4_5::run(&ctx);
-    aiio_bench::repro::table2::run(&ctx);
-    aiio_bench::repro::fig6::run(&ctx);
-    aiio_bench::repro::fig7_12::run(&ctx);
-    aiio_bench::repro::apps::run(&ctx);
-    aiio_bench::repro::fig16::run(&ctx);
-    aiio_bench::repro::fig1::run(&ctx);
-    aiio_bench::repro::ablation::run(&ctx);
-    aiio_bench::repro::classification::run(&ctx);
-    aiio_bench::repro::importance::run(&ctx);
-    aiio_bench::repro::autotune::run(&ctx);
-    aiio_bench::repro::whatif::run(&ctx);
+    aiio_bench::repro::table1::run(&ctx)?;
+    aiio_bench::repro::table3::run()?;
+    aiio_bench::repro::fig4_5::run(&ctx)?;
+    aiio_bench::repro::table2::run(&ctx)?;
+    aiio_bench::repro::fig6::run(&ctx)?;
+    aiio_bench::repro::fig7_12::run(&ctx)?;
+    aiio_bench::repro::apps::run(&ctx)?;
+    aiio_bench::repro::fig16::run(&ctx)?;
+    aiio_bench::repro::fig1::run(&ctx)?;
+    aiio_bench::repro::ablation::run(&ctx)?;
+    aiio_bench::repro::classification::run(&ctx)?;
+    aiio_bench::repro::importance::run(&ctx)?;
+    aiio_bench::repro::autotune::run(&ctx)?;
+    aiio_bench::repro::whatif::run(&ctx)?;
     println!("\nall tables and figures regenerated; JSON in results/");
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    if let Err(e) = run() {
+        eprintln!("repro_all failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

@@ -1,5 +1,9 @@
 //! Regenerate the paper's Figs. 13-15 (E2E, OpenPMD, DASSA).
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::apps::run(&ctx);
+    if let Err(e) = aiio_bench::repro::apps::run(&ctx) {
+        eprintln!("repro_apps failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

@@ -1,5 +1,9 @@
 //! Run the closed-loop auto-tuning sweep (extension experiment).
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::autotune::run(&ctx);
+    if let Err(e) = aiio_bench::repro::autotune::run(&ctx) {
+        eprintln!("repro_autotune failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

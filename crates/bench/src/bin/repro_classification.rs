@@ -1,5 +1,9 @@
 //! Run the classification-style evaluation (paper §5 future work).
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::classification::run(&ctx);
+    if let Err(e) = aiio_bench::repro::classification::run(&ctx) {
+        eprintln!("repro_classification failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

@@ -1,5 +1,9 @@
 //! Regenerate the paper's Fig. 1 (group-level vs job-level diagnosis).
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::fig1::run(&ctx);
+    if let Err(e) = aiio_bench::repro::fig1::run(&ctx) {
+        eprintln!("repro_fig1 failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

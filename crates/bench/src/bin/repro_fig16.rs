@@ -1,5 +1,9 @@
 //! Regenerate the paper's Fig. 16 (training loss curve).
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::fig16::run(&ctx);
+    if let Err(e) = aiio_bench::repro::fig16::run(&ctx) {
+        eprintln!("repro_fig16 failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

@@ -1,5 +1,9 @@
 //! Regenerate the paper's Fig. 4 and Fig. 5 (transform + scatter).
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::fig4_5::run(&ctx);
+    if let Err(e) = aiio_bench::repro::fig4_5::run(&ctx) {
+        eprintln!("repro_fig4_5 failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

@@ -1,5 +1,9 @@
 //! Regenerate the paper's Fig. 6 (five-model diagnosis of one job).
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::fig6::run(&ctx);
+    if let Err(e) = aiio_bench::repro::fig6::run(&ctx) {
+        eprintln!("repro_fig6 failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

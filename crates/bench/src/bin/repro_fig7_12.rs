@@ -1,5 +1,9 @@
 //! Regenerate the paper's Figs. 7-12 (six IOR access patterns).
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::fig7_12::run(&ctx);
+    if let Err(e) = aiio_bench::repro::fig7_12::run(&ctx) {
+        eprintln!("repro_fig7_12 failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

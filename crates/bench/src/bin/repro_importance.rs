@@ -1,5 +1,9 @@
 //! Run the global-importance comparison (extension experiment).
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::importance::run(&ctx);
+    if let Err(e) = aiio_bench::repro::importance::run(&ctx) {
+        eprintln!("repro_importance failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

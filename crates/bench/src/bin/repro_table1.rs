@@ -1,5 +1,9 @@
 //! Regenerate the paper's Table 1 (log database summary).
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::table1::run(&ctx);
+    if let Err(e) = aiio_bench::repro::table1::run(&ctx) {
+        eprintln!("repro_table1 failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

@@ -1,5 +1,9 @@
 //! Regenerate the paper's Table 2 (prediction & diagnosis RMSE).
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::table2::run(&ctx);
+    if let Err(e) = aiio_bench::repro::table2::run(&ctx) {
+        eprintln!("repro_table2 failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

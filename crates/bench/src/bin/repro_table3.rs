@@ -1,4 +1,8 @@
 //! Echo the paper's Table 3 IOR configurations through the parser.
-fn main() {
-    aiio_bench::repro::table3::run();
+fn main() -> std::process::ExitCode {
+    if let Err(e) = aiio_bench::repro::table3::run() {
+        eprintln!("repro_table3 failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

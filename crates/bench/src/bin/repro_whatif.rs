@@ -1,5 +1,9 @@
 //! Run the counterfactual-vs-simulation comparison (extension experiment).
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = aiio_bench::Context::standard();
-    aiio_bench::repro::whatif::run(&ctx);
+    if let Err(e) = aiio_bench::repro::whatif::run(&ctx) {
+        eprintln!("repro_whatif failed: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

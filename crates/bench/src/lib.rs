@@ -101,16 +101,12 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Write a serialisable result to `results/<name>.json` and report the path.
-pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<()> {
     let path = results_dir().join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if std::fs::write(&path, s).is_ok() {
-                eprintln!("[results] wrote {}", path.display());
-            }
-        }
-        Err(e) => eprintln!("[results] serialisation failed: {e}"),
-    }
+    let s = serde_json::to_string_pretty(value).map_err(std::io::Error::other)?;
+    std::fs::write(&path, s)?;
+    eprintln!("[results] wrote {}", path.display());
+    Ok(())
 }
 
 /// Render a simple aligned table to stdout.

@@ -20,7 +20,10 @@ use aiio_gbdt::{Booster, GbdtConfig, Growth};
 use aiio_linalg::stats::rmse;
 
 /// Run all ablations.
-pub fn run(ctx: &Context) {
+///
+/// Model-fit failures surface as `io::Error` rather than aborting the
+/// whole repro run.
+pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("\n== Ablations ==");
     let (train, valid) = ctx.datasets();
 
@@ -30,7 +33,8 @@ pub fn run(ctx: &Context) {
         n_rounds: 60,
         ..GbdtConfig::xgboost_like()
     };
-    let model = Booster::fit(&cfg, &train.x, &train.y, Some((&valid.x, &valid.y))).unwrap();
+    let model = Booster::fit(&cfg, &train.x, &train.y, Some((&valid.x, &valid.y)))
+        .map_err(std::io::Error::other)?;
     let shap = KernelShap::new(KernelShapConfig {
         max_evals: 256,
         seed: 0,
@@ -75,7 +79,7 @@ pub fn run(ctx: &Context) {
         &train.y,
         Some((&valid.x, &valid.y)),
     )
-    .unwrap();
+    .map_err(std::io::Error::other)?;
     // Without early stopping the validation set must not influence training:
     // fit blind, evaluate after.
     let without = Booster::fit(
@@ -88,7 +92,7 @@ pub fn run(ctx: &Context) {
         &train.y,
         None,
     )
-    .unwrap();
+    .map_err(std::io::Error::other)?;
     let rmse_with = rmse(&with.predict(&valid.x), &valid.y);
     let rmse_without = rmse(&without.predict(&valid.x), &valid.y);
     println!(
@@ -112,7 +116,7 @@ pub fn run(ctx: &Context) {
         &raw_train.y,
         Some((&raw_valid.x, &raw_valid.y)),
     )
-    .unwrap();
+    .map_err(std::io::Error::other)?;
     // Compare in transformed space so the metric is commensurable: transform
     // the raw model's predictions and targets.
     let p = FeaturePipeline::paper();
@@ -140,7 +144,8 @@ pub fn run(ctx: &Context) {
             n_rounds: 60,
             ..GbdtConfig::xgboost_like()
         };
-        let m = Booster::fit(&gcfg, &train.x, &train.y, Some((&valid.x, &valid.y))).unwrap();
+        let m = Booster::fit(&gcfg, &train.x, &train.y, Some((&valid.x, &valid.y)))
+            .map_err(std::io::Error::other)?;
         let e = rmse(&m.predict(&valid.x), &valid.y);
         growth_rows.push(vec![format!("{growth:?}"), format!("{e:.4}")]);
         growth_json.push((format!("{growth:?}"), e));
@@ -212,7 +217,7 @@ pub fn run(ctx: &Context) {
         &train.y,
         Some((&valid.x, &valid.y)),
     )
-    .unwrap();
+    .map_err(std::io::Error::other)?;
     let sub = Booster::fit(
         &GbdtConfig {
             n_rounds: 60,
@@ -223,7 +228,7 @@ pub fn run(ctx: &Context) {
         &train.y,
         Some((&valid.x, &valid.y)),
     )
-    .unwrap();
+    .map_err(std::io::Error::other)?;
     let rmse_goss = rmse(&goss.predict(&valid.x), &valid.y);
     let rmse_sub = rmse(&sub.predict(&valid.x), &valid.y);
     println!("  GOSS (top 20% + 10%): {rmse_goss:.4}; uniform 30% subsample: {rmse_sub:.4}");
@@ -249,5 +254,5 @@ pub fn run(ctx: &Context) {
             "rmse_goss": rmse_goss,
             "rmse_subsample30": rmse_sub,
         }),
-    );
+    )
 }

@@ -25,7 +25,7 @@ struct AppResult {
 }
 
 /// Regenerate Figs. 13–15.
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("\n== Figs. 13-15: real applications (E2E, OpenPMD, DASSA) ==");
     let base = StorageConfig::cori_like_quiet();
     let diagnoser = Diagnoser::new(
@@ -125,5 +125,5 @@ pub fn run(ctx: &Context) {
         ],
         &rows,
     );
-    write_json("fig13_15", &results);
+    write_json("fig13_15", &results)
 }

@@ -26,7 +26,7 @@ struct AutotuneResult {
 }
 
 /// Run the auto-tuning sweep.
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("\n== Extension: closed-loop auto-tuning of the paper's workloads ==");
     let tuner = AutoTuner::new(&ctx.service);
     let quiet = StorageConfig::cori_like_quiet();
@@ -131,5 +131,5 @@ pub fn run(ctx: &Context) {
         ],
         &rows,
     );
-    write_json("autotune", &results);
+    write_json("autotune", &results)
 }

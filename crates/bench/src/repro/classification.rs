@@ -31,7 +31,7 @@ struct SystemResult {
 
 /// Run the classification evaluation on freshly sampled, *unseen*, tagged
 /// jobs.
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("\n== Extension: diagnosis as classification (paper §5 future work) ==");
     let sample: usize = std::env::var("AIIO_BENCH_CLASS_SAMPLE")
         .ok()
@@ -146,5 +146,5 @@ pub fn run(ctx: &Context) {
                 .collect(),
         })
         .collect();
-    write_json("classification", &json);
+    write_json("classification", &json)
 }

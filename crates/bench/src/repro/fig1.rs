@@ -39,7 +39,7 @@ fn top_k(importance: &[f64], k: usize) -> Vec<(String, f64)> {
 }
 
 /// Regenerate Fig. 1.
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("\n== Fig. 1: group-level (Gauge-style) vs job-level diagnosis ==");
     let ds = FeaturePipeline::paper().dataset_of(&ctx.db);
     // Cluster a subsample — HDBSCAN here is O(n^2).
@@ -57,7 +57,7 @@ pub fn run(ctx: &Context) {
         Ok(g) => g,
         Err(e) => {
             println!("Gauge baseline failed to fit ({e}) — skipping Fig. 1");
-            return;
+            return Ok(());
         }
     };
     println!(
@@ -67,7 +67,7 @@ pub fn run(ctx: &Context) {
     );
     let Some(cluster) = gauge.clusters.iter().max_by_key(|c| c.members.len()) else {
         println!("no clusters extracted — increase AIIO_BENCH_JOBS");
-        return;
+        return Ok(());
     };
     println!(
         "largest cluster ('Gamma' analogue): {} members",
@@ -94,7 +94,7 @@ pub fn run(ctx: &Context) {
     let cluster_imp = gauge.cluster_importance(cluster, &sub, 12);
     let cluster_top_idx = (0..cluster_imp.len())
         .max_by(|&a, &b| cluster_imp[a].abs().total_cmp(&cluster_imp[b].abs()))
-        .unwrap();
+        .ok_or_else(|| std::io::Error::other("cluster importance vector is empty"))?;
     let mut member_row = cluster.members[cluster.members.len() / 2];
     let mut member_attr = gauge.explain_member(cluster, &sub.x[member_row]);
     for &cand in cluster
@@ -103,9 +103,11 @@ pub fn run(ctx: &Context) {
         .step_by((cluster.members.len() / 24).max(1))
     {
         let attr = gauge.explain_member(cluster, &sub.x[cand]);
-        let top = (0..attr.values.len())
+        let Some(top) = (0..attr.values.len())
             .max_by(|&a, &b| attr.values[a].abs().total_cmp(&attr.values[b].abs()))
-            .unwrap();
+        else {
+            continue;
+        };
         if top != cluster_top_idx {
             member_row = cand;
             member_attr = attr;
@@ -141,7 +143,10 @@ pub fn run(ctx: &Context) {
 
     // AIIO on the same job: zero violations by construction.
     let job_id = sub.job_ids[member_row];
-    let log = ctx.db.get(job_id).expect("job");
+    let log = ctx
+        .db
+        .get(job_id)
+        .ok_or_else(|| std::io::Error::other(format!("job {job_id} vanished from the database")))?;
     let aiio_report = Diagnoser::new(
         ctx.service.zoo(),
         FeaturePipeline::paper(),
@@ -177,5 +182,5 @@ pub fn run(ctx: &Context) {
             member_zero_counter_violations: violations,
             aiio_zero_counter_violations: aiio_violations,
         },
-    );
+    )
 }

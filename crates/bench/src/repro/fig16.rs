@@ -18,7 +18,7 @@ struct Fig16 {
 }
 
 /// Regenerate Fig. 16 by retraining the level-wise booster with history.
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("\n== Fig. 16: training loss curve (XGBoost-style booster) ==");
     let (train, valid) = ctx.datasets();
     let cfg = GbdtConfig {
@@ -26,7 +26,7 @@ pub fn run(ctx: &Context) {
         ..GbdtConfig::xgboost_like()
     };
     let booster = aiio_gbdt::Booster::fit(&cfg, &train.x, &train.y, Some((&valid.x, &valid.y)))
-        .expect("training");
+        .map_err(std::io::Error::other)?;
     let h = booster.eval_history();
 
     // ASCII plot: one row per bucket of rounds.
@@ -42,8 +42,9 @@ pub fn run(ctx: &Context) {
             "#".repeat(bars)
         );
     }
-    let first = h.first().expect("history");
-    let last = h.last().expect("history");
+    let (Some(first), Some(last)) = (h.first(), h.last()) else {
+        return Err(std::io::Error::other("booster produced no eval history"));
+    };
     println!(
         "loss {:.4} -> {:.4} over {} rounds; early-stopped: {} (best round {})",
         first.train_rmse,
@@ -64,5 +65,5 @@ pub fn run(ctx: &Context) {
             stopped_early: h.len() < cfg.n_rounds,
             best_round: booster.best_n_trees(),
         },
-    );
+    )
 }

@@ -25,7 +25,7 @@ struct Fig5 {
 
 /// Regenerate Fig. 4: the performance distribution is heavy-tailed raw and
 /// compact after Eq. 2.
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("\n== Fig. 4: performance before/after log10(x+1) ==");
     let perfs: Vec<f64> = ctx
         .db
@@ -76,7 +76,7 @@ pub fn run(ctx: &Context) {
             raw_range: (raw_min, raw_max),
             transformed_range: (t_min, t_max),
         },
-    );
+    )?;
 
     println!("\n== Fig. 5: performance vs total transfer size ==");
     let bytes: Vec<f64> = ctx.db.jobs().iter().map(|j| j.total_bytes()).collect();
@@ -100,5 +100,5 @@ pub fn run(ctx: &Context) {
             pearson_raw: p_raw,
             pearson_log: p_log,
         },
-    );
+    )
 }

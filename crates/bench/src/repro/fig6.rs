@@ -22,7 +22,7 @@ struct Fig6 {
 }
 
 /// Regenerate Fig. 6 (and the merged view of Fig. 8(a)).
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("\n== Fig. 6: five-model diagnosis of one job (ior -r -t 1k -b 1m) ==");
     let sim = Simulator::new(StorageConfig::cori_like_quiet());
     let log = sim.simulate(&table3::fig8a().to_spec(), 600, 2022, 0);
@@ -101,5 +101,5 @@ pub fn run(ctx: &Context) {
                 .collect(),
             merged_top_counter: merged_top,
         },
-    );
+    )
 }

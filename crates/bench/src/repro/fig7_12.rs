@@ -86,7 +86,7 @@ fn experiments() -> Vec<Experiment> {
 }
 
 /// Regenerate Figs. 7–12.
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("\n== Figs. 7-12: six IOR access patterns ==");
     let sim = Simulator::new(StorageConfig::cori_like_quiet());
     let diagnoser = Diagnoser::new(
@@ -155,5 +155,5 @@ pub fn run(ctx: &Context) {
     );
     let all_robust = results.iter().all(|r| r.robust);
     println!("all diagnoses robust (zero counters -> zero impact): {all_robust}");
-    write_json("fig7_12", &results);
+    write_json("fig7_12", &results)
 }

@@ -38,7 +38,7 @@ fn top_k(values: &[f64], k: usize) -> Vec<(String, f64)> {
 }
 
 /// Run the importance comparison.
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("\n== Extension: global counter importance, three ways ==");
     let (train, valid) = ctx.datasets();
     let zoo = ctx.service.zoo();
@@ -48,7 +48,7 @@ pub fn run(ctx: &Context) {
         .models()
         .iter()
         .find_map(|tm| tm.model.as_gbdt())
-        .expect("zoo contains at least one tree model");
+        .ok_or_else(|| std::io::Error::other("zoo contains no tree model"))?;
     let (splits, _cover) = gbdt.feature_importance(aiio_darshan::N_COUNTERS);
 
     // 2. Permutation importance of the same model on validation rows.
@@ -108,5 +108,5 @@ pub fn run(ctx: &Context) {
             tabnet_mask_top: mask_top,
             rank_overlap_top8: overlap,
         },
-    );
+    )
 }

@@ -19,7 +19,7 @@ struct Row {
 }
 
 /// Regenerate Table 1 from the generated database.
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("\n== Table 1: log database summary ==");
     let summaries = ctx.db.year_summaries();
     let total_jobs: usize = summaries.iter().map(|y| y.n_jobs).sum();
@@ -72,5 +72,5 @@ pub fn run(ctx: &Context) {
         total_jobs,
         ctx.db.average_sparsity()
     );
-    write_json("table1", &rows);
+    write_json("table1", &rows)
 }

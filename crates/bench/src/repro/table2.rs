@@ -39,7 +39,7 @@ pub fn paper_values() -> Vec<(String, f64, f64)> {
 }
 
 /// Regenerate Table 2.
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("\n== Table 2: prediction & diagnosis RMSE ==");
     let (_, valid) = ctx.datasets();
     let zoo = ctx.service.zoo();
@@ -74,7 +74,9 @@ pub fn run(ctx: &Context) {
 
     for i in 0..sample {
         let job_id = valid.job_ids[i];
-        let log = ctx.db.get(job_id).expect("job in database");
+        let log = ctx.db.get(job_id).ok_or_else(|| {
+            std::io::Error::other(format!("job {job_id} vanished from the database"))
+        })?;
         let report = diagnoser.diagnose(log);
         let tag = pipeline.tag_of(log);
         y_true.push(tag);
@@ -174,5 +176,5 @@ pub fn run(ctx: &Context) {
             diagnosis_sample: sample,
             paper,
         },
-    );
+    )
 }

@@ -34,12 +34,12 @@ pub fn paper_lines() -> Vec<(&'static str, &'static str)> {
 }
 
 /// Parse and echo Table 3.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("\n== Table 3: IOR configurations (parsed from the paper's command lines) ==");
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for (figure, line) in paper_lines() {
-        let cfg = IorConfig::parse(line).expect("paper command line parses");
+        let cfg = IorConfig::parse(line).map_err(std::io::Error::other)?;
         let spec = cfg.to_spec();
         let ops: u64 = cfg.segments * (cfg.block_size / cfg.transfer_size);
         rows.push(vec![
@@ -69,5 +69,5 @@ pub fn run() {
         ],
         &rows,
     );
-    write_json("table3", &json);
+    write_json("table3", &json)
 }

@@ -25,7 +25,7 @@ struct WhatIfRow {
 }
 
 /// Run the counterfactual-vs-simulation comparison.
-pub fn run(ctx: &Context) {
+pub fn run(ctx: &Context) -> std::io::Result<()> {
     println!("\n== Extension: counterfactual prediction vs simulation (paper §3.2) ==");
     let wi = WhatIf::new(&ctx.service);
     let quiet = StorageConfig::cori_like_quiet();
@@ -91,7 +91,8 @@ pub fn run(ctx: &Context) {
         "direction correct for {correct}/{} counterfactuals",
         json.len()
     );
-    write_json("whatif", &json);
+    write_json("whatif", &json)?;
+    Ok(())
 }
 
 fn push(

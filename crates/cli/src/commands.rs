@@ -21,9 +21,26 @@ USAGE:
   aiio sample --jobs N [--seed S] [--noise SIGMA] [--threads T] --out FILE
       Generate a synthetic Darshan log database (JSON).
 
-  aiio train --db FILE --out FILE [--fast] [--seed S] [--threads T]
+  aiio ingest --store DIR (--db FILE | --jobs N [--seed S] [--noise SIGMA])
+              [--chunk N] [--threads T]
+      Append job logs to a crash-safe columnar store (aiio-store): either
+      an existing JSON database, or freshly sampled jobs streamed straight
+      from the simulator in bounded-memory chunks.
+
+  aiio compact --store DIR
+      Seal the store's WAL tail into columnar segments and merge
+      undersized segments.
+
+  aiio store-stats --store DIR [--json]
+      Print segment/row/byte counters for a store, plus what (if
+      anything) crash recovery dropped when opening it.
+
+  aiio train (--db FILE | --store DIR) --out FILE [--fast] [--seed S]
+             [--threads T]
       Train the five performance functions on a database and persist the
-      service (pre-trained models, paper Fig. 17).
+      service (pre-trained models, paper Fig. 17). With --store, training
+      streams from the columnar store instead of an in-memory JSON
+      database — same models, bit for bit.
 
   aiio diagnose --model FILE --log FILE [--json] [--merge average|closest]
                [--threads T]
@@ -31,12 +48,14 @@ USAGE:
       ranked bottleneck report.
 
   aiio serve --model FILE [--addr HOST:PORT] [--workers N] [--queue N]
-             [--threads T]
+             [--threads T] [--store DIR]
       Serve diagnoses over HTTP (the paper's §3.4 web service): POST
       /diagnose and /diagnose/batch, GET /healthz and /metrics, POST
-      /admin/reload and /admin/shutdown. Prints `listening on ADDR` once
-      bound (use --addr 127.0.0.1:0 for an ephemeral port) and runs until
-      /admin/shutdown.
+      /admin/reload and /admin/shutdown. With --store, POST /ingest
+      appends job logs to the columnar store and /metrics gains store
+      depth, segment counters and a drift gauge over the fresh tail.
+      Prints `listening on ADDR` once bound (use --addr 127.0.0.1:0 for
+      an ephemeral port) and runs until /admin/shutdown.
 
   aiio client --addr HOST:PORT <health|metrics|diagnose|batch|reload|shutdown>
               [LOG-FILE...] [--path FILE] [--deadline-ms N]
@@ -111,6 +130,9 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
     match cmd.as_str() {
         "simulate" => cmd_simulate(rest),
         "sample" => cmd_sample(rest),
+        "ingest" => cmd_ingest(rest),
+        "compact" => cmd_compact(rest),
+        "store-stats" => cmd_store_stats(rest),
         "train" => cmd_train(rest),
         "diagnose" => cmd_diagnose(rest),
         "serve" => cmd_serve(rest),
@@ -195,18 +217,117 @@ fn cmd_sample(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Open a store, surfacing anything recovery had to drop.
+fn open_store(dir: &str) -> Result<aiio_store::Store, CliError> {
+    let store = aiio_store::Store::open(dir).map_err(|e| e.to_string())?;
+    let rec = store.recovery_report();
+    if !rec.is_clean() {
+        eprintln!(
+            "recovery: {} WAL rows recovered, {} WAL bytes dropped, {} rows deduplicated, \
+             {} segment(s) quarantined ({} rows), {} stale segment(s) removed",
+            rec.wal_rows_recovered,
+            rec.wal_bytes_dropped,
+            rec.wal_rows_already_sealed,
+            rec.quarantined_segments.len(),
+            rec.quarantined_rows,
+            rec.stale_segments_removed,
+        );
+    }
+    Ok(store)
+}
+
+fn print_store_stats(store: &aiio_store::Store) {
+    let s = store.stats();
+    eprintln!(
+        "store: {} rows ({} sealed in {} segments, {} in WAL), {} segment bytes, {} WAL bytes",
+        s.total_rows, s.sealed_rows, s.segments, s.wal_rows, s.sealed_bytes, s.wal_bytes
+    );
+}
+
+fn cmd_ingest(args: &[String]) -> Result<(), CliError> {
+    let (_, flags) = parse_flags(args)?;
+    apply_threads_flag(&flags)?;
+    let dir = required(&flags, "store")?;
+    let chunk: usize = flag(&flags, "chunk")
+        .map(|s| parse_num(s, "chunk"))
+        .transpose()?
+        .unwrap_or(1024);
+    let mut store = open_store(dir)?;
+    let before = store.len();
+    match (flag(&flags, "db"), flag(&flags, "jobs")) {
+        (Some(db_path), None) => {
+            let db = LogDatabase::load_json(db_path).map_err(|e| e.to_string())?;
+            for jobs in db.jobs().chunks(chunk.max(1)) {
+                store.append_batch(jobs).map_err(|e| e.to_string())?;
+            }
+        }
+        (None, Some(n)) => {
+            let n_jobs: usize = parse_num(n, "jobs")?;
+            let seed: u64 = flag(&flags, "seed")
+                .map(|s| parse_num(s, "seed"))
+                .transpose()?
+                .unwrap_or(7);
+            let noise: f64 = flag(&flags, "noise")
+                .map(|s| parse_num(s, "noise"))
+                .transpose()?
+                .unwrap_or(0.03);
+            DatabaseSampler::new(SamplerConfig {
+                n_jobs,
+                seed,
+                noise_sigma: noise,
+            })
+            .sample_into_store(&mut store, chunk)
+            .map_err(|e| e.to_string())?;
+        }
+        _ => return Err("ingest needs exactly one of --db FILE or --jobs N".into()),
+    }
+    store.sync().map_err(|e| e.to_string())?;
+    eprintln!("ingested {} jobs into {dir}", store.len() - before);
+    print_store_stats(&store);
+    Ok(())
+}
+
+fn cmd_compact(args: &[String]) -> Result<(), CliError> {
+    let (_, flags) = parse_flags(args)?;
+    let dir = required(&flags, "store")?;
+    let mut store = open_store(dir)?;
+    let sealed = store.seal().map_err(|e| e.to_string())?;
+    let report = store.compact().map_err(|e| e.to_string())?;
+    eprintln!(
+        "sealed {sealed} new segment(s); merged {} group(s): {} -> {} segments ({} rows moved)",
+        report.groups_merged, report.segments_before, report.segments_after, report.rows_moved
+    );
+    print_store_stats(&store);
+    Ok(())
+}
+
+fn cmd_store_stats(args: &[String]) -> Result<(), CliError> {
+    let (_, flags) = parse_flags(args)?;
+    let dir = required(&flags, "store")?;
+    let store = open_store(dir)?;
+    if flag(&flags, "json").is_some() {
+        let body = serde_json::to_string_pretty(&store.stats()).map_err(|e| e.to_string())?;
+        println!("{body}");
+    } else {
+        print_store_stats(&store);
+        for seg in store.segments() {
+            eprintln!(
+                "  segment {:08}: rows {} (ordinals {}..{}), {} bytes",
+                seg.id,
+                seg.rows,
+                seg.base_ordinal,
+                seg.end_ordinal(),
+                seg.bytes
+            );
+        }
+    }
+    Ok(())
+}
+
 fn cmd_train(args: &[String]) -> Result<(), CliError> {
     let (_, flags) = parse_flags(args)?;
     apply_threads_flag(&flags)?;
-    let db_path = required(&flags, "db")?;
     let out = required(&flags, "out")?;
-    let db = LogDatabase::load_json(db_path).map_err(|e| e.to_string())?;
-    if db.len() < 20 {
-        return Err(format!(
-            "database has only {} jobs; need at least 20",
-            db.len()
-        ));
-    }
     let mut cfg = if flag(&flags, "fast").is_some() {
         TrainConfig::fast()
     } else {
@@ -215,12 +336,39 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
     if let Some(s) = flag(&flags, "seed") {
         cfg.seed = parse_num(s, "seed")?;
     }
-    eprintln!(
-        "training on {} jobs ({} models)...",
-        db.len(),
-        cfg.zoo.kinds.len()
-    );
-    let service = AiioService::train(&cfg, &db).map_err(|e| e.to_string())?;
+    let service = match (flag(&flags, "db"), flag(&flags, "store")) {
+        (Some(db_path), None) => {
+            let db = LogDatabase::load_json(db_path).map_err(|e| e.to_string())?;
+            if db.len() < 20 {
+                return Err(format!(
+                    "database has only {} jobs; need at least 20",
+                    db.len()
+                ));
+            }
+            eprintln!(
+                "training on {} jobs ({} models)...",
+                db.len(),
+                cfg.zoo.kinds.len()
+            );
+            AiioService::train(&cfg, &db).map_err(|e| e.to_string())?
+        }
+        (None, Some(dir)) => {
+            let store = open_store(dir)?;
+            if store.len() < 20 {
+                return Err(format!(
+                    "store has only {} jobs; need at least 20",
+                    store.len()
+                ));
+            }
+            eprintln!(
+                "training out-of-core on {} stored jobs ({} models)...",
+                store.len(),
+                cfg.zoo.kinds.len()
+            );
+            AiioService::train_from_backend(&cfg, &store).map_err(|e| e.to_string())?
+        }
+        _ => return Err("train needs exactly one of --db FILE or --store DIR".into()),
+    };
     for (kind, reason) in service.zoo().failed() {
         eprintln!("  warning: {kind:?} failed to fit: {reason}");
     }
@@ -278,6 +426,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(t) = flag(&flags, "threads") {
         config.engine_threads = parse_num(t, "threads")?;
+    }
+    if let Some(dir) = flag(&flags, "store") {
+        config.store_dir = Some(dir.into());
     }
     eprintln!(
         "serving {} models with {} workers (queue depth {}, engine threads {})",

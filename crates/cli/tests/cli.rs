@@ -201,6 +201,102 @@ fn train_rejects_tiny_databases() {
 }
 
 #[test]
+fn store_workflow_ingest_compact_train_matches_db_path() {
+    let dir = tmpdir("store");
+    let db = dir.join("db.json");
+    let store = dir.join("logs.store");
+    let model_db = dir.join("model_db.json");
+    let model_store = dir.join("model_store.json");
+
+    // Sample a database to JSON, then ingest the same jobs into a store.
+    assert!(aiio()
+        .args(["sample", "--jobs", "200", "--seed", "3", "--noise", "0", "--out"])
+        .arg(&db)
+        .status()
+        .unwrap()
+        .success());
+    let out = aiio()
+        .args(["ingest", "--chunk", "64", "--db"])
+        .arg(&db)
+        .arg("--store")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ingested 200 jobs"));
+
+    // Compact seals the WAL tail into columnar segments.
+    let out = aiio()
+        .args(["compact", "--store"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Stats (JSON) reflect all 200 rows sealed.
+    let out = aiio()
+        .args(["store-stats", "--json", "--store"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stats: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(stats["total_rows"].as_u64(), Some(200));
+    assert_eq!(stats["wal_rows"].as_u64(), Some(0));
+
+    // Training from the store is byte-identical to training from the JSON
+    // database the store was fed with.
+    assert!(aiio()
+        .args(["train", "--fast", "--db"])
+        .arg(&db)
+        .arg("--out")
+        .arg(&model_db)
+        .status()
+        .unwrap()
+        .success());
+    let out = aiio()
+        .args(["train", "--fast", "--store"])
+        .arg(&store)
+        .arg("--out")
+        .arg(&model_store)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let a = std::fs::read(&model_db).unwrap();
+    let b = std::fs::read(&model_store).unwrap();
+    assert_eq!(a, b, "out-of-core model differs from in-memory model");
+
+    // Sampling straight into the store (no JSON intermediate) appends.
+    let out = aiio()
+        .args([
+            "ingest", "--jobs", "30", "--seed", "9", "--noise", "0", "--store",
+        ])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ingested 30 jobs"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_and_client_roundtrip_over_loopback() {
     use std::io::BufRead;
 

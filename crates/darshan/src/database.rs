@@ -33,6 +33,61 @@ pub struct SplitIndices {
     pub valid: Vec<usize>,
 }
 
+impl SplitIndices {
+    /// Deterministic shuffled split over `n` rows — the same shuffle
+    /// [`LogDatabase::split_indices`] performs, factored out so storage
+    /// backends that stream rows (and never materialise a `LogDatabase`)
+    /// produce byte-identical train/validation partitions.
+    ///
+    /// # Panics
+    /// Panics if `train_fraction` is outside `(0, 1)`.
+    pub fn of_len(n: usize, train_fraction: f64, seed: u64) -> SplitIndices {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0, 1)"
+        );
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_train = ((n as f64) * train_fraction).round() as usize;
+        let n_train = n_train.min(n);
+        let valid = idx.split_off(n_train);
+        SplitIndices { train: idx, valid }
+    }
+}
+
+/// A source of job logs that can be streamed in insertion order without
+/// materialising the whole database in memory.
+///
+/// `LogDatabase` itself implements this (streaming from its in-memory
+/// `Vec`), and on-disk stores (e.g. `aiio-store`) implement it to feed
+/// `Dataset` construction out-of-core: the consumer sees each job exactly
+/// once, in the same order a `LogDatabase` built from the same logs would
+/// yield them, so everything derived downstream (feature matrices, splits,
+/// trained models) is bit-identical between the two paths.
+pub trait StoreBackend {
+    /// Number of jobs [`StoreBackend::stream_jobs`] will yield.
+    fn job_count(&self) -> std::io::Result<usize>;
+
+    /// Stream every job in insertion order. The borrow handed to `sink` is
+    /// only valid for the duration of the call, which is what lets disk
+    /// backends decode into a reused buffer.
+    fn stream_jobs(&self, sink: &mut dyn FnMut(&JobLog)) -> std::io::Result<()>;
+}
+
+impl StoreBackend for LogDatabase {
+    fn job_count(&self) -> std::io::Result<usize> {
+        Ok(self.jobs.len())
+    }
+
+    fn stream_jobs(&self, sink: &mut dyn FnMut(&JobLog)) -> std::io::Result<()> {
+        for job in &self.jobs {
+            sink(job);
+        }
+        Ok(())
+    }
+}
+
 impl LogDatabase {
     /// New empty database.
     pub fn new() -> Self {
@@ -106,17 +161,7 @@ impl LogDatabase {
     /// # Panics
     /// Panics if `train_fraction` is outside `(0, 1)`.
     pub fn split_indices(&self, train_fraction: f64, seed: u64) -> SplitIndices {
-        assert!(
-            train_fraction > 0.0 && train_fraction < 1.0,
-            "train_fraction must be in (0, 1)"
-        );
-        let mut idx: Vec<usize> = (0..self.jobs.len()).collect();
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        idx.shuffle(&mut rng);
-        let n_train = ((self.jobs.len() as f64) * train_fraction).round() as usize;
-        let n_train = n_train.min(self.jobs.len());
-        let valid = idx.split_off(n_train);
-        SplitIndices { train: idx, valid }
+        SplitIndices::of_len(self.jobs.len(), train_fraction, seed)
     }
 
     /// Database of the jobs satisfying `keep` (clones the matching logs).
@@ -267,6 +312,21 @@ mod tests {
         assert!(apps.contains(&"special".to_string()));
         assert!(apps.contains(&"t".to_string()));
         assert_eq!(apps.len(), 2);
+    }
+
+    #[test]
+    fn split_of_len_matches_database_split() {
+        let db = db_with(64);
+        assert_eq!(db.split_indices(0.5, 7), SplitIndices::of_len(64, 0.5, 7));
+    }
+
+    #[test]
+    fn log_database_streams_itself_in_order() {
+        let db = db_with(6);
+        assert_eq!(StoreBackend::job_count(&db).unwrap(), 6);
+        let mut ids = Vec::new();
+        db.stream_jobs(&mut |j| ids.push(j.job_id)).unwrap();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]

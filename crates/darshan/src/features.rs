@@ -2,7 +2,7 @@
 //! the performance tag of Eq. 1, and dataset assembly.
 
 use crate::counters::{CounterId, N_COUNTERS};
-use crate::database::LogDatabase;
+use crate::database::{LogDatabase, StoreBackend};
 use crate::log::JobLog;
 use serde::{Deserialize, Serialize};
 
@@ -133,6 +133,27 @@ impl FeaturePipeline {
         Dataset { x, y, job_ids }
     }
 
+    /// Build the supervised dataset by streaming a [`StoreBackend`].
+    ///
+    /// Rows arrive in the backend's insertion order, so for the same logs
+    /// this produces a `Dataset` bit-identical to [`Self::dataset_of`] on an
+    /// in-memory `LogDatabase` — the property the out-of-core training path
+    /// relies on. Peak memory is the output matrix plus whatever bounded
+    /// buffer the backend itself streams through (one segment for
+    /// `aiio-store`), never a full `Vec<JobLog>`.
+    pub fn dataset_of_backend(&self, src: &dyn StoreBackend) -> std::io::Result<Dataset> {
+        let n = src.job_count()?;
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        let mut job_ids = Vec::with_capacity(n);
+        src.stream_jobs(&mut |log| {
+            x.push(self.features_of(log));
+            y.push(self.tag_of(log));
+            job_ids.push(log.job_id);
+        })?;
+        Ok(Dataset { x, y, job_ids })
+    }
+
     /// Names of the feature columns, aligned with [`Self::features_of`].
     pub fn feature_names() -> Vec<&'static str> {
         CounterId::ALL.iter().map(|c| c.name()).collect()
@@ -214,6 +235,17 @@ mod tests {
         let sub = ds.subset(&[4, 0]);
         assert_eq!(sub.job_ids, vec![4, 0]);
         assert_eq!(sub.len(), 2);
+    }
+
+    #[test]
+    fn dataset_of_backend_matches_in_memory_path() {
+        let mut db = LogDatabase::new();
+        for i in 0..7 {
+            db.push(log_with_perf(i, (2 * i + 1) as f64));
+        }
+        let p = FeaturePipeline::paper();
+        let streamed = p.dataset_of_backend(&db).unwrap();
+        assert_eq!(streamed, p.dataset_of(&db));
     }
 
     #[test]

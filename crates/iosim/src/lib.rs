@@ -34,6 +34,9 @@
 //!   DASSA), untuned and tuned variants.
 //! * [`sampler`] — randomized job sampling to build large training
 //!   databases (the NERSC-database substitute).
+//! * [`store_recorder`] — out-of-core sibling of [`recorder`]: simulate
+//!   and append counter logs straight into an `aiio-store` store in
+//!   bounded-memory chunks.
 
 pub mod apps;
 pub mod config;
@@ -43,6 +46,7 @@ pub mod labels;
 pub mod ops;
 pub mod recorder;
 pub mod sampler;
+pub mod store_recorder;
 pub mod trace;
 
 pub use config::StorageConfig;
@@ -51,4 +55,5 @@ pub use ior::IorConfig;
 pub use labels::{cost_breakdown, ground_truth, BottleneckClass, CostBreakdown};
 pub use ops::{AccessLayout, JobSpec, OpBlock, RankGroup, ReadWrite};
 pub use sampler::{DatabaseSampler, SamplerConfig};
+pub use store_recorder::StoreRecorder;
 pub use trace::{parse_trace, to_trace, TraceError};

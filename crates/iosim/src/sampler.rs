@@ -58,6 +58,11 @@ impl DatabaseSampler {
         Self { config }
     }
 
+    /// The sampler's configuration.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.config
+    }
+
     /// Generate the full database (parallel, deterministic).
     pub fn generate(&self) -> LogDatabase {
         let ids: Vec<u64> = (0..self.config.n_jobs as u64).collect();
@@ -80,6 +85,16 @@ impl DatabaseSampler {
             })
             .collect();
         (db, labels)
+    }
+
+    /// Generate jobs `start..end` (parallel, deterministic). Because each
+    /// job is a pure function of `(seed, job_id)`, the concatenation of
+    /// consecutive ranges equals one big [`DatabaseSampler::generate`] —
+    /// the building block for streaming a huge database through bounded
+    /// memory (see [`crate::store_recorder`]).
+    pub fn generate_range(&self, start: u64, end: u64) -> Vec<JobLog> {
+        let ids: Vec<u64> = (start..end.max(start)).collect();
+        aiio_par::map(&ids, |&job_id| self.generate_job(job_id))
     }
 
     /// Generate one job by id.
@@ -239,6 +254,21 @@ mod tests {
         let a = DatabaseSampler::new(cfg.clone()).generate();
         let b = DatabaseSampler::new(cfg).generate();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranges_concatenate_to_the_full_database() {
+        let cfg = SamplerConfig {
+            n_jobs: 48,
+            seed: 17,
+            noise_sigma: 0.02,
+        };
+        let sampler = DatabaseSampler::new(cfg);
+        let whole = sampler.generate();
+        let mut pieces = sampler.generate_range(0, 20);
+        pieces.extend(sampler.generate_range(20, 48));
+        assert_eq!(whole.jobs(), &pieces[..]);
+        assert!(sampler.generate_range(5, 5).is_empty());
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! A second counter-emitting recorder: straight into the on-disk store.
+//!
+//! [`crate::recorder`] extracts Table-4 counters into an in-memory
+//! [`JobLog`]; this module is its out-of-core sibling. A [`StoreRecorder`]
+//! runs workloads through the simulator and appends the resulting logs
+//! directly into an [`aiio_store::Store`] in bounded chunks, so a database
+//! far larger than RAM can be produced without ever materialising it as a
+//! `Vec<JobLog>` — the ingestion path behind `aiio ingest`.
+
+use crate::config::StorageConfig;
+use crate::engine::Simulator;
+use crate::ops::JobSpec;
+use crate::sampler::DatabaseSampler;
+use aiio_darshan::JobLog;
+use aiio_store::Store;
+
+/// Default rows buffered between store appends.
+pub const DEFAULT_CHUNK_ROWS: usize = 1024;
+
+/// Streams simulated job logs into an open [`Store`].
+///
+/// Logs accumulate in a small buffer and are appended (through the store's
+/// checksummed WAL) whenever the buffer fills; [`StoreRecorder::finish`]
+/// flushes the remainder. Peak memory is one chunk of logs, independent of
+/// how many jobs are recorded.
+#[derive(Debug)]
+pub struct StoreRecorder<'a> {
+    store: &'a mut Store,
+    sim: Simulator,
+    buf: Vec<JobLog>,
+    chunk_rows: usize,
+    recorded: u64,
+}
+
+impl<'a> StoreRecorder<'a> {
+    /// Recorder over `store` simulating against `storage`.
+    pub fn new(store: &'a mut Store, storage: StorageConfig) -> Self {
+        Self {
+            store,
+            sim: Simulator::new(storage),
+            buf: Vec::new(),
+            chunk_rows: DEFAULT_CHUNK_ROWS,
+            recorded: 0,
+        }
+    }
+
+    /// Override the flush granularity (rows buffered per append).
+    pub fn with_chunk_rows(mut self, rows: usize) -> Self {
+        self.chunk_rows = rows.max(1);
+        self
+    }
+
+    /// Simulate one workload and append its counter log to the store —
+    /// identical to `Simulator::simulate` followed by `Store::append`.
+    pub fn record(
+        &mut self,
+        spec: &JobSpec,
+        job_id: u64,
+        year: u16,
+        seed: u64,
+    ) -> aiio_store::Result<()> {
+        let log = self.sim.simulate(spec, job_id, year, seed);
+        self.record_log(log)
+    }
+
+    /// Append an already-built log (e.g. from a parser or sampler).
+    pub fn record_log(&mut self, log: JobLog) -> aiio_store::Result<()> {
+        self.buf.push(log);
+        self.recorded += 1;
+        if self.buf.len() >= self.chunk_rows {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Push any buffered logs into the store's WAL now.
+    pub fn flush(&mut self) -> aiio_store::Result<()> {
+        if !self.buf.is_empty() {
+            self.store.append_batch(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Logs recorded so far (including still-buffered ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Flush the remainder and return the total number of logs recorded.
+    pub fn finish(mut self) -> aiio_store::Result<u64> {
+        self.flush()?;
+        Ok(self.recorded)
+    }
+}
+
+impl DatabaseSampler {
+    /// Stream a full sampled database into `store` in bounded-memory
+    /// chunks of `chunk_rows` jobs. Deterministic: the store afterwards
+    /// holds exactly the jobs [`DatabaseSampler::generate`] would return,
+    /// in the same order, but peak memory is one chunk — this is how a
+    /// paper-scale (millions of jobs) database is built.
+    pub fn sample_into_store(
+        &self,
+        store: &mut Store,
+        chunk_rows: usize,
+    ) -> aiio_store::Result<u64> {
+        let n = self.config().n_jobs as u64;
+        let chunk = chunk_rows.max(1) as u64;
+        let mut start = 0u64;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let jobs = self.generate_range(start, end);
+            store.append_batch(&jobs)?;
+            start = end;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ior::IorConfig;
+    use crate::sampler::SamplerConfig;
+    use aiio_store::StoreConfig;
+
+    fn tmp_store(name: &str, rows_per_segment: usize) -> (std::path::PathBuf, Store) {
+        let dir =
+            std::env::temp_dir().join(format!("aiio_store_recorder_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open_with(
+            &dir,
+            StoreConfig {
+                rows_per_segment,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn recorder_matches_direct_simulation() {
+        let (dir, mut store) = tmp_store("direct", 4);
+        let spec = IorConfig::parse("ior -w -t 1k -b 64k -Y")
+            .unwrap()
+            .to_spec();
+        let mut rec = StoreRecorder::new(&mut store, StorageConfig::cori_like_quiet());
+        for i in 0..6u64 {
+            rec.record(&spec, i, 2022, i).unwrap();
+        }
+        assert_eq!(rec.finish().unwrap(), 6);
+        let sim = Simulator::new(StorageConfig::cori_like_quiet());
+        let expect: Vec<JobLog> = (0..6u64).map(|i| sim.simulate(&spec, i, 2022, i)).collect();
+        let mut got = Vec::new();
+        store.scan(&mut |j| got.push(j.clone())).unwrap();
+        assert_eq!(got, expect);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sample_into_store_equals_in_memory_generation() {
+        let (dir, mut store) = tmp_store("sample", 16);
+        let sampler = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 50,
+            seed: 23,
+            noise_sigma: 0.01,
+        });
+        let n = sampler.sample_into_store(&mut store, 7).unwrap();
+        assert_eq!(n, 50);
+        assert_eq!(store.len(), 50);
+        // Chunked out-of-core ingestion lands byte-for-byte on generate().
+        assert_eq!(store.read_all().unwrap(), sampler.generate());
+        // Small chunks against a 16-row segment size must still have sealed.
+        assert!(store.stats().segments >= 2, "{:?}", store.stats());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn small_chunks_flush_incrementally() {
+        let (dir, mut store) = tmp_store("flush", 1024);
+        let spec = IorConfig::parse("ior -r -t 4k -b 64k").unwrap().to_spec();
+        let mut rec =
+            StoreRecorder::new(&mut store, StorageConfig::cori_like_quiet()).with_chunk_rows(2);
+        for i in 0..5u64 {
+            rec.record(&spec, i, 2021, i).unwrap();
+        }
+        // 5 records at chunk 2: two flushes happened, one log still buffered.
+        assert_eq!(rec.recorded(), 5);
+        rec.flush().unwrap();
+        assert_eq!(store.len(), 5);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

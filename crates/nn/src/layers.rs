@@ -4,6 +4,7 @@
 //! forward-pass caches its backward pass needs. `forward` is called with
 //! `train` true/false to switch batch-norm statistics and dropout masks.
 
+use crate::error::DimensionError;
 use aiio_linalg::func::{relu, relu_grad};
 use aiio_linalg::Matrix;
 use rand::Rng;
@@ -51,8 +52,11 @@ impl Dense {
         y
     }
 
-    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let x = self.x_cache.as_ref().expect("backward before forward");
+    pub fn backward(&mut self, dy: &Matrix) -> Result<Matrix, DimensionError> {
+        let x = self
+            .x_cache
+            .as_ref()
+            .ok_or(DimensionError::BackwardBeforeForward { layer: "dense" })?;
         self.gw = Some(x.transpose().matmul(dy));
         let mut gb = vec![0.0; dy.cols()];
         for i in 0..dy.rows() {
@@ -61,7 +65,7 @@ impl Dense {
             }
         }
         self.gb = gb;
-        dy.matmul(&self.w.transpose())
+        Ok(dy.matmul(&self.w.transpose()))
     }
 }
 
@@ -80,9 +84,12 @@ impl ReLu {
         x.map(relu)
     }
 
-    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let x = self.x_cache.as_ref().expect("backward before forward");
-        dy.zip_map(&x.map(relu_grad), |d, g| d * g)
+    pub fn backward(&mut self, dy: &Matrix) -> Result<Matrix, DimensionError> {
+        let x = self
+            .x_cache
+            .as_ref()
+            .ok_or(DimensionError::BackwardBeforeForward { layer: "relu" })?;
+        Ok(dy.zip_map(&x.map(relu_grad), |d, g| d * g))
     }
 }
 
@@ -162,8 +169,11 @@ impl BatchNorm {
         y
     }
 
-    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let cache = self.cache.as_ref().expect("backward before forward");
+    pub fn backward(&mut self, dy: &Matrix) -> Result<Matrix, DimensionError> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(DimensionError::BackwardBeforeForward { layer: "batchnorm" })?;
         let n = dy.rows() as f64;
         let f = dy.cols();
         // Parameter gradients.
@@ -188,7 +198,7 @@ impl BatchNorm {
         }
         self.ggamma = ggamma;
         self.gbeta = gbeta;
-        dx
+        Ok(dx)
     }
 }
 
@@ -259,7 +269,7 @@ mod tests {
         // Loss = sum(y); dL/dy = ones.
         let _ = d.forward(&x, true);
         let ones = Matrix::from_fn(2, 2, |_, _| 1.0);
-        let dx = d.backward(&ones);
+        let dx = d.backward(&ones).unwrap();
         let eps = 1e-6;
         // Check dL/dw numerically for a few entries.
         for (i, j) in [(0, 0), (1, 1), (2, 0)] {
@@ -292,7 +302,7 @@ mod tests {
         let x = Matrix::from_rows(&[vec![-1.0, 2.0]]);
         let y = r.forward(&x, true);
         assert_eq!(y, Matrix::from_rows(&[vec![0.0, 2.0]]));
-        let dx = r.backward(&Matrix::from_rows(&[vec![5.0, 5.0]]));
+        let dx = r.backward(&Matrix::from_rows(&[vec![5.0, 5.0]])).unwrap();
         assert_eq!(dx, Matrix::from_rows(&[vec![0.0, 5.0]]));
     }
 
@@ -336,7 +346,7 @@ mod tests {
         ]);
         // Loss = sum of squares of output / 2 → dL/dy = y.
         let y = bn.forward(&x, true);
-        let dx = bn.backward(&y);
+        let dx = bn.backward(&y).unwrap();
         let eps = 1e-6;
         let loss = |bn: &mut BatchNorm, x: &Matrix| -> f64 {
             // Recompute with train=true but frozen running stats: clone.

@@ -9,6 +9,9 @@
 //! * [`layers`] — dense / ReLU / batch-norm / dropout layers with explicit
 //!   forward/backward passes over batch-major [`Matrix`](aiio_linalg::Matrix)es;
 //! * [`adam`] — the Adam optimiser;
+//! * [`error`] — typed [`DimensionError`]s for config validation and
+//!   layer wiring, so a misconfigured model family fails its fit instead
+//!   of panicking the zoo;
 //! * [`mlp`] — the paper's Table 5 architecture (hidden sizes 90, 89, 69,
 //!   49, 29, 9 with BN + dropout), MSE loss, minibatch training and
 //!   early stopping;
@@ -19,11 +22,13 @@
 //!   test suite).
 
 pub mod adam;
+pub mod error;
 pub mod layers;
 pub mod mlp;
 pub mod tabnet;
 
 pub use adam::Adam;
+pub use error::DimensionError;
 pub use mlp::{Mlp, MlpConfig};
 pub use tabnet::{TabNet, TabNetConfig};
 

@@ -3,6 +3,7 @@
 //! hidden layers, trained with Adam on MSE loss with early stopping.
 
 use crate::adam::Adam;
+use crate::error::DimensionError;
 use crate::layers::{BatchNorm, Dense, Dropout, ReLu};
 use crate::EpochRecord;
 use aiio_linalg::Matrix;
@@ -54,6 +55,31 @@ impl MlpConfig {
             ..Self::paper()
         }
     }
+
+    /// Check the architecture before any parameter is allocated.
+    pub fn validate(&self) -> Result<(), DimensionError> {
+        if self.hidden.contains(&0) {
+            return Err(DimensionError::ZeroWidth {
+                what: "hidden layer",
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(DimensionError::ZeroWidth { what: "batch_size" });
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(DimensionError::RateOutOfRange {
+                what: "dropout",
+                value: self.dropout,
+            });
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(DimensionError::RateOutOfRange {
+                what: "learning_rate",
+                value: self.learning_rate,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// One hidden block: dense -> (batchnorm) -> relu -> (dropout).
@@ -77,16 +103,25 @@ pub struct Mlp {
 impl Mlp {
     /// Fit on `(x, y)`, optionally early-stopping against `valid`.
     ///
-    /// # Panics
-    /// Panics on empty or mismatched inputs.
+    /// # Errors
+    /// Returns a [`DimensionError`] when the config fails
+    /// [`MlpConfig::validate`] or the inputs are empty/mismatched.
     pub fn fit(
         config: &MlpConfig,
         x: &[Vec<f64>],
         y: &[f64],
         valid: Option<(&[Vec<f64>], &[f64])>,
-    ) -> Mlp {
-        assert!(!x.is_empty(), "empty training set");
-        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    ) -> Result<Mlp, DimensionError> {
+        config.validate()?;
+        if x.is_empty() {
+            return Err(DimensionError::EmptyTrainingSet);
+        }
+        if x.len() != y.len() {
+            return Err(DimensionError::LengthMismatch {
+                x: x.len(),
+                y: y.len(),
+            });
+        }
         let n_features = x[0].len();
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
 
@@ -127,8 +162,8 @@ impl Mlp {
                 // MSE loss: dL/dpred = 2 (pred - y) / batch.
                 let nb = yb.len() as f64;
                 let dy = Matrix::from_fn(pred.rows(), 1, |i, _| 2.0 * (pred[(i, 0)] - yb[i]) / nb);
-                model.backward(&dy);
-                model.apply_grads(&mut adam);
+                model.backward(&dy)?;
+                model.apply_grads(&mut adam)?;
             }
             let train_rmse = rmse(&model.predict(x), y);
             let valid_rmse = valid.map(|(vx, vy)| rmse(&model.predict(vx), vy));
@@ -154,7 +189,7 @@ impl Mlp {
             model.blocks = blocks;
             model.head = head;
         }
-        model
+        Ok(model)
     }
 
     fn forward(&mut self, x: &Matrix, train: bool, rng: &mut ChaCha8Rng) -> Matrix {
@@ -172,24 +207,29 @@ impl Mlp {
         self.head.forward(&h, train)
     }
 
-    fn backward(&mut self, dy: &Matrix) {
-        let mut g = self.head.backward(dy);
+    fn backward(&mut self, dy: &Matrix) -> Result<(), DimensionError> {
+        let mut g = self.head.backward(dy)?;
         for b in self.blocks.iter_mut().rev() {
             if let Some(d) = &mut b.dropout {
                 g = d.backward(&g);
             }
-            g = b.relu.backward(&g);
+            g = b.relu.backward(&g)?;
             if let Some(bn) = &mut b.bn {
-                g = bn.backward(&g);
+                g = bn.backward(&g)?;
             }
-            g = b.dense.backward(&g);
+            g = b.dense.backward(&g)?;
         }
+        Ok(())
     }
 
-    fn apply_grads(&mut self, adam: &mut Adam) {
+    fn apply_grads(&mut self, adam: &mut Adam) -> Result<(), DimensionError> {
         let mut slot = 0;
         for b in &mut self.blocks {
-            let gw = b.dense.gw.take().expect("missing dense gradient");
+            let gw = b
+                .dense
+                .gw
+                .take()
+                .ok_or(DimensionError::MissingGradient { layer: "dense" })?;
             adam.update(slot, b.dense.w.as_mut_slice(), gw.as_slice());
             slot += 1;
             let gb = std::mem::take(&mut b.dense.gb);
@@ -204,11 +244,16 @@ impl Mlp {
                 slot += 1;
             }
         }
-        let gw = self.head.gw.take().expect("missing head gradient");
+        let gw = self
+            .head
+            .gw
+            .take()
+            .ok_or(DimensionError::MissingGradient { layer: "head" })?;
         adam.update(slot, self.head.w.as_mut_slice(), gw.as_slice());
         slot += 1;
         let gb = std::mem::take(&mut self.head.gb);
         adam.update(slot, &mut self.head.b, &gb);
+        Ok(())
     }
 
     /// Predict a batch (eval mode).
@@ -270,7 +315,7 @@ mod tests {
             dropout: 0.0,
             ..MlpConfig::small()
         };
-        let m = Mlp::fit(&cfg, &x, &y, None);
+        let m = Mlp::fit(&cfg, &x, &y, None).unwrap();
         let err = rmse(&m.predict(&x), &y);
         let spread = {
             let mean: f64 = y.iter().sum::<f64>() / y.len() as f64;
@@ -288,7 +333,7 @@ mod tests {
             early_stopping: 3,
             ..MlpConfig::small()
         };
-        let m = Mlp::fit(&cfg, &x, &y, Some((&vx, &vy)));
+        let m = Mlp::fit(&cfg, &x, &y, Some((&vx, &vy))).unwrap();
         assert!(m.history().len() < 500, "ran all epochs");
     }
 
@@ -301,7 +346,7 @@ mod tests {
             max_epochs: 1,
             ..cfg
         };
-        let m = Mlp::fit(&cfg, &x, &y, None);
+        let m = Mlp::fit(&cfg, &x, &y, None).unwrap();
         assert_eq!(m.layer_widths(), vec![90, 89, 69, 49, 29, 9, 1]);
     }
 
@@ -312,8 +357,8 @@ mod tests {
             max_epochs: 5,
             ..MlpConfig::small()
         };
-        let a = Mlp::fit(&cfg, &x, &y, None);
-        let b = Mlp::fit(&cfg, &x, &y, None);
+        let a = Mlp::fit(&cfg, &x, &y, None).unwrap();
+        let b = Mlp::fit(&cfg, &x, &y, None).unwrap();
         assert_eq!(a.predict(&x), b.predict(&x));
     }
 
@@ -324,8 +369,44 @@ mod tests {
             max_epochs: 3,
             ..MlpConfig::small()
         };
-        let m = Mlp::fit(&cfg, &x, &y, None);
+        let m = Mlp::fit(&cfg, &x, &y, None).unwrap();
         assert_eq!(m.predict(&x), m.predict(&x));
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut cfg = MlpConfig::small();
+        cfg.hidden = vec![32, 0];
+        assert_eq!(
+            cfg.validate(),
+            Err(crate::DimensionError::ZeroWidth {
+                what: "hidden layer"
+            })
+        );
+        let mut cfg = MlpConfig::small();
+        cfg.dropout = 1.0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(crate::DimensionError::RateOutOfRange {
+                what: "dropout",
+                ..
+            })
+        ));
+        assert!(MlpConfig::paper().validate().is_ok());
+    }
+
+    #[test]
+    fn fit_rejects_empty_and_mismatched_inputs() {
+        let cfg = MlpConfig::small();
+        assert_eq!(
+            Mlp::fit(&cfg, &[], &[], None).err(),
+            Some(crate::DimensionError::EmptyTrainingSet)
+        );
+        let x = vec![vec![1.0, 2.0]];
+        assert_eq!(
+            Mlp::fit(&cfg, &x, &[1.0, 2.0], None).err(),
+            Some(crate::DimensionError::LengthMismatch { x: 1, y: 2 })
+        );
     }
 
     #[test]
@@ -336,7 +417,7 @@ mod tests {
             dropout: 0.0,
             ..MlpConfig::small()
         };
-        let m = Mlp::fit(&cfg, &x, &y, None);
+        let m = Mlp::fit(&cfg, &x, &y, None).unwrap();
         let h = m.history();
         assert!(h.last().unwrap().train_rmse < 0.7 * h[0].train_rmse);
     }

@@ -15,6 +15,7 @@
 //! the tests.
 
 use crate::adam::Adam;
+use crate::error::DimensionError;
 use crate::EpochRecord;
 use aiio_linalg::func::{relu, relu_grad, sparsemax, sparsemax_jvp};
 use aiio_linalg::Matrix;
@@ -71,6 +72,34 @@ impl TabNetConfig {
             n_a: 8,
             ..Self::default()
         }
+    }
+
+    /// Check the architecture before any parameter is allocated.
+    pub fn validate(&self) -> Result<(), DimensionError> {
+        for (what, v) in [
+            ("n_steps", self.n_steps),
+            ("d_hidden", self.d_hidden),
+            ("n_d", self.n_d),
+            ("n_a", self.n_a),
+            ("batch_size", self.batch_size),
+        ] {
+            if v == 0 {
+                return Err(DimensionError::ZeroWidth { what });
+            }
+        }
+        if !(self.gamma.is_finite() && self.gamma >= 1.0) {
+            return Err(DimensionError::RateOutOfRange {
+                what: "gamma",
+                value: self.gamma,
+            });
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(DimensionError::RateOutOfRange {
+                what: "learning_rate",
+                value: self.learning_rate,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -142,14 +171,26 @@ fn col_sums(m: &Matrix) -> Vec<f64> {
 
 impl TabNet {
     /// Fit on `(x, y)`, optionally early-stopping against `valid`.
+    ///
+    /// # Errors
+    /// Returns a [`DimensionError`] when the config fails
+    /// [`TabNetConfig::validate`] or the inputs are empty/mismatched.
     pub fn fit(
         config: &TabNetConfig,
         x: &[Vec<f64>],
         y: &[f64],
         valid: Option<(&[Vec<f64>], &[f64])>,
-    ) -> TabNet {
-        assert!(!x.is_empty(), "empty training set");
-        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    ) -> Result<TabNet, DimensionError> {
+        config.validate()?;
+        if x.is_empty() {
+            return Err(DimensionError::EmptyTrainingSet);
+        }
+        if x.len() != y.len() {
+            return Err(DimensionError::LengthMismatch {
+                x: x.len(),
+                y: y.len(),
+            });
+        }
         let d_in = x[0].len();
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let steps = (0..config.n_steps)
@@ -186,7 +227,7 @@ impl TabNet {
                 let xb =
                     Matrix::from_rows(&chunk.iter().map(|&i| x[i].clone()).collect::<Vec<_>>());
                 let yb: Vec<f64> = chunk.iter().map(|&i| y[i]).collect();
-                model.train_batch(&xb, &yb, &mut adam);
+                model.train_batch(&xb, &yb, &mut adam)?;
             }
             let train_rmse = rmse(&model.predict(x), y);
             let valid_rmse = valid.map(|(vx, vy)| rmse(&model.predict(vx), vy));
@@ -212,9 +253,9 @@ impl TabNet {
         }
         if let Some(mut b) = best {
             b.history = std::mem::take(&mut model.history);
-            return b;
+            return Ok(b);
         }
-        model
+        Ok(model)
     }
 
     /// Forward pass; returns per-row predictions, per-step caches (when
@@ -280,7 +321,12 @@ impl TabNet {
     }
 
     /// One minibatch of training.
-    fn train_batch(&mut self, x: &Matrix, y: &[f64], adam: &mut Adam) {
+    fn train_batch(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        adam: &mut Adam,
+    ) -> Result<(), DimensionError> {
         let (pred, caches, agg_d) = self.forward(x, true);
         let n = y.len() as f64;
         // dL/dpred for MSE.
@@ -373,7 +419,9 @@ impl TabNet {
         adam.update(slot, &mut self.proj_b, &gproj_b);
         slot += 1;
         for (step, g) in self.steps.iter_mut().zip(grads) {
-            let g = g.expect("missing step gradients");
+            let g = g.ok_or(DimensionError::MissingGradient {
+                layer: "tabnet step",
+            })?;
             adam.update(slot, step.attn_w.as_mut_slice(), g.attn_w.as_slice());
             slot += 1;
             adam.update(slot, &mut step.attn_b, &g.attn_b);
@@ -396,6 +444,7 @@ impl TabNet {
         let mut hb = [self.head_b];
         adam.update(slot, &mut hb, &[ghead_b]);
         self.head_b = hb[0];
+        Ok(())
     }
 
     /// Predict a batch.
@@ -497,7 +546,7 @@ mod tests {
             max_epochs: 80,
             ..TabNetConfig::small()
         };
-        let m = TabNet::fit(&cfg, &x, &y, None);
+        let m = TabNet::fit(&cfg, &x, &y, None).unwrap();
         let err = rmse(&m.predict(&x), &y);
         let spread = {
             let mean: f64 = y.iter().sum::<f64>() / y.len() as f64;
@@ -525,7 +574,7 @@ mod tests {
             vec![0.2, 0.1, 0.4, -0.6],
         ];
         let y = vec![1.0, -0.5, 0.3];
-        let model = TabNet::fit(&cfg, &x, &y, None);
+        let model = TabNet::fit(&cfg, &x, &y, None).unwrap();
 
         let loss = |m: &TabNet| -> f64 {
             let p = m.predict(&x);
@@ -572,7 +621,7 @@ mod tests {
             max_epochs: 60,
             ..TabNetConfig::small()
         };
-        let m = TabNet::fit(&cfg, &x, &y, None);
+        let m = TabNet::fit(&cfg, &x, &y, None).unwrap();
         let h = m.history();
         assert!(
             h.last().unwrap().train_rmse < 0.6 * h[0].train_rmse,
@@ -589,7 +638,7 @@ mod tests {
             max_epochs: 60,
             ..TabNetConfig::small()
         };
-        let m = TabNet::fit(&cfg, &x, &y, None);
+        let m = TabNet::fit(&cfg, &x, &y, None).unwrap();
         let masks = m.feature_masks(&x[..64]);
         assert_eq!(masks.len(), 6);
         // Masks are sparsemax outputs: nonnegative, average sums to 1.
@@ -611,7 +660,7 @@ mod tests {
             early_stopping: 3,
             ..TabNetConfig::small()
         };
-        let m = TabNet::fit(&cfg, &x, &y, Some((&vx, &vy)));
+        let m = TabNet::fit(&cfg, &x, &y, Some((&vx, &vy))).unwrap();
         assert!(m.history().len() < 400);
     }
 
@@ -622,8 +671,29 @@ mod tests {
             max_epochs: 5,
             ..TabNetConfig::small()
         };
-        let a = TabNet::fit(&cfg, &x, &y, None);
-        let b = TabNet::fit(&cfg, &x, &y, None);
+        let a = TabNet::fit(&cfg, &x, &y, None).unwrap();
+        let b = TabNet::fit(&cfg, &x, &y, None).unwrap();
         assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut cfg = TabNetConfig::small();
+        cfg.n_steps = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(crate::DimensionError::ZeroWidth { what: "n_steps" })
+        );
+        let mut cfg = TabNetConfig::small();
+        cfg.gamma = 0.5;
+        assert!(matches!(
+            cfg.validate(),
+            Err(crate::DimensionError::RateOutOfRange { what: "gamma", .. })
+        ));
+        assert!(TabNetConfig::default().validate().is_ok());
+        assert_eq!(
+            TabNet::fit(&TabNetConfig::small(), &[], &[], None).err(),
+            Some(crate::DimensionError::EmptyTrainingSet)
+        );
     }
 }

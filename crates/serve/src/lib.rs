@@ -43,12 +43,17 @@ use http::{Request, Response};
 use metrics::{Endpoint, Metrics};
 use pool::{Job, JobError, ModelSlot, Pool};
 use queue::{Bounded, PushError};
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, RecvTimeoutError};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
+
+/// Ingested rows required before the drift detector is consulted (PSI over
+/// a handful of rows is noise).
+pub const DRIFT_MIN_ROWS: usize = 16;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +75,13 @@ pub struct ServeConfig {
     /// per-job work. 0 leaves the engine's own resolution
     /// (`AIIO_THREADS`/auto) untouched.
     pub engine_threads: usize,
+    /// Directory of an `aiio-store` job-log store to attach. When set,
+    /// `POST /ingest` appends diagnosed jobs there and `/metrics` exposes
+    /// store depth, segment counters and the drift signal.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Freshly ingested rows the drift detector is evaluated over (a
+    /// sliding window of transformed feature vectors).
+    pub drift_window: usize,
 }
 
 impl Default for ServeConfig {
@@ -81,8 +93,18 @@ impl Default for ServeConfig {
             retry_after_secs: 1,
             max_body_bytes: 16 * 1024 * 1024,
             engine_threads: 1,
+            store_dir: None,
+            drift_window: 256,
         }
     }
+}
+
+/// The attached store plus the sliding window of freshly ingested feature
+/// rows the drift detector scores. One mutex: ingestion is disk-bound and
+/// ordered anyway (appends must hit the WAL in sequence).
+struct IngestState {
+    store: aiio_store::Store,
+    tail: VecDeque<Vec<f64>>,
 }
 
 struct Shared {
@@ -91,6 +113,7 @@ struct Shared {
     metrics: Arc<Metrics>,
     shutdown: AtomicBool,
     config: ServeConfig,
+    ingest: Option<Mutex<IngestState>>,
 }
 
 /// A cheap clone-able handle for observing and stopping a running server.
@@ -141,17 +164,35 @@ impl Server {
             // invariant by aiio-par's contract, so this only affects speed.
             aiio_par::set_threads(config.engine_threads);
         }
+        let ingest = match &config.store_dir {
+            Some(dir) => {
+                let store = aiio_store::Store::open(dir).map_err(|e| e.into_io())?;
+                Some(Mutex::new(IngestState {
+                    store,
+                    tail: VecDeque::new(),
+                }))
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
             slot: Arc::new(RwLock::new(Arc::new(service))),
             queue: Arc::new(Bounded::new(config.queue_capacity)),
             metrics: Arc::new(Metrics::new(config.workers)),
             shutdown: AtomicBool::new(false),
             config,
+            ingest,
         });
         shared.metrics.engine_threads.store(
             shared.config.engine_threads.max(1) as u64,
             Ordering::Relaxed,
         );
+        if let Some(state) = &shared.ingest {
+            let state = state.lock().map_err(|_| {
+                std::io::Error::other("store mutex poisoned before the server even started")
+            })?;
+            shared.metrics.store_attached.store(1, Ordering::Relaxed);
+            update_store_gauges(&shared.metrics, &state.store);
+        }
         let pool = Pool::spawn(
             shared.config.workers,
             Arc::clone(&shared.queue),
@@ -258,6 +299,7 @@ fn classify(path: &str) -> Endpoint {
     match path {
         "/diagnose" => Endpoint::Diagnose,
         "/diagnose/batch" => Endpoint::DiagnoseBatch,
+        "/ingest" => Endpoint::Ingest,
         "/healthz" => Endpoint::Healthz,
         "/metrics" => Endpoint::Metrics,
         "/admin/reload" => Endpoint::AdminReload,
@@ -270,6 +312,7 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/diagnose") => diagnose_one(req, shared),
         ("POST", "/diagnose/batch") => diagnose_batch(req, shared),
+        ("POST", "/ingest") => ingest(req, shared),
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/metrics") => Response::text(
             200,
@@ -433,6 +476,100 @@ fn diagnose_batch(req: &Request, shared: &Arc<Shared>) -> Response {
     }
     body.push(']');
     Response::json(200, body)
+}
+
+fn update_store_gauges(metrics: &Metrics, store: &aiio_store::Store) {
+    let stats = store.stats();
+    metrics
+        .store_rows
+        .store(stats.total_rows as u64, Ordering::Relaxed);
+    metrics
+        .store_segments
+        .store(stats.segments as u64, Ordering::Relaxed);
+    metrics
+        .store_wal_rows
+        .store(stats.wal_rows as u64, Ordering::Relaxed);
+}
+
+/// `POST /ingest`: append one `JobLog` (or an array) to the attached
+/// store, then score the freshly ingested tail against the service's
+/// training distribution. Runs on the connection thread — ingestion is
+/// disk work, not diagnosis work, so it never competes for the worker
+/// pool's bounded queue.
+fn ingest(req: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(state) = &shared.ingest else {
+        return Response::error(
+            404,
+            "no job-log store attached (start `aiio serve` with --store DIR)",
+        );
+    };
+    let body = match req.body_utf8() {
+        Ok(b) => b,
+        Err(e) => return Response::from(&e),
+    };
+    let logs: Vec<JobLog> = if body.trim_start().starts_with('[') {
+        match serde_json::from_str(body) {
+            Ok(l) => l,
+            Err(e) => return Response::error(400, &format!("bad JobLog array JSON: {e}")),
+        }
+    } else {
+        match serde_json::from_str::<JobLog>(body) {
+            Ok(l) => vec![l],
+            Err(e) => return Response::error(400, &format!("bad JobLog JSON: {e}")),
+        }
+    };
+    let service = pool::snapshot(&shared.slot);
+    let pipeline = service.pipeline();
+    let Ok(mut state) = state.lock() else {
+        return Response::error(500, "store mutex poisoned");
+    };
+    if let Err(e) = state
+        .store
+        .append_batch(&logs)
+        .and_then(|()| state.store.sync())
+    {
+        return Response::error(500, &format!("store append failed: {e}"));
+    }
+    let window = shared.config.drift_window.max(1);
+    for log in &logs {
+        if state.tail.len() == window {
+            state.tail.pop_front();
+        }
+        state.tail.push_back(pipeline.features_of(log));
+    }
+    let drift = service.drift_detector().and_then(|d| {
+        (state.tail.len() >= DRIFT_MIN_ROWS).then(|| {
+            let rows: Vec<Vec<f64>> = state.tail.iter().cloned().collect();
+            d.max_psi(&rows)
+        })
+    });
+    shared
+        .metrics
+        .ingested_total
+        .fetch_add(logs.len() as u64, Ordering::Relaxed);
+    update_store_gauges(&shared.metrics, &state.store);
+    if let Some(psi) = drift {
+        let micro = (psi.max(0.0) * 1e6).round();
+        shared
+            .metrics
+            .drift_max_psi_micro
+            .store(micro as u64, Ordering::Relaxed);
+    }
+    let stats = state.store.stats();
+    let drift_field = match drift {
+        Some(psi) => format!("{psi:.6},\"drifted\":{}", psi > aiio::drift::PSI_DRIFTED),
+        None => "null,\"drifted\":null".to_string(),
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"ingested\":{},\"store_rows\":{},\"segments\":{},\"wal_rows\":{},\"drift_max_psi\":{drift_field}}}",
+            logs.len(),
+            stats.total_rows,
+            stats.segments,
+            stats.wal_rows,
+        ),
+    )
 }
 
 fn healthz(shared: &Arc<Shared>) -> Response {

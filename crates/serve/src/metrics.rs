@@ -18,6 +18,7 @@ pub const LATENCY_BOUNDS_MS: [u64; 8] = [1, 5, 10, 25, 100, 250, 1000, 5000];
 pub enum Endpoint {
     Diagnose,
     DiagnoseBatch,
+    Ingest,
     Healthz,
     Metrics,
     AdminReload,
@@ -26,9 +27,10 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 7] = [
+    const ALL: [Endpoint; 8] = [
         Endpoint::Diagnose,
         Endpoint::DiagnoseBatch,
+        Endpoint::Ingest,
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::AdminReload,
@@ -40,11 +42,12 @@ impl Endpoint {
         match self {
             Endpoint::Diagnose => 0,
             Endpoint::DiagnoseBatch => 1,
-            Endpoint::Healthz => 2,
-            Endpoint::Metrics => 3,
-            Endpoint::AdminReload => 4,
-            Endpoint::AdminShutdown => 5,
-            Endpoint::Other => 6,
+            Endpoint::Ingest => 2,
+            Endpoint::Healthz => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::AdminReload => 5,
+            Endpoint::AdminShutdown => 6,
+            Endpoint::Other => 7,
         }
     }
 
@@ -52,6 +55,7 @@ impl Endpoint {
         match self {
             Endpoint::Diagnose => "diagnose",
             Endpoint::DiagnoseBatch => "diagnose_batch",
+            Endpoint::Ingest => "ingest",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::AdminReload => "admin_reload",
@@ -94,7 +98,7 @@ struct EndpointStats {
 /// All server counters; shared as `Arc<Metrics>` between the accept loop,
 /// connection threads and the worker pool.
 pub struct Metrics {
-    endpoints: [EndpointStats; 7],
+    endpoints: [EndpointStats; 8],
     /// Requests refused with 503 because the queue was full.
     pub rejected_total: AtomicU64,
     /// Requests that missed their deadline (504).
@@ -110,6 +114,21 @@ pub struct Metrics {
     pub batch_jobs_total: AtomicU64,
     /// Deterministic-engine thread count (gauge, set once at bind).
     pub engine_threads: AtomicU64,
+    /// 1 when a job-log store is attached (gauge, set at bind); store and
+    /// drift metrics below are only rendered when it is.
+    pub store_attached: AtomicU64,
+    /// Jobs appended through `POST /ingest`.
+    pub ingested_total: AtomicU64,
+    /// Total rows the attached store holds (gauge).
+    pub store_rows: AtomicU64,
+    /// Sealed segments in the attached store (gauge).
+    pub store_segments: AtomicU64,
+    /// Rows still in the store's WAL tail (gauge).
+    pub store_wal_rows: AtomicU64,
+    /// Max per-counter PSI of the freshly ingested tail against the
+    /// service's training distribution, in micro-units (gauge; 250000 =
+    /// the conventional 0.25 drift threshold). 0 until enough rows arrive.
+    pub drift_max_psi_micro: AtomicU64,
     /// Diagnoses served, by model kind (in [`ModelKind::ALL`] order).
     inference: [AtomicU64; ModelKind::ALL.len()],
     /// Jobs completed per worker thread.
@@ -128,6 +147,12 @@ impl Metrics {
             diagnoses_total: AtomicU64::new(0),
             batch_jobs_total: AtomicU64::new(0),
             engine_threads: AtomicU64::new(1),
+            store_attached: AtomicU64::new(0),
+            ingested_total: AtomicU64::new(0),
+            store_rows: AtomicU64::new(0),
+            store_segments: AtomicU64::new(0),
+            store_wal_rows: AtomicU64::new(0),
+            drift_max_psi_micro: AtomicU64::new(0),
             inference: Default::default(),
             worker_jobs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -258,6 +283,33 @@ impl Metrics {
             "aiio_engine_threads {}",
             self.engine_threads.load(Ordering::Relaxed)
         );
+        if self.store_attached.load(Ordering::Relaxed) != 0 {
+            let _ = writeln!(
+                out,
+                "aiio_ingested_total {}",
+                self.ingested_total.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "aiio_store_rows {}",
+                self.store_rows.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "aiio_store_segments {}",
+                self.store_segments.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "aiio_store_wal_rows {}",
+                self.store_wal_rows.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "aiio_drift_max_psi_micro {}",
+                self.drift_max_psi_micro.load(Ordering::Relaxed)
+            );
+        }
         for (i, kind) in ModelKind::ALL.iter().enumerate() {
             let n = self.inference[i].load(Ordering::Relaxed);
             if n > 0 {
@@ -301,6 +353,19 @@ mod tests {
         let text = m.render(0, 8);
         assert!(text.contains("aiio_inference_total{model=\"MLP\"} 2"));
         assert!(text.contains("aiio_inference_total{model=\"TabNet\"} 1"));
+    }
+
+    #[test]
+    fn store_gauges_render_only_when_attached() {
+        let m = Metrics::new(1);
+        assert!(!m.render(0, 8).contains("aiio_store_rows"));
+        m.store_attached.store(1, Ordering::Relaxed);
+        m.store_rows.store(42, Ordering::Relaxed);
+        m.drift_max_psi_micro.store(123456, Ordering::Relaxed);
+        let text = m.render(0, 8);
+        assert!(text.contains("aiio_store_rows 42"));
+        assert!(text.contains("aiio_ingested_total 0"));
+        assert!(text.contains("aiio_drift_max_psi_micro 123456"));
     }
 
     #[test]

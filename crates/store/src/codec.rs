@@ -1,0 +1,121 @@
+//! Little-endian byte codec and the CRC-32 used to frame every block.
+//!
+//! Everything in the store's on-disk format is built from three primitive
+//! encodings — `u32`, `u64` and `f64` (as IEEE-754 bits) in little-endian
+//! order — plus the CRC-32/ISO-HDLC checksum (the ubiquitous IEEE
+//! polynomial used by gzip and PNG). Keeping the codec here, separate from
+//! the framing logic, means the segment and WAL writers cannot disagree on
+//! byte order.
+
+/// CRC-32 lookup table for the reflected IEEE polynomial `0xEDB88320`,
+/// built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (ISO-HDLC / "crc32" in gzip, zip, PNG) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append a `u32` in little-endian order.
+pub fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` in little-endian order.
+pub fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its IEEE-754 bit pattern, little-endian. Round-trips
+/// every value (including NaN payloads and signed zero) exactly, which is
+/// what makes store reads byte-identical to the writer's floats.
+pub fn push_f64(out: &mut Vec<u8>, v: f64) {
+    push_u64(out, v.to_bits());
+}
+
+/// Read a little-endian `u32` at `off`, or `None` past the end.
+pub fn read_u32(b: &[u8], off: usize) -> Option<u32> {
+    let s = b.get(off..off.checked_add(4)?)?;
+    Some(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+/// Read a little-endian `u64` at `off`, or `None` past the end.
+pub fn read_u64(b: &[u8], off: usize) -> Option<u64> {
+    let s = b.get(off..off.checked_add(8)?)?;
+    Some(u64::from_le_bytes([
+        s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+    ]))
+}
+
+/// Read an `f64` stored as IEEE-754 bits at `off`.
+pub fn read_f64(b: &[u8], off: usize) -> Option<f64> {
+    read_u64(b, off).map(f64::from_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = vec![0xA5u8; 64];
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut buf = Vec::new();
+        push_u32(&mut buf, 0xDEAD_BEEF);
+        push_u64(&mut buf, u64::MAX - 7);
+        push_f64(&mut buf, -0.0);
+        push_f64(&mut buf, f64::NAN);
+        assert_eq!(read_u32(&buf, 0), Some(0xDEAD_BEEF));
+        assert_eq!(read_u64(&buf, 4), Some(u64::MAX - 7));
+        assert_eq!(
+            read_f64(&buf, 12).map(f64::to_bits),
+            Some((-0.0f64).to_bits())
+        );
+        assert_eq!(
+            read_f64(&buf, 20).map(f64::to_bits),
+            Some(f64::NAN.to_bits())
+        );
+        assert_eq!(read_u32(&buf, buf.len() - 3), None);
+        assert_eq!(read_u64(&buf, usize::MAX - 2), None);
+    }
+}

@@ -1,0 +1,33 @@
+//! `aiio-store`: a crash-safe, append-only, columnar job-log store.
+//!
+//! The paper's pipeline is fed by an 825 GB / 6.6 M-job Darshan database
+//! (PAPER.md §3.1); a `Vec<JobLog>` round-tripped through JSON cannot play
+//! that role. This crate is the storage layer that can: logs stream in
+//! through a checksummed WAL ([`wal`]), accumulate into immutable columnar
+//! segments ([`segment`]) — one fixed-width column per Table-4 counter
+//! ([`schema`]), so reads are zero-parse and bit-exact — and stream back
+//! out in bounded memory, optionally skipping segments via per-column
+//! min/max zone maps and fanning out across segments through `aiio_par`
+//! with bit-identical results at any thread count ([`store`]).
+//!
+//! Durability contract: every publish is a staging-file write + atomic
+//! rename, recovery truncates the WAL at the first bad checksum and
+//! quarantines damaged segments, and what was dropped is reported in a
+//! [`RecoveryReport`] instead of silently vanishing. `Store` implements
+//! `darshan::StoreBackend`, so `FeaturePipeline` dataset construction —
+//! and therefore model-zoo training — runs out-of-core straight from disk,
+//! byte-identical to the in-memory path.
+
+mod codec;
+pub mod error;
+pub mod schema;
+pub mod segment;
+pub mod store;
+pub mod wal;
+
+pub use codec::crc32;
+pub use error::{Result, StoreError};
+pub use segment::{SegmentMeta, ZoneEntry};
+pub use store::{
+    CompactReport, CounterRange, RecoveryReport, ScanSummary, Store, StoreConfig, StoreStats,
+};

@@ -1,0 +1,254 @@
+//! The store's column schema: one fixed-width column per Table-4 counter
+//! plus identity and time-counter columns.
+//!
+//! This file is the store's *column writer*: [`COUNTER_COLUMNS`] is the
+//! authoritative list of counter columns every segment carries, written out
+//! variant by variant (not via `CounterId::ALL`) so that the xtask
+//! counter-schema lint can verify — textually, across crates — that every
+//! counter of the paper's Table 4 has a store column. Adding a counter to
+//! `darshan::CounterId` without extending this list is a build-breaking
+//! `AIIO-C005` diagnostic.
+//!
+//! Layout of one logical row (all cells are 8-byte little-endian words):
+//!
+//! | column            | encoding                         |
+//! |-------------------|----------------------------------|
+//! | `job_id`          | `u64`                            |
+//! | `app`             | `u64` index into the segment's app dictionary |
+//! | `year`            | `u64`                            |
+//! | 46 counters       | `f64` IEEE-754 bits, Table-4 order |
+//! | 4 time counters   | `f64` IEEE-754 bits              |
+//!
+//! Storing floats as raw bit patterns makes reads zero-parse and exactly
+//! lossless: a scanned `JobLog` is bit-identical to the one ingested.
+
+use aiio_darshan::{CounterId, CounterSet, JobLog, TimeCounters, N_COUNTERS};
+
+/// On-disk format version stamped into every segment header and WAL block.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Identity columns preceding the counters: `job_id`, `app`, `year`.
+pub const N_META_COLUMNS: usize = 3;
+
+/// Time-counter columns following the counters.
+pub const N_TIME_COLUMNS: usize = 4;
+
+/// Total columns of one segment.
+pub const N_STORE_COLUMNS: usize = N_META_COLUMNS + N_COUNTERS + N_TIME_COLUMNS;
+
+/// Column index of `job_id`.
+pub const COL_JOB_ID: usize = 0;
+/// Column index of the app-dictionary reference.
+pub const COL_APP: usize = 1;
+/// Column index of the year bucket.
+pub const COL_YEAR: usize = 2;
+/// First counter column; counter `c` lives at `COL_COUNTER_BASE + c.index()`.
+pub const COL_COUNTER_BASE: usize = N_META_COLUMNS;
+/// First time-counter column.
+pub const COL_TIME_BASE: usize = COL_COUNTER_BASE + N_COUNTERS;
+
+/// The counter columns of every segment, in feature-vector order — the
+/// store's Table-4 column writer (see module docs for why each variant is
+/// spelled out).
+pub const COUNTER_COLUMNS: [CounterId; N_COUNTERS] = {
+    use CounterId::*;
+    [
+        Nprocs,
+        LustreStripeSize,
+        LustreStripeWidth,
+        PosixOpens,
+        PosixFilenos,
+        PosixMemAlignment,
+        PosixFileAlignment,
+        PosixMemNotAligned,
+        PosixFileNotAligned,
+        PosixReads,
+        PosixWrites,
+        PosixSeeks,
+        PosixStats,
+        PosixBytesRead,
+        PosixBytesWritten,
+        PosixConsecReads,
+        PosixConsecWrites,
+        PosixSeqReads,
+        PosixSeqWrites,
+        PosixRwSwitches,
+        PosixSizeRead0_100,
+        PosixSizeRead100_1k,
+        PosixSizeRead1k_10k,
+        PosixSizeRead10k_100k,
+        PosixSizeRead100k_1m,
+        PosixSizeWrite0_100,
+        PosixSizeWrite100_1k,
+        PosixSizeWrite1k_10k,
+        PosixSizeWrite10k_100k,
+        PosixSizeWrite100k_1m,
+        PosixStride1Stride,
+        PosixStride2Stride,
+        PosixStride3Stride,
+        PosixStride4Stride,
+        PosixStride1Count,
+        PosixStride2Count,
+        PosixStride3Count,
+        PosixStride4Count,
+        PosixAccess1Access,
+        PosixAccess2Access,
+        PosixAccess3Access,
+        PosixAccess4Access,
+        PosixAccess1Count,
+        PosixAccess2Count,
+        PosixAccess3Count,
+        PosixAccess4Count,
+    ]
+};
+
+/// Human-readable name of store column `col` (for `store-stats` and zone-map
+/// dumps).
+pub fn column_name(col: usize) -> &'static str {
+    match col {
+        COL_JOB_ID => "job_id",
+        COL_APP => "app",
+        COL_YEAR => "year",
+        _ => {
+            if let Some(c) = col
+                .checked_sub(COL_COUNTER_BASE)
+                .filter(|i| *i < N_COUNTERS)
+            {
+                COUNTER_COLUMNS[c].name()
+            } else {
+                match col.checked_sub(COL_TIME_BASE) {
+                    Some(0) => "total_read_time",
+                    Some(1) => "total_write_time",
+                    Some(2) => "total_meta_time",
+                    Some(3) => "slowest_rank_seconds",
+                    _ => "unknown",
+                }
+            }
+        }
+    }
+}
+
+/// Store column of counter `c`.
+#[inline]
+pub fn counter_column(c: CounterId) -> usize {
+    COL_COUNTER_BASE + c.index()
+}
+
+/// Encode one job into its row of 8-byte column cells. `app_idx` is the
+/// job's index in the segment's app dictionary.
+pub fn encode_row(log: &JobLog, app_idx: u64) -> [u64; N_STORE_COLUMNS] {
+    let mut row = [0u64; N_STORE_COLUMNS];
+    row[COL_JOB_ID] = log.job_id;
+    row[COL_APP] = app_idx;
+    row[COL_YEAR] = u64::from(log.year);
+    for (k, c) in COUNTER_COLUMNS.iter().enumerate() {
+        row[COL_COUNTER_BASE + k] = log.counters.get(*c).to_bits();
+    }
+    row[COL_TIME_BASE] = log.time.total_read_time.to_bits();
+    row[COL_TIME_BASE + 1] = log.time.total_write_time.to_bits();
+    row[COL_TIME_BASE + 2] = log.time.total_meta_time.to_bits();
+    row[COL_TIME_BASE + 3] = log.time.slowest_rank_seconds.to_bits();
+    row
+}
+
+/// Decode one row back into a `JobLog`. `apps` is the segment's app
+/// dictionary; returns `None` when the app reference or year is out of
+/// range (a corruption the per-block CRC failed to catch only if the
+/// writer itself was broken).
+pub fn decode_row(row: &[u64], apps: &[String]) -> Option<JobLog> {
+    if row.len() != N_STORE_COLUMNS {
+        return None;
+    }
+    let app = apps.get(usize::try_from(row[COL_APP]).ok()?)?.clone();
+    let year = u16::try_from(row[COL_YEAR]).ok()?;
+    let mut counters = vec![0.0; N_COUNTERS];
+    for (k, cell) in row[COL_COUNTER_BASE..COL_TIME_BASE].iter().enumerate() {
+        counters[k] = f64::from_bits(*cell);
+    }
+    Some(JobLog {
+        job_id: row[COL_JOB_ID],
+        app,
+        year,
+        counters: CounterSet::from_vec(counters),
+        time: TimeCounters {
+            total_read_time: f64::from_bits(row[COL_TIME_BASE]),
+            total_write_time: f64::from_bits(row[COL_TIME_BASE + 1]),
+            total_meta_time: f64::from_bits(row[COL_TIME_BASE + 2]),
+            slowest_rank_seconds: f64::from_bits(row[COL_TIME_BASE + 3]),
+        },
+    })
+}
+
+/// The value of store column `col` of a row, as the f64 the zone maps
+/// track: float columns decode their bit pattern, integer identity columns
+/// convert numerically.
+#[inline]
+pub fn zone_value(col: usize, cell: u64) -> f64 {
+    if col < COL_COUNTER_BASE {
+        cell as f64
+    } else {
+        f64::from_bits(cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_columns_match_table4_order() {
+        // The explicit list exists for the lint; it must stay exactly
+        // CounterId::ALL.
+        assert_eq!(COUNTER_COLUMNS, CounterId::ALL);
+        assert_eq!(N_STORE_COLUMNS, 53);
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_bit_exactly() {
+        let mut log = JobLog::new(42, "ior", 2021);
+        log.counters.set(CounterId::PosixSeqReads, 1234.5);
+        log.counters.set(CounterId::Nprocs, 256.0);
+        log.time.slowest_rank_seconds = 0.1 + 0.2; // not exactly representable
+        let row = encode_row(&log, 0);
+        let back = decode_row(&row, &["ior".to_string()]).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(
+            back.time.slowest_rank_seconds.to_bits(),
+            log.time.slowest_rank_seconds.to_bits()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_bad_refs() {
+        let log = JobLog::new(1, "a", 2020);
+        let mut row = encode_row(&log, 5);
+        assert!(decode_row(&row, &["a".to_string()]).is_none(), "app oob");
+        row[COL_APP] = 0;
+        row[COL_YEAR] = u64::from(u16::MAX) + 1;
+        assert!(decode_row(&row, &["a".to_string()]).is_none(), "year oob");
+        assert!(decode_row(&row[..10], &["a".to_string()]).is_none());
+    }
+
+    #[test]
+    fn column_names_cover_every_column() {
+        let mut seen = std::collections::BTreeSet::new();
+        for col in 0..N_STORE_COLUMNS {
+            let name = column_name(col);
+            assert_ne!(name, "unknown", "column {col}");
+            assert!(seen.insert(name), "duplicate name {name}");
+        }
+        assert_eq!(column_name(N_STORE_COLUMNS), "unknown");
+        assert_eq!(column_name(COL_TIME_BASE + 3), "slowest_rank_seconds");
+        assert_eq!(
+            column_name(counter_column(CounterId::PosixSeqReads)),
+            "POSIX_SEQ_READS"
+        );
+    }
+
+    #[test]
+    fn zone_value_distinguishes_meta_and_float_columns() {
+        assert_eq!(zone_value(COL_JOB_ID, 7).to_bits(), 7.0f64.to_bits());
+        let bits = 3.25f64.to_bits();
+        assert_eq!(zone_value(COL_COUNTER_BASE, bits).to_bits(), bits);
+    }
+}

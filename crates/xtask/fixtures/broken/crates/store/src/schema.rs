@@ -1,0 +1,13 @@
+//! Deliberately incomplete column-store schema for lint tests.
+//!
+//! `GhostCounter` has no column here, so the per-file completeness check
+//! must report it (AIIO-C005) even though the recorder union elsewhere in
+//! the fixture can emit it.
+
+use crate::counters::CounterId;
+
+pub const COUNTER_COLUMNS: [CounterId; 3] = [
+    CounterId::PosixReads,
+    CounterId::PosixWrites,
+    CounterId::OrphanCounter,
+];

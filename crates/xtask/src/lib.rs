@@ -16,7 +16,7 @@
 //!
 //! | rule | invariant |
 //! |------|-----------|
-//! | `AIIO-C001..C004` | counter schema consistent across crates |
+//! | `AIIO-C001..C005` | counter schema consistent across crates (incl. store columns) |
 //! | `AIIO-S001`       | attribution routes through the sparsity mask |
 //! | `AIIO-P001..P003` | no `unwrap`/`expect`/`panic!` in library code |
 //! | `AIIO-F001/F002`  | no float `==`, no NaN-unsafe `partial_cmp` |

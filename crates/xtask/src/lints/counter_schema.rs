@@ -1,6 +1,6 @@
-//! `AIIO-C001..C004` — the Table-4 counter schema must agree across crates.
+//! `AIIO-C001..C005` — the Table-4 counter schema must agree across crates.
 //!
-//! The schema has four legs, each in a different crate:
+//! The schema has five legs, each in a different crate:
 //!
 //! 1. **Definition** (`darshan::counters`): `CounterId` discriminants must
 //!    be contiguous `0..N_COUNTERS` (they are the feature-vector columns)
@@ -16,6 +16,10 @@
 //!    be referenced by at least one static rule or advice mapping —
 //!    otherwise a bottleneck on it could never be explained to the user
 //!    (`AIIO-C004`).
+//! 5. **Columnar persistence** (`aiio_store::schema`): every counter must
+//!    have a column in *every* registered column-store schema — per file,
+//!    not a union, because a store missing a column silently drops that
+//!    counter from each dataset it persists (`AIIO-C005`).
 //!
 //! Emission is checked with a one-level-deep reference closure: helper
 //! functions that the recorder calls on `CounterId` (e.g.
@@ -39,6 +43,10 @@ pub struct SchemaPaths {
     pub features: &'static str,
     /// The diagnosis surface: static rules, tuning advice, diagnosis.
     pub diagnosis: &'static [&'static str],
+    /// Every columnar persistence schema (the job-log store today). Unlike
+    /// `recorders`, coverage is per file: each store must carry a column
+    /// for every counter on its own.
+    pub column_stores: &'static [&'static str],
 }
 
 impl Default for SchemaPaths {
@@ -52,6 +60,7 @@ impl Default for SchemaPaths {
                 "crates/aiio/src/advisor.rs",
                 "crates/aiio/src/diagnosis.rs",
             ],
+            column_stores: &["crates/store/src/schema.rs"],
         }
     }
 }
@@ -165,6 +174,28 @@ impl Lint for CounterSchemaLint {
                             v.name
                         ),
                         hint: "reference it from aiio::rules or aiio::advisor — a bottleneck on an unmapped counter cannot be explained to the user",
+                    });
+                }
+            }
+        }
+
+        // Leg 5: columnar persistence — per-file completeness. Each store
+        // schema must name every variant itself (no union with other
+        // stores): a store missing a column drops that counter from every
+        // dataset it persists, regardless of what other stores carry.
+        for path in self.paths.column_stores {
+            let Some(store) = ws.file(path) else { continue };
+            for v in &variants {
+                if !word_present(&store.code, &v.name) && !counters.is_waived(v.line, "AIIO-C005") {
+                    findings.push(Finding {
+                        file: store.rel.clone(),
+                        line: 1,
+                        rule: "AIIO-C005",
+                        message: format!(
+                            "counter `{}` has no column in this store schema",
+                            v.name
+                        ),
+                        hint: "add the counter to COUNTER_COLUMNS in the store schema — a Table-4 counter without a column is silently dropped on persist",
                     });
                 }
             }

@@ -33,6 +33,7 @@ fn broken_fixture_trips_every_rule() {
         "AIIO-C002",
         "AIIO-C003",
         "AIIO-C004",
+        "AIIO-C005",
         "AIIO-S001",
         "AIIO-P001",
         "AIIO-P002",
@@ -78,6 +79,12 @@ fn broken_counter_schema_findings_are_specific() {
             .any(|f| f.rule == "AIIO-C004" && f.message.contains("`OrphanCounter`")),
         "OrphanCounter not reported as never diagnosable: {findings:#?}"
     );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "AIIO-C005" && f.message.contains("`GhostCounter`")),
+        "GhostCounter not reported as missing a store column: {findings:#?}"
+    );
 }
 
 #[test]
@@ -97,6 +104,7 @@ fn broken_fixture_findings_point_at_the_right_files() {
     assert_eq!(file_of("AIIO-D002"), "crates/explain/src/lib.rs");
     assert_eq!(file_of("AIIO-C002"), "crates/darshan/src/counters.rs");
     assert_eq!(file_of("AIIO-C003"), "crates/darshan/src/features.rs");
+    assert_eq!(file_of("AIIO-C005"), "crates/store/src/schema.rs");
 }
 
 #[test]
