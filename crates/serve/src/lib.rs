@@ -164,9 +164,17 @@ impl Server {
             // invariant by aiio-par's contract, so this only affects speed.
             aiio_par::set_threads(config.engine_threads);
         }
+        let metrics = Arc::new(Metrics::new(config.workers));
         let ingest = match &config.store_dir {
             Some(dir) => {
                 let store = aiio_store::Store::open(dir).map_err(|e| e.into_io())?;
+                // Publish the gauges while the store is still exclusively
+                // ours — no mutex exists yet, so nothing is held across
+                // the stat reads. The Release store on `store_attached`
+                // pairs with the Acquire load in metrics rendering: a
+                // scraper that sees the flag also sees these gauges.
+                update_store_gauges(&metrics, &store.stats());
+                metrics.store_attached.store(1, Ordering::Release);
                 Some(Mutex::new(IngestState {
                     store,
                     tail: VecDeque::new(),
@@ -177,7 +185,7 @@ impl Server {
         let shared = Arc::new(Shared {
             slot: Arc::new(RwLock::new(Arc::new(service))),
             queue: Arc::new(Bounded::new(config.queue_capacity)),
-            metrics: Arc::new(Metrics::new(config.workers)),
+            metrics,
             shutdown: AtomicBool::new(false),
             config,
             ingest,
@@ -186,13 +194,6 @@ impl Server {
             shared.config.engine_threads.max(1) as u64,
             Ordering::Relaxed,
         );
-        if let Some(state) = &shared.ingest {
-            let state = state.lock().map_err(|_| {
-                std::io::Error::other("store mutex poisoned before the server even started")
-            })?;
-            shared.metrics.store_attached.store(1, Ordering::Relaxed);
-            update_store_gauges(&shared.metrics, &state.store);
-        }
         let pool = Pool::spawn(
             shared.config.workers,
             Arc::clone(&shared.queue),
@@ -478,8 +479,7 @@ fn diagnose_batch(req: &Request, shared: &Arc<Shared>) -> Response {
     Response::json(200, body)
 }
 
-fn update_store_gauges(metrics: &Metrics, store: &aiio_store::Store) {
-    let stats = store.stats();
+fn update_store_gauges(metrics: &Metrics, stats: &aiio_store::StoreStats) {
     metrics
         .store_rows
         .store(stats.total_rows as u64, Ordering::Relaxed);
@@ -520,9 +520,17 @@ fn ingest(req: &Request, shared: &Arc<Shared>) -> Response {
     };
     let service = pool::snapshot(&shared.slot);
     let pipeline = service.pipeline();
+    // Featurization is pure CPU — do it before taking the store lock so
+    // the critical section is exactly the WAL append plus tail rotation.
+    let feature_rows: Vec<Vec<f64>> = logs.iter().map(|log| pipeline.features_of(log)).collect();
     let Ok(mut state) = state.lock() else {
         return Response::error(500, "store mutex poisoned");
     };
+    // xtask-allow: AIIO-R002 — intentional hold: the ingest mutex *is*
+    // the WAL append order. Appending outside the lock would let two
+    // ingests interleave their blocks and corrupt ordinal assignment;
+    // durability (sync) must land before the tail/stats below claim the
+    // rows exist.
     if let Err(e) = state
         .store
         .append_batch(&logs)
@@ -531,23 +539,25 @@ fn ingest(req: &Request, shared: &Arc<Shared>) -> Response {
         return Response::error(500, &format!("store append failed: {e}"));
     }
     let window = shared.config.drift_window.max(1);
-    for log in &logs {
+    for row in feature_rows {
         if state.tail.len() == window {
             state.tail.pop_front();
         }
-        state.tail.push_back(pipeline.features_of(log));
+        state.tail.push_back(row);
     }
-    let drift = service.drift_detector().and_then(|d| {
-        (state.tail.len() >= DRIFT_MIN_ROWS).then(|| {
-            let rows: Vec<Vec<f64>> = state.tail.iter().cloned().collect();
-            d.max_psi(&rows)
-        })
-    });
+    let drift_rows: Option<Vec<Vec<f64>>> =
+        (state.tail.len() >= DRIFT_MIN_ROWS).then(|| state.tail.iter().cloned().collect());
+    let stats = state.store.stats();
+    drop(state);
+    // PSI scoring and response assembly run lock-free on the copied tail.
+    let drift = service
+        .drift_detector()
+        .and_then(|d| drift_rows.as_deref().map(|rows| d.max_psi(rows)));
     shared
         .metrics
         .ingested_total
         .fetch_add(logs.len() as u64, Ordering::Relaxed);
-    update_store_gauges(&shared.metrics, &state.store);
+    update_store_gauges(&shared.metrics, &stats);
     if let Some(psi) = drift {
         let micro = (psi.max(0.0) * 1e6).round();
         shared
@@ -555,7 +565,6 @@ fn ingest(req: &Request, shared: &Arc<Shared>) -> Response {
             .drift_max_psi_micro
             .store(micro as u64, Ordering::Relaxed);
     }
-    let stats = state.store.stats();
     let drift_field = match drift {
         Some(psi) => format!("{psi:.6},\"drifted\":{}", psi > aiio::drift::PSI_DRIFTED),
         None => "null,\"drifted\":null".to_string(),

@@ -283,7 +283,9 @@ impl Metrics {
             "aiio_engine_threads {}",
             self.engine_threads.load(Ordering::Relaxed)
         );
-        if self.store_attached.load(Ordering::Relaxed) != 0 {
+        // Acquire pairs with the Release store in `Server::bind`: seeing
+        // the flag guarantees the store gauges it gates are visible too.
+        if self.store_attached.load(Ordering::Acquire) != 0 {
             let _ = writeln!(
                 out,
                 "aiio_ingested_total {}",

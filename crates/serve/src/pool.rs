@@ -42,6 +42,10 @@ pub struct Job {
 /// Take the current model snapshot without holding the lock during
 /// inference. A poisoned slot still holds a valid `Arc` (writers only
 /// replace it wholesale), so serving continues after a writer panic.
+///
+/// The read guard is an expression temporary: it dies at the end of this
+/// statement, so the critical section is exactly one `Arc` bump — nothing
+/// blocking can run under it (the AIIO-R002 invariant by construction).
 pub fn snapshot(slot: &ModelSlot) -> Arc<AiioService> {
     Arc::clone(&slot.read().unwrap_or_else(|p| p.into_inner()))
 }

@@ -115,6 +115,8 @@ impl<T> Bounded<T> {
     /// queue has drained — admitted work is always completed.
     pub fn pop(&self) -> Option<T> {
         let mut s = self.lock();
+        // Predicate loop around `wait` (AIIO-R003's shape): wakeups may be
+        // spurious, so the pop/closed conditions are re-checked every turn.
         loop {
             if let Some(item) = s.items.pop_front() {
                 return Some(item);

@@ -183,6 +183,10 @@ pub fn recover(path: &Path) -> Result<WalRecovery> {
 pub struct WalWriter {
     file: std::fs::File,
     path: PathBuf,
+    /// On-disk size, tracked across appends so [`WalWriter::bytes`] (and
+    /// `Store::stats` above it) never re-stats the file — stats must stay
+    /// callable under the serving layer's ingest lock without doing I/O.
+    bytes: u64,
 }
 
 impl WalWriter {
@@ -192,9 +196,11 @@ impl WalWriter {
             .create(true)
             .append(true)
             .open(path)?;
+        let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),
+            bytes,
         })
     }
 
@@ -206,6 +212,7 @@ impl WalWriter {
         let block = encode_block(base_ordinal, jobs);
         self.file.write_all(&block)?;
         self.file.flush()?;
+        self.bytes += block.len() as u64;
         Ok(())
     }
 
@@ -216,9 +223,15 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Current WAL size in bytes.
+    /// Current WAL size in bytes (tracked, not re-statted: cheap enough
+    /// to call from metric paths that hold locks).
     pub fn bytes(&self) -> u64 {
-        std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0)
+        self.bytes
+    }
+
+    /// The WAL's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 }
 

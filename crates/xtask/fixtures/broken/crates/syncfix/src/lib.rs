@@ -1,0 +1,98 @@
+//! Fixture sync layer: one deliberate violation per concurrency rule.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+pub struct Pair {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+    pub cv: Condvar,
+    pub ready: AtomicBool,
+}
+
+impl Pair {
+    // AIIO-R001: `a` then `b` here, `b` then `a` in `backward` — a
+    // lock-order cycle across the two paths.
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        match (ga, gb) {
+            (Ok(x), Ok(y)) => *x + *y,
+            _ => 0,
+        }
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        match (ga, gb) {
+            (Ok(x), Ok(y)) => *x - *y,
+            _ => 0,
+        }
+    }
+
+    // AIIO-R001 (interprocedural): the second lock is taken inside a
+    // callee, so the edge only exists through the call graph.
+    pub fn take_b(&self) -> u64 {
+        match self.b.lock() {
+            Ok(g) => *g,
+            _ => 0,
+        }
+    }
+
+    pub fn forward_via_helper(&self) -> u64 {
+        let _ga = self.a.lock();
+        self.take_b()
+    }
+
+    // AIIO-R002: guard held across file I/O — every other ingest blocks
+    // behind the disk write.
+    pub fn persist(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let guard = self.a.lock();
+        let value = match &guard {
+            Ok(g) => **g,
+            _ => 0,
+        };
+        std::fs::write(path, value.to_string())?;
+        Ok(())
+    }
+
+    // AIIO-R003: bare `Condvar::wait` outside a predicate loop — a
+    // spurious wakeup returns before the condition holds.
+    pub fn await_ready(&self) -> u64 {
+        let Ok(guard) = self.a.lock() else { return 0 };
+        match self.cv.wait(guard) {
+            Ok(g) => *g,
+            _ => 0,
+        }
+    }
+
+    // AIIO-R004: Relaxed store on a publication gate — readers that see
+    // `ready == true` are not guaranteed to see the data written before.
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Relaxed);
+    }
+}
+
+// A guard-returning helper: callers acquire `syncfix::inner` through it.
+pub fn hold(m: &Mutex<u64>) -> Option<MutexGuard<'_, u64>> {
+    m.lock().ok()
+}
+
+// AIIO-R003: unbounded channel — overload becomes memory growth instead
+// of backpressure.
+pub fn spool(values: &[u64]) -> u64 {
+    let (tx, rx) = mpsc::channel::<u64>();
+    for v in values {
+        if tx.send(*v).is_err() {
+            return 0;
+        }
+    }
+    drop(tx);
+    let mut total = 0;
+    while let Ok(v) = rx.recv() {
+        total += v;
+    }
+    total
+}

@@ -22,7 +22,12 @@
 //! | `AIIO-F001/F002`  | no float `==`, no NaN-unsafe `partial_cmp` |
 //! | `AIIO-D001`       | no hash-order iteration in library code |
 //! | `AIIO-D002`       | no work-stealing parallel iterators — parallelism routes through `aiio_par` |
+//! | `AIIO-R001`       | no lock-order cycles in the acquisition graph (interprocedural) |
+//! | `AIIO-R002`       | no guard held across a blocking operation |
+//! | `AIIO-R003`       | no unbounded channels or bare `Condvar::wait` |
+//! | `AIIO-R004`       | no `Ordering::Relaxed` on publication-gating atomics |
 
+pub mod callgraph;
 pub mod lints;
 pub mod source;
 
@@ -78,6 +83,7 @@ pub fn all_lints() -> Vec<Box<dyn Lint>> {
         Box::new(lints::panic_hygiene::PanicHygieneLint),
         Box::new(lints::float_safety::FloatSafetyLint),
         Box::new(lints::determinism::DeterminismLint),
+        Box::new(lints::concurrency::ConcurrencyLint),
     ]
 }
 

@@ -1,8 +1,11 @@
-//! The five invariant passes. Each module owns one rule family; rule IDs
-//! are listed in the crate-level docs.
+//! The six invariant passes. Each module owns one rule family; rule IDs
+//! are listed in the crate-level docs. `ratchet` is the shared baseline
+//! plumbing for the two counted passes (panic hygiene, concurrency).
 
+pub mod concurrency;
 pub mod counter_schema;
 pub mod determinism;
 pub mod float_safety;
 pub mod panic_hygiene;
+pub mod ratchet;
 pub mod sparsity;

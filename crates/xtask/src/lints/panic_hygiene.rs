@@ -12,17 +12,17 @@
 //! `#[cfg(test)]` items, `tests/`, and `benches/` are allowlisted
 //! (never scanned); `debug_assert*` is deliberately allowed.
 
+use crate::lints::ratchet;
 use crate::source::{SourceFile, Workspace};
 use crate::{Finding, Lint};
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::path::Path;
 
 /// Workspace-relative path of the ratchet file.
 pub const BASELINE_PATH: &str = "crates/xtask/panic-baseline.txt";
 
 /// Counts per `(file, rule)`.
-pub type Baseline = BTreeMap<(String, String), usize>;
+pub use crate::lints::ratchet::Baseline;
 
 /// The panic-hygiene pass.
 #[derive(Debug, Default)]
@@ -129,56 +129,26 @@ fn scan_file(file: &SourceFile, sites: &mut Vec<PanicSite>) {
 
 /// Load the ratchet file; missing file means an empty baseline.
 pub fn load_baseline(root: &Path) -> Baseline {
-    let Ok(text) = std::fs::read_to_string(root.join(BASELINE_PATH)) else {
-        return Baseline::new();
-    };
-    let mut baseline = Baseline::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        if let (Some(count), Some(rule), Some(file)) = (parts.next(), parts.next(), parts.next()) {
-            if let Ok(count) = count.parse::<usize>() {
-                baseline.insert((file.to_string(), rule.to_string()), count);
-            }
-        }
-    }
-    baseline
+    ratchet::load(root, BASELINE_PATH)
 }
 
 /// Render the current counts as ratchet-file contents.
 pub fn render_baseline(ws: &Workspace) -> String {
-    let mut counts: Baseline = BTreeMap::new();
-    for site in scan(ws) {
-        *counts
-            .entry((site.file, site.rule.to_string()))
-            .or_insert(0) += 1;
-    }
-    let mut out = String::from(
+    ratchet::render(
         "# Panic-hygiene ratchet: allowed unwrap/expect/panic sites per library file.\n\
          # Counts may only decrease. Regenerate with:\n\
          #   cargo run -p xtask -- check --baseline write\n\
          # format: <count> <rule> <file>\n",
-    );
-    for ((file, rule), count) in &counts {
-        let _ = writeln!(out, "{count} {rule} {file}");
-    }
-    out
+        &counts(ws),
+    )
 }
 
 /// True when the current tree has fewer sites than the baseline somewhere
 /// (the ratchet can be tightened).
 pub fn can_tighten(ws: &Workspace) -> bool {
-    let baseline = load_baseline(&ws.root);
-    let mut counts: Baseline = BTreeMap::new();
-    for site in scan(ws) {
-        *counts
-            .entry((site.file, site.rule.to_string()))
-            .or_insert(0) += 1;
-    }
-    baseline
-        .iter()
-        .any(|(key, &allowed)| counts.get(key).copied().unwrap_or(0) < allowed)
+    ratchet::can_tighten(&load_baseline(&ws.root), &counts(ws))
+}
+
+fn counts(ws: &Workspace) -> Baseline {
+    ratchet::tally(scan(ws).into_iter().map(|s| (s.file, s.rule.to_string())))
 }

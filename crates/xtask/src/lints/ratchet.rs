@@ -1,0 +1,137 @@
+//! Shared ratchet-baseline plumbing for counted lints.
+//!
+//! A ratcheted lint compares its raw site counts per `(file, rule)`
+//! against a checked-in baseline file and only reports *regressions*;
+//! counts may only go down. Two passes use this today — panic hygiene
+//! (`panic-baseline.txt`) and concurrency (`concurrency-baseline.txt`) —
+//! with the same on-disk format:
+//!
+//! ```text
+//! # comment lines
+//! <count> <rule> <file>
+//! ```
+//!
+//! Both baselines target zero entries; a non-empty baseline is a debt
+//! list, and `--strict` (CI) refuses it unless the file carries an
+//! explicit `# ratchet-intent:` marker explaining why the debt exists.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Allowed counts per `(file, rule)`.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Marker that lets `--strict` accept a non-empty baseline.
+pub const INTENT_MARKER: &str = "# ratchet-intent:";
+
+/// Load the ratchet file at `root`/`rel`; missing file = empty baseline.
+pub fn load(root: &Path, rel: &str) -> Baseline {
+    let Ok(text) = std::fs::read_to_string(root.join(rel)) else {
+        return Baseline::new();
+    };
+    let mut baseline = Baseline::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(count), Some(rule), Some(file)) = (parts.next(), parts.next(), parts.next()) {
+            if let Ok(count) = count.parse::<usize>() {
+                baseline.insert((file.to_string(), rule.to_string()), count);
+            }
+        }
+    }
+    baseline
+}
+
+/// Render `counts` as ratchet-file contents under `header` (the `#`
+/// comment block, newline-terminated).
+pub fn render(header: &str, counts: &Baseline) -> String {
+    let mut out = String::from(header);
+    for ((file, rule), count) in counts {
+        let _ = writeln!(out, "{count} {rule} {file}");
+    }
+    out
+}
+
+/// Tally `(file, rule)` keys into a count map.
+pub fn tally(keys: impl IntoIterator<Item = (String, String)>) -> Baseline {
+    let mut counts = Baseline::new();
+    for key in keys {
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// True when the tree has fewer sites than the baseline somewhere (the
+/// ratchet can be tightened).
+pub fn can_tighten(baseline: &Baseline, counts: &Baseline) -> bool {
+    baseline
+        .iter()
+        .any(|(key, &allowed)| counts.get(key).copied().unwrap_or(0) < allowed)
+}
+
+/// Strict-mode verdict on one baseline file: `Err` describes why CI must
+/// fail (entries present without a `# ratchet-intent:` justification).
+pub fn strict_ok(root: &Path, rel: &str) -> Result<(), String> {
+    let Ok(text) = std::fs::read_to_string(root.join(rel)) else {
+        return Ok(());
+    };
+    let entries = text
+        .lines()
+        .filter(|l| {
+            let l = l.trim();
+            !l.is_empty() && !l.starts_with('#')
+        })
+        .count();
+    if entries == 0 || text.contains(INTENT_MARKER) {
+        Ok(())
+    } else {
+        Err(format!(
+            "{rel} carries {entries} ratchet entr{} but no `{INTENT_MARKER}` justification — \
+             fix the sites or document the debt",
+            if entries == 1 { "y" } else { "ies" }
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_counts_per_key() {
+        let counts = tally(vec![
+            ("a.rs".to_string(), "R".to_string()),
+            ("a.rs".to_string(), "R".to_string()),
+            ("b.rs".to_string(), "R".to_string()),
+        ]);
+        assert_eq!(counts[&("a.rs".to_string(), "R".to_string())], 2);
+        assert_eq!(counts[&("b.rs".to_string(), "R".to_string())], 1);
+    }
+
+    #[test]
+    fn can_tighten_spots_slack() {
+        let mut baseline = Baseline::new();
+        baseline.insert(("a.rs".to_string(), "R".to_string()), 3);
+        let counts = tally(vec![("a.rs".to_string(), "R".to_string())]);
+        assert!(can_tighten(&baseline, &counts));
+        assert!(!can_tighten(&counts, &counts));
+    }
+
+    #[test]
+    fn render_then_reparse_roundtrips() {
+        let counts = tally(vec![(
+            "crates/a/src/lib.rs".to_string(),
+            "AIIO-R002".to_string(),
+        )]);
+        let text = render("# header\n", &counts);
+        let dir = std::env::temp_dir().join("xtask-ratchet-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        std::fs::write(dir.join("b.txt"), &text).expect("write");
+        let loaded = load(&dir, "b.txt");
+        assert_eq!(loaded, counts);
+    }
+}

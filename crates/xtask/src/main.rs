@@ -1,35 +1,101 @@
 //! `cargo run -p xtask -- check` — run the workspace invariant suite.
 //!
 //! Exit status is non-zero when any lint reports a finding, so the command
-//! slots directly into CI. `--baseline write` regenerates the
-//! panic-hygiene ratchet file instead of checking.
+//! slots directly into CI. Flags:
+//!
+//! * `--root DIR` — scan a tree other than this workspace (fixtures).
+//! * `--format json` — one JSON object per finding on stdout (rule, file,
+//!   line, message, hint); human status lines move to stderr so the stream
+//!   stays machine-parseable.
+//! * `--strict` — additionally fail when any ratchet baseline still
+//!   carries entries without an explicit `# ratchet-intent:` marker. CI
+//!   runs in this mode: a baseline is a debt ledger, not a mute button.
+//! * `--baseline write` — regenerate both ratchet files (panic hygiene
+//!   and concurrency) instead of checking.
+//!
+//! `cargo run -p xtask -- annotate` reads `--format json` findings from
+//! stdin and emits GitHub Actions `::error` workflow commands, one per
+//! finding, so CI surfaces lint hits as inline PR annotations.
 
+use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xtask::lints::panic_hygiene;
+use serde_json::Value;
+use xtask::lints::{concurrency, panic_hygiene, ratchet};
 use xtask::source::Workspace;
 use xtask::{all_lints, Finding};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let args: Vec<&str> = args.iter().map(String::as_str).collect();
-    match args.as_slice() {
-        ["check"] => check(&workspace_root()),
-        ["check", "--root", root] => check(Path::new(root)),
-        ["check", "--baseline", "write"] | ["--baseline", "write", "check"] => {
-            write_baseline(&workspace_root())
-        }
-        _ => {
-            eprintln!("usage: cargo run -p xtask -- check [--root DIR] [--baseline write]");
-            eprintln!();
-            eprintln!("passes:");
-            for lint in all_lints() {
-                eprintln!("  {:<18} {}", lint.name(), lint.description());
+    let Some((&cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    match cmd {
+        "check" => match parse_check(rest) {
+            Some((root, format, strict, write)) => {
+                if write {
+                    write_baselines(&root)
+                } else {
+                    check(&root, format, strict)
+                }
             }
-            ExitCode::FAILURE
+            None => usage(),
+        },
+        "annotate" => annotate(),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo run -p xtask -- check [--root DIR] [--format text|json] [--strict] [--baseline write]"
+    );
+    eprintln!(
+        "       cargo run -p xtask -- annotate   (JSON findings on stdin -> ::error commands)"
+    );
+    eprintln!();
+    eprintln!("passes:");
+    for lint in all_lints() {
+        eprintln!("  {:<18} {}", lint.name(), lint.description());
+    }
+    ExitCode::FAILURE
+}
+
+fn parse_check(rest: &[&str]) -> Option<(PathBuf, Format, bool, bool)> {
+    let mut root = workspace_root();
+    let mut format = Format::Text;
+    let mut strict = false;
+    let mut write = false;
+    let mut it = rest.iter();
+    while let Some(&flag) = it.next() {
+        match flag {
+            "--root" => root = PathBuf::from(it.next()?),
+            "--format" => {
+                format = match *it.next()? {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    _ => return None,
+                }
+            }
+            "--strict" => strict = true,
+            "--baseline" => {
+                if *it.next()? != "write" {
+                    return None;
+                }
+                write = true;
+            }
+            _ => return None,
         }
     }
+    Some((root, format, strict, write))
 }
 
 /// The workspace root: two levels above this crate's manifest.
@@ -38,7 +104,7 @@ fn workspace_root() -> PathBuf {
     raw.canonicalize().unwrap_or(raw)
 }
 
-fn check(root: &Path) -> ExitCode {
+fn check(root: &Path, format: Format, strict: bool) -> ExitCode {
     let ws = match Workspace::load(root) {
         Ok(ws) => ws,
         Err(e) => {
@@ -47,34 +113,127 @@ fn check(root: &Path) -> ExitCode {
         }
     };
     let mut findings: Vec<Finding> = Vec::new();
+    let mut status = String::new();
     for lint in all_lints() {
         let found = lint.run(&ws);
-        let status = if found.is_empty() { "ok" } else { "FAIL" };
-        println!("{:<18} {:>4}   {}", lint.name(), status, lint.description());
+        let state = if found.is_empty() { "ok" } else { "FAIL" };
+        status.push_str(&format!(
+            "{:<18} {state:>4}   {}\n",
+            lint.name(),
+            lint.description()
+        ));
         findings.extend(found);
     }
-    if panic_hygiene::can_tighten(&ws) {
-        println!(
-            "note: panic-hygiene sites dropped below the baseline — tighten the ratchet with `cargo run -p xtask -- check --baseline write`"
+    if panic_hygiene::can_tighten(&ws) || concurrency::can_tighten(&ws) {
+        status.push_str(
+            "note: ratchet sites dropped below a baseline — tighten with `cargo run -p xtask -- check --baseline write`\n",
         );
     }
-    if findings.is_empty() {
-        println!(
-            "xtask check: all invariants hold ({} files scanned)",
-            ws.files.len()
-        );
-        return ExitCode::SUCCESS;
+    let mut strict_errors: Vec<String> = Vec::new();
+    if strict {
+        for rel in [panic_hygiene::BASELINE_PATH, concurrency::BASELINE_PATH] {
+            if let Err(e) = ratchet::strict_ok(root, rel) {
+                strict_errors.push(e);
+            }
+        }
     }
-    println!();
-    for finding in &findings {
-        println!("{finding}");
+    match format {
+        Format::Text => {
+            print!("{status}");
+            if !findings.is_empty() {
+                println!();
+                for finding in &findings {
+                    println!("{finding}");
+                }
+                println!();
+            }
+            for e in &strict_errors {
+                println!("strict: {e}");
+            }
+            if findings.is_empty() && strict_errors.is_empty() {
+                println!(
+                    "xtask check: all invariants hold ({} files scanned)",
+                    ws.files.len()
+                );
+            } else {
+                println!(
+                    "xtask check: {} finding(s), {} strict violation(s)",
+                    findings.len(),
+                    strict_errors.len()
+                );
+            }
+        }
+        Format::Json => {
+            // Status goes to stderr: stdout carries exactly one JSON
+            // object per finding so it pipes into `annotate` (or jq).
+            eprint!("{status}");
+            for e in &strict_errors {
+                eprintln!("strict: {e}");
+            }
+            for finding in &findings {
+                match serde_json::to_string(&finding_json(finding)) {
+                    Ok(line) => println!("{line}"),
+                    Err(e) => eprintln!("xtask: failed to encode finding: {e}"),
+                }
+            }
+        }
     }
-    println!();
-    println!("xtask check: {} finding(s)", findings.len());
-    ExitCode::FAILURE
+    if findings.is_empty() && strict_errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
-fn write_baseline(root: &Path) -> ExitCode {
+fn finding_json(f: &Finding) -> Value {
+    Value::Map(vec![
+        ("rule".to_string(), Value::Str(f.rule.to_string())),
+        ("file".to_string(), Value::Str(f.file.clone())),
+        ("line".to_string(), Value::U64(f.line as u64)),
+        ("message".to_string(), Value::Str(f.message.clone())),
+        ("hint".to_string(), Value::Str(f.hint.to_string())),
+    ])
+}
+
+/// Read `--format json` findings from stdin, emit one GitHub Actions
+/// `::error` workflow command per finding. Non-JSON lines pass through to
+/// stderr untouched so accidental status noise stays visible.
+fn annotate() -> ExitCode {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("xtask annotate: failed to read stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut emitted = 0usize;
+    for line in input.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::parse_value(trimmed) else {
+            eprintln!("{line}");
+            continue;
+        };
+        let (Some(rule), Some(file), Some(line_no), Some(message)) = (
+            v.get("rule").and_then(Value::as_str),
+            v.get("file").and_then(Value::as_str),
+            v.get("line").and_then(Value::as_u64),
+            v.get("message").and_then(Value::as_str),
+        ) else {
+            eprintln!("{line}");
+            continue;
+        };
+        // Workflow-command data must stay on one line; findings never
+        // contain newlines, but escape the GitHub property separators.
+        let message = message.replace('%', "%25").replace(',', "%2C");
+        println!("::error file={file},line={line_no},title={rule}::[{rule}] {message}");
+        emitted += 1;
+    }
+    eprintln!("xtask annotate: {emitted} annotation(s)");
+    ExitCode::SUCCESS
+}
+
+fn write_baselines(root: &Path) -> ExitCode {
     let ws = match Workspace::load(root) {
         Ok(ws) => ws,
         Err(e) => {
@@ -82,13 +241,26 @@ fn write_baseline(root: &Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let contents = panic_hygiene::render_baseline(&ws);
-    let path = root.join(panic_hygiene::BASELINE_PATH);
-    if let Err(e) = std::fs::write(&path, &contents) {
-        eprintln!("xtask: failed to write {}: {e}", path.display());
-        return ExitCode::FAILURE;
+    for (rel, contents) in [
+        (
+            panic_hygiene::BASELINE_PATH,
+            panic_hygiene::render_baseline(&ws),
+        ),
+        (
+            concurrency::BASELINE_PATH,
+            concurrency::render_baseline(&ws),
+        ),
+    ] {
+        let path = root.join(rel);
+        if let Err(e) = std::fs::write(&path, &contents) {
+            eprintln!("xtask: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let sites = contents
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+            .count();
+        println!("wrote {} ({sites} ratchet entries)", path.display());
     }
-    let sites = contents.lines().filter(|l| !l.starts_with('#')).count();
-    println!("wrote {} ({sites} ratchet entries)", path.display());
     ExitCode::SUCCESS
 }

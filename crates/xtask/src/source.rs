@@ -142,6 +142,21 @@ impl Workspace {
         })
     }
 
+    /// Build a workspace from in-memory sources (rel-path, contents)
+    /// pairs — the unit-test entry point for passes that need whole-file
+    /// context without touching the filesystem.
+    pub fn from_sources(sources: Vec<(String, String)>) -> Workspace {
+        let mut files: Vec<SourceFile> = sources
+            .into_iter()
+            .map(|(rel, raw)| SourceFile::new(rel, raw))
+            .collect();
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Workspace {
+            root: PathBuf::new(),
+            files,
+        }
+    }
+
     /// Look up a file by its workspace-relative path.
     pub fn file(&self, rel: &str) -> Option<&SourceFile> {
         self.files.iter().find(|f| f.rel == rel)

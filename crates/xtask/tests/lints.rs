@@ -42,6 +42,10 @@ fn broken_fixture_trips_every_rule() {
         "AIIO-F002",
         "AIIO-D001",
         "AIIO-D002",
+        "AIIO-R001",
+        "AIIO-R002",
+        "AIIO-R003",
+        "AIIO-R004",
     ] {
         assert!(
             fired.contains(&rule),
@@ -105,6 +109,10 @@ fn broken_fixture_findings_point_at_the_right_files() {
     assert_eq!(file_of("AIIO-C002"), "crates/darshan/src/counters.rs");
     assert_eq!(file_of("AIIO-C003"), "crates/darshan/src/features.rs");
     assert_eq!(file_of("AIIO-C005"), "crates/store/src/schema.rs");
+    assert_eq!(file_of("AIIO-R001"), "crates/syncfix/src/lib.rs");
+    assert_eq!(file_of("AIIO-R002"), "crates/syncfix/src/lib.rs");
+    assert_eq!(file_of("AIIO-R003"), "crates/syncfix/src/lib.rs");
+    assert_eq!(file_of("AIIO-R004"), "crates/syncfix/src/lib.rs");
 }
 
 #[test]
@@ -131,6 +139,85 @@ fn cli_fails_on_broken_fixture_with_rule_ids() {
             "missing {rule} in CLI output:\n{stdout}"
         );
     }
+}
+
+#[test]
+fn json_findings_round_trip_through_annotate() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+
+    // `check --format json` emits one object per finding on stdout.
+    let check = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["check", "--root"])
+        .arg(fixture_root())
+        .args(["--format", "json"])
+        .output()
+        .expect("run xtask check --format json");
+    assert!(!check.status.success(), "fixture tree must fail");
+    let json = String::from_utf8_lossy(&check.stdout).to_string();
+    let lines: Vec<&str> = json.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(!lines.is_empty(), "no JSON findings emitted:\n{json}");
+    for line in &lines {
+        let v = serde_json::parse_value(line).expect("each stdout line is a JSON object");
+        for key in ["rule", "file", "line", "message", "hint"] {
+            assert!(!v[key].is_null(), "finding missing `{key}`: {line}");
+        }
+    }
+
+    // Piping that stream into `annotate` yields one ::error per finding.
+    let mut annotate = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("annotate")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn xtask annotate");
+    annotate
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(json.as_bytes())
+        .expect("feed findings to annotate");
+    let out = annotate.wait_with_output().expect("run xtask annotate");
+    assert!(out.status.success(), "annotate is a formatter, not a gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let errors: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("::error "))
+        .collect();
+    assert_eq!(
+        errors.len(),
+        lines.len(),
+        "every finding must become an annotation:\n{stdout}"
+    );
+    assert!(
+        errors
+            .iter()
+            .any(|l| l.contains("file=crates/syncfix/src/lib.rs") && l.contains("title=AIIO-R")),
+        "concurrency findings must annotate the fixture file:\n{stdout}"
+    );
+}
+
+#[test]
+fn strict_mode_rejects_unratcheted_baseline_entries() {
+    use xtask::lints::ratchet;
+
+    let dir = std::env::temp_dir().join("xtask-strict-test");
+    let baseline = dir.join("baseline.txt");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    std::fs::write(&baseline, "# header only\n").expect("write empty baseline");
+    assert!(ratchet::strict_ok(&dir, "baseline.txt").is_ok());
+
+    std::fs::write(&baseline, "3 AIIO-R002 crates/serve/src/lib.rs\n").expect("write entries");
+    assert!(ratchet::strict_ok(&dir, "baseline.txt").is_err());
+
+    std::fs::write(
+        &baseline,
+        "# ratchet-intent: serve holds are tracked in #42\n3 AIIO-R002 crates/serve/src/lib.rs\n",
+    )
+    .expect("write ratcheted entries");
+    assert!(ratchet::strict_ok(&dir, "baseline.txt").is_ok());
 }
 
 #[test]
