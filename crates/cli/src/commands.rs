@@ -22,10 +22,13 @@ USAGE:
       Generate a synthetic Darshan log database (JSON).
 
   aiio ingest --store DIR (--db FILE | --jobs N [--seed S] [--noise SIGMA])
-              [--chunk N] [--threads T]
+              [--chunk N] [--threads T] [--shards N]
       Append job logs to a crash-safe columnar store (aiio-store): either
       an existing JSON database, or freshly sampled jobs streamed straight
-      from the simulator in bounded-memory chunks.
+      from the simulator in bounded-memory chunks. --shards N initialises
+      a brand-new directory as a sharded fleet (aiio-shard) of N
+      hash-partitioned stores; a directory that already holds a fleet is
+      detected automatically and each row routed to its owning shard.
 
   aiio compact --store DIR
       Seal the store's WAL tail into columnar segments and merge
@@ -35,12 +38,28 @@ USAGE:
       Print segment/row/byte counters for a store, plus what (if
       anything) crash recovery dropped when opening it.
 
+  aiio shard-stats --store DIR [--json]
+      Print per-shard row counts, roles (primary/replica), orphan rows
+      and replication lag for a sharded fleet.
+
+  aiio replicate --store DIR [--json]
+      Ship each shard's sealed segments and WAL tail to its follower
+      directory, so a lost or corrupted shard fails over with no row
+      loss on the next open.
+
+  aiio rebalance --store DIR --shards N [--json]
+      Re-partition a fleet to N shards: rows stream into a staged next
+      epoch (resumable if interrupted) that is published with one atomic
+      manifest swing. Scans and training replay identically afterwards.
+
   aiio train (--db FILE | --store DIR) --out FILE [--fast] [--seed S]
              [--threads T]
       Train the five performance functions on a database and persist the
       service (pre-trained models, paper Fig. 17). With --store, training
       streams from the columnar store instead of an in-memory JSON
-      database — same models, bit for bit.
+      database — same models, bit for bit. A sharded fleet works too:
+      scatter-gather scans replay global ingest order, so the persisted
+      service is byte-identical at any shard count.
 
   aiio diagnose --model FILE --log FILE [--json] [--merge average|closest]
                [--threads T]
@@ -48,12 +67,16 @@ USAGE:
       ranked bottleneck report.
 
   aiio serve --model FILE [--addr HOST:PORT] [--workers N] [--queue N]
-             [--threads T] [--store DIR]
+             [--threads T] [--store DIR] [--shards N]
       Serve diagnoses over HTTP (the paper's §3.4 web service): POST
       /diagnose and /diagnose/batch, GET /healthz and /metrics, POST
       /admin/reload and /admin/shutdown. With --store, POST /ingest
       appends job logs to the columnar store and /metrics gains store
       depth, segment counters and a drift gauge over the fresh tail.
+      A sharded fleet (see ingest --shards) is detected automatically:
+      ingest routes rows to their owning shard and /metrics adds
+      per-shard rows, replication lag and failover gauges; --shards N
+      seeds a brand-new directory as an N-shard fleet.
       Prints `listening on ADDR` once bound (use --addr 127.0.0.1:0 for
       an ephemeral port) and runs until /admin/shutdown.
 
@@ -133,6 +156,9 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "ingest" => cmd_ingest(rest),
         "compact" => cmd_compact(rest),
         "store-stats" => cmd_store_stats(rest),
+        "shard-stats" => cmd_shard_stats(rest),
+        "replicate" => cmd_replicate(rest),
+        "rebalance" => cmd_rebalance(rest),
         "train" => cmd_train(rest),
         "diagnose" => cmd_diagnose(rest),
         "serve" => cmd_serve(rest),
@@ -244,6 +270,100 @@ fn print_store_stats(store: &aiio_store::Store) {
     );
 }
 
+/// True when `dir` holds an `aiio-shard` fleet (its manifest exists).
+fn is_fleet_dir(dir: &str) -> bool {
+    std::path::Path::new(dir)
+        .join(aiio_shard::manifest::MANIFEST_NAME)
+        .exists()
+}
+
+/// Open a sharded fleet, surfacing anything recovery had to do. `shards`
+/// only seeds a brand-new directory; an existing manifest wins.
+fn open_fleet(dir: &str, shards: usize) -> Result<aiio_shard::ShardedStore, CliError> {
+    let fleet = aiio_shard::ShardedStore::open_with(dir, shards.max(1), Default::default())
+        .map_err(|e| e.to_string())?;
+    let rec = fleet.recovery_report();
+    if !rec.is_clean() {
+        if !rec.failovers.is_empty() {
+            eprintln!(
+                "recovery: shard(s) {:?} failed over to their replica",
+                rec.failovers
+            );
+        }
+        eprintln!(
+            "recovery: {} journal entries dropped ({} bytes), {} orphan row(s) pending repair",
+            rec.journal_entries_dropped, rec.journal_bytes_dropped, rec.orphan_rows,
+        );
+    }
+    Ok(fleet)
+}
+
+fn print_fleet_stats(fleet: &aiio_shard::ShardedStore) {
+    let s = fleet.stats();
+    eprintln!(
+        "fleet: {} rows across {} shards (epoch {}, journal {} bytes)",
+        s.total_rows, s.shards, s.epoch, s.journal_bytes
+    );
+    for p in &s.per_shard {
+        eprintln!(
+            "  shard {:03} [{}]: {} rows ({} sealed in {} segments, {} in WAL), \
+             replica at {} rows (lag {}), {} orphan row(s)",
+            p.shard,
+            p.role,
+            p.serving_rows,
+            p.store.sealed_rows,
+            p.store.segments,
+            p.store.wal_rows,
+            p.replica_rows,
+            p.replication_lag,
+            p.orphan_rows,
+        );
+    }
+}
+
+/// Ingest into a sharded fleet: same sources as the single-store path,
+/// chunked so peak memory stays bounded; the fleet routes each row.
+fn ingest_into_fleet(
+    fleet: &mut aiio_shard::ShardedStore,
+    flags: &HashMap<String, String>,
+    chunk: usize,
+) -> Result<(), CliError> {
+    match (flag(flags, "db"), flag(flags, "jobs")) {
+        (Some(db_path), None) => {
+            let db = LogDatabase::load_json(db_path).map_err(|e| e.to_string())?;
+            for jobs in db.jobs().chunks(chunk.max(1)) {
+                fleet.append_batch(jobs).map_err(|e| e.to_string())?;
+            }
+        }
+        (None, Some(n)) => {
+            let n_jobs: u64 = parse_num(n, "jobs")?;
+            let seed: u64 = flag(flags, "seed")
+                .map(|s| parse_num(s, "seed"))
+                .transpose()?
+                .unwrap_or(7);
+            let noise: f64 = flag(flags, "noise")
+                .map(|s| parse_num(s, "noise"))
+                .transpose()?
+                .unwrap_or(0.03);
+            let sampler = DatabaseSampler::new(SamplerConfig {
+                n_jobs: n_jobs as usize,
+                seed,
+                noise_sigma: noise,
+            });
+            let step = chunk.max(1) as u64;
+            let mut start = 0u64;
+            while start < n_jobs {
+                let end = (start + step).min(n_jobs);
+                let jobs = sampler.generate_range(start, end);
+                fleet.append_batch(&jobs).map_err(|e| e.to_string())?;
+                start = end;
+            }
+        }
+        _ => return Err("ingest needs exactly one of --db FILE or --jobs N".into()),
+    }
+    fleet.sync().map_err(|e| e.to_string())
+}
+
 fn cmd_ingest(args: &[String]) -> Result<(), CliError> {
     let (_, flags) = parse_flags(args)?;
     apply_threads_flag(&flags)?;
@@ -252,6 +372,21 @@ fn cmd_ingest(args: &[String]) -> Result<(), CliError> {
         .map(|s| parse_num(s, "chunk"))
         .transpose()?
         .unwrap_or(1024);
+    let shards_flag: Option<usize> = flag(&flags, "shards")
+        .map(|s| parse_num(s, "shards"))
+        .transpose()?;
+    if shards_flag.is_some() || is_fleet_dir(dir) {
+        let mut fleet = open_fleet(dir, shards_flag.unwrap_or(1))?;
+        let before = fleet.len();
+        ingest_into_fleet(&mut fleet, &flags, chunk)?;
+        eprintln!(
+            "ingested {} jobs into {dir} ({} shards)",
+            fleet.len() - before,
+            fleet.shards()
+        );
+        print_fleet_stats(&fleet);
+        return Ok(());
+    }
     let mut store = open_store(dir)?;
     let before = store.len();
     match (flag(&flags, "db"), flag(&flags, "jobs")) {
@@ -304,6 +439,11 @@ fn cmd_compact(args: &[String]) -> Result<(), CliError> {
 fn cmd_store_stats(args: &[String]) -> Result<(), CliError> {
     let (_, flags) = parse_flags(args)?;
     let dir = required(&flags, "store")?;
+    if is_fleet_dir(dir) {
+        return Err(format!(
+            "{dir} is a sharded fleet; use `aiio shard-stats --store {dir}`"
+        ));
+    }
     let store = open_store(dir)?;
     if flag(&flags, "json").is_some() {
         let body = serde_json::to_string_pretty(&store.stats()).map_err(|e| e.to_string())?;
@@ -320,6 +460,89 @@ fn cmd_store_stats(args: &[String]) -> Result<(), CliError> {
                 seg.bytes
             );
         }
+    }
+    Ok(())
+}
+
+/// Open an existing fleet or fail with a hint — the read-only shard
+/// commands never initialise a directory by accident.
+fn open_existing_fleet(dir: &str) -> Result<aiio_shard::ShardedStore, CliError> {
+    if !is_fleet_dir(dir) {
+        return Err(format!(
+            "{dir} is not a sharded fleet (no {}); create one with \
+             `aiio ingest --store {dir} --shards N ...`",
+            aiio_shard::manifest::MANIFEST_NAME
+        ));
+    }
+    open_fleet(dir, 1)
+}
+
+fn cmd_shard_stats(args: &[String]) -> Result<(), CliError> {
+    let (_, flags) = parse_flags(args)?;
+    let dir = required(&flags, "store")?;
+    let fleet = open_existing_fleet(dir)?;
+    if flag(&flags, "json").is_some() {
+        let body = serde_json::to_string_pretty(&fleet.stats()).map_err(|e| e.to_string())?;
+        println!("{body}");
+    } else {
+        print_fleet_stats(&fleet);
+    }
+    Ok(())
+}
+
+fn cmd_replicate(args: &[String]) -> Result<(), CliError> {
+    let (_, flags) = parse_flags(args)?;
+    let dir = required(&flags, "store")?;
+    let mut fleet = open_existing_fleet(dir)?;
+    let report = fleet.replicate().map_err(|e| e.to_string())?;
+    if flag(&flags, "json").is_some() {
+        let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        println!("{body}");
+    } else {
+        eprintln!(
+            "replicated {} shard(s): {} segment(s) copied, {} WAL frame(s) shipped \
+             ({} rows), {} follower WAL reset(s)",
+            report.shards_synced,
+            report.segments_copied,
+            report.frames_shipped,
+            report.rows_shipped,
+            report.wal_resets,
+        );
+        print_fleet_stats(&fleet);
+    }
+    Ok(())
+}
+
+fn cmd_rebalance(args: &[String]) -> Result<(), CliError> {
+    let (_, flags) = parse_flags(args)?;
+    let dir = required(&flags, "store")?;
+    let to: usize = parse_num(required(&flags, "shards")?, "shards")?;
+    if !is_fleet_dir(dir) {
+        return Err(format!(
+            "{dir} is not a sharded fleet (no {}); create one with \
+             `aiio ingest --store {dir} --shards N ...`",
+            aiio_shard::manifest::MANIFEST_NAME
+        ));
+    }
+    let report = aiio_shard::rebalance(dir, to).map_err(|e| e.to_string())?;
+    if flag(&flags, "json").is_some() {
+        let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        println!("{body}");
+    } else {
+        eprintln!(
+            "rebalanced {} -> {} shards (epoch {} -> {}): {} row(s) moved \
+             ({} resumed from an interrupted run), {} segment(s) fast-pathed, {} split",
+            report.from_shards,
+            report.to_shards,
+            report.from_epoch,
+            report.to_epoch,
+            report.rows_moved,
+            report.rows_resumed,
+            report.segments_fastpathed,
+            report.segments_split,
+        );
+        let fleet = open_fleet(dir, to)?;
+        print_fleet_stats(&fleet);
     }
     Ok(())
 }
@@ -351,6 +574,24 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
                 cfg.zoo.kinds.len()
             );
             AiioService::train(&cfg, &db).map_err(|e| e.to_string())?
+        }
+        (None, Some(dir)) if is_fleet_dir(dir) => {
+            let fleet = open_fleet(dir, 1)?;
+            if fleet.len() < 20 {
+                return Err(format!(
+                    "fleet has only {} jobs; need at least 20",
+                    fleet.len()
+                ));
+            }
+            eprintln!(
+                "training out-of-core on {} jobs across {} shards ({} models)...",
+                fleet.len(),
+                fleet.shards(),
+                cfg.zoo.kinds.len()
+            );
+            // Scatter-gather scans replay global insertion order, so this
+            // is byte-identical to training from an unsharded store.
+            AiioService::train_from_backend(&cfg, &fleet).map_err(|e| e.to_string())?
         }
         (None, Some(dir)) => {
             let store = open_store(dir)?;
@@ -429,6 +670,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(dir) = flag(&flags, "store") {
         config.store_dir = Some(dir.into());
+    }
+    if let Some(s) = flag(&flags, "shards") {
+        config.shards = parse_num(s, "shards")?;
     }
     eprintln!(
         "serving {} models with {} workers (queue depth {}, engine threads {})",

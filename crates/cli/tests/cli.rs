@@ -297,6 +297,145 @@ fn store_workflow_ingest_compact_train_matches_db_path() {
 }
 
 #[test]
+fn sharded_workflow_ingest_rebalance_replicate_train_matches_single() {
+    let dir = tmpdir("shard");
+    let db = dir.join("db.json");
+    let store = dir.join("logs.store");
+    let fleet = dir.join("logs.fleet");
+    let model_store = dir.join("model_store.json");
+    let model_fleet = dir.join("model_fleet.json");
+    let model_rebalanced = dir.join("model_rebalanced.json");
+
+    assert!(aiio()
+        .args(["sample", "--jobs", "120", "--seed", "5", "--noise", "0", "--out"])
+        .arg(&db)
+        .status()
+        .unwrap()
+        .success());
+
+    // Same database into a plain store and a 3-shard fleet.
+    assert!(aiio()
+        .args(["ingest", "--chunk", "32", "--db"])
+        .arg(&db)
+        .arg("--store")
+        .arg(&store)
+        .status()
+        .unwrap()
+        .success());
+    let out = aiio()
+        .args(["ingest", "--chunk", "32", "--shards", "3", "--db"])
+        .arg(&db)
+        .arg("--store")
+        .arg(&fleet)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ingested 120 jobs"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("(3 shards)"));
+
+    // shard-stats sees every row; store-stats refuses the fleet layout.
+    let out = aiio()
+        .args(["shard-stats", "--json", "--store"])
+        .arg(&fleet)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stats: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(stats["shards"].as_u64(), Some(3));
+    assert_eq!(stats["total_rows"].as_u64(), Some(120));
+    let out = aiio()
+        .args(["store-stats", "--store"])
+        .arg(&fleet)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("shard-stats"));
+
+    // Training from the fleet is byte-identical to the unsharded store.
+    assert!(aiio()
+        .args(["train", "--fast", "--store"])
+        .arg(&store)
+        .arg("--out")
+        .arg(&model_store)
+        .status()
+        .unwrap()
+        .success());
+    let out = aiio()
+        .args(["train", "--fast", "--store"])
+        .arg(&fleet)
+        .arg("--out")
+        .arg(&model_fleet)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&model_store).unwrap(),
+        std::fs::read(&model_fleet).unwrap(),
+        "sharded model differs from single-store model"
+    );
+
+    // Replicate, then rebalance 3 -> 2; training bytes still match.
+    let out = aiio()
+        .args(["replicate", "--store"])
+        .arg(&fleet)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("replicated 3 shard(s)"));
+    let out = aiio()
+        .args(["rebalance", "--shards", "2", "--store"])
+        .arg(&fleet)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("rebalanced 3 -> 2 shards"));
+    let out = aiio()
+        .args(["shard-stats", "--json", "--store"])
+        .arg(&fleet)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stats: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(stats["shards"].as_u64(), Some(2));
+    assert_eq!(stats["total_rows"].as_u64(), Some(120));
+    let out = aiio()
+        .args(["train", "--fast", "--store"])
+        .arg(&fleet)
+        .arg("--out")
+        .arg(&model_rebalanced)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&model_store).unwrap(),
+        std::fs::read(&model_rebalanced).unwrap(),
+        "model changed after rebalance"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_and_client_roundtrip_over_loopback() {
     use std::io::BufRead;
 

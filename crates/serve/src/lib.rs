@@ -75,10 +75,20 @@ pub struct ServeConfig {
     /// per-job work. 0 leaves the engine's own resolution
     /// (`AIIO_THREADS`/auto) untouched.
     pub engine_threads: usize,
-    /// Directory of an `aiio-store` job-log store to attach. When set,
-    /// `POST /ingest` appends diagnosed jobs there and `/metrics` exposes
-    /// store depth, segment counters and the drift signal.
+    /// Directory of a job-log store to attach. When set, `POST /ingest`
+    /// appends diagnosed jobs there and `/metrics` exposes store depth,
+    /// segment counters and the drift signal. A directory holding an
+    /// `aiio-shard` fleet manifest is opened as a [`ShardedStore`]
+    /// automatically; ingest then routes each row to its owning shard.
+    ///
+    /// [`ShardedStore`]: aiio_shard::ShardedStore
     pub store_dir: Option<std::path::PathBuf>,
+    /// Shard count used when `store_dir` does not hold a store yet:
+    /// `0` creates a plain single `aiio-store`; `n > 0` initialises a
+    /// sharded fleet of `n` shards. An existing store's layout always
+    /// wins — the manifest (or its absence) decides, and this knob only
+    /// seeds brand-new directories.
+    pub shards: usize,
     /// Freshly ingested rows the drift detector is evaluated over (a
     /// sliding window of transformed feature vectors).
     pub drift_window: usize,
@@ -94,7 +104,100 @@ impl Default for ServeConfig {
             max_body_bytes: 16 * 1024 * 1024,
             engine_threads: 1,
             store_dir: None,
+            shards: 0,
             drift_window: 256,
+        }
+    }
+}
+
+/// The store behind `POST /ingest`: either one plain `aiio-store` or a
+/// sharded fleet. The variants share the append/sync/stats surface the
+/// ingest path needs, so the handler is layout-blind; the fleet routes
+/// each row to its owning shard internally.
+enum AttachedStore {
+    Single(Box<aiio_store::Store>),
+    Sharded(Box<aiio_shard::ShardedStore>),
+}
+
+/// Point-in-time gauges of an attached store, uniform across layouts.
+/// `shards` is empty for a single store.
+struct StoreSnapshot {
+    rows: u64,
+    segments: u64,
+    wal_rows: u64,
+    /// Per shard: (serving rows, replication lag, serving-from-replica).
+    shards: Vec<(u64, u64, bool)>,
+}
+
+impl AttachedStore {
+    /// Open (or initialise) the store at `dir`. An existing fleet
+    /// manifest means sharded regardless of `shards`; otherwise `shards`
+    /// decides what a fresh directory becomes (0 = plain store).
+    fn open(dir: &std::path::Path, shards: usize) -> Result<AttachedStore, aiio_store::StoreError> {
+        let sharded_layout = dir.join(aiio_shard::manifest::MANIFEST_NAME).exists();
+        if sharded_layout || shards > 0 {
+            let fleet =
+                aiio_shard::ShardedStore::open_with(dir, shards.max(1), Default::default())?;
+            Ok(AttachedStore::Sharded(Box::new(fleet)))
+        } else {
+            Ok(AttachedStore::Single(Box::new(aiio_store::Store::open(
+                dir,
+            )?)))
+        }
+    }
+
+    /// Append `logs` and make them durable, in one critical section.
+    fn append_and_sync(&mut self, logs: &[JobLog]) -> Result<(), aiio_store::StoreError> {
+        match self {
+            AttachedStore::Single(store) => {
+                store.append_batch(logs)?;
+                store.sync()
+            }
+            AttachedStore::Sharded(fleet) => {
+                fleet.append_batch(logs)?;
+                fleet.sync()
+            }
+        }
+    }
+
+    fn snapshot(&self) -> StoreSnapshot {
+        match self {
+            AttachedStore::Single(store) => {
+                let s = store.stats();
+                StoreSnapshot {
+                    rows: s.total_rows as u64,
+                    segments: s.segments as u64,
+                    wal_rows: s.wal_rows as u64,
+                    shards: Vec::new(),
+                }
+            }
+            AttachedStore::Sharded(fleet) => {
+                let s = fleet.stats();
+                StoreSnapshot {
+                    rows: s.total_rows,
+                    segments: s.per_shard.iter().map(|p| p.store.segments as u64).sum(),
+                    wal_rows: s.per_shard.iter().map(|p| p.store.wal_rows as u64).sum(),
+                    shards: s
+                        .per_shard
+                        .iter()
+                        .map(|p| {
+                            (
+                                p.serving_rows,
+                                p.replication_lag,
+                                p.role == aiio_shard::ShardRole::Replica.as_str(),
+                            )
+                        })
+                        .collect(),
+                }
+            }
+        }
+    }
+
+    /// Fleet width (0 for a single store) — sizes the per-shard gauges.
+    fn shard_count(&self) -> usize {
+        match self {
+            AttachedStore::Single(_) => 0,
+            AttachedStore::Sharded(fleet) => fleet.shards(),
         }
     }
 }
@@ -103,7 +206,7 @@ impl Default for ServeConfig {
 /// rows the drift detector scores. One mutex: ingestion is disk-bound and
 /// ordered anyway (appends must hit the WAL in sequence).
 struct IngestState {
-    store: aiio_store::Store,
+    store: AttachedStore,
     tail: VecDeque<Vec<f64>>,
 }
 
@@ -164,16 +267,26 @@ impl Server {
             // invariant by aiio-par's contract, so this only affects speed.
             aiio_par::set_threads(config.engine_threads);
         }
-        let metrics = Arc::new(Metrics::new(config.workers));
-        let ingest = match &config.store_dir {
-            Some(dir) => {
-                let store = aiio_store::Store::open(dir).map_err(|e| e.into_io())?;
+        // The store opens before the metrics exist: a sharded layout
+        // fixes the fleet width for the server's lifetime, and the
+        // per-shard gauge vector is sized from it at construction so the
+        // ingest hot path stays lock-free.
+        let attached = match &config.store_dir {
+            Some(dir) => Some(AttachedStore::open(dir, config.shards).map_err(|e| e.into_io())?),
+            None => None,
+        };
+        let metrics = Arc::new(Metrics::with_shards(
+            config.workers,
+            attached.as_ref().map_or(0, AttachedStore::shard_count),
+        ));
+        let ingest = match attached {
+            Some(store) => {
                 // Publish the gauges while the store is still exclusively
                 // ours — no mutex exists yet, so nothing is held across
                 // the stat reads. The Release store on `store_attached`
                 // pairs with the Acquire load in metrics rendering: a
                 // scraper that sees the flag also sees these gauges.
-                update_store_gauges(&metrics, &store.stats());
+                update_store_gauges(&metrics, &store.snapshot());
                 metrics.store_attached.store(1, Ordering::Release);
                 Some(Mutex::new(IngestState {
                     store,
@@ -479,16 +592,22 @@ fn diagnose_batch(req: &Request, shared: &Arc<Shared>) -> Response {
     Response::json(200, body)
 }
 
-fn update_store_gauges(metrics: &Metrics, stats: &aiio_store::StoreStats) {
-    metrics
-        .store_rows
-        .store(stats.total_rows as u64, Ordering::Relaxed);
+fn update_store_gauges(metrics: &Metrics, snapshot: &StoreSnapshot) {
+    metrics.store_rows.store(snapshot.rows, Ordering::Relaxed);
     metrics
         .store_segments
-        .store(stats.segments as u64, Ordering::Relaxed);
+        .store(snapshot.segments, Ordering::Relaxed);
     metrics
         .store_wal_rows
-        .store(stats.wal_rows as u64, Ordering::Relaxed);
+        .store(snapshot.wal_rows, Ordering::Relaxed);
+    for (s, &(rows, lag, from_replica)) in snapshot.shards.iter().enumerate() {
+        if let Some(g) = metrics.shard_gauges(s) {
+            g.rows.store(rows, Ordering::Relaxed);
+            g.replication_lag.store(lag, Ordering::Relaxed);
+            g.serving_replica
+                .store(u64::from(from_replica), Ordering::Relaxed);
+        }
+    }
 }
 
 /// `POST /ingest`: append one `JobLog` (or an array) to the attached
@@ -527,15 +646,11 @@ fn ingest(req: &Request, shared: &Arc<Shared>) -> Response {
         return Response::error(500, "store mutex poisoned");
     };
     // xtask-allow: AIIO-R002 — intentional hold: the ingest mutex *is*
-    // the WAL append order. Appending outside the lock would let two
-    // ingests interleave their blocks and corrupt ordinal assignment;
-    // durability (sync) must land before the tail/stats below claim the
-    // rows exist.
-    if let Err(e) = state
-        .store
-        .append_batch(&logs)
-        .and_then(|()| state.store.sync())
-    {
+    // the WAL append order (for a fleet, the ordinal-journal order).
+    // Appending outside the lock would let two ingests interleave their
+    // blocks and corrupt ordinal assignment; durability (sync) must land
+    // before the tail/stats below claim the rows exist.
+    if let Err(e) = state.store.append_and_sync(&logs) {
         return Response::error(500, &format!("store append failed: {e}"));
     }
     let window = shared.config.drift_window.max(1);
@@ -547,7 +662,7 @@ fn ingest(req: &Request, shared: &Arc<Shared>) -> Response {
     }
     let drift_rows: Option<Vec<Vec<f64>>> =
         (state.tail.len() >= DRIFT_MIN_ROWS).then(|| state.tail.iter().cloned().collect());
-    let stats = state.store.stats();
+    let snapshot = state.store.snapshot();
     drop(state);
     // PSI scoring and response assembly run lock-free on the copied tail.
     let drift = service
@@ -557,7 +672,7 @@ fn ingest(req: &Request, shared: &Arc<Shared>) -> Response {
         .metrics
         .ingested_total
         .fetch_add(logs.len() as u64, Ordering::Relaxed);
-    update_store_gauges(&shared.metrics, &stats);
+    update_store_gauges(&shared.metrics, &snapshot);
     if let Some(psi) = drift {
         let micro = (psi.max(0.0) * 1e6).round();
         shared
@@ -572,11 +687,12 @@ fn ingest(req: &Request, shared: &Arc<Shared>) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"ingested\":{},\"store_rows\":{},\"segments\":{},\"wal_rows\":{},\"drift_max_psi\":{drift_field}}}",
+            "{{\"ingested\":{},\"store_rows\":{},\"segments\":{},\"wal_rows\":{},\"shards\":{},\"drift_max_psi\":{drift_field}}}",
             logs.len(),
-            stats.total_rows,
-            stats.segments,
-            stats.wal_rows,
+            snapshot.rows,
+            snapshot.segments,
+            snapshot.wal_rows,
+            snapshot.shards.len(),
         ),
     )
 }

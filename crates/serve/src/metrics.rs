@@ -95,6 +95,19 @@ struct EndpointStats {
     latency: Histogram,
 }
 
+/// Gauges for one shard of an attached sharded store. Sized once at bind
+/// (the fleet width is fixed for a server's lifetime), so the ingest hot
+/// path updates them lock-free like every other counter here.
+#[derive(Default)]
+pub struct ShardGauges {
+    /// Rows the shard serves (journaled rows owned by it).
+    pub rows: AtomicU64,
+    /// Rows the shard's follower is behind its serving side.
+    pub replication_lag: AtomicU64,
+    /// 1 while the shard serves from its replica directory (failed over).
+    pub serving_replica: AtomicU64,
+}
+
 /// All server counters; shared as `Arc<Metrics>` between the accept loop,
 /// connection threads and the worker pool.
 pub struct Metrics {
@@ -133,11 +146,21 @@ pub struct Metrics {
     inference: [AtomicU64; ModelKind::ALL.len()],
     /// Jobs completed per worker thread.
     worker_jobs: Vec<AtomicU64>,
+    /// Per-shard gauges when the attached store is sharded; empty for a
+    /// single store (rendering then omits the shard family entirely).
+    shards: Vec<ShardGauges>,
 }
 
 impl Metrics {
-    /// Counters for a pool of `workers` threads.
+    /// Counters for a pool of `workers` threads and an unsharded (or
+    /// absent) store.
     pub fn new(workers: usize) -> Self {
+        Self::with_shards(workers, 0)
+    }
+
+    /// Counters for a pool of `workers` threads serving a sharded store
+    /// of width `shards` (0 for unsharded).
+    pub fn with_shards(workers: usize, shards: usize) -> Self {
         Metrics {
             endpoints: Default::default(),
             rejected_total: AtomicU64::new(0),
@@ -155,7 +178,13 @@ impl Metrics {
             drift_max_psi_micro: AtomicU64::new(0),
             inference: Default::default(),
             worker_jobs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            shards: (0..shards).map(|_| ShardGauges::default()).collect(),
         }
+    }
+
+    /// Gauges for shard `shard`, when the attached store is sharded.
+    pub fn shard_gauges(&self, shard: usize) -> Option<&ShardGauges> {
+        self.shards.get(shard)
     }
 
     /// Record one finished HTTP exchange.
@@ -311,6 +340,26 @@ impl Metrics {
                 "aiio_drift_max_psi_micro {}",
                 self.drift_max_psi_micro.load(Ordering::Relaxed)
             );
+            if !self.shards.is_empty() {
+                let _ = writeln!(out, "aiio_store_shards {}", self.shards.len());
+                for (s, g) in self.shards.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "aiio_shard_rows{{shard=\"{s}\"}} {}",
+                        g.rows.load(Ordering::Relaxed)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "aiio_shard_replication_lag{{shard=\"{s}\"}} {}",
+                        g.replication_lag.load(Ordering::Relaxed)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "aiio_shard_serving_replica{{shard=\"{s}\"}} {}",
+                        g.serving_replica.load(Ordering::Relaxed)
+                    );
+                }
+            }
         }
         for (i, kind) in ModelKind::ALL.iter().enumerate() {
             let n = self.inference[i].load(Ordering::Relaxed);
@@ -368,6 +417,30 @@ mod tests {
         assert!(text.contains("aiio_store_rows 42"));
         assert!(text.contains("aiio_ingested_total 0"));
         assert!(text.contains("aiio_drift_max_psi_micro 123456"));
+    }
+
+    #[test]
+    fn shard_gauges_render_per_shard_when_sharded() {
+        let m = Metrics::with_shards(1, 2);
+        m.store_attached.store(1, Ordering::Relaxed);
+        m.shard_gauges(0).unwrap().rows.store(10, Ordering::Relaxed);
+        m.shard_gauges(1)
+            .unwrap()
+            .replication_lag
+            .store(3, Ordering::Relaxed);
+        m.shard_gauges(1)
+            .unwrap()
+            .serving_replica
+            .store(1, Ordering::Relaxed);
+        let text = m.render(0, 8);
+        assert!(text.contains("aiio_store_shards 2"));
+        assert!(text.contains("aiio_shard_rows{shard=\"0\"} 10"));
+        assert!(text.contains("aiio_shard_replication_lag{shard=\"1\"} 3"));
+        assert!(text.contains("aiio_shard_serving_replica{shard=\"1\"} 1"));
+        // Unsharded metrics never emit the shard family.
+        let plain = Metrics::new(1);
+        plain.store_attached.store(1, Ordering::Relaxed);
+        assert!(!plain.render(0, 8).contains("aiio_store_shards"));
     }
 
     #[test]

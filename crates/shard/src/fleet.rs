@@ -1,0 +1,987 @@
+//! The sharded fleet: N `aiio-store` instances behind one store surface.
+//!
+//! A [`ShardedStore`] routes every appended row to the shard owning its
+//! job-id hash ([`crate::hash`]), records the owner in the ordinal
+//! journal ([`crate::journal`]), and on read *merges by journal*: walk
+//! the journal bytes, take the next row from whichever shard each byte
+//! names. Because the journal is exactly the global arrival order, a
+//! fleet scan replays rows byte-identically to one unsharded store — at
+//! any shard count and any `aiio_par` thread count — which is what keeps
+//! `FeaturePipeline::dataset_of_backend` (and therefore every trained
+//! model) invariant under sharding.
+//!
+//! Crash consistency is a two-sided heal at open:
+//!
+//! * **Journal ahead of a shard** (crash between shard append and
+//!   journal fsync never happens — rows land before their journal frame
+//!   — but a *lost or failed-over* shard can be short): the journal is
+//!   cut at the first entry whose row is missing and rewritten, so reads
+//!   never block on rows nobody holds.
+//! * **Shard ahead of the journal** (crash after shard append, before
+//!   the journal frame): the surplus rows are *orphans*. Reads simply
+//!   never reach them (the merge is journal-driven); the first append
+//!   triggers [`ShardedStore::repair_orphans`], which rebuilds the shard
+//!   without them via a staging directory + atomic rename.
+//!
+//! Failover: each shard may have a follower directory kept warm by
+//! [`crate::replica`]. If at open the primary is missing rows the
+//! follower has (deleted, quarantined, torn), the fleet serves — and
+//! appends to — the follower instead, and [`ShardedStore::replicate`]
+//! re-seeds the other side.
+
+use std::path::{Path, PathBuf};
+
+use aiio_darshan::{JobLog, LogDatabase, StoreBackend};
+use aiio_store::schema::counter_column;
+use aiio_store::segment::SegmentMeta;
+use aiio_store::{
+    segment, CompactReport, CounterRange, RecoveryReport, Result, ScanSummary, Store, StoreConfig,
+    StoreError, StoreStats,
+};
+use serde::Serialize;
+
+use crate::journal::{self, JournalWriter, JOURNAL_NAME};
+use crate::manifest::{self, Manifest};
+use crate::replica;
+
+/// Suffix of the staging directory an orphan repair rebuilds through.
+pub const REPAIR_SUFFIX: &str = ".repair";
+
+/// Which directory a shard currently serves from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ShardRole {
+    /// Serving the primary directory (the normal state).
+    Primary,
+    /// Failed over: serving the follower directory.
+    Replica,
+}
+
+impl ShardRole {
+    /// Stable lowercase label for stats and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardRole::Primary => "primary",
+            ShardRole::Replica => "replica",
+        }
+    }
+}
+
+/// Everything opening a fleet found and repaired.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct FleetRecovery {
+    /// Journal entries cut because their shard no longer holds the row.
+    pub journal_entries_dropped: u64,
+    /// Journal bytes abandoned past the first bad frame.
+    pub journal_bytes_dropped: u64,
+    /// Shard rows beyond the journaled prefix, pending lazy repair.
+    pub orphan_rows: u64,
+    /// Shards serving their follower directory instead of the primary.
+    pub failovers: Vec<usize>,
+    /// Per-shard store recovery, in shard order.
+    pub shard_reports: Vec<RecoveryReport>,
+}
+
+impl FleetRecovery {
+    /// True when nothing was dropped, orphaned or failed over.
+    pub fn is_clean(&self) -> bool {
+        self.journal_entries_dropped == 0
+            && self.journal_bytes_dropped == 0
+            && self.orphan_rows == 0
+            && self.failovers.is_empty()
+            && self.shard_reports.iter().all(RecoveryReport::is_clean)
+    }
+}
+
+/// Point-in-time shape of one shard, for `shard-stats` and `/metrics`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardStat {
+    /// Shard index.
+    pub shard: usize,
+    /// Which directory it serves from.
+    pub role: &'static str,
+    /// Rows the journal serves from this shard.
+    pub serving_rows: u64,
+    /// Rows beyond the journal, pending repair.
+    pub orphan_rows: u64,
+    /// Last-known row count of the non-serving (follower) directory.
+    pub replica_rows: u64,
+    /// Rows the follower is behind the serving side (0 when caught up).
+    pub replication_lag: u64,
+    /// Underlying store shape.
+    pub store: StoreStats,
+}
+
+/// Point-in-time shape of the whole fleet.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetStats {
+    /// Live epoch number.
+    pub epoch: u64,
+    /// Fleet width.
+    pub shards: usize,
+    /// Rows a fleet scan yields (journaled rows).
+    pub total_rows: u64,
+    /// Ordinal journal size in bytes.
+    pub journal_bytes: u64,
+    /// Per-shard breakdown, in shard order.
+    pub per_shard: Vec<ShardStat>,
+}
+
+/// Aggregate outcome of one [`ShardedStore::replicate`] pass.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ReplicationReport {
+    /// Shards whose follower was touched.
+    pub shards_synced: usize,
+    /// Sealed segments copied across all shards.
+    pub segments_copied: usize,
+    /// WAL frames shipped across all shards.
+    pub frames_shipped: usize,
+    /// Rows inside those frames.
+    pub rows_shipped: usize,
+    /// Follower WALs truncated and re-shipped after a leader rewrite.
+    pub wal_resets: usize,
+}
+
+#[derive(Debug)]
+struct ShardState {
+    store: Store,
+    role: ShardRole,
+    primary_dir: PathBuf,
+    replica_dir: PathBuf,
+}
+
+impl ShardState {
+    fn serving_dir(&self) -> &Path {
+        match self.role {
+            ShardRole::Primary => &self.primary_dir,
+            ShardRole::Replica => &self.replica_dir,
+        }
+    }
+
+    fn follower_dir(&self) -> &Path {
+        match self.role {
+            ShardRole::Primary => &self.replica_dir,
+            ShardRole::Replica => &self.primary_dir,
+        }
+    }
+}
+
+/// A sharded, replicated job-log store rooted at one directory.
+#[derive(Debug)]
+pub struct ShardedStore {
+    root: PathBuf,
+    manifest: Manifest,
+    epoch_dir: PathBuf,
+    states: Vec<ShardState>,
+    assignments: Vec<u8>,
+    serve_limits: Vec<u64>,
+    orphan_rows: Vec<u64>,
+    replica_rows: Vec<u64>,
+    journal: JournalWriter,
+    store_config: StoreConfig,
+    recovery: FleetRecovery,
+    repair_needed: bool,
+}
+
+fn repair_path(dir: &Path) -> PathBuf {
+    let mut os = dir.as_os_str().to_os_string();
+    os.push(REPAIR_SUFFIX);
+    PathBuf::from(os)
+}
+
+/// Finish a repair interrupted by a crash: if the real directory is gone
+/// but its staging sibling exists, the staging copy is complete (it is
+/// only ever renamed after the original is removed) — adopt it. If both
+/// exist, the staging copy may be half-built — discard it.
+fn adopt_repair(dir: &Path) -> Result<()> {
+    let staged = repair_path(dir);
+    if dir.exists() {
+        if staged.exists() {
+            std::fs::remove_dir_all(&staged)?;
+        }
+    } else if staged.exists() {
+        std::fs::rename(&staged, dir)?;
+    }
+    Ok(())
+}
+
+impl ShardedStore {
+    /// Open an existing fleet, or initialise a new single-shard fleet in
+    /// an empty directory.
+    pub fn open(root: impl AsRef<Path>) -> Result<ShardedStore> {
+        Self::open_with(root, 1, StoreConfig::default())
+    }
+
+    /// Open an existing fleet (its manifest decides the width), or
+    /// initialise a new one with `shards` shards. `store_config` shapes
+    /// the per-shard stores (segment size, WAL chunking, verification).
+    pub fn open_with(
+        root: impl AsRef<Path>,
+        shards: usize,
+        store_config: StoreConfig,
+    ) -> Result<ShardedStore> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        let m = match manifest::load(&root)? {
+            Some(m) => m,
+            None => {
+                let m = Manifest::new(shards);
+                manifest::publish(&root, &m)?;
+                m
+            }
+        };
+        manifest::sweep_stale_epochs(&root, m.epoch);
+        let epoch_dir = manifest::epoch_dir(&root, m.epoch);
+        std::fs::create_dir_all(&epoch_dir)?;
+
+        let mut recovery = FleetRecovery::default();
+        let mut states = Vec::with_capacity(m.shards);
+        let mut replica_rows = Vec::with_capacity(m.shards);
+        for s in 0..m.shards {
+            let primary_dir = manifest::shard_dir(&epoch_dir, s);
+            let replica_dir = manifest::replica_dir(&epoch_dir, s);
+            adopt_repair(&primary_dir)?;
+            adopt_repair(&replica_dir)?;
+            let primary = Store::open_with(&primary_dir, store_config)?;
+            let follower_rows = if replica_dir.exists() {
+                replica::replica_rows(&replica_dir)?
+            } else {
+                0
+            };
+            let (store, role) = if follower_rows > primary.len() as u64 {
+                // The primary lost rows the follower still has: fail over.
+                recovery.failovers.push(s);
+                (
+                    Store::open_with(&replica_dir, store_config)?,
+                    ShardRole::Replica,
+                )
+            } else {
+                (primary, ShardRole::Primary)
+            };
+            replica_rows.push(match role {
+                ShardRole::Primary => follower_rows,
+                // Serving the follower; the primary is what lags now.
+                ShardRole::Replica => 0,
+            });
+            recovery.shard_reports.push(store.recovery_report().clone());
+            states.push(ShardState {
+                store,
+                role,
+                primary_dir,
+                replica_dir,
+            });
+        }
+
+        // Replay the journal and heal it against what the shards hold.
+        let journal_path = epoch_dir.join(JOURNAL_NAME);
+        let jr = journal::recover(&journal_path, m.shards)?;
+        recovery.journal_bytes_dropped = jr.dropped_bytes;
+        let rows: Vec<u64> = states.iter().map(|st| st.store.len() as u64).collect();
+        let mut counts = vec![0u64; m.shards];
+        let mut healed = jr.assignments.len();
+        for (i, &s) in jr.assignments.iter().enumerate() {
+            if counts[s as usize] + 1 > rows[s as usize] {
+                healed = i;
+                break;
+            }
+            counts[s as usize] += 1;
+        }
+        recovery.journal_entries_dropped = (jr.assignments.len() - healed) as u64;
+        let assignments = jr.assignments[..healed].to_vec();
+        let journal = if healed < jr.assignments.len() || jr.dropped_bytes > 0 {
+            journal::rewrite(&epoch_dir, &assignments)?
+        } else {
+            JournalWriter::open_append(&journal_path)?
+        };
+        let orphan_rows: Vec<u64> = rows
+            .iter()
+            .zip(&counts)
+            .map(|(&have, &served)| have - served)
+            .collect();
+        recovery.orphan_rows = orphan_rows.iter().sum();
+        let repair_needed = recovery.orphan_rows > 0;
+
+        Ok(ShardedStore {
+            root,
+            manifest: m,
+            epoch_dir,
+            states,
+            assignments,
+            serve_limits: counts,
+            orphan_rows,
+            replica_rows,
+            journal,
+            store_config,
+            recovery,
+            repair_needed,
+        })
+    }
+
+    /// Fleet root directory (the one holding `manifest.json`).
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The published topology.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Fleet width.
+    pub fn shards(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Live epoch directory.
+    pub fn epoch_path(&self) -> &Path {
+        &self.epoch_dir
+    }
+
+    /// What opening found and repaired.
+    pub fn recovery_report(&self) -> &FleetRecovery {
+        &self.recovery
+    }
+
+    /// Per-shard store configuration in effect.
+    pub fn store_config(&self) -> &StoreConfig {
+        &self.store_config
+    }
+
+    /// Rows a fleet scan yields.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True when the fleet holds no journaled rows.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Role each shard currently serves in.
+    pub fn roles(&self) -> Vec<ShardRole> {
+        self.states.iter().map(|st| st.role).collect()
+    }
+
+    /// Sealed-segment metadata of one shard's serving store (empty slice
+    /// for an out-of-range shard). Rebalance planning reads hash-range
+    /// facts from these without decoding rows.
+    pub fn segment_metas(&self, shard: usize) -> &[SegmentMeta] {
+        self.states
+            .get(shard)
+            .map_or(&[][..], |st| st.store.segments())
+    }
+
+    /// Append one row to its owning shard.
+    pub fn append(&mut self, job: &JobLog) -> Result<()> {
+        self.append_batch(std::slice::from_ref(job))
+    }
+
+    /// Append a batch: rows land on their owning shards first, then one
+    /// journal frame records the arrival order. A crash between the two
+    /// leaves orphan rows that the next open detects and the next append
+    /// repairs — never phantom journal entries pointing at missing rows.
+    pub fn append_batch(&mut self, jobs: &[JobLog]) -> Result<()> {
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        self.repair_orphans()?;
+        let routed = crate::router::route_batch(jobs, self.states.len());
+        let ids = routed.assignments;
+        for (s, bucket) in routed.buckets.iter().enumerate() {
+            if !bucket.is_empty() {
+                self.states[s].store.append_batch(bucket)?;
+            }
+        }
+        self.journal.append(self.assignments.len() as u64, &ids)?;
+        for &s in &ids {
+            self.serve_limits[s as usize] += 1;
+        }
+        self.assignments.extend_from_slice(&ids);
+        Ok(())
+    }
+
+    /// Physically drop orphan rows (shard rows beyond the journaled
+    /// prefix) by rebuilding each affected shard through a staging
+    /// directory + atomic rename. Returns rows removed. Runs
+    /// automatically before the first append; reads never need it
+    /// because the journal-driven merge cannot reach an orphan.
+    pub fn repair_orphans(&mut self) -> Result<u64> {
+        if !self.repair_needed {
+            return Ok(0);
+        }
+        let mut trimmed = 0u64;
+        for s in 0..self.states.len() {
+            if self.orphan_rows[s] == 0 {
+                continue;
+            }
+            let limit = self.serve_limits[s] as usize;
+            let mut keep: Vec<JobLog> = Vec::with_capacity(limit);
+            self.states[s].store.scan(&mut |job| {
+                if keep.len() < limit {
+                    keep.push(job.clone());
+                }
+            })?;
+            let dir = self.states[s].serving_dir().to_path_buf();
+            let staged = repair_path(&dir);
+            if staged.exists() {
+                std::fs::remove_dir_all(&staged)?;
+            }
+            {
+                let mut rebuilt = Store::open_with(&staged, self.store_config)?;
+                rebuilt.append_batch(&keep)?;
+                rebuilt.sync()?;
+            }
+            std::fs::remove_dir_all(&dir)?;
+            std::fs::rename(&staged, &dir)?;
+            self.states[s].store = Store::open_with(&dir, self.store_config)?;
+            trimmed += self.orphan_rows[s];
+            self.orphan_rows[s] = 0;
+        }
+        self.repair_needed = false;
+        Ok(trimmed)
+    }
+
+    /// Seal every shard's WAL tail into columnar segments. Returns total
+    /// rows sealed.
+    pub fn seal(&mut self) -> Result<usize> {
+        let mut sealed = 0;
+        for st in &mut self.states {
+            sealed += st.store.seal()?;
+        }
+        Ok(sealed)
+    }
+
+    /// Flush every shard and the journal to the device.
+    pub fn sync(&mut self) -> Result<()> {
+        for st in &mut self.states {
+            st.store.sync()?;
+        }
+        self.journal.sync()
+    }
+
+    /// Compact every shard's segment chain.
+    pub fn compact(&mut self) -> Result<CompactReport> {
+        let mut total = CompactReport::default();
+        for st in &mut self.states {
+            let r = st.store.compact()?;
+            total.groups_merged += r.groups_merged;
+            total.segments_before += r.segments_before;
+            total.segments_after += r.segments_after;
+            total.rows_moved += r.rows_moved;
+        }
+        Ok(total)
+    }
+
+    /// Bring every shard's follower up to date (segment mirror + WAL
+    /// ship), re-seeding a lost primary when the shard is failed over.
+    pub fn replicate(&mut self) -> Result<ReplicationReport> {
+        let mut report = ReplicationReport::default();
+        for s in 0..self.states.len() {
+            let leader = self.states[s].serving_dir().to_path_buf();
+            let follower = self.states[s].follower_dir().to_path_buf();
+            let ship = replica::sync_shard(&leader, &follower)?;
+            report.shards_synced += 1;
+            report.segments_copied += ship.segments_copied;
+            report.frames_shipped += ship.frames_shipped;
+            report.rows_shipped += ship.rows_shipped;
+            report.wal_resets += usize::from(ship.wal_reset);
+            self.replica_rows[s] = replica::replica_rows(&follower)?;
+        }
+        Ok(report)
+    }
+
+    /// Point-in-time fleet shape. Replica row counts are the snapshot
+    /// taken at open or at the last [`ShardedStore::replicate`] — this
+    /// call does no follower I/O, so it is safe under a serving lock.
+    pub fn stats(&self) -> FleetStats {
+        let per_shard = self
+            .states
+            .iter()
+            .enumerate()
+            .map(|(s, st)| {
+                let serving = self.serve_limits[s];
+                let follower = self.replica_rows[s];
+                ShardStat {
+                    shard: s,
+                    role: st.role.as_str(),
+                    serving_rows: serving,
+                    orphan_rows: self.orphan_rows[s],
+                    replica_rows: follower,
+                    replication_lag: serving.saturating_sub(follower),
+                    store: st.store.stats(),
+                }
+            })
+            .collect();
+        FleetStats {
+            epoch: self.manifest.epoch,
+            shards: self.states.len(),
+            total_rows: self.assignments.len() as u64,
+            journal_bytes: self.journal.bytes(),
+            per_shard,
+        }
+    }
+
+    /// Stream every row in global insertion order — byte-identical to an
+    /// unsharded store holding the same ingest. Peak memory is one
+    /// decoded segment per shard.
+    pub fn scan(&self, sink: &mut dyn FnMut(&JobLog)) -> Result<()> {
+        self.merge_scan(None, sink).map(|_| ())
+    }
+
+    /// Stream rows matching `range` in global insertion order, skipping
+    /// segments whose zone map proves they hold no match (their rows are
+    /// consumed from the journal walk without being decoded).
+    pub fn scan_filtered(
+        &self,
+        range: &CounterRange,
+        sink: &mut dyn FnMut(&JobLog),
+    ) -> Result<ScanSummary> {
+        self.merge_scan(Some(range), &mut |job| {
+            if range.matches(job) {
+                sink(job);
+            }
+        })
+    }
+
+    fn merge_scan(
+        &self,
+        filter: Option<&CounterRange>,
+        sink: &mut dyn FnMut(&JobLog),
+    ) -> Result<ScanSummary> {
+        let mut summary = ScanSummary::default();
+        // Prefetch: decode every shard's first segment in one parallel
+        // wave. Merge order is journal-driven, so thread count cannot
+        // change the output.
+        let shard_ids: Vec<usize> = (0..self.states.len()).collect();
+        let prefetched: Vec<Option<Result<Vec<JobLog>>>> = if filter.is_none() {
+            aiio_par::map(&shard_ids, |&s| {
+                self.states[s]
+                    .store
+                    .segments()
+                    .first()
+                    .map(|meta| segment::read_jobs(&meta.path))
+            })
+        } else {
+            shard_ids.iter().map(|_| None).collect()
+        };
+        let mut cursors: Vec<ShardCursor<'_>> = Vec::with_capacity(self.states.len());
+        for (s, pre) in prefetched.into_iter().enumerate() {
+            let store = &self.states[s].store;
+            let mut cursor = ShardCursor::new(store.segments(), store.tail_rows());
+            if let Some(first) = pre {
+                cursor.window = Window::Rows(first?);
+                cursor.next_segment = 1;
+                if filter.is_none() {
+                    summary.segments_scanned += 1;
+                }
+            }
+            cursors.push(cursor);
+        }
+        let filter_col = filter.map(|r| (r, counter_column(r.counter)));
+        for &s in &self.assignments {
+            let cursor = &mut cursors[s as usize];
+            loop {
+                match &cursor.window {
+                    Window::Rows(rows) if cursor.pos < rows.len() => {
+                        summary.rows_scanned += 1;
+                        let job = &rows[cursor.pos];
+                        if filter.is_none_or(|r| r.matches(job)) {
+                            summary.rows_matched += 1;
+                        }
+                        sink(job);
+                        cursor.pos += 1;
+                        break;
+                    }
+                    Window::Tail(rows) if cursor.pos < rows.len() => {
+                        summary.rows_scanned += 1;
+                        let job = &rows[cursor.pos];
+                        if filter.is_none_or(|r| r.matches(job)) {
+                            summary.rows_matched += 1;
+                        }
+                        sink(job);
+                        cursor.pos += 1;
+                        break;
+                    }
+                    Window::Skipped(n) if cursor.pos < *n => {
+                        cursor.pos += 1;
+                        break;
+                    }
+                    _ => cursor.refill(filter_col, &mut summary)?,
+                }
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Apply `f` to every row, fanning all shards' segments out across
+    /// the deterministic engine in one flat wave, then reassembling
+    /// results in global insertion order. Bit-identical at any shard and
+    /// thread count.
+    pub fn par_map<R, F>(&self, f: F) -> Result<Vec<R>>
+    where
+        R: Send,
+        F: Fn(&JobLog) -> R + Sync,
+    {
+        enum Unit {
+            Segment(usize, usize),
+            Tail(usize),
+        }
+        let mut units = Vec::new();
+        for (s, st) in self.states.iter().enumerate() {
+            for i in 0..st.store.segments().len() {
+                units.push(Unit::Segment(s, i));
+            }
+            if !st.store.tail_rows().is_empty() {
+                units.push(Unit::Tail(s));
+            }
+        }
+        let per_unit: Vec<(usize, Result<Vec<R>>)> = aiio_par::map(&units, |unit| match *unit {
+            Unit::Segment(s, i) => {
+                let meta = &self.states[s].store.segments()[i];
+                let mapped = segment::read_jobs(&meta.path)
+                    .map(|jobs| jobs.iter().map(&f).collect::<Vec<R>>());
+                (s, mapped)
+            }
+            Unit::Tail(s) => (
+                s,
+                Ok(self.states[s].store.tail_rows().iter().map(&f).collect()),
+            ),
+        });
+        let mut per_shard: Vec<Vec<R>> = (0..self.states.len()).map(|_| Vec::new()).collect();
+        for (s, mapped) in per_unit {
+            per_shard[s].extend(mapped?);
+        }
+        for (s, results) in per_shard.iter_mut().enumerate() {
+            results.truncate(self.serve_limits[s] as usize);
+        }
+        let mut iters: Vec<std::vec::IntoIter<R>> =
+            per_shard.into_iter().map(Vec::into_iter).collect();
+        let mut out = Vec::with_capacity(self.assignments.len());
+        for &s in &self.assignments {
+            match iters[s as usize].next() {
+                Some(r) => out.push(r),
+                None => {
+                    return Err(StoreError::Corrupt {
+                        path: self.epoch_dir.join(JOURNAL_NAME),
+                        offset: 0,
+                        detail: format!("journal names shard {s} past its row count"),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materialise the whole fleet as an in-memory [`LogDatabase`]
+    /// (convenience for small fleets and tests; scans should stream).
+    pub fn read_all(&self) -> Result<LogDatabase> {
+        let mut db = LogDatabase::new();
+        self.scan(&mut |job| db.push(job.clone()))?;
+        Ok(db)
+    }
+}
+
+impl StoreBackend for ShardedStore {
+    fn job_count(&self) -> std::io::Result<usize> {
+        Ok(self.len())
+    }
+
+    fn stream_jobs(&self, sink: &mut dyn FnMut(&JobLog)) -> std::io::Result<()> {
+        self.scan(sink).map_err(StoreError::into_io)
+    }
+}
+
+enum Window<'a> {
+    /// Nothing loaded yet (or just exhausted).
+    Empty,
+    /// A decoded segment.
+    Rows(Vec<JobLog>),
+    /// The shard's live WAL tail, borrowed.
+    Tail(&'a [JobLog]),
+    /// A zone-pruned segment: rows are consumed blind, never decoded.
+    Skipped(usize),
+}
+
+struct ShardCursor<'a> {
+    segments: &'a [SegmentMeta],
+    tail: &'a [JobLog],
+    next_segment: usize,
+    tail_taken: bool,
+    window: Window<'a>,
+    pos: usize,
+}
+
+impl<'a> ShardCursor<'a> {
+    fn new(segments: &'a [SegmentMeta], tail: &'a [JobLog]) -> ShardCursor<'a> {
+        ShardCursor {
+            segments,
+            tail,
+            next_segment: 0,
+            tail_taken: false,
+            window: Window::Empty,
+            pos: 0,
+        }
+    }
+
+    fn refill(
+        &mut self,
+        filter: Option<(&CounterRange, usize)>,
+        summary: &mut ScanSummary,
+    ) -> Result<()> {
+        self.pos = 0;
+        if self.next_segment < self.segments.len() {
+            let meta = &self.segments[self.next_segment];
+            self.next_segment += 1;
+            if let Some((range, col)) = filter {
+                let overlaps = meta.zones.get(col).is_none_or(|zone| range.overlaps(zone));
+                if !overlaps {
+                    summary.segments_skipped += 1;
+                    self.window = Window::Skipped(meta.rows);
+                    return Ok(());
+                }
+            }
+            summary.segments_scanned += 1;
+            self.window = Window::Rows(segment::read_jobs(&meta.path)?);
+            return Ok(());
+        }
+        if !self.tail_taken {
+            self.tail_taken = true;
+            self.window = Window::Tail(self.tail);
+            return Ok(());
+        }
+        // The healed journal never references more rows than a shard
+        // holds, so running dry here means the fleet changed under us.
+        Err(StoreError::Corrupt {
+            path: self
+                .segments
+                .first()
+                .map_or_else(PathBuf::new, |m| m.path.clone()),
+            offset: 0,
+            detail: "journal references rows past the shard's end".to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::shard_of;
+    use aiio_darshan::CounterId;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("aiio_shard_fleet_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn job(id: u64) -> JobLog {
+        let mut j = JobLog::new(id, format!("app-{}", id % 3), 2019 + (id % 4) as u16);
+        j.counters.set(CounterId::PosixReads, (id * 7 % 101) as f64);
+        j.counters.set(CounterId::PosixWrites, (id * 3 % 53) as f64);
+        j
+    }
+
+    fn small_config() -> StoreConfig {
+        StoreConfig {
+            rows_per_segment: 8,
+            wal_block_rows: 4,
+            verify_on_open: true,
+        }
+    }
+
+    fn ids_of_scan(fleet: &ShardedStore) -> Vec<u64> {
+        let mut ids = Vec::new();
+        fleet.scan(&mut |j| ids.push(j.job_id)).unwrap();
+        ids
+    }
+
+    #[test]
+    fn scan_replays_global_insertion_order_at_any_shard_count() {
+        let jobs: Vec<JobLog> = (0..100).map(job).collect();
+        for shards in [1usize, 2, 4] {
+            let root = tmpdir(&format!("order{shards}"));
+            let mut fleet = ShardedStore::open_with(&root, shards, small_config()).unwrap();
+            fleet.append_batch(&jobs[..37]).unwrap();
+            fleet.seal().unwrap();
+            fleet.append_batch(&jobs[37..]).unwrap();
+            fleet.sync().unwrap();
+            assert_eq!(fleet.len(), 100);
+            assert_eq!(ids_of_scan(&fleet), (0..100u64).collect::<Vec<_>>());
+            // Reopen: the journal replays the same order.
+            drop(fleet);
+            let fleet = ShardedStore::open_with(&root, shards, small_config()).unwrap();
+            assert!(fleet.recovery_report().is_clean());
+            assert_eq!(ids_of_scan(&fleet), (0..100u64).collect::<Vec<_>>());
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn filtered_scan_matches_the_unsharded_store() {
+        let jobs: Vec<JobLog> = (0..80).map(job).collect();
+        let single_root = tmpdir("filter_single");
+        let mut single = Store::open_with(&single_root, small_config()).unwrap();
+        single.append_batch(&jobs).unwrap();
+        single.seal().unwrap();
+
+        let fleet_root = tmpdir("filter_fleet");
+        let mut fleet = ShardedStore::open_with(&fleet_root, 3, small_config()).unwrap();
+        fleet.append_batch(&jobs).unwrap();
+        fleet.seal().unwrap();
+
+        let range = CounterRange::at_least(CounterId::PosixReads, 50.0);
+        let mut want = Vec::new();
+        let s1 = single
+            .scan_filtered(&range, &mut |j| want.push(j.job_id))
+            .unwrap();
+        let mut got = Vec::new();
+        let s2 = fleet
+            .scan_filtered(&range, &mut |j| got.push(j.job_id))
+            .unwrap();
+        assert_eq!(want, got);
+        assert_eq!(s1.rows_matched, s2.rows_matched);
+        let _ = std::fs::remove_dir_all(&single_root);
+        let _ = std::fs::remove_dir_all(&fleet_root);
+    }
+
+    #[test]
+    fn par_map_is_identical_to_scan_order() {
+        let root = tmpdir("par_map");
+        let mut fleet = ShardedStore::open_with(&root, 4, small_config()).unwrap();
+        fleet
+            .append_batch(&(0..60).map(job).collect::<Vec<_>>())
+            .unwrap();
+        fleet.seal().unwrap();
+        fleet
+            .append_batch(&(60..75).map(job).collect::<Vec<_>>())
+            .unwrap();
+        let mapped = fleet.par_map(|j| j.job_id).unwrap();
+        assert_eq!(mapped, ids_of_scan(&fleet));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn orphan_rows_are_invisible_and_repaired_on_next_append() {
+        let root = tmpdir("orphans");
+        {
+            let mut fleet = ShardedStore::open_with(&root, 2, small_config()).unwrap();
+            fleet
+                .append_batch(&(0..20).map(job).collect::<Vec<_>>())
+                .unwrap();
+            fleet.sync().unwrap();
+        }
+        // Simulate a crash after shard appends but before the journal
+        // frame: chop the journal back to 12 entries.
+        let epoch = manifest::epoch_dir(&root, 0);
+        let jr = journal::recover(&epoch.join(JOURNAL_NAME), 2).unwrap();
+        journal::rewrite(&epoch, &jr.assignments[..12]).unwrap();
+
+        let mut fleet = ShardedStore::open_with(&root, 2, small_config()).unwrap();
+        let rec = fleet.recovery_report();
+        assert_eq!(rec.orphan_rows, 8);
+        assert_eq!(fleet.len(), 12);
+        assert_eq!(ids_of_scan(&fleet), (0..12u64).collect::<Vec<_>>());
+        // The next append repairs, and new rows continue the order.
+        fleet
+            .append_batch(&(100..104).map(job).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(
+            ids_of_scan(&fleet),
+            (0..12u64).chain(100..104).collect::<Vec<_>>()
+        );
+        // Repair survives a reopen cleanly.
+        drop(fleet);
+        let fleet = ShardedStore::open_with(&root, 2, small_config()).unwrap();
+        assert!(fleet.recovery_report().is_clean());
+        assert_eq!(
+            ids_of_scan(&fleet),
+            (0..12u64).chain(100..104).collect::<Vec<_>>()
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn journal_ahead_of_a_shard_is_cut_back() {
+        let root = tmpdir("cut");
+        {
+            let mut fleet = ShardedStore::open_with(&root, 2, small_config()).unwrap();
+            fleet
+                .append_batch(&(0..10).map(job).collect::<Vec<_>>())
+                .unwrap();
+            fleet.sync().unwrap();
+        }
+        // Lose shard 1's directory wholesale (no replica to fail over to).
+        let epoch = manifest::epoch_dir(&root, 0);
+        std::fs::remove_dir_all(manifest::shard_dir(&epoch, 1)).unwrap();
+        let fleet = ShardedStore::open_with(&root, 2, small_config()).unwrap();
+        let rec = fleet.recovery_report();
+        assert!(rec.journal_entries_dropped > 0);
+        // What survives is exactly the arrival-order prefix before the
+        // first row the lost shard owned.
+        let first_lost = (0..10u64).find(|&id| shard_of(id, 2) == 1).unwrap();
+        assert_eq!(fleet.len() as u64, first_lost);
+        assert_eq!(ids_of_scan(&fleet), (0..first_lost).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn replication_enables_failover_with_no_row_loss() {
+        let root = tmpdir("failover");
+        {
+            let mut fleet = ShardedStore::open_with(&root, 2, small_config()).unwrap();
+            fleet
+                .append_batch(&(0..30).map(job).collect::<Vec<_>>())
+                .unwrap();
+            fleet.sync().unwrap();
+            let rep = fleet.replicate().unwrap();
+            assert_eq!(rep.shards_synced, 2);
+        }
+        // Lose shard 0's primary directory entirely.
+        let epoch = manifest::epoch_dir(&root, 0);
+        std::fs::remove_dir_all(manifest::shard_dir(&epoch, 0)).unwrap();
+        let mut fleet = ShardedStore::open_with(&root, 2, small_config()).unwrap();
+        assert_eq!(fleet.recovery_report().failovers, vec![0]);
+        assert_eq!(fleet.recovery_report().journal_entries_dropped, 0);
+        assert_eq!(fleet.roles()[0], ShardRole::Replica);
+        assert_eq!(ids_of_scan(&fleet), (0..30u64).collect::<Vec<_>>());
+        // Appends keep working on the failed-over shard, and replicate()
+        // re-seeds the lost primary.
+        fleet
+            .append_batch(&(30..40).map(job).collect::<Vec<_>>())
+            .unwrap();
+        fleet.sync().unwrap();
+        fleet.replicate().unwrap();
+        assert_eq!(ids_of_scan(&fleet), (0..40u64).collect::<Vec<_>>());
+        drop(fleet);
+        let fleet = ShardedStore::open_with(&root, 2, small_config()).unwrap();
+        assert_eq!(ids_of_scan(&fleet), (0..40u64).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stats_report_roles_rows_and_lag() {
+        let root = tmpdir("stats");
+        let mut fleet = ShardedStore::open_with(&root, 2, small_config()).unwrap();
+        fleet
+            .append_batch(&(0..16).map(job).collect::<Vec<_>>())
+            .unwrap();
+        let stats = fleet.stats();
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.total_rows, 16);
+        let served: u64 = stats.per_shard.iter().map(|p| p.serving_rows).sum();
+        assert_eq!(served, 16);
+        // Before replication the whole serving side is lag.
+        let lag: u64 = stats.per_shard.iter().map(|p| p.replication_lag).sum();
+        assert_eq!(lag, 16);
+        fleet.sync().unwrap();
+        fleet.replicate().unwrap();
+        let lag: u64 = fleet
+            .stats()
+            .per_shard
+            .iter()
+            .map(|p| p.replication_lag)
+            .sum();
+        assert_eq!(lag, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

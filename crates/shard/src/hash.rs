@@ -1,0 +1,119 @@
+//! Deterministic job-id hashing and hash-range shard ownership.
+//!
+//! Every row is owned by exactly one shard, decided by a pure function of
+//! its job id — never by arrival order, thread count or file layout — so
+//! the same logs always land on the same shards and a rebalance can
+//! recompute ownership from the rows alone.
+//!
+//! The hash is the SplitMix64 finalizer: a fixed, well-mixed 64-bit
+//! bijection. Ownership is *range* partitioning over the hash space (the
+//! multiply-shift trick maps hash `h` to shard `h * n >> 64`), not
+//! `h % n`: contiguous hash spans make shard ownership monotone in the
+//! hash, which is what lets a rebalance plan reason about whole segments
+//! via their hash-range metadata — a segment whose hash range sits inside
+//! one target span feeds exactly one shard; one that straddles a boundary
+//! is split.
+
+/// Hard cap on fleet width: one byte per row in the ordinal journal.
+pub const MAX_SHARDS: usize = 256;
+
+/// SplitMix64 finalizer — the fixed hash behind shard ownership. A
+/// bijection on `u64`, so distinct job ids never collide; changing this
+/// function changes every shard assignment and is a format break.
+pub fn hash_job_id(job_id: u64) -> u64 {
+    let mut z = job_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shard (0-based) owning `job_id` in a fleet of `shards`.
+pub fn shard_of(job_id: u64, shards: usize) -> usize {
+    shard_of_hash(hash_job_id(job_id), shards)
+}
+
+/// The shard owning a precomputed hash — `h * shards >> 64`, i.e. range
+/// partitioning over `[0, 2^64)` into `shards` contiguous spans.
+pub fn shard_of_hash(hash: u64, shards: usize) -> usize {
+    let n = shards.clamp(1, MAX_SHARDS) as u128;
+    ((u128::from(hash) * n) >> 64) as usize
+}
+
+/// Hash span `[start, end)` owned by `shard` (end `0` means `2^64` for
+/// the last shard — use [`span_contains`] rather than comparing
+/// directly).
+pub fn hash_span(shard: usize, shards: usize) -> (u64, u64) {
+    let n = shards.clamp(1, MAX_SHARDS) as u128;
+    let s = shard as u128;
+    let lo = (s << 64).div_ceil(n);
+    let hi = ((s + 1) << 64).div_ceil(n);
+    (lo as u64, hi as u64)
+}
+
+/// True when `hash` falls in shard's span (handles the wrapped end of the
+/// last shard).
+pub fn span_contains(shard: usize, shards: usize, hash: u64) -> bool {
+    shard_of_hash(hash, shards) == shard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic_and_total() {
+        for shards in [1usize, 2, 3, 4, 7, 64] {
+            for id in 0..500u64 {
+                let s = shard_of(id, shards);
+                assert!(s < shards, "id {id} -> shard {s} of {shards}");
+                assert_eq!(s, shard_of(id, shards), "must be pure");
+            }
+        }
+    }
+
+    #[test]
+    fn spans_tile_the_hash_space() {
+        for shards in [1usize, 2, 3, 4, 5, 8] {
+            // Each boundary hash belongs to exactly the span that claims it.
+            for shard in 0..shards {
+                let (lo, hi) = hash_span(shard, shards);
+                assert!(span_contains(shard, shards, lo));
+                if shard + 1 < shards {
+                    assert!(!span_contains(shard, shards, hi));
+                    assert!(span_contains(shard + 1, shards, hi));
+                }
+            }
+            assert_eq!(hash_span(0, shards).0, 0);
+        }
+        assert!(span_contains(0, 1, u64::MAX));
+    }
+
+    #[test]
+    fn doubling_the_fleet_splits_each_span_in_two() {
+        // Range partitioning: shard s of n owns exactly what shards 2s and
+        // 2s+1 of 2n own together — the property split/merge rebalancing
+        // leans on.
+        for id in 0..2000u64 {
+            let coarse = shard_of(id, 2);
+            let fine = shard_of(id, 4);
+            assert_eq!(coarse, fine / 2, "id {id}: {coarse} vs {fine}");
+        }
+    }
+
+    #[test]
+    fn hash_spreads_sequential_ids() {
+        // Sequential job ids (the common case) must not pile onto one
+        // shard: with 4 shards and 4k ids, each shard gets 15-35%.
+        let shards = 4usize;
+        let mut counts = [0usize; 4];
+        for id in 0..4096u64 {
+            counts[shard_of(id, shards)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (614..=1434).contains(&c),
+                "shard {s} holds {c} of 4096 sequential ids"
+            );
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The ordinal journal: the fleet's record of global insertion order.
+//!
+//! Hash partitioning scatters consecutive rows across shards, but the
+//! training contract demands that a scan of the fleet replays rows in
+//! exactly the order they were ingested — byte-identical to one big
+//! store. Per-shard stores only know their local order, so the router
+//! journals one byte per row (the owning shard id, in arrival order) at
+//! the epoch root. A scatter-gather scan then *merges by journal*: walk
+//! the journal, take the next row from whichever shard each byte names.
+//!
+//! Framing mirrors the store's WAL: self-describing CRC-checked frames,
+//! recovery truncates at the first bad or out-of-sequence frame, shrink
+//! only via tmp-file + atomic rename.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────┐
+//! │ magic "ASJ1" · n_rows · base_ordinal · CRC32(payload)│
+//! ├──────────────────────────────────────────────────────┤
+//! │ payload: n_rows shard-id bytes                       │
+//! └──────────────────────────────────────────────────────┘
+//! ```
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use aiio_store::{Result, StoreError};
+
+use crate::hash::MAX_SHARDS;
+
+/// Journal file name inside an epoch directory.
+pub const JOURNAL_NAME: &str = "journal.bin";
+
+/// Temporary file the journal is rewritten through.
+pub const JOURNAL_TMP_NAME: &str = "journal.tmp";
+
+/// Magic prefix of every journal frame (trailing `1` = format version).
+pub const FRAME_MAGIC: &[u8; 4] = b"ASJ1";
+
+/// Byte size of a frame header.
+pub const FRAME_HEADER_LEN: usize = 20;
+
+const MAX_FRAME_ROWS: u32 = 1 << 24;
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32(bytes: &[u8], off: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(
+        bytes.get(off..off + 4)?.try_into().ok()?,
+    ))
+}
+
+fn read_u64(bytes: &[u8], off: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(
+        bytes.get(off..off + 8)?.try_into().ok()?,
+    ))
+}
+
+/// Serialize one frame of shard assignments whose first row has global
+/// ordinal `base_ordinal`.
+pub fn encode_frame(base_ordinal: u64, shard_ids: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + shard_ids.len());
+    out.extend_from_slice(FRAME_MAGIC);
+    push_u32(&mut out, shard_ids.len() as u32);
+    push_u64(&mut out, base_ordinal);
+    push_u32(&mut out, aiio_store::crc32(shard_ids));
+    out.extend_from_slice(shard_ids);
+    out
+}
+
+/// What journal recovery found.
+#[derive(Debug)]
+pub struct JournalRecovery {
+    /// One shard id per row, in global insertion order.
+    pub assignments: Vec<u8>,
+    /// Length of the intact, in-sequence prefix.
+    pub valid_bytes: u64,
+    /// Bytes abandoned past the first bad or out-of-sequence frame.
+    pub dropped_bytes: u64,
+}
+
+/// Replay `path`, keeping frames up to the first framing, checksum or
+/// ordinal-sequence violation. A frame whose `base_ordinal` is not the
+/// running row count is a tear from a crashed rewrite and truncates the
+/// replay there. Missing file = empty journal.
+pub fn recover(path: &Path, shards: usize) -> Result<JournalRecovery> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    let shards = shards.clamp(1, MAX_SHARDS) as u8 as usize;
+    let mut assignments: Vec<u8> = Vec::new();
+    let mut off = 0usize;
+    let mut valid = 0usize;
+    while off + FRAME_HEADER_LEN <= bytes.len() {
+        if &bytes[off..off + 4] != FRAME_MAGIC {
+            break;
+        }
+        let n_rows = read_u32(&bytes, off + 4).unwrap_or(u32::MAX);
+        let base_ordinal = read_u64(&bytes, off + 8).unwrap_or(u64::MAX);
+        let stored_crc = read_u32(&bytes, off + 16).unwrap_or(0);
+        if n_rows > MAX_FRAME_ROWS || base_ordinal != assignments.len() as u64 {
+            break;
+        }
+        let end = off + FRAME_HEADER_LEN + n_rows as usize;
+        if end > bytes.len() {
+            break;
+        }
+        let payload = &bytes[off + FRAME_HEADER_LEN..end];
+        if aiio_store::crc32(payload) != stored_crc {
+            break;
+        }
+        if payload.iter().any(|&s| s as usize >= shards) {
+            break;
+        }
+        assignments.extend_from_slice(payload);
+        off = end;
+        valid = off;
+    }
+    Ok(JournalRecovery {
+        assignments,
+        valid_bytes: valid as u64,
+        dropped_bytes: (bytes.len() - valid) as u64,
+    })
+}
+
+/// Append handle to the journal.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: std::fs::File,
+    path: PathBuf,
+    bytes: u64,
+}
+
+impl JournalWriter {
+    /// Open (creating if absent) the journal for appending.
+    pub fn open_append(path: &Path) -> Result<JournalWriter> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            bytes,
+        })
+    }
+
+    /// Append one frame of assignments starting at global ordinal
+    /// `base_ordinal`.
+    pub fn append(&mut self, base_ordinal: u64, shard_ids: &[u8]) -> Result<()> {
+        if shard_ids.is_empty() {
+            return Ok(());
+        }
+        let frame = encode_frame(base_ordinal, shard_ids);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Flush OS buffers to the device.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Current journal size in bytes (tracked, not re-statted).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Atomically replace the journal with exactly `assignments` (one frame,
+/// or an empty file) via tmp + rename, and return a fresh append handle.
+pub fn rewrite(dir: &Path, assignments: &[u8]) -> Result<JournalWriter> {
+    let tmp = dir.join(JOURNAL_TMP_NAME);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        if !assignments.is_empty() {
+            f.write_all(&encode_frame(0, assignments))?;
+        }
+        f.sync_all()?;
+    }
+    let path = dir.join(JOURNAL_NAME);
+    std::fs::rename(&tmp, &path)?;
+    JournalWriter::open_append(&path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("aiio_shard_journal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn append_and_recover_roundtrips() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join(JOURNAL_NAME);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(0, &[0, 1, 2, 1]).unwrap();
+        w.append(4, &[3, 0]).unwrap();
+        let r = recover(&path, 4).unwrap();
+        assert_eq!(r.assignments, vec![0, 1, 2, 1, 3, 0]);
+        assert_eq!(r.dropped_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_truncates_at_corruption() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join(JOURNAL_NAME);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(0, &[0, 1]).unwrap();
+        let good = std::fs::metadata(&path).unwrap().len();
+        w.append(2, &[1, 0, 1]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = good as usize + FRAME_HEADER_LEN + 1;
+        bytes[idx] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = recover(&path, 2).unwrap();
+        assert_eq!(r.assignments, vec![0, 1]);
+        assert_eq!(r.valid_bytes, good);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_rejects_out_of_sequence_and_out_of_range_frames() {
+        let dir = tmpdir("sequence");
+        let path = dir.join(JOURNAL_NAME);
+        // Frame claiming base ordinal 5 with nothing before it.
+        std::fs::write(&path, encode_frame(5, &[0, 1])).unwrap();
+        let r = recover(&path, 2).unwrap();
+        assert!(r.assignments.is_empty());
+        assert_eq!(r.dropped_bytes, std::fs::metadata(&path).unwrap().len());
+        // Shard id past the fleet width.
+        std::fs::write(&path, encode_frame(0, &[0, 7])).unwrap();
+        let r = recover(&path, 2).unwrap();
+        assert!(r.assignments.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_handles_torn_tails() {
+        let dir = tmpdir("torn");
+        let path = dir.join(JOURNAL_NAME);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(0, &[1, 0]).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in [1usize, FRAME_HEADER_LEN - 2, FRAME_HEADER_LEN + 1] {
+            let mut torn = full.clone();
+            torn.extend_from_slice(&encode_frame(2, &[0, 1, 1])[..cut]);
+            std::fs::write(&path, &torn).unwrap();
+            let r = recover(&path, 2).unwrap();
+            assert_eq!(r.assignments, vec![1, 0], "cut={cut}");
+            assert_eq!(r.dropped_bytes, cut as u64);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rewrite_is_atomic_and_resequences() {
+        let dir = tmpdir("rewrite");
+        let mut w = JournalWriter::open_append(&dir.join(JOURNAL_NAME)).unwrap();
+        w.append(0, &[0, 1, 1, 0]).unwrap();
+        let w2 = rewrite(&dir, &[0, 1]).unwrap();
+        assert!(w2.bytes() > 0);
+        let r = recover(&dir.join(JOURNAL_NAME), 2).unwrap();
+        assert_eq!(r.assignments, vec![0, 1]);
+        assert!(!dir.join(JOURNAL_TMP_NAME).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

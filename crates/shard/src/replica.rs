@@ -1,0 +1,322 @@
+//! Per-shard replication: segment mirroring plus WAL shipping.
+//!
+//! Each shard's follower directory is just another `aiio-store` layout,
+//! kept warm by [`sync_shard`]: sealed segments are mirrored file-for-file
+//! (copy missing, drop stale — staging copy + atomic rename, so a crash
+//! never leaves a half-copied segment visible), and the mutable tail is
+//! shipped as raw CRC-framed WAL bytes via [`aiio_store::wal::tail_frames`]
+//! from a persisted byte offset. A leader WAL rewrite (seal, compaction,
+//! recovery truncation) is detected by the tailer and answered by
+//! truncating the follower WAL and re-shipping — the sealed segments the
+//! rewrite folded the rows into are mirrored in the same pass, and the
+//! store's ordinal-watermark dedup makes any overlap harmless.
+//!
+//! Because the follower is a valid store at every step, failover is just
+//! "open the other directory": no replay protocol, no special reader.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use aiio_store::{segment, wal, Result as StoreResult, StoreError};
+use serde::{Deserialize, Serialize};
+
+/// Follower-side file remembering how far into the leader WAL we are.
+pub const REPLICA_STATE_NAME: &str = "replica.state.json";
+
+/// Temporary name replication state is published through.
+pub const REPLICA_STATE_TMP_NAME: &str = "replica.state.tmp";
+
+/// Suffix of the staging file a segment is copied through.
+pub const COPY_STAGING_SUFFIX: &str = ".copytmp";
+
+/// Durable replication cursor: the leader-WAL byte offset already shipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaState {
+    /// Leader WAL bytes already appended to the follower WAL.
+    pub wal_offset: u64,
+}
+
+/// What one [`sync_shard`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ShipReport {
+    /// Sealed segments copied leader → follower.
+    pub segments_copied: usize,
+    /// Follower segments deleted because the leader no longer has them.
+    pub segments_removed: usize,
+    /// WAL frames appended to the follower.
+    pub frames_shipped: usize,
+    /// Rows inside those frames.
+    pub rows_shipped: usize,
+    /// True when the leader WAL was rewritten and the follower WAL was
+    /// truncated and re-shipped from scratch.
+    pub wal_reset: bool,
+}
+
+fn load_state(dir: &Path) -> StoreResult<ReplicaState> {
+    let path = dir.join(REPLICA_STATE_NAME);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ReplicaState::default()),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    // An unreadable cursor only costs a re-ship from offset 0; never fail
+    // replication over it.
+    Ok(serde_json::from_str(&text).unwrap_or_default())
+}
+
+fn store_state(dir: &Path, state: &ReplicaState) -> StoreResult<()> {
+    let tmp = dir.join(REPLICA_STATE_TMP_NAME);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        let text = serde_json::to_string(state).map_err(|e| StoreError::Format {
+            path: tmp.clone(),
+            detail: format!("unencodable replica state: {e}"),
+        })?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(REPLICA_STATE_NAME))?;
+    Ok(())
+}
+
+fn list_segments(dir: &Path) -> StoreResult<Vec<String>> {
+    let mut names = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(names),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if segment::parse_segment_id(name).is_some() {
+            names.push(name.to_string());
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Copy one sealed segment into `dst` via a staging file + atomic rename.
+pub fn copy_segment(src: &Path, dst: &Path) -> StoreResult<()> {
+    let mut staging = dst.as_os_str().to_os_string();
+    staging.push(COPY_STAGING_SUFFIX);
+    let staging = PathBuf::from(staging);
+    let bytes = std::fs::read(src)?;
+    {
+        let mut f = std::fs::File::create(&staging)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&staging, dst)?;
+    Ok(())
+}
+
+/// Flush the follower WAL to the device.
+pub fn sync_replica(dir: &Path) -> StoreResult<()> {
+    match std::fs::File::open(dir.join(wal::WAL_NAME)) {
+        Ok(f) => {
+            f.sync_all()?;
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(StoreError::Io(e)),
+    }
+}
+
+/// Bring the follower store at `replica` up to date with the leader store
+/// at `leader`: mirror sealed segments, then ship new WAL frames from the
+/// persisted offset (truncating and re-shipping when the leader WAL was
+/// rewritten). Idempotent; safe to call on any cadence.
+pub fn sync_shard(leader: &Path, replica: &Path) -> StoreResult<ShipReport> {
+    std::fs::create_dir_all(replica)?;
+    let mut report = ShipReport::default();
+
+    // 1. Mirror sealed segments (copy missing, drop stale).
+    let leader_segs = list_segments(leader)?;
+    let replica_segs = list_segments(replica)?;
+    for name in &leader_segs {
+        if !replica_segs.contains(name) {
+            copy_segment(&leader.join(name), &replica.join(name))?;
+            report.segments_copied += 1;
+        }
+    }
+    for name in &replica_segs {
+        if !leader_segs.contains(name) {
+            std::fs::remove_file(replica.join(name))?;
+            report.segments_removed += 1;
+        }
+    }
+
+    // 2. Ship the WAL tail from the durable cursor.
+    let state = load_state(replica)?;
+    let tail = wal::tail_frames(&leader.join(wal::WAL_NAME), state.wal_offset)?;
+    let replica_wal = replica.join(wal::WAL_NAME);
+    if tail.reset {
+        report.wal_reset = true;
+        // Leader WAL was rewritten: restart the follower copy from zero.
+        let mut f = std::fs::File::create(&replica_wal)?;
+        for frame in &tail.frames {
+            f.write_all(&frame.bytes)?;
+        }
+        f.sync_all()?;
+    } else if !tail.frames.is_empty() {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&replica_wal)?;
+        for frame in &tail.frames {
+            f.write_all(&frame.bytes)?;
+        }
+        f.sync_all()?;
+    }
+    report.frames_shipped = tail.frames.len();
+    report.rows_shipped = tail.frames.iter().map(|f| f.n_rows as usize).sum();
+    if tail.reset || !tail.frames.is_empty() {
+        sync_replica(replica)?;
+    }
+    store_state(
+        replica,
+        &ReplicaState {
+            wal_offset: tail.new_offset,
+        },
+    )?;
+    Ok(report)
+}
+
+/// Cheap row count of a follower (or any store-shaped) directory without
+/// opening it as a store: sealed-segment metadata plus WAL frames past the
+/// sealed watermark. Used for failover decisions and replication-lag
+/// gauges.
+pub fn replica_rows(dir: &Path) -> StoreResult<u64> {
+    let mut watermark = 0u64;
+    for name in list_segments(dir)? {
+        let meta = segment::load_meta(&dir.join(&name))?;
+        watermark = watermark.max(meta.end_ordinal());
+    }
+    let mut total = watermark;
+    let tail = wal::tail_frames(&dir.join(wal::WAL_NAME), 0)?;
+    for frame in &tail.frames {
+        total = total.max(frame.base_ordinal + u64::from(frame.n_rows));
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiio_darshan::JobLog;
+    use aiio_store::{Store, StoreConfig};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("aiio_shard_replica_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn job(id: u64) -> JobLog {
+        let mut j = JobLog::new(id, "app", 2020);
+        j.counters
+            .set(aiio_darshan::CounterId::PosixReads, id as f64 + 1.0);
+        j
+    }
+
+    fn small_config() -> StoreConfig {
+        StoreConfig {
+            rows_per_segment: 4,
+            wal_block_rows: 2,
+            verify_on_open: true,
+        }
+    }
+
+    fn rows_of(dir: &Path) -> Vec<u64> {
+        let store = Store::open_with(dir, small_config()).unwrap();
+        let mut ids = Vec::new();
+        store.scan(&mut |j| ids.push(j.job_id)).unwrap();
+        ids
+    }
+
+    #[test]
+    fn follower_replays_exactly_the_leader_rows() {
+        let root = tmpdir("replay");
+        let leader = root.join("leader");
+        let follower = root.join("follower");
+        let mut store = Store::open_with(&leader, small_config()).unwrap();
+        let jobs: Vec<JobLog> = (0..11).map(job).collect();
+        store.append_batch(&jobs[..6]).unwrap();
+        store.sync().unwrap();
+        let r1 = sync_shard(&leader, &follower).unwrap();
+        assert!(r1.segments_copied >= 1);
+        assert_eq!(rows_of(&follower), (0..6u64).collect::<Vec<_>>());
+
+        // Incremental ship: only the new frames move.
+        store.append_batch(&jobs[6..]).unwrap();
+        store.sync().unwrap();
+        let r2 = sync_shard(&leader, &follower).unwrap();
+        assert!(r2.rows_shipped > 0 && r2.rows_shipped <= 5);
+        assert_eq!(rows_of(&follower), (0..11u64).collect::<Vec<_>>());
+        assert_eq!(replica_rows(&follower).unwrap(), 11);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn leader_seal_resets_the_follower_wal_without_duplicating_rows() {
+        let root = tmpdir("seal");
+        let leader = root.join("leader");
+        let follower = root.join("follower");
+        let mut store = Store::open_with(&leader, small_config()).unwrap();
+        store
+            .append_batch(&(0..3).map(job).collect::<Vec<_>>())
+            .unwrap();
+        store.sync().unwrap();
+        sync_shard(&leader, &follower).unwrap();
+
+        // Seal rewrites the leader WAL; the next pass must notice.
+        store.seal().unwrap();
+        store
+            .append_batch(&(3..5).map(job).collect::<Vec<_>>())
+            .unwrap();
+        store.sync().unwrap();
+        let r = sync_shard(&leader, &follower).unwrap();
+        assert!(r.wal_reset);
+        assert_eq!(rows_of(&follower), (0..5u64).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sync_is_idempotent() {
+        let root = tmpdir("idempotent");
+        let leader = root.join("leader");
+        let follower = root.join("follower");
+        let mut store = Store::open_with(&leader, small_config()).unwrap();
+        store
+            .append_batch(&(0..7).map(job).collect::<Vec<_>>())
+            .unwrap();
+        store.sync().unwrap();
+        sync_shard(&leader, &follower).unwrap();
+        let again = sync_shard(&leader, &follower).unwrap();
+        assert_eq!(again.segments_copied, 0);
+        assert_eq!(again.frames_shipped, 0);
+        assert!(!again.wal_reset);
+        assert_eq!(rows_of(&follower), (0..7u64).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn replica_rows_counts_without_opening_a_store() {
+        let root = tmpdir("rows");
+        let leader = root.join("leader");
+        let follower = root.join("follower");
+        assert_eq!(replica_rows(&follower).unwrap(), 0);
+        let mut store = Store::open_with(&leader, small_config()).unwrap();
+        store
+            .append_batch(&(0..9).map(job).collect::<Vec<_>>())
+            .unwrap();
+        store.sync().unwrap();
+        sync_shard(&leader, &follower).unwrap();
+        assert_eq!(replica_rows(&follower).unwrap(), 9);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

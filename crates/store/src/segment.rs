@@ -383,6 +383,52 @@ pub fn read_jobs(path: &Path) -> Result<Vec<JobLog>> {
     Ok(jobs)
 }
 
+/// Read one raw column of a sealed segment, CRC-verified, without
+/// decoding any rows. This is the targeted read behind segment hash-range
+/// metadata: a rebalance plan needs only the job-id column
+/// (`schema::COL_JOB_ID`) of each segment to know which target shards its
+/// hash range spans — 8 bytes per row instead of a full decode.
+pub fn read_column_u64(path: &Path, col: usize) -> Result<Vec<u64>> {
+    if col >= N_STORE_COLUMNS {
+        return Err(format_err(
+            path,
+            format!("column {col} out of range (store has {N_STORE_COLUMNS})"),
+        ));
+    }
+    let bytes = std::fs::read(path)?;
+    let h = parse_header(path, &bytes)?;
+    if bytes.len() != expected_len(&h) {
+        return Err(corrupt(
+            path,
+            bytes.len() as u64,
+            format!(
+                "truncated segment: {} bytes on disk, header implies {}",
+                bytes.len(),
+                expected_len(&h)
+            ),
+        ));
+    }
+    let block_len = h.n_rows * 8;
+    let off = HEADER_LEN + h.dict_len + 4 + col * (block_len + 4);
+    let block = &bytes[off..off + block_len];
+    let stored = read_u32(&bytes, off + block_len).unwrap_or(0);
+    if crc32(block) != stored {
+        return Err(corrupt(
+            path,
+            off as u64,
+            format!(
+                "column `{}` checksum mismatch",
+                crate::schema::column_name(col)
+            ),
+        ));
+    }
+    let mut out = Vec::with_capacity(h.n_rows);
+    for r in 0..h.n_rows {
+        out.push(read_u64(block, r * 8).unwrap_or(0));
+    }
+    Ok(out)
+}
+
 /// Rename a damaged segment aside (`seg-<id>.seg.quarantine`) so it never
 /// shadows a live id again; returns the quarantine path.
 pub fn quarantine(path: &Path) -> Result<PathBuf> {
@@ -489,6 +535,23 @@ mod tests {
             load_meta(&meta.path),
             Err(StoreError::Corrupt { .. })
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn targeted_column_read_matches_full_decode() {
+        let dir = tmpdir("colread");
+        let jobs: Vec<JobLog> = (10..17).map(|i| job(i, "ior")).collect();
+        let meta = write_segment(&dir, 6, 0, &jobs).unwrap();
+        let ids = read_column_u64(&meta.path, crate::schema::COL_JOB_ID).unwrap();
+        assert_eq!(ids, (10..17).collect::<Vec<u64>>());
+        assert!(read_column_u64(&meta.path, crate::schema::N_STORE_COLUMNS).is_err());
+        // A flip inside the job-id column is caught by the targeted read.
+        let clean = std::fs::read(&meta.path).unwrap();
+        let mut bad = clean.clone();
+        bad[HEADER_LEN + 40] ^= 0x04;
+        std::fs::write(&meta.path, &bad).unwrap();
+        assert!(read_column_u64(&meta.path, crate::schema::COL_JOB_ID).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

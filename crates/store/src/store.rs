@@ -307,6 +307,15 @@ impl Store {
         &self.segments
     }
 
+    /// Rows still in the WAL tail (everything past the last sealed
+    /// segment), in insertion order. Exposed so layered stores — the
+    /// sharded fleet's ordinal-merge scan — can cursor over a shard's
+    /// rows unit by unit (segments, then this slice) without
+    /// materialising the whole store.
+    pub fn tail_rows(&self) -> &[JobLog] {
+        &self.tail
+    }
+
     /// Total rows a scan yields (sealed + tail).
     pub fn len(&self) -> usize {
         self.sealed_rows() + self.tail.len()

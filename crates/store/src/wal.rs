@@ -178,6 +178,128 @@ pub fn recover(path: &Path) -> Result<WalRecovery> {
     })
 }
 
+/// One raw WAL frame as shipped by [`tail_frames`]: the full on-disk
+/// bytes (header + payload, CRC intact) plus the decoded base ordinal so
+/// a follower can reason about coverage without decoding rows.
+#[derive(Debug, Clone)]
+pub struct WalFrame {
+    /// Global ordinal of the frame's first row.
+    pub base_ordinal: u64,
+    /// Rows in the frame.
+    pub n_rows: u32,
+    /// The frame verbatim, header included — appending these bytes to
+    /// another WAL file reproduces the frame bit-exactly.
+    pub bytes: Vec<u8>,
+}
+
+/// What one tailing read returned.
+#[derive(Debug)]
+pub struct WalTail {
+    /// Intact frames found at/after the requested offset.
+    pub frames: Vec<WalFrame>,
+    /// Offset to resume from on the next call (end of the last intact
+    /// frame; bytes past it are a torn tail still being written).
+    pub new_offset: u64,
+    /// True when the requested offset no longer names a frame boundary —
+    /// the leader rewrote (shrank) its WAL after a seal — and the tail was
+    /// re-read from offset zero. The follower must discard its shipped WAL
+    /// and start over; sealed segments make the restart cheap.
+    pub reset: bool,
+}
+
+/// Tail `path` from byte offset `from`, returning every intact frame
+/// found there (checked by CRC, not decoded). This is the WAL-shipping
+/// primitive: a replication follower remembers `new_offset`, calls again
+/// later, and receives exactly the frames appended in between. A missing
+/// file is an empty tail at offset zero.
+pub fn tail_frames(path: &Path, from: u64) -> Result<WalTail> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    let from = from as usize;
+    if from <= bytes.len() {
+        let (frames, end) = walk_frames(&bytes, from);
+        // Progress, a clean end, or a torn frame still being appended at
+        // the boundary all mean the offset is valid; only bytes that
+        // cannot be the start of a frame mean the file was rewritten
+        // underneath us.
+        if !frames.is_empty() || end == bytes.len() || torn_frame_at(&bytes, end) {
+            return Ok(WalTail {
+                frames,
+                new_offset: end as u64,
+                reset: false,
+            });
+        }
+    }
+    // The offset points past EOF or inside a rewritten file: restart.
+    let (frames, end) = walk_frames(&bytes, 0);
+    Ok(WalTail {
+        frames,
+        new_offset: end as u64,
+        reset: true,
+    })
+}
+
+/// Could the bytes at `off` be the prefix of a frame whose remainder has
+/// not hit the disk yet? True exactly when everything present so far is
+/// consistent with an in-progress append (magic prefix, plausible
+/// lengths, payload extending past EOF).
+fn torn_frame_at(bytes: &[u8], off: usize) -> bool {
+    let avail = &bytes[off.min(bytes.len())..];
+    if avail.len() < 4 {
+        return avail == &BLOCK_MAGIC[..avail.len()];
+    }
+    if &avail[..4] != BLOCK_MAGIC {
+        return false;
+    }
+    if avail.len() < BLOCK_HEADER_LEN {
+        return true;
+    }
+    let n_rows = read_u32(avail, 4).unwrap_or(u32::MAX);
+    let payload_len = read_u32(avail, 8).unwrap_or(u32::MAX);
+    n_rows <= MAX_BLOCK_ROWS
+        && payload_len <= MAX_PAYLOAD_LEN
+        && BLOCK_HEADER_LEN + payload_len as usize > avail.len()
+}
+
+/// Walk intact frames starting at `from`; returns the frames and the
+/// offset one past the last intact frame (`from` itself when the first
+/// frame is torn or invalid).
+fn walk_frames(bytes: &[u8], from: usize) -> (Vec<WalFrame>, usize) {
+    let mut frames = Vec::new();
+    let mut off = from;
+    let mut valid = from;
+    while off + BLOCK_HEADER_LEN <= bytes.len() {
+        if &bytes[off..off + 4] != BLOCK_MAGIC {
+            break;
+        }
+        let n_rows = read_u32(bytes, off + 4).unwrap_or(u32::MAX);
+        let payload_len = read_u32(bytes, off + 8).unwrap_or(u32::MAX);
+        let base_ordinal = read_u64(bytes, off + 12).unwrap_or(0);
+        let stored_crc = read_u32(bytes, off + 20).unwrap_or(0);
+        if n_rows > MAX_BLOCK_ROWS || payload_len > MAX_PAYLOAD_LEN {
+            break;
+        }
+        let end = off + BLOCK_HEADER_LEN + payload_len as usize;
+        if end > bytes.len() {
+            break;
+        }
+        if crc32(&bytes[off + BLOCK_HEADER_LEN..end]) != stored_crc {
+            break;
+        }
+        frames.push(WalFrame {
+            base_ordinal,
+            n_rows,
+            bytes: bytes[off..end].to_vec(),
+        });
+        off = end;
+        valid = off;
+    }
+    (frames, valid)
+}
+
 /// Append handle to the WAL.
 #[derive(Debug)]
 pub struct WalWriter {
@@ -350,6 +472,91 @@ mod tests {
         assert_eq!(w3.bytes(), 0);
         assert!(recover(&path).unwrap().rows.is_empty());
         assert!(!dir.join(WAL_TMP_NAME).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tailing_resumes_at_the_shipped_offset() {
+        let dir = tmpdir("tail");
+        let path = dir.join(WAL_NAME);
+        let mut w = WalWriter::open_append(&path).unwrap();
+        w.append_block(0, &[job(0), job(1)]).unwrap();
+        let t1 = tail_frames(&path, 0).unwrap();
+        assert!(!t1.reset);
+        assert_eq!(t1.frames.len(), 1);
+        assert_eq!(t1.frames[0].base_ordinal, 0);
+        assert_eq!(t1.frames[0].n_rows, 2);
+        // Nothing new yet.
+        let t2 = tail_frames(&path, t1.new_offset).unwrap();
+        assert!(!t2.reset);
+        assert!(t2.frames.is_empty());
+        assert_eq!(t2.new_offset, t1.new_offset);
+        // Append more; only the new frame ships.
+        w.append_block(2, &[job(2)]).unwrap();
+        let t3 = tail_frames(&path, t2.new_offset).unwrap();
+        assert!(!t3.reset);
+        assert_eq!(t3.frames.len(), 1);
+        assert_eq!(t3.frames[0].base_ordinal, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shipped_frames_are_bit_identical_to_the_source() {
+        let dir = tmpdir("tailbits");
+        let path = dir.join(WAL_NAME);
+        let mut w = WalWriter::open_append(&path).unwrap();
+        w.append_block(0, &[job(0)]).unwrap();
+        w.append_block(1, &[job(1), job(2)]).unwrap();
+        let t = tail_frames(&path, 0).unwrap();
+        let shipped: Vec<u8> = t.frames.iter().flat_map(|f| f.bytes.clone()).collect();
+        assert_eq!(shipped, std::fs::read(&path).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tailing_detects_rewrites_and_resets() {
+        let dir = tmpdir("tailreset");
+        let path = dir.join(WAL_NAME);
+        let mut w = WalWriter::open_append(&path).unwrap();
+        w.append_block(0, &[job(0), job(1), job(2)]).unwrap();
+        let t1 = tail_frames(&path, 0).unwrap();
+        // Leader seals and rewrites: the WAL shrinks to one row.
+        let _w2 = rewrite(&dir, 2, &[job(2)]).unwrap();
+        let t2 = tail_frames(&path, t1.new_offset).unwrap();
+        assert!(t2.reset, "offset past EOF must reset");
+        assert_eq!(t2.frames.len(), 1);
+        assert_eq!(t2.frames[0].base_ordinal, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tailing_waits_on_torn_frames_without_resetting() {
+        let dir = tmpdir("tailtorn");
+        let path = dir.join(WAL_NAME);
+        let mut w = WalWriter::open_append(&path).unwrap();
+        w.append_block(0, &[job(0)]).unwrap();
+        let boundary = std::fs::metadata(&path).unwrap().len();
+        let full = encode_block(1, &[job(1)]);
+        for cut in [2usize, BLOCK_HEADER_LEN - 1, BLOCK_HEADER_LEN + 3] {
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes.truncate(boundary as usize);
+            bytes.extend_from_slice(&full[..cut]);
+            std::fs::write(&path, &bytes).unwrap();
+            let t = tail_frames(&path, boundary).unwrap();
+            assert!(!t.reset, "cut={cut}: torn tail is not a divergence");
+            assert!(t.frames.is_empty());
+            assert_eq!(t.new_offset, boundary);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tailing_a_missing_wal_is_empty() {
+        let dir = tmpdir("tailmissing");
+        let t = tail_frames(&dir.join(WAL_NAME), 0).unwrap();
+        assert!(!t.reset);
+        assert!(t.frames.is_empty());
+        assert_eq!(t.new_offset, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

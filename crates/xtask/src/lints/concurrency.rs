@@ -84,6 +84,13 @@ const BLOCKING: &[&str] = &[
     ".wait_timeout(",
     "aiio_par::map(",
     "par_map(",
+    // Shard-fleet replication and rebalance primitives: WAL-tail reads,
+    // follower segment copies and whole-shard ships are all file I/O
+    // under the hood, even when the call site names no `fs::` path.
+    "tail_frames(",
+    "copy_segment(",
+    "sync_replica(",
+    "sync_shard(",
 ];
 
 /// Name segments that mark an atomic as a publication gate for
@@ -181,7 +188,10 @@ fn counts(ws: &Workspace) -> Baseline {
 /// A lock acquisition inside a function body.
 #[derive(Debug, Clone)]
 struct Acquisition {
-    /// Lock identity, `crate::receiver` (e.g. `serve::state`).
+    /// Lock identity. `self.field` receivers are qualified with the
+    /// enclosing impl type — `crate::Type::field` (e.g.
+    /// `serve::Shared::state`) — so same-named fields on different types
+    /// stay distinct locks; other receivers are `crate::receiver`.
     lock: String,
     /// Byte offset of the acquiring `.`/call in the file's stripped text.
     at: usize,
@@ -321,8 +331,16 @@ fn direct_acquisitions(
                 continue;
             };
             let at = body.start + off;
+            // A `self.field` receiver is qualified with the enclosing
+            // impl type: two store backends can both keep a `state`
+            // mutex without their acquisition orders getting conflated.
+            let on_self = text[..off - recv.len()].ends_with("self.");
+            let lock = match (on_self, impl_type_at(file, at)) {
+                (true, Some(ty)) => format!("{krate}::{ty}::{recv}"),
+                _ => format!("{krate}::{recv}"),
+            };
             out.push(Acquisition {
-                lock: format!("{krate}::{recv}"),
+                lock,
                 at,
                 line: file.line_of(at),
             });
@@ -330,6 +348,92 @@ fn direct_acquisitions(
     }
     out.sort_by_key(|a| a.at);
     out
+}
+
+/// The `Self` type of the innermost `impl` block containing `at`:
+/// `impl S`, `impl Trait for S`, `impl<T> S<T>` all yield `S`. `None`
+/// when `at` sits outside any impl block (free functions).
+fn impl_type_at(file: &SourceFile, at: usize) -> Option<String> {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let mut innermost: Option<(usize, String)> = None;
+    for off in occurrences(code, "impl", true) {
+        let after = off + 4;
+        if bytes
+            .get(after)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            continue; // `implements`, not the keyword
+        }
+        // The header runs to the block's `{` at angle/bracket depth 0.
+        let mut depth = 0i32;
+        let mut open = None;
+        let mut i = after;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'<' | b'(' | b'[' => depth += 1,
+                b'>' | b')' | b']' => depth -= 1,
+                b'{' if depth <= 0 => {
+                    open = Some(i);
+                    break;
+                }
+                b';' if depth <= 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(open) = open else { continue };
+        let Some(end) = match_brace(bytes, open) else {
+            continue;
+        };
+        if !(open < at && at < end) {
+            continue;
+        }
+        if let Some(ty) = impl_self_type(&code[after..open]) {
+            if innermost.as_ref().is_none_or(|(o, _)| *o < open) {
+                innermost = Some((open, ty));
+            }
+        }
+    }
+    innermost.map(|(_, ty)| ty)
+}
+
+/// Extract the `Self` type name from an impl header (the text between
+/// `impl` and `{`): skip the generic parameter list, take the path after
+/// `for` when present, and keep the last segment before any generics.
+fn impl_self_type(header: &str) -> Option<String> {
+    let mut rest = header.trim_start();
+    if let Some(stripped) = rest.strip_prefix('<') {
+        let mut depth = 1i32;
+        let mut cut = stripped.len();
+        for (k, c) in stripped.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &stripped[cut..];
+    }
+    if let Some(f) = find_word(rest, "for") {
+        rest = &rest[f + 3..];
+    }
+    let rest = rest.trim_start();
+    let path: &str = rest
+        .split(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':'))
+        .next()
+        .unwrap_or("");
+    let ty = path.rsplit(':').next().unwrap_or(path);
+    (ty.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_'))
+    .then(|| ty.to_string())
 }
 
 /// All acquisitions in node `i`: direct ones plus calls to
@@ -1191,7 +1295,7 @@ mod tests {
         assert!(
             sites
                 .iter()
-                .any(|s| s.rule == "AIIO-R002" && s.message.contains("a::state")),
+                .any(|s| s.rule == "AIIO-R002" && s.message.contains("a::S::state")),
             "guard held across fs::write must flag: {sites:#?}"
         );
     }
@@ -1218,8 +1322,8 @@ mod tests {
         let sites = analyze(&w);
         let r002: Vec<_> = sites.iter().filter(|s| s.rule == "AIIO-R002").collect();
         assert!(
-            r002.iter().any(|s| s.message.contains("a::a"))
-                && r002.iter().any(|s| s.message.contains("a::b")),
+            r002.iter().any(|s| s.message.contains("a::S::a"))
+                && r002.iter().any(|s| s.message.contains("a::S::b")),
             "both held guards must flag: {r002:#?}"
         );
     }
@@ -1263,7 +1367,7 @@ mod tests {
         assert!(
             sites
                 .iter()
-                .any(|s| s.rule == "AIIO-R002" && s.message.contains("a::state")),
+                .any(|s| s.rule == "AIIO-R002" && s.message.contains("a::S::state")),
             "helper-acquired guard must be tracked in the caller: {sites:#?}"
         );
     }
@@ -1313,6 +1417,44 @@ mod tests {
                 .iter()
                 .any(|s| s.rule == "AIIO-R001" && s.message.contains("cycle")),
             "a/b vs b/a must cycle: {sites:#?}"
+        );
+    }
+
+    #[test]
+    fn same_field_names_on_different_types_are_distinct_locks() {
+        // Two types each own fields `a`/`b` and lock them in OPPOSITE
+        // orders. Without the `crate::Type::field` qualifier the lock
+        // ids collide and this reports a false AIIO-R001 cycle.
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "impl S {\n\
+             fn fwd(&self) { let ga = self.a.lock(); let gb = self.b.lock(); }\n\
+             }\n\
+             impl T {\n\
+             fn bwd(&self) { let gb = self.b.lock(); let ga = self.a.lock(); }\n\
+             }\n",
+        )]);
+        let sites = analyze(&w);
+        assert!(
+            !sites.iter().any(|s| s.rule == "AIIO-R001"),
+            "S::a/S::b vs T::b/T::a are unrelated locks, not a cycle: {sites:#?}"
+        );
+    }
+
+    #[test]
+    fn replication_primitives_count_as_blocking() {
+        // The shard fleet's WAL-tail reads and follower segment copies
+        // are file I/O; holding a guard across them must flag R002.
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "impl S { fn f(&self) { let g = self.state.lock(); copy_segment(&src, &dst); } }\n",
+        )]);
+        let sites = analyze(&w);
+        assert!(
+            sites
+                .iter()
+                .any(|s| s.rule == "AIIO-R002" && s.message.contains("a::S::state")),
+            "guard held across copy_segment must flag: {sites:#?}"
         );
     }
 

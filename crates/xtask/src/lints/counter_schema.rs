@@ -53,7 +53,13 @@ impl Default for SchemaPaths {
     fn default() -> Self {
         SchemaPaths {
             counters: "crates/darshan/src/counters.rs",
-            recorders: &["crates/iosim/src/recorder.rs"],
+            recorders: &[
+                "crates/iosim/src/recorder.rs",
+                // The shard router re-emits whole `JobLog`s (counters
+                // intact) when fanning a batch across the fleet — the
+                // second emission path the union check was built for.
+                "crates/shard/src/router.rs",
+            ],
             features: "crates/darshan/src/features.rs",
             diagnosis: &[
                 "crates/aiio/src/rules.rs",
