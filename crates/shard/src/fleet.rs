@@ -188,6 +188,30 @@ fn repair_path(dir: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
+/// Does `dir` hold a plain (unsharded) `aiio-store` layout — a WAL or
+/// sealed segments at the root? Seeding a fleet manifest beside one
+/// would shadow its rows: fleet scans would never see them, and
+/// `store-stats` would start rejecting the directory as sharded.
+fn plain_store_layout(dir: &Path) -> Result<bool> {
+    if dir.join(aiio_store::wal::WAL_NAME).exists() {
+        return Ok(true);
+    }
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        if let Some(name) = name.to_str() {
+            if segment::parse_segment_id(name).is_some() {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
 /// Finish a repair interrupted by a crash: if the real directory is gone
 /// but its staging sibling exists, the staging copy is complete (it is
 /// only ever renamed after the original is removed) — adopt it. If both
@@ -224,6 +248,16 @@ impl ShardedStore {
         let m = match manifest::load(&root)? {
             Some(m) => m,
             None => {
+                if plain_store_layout(&root)? {
+                    return Err(StoreError::Format {
+                        path: root,
+                        detail: "directory already holds a plain (unsharded) aiio-store; \
+                                 initialising a fleet here would shadow its rows. Point \
+                                 --shards at a fresh directory and re-ingest, or keep \
+                                 using this one unsharded"
+                            .into(),
+                    });
+                }
                 let m = Manifest::new(shards);
                 manifest::publish(&root, &m)?;
                 m
@@ -787,6 +821,31 @@ mod tests {
             wal_block_rows: 4,
             verify_on_open: true,
         }
+    }
+
+    #[test]
+    fn refuses_to_seed_a_fleet_over_a_plain_store() {
+        let root = tmpdir("plainguard");
+        let mut store = Store::open_with(&root, small_config()).unwrap();
+        store
+            .append_batch(&(0..10).map(job).collect::<Vec<_>>())
+            .unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        let err = ShardedStore::open_with(&root, 2, small_config());
+        assert!(err.is_err(), "must not shadow an existing plain store");
+        let msg = err.err().unwrap().to_string();
+        assert!(msg.contains("unsharded"), "unexpected error: {msg}");
+        assert!(
+            !root.join(crate::manifest::MANIFEST_NAME).exists(),
+            "no manifest may be published beside the plain store"
+        );
+
+        // The plain store is untouched and still serves all its rows.
+        let store = Store::open_with(&root, small_config()).unwrap();
+        assert_eq!(store.len(), 10);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     fn ids_of_scan(fleet: &ShardedStore) -> Vec<u64> {

@@ -62,8 +62,16 @@ fn read_u64(bytes: &[u8], off: usize) -> Option<u64> {
 }
 
 /// Serialize one frame of shard assignments whose first row has global
-/// ordinal `base_ordinal`.
+/// ordinal `base_ordinal`. At most [`MAX_FRAME_ROWS`] assignments fit in
+/// one frame — `recover` rejects anything larger, so producing such a
+/// frame would be silent data loss on the next open; callers with bigger
+/// batches must chunk (as [`JournalWriter::append`] and [`rewrite`] do).
 pub fn encode_frame(base_ordinal: u64, shard_ids: &[u8]) -> Vec<u8> {
+    assert!(
+        shard_ids.len() <= MAX_FRAME_ROWS as usize,
+        "journal frame of {} rows exceeds MAX_FRAME_ROWS ({MAX_FRAME_ROWS}); chunk the batch",
+        shard_ids.len()
+    );
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + shard_ids.len());
     out.extend_from_slice(FRAME_MAGIC);
     push_u32(&mut out, shard_ids.len() as u32);
@@ -153,16 +161,36 @@ impl JournalWriter {
         })
     }
 
-    /// Append one frame of assignments starting at global ordinal
-    /// `base_ordinal`.
+    /// Append assignments starting at global ordinal `base_ordinal`.
+    /// Batches past [`MAX_FRAME_ROWS`] are split into consecutive frames
+    /// (each stamped with its own base ordinal) so every frame written
+    /// is one `recover` accepts — an oversized single frame would be cut
+    /// at the next open and its rows silently lost.
     pub fn append(&mut self, base_ordinal: u64, shard_ids: &[u8]) -> Result<()> {
+        self.append_with_limit(base_ordinal, shard_ids, MAX_FRAME_ROWS as usize)
+    }
+
+    /// [`JournalWriter::append`] with an explicit per-frame row cap;
+    /// split out so tests can exercise chunking without 16M-row batches.
+    fn append_with_limit(
+        &mut self,
+        base_ordinal: u64,
+        shard_ids: &[u8],
+        max_rows: usize,
+    ) -> Result<()> {
         if shard_ids.is_empty() {
             return Ok(());
         }
-        let frame = encode_frame(base_ordinal, shard_ids);
-        self.file.write_all(&frame)?;
+        let frames = shard_ids.len().div_ceil(max_rows);
+        let mut bytes = Vec::with_capacity(shard_ids.len() + frames * FRAME_HEADER_LEN);
+        let mut base = base_ordinal;
+        for chunk in shard_ids.chunks(max_rows) {
+            bytes.extend_from_slice(&encode_frame(base, chunk));
+            base += chunk.len() as u64;
+        }
+        self.file.write_all(&bytes)?;
         self.file.flush()?;
-        self.bytes += frame.len() as u64;
+        self.bytes += bytes.len() as u64;
         Ok(())
     }
 
@@ -183,14 +211,23 @@ impl JournalWriter {
     }
 }
 
-/// Atomically replace the journal with exactly `assignments` (one frame,
-/// or an empty file) via tmp + rename, and return a fresh append handle.
+/// Atomically replace the journal with exactly `assignments` (frames of
+/// at most [`MAX_FRAME_ROWS`] rows, or an empty file) via tmp + rename,
+/// and return a fresh append handle.
 pub fn rewrite(dir: &Path, assignments: &[u8]) -> Result<JournalWriter> {
+    rewrite_with_limit(dir, assignments, MAX_FRAME_ROWS as usize)
+}
+
+/// [`rewrite`] with an explicit per-frame row cap; split out so tests
+/// can exercise chunking without 16M-row batches.
+fn rewrite_with_limit(dir: &Path, assignments: &[u8], max_rows: usize) -> Result<JournalWriter> {
     let tmp = dir.join(JOURNAL_TMP_NAME);
     {
         let mut f = std::fs::File::create(&tmp)?;
-        if !assignments.is_empty() {
-            f.write_all(&encode_frame(0, assignments))?;
+        let mut base = 0u64;
+        for chunk in assignments.chunks(max_rows) {
+            f.write_all(&encode_frame(base, chunk))?;
+            base += chunk.len() as u64;
         }
         f.sync_all()?;
     }
@@ -274,6 +311,44 @@ mod tests {
             assert_eq!(r.dropped_bytes, cut as u64);
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_appends_chunk_into_recoverable_frames() {
+        // A batch past the per-frame cap must split into frames recover
+        // accepts — one giant frame would be cut at the next open.
+        let dir = tmpdir("chunkappend");
+        let path = dir.join(JOURNAL_NAME);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        let ids: Vec<u8> = (0..11u8).map(|i| i % 3).collect();
+        w.append_with_limit(0, &ids, 4).unwrap();
+        w.append_with_limit(11, &[1, 2], 4).unwrap();
+        // 11 rows at cap 4 → frames of 4+4+3, plus the 2-row frame.
+        assert_eq!(w.bytes(), 13 + 4 * FRAME_HEADER_LEN as u64);
+        let r = recover(&path, 3).unwrap();
+        let mut want = ids;
+        want.extend_from_slice(&[1, 2]);
+        assert_eq!(r.assignments, want);
+        assert_eq!(r.dropped_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_rewrites_chunk_into_recoverable_frames() {
+        let dir = tmpdir("chunkrewrite");
+        let w = rewrite_with_limit(&dir, &[0, 1, 1, 0, 1], 2).unwrap();
+        assert_eq!(w.bytes(), 5 + 3 * FRAME_HEADER_LEN as u64);
+        let r = recover(&dir.join(JOURNAL_NAME), 2).unwrap();
+        assert_eq!(r.assignments, vec![0, 1, 1, 0, 1]);
+        assert_eq!(r.dropped_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_FRAME_ROWS")]
+    fn encode_frame_rejects_oversized_batches() {
+        let ids = vec![0u8; MAX_FRAME_ROWS as usize + 1];
+        let _ = encode_frame(0, &ids);
     }
 
     #[test]

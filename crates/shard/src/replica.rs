@@ -4,12 +4,18 @@
 //! kept warm by [`sync_shard`]: sealed segments are mirrored file-for-file
 //! (copy missing, drop stale — staging copy + atomic rename, so a crash
 //! never leaves a half-copied segment visible), and the mutable tail is
-//! shipped as raw CRC-framed WAL bytes via [`aiio_store::wal::tail_frames`]
-//! from a persisted byte offset. A leader WAL rewrite (seal, compaction,
-//! recovery truncation) is detected by the tailer and answered by
-//! truncating the follower WAL and re-shipping — the sealed segments the
-//! rewrite folded the rows into are mirrored in the same pass, and the
-//! store's ordinal-watermark dedup makes any overlap harmless.
+//! shipped as raw CRC-framed WAL bytes via [`aiio_store::wal::tail_frames`].
+//! The resume offset is *derived*, not persisted: frames are appended to
+//! the follower WAL verbatim, so the CRC-intact byte length of the
+//! follower's own WAL ([`aiio_store::wal::intact_len`]) is exactly the
+//! leader offset already covered. A separately stored cursor could lag
+//! what a crashed pass actually appended and re-ship duplicate frames;
+//! the derived offset cannot, which makes every pass crash-idempotent.
+//! A leader WAL rewrite (seal, compaction, recovery truncation) is
+//! detected by the tailer and answered by truncating the follower WAL
+//! and re-shipping — the sealed segments the rewrite folded the rows
+//! into are mirrored in the same pass, and the store's ordinal-watermark
+//! dedup makes any overlap harmless.
 //!
 //! Because the follower is a valid store at every step, failover is just
 //! "open the other directory": no replay protocol, no special reader.
@@ -18,23 +24,15 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use aiio_store::{segment, wal, Result as StoreResult, StoreError};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
-/// Follower-side file remembering how far into the leader WAL we are.
+/// Legacy follower-side cursor file. The shipped offset is now derived
+/// from the follower WAL itself (see the module docs); any file left by
+/// an older pass is ignored and removed on the next sync.
 pub const REPLICA_STATE_NAME: &str = "replica.state.json";
-
-/// Temporary name replication state is published through.
-pub const REPLICA_STATE_TMP_NAME: &str = "replica.state.tmp";
 
 /// Suffix of the staging file a segment is copied through.
 pub const COPY_STAGING_SUFFIX: &str = ".copytmp";
-
-/// Durable replication cursor: the leader-WAL byte offset already shipped.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ReplicaState {
-    /// Leader WAL bytes already appended to the follower WAL.
-    pub wal_offset: u64,
-}
 
 /// What one [`sync_shard`] pass did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
@@ -52,31 +50,22 @@ pub struct ShipReport {
     pub wal_reset: bool,
 }
 
-fn load_state(dir: &Path) -> StoreResult<ReplicaState> {
-    let path = dir.join(REPLICA_STATE_NAME);
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ReplicaState::default()),
-        Err(e) => return Err(StoreError::Io(e)),
-    };
-    // An unreadable cursor only costs a re-ship from offset 0; never fail
-    // replication over it.
-    Ok(serde_json::from_str(&text).unwrap_or_default())
-}
-
-fn store_state(dir: &Path, state: &ReplicaState) -> StoreResult<()> {
-    let tmp = dir.join(REPLICA_STATE_TMP_NAME);
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        let text = serde_json::to_string(state).map_err(|e| StoreError::Format {
-            path: tmp.clone(),
-            detail: format!("unencodable replica state: {e}"),
-        })?;
-        f.write_all(text.as_bytes())?;
-        f.sync_all()?;
+/// Trim `path` to `len` bytes (no-op for a missing or short file). Used
+/// to drop the torn frame a crashed ship pass may have left past the
+/// follower WAL's intact prefix, so appends always extend a clean
+/// boundary.
+fn truncate_to(path: &Path, len: u64) -> StoreResult<()> {
+    match std::fs::OpenOptions::new().write(true).open(path) {
+        Ok(f) => {
+            if f.metadata()?.len() > len {
+                f.set_len(len)?;
+                f.sync_all()?;
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(StoreError::Io(e)),
     }
-    std::fs::rename(&tmp, dir.join(REPLICA_STATE_NAME))?;
-    Ok(())
 }
 
 fn list_segments(dir: &Path) -> StoreResult<Vec<String>> {
@@ -126,8 +115,9 @@ pub fn sync_replica(dir: &Path) -> StoreResult<()> {
 
 /// Bring the follower store at `replica` up to date with the leader store
 /// at `leader`: mirror sealed segments, then ship new WAL frames from the
-/// persisted offset (truncating and re-shipping when the leader WAL was
-/// rewritten). Idempotent; safe to call on any cadence.
+/// offset the follower WAL already covers (truncating and re-shipping
+/// when the leader WAL was rewritten). Idempotent — including across a
+/// crash at any point inside a pass; safe to call on any cadence.
 pub fn sync_shard(leader: &Path, replica: &Path) -> StoreResult<ShipReport> {
     std::fs::create_dir_all(replica)?;
     let mut report = ShipReport::default();
@@ -148,10 +138,16 @@ pub fn sync_shard(leader: &Path, replica: &Path) -> StoreResult<ShipReport> {
         }
     }
 
-    // 2. Ship the WAL tail from the durable cursor.
-    let state = load_state(replica)?;
-    let tail = wal::tail_frames(&leader.join(wal::WAL_NAME), state.wal_offset)?;
+    // 2. Ship the WAL tail. The resume offset is the follower WAL's own
+    // CRC-intact byte length: shipped frames land verbatim, so that
+    // length IS the leader offset already covered — even when the
+    // previous pass crashed mid-append (its torn frame is excluded and
+    // truncated away; its complete frames are counted and not
+    // re-shipped).
     let replica_wal = replica.join(wal::WAL_NAME);
+    let shipped = wal::intact_len(&replica_wal)?;
+    truncate_to(&replica_wal, shipped)?;
+    let tail = wal::tail_frames(&leader.join(wal::WAL_NAME), shipped)?;
     if tail.reset {
         report.wal_reset = true;
         // Leader WAL was rewritten: restart the follower copy from zero.
@@ -175,12 +171,12 @@ pub fn sync_shard(leader: &Path, replica: &Path) -> StoreResult<ShipReport> {
     if tail.reset || !tail.frames.is_empty() {
         sync_replica(replica)?;
     }
-    store_state(
-        replica,
-        &ReplicaState {
-            wal_offset: tail.new_offset,
-        },
-    )?;
+    // Sweep the legacy cursor file so nothing can mistake it for truth.
+    match std::fs::remove_file(replica.join(REPLICA_STATE_NAME)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(StoreError::Io(e)),
+    }
     Ok(report)
 }
 
@@ -226,6 +222,17 @@ mod tests {
     fn small_config() -> StoreConfig {
         StoreConfig {
             rows_per_segment: 4,
+            wal_block_rows: 2,
+            verify_on_open: true,
+        }
+    }
+
+    /// Segments never seal, so the leader WAL only grows — the shape
+    /// the crash-idempotency tests need (a seal rewrites the leader WAL
+    /// and legitimately resets the follower, masking what they probe).
+    fn no_seal_config() -> StoreConfig {
+        StoreConfig {
+            rows_per_segment: 1024,
             wal_block_rows: 2,
             verify_on_open: true,
         }
@@ -301,6 +308,113 @@ mod tests {
         assert_eq!(again.frames_shipped, 0);
         assert!(!again.wal_reset);
         assert_eq!(rows_of(&follower), (0..7u64).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crashed_pass_that_appended_frames_is_not_reshipped() {
+        // Regression: a pass that died after appending shipped frames to
+        // the follower WAL (but before any bookkeeping) must not cause
+        // the next pass to ship the same frames again.
+        let root = tmpdir("crashmid");
+        let leader = root.join("leader");
+        let follower = root.join("follower");
+        let mut store = Store::open_with(&leader, no_seal_config()).unwrap();
+        store
+            .append_batch(&(0..6).map(job).collect::<Vec<_>>())
+            .unwrap();
+        store.sync().unwrap();
+        sync_shard(&leader, &follower).unwrap();
+
+        // New leader frames appear...
+        store
+            .append_batch(&(6..9).map(job).collect::<Vec<_>>())
+            .unwrap();
+        store.sync().unwrap();
+        // ...and a "crashed" pass appends them to the follower WAL by
+        // hand, dying before it finishes.
+        let follower_wal = follower.join(wal::WAL_NAME);
+        let shipped = wal::intact_len(&follower_wal).unwrap();
+        let new = wal::tail_frames(&leader.join(wal::WAL_NAME), shipped).unwrap();
+        assert!(!new.frames.is_empty());
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&follower_wal)
+                .unwrap();
+            for frame in &new.frames {
+                f.write_all(&frame.bytes).unwrap();
+            }
+        }
+
+        // The retry derives the offset from the follower WAL and ships
+        // nothing — the rows are already there, exactly once.
+        let r = sync_shard(&leader, &follower).unwrap();
+        assert_eq!(r.frames_shipped, 0, "frames must not ship twice");
+        assert!(!r.wal_reset);
+        assert_eq!(rows_of(&follower), (0..9u64).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_follower_tail_is_truncated_and_reshipped() {
+        // A crash mid-append can leave half a frame on the follower; the
+        // next pass must drop the torn bytes and ship the frame whole.
+        let root = tmpdir("crashtorn");
+        let leader = root.join("leader");
+        let follower = root.join("follower");
+        let mut store = Store::open_with(&leader, no_seal_config()).unwrap();
+        store
+            .append_batch(&(0..6).map(job).collect::<Vec<_>>())
+            .unwrap();
+        store.sync().unwrap();
+        sync_shard(&leader, &follower).unwrap();
+
+        store
+            .append_batch(&(6..9).map(job).collect::<Vec<_>>())
+            .unwrap();
+        store.sync().unwrap();
+        let follower_wal = follower.join(wal::WAL_NAME);
+        let shipped = wal::intact_len(&follower_wal).unwrap();
+        let new = wal::tail_frames(&leader.join(wal::WAL_NAME), shipped).unwrap();
+        let first = &new.frames[0].bytes;
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&follower_wal)
+                .unwrap();
+            f.write_all(&first[..first.len() / 2]).unwrap();
+        }
+
+        let r = sync_shard(&leader, &follower).unwrap();
+        assert!(r.frames_shipped > 0);
+        // The pass converged: a further pass ships nothing. (Checked
+        // before rows_of, which opens the follower as a store and
+        // normalizes its WAL bytes.)
+        let again = sync_shard(&leader, &follower).unwrap();
+        assert_eq!(again.frames_shipped, 0);
+        assert_eq!(rows_of(&follower), (0..9u64).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stale_legacy_cursor_files_are_ignored_and_swept() {
+        // Older passes persisted a replica.state.json cursor; a stale
+        // (lagging) one must neither cause duplication nor survive.
+        let root = tmpdir("legacycursor");
+        let leader = root.join("leader");
+        let follower = root.join("follower");
+        let mut store = Store::open_with(&leader, small_config()).unwrap();
+        store
+            .append_batch(&(0..9).map(job).collect::<Vec<_>>())
+            .unwrap();
+        store.sync().unwrap();
+        sync_shard(&leader, &follower).unwrap();
+        std::fs::write(follower.join(REPLICA_STATE_NAME), "{\"wal_offset\":0}").unwrap();
+        let r = sync_shard(&leader, &follower).unwrap();
+        assert_eq!(r.frames_shipped, 0);
+        assert_eq!(rows_of(&follower), (0..9u64).collect::<Vec<_>>());
+        assert!(!follower.join(REPLICA_STATE_NAME).exists());
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -54,8 +54,10 @@ pub struct RecoveryReport {
     pub wal_rows_recovered: usize,
     /// WAL bytes abandoned past the first bad frame.
     pub wal_bytes_dropped: u64,
-    /// WAL rows skipped because a sealed segment already covers them
-    /// (crash landed between seal and WAL rewrite).
+    /// WAL rows skipped because an earlier copy is already durable: a
+    /// sealed segment covers their ordinal (crash landed between seal
+    /// and WAL rewrite) or an earlier WAL frame already replayed it (a
+    /// replication follower's re-shipped frame).
     pub wal_rows_already_sealed: usize,
     /// Segments renamed aside because a checksum failed.
     pub quarantined_segments: Vec<String>,
@@ -255,14 +257,21 @@ impl Store {
         }
         let sealed_watermark = watermark;
 
-        // Replay the WAL: keep intact rows past the sealed watermark.
+        // Replay the WAL: keep intact rows past the sealed watermark,
+        // tracking the covered ordinal as rows are taken so replay is
+        // idempotent *within* the WAL too. A replication follower's WAL
+        // can legitimately carry re-shipped (duplicated) frames after a
+        // crashed sync pass; their rows are byte-identical copies of
+        // ordinals already replayed and must not enter the tail twice.
         let replay = wal::recover(&root.join(WAL_NAME))?;
         report.wal_bytes_dropped = replay.dropped_bytes;
         let mut tail = Vec::new();
+        let mut covered = sealed_watermark;
         for (ordinal, job) in replay.rows {
-            if ordinal < sealed_watermark {
+            if ordinal < covered {
                 report.wal_rows_already_sealed += 1;
             } else {
+                covered = ordinal + 1;
                 tail.push(job);
             }
         }

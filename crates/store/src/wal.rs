@@ -242,6 +242,22 @@ pub fn tail_frames(path: &Path, from: u64) -> Result<WalTail> {
     })
 }
 
+/// Byte length of the intact frame prefix of `path` (0 for a missing
+/// file). This is the offset a replication follower trusts as already
+/// shipped: frames are appended to the follower verbatim, so the
+/// CRC-walked length of its own WAL *is* the leader offset it covers —
+/// unlike a separately persisted cursor, it cannot lag what a crashed
+/// ship pass actually wrote, and a torn trailing frame is excluded.
+pub fn intact_len(path: &Path) -> Result<u64> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    let (_, end) = walk_frames(&bytes, 0);
+    Ok(end as u64)
+}
+
 /// Could the bytes at `off` be the prefix of a frame whose remainder has
 /// not hit the disk yet? True exactly when everything present so far is
 /// consistent with an in-progress append (magic prefix, plausible

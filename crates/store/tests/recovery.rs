@@ -359,3 +359,27 @@ fn crash_between_seal_and_wal_rewrite_does_not_duplicate_rows() {
     assert_eq!(read_rows(&store), all, "no duplicates, no losses");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn duplicated_wal_frames_replay_once() {
+    // A replication follower's WAL can hold the same frame twice when a
+    // ship pass crashed between appending frames and finishing; replay
+    // must dedup by ordinal *inside* the WAL, not just against segments.
+    let dir = tmpdir("dup_frames");
+    let all = jobs(8, 0xBEE);
+    let mut wal_bytes = Vec::new();
+    wal_bytes.extend_from_slice(&aiio_store::wal::encode_block(0, &all[..5]));
+    wal_bytes.extend_from_slice(&aiio_store::wal::encode_block(0, &all[..5]));
+    wal_bytes.extend_from_slice(&aiio_store::wal::encode_block(5, &all[5..]));
+    std::fs::write(dir.join("wal.bin"), &wal_bytes).unwrap();
+
+    let store = Store::open_with(&dir, cfg(64, 8)).unwrap();
+    let report = store.recovery_report();
+    assert_eq!(
+        report.wal_rows_already_sealed, 5,
+        "duplicated frame's rows dropped"
+    );
+    assert_eq!(report.wal_rows_recovered, 8);
+    assert_eq!(read_rows(&store), all, "each row exactly once, in order");
+    let _ = std::fs::remove_dir_all(&dir);
+}

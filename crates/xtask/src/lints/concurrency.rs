@@ -88,6 +88,7 @@ const BLOCKING: &[&str] = &[
     // follower segment copies and whole-shard ships are all file I/O
     // under the hood, even when the call site names no `fs::` path.
     "tail_frames(",
+    "intact_len(",
     "copy_segment(",
     "sync_replica(",
     "sync_shard(",
