@@ -42,10 +42,14 @@ USAGE:
       Print per-shard row counts, roles (primary/replica), orphan rows
       and replication lag for a sharded fleet.
 
-  aiio replicate --store DIR [--json]
-      Ship each shard's sealed segments and WAL tail to its follower
-      directory, so a lost or corrupted shard fails over with no row
-      loss on the next open.
+  aiio replicate --store DIR [--from URL] [--json]
+      Without --from: ship each shard's sealed segments and WAL tail to
+      its follower directory, so a lost or corrupted shard fails over
+      with no row loss on the next open. With --from http://host:port:
+      pull the *remote* primary served there (its /repl/* endpoints)
+      into DIR over the network instead — one pass of CRC-verified
+      WAL-tail, segment and journal shipping that resumes from the local
+      copy's intact length, so a killed pass never re-publishes a row.
 
   aiio rebalance --store DIR --shards N [--json]
       Re-partition a fleet to N shards: rows stream into a staged next
@@ -68,6 +72,7 @@ USAGE:
 
   aiio serve --model FILE [--addr HOST:PORT] [--workers N] [--queue N]
              [--threads T] [--store DIR] [--shards N]
+             [--replicate-from URL]
       Serve diagnoses over HTTP (the paper's §3.4 web service): POST
       /diagnose and /diagnose/batch, GET /healthz and /metrics, POST
       /admin/reload and /admin/shutdown. With --store, POST /ingest
@@ -77,6 +82,11 @@ USAGE:
       ingest routes rows to their owning shard and /metrics adds
       per-shard rows, replication lag and failover gauges; --shards N
       seeds a brand-new directory as an N-shard fleet.
+      With --replicate-from http://host:port, this server becomes a
+      read-only follower of the primary serving there: it pulls the
+      primary's store into --store DIR at startup, re-syncs on every
+      POST /repl/sync, answers 403 on /ingest, and keeps serving its
+      last-synced bytes if the primary dies (failover reads).
       Prints `listening on ADDR` once bound (use --addr 127.0.0.1:0 for
       an ephemeral port) and runs until /admin/shutdown.
 
@@ -493,6 +503,34 @@ fn cmd_shard_stats(args: &[String]) -> Result<(), CliError> {
 fn cmd_replicate(args: &[String]) -> Result<(), CliError> {
     let (_, flags) = parse_flags(args)?;
     let dir = required(&flags, "store")?;
+    if let Some(url) = flag(&flags, "from") {
+        let report = aiio_replnet::pull_pass(
+            std::path::Path::new(dir),
+            url,
+            &aiio_replnet::PullConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        if flag(&flags, "json").is_some() {
+            let body = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+            println!("{body}");
+        } else {
+            let segments: u64 = report.shards.iter().map(|s| s.segments_copied).sum();
+            let frames: u64 = report.shards.iter().map(|s| s.frames_shipped).sum();
+            let rows: u64 = report.shards.iter().map(|s| s.rows_shipped).sum();
+            eprintln!(
+                "pulled {} layout (epoch {}) from {url}: {} segment(s) copied, \
+                 {} WAL frame(s) shipped ({} rows), {} journal byte(s), lag {} frame(s)",
+                report.layout,
+                report.epoch,
+                segments,
+                frames,
+                rows,
+                report.journal_bytes_shipped,
+                report.total_lag_frames(),
+            );
+        }
+        return Ok(());
+    }
     let mut fleet = open_existing_fleet(dir)?;
     let report = fleet.replicate().map_err(|e| e.to_string())?;
     if flag(&flags, "json").is_some() {
@@ -673,6 +711,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(s) = flag(&flags, "shards") {
         config.shards = parse_num(s, "shards")?;
+    }
+    if let Some(url) = flag(&flags, "replicate-from") {
+        config.replicate_from = Some(url.to_string());
     }
     eprintln!(
         "serving {} models with {} workers (queue depth {}, engine threads {})",

@@ -157,8 +157,8 @@ mod tests {
     fn ari_random_partitions_near_zero() {
         // Independent partitions: `a` cycles with period 4, `b` changes
         // every 4 points, so each b-block holds every a-label once.
-        let a: Vec<i32> = (0..200).map(|i| (i % 4) as i32).collect();
-        let b: Vec<i32> = (0..200).map(|i| ((i / 4) % 4) as i32).collect();
+        let a: Vec<i32> = (0..200).map(|i| i % 4).collect();
+        let b: Vec<i32> = (0..200).map(|i| (i / 4) % 4).collect();
         let ari = adjusted_rand_index(&a, &b);
         assert!(ari.abs() < 0.1, "ARI {ari}");
     }

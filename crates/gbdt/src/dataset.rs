@@ -194,10 +194,10 @@ mod tests {
         let m = BinnedMatrix::from_rows(&x, 4);
         assert_eq!(m.n_rows(), 3);
         assert_eq!(m.n_features(), 2);
-        for r in 0..3 {
-            for f in 0..2 {
+        for (r, row) in x.iter().enumerate() {
+            for (f, &cell) in row.iter().enumerate() {
                 assert_eq!(m.bin(r, f), m.column(f)[r]);
-                assert_eq!(m.bin(r, f), m.binner().bin(f, x[r][f]));
+                assert_eq!(m.bin(r, f), m.binner().bin(f, cell));
             }
         }
     }

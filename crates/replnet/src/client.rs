@@ -1,0 +1,177 @@
+//! Minimal binary-safe HTTP/1.1 GET client for the replication pull
+//! loop. `aiio_serve::client` speaks String bodies; replication ships
+//! raw frame bytes, so this client owns its own response parsing and
+//! keeps the body as `Vec<u8>` end to end.
+//!
+//! Failure semantics match the pull loop's needs exactly: a connect
+//! failure, a stalled peer (deadline exceeded) or an unparseable head is
+//! an `Err` the caller may retry; a body *shorter* than the declared
+//! `Content-Length` is returned as-is — that is a torn stream, and the
+//! caller's CRC walk truncates it to the last complete frame just like a
+//! torn local tail.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug)]
+pub struct Fetched {
+    /// Status code from the response line.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (possibly shorter than `Content-Length` after a
+    /// torn stream; never longer).
+    pub body: Vec<u8>,
+}
+
+impl Fetched {
+    /// Value of header `name` (already-lowercased), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Header parsed as u64, defaulting to 0 when absent or malformed.
+    pub fn header_u64(&self, name: &str) -> u64 {
+        self.header(name)
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    }
+}
+
+fn other(msg: String) -> std::io::Error {
+    std::io::Error::other(msg)
+}
+
+/// Resolve `base` ("http://host:port" or "host:port") to a socket
+/// address plus the Host header value.
+fn parse_base(base: &str) -> std::io::Result<(std::net::SocketAddr, String)> {
+    let host = base
+        .strip_prefix("http://")
+        .unwrap_or(base)
+        .trim_end_matches('/');
+    if host.is_empty() {
+        return Err(other(format!("replnet: empty primary URL {base:?}")));
+    }
+    let addr = host
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| other(format!("replnet: {host:?} resolved to no address")))?;
+    Ok((addr, host.to_string()))
+}
+
+/// Issue one `GET {path}` against `base` with a per-request `deadline`
+/// covering connect, write and every read. Returns the parsed response;
+/// see the module docs for torn-stream semantics.
+pub fn http_fetch(base: &str, path: &str, deadline: Duration) -> std::io::Result<Fetched> {
+    let (addr, host) = parse_base(base)?;
+    let stream = TcpStream::connect_timeout(&addr, deadline)?;
+    stream.set_read_timeout(Some(deadline))?;
+    stream.set_write_timeout(Some(deadline))?;
+    let mut stream = stream;
+    let req = format!("GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    let mut raw = Vec::new();
+    // The peer closes after one exchange; EOF delimits the body. A read
+    // timeout mid-body means a stalled peer, which the deadline turns
+    // into an error rather than an indefinite hang.
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Split raw response bytes into status, headers and body.
+fn parse_response(raw: &[u8]) -> std::io::Result<Fetched> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| other("replnet: response head never completed".into()))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| other("replnet: non-UTF8 response head".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| other(format!("replnet: bad status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let mut body = raw[head_end + 4..].to_vec();
+    // Never trust bytes past the declared length (a buggy peer or a
+    // proxy artifact); shorter-than-declared stays as-is for the
+    // caller's CRC walk to truncate.
+    if let Some(cl) = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        body.truncate(cl);
+    }
+    Ok(Fetched {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// [`http_fetch`] with bounded linear-backoff retry. Retries any
+/// transport error or non-200 status up to `retries` extra attempts,
+/// sleeping `backoff * attempt` between them. A 200 with a torn body is
+/// a success at this layer — the pull loop handles truncation.
+pub fn http_fetch_retry(
+    base: &str,
+    path: &str,
+    deadline: Duration,
+    retries: u32,
+    backoff: Duration,
+) -> std::io::Result<Fetched> {
+    let mut last: Option<std::io::Error> = None;
+    for attempt in 0..=retries {
+        if attempt > 0 {
+            std::thread::sleep(backoff * attempt);
+        }
+        match http_fetch(base, path, deadline) {
+            Ok(f) if f.status == 200 => return Ok(f),
+            Ok(f) => last = Some(other(format!("replnet: GET {path} -> HTTP {}", f.status))),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| other(format!("replnet: GET {path} failed with no attempts"))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_headers_and_exact_body() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\nX-Repl-Frames: 7\r\n\r\n\x00\x01\xfe\xff";
+        let f = parse_response(raw).unwrap();
+        assert_eq!(f.status, 200);
+        assert_eq!(f.header_u64("x-repl-frames"), 7);
+        assert_eq!(f.body, vec![0x00, 0x01, 0xfe, 0xff]);
+    }
+
+    #[test]
+    fn short_body_is_returned_torn_and_long_body_is_clamped() {
+        let torn = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc";
+        assert_eq!(parse_response(torn).unwrap().body, b"abc");
+        let long = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nabcdef";
+        assert_eq!(parse_response(long).unwrap().body, b"ab");
+    }
+
+    #[test]
+    fn incomplete_head_is_an_error() {
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-").is_err());
+        assert!(parse_response(b"garbage\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Network WAL-shipping replication for the aiio job-log store.
+//!
+//! A primary exposes its store under `/repl/*` (wired into `aiio-serve`);
+//! a follower on another host runs [`pull_pass`] against that URL and
+//! ends up with a byte-identical copy it can serve failover reads from.
+//!
+//! # Wire format
+//!
+//! All endpoints are plain HTTP/1.1, one exchange per connection
+//! (`Connection: close`), bodies sized by `Content-Length`:
+//!
+//! | endpoint | body |
+//! |---|---|
+//! | `GET /repl/manifest` | JSON `{"layout","shards","epoch"}` |
+//! | `GET /repl/{s}/wal?from=N[&probe=1]` | verbatim CRC-framed WAL tail |
+//! | `GET /repl/{s}/segments` | JSON `[{"name","bytes"}]` |
+//! | `GET /repl/{s}/segment/{name}` | file bytes + 4-byte LE CRC32 trailer |
+//! | `GET /repl/journal?from=N` | verbatim journal frame tail |
+//!
+//! WAL and journal replies carry `X-Repl-Reset`, `X-Repl-Frames`,
+//! `X-Repl-Rows` and `X-Repl-Offset` headers so a follower can measure
+//! lag without decoding the body.
+//!
+//! # Crash idempotency
+//!
+//! The follower never persists a replication cursor. Its resume offset
+//! *is* the CRC-intact byte length of its own copy
+//! ([`aiio_store::wal::intact_len`], [`aiio_shard::journal::scan_frames`]),
+//! so a pull pass killed at any byte leaves a state the next pass resumes
+//! from exactly — re-shipping at most the one torn frame it truncates.
+//! Received bytes are CRC-walked *before* publication: a bit-flip in
+//! transit fails its frame CRC and is never written, a torn stream simply
+//! ends the pass early with the verified prefix published.
+
+pub mod client;
+pub mod pull;
+pub mod server;
+
+pub use client::{http_fetch, http_fetch_retry, Fetched};
+pub use pull::{probe_pass, pull_pass, PullConfig, PullReport, ShardPullReport};
+pub use server::{repl_reply, ReplManifest, ReplSource, Reply, SegmentEntry};
+
+/// Header carrying `1` when the requested offset was not a frame
+/// boundary and the tail restarted from zero.
+pub const H_RESET: &str = "x-repl-reset";
+/// Header carrying the number of intact frames in (or, under `probe=1`,
+/// available for) the reply body.
+pub const H_FRAMES: &str = "x-repl-frames";
+/// Header carrying the total rows covered by those frames.
+pub const H_ROWS: &str = "x-repl-rows";
+/// Header carrying the leader-side offset at the end of the tail.
+pub const H_OFFSET: &str = "x-repl-offset";

@@ -160,6 +160,15 @@ impl Response {
         }
     }
 
+    /// A binary response (replication frame/segment bodies).
+    pub fn bytes(status: u16, content_type: &str, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), content_type.into())],
+            body,
+        }
+    }
+
     /// A JSON error envelope: `{"error": "..."}`.
     pub fn error(status: u16, message: &str) -> Response {
         Response::json(status, format!("{{\"error\":{}}}", json_string(message)))
@@ -199,11 +208,13 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "",

@@ -92,6 +92,13 @@ pub struct ServeConfig {
     /// Freshly ingested rows the drift detector is evaluated over (a
     /// sliding window of transformed feature vectors).
     pub drift_window: usize,
+    /// Primary base URL (`http://host:port`) to replicate from. Turns
+    /// this server into a read-only follower: it pulls the primary's
+    /// store into `store_dir` once at bind (best effort — a dead primary
+    /// must not stop a follower from serving its last-synced bytes),
+    /// `POST /repl/sync` pulls again on demand, and `POST /ingest`
+    /// answers 403 (rows belong on the primary).
+    pub replicate_from: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +113,7 @@ impl Default for ServeConfig {
             store_dir: None,
             shards: 0,
             drift_window: 256,
+            replicate_from: None,
         }
     }
 }
@@ -217,6 +225,10 @@ struct Shared {
     shutdown: AtomicBool,
     config: ServeConfig,
     ingest: Option<Mutex<IngestState>>,
+    /// Primary URL when this server is a replication follower. The mutex
+    /// serializes pull passes: two concurrent `/repl/sync` requests would
+    /// interleave staging writes on the same replica files.
+    repl: Option<Mutex<String>>,
 }
 
 /// A cheap clone-able handle for observing and stopping a running server.
@@ -267,6 +279,17 @@ impl Server {
             // invariant by aiio-par's contract, so this only affects speed.
             aiio_par::set_threads(config.engine_threads);
         }
+        if config.replicate_from.is_some() && config.store_dir.is_none() {
+            return Err(std::io::Error::other(
+                "--replicate-from needs a store directory to pull into",
+            ));
+        }
+        if let (Some(primary), Some(dir)) = (&config.replicate_from, &config.store_dir) {
+            // Initial sync, best effort: the follower serves whatever it
+            // has if the primary is already gone — that is the failover
+            // story — and `/repl/sync` retries later.
+            let _ = aiio_replnet::pull_pass(dir, primary, &aiio_replnet::PullConfig::default());
+        }
         // The store opens before the metrics exist: a sharded layout
         // fixes the fleet width for the server's lifetime, and the
         // per-shard gauge vector is sized from it at construction so the
@@ -295,6 +318,7 @@ impl Server {
             }
             None => None,
         };
+        let repl = config.replicate_from.clone().map(Mutex::new);
         let shared = Arc::new(Shared {
             slot: Arc::new(RwLock::new(Arc::new(service))),
             queue: Arc::new(Bounded::new(config.queue_capacity)),
@@ -302,6 +326,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             config,
             ingest,
+            repl,
         });
         shared.metrics.engine_threads.store(
             shared.config.engine_threads.max(1) as u64,
@@ -410,6 +435,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 fn classify(path: &str) -> Endpoint {
+    if path.starts_with("/repl/") {
+        return Endpoint::Repl;
+    }
     match path {
         "/diagnose" => Endpoint::Diagnose,
         "/diagnose/batch" => Endpoint::DiagnoseBatch,
@@ -434,6 +462,8 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
                 .metrics
                 .render(shared.queue.len(), shared.queue.capacity()),
         ),
+        ("POST", "/repl/sync") => repl_sync(req, shared),
+        ("GET", p) if p.starts_with("/repl/") => repl_get(req, shared),
         ("POST", "/admin/reload") => admin_reload(req, shared),
         ("POST", "/admin/shutdown") => {
             shared.shutdown.store(true, Ordering::Release);
@@ -610,12 +640,143 @@ fn update_store_gauges(metrics: &Metrics, snapshot: &StoreSnapshot) {
     }
 }
 
+/// Snapshot the attached store's on-disk layout for the replication
+/// reply builders. Cheap (paths only); the file reads happen after the
+/// ingest lock is released, against bytes the durability contract has
+/// already published.
+fn repl_source_of(store: &AttachedStore) -> aiio_replnet::ReplSource {
+    match store {
+        AttachedStore::Single(s) => aiio_replnet::ReplSource::Single {
+            dir: s.root().to_path_buf(),
+        },
+        AttachedStore::Sharded(fleet) => aiio_replnet::ReplSource::Fleet {
+            epoch: fleet.manifest().epoch,
+            serving_dirs: fleet.serving_dirs(),
+            journal: fleet.journal_path(),
+        },
+    }
+}
+
+/// `GET /repl/*`: serve the store's bytes to a pulling follower.
+fn repl_get(req: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(state) = &shared.ingest else {
+        return Response::error(
+            404,
+            "no job-log store attached (start `aiio serve` with --store DIR)",
+        );
+    };
+    let src = {
+        let Ok(state) = state.lock() else {
+            return Response::error(500, "store mutex poisoned");
+        };
+        // xtask-allow: AIIO-R002 — only assembles the source's paths and
+        // row counts from the guarded snapshot; the byte serving below
+        // runs on files, after the guard is gone.
+        repl_source_of(&state.store)
+    };
+    let target = req.path.trim_start_matches("/repl/");
+    let reply = aiio_replnet::repl_reply(&src, target);
+    let mut resp = Response::bytes(reply.status, reply.content_type, reply.body);
+    for (name, value) in reply.headers {
+        resp = resp.with_header(&name, value);
+    }
+    resp
+}
+
+/// Copy a finished pull's per-shard lag/RTT measurements into gauges.
+fn update_repl_gauges(metrics: &Metrics, report: &aiio_replnet::PullReport) {
+    for sp in &report.shards {
+        if let Some(g) = metrics.shard_gauges(sp.shard as usize) {
+            g.repl_lag_frames.store(sp.lag_frames, Ordering::Relaxed);
+            g.repl_rtt_ms.store(sp.rtt_ms, Ordering::Relaxed);
+        }
+    }
+}
+
+/// `POST /repl/sync` (follower only): run one pull pass against the
+/// configured primary, reopen the attached store on the fresh bytes, and
+/// return the pass report. Body `{"probe": true}` measures lag without
+/// writing anything.
+fn repl_sync(req: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(repl) = &shared.repl else {
+        return Response::error(
+            404,
+            "not a replication follower (start `aiio serve` with --replicate-from URL)",
+        );
+    };
+    let Some(state) = &shared.ingest else {
+        return Response::error(500, "follower has no store attached");
+    };
+    let probe = req
+        .body_utf8()
+        .ok()
+        .and_then(|b| serde_json::parse_value(b).ok())
+        .and_then(|v| v.get("probe").and_then(serde_json::Value::as_bool))
+        .unwrap_or(false);
+    // xtask-allow: AIIO-R002 — intentional hold: the repl mutex exists to
+    // serialize pull passes; concurrent passes would interleave staging
+    // writes and truncations on the same replica files.
+    // xtask-allow: AIIO-R001 — the repl mutex is acquired only here and
+    // always before the store state; the cycle the cross-crate name
+    // resolution reports runs through the dev-only test proxy crate,
+    // which is never linked into the server.
+    let Ok(primary) = repl.lock() else {
+        return Response::error(500, "replication mutex poisoned");
+    };
+    let Some(dir) = shared.config.store_dir.as_deref() else {
+        return Response::error(500, "follower has no store directory");
+    };
+    let cfg = aiio_replnet::PullConfig::default();
+    let report = if probe {
+        aiio_replnet::probe_pass(dir, &primary, &cfg)
+    } else {
+        aiio_replnet::pull_pass(dir, &primary, &cfg)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => return Response::error(502, &format!("pull from {} failed: {e}", &*primary)),
+    };
+    if !probe {
+        // xtask-allow: AIIO-R001 — the only order in this binary is
+        // repl -> state (this function is the repl mutex's sole user),
+        // so the cycle the cross-crate name resolution sees cannot
+        // close at runtime; the third lock it names lives in the
+        // dev-only test proxy, which is never linked into the server.
+        let Ok(mut st) = state.lock() else {
+            return Response::error(500, "store mutex poisoned");
+        };
+        // xtask-allow: AIIO-R002 — intentional hold: the reopen swaps the
+        // attached store atomically with respect to concurrent readers of
+        // the ingest state; serving a half-swapped store would mix epochs.
+        match AttachedStore::open(dir, shared.config.shards) {
+            Ok(new_store) => st.store = new_store,
+            Err(e) => {
+                return Response::error(500, &format!("reopen after sync failed: {}", e.into_io()))
+            }
+        }
+        let snapshot = st.store.snapshot();
+        drop(st);
+        update_store_gauges(&shared.metrics, &snapshot);
+    }
+    update_repl_gauges(&shared.metrics, &report);
+    match serde_json::to_string(&report) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => Response::error(500, &format!("report serialization failed: {e}")),
+    }
+}
+
 /// `POST /ingest`: append one `JobLog` (or an array) to the attached
 /// store, then score the freshly ingested tail against the service's
 /// training distribution. Runs on the connection thread — ingestion is
 /// disk work, not diagnosis work, so it never competes for the worker
 /// pool's bounded queue.
 fn ingest(req: &Request, shared: &Arc<Shared>) -> Response {
+    if shared.repl.is_some() {
+        return Response::error(
+            403,
+            "this server is a replication follower; ingest rows on the primary",
+        );
+    }
     let Some(state) = &shared.ingest else {
         return Response::error(
             404,

@@ -23,11 +23,14 @@ pub enum Endpoint {
     Metrics,
     AdminReload,
     AdminShutdown,
+    /// Any `/repl/*` replication-transport exchange (WAL/segment/journal
+    /// tails served to followers, `/repl/sync` pulls triggered on one).
+    Repl,
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 8] = [
+    const ALL: [Endpoint; 9] = [
         Endpoint::Diagnose,
         Endpoint::DiagnoseBatch,
         Endpoint::Ingest,
@@ -35,6 +38,7 @@ impl Endpoint {
         Endpoint::Metrics,
         Endpoint::AdminReload,
         Endpoint::AdminShutdown,
+        Endpoint::Repl,
         Endpoint::Other,
     ];
 
@@ -47,7 +51,8 @@ impl Endpoint {
             Endpoint::Metrics => 4,
             Endpoint::AdminReload => 5,
             Endpoint::AdminShutdown => 6,
-            Endpoint::Other => 7,
+            Endpoint::Repl => 7,
+            Endpoint::Other => 8,
         }
     }
 
@@ -60,6 +65,7 @@ impl Endpoint {
             Endpoint::Metrics => "metrics",
             Endpoint::AdminReload => "admin_reload",
             Endpoint::AdminShutdown => "admin_shutdown",
+            Endpoint::Repl => "repl",
             Endpoint::Other => "other",
         }
     }
@@ -106,12 +112,18 @@ pub struct ShardGauges {
     pub replication_lag: AtomicU64,
     /// 1 while the shard serves from its replica directory (failed over).
     pub serving_replica: AtomicU64,
+    /// WAL frames the primary declared that the last network pull pass
+    /// did not publish (0 after a clean sync; only meaningful on a
+    /// follower started with `--replicate-from`).
+    pub repl_lag_frames: AtomicU64,
+    /// Round-trip time of the last network WAL fetch, milliseconds.
+    pub repl_rtt_ms: AtomicU64,
 }
 
 /// All server counters; shared as `Arc<Metrics>` between the accept loop,
 /// connection threads and the worker pool.
 pub struct Metrics {
-    endpoints: [EndpointStats; 8],
+    endpoints: [EndpointStats; 9],
     /// Requests refused with 503 because the queue was full.
     pub rejected_total: AtomicU64,
     /// Requests that missed their deadline (504).
@@ -358,6 +370,16 @@ impl Metrics {
                         "aiio_shard_serving_replica{{shard=\"{s}\"}} {}",
                         g.serving_replica.load(Ordering::Relaxed)
                     );
+                    let _ = writeln!(
+                        out,
+                        "aiio_shard_replication_lag_frames{{shard=\"{s}\"}} {}",
+                        g.repl_lag_frames.load(Ordering::Relaxed)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "aiio_shard_repl_rtt_ms{{shard=\"{s}\"}} {}",
+                        g.repl_rtt_ms.load(Ordering::Relaxed)
+                    );
                 }
             }
         }
@@ -437,6 +459,17 @@ mod tests {
         assert!(text.contains("aiio_shard_rows{shard=\"0\"} 10"));
         assert!(text.contains("aiio_shard_replication_lag{shard=\"1\"} 3"));
         assert!(text.contains("aiio_shard_serving_replica{shard=\"1\"} 1"));
+        m.shard_gauges(0)
+            .unwrap()
+            .repl_lag_frames
+            .store(7, Ordering::Relaxed);
+        m.shard_gauges(0)
+            .unwrap()
+            .repl_rtt_ms
+            .store(12, Ordering::Relaxed);
+        let text = m.render(0, 8);
+        assert!(text.contains("aiio_shard_replication_lag_frames{shard=\"0\"} 7"));
+        assert!(text.contains("aiio_shard_repl_rtt_ms{shard=\"0\"} 12"));
         // Unsharded metrics never emit the shard family.
         let plain = Metrics::new(1);
         plain.store_attached.store(1, Ordering::Relaxed);

@@ -370,6 +370,22 @@ impl ShardedStore {
         &self.epoch_dir
     }
 
+    /// Directory each shard currently serves from (primary, or the
+    /// follower after a failover), in shard order. The network
+    /// replication endpoints snapshot these paths under the serving
+    /// lock and do all file I/O after dropping it.
+    pub fn serving_dirs(&self) -> Vec<PathBuf> {
+        self.states
+            .iter()
+            .map(|st| st.serving_dir().to_path_buf())
+            .collect()
+    }
+
+    /// On-disk path of the live epoch's ordinal journal.
+    pub fn journal_path(&self) -> PathBuf {
+        self.epoch_dir.join(JOURNAL_NAME)
+    }
+
     /// What opening found and repaired.
     pub fn recovery_report(&self) -> &FleetRecovery {
         &self.recovery

@@ -138,6 +138,97 @@ pub fn recover(path: &Path, shards: usize) -> Result<JournalRecovery> {
     })
 }
 
+/// Walk the intact, in-sequence frame prefix of a raw byte buffer whose
+/// first frame must carry global ordinal `base_ordinal`. Returns the
+/// byte length of that prefix and the rows it covers.
+///
+/// This is the verification a network replication follower runs on
+/// *received* journal tail bytes before publishing them: a bit-flip
+/// fails the frame CRC, a torn stream ends mid-frame, and a frame whose
+/// base ordinal does not continue the follower's own row count is a
+/// tear — only the verified prefix is ever appended. Shard-id range
+/// validation is deliberately left to [`recover`] at open; the wire
+/// check cares about integrity and sequence, not topology.
+pub fn scan_frames(bytes: &[u8], base_ordinal: u64) -> (usize, u64) {
+    let mut off = 0usize;
+    let mut rows = 0u64;
+    let mut valid = 0usize;
+    while off + FRAME_HEADER_LEN <= bytes.len() {
+        if &bytes[off..off + 4] != FRAME_MAGIC {
+            break;
+        }
+        let n_rows = read_u32(bytes, off + 4).unwrap_or(u32::MAX);
+        let base = read_u64(bytes, off + 8).unwrap_or(u64::MAX);
+        let stored_crc = read_u32(bytes, off + 16).unwrap_or(0);
+        if n_rows > MAX_FRAME_ROWS || base != base_ordinal + rows {
+            break;
+        }
+        let end = off + FRAME_HEADER_LEN + n_rows as usize;
+        if end > bytes.len() {
+            break;
+        }
+        if aiio_store::crc32(&bytes[off + FRAME_HEADER_LEN..end]) != stored_crc {
+            break;
+        }
+        rows += u64::from(n_rows);
+        off = end;
+        valid = off;
+    }
+    (valid, rows)
+}
+
+/// What one tailing read of the journal returned (the journal analogue
+/// of [`aiio_store::wal::WalTail`], at byte rather than frame
+/// granularity — journal frames are shipped as an opaque verbatim byte
+/// range).
+#[derive(Debug)]
+pub struct JournalTail {
+    /// Verbatim frame bytes found at/after the requested offset.
+    pub bytes: Vec<u8>,
+    /// Offset to resume from on the next call (end of the intact
+    /// prefix; bytes past it are torn or corrupt and never ship).
+    pub reset: bool,
+    /// True when the requested offset no longer names a frame boundary
+    /// — the journal was healed (rewritten shorter) at an open — and
+    /// the tail was re-read from offset zero. The follower must discard
+    /// its journal copy and start over.
+    pub new_offset: u64,
+}
+
+/// Tail `path` from byte offset `from`, returning the verbatim intact
+/// frame bytes found there. The replication follower derives `from`
+/// from its own journal's intact length (see [`scan_frames`]), so a
+/// crashed pull pass can never re-ship bytes it already published. A
+/// missing file is an empty tail at offset zero.
+pub fn tail_bytes(path: &Path, from: u64) -> Result<JournalTail> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    let (intact, _) = scan_frames(&bytes, 0);
+    let from = from as usize;
+    let on_boundary = from == intact || {
+        // Any frame boundary inside the intact prefix is a valid resume
+        // point (the follower may simply be behind).
+        let (prefix_intact, _) = scan_frames(&bytes[..from.min(intact)], 0);
+        from <= intact && prefix_intact == from
+    };
+    if on_boundary {
+        Ok(JournalTail {
+            bytes: bytes[from..intact].to_vec(),
+            reset: false,
+            new_offset: intact as u64,
+        })
+    } else {
+        Ok(JournalTail {
+            bytes: bytes[..intact].to_vec(),
+            reset: true,
+            new_offset: intact as u64,
+        })
+    }
+}
+
 /// Append handle to the journal.
 #[derive(Debug)]
 pub struct JournalWriter {
@@ -349,6 +440,69 @@ mod tests {
     fn encode_frame_rejects_oversized_batches() {
         let ids = vec![0u8; MAX_FRAME_ROWS as usize + 1];
         let _ = encode_frame(0, &ids);
+    }
+
+    #[test]
+    fn tail_bytes_resumes_at_the_shipped_offset() {
+        let dir = tmpdir("tail");
+        let path = dir.join(JOURNAL_NAME);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(0, &[0, 1, 1]).unwrap();
+        let t1 = tail_bytes(&path, 0).unwrap();
+        assert!(!t1.reset);
+        assert_eq!(t1.bytes.len() as u64, t1.new_offset);
+        // Nothing new yet.
+        let t2 = tail_bytes(&path, t1.new_offset).unwrap();
+        assert!(!t2.reset);
+        assert!(t2.bytes.is_empty());
+        // New frames ship verbatim; appending them reproduces the file.
+        w.append(3, &[1, 0]).unwrap();
+        let t3 = tail_bytes(&path, t2.new_offset).unwrap();
+        assert!(!t3.reset);
+        let mut copy = t1.bytes.clone();
+        copy.extend_from_slice(&t3.bytes);
+        assert_eq!(copy, std::fs::read(&path).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tail_bytes_detects_heals_and_resets() {
+        let dir = tmpdir("tailreset");
+        let path = dir.join(JOURNAL_NAME);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(0, &[0, 1, 1, 0]).unwrap();
+        let t1 = tail_bytes(&path, 0).unwrap();
+        // A heal rewrites the journal shorter: the old offset is stale.
+        rewrite(&dir, &[0, 1]).unwrap();
+        let t2 = tail_bytes(&path, t1.new_offset).unwrap();
+        assert!(t2.reset);
+        assert_eq!(t2.bytes, std::fs::read(&path).unwrap());
+        // A mid-frame offset is just as stale.
+        let t3 = tail_bytes(&path, 3).unwrap();
+        assert!(t3.reset);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_frames_verifies_sequence_and_checksums() {
+        let mut bytes = encode_frame(7, &[0, 1]);
+        bytes.extend_from_slice(&encode_frame(9, &[1]));
+        let (intact, rows) = scan_frames(&bytes, 7);
+        assert_eq!(intact, bytes.len());
+        assert_eq!(rows, 3);
+        // Wrong starting ordinal: nothing verifies.
+        assert_eq!(scan_frames(&bytes, 0), (0, 0));
+        // A flipped payload bit kills the frame it lands in.
+        let mut damaged = bytes.clone();
+        let idx = FRAME_HEADER_LEN; // first payload byte
+        damaged[idx] ^= 0x01;
+        let (intact, rows) = scan_frames(&damaged, 7);
+        assert_eq!((intact, rows), (0, 0));
+        // A torn tail keeps the complete frames before it.
+        let cut = bytes.len() - 1;
+        let (intact, rows) = scan_frames(&bytes[..cut], 7);
+        assert_eq!(intact, FRAME_HEADER_LEN + 2);
+        assert_eq!(rows, 2);
     }
 
     #[test]

@@ -53,8 +53,9 @@ pub struct ShipReport {
 /// Trim `path` to `len` bytes (no-op for a missing or short file). Used
 /// to drop the torn frame a crashed ship pass may have left past the
 /// follower WAL's intact prefix, so appends always extend a clean
-/// boundary.
-fn truncate_to(path: &Path, len: u64) -> StoreResult<()> {
+/// boundary. Public because the network pull loop (`aiio-replnet`)
+/// applies exactly the same torn-tail discipline to its local copies.
+pub fn truncate_to(path: &Path, len: u64) -> StoreResult<()> {
     match std::fs::OpenOptions::new().write(true).open(path) {
         Ok(f) => {
             if f.metadata()?.len() > len {

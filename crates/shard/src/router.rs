@@ -73,7 +73,7 @@ mod tests {
         assert_eq!(routed.shard_counts().iter().sum::<u64>(), 50);
         // Replaying buckets by assignment reconstructs the input exactly
         // (counters included) — the property the journal merge relies on.
-        let mut cursors = vec![0usize; 4];
+        let mut cursors = [0usize; 4];
         for (i, &s) in routed.assignments.iter().enumerate() {
             let row = &routed.buckets[s as usize][cursors[s as usize]];
             cursors[s as usize] += 1;

@@ -18,14 +18,12 @@ use aiio::{AiioService, TrainConfig};
 use aiio_darshan::{CounterId, JobLog};
 use aiio_shard::{manifest, ShardRole, ShardedStore};
 use aiio_store::StoreConfig;
-use rand::{Rng, SeedableRng};
+use aiio_testkit::{flip_byte, kill_path, rng};
+use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
 fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("aiio_shard_failover_{tag}_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).unwrap();
-    d
+    aiio_testkit::tmpdir("aiio_shard_failover", tag).unwrap()
 }
 
 fn job(i: u64, rng: &mut ChaCha8Rng) -> JobLog {
@@ -41,7 +39,7 @@ fn job(i: u64, rng: &mut ChaCha8Rng) -> JobLog {
 }
 
 fn jobs(n: u64, seed: u64) -> Vec<JobLog> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = rng(seed);
     (0..n).map(|i| job(i, &mut rng)).collect()
 }
 
@@ -96,7 +94,7 @@ fn deleting_a_shard_directory_fails_over_to_the_replica() {
     build_replicated(&victim_root, &logs);
     // Kill shard 1's primary wholesale — directory gone, WAL and all.
     let epoch = manifest::epoch_dir(&victim_root, 0);
-    std::fs::remove_dir_all(manifest::shard_dir(&epoch, 1)).unwrap();
+    kill_path(&manifest::shard_dir(&epoch, 1)).unwrap();
 
     let fleet = ShardedStore::open_with(&victim_root, SHARDS, cfg()).unwrap();
     let rec = fleet.recovery_report();
@@ -135,10 +133,8 @@ fn corrupting_a_sealed_segment_fails_over_to_the_replica() {
     for entry in std::fs::read_dir(&shard_dir).unwrap().flatten() {
         let name = entry.file_name().to_string_lossy().into_owned();
         if name.starts_with("seg-") && name.ends_with(".seg") {
-            let mut bytes = std::fs::read(entry.path()).unwrap();
-            let mid = bytes.len() / 2;
-            bytes[mid] ^= 0xA5;
-            std::fs::write(entry.path(), &bytes).unwrap();
+            let mid = entry.metadata().unwrap().len() as usize / 2;
+            flip_byte(&entry.path(), mid, 0xA5).unwrap();
             corrupted += 1;
         }
     }
@@ -168,7 +164,7 @@ fn failed_over_fleet_keeps_ingesting_and_reseeds_the_lost_primary() {
     let root = tmpdir("reseed");
     build_replicated(&root, &logs);
     let epoch = manifest::epoch_dir(&root, 0);
-    std::fs::remove_dir_all(manifest::shard_dir(&epoch, 2)).unwrap();
+    kill_path(&manifest::shard_dir(&epoch, 2)).unwrap();
 
     let mut fleet = ShardedStore::open_with(&root, SHARDS, cfg()).unwrap();
     assert_eq!(fleet.roles()[2], ShardRole::Replica);
@@ -203,7 +199,7 @@ fn losing_a_replica_directory_is_harmless() {
     let root = tmpdir("replica_loss");
     build_replicated(&root, &logs);
     let epoch = manifest::epoch_dir(&root, 0);
-    std::fs::remove_dir_all(manifest::replica_dir(&epoch, 0)).unwrap();
+    kill_path(&manifest::replica_dir(&epoch, 0)).unwrap();
 
     let mut fleet = ShardedStore::open_with(&root, SHARDS, cfg()).unwrap();
     assert!(fleet.recovery_report().failovers.is_empty());

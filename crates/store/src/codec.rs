@@ -31,10 +31,23 @@ const CRC_TABLE: [u32; 256] = {
 
 /// CRC-32 (ISO-HDLC / "crc32" in gzip, zip, PNG) of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
+    crc32_finish(crc32_update(CRC32_INIT, bytes))
+}
+
+/// Initial state for an incremental CRC-32 ([`crc32_update`] /
+/// [`crc32_finish`]), for checksums over non-contiguous slices.
+pub const CRC32_INIT: u32 = 0xFFFF_FFFF;
+
+/// Fold `bytes` into a running CRC-32 state.
+pub fn crc32_update(mut c: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
+    c
+}
+
+/// Finalize an incremental CRC-32 state into the checksum value.
+pub fn crc32_finish(c: u32) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 

@@ -5,12 +5,19 @@
 //!
 //! ```text
 //! ┌────────────────────────────────────────────────────────┐
-//! │ magic "AWL1" · n_rows · payload_len · base_ordinal     │
-//! │ CRC32(payload)                                         │
+//! │ magic "AWL2" · n_rows · payload_len · base_ordinal     │
+//! │ CRC32(header fields above + payload)                   │
 //! ├────────────────────────────────────────────────────────┤
 //! │ payload: n_rows serialized jobs                        │
 //! └────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! The checksum covers the header fields as well as the payload (format
+//! 2; format 1 covered only the payload). A payload-only CRC left
+//! `n_rows` and `base_ordinal` unprotected, which a local crash never
+//! exploits (torn appends truncate at a length check) but a replication
+//! stream does: a bit-flip in a frame header in transit would have
+//! published a verified-looking frame under the wrong ordinal.
 //!
 //! Recovery walks blocks front to back and stops at the first bad frame —
 //! torn header, implausible length, checksum mismatch or undecodable
@@ -29,7 +36,10 @@ use std::path::{Path, PathBuf};
 
 use aiio_darshan::{CounterSet, JobLog, TimeCounters, N_COUNTERS};
 
-use crate::codec::{crc32, push_f64, push_u32, push_u64, read_f64, read_u32, read_u64};
+use crate::codec::{
+    crc32_finish, crc32_update, push_f64, push_u32, push_u64, read_f64, read_u32, read_u64,
+    CRC32_INIT,
+};
 use crate::error::{Result, StoreError};
 use crate::schema::N_TIME_COLUMNS;
 
@@ -39,8 +49,9 @@ pub const WAL_NAME: &str = "wal.bin";
 /// Temporary file the WAL is rewritten through.
 pub const WAL_TMP_NAME: &str = "wal.tmp";
 
-/// Magic prefix of every WAL block (the trailing `1` is the format version).
-pub const BLOCK_MAGIC: &[u8; 4] = b"AWL1";
+/// Magic prefix of every WAL block (the trailing `2` is the format
+/// version: v2 extended the frame CRC over the header fields).
+pub const BLOCK_MAGIC: &[u8; 4] = b"AWL2";
 
 /// Byte size of a block header.
 pub const BLOCK_HEADER_LEN: usize = 24;
@@ -104,9 +115,20 @@ pub fn encode_block(base_ordinal: u64, jobs: &[JobLog]) -> Vec<u8> {
     push_u32(&mut out, jobs.len() as u32);
     push_u32(&mut out, payload.len() as u32);
     push_u64(&mut out, base_ordinal);
-    push_u32(&mut out, crc32(&payload));
+    let crc = frame_crc(&out[..BLOCK_HEADER_LEN - 4], &payload);
+    push_u32(&mut out, crc);
     out.extend_from_slice(&payload);
     out
+}
+
+/// Frame checksum over the header fields (everything before the CRC
+/// slot) plus the payload. The two regions are not contiguous on disk —
+/// the CRC sits between them — hence the incremental fold.
+fn frame_crc(header_prefix: &[u8], payload: &[u8]) -> u32 {
+    crc32_finish(crc32_update(
+        crc32_update(CRC32_INIT, header_prefix),
+        payload,
+    ))
 }
 
 /// What WAL recovery found: the intact rows (with their global ordinals)
@@ -150,7 +172,7 @@ pub fn recover(path: &Path) -> Result<WalRecovery> {
             break;
         }
         let payload = &bytes[payload_start..payload_end];
-        if crc32(payload) != stored_crc {
+        if frame_crc(&bytes[off..off + BLOCK_HEADER_LEN - 4], payload) != stored_crc {
             break;
         }
         let mut pos = 0usize;
@@ -258,6 +280,17 @@ pub fn intact_len(path: &Path) -> Result<u64> {
     Ok(end as u64)
 }
 
+/// Walk the intact frame prefix of a raw byte buffer, returning the
+/// frames and the byte length of that prefix. This is the verification a
+/// network replication follower runs on *received* tail bytes before
+/// publishing them: a bit-flip anywhere in a frame fails its CRC and a
+/// torn stream ends mid-frame, so only the verified prefix — complete,
+/// checksummed frames — is ever appended to the follower WAL. Identical
+/// to the walk [`tail_frames`] and [`intact_len`] run on files.
+pub fn scan_frames(bytes: &[u8]) -> (Vec<WalFrame>, usize) {
+    walk_frames(bytes, 0)
+}
+
 /// Could the bytes at `off` be the prefix of a frame whose remainder has
 /// not hit the disk yet? True exactly when everything present so far is
 /// consistent with an in-progress append (magic prefix, plausible
@@ -302,7 +335,11 @@ fn walk_frames(bytes: &[u8], from: usize) -> (Vec<WalFrame>, usize) {
         if end > bytes.len() {
             break;
         }
-        if crc32(&bytes[off + BLOCK_HEADER_LEN..end]) != stored_crc {
+        if frame_crc(
+            &bytes[off..off + BLOCK_HEADER_LEN - 4],
+            &bytes[off + BLOCK_HEADER_LEN..end],
+        ) != stored_crc
+        {
             break;
         }
         frames.push(WalFrame {

@@ -4,20 +4,24 @@
 //!
 //! Corruption sites are drawn from a seeded `ChaCha8Rng`, so every run
 //! exercises the same offsets and a failure reproduces from the seed
-//! printed in the assertion message.
+//! printed in the assertion message. The damage itself — truncation,
+//! bit flips — comes from `aiio_testkit`, the same helpers the shard
+//! failover and network replication suites use.
 
 use std::path::PathBuf;
 
 use aiio_darshan::{CounterId, JobLog};
 use aiio_store::{CounterRange, Store, StoreConfig};
-use rand::{Rng, SeedableRng};
+use aiio_testkit::{flip_bit, truncate_file};
+use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
 fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("aiio_store_fault_{tag}_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).unwrap();
-    d
+    aiio_testkit::tmpdir("aiio_store_fault", tag).unwrap()
+}
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    aiio_testkit::rng(seed)
 }
 
 /// A job with enough variety (app dictionary, counters, wall-clock floats)
@@ -42,7 +46,7 @@ fn job(i: u64, rng: &mut ChaCha8Rng) -> JobLog {
 }
 
 fn jobs(n: u64, seed: u64) -> Vec<JobLog> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = rng(seed);
     (0..n).map(|i| job(i, &mut rng)).collect()
 }
 
@@ -92,15 +96,17 @@ fn truncated_wal_recovers_exact_frame_prefix() {
     let full = std::fs::read(&wal_path).unwrap();
     assert_eq!(full.len() as u64, *frame_ends.last().unwrap());
 
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut rng = rng(7);
     for trial in 0..24 {
         // Cut inside frame k+1 (or exactly at its start when delta == 0):
-        // frames 0..=k survive, the partial frame is dropped.
+        // frames 0..=k survive, the partial frame is dropped. Restore the
+        // full WAL first — the previous trial's open healed it shorter.
         let k = rng.gen_range(0..FRAMES - 1);
         let frame_len = (frame_ends[k + 1] - frame_ends[k]) as usize;
         let delta = rng.gen_range(0..frame_len) as u64;
-        let cut = (frame_ends[k] + delta) as usize;
-        std::fs::write(&wal_path, &full[..cut]).unwrap();
+        let cut = frame_ends[k] + delta;
+        std::fs::write(&wal_path, &full).unwrap();
+        truncate_file(&wal_path, cut).unwrap();
 
         let store = Store::open_with(&dir, cfg(1 << 20, ROWS)).unwrap();
         let report = store.recovery_report();
@@ -141,7 +147,7 @@ fn wal_payload_bit_flip_drops_frames_from_damage_onward() {
     let wal_path = dir.join("wal.bin");
     let full = std::fs::read(&wal_path).unwrap();
 
-    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut rng = rng(11);
     for trial in 0..24 {
         // Flip one payload byte of frame k: the CRC catches it, frames
         // before k survive untouched, frame k and everything after drop.
@@ -149,9 +155,8 @@ fn wal_payload_bit_flip_drops_frames_from_damage_onward() {
         let frame_start = if k == 0 { 0 } else { frame_ends[k - 1] };
         let payload_start = frame_start + HEADER;
         let idx = rng.gen_range(payload_start..frame_ends[k]) as usize;
-        let mut damaged = full.clone();
-        damaged[idx] ^= 1u8 << rng.gen_range(0u32..8);
-        std::fs::write(&wal_path, &damaged).unwrap();
+        std::fs::write(&wal_path, &full).unwrap();
+        flip_bit(&wal_path, idx, rng.gen_range(0u32..8)).unwrap();
 
         let store = Store::open_with(&dir, cfg(1 << 20, ROWS)).unwrap();
         let report = store.recovery_report();
@@ -193,13 +198,11 @@ fn segment_bit_flip_quarantines_exactly_that_segment() {
         .map(|p| std::fs::read(p).unwrap())
         .collect();
 
-    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let mut rng = rng(13);
     for trial in 0..20 {
         let s = rng.gen_range(0..SEGS);
         let idx = rng.gen_range(0..clean[s].len());
-        let mut damaged = clean[s].clone();
-        damaged[idx] ^= 1u8 << rng.gen_range(0u32..8);
-        std::fs::write(&seg_paths[s], &damaged).unwrap();
+        flip_bit(&seg_paths[s], idx, rng.gen_range(0u32..8)).unwrap();
 
         let store = Store::open_with(&dir, cfg(ROWS, 8)).unwrap();
         let report = store.recovery_report();
@@ -264,10 +267,10 @@ fn truncated_segment_is_quarantined_not_served() {
     let seg_paths: Vec<PathBuf> = store.segments().iter().map(|m| m.path.clone()).collect();
     drop(store);
 
-    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let mut rng = rng(17);
     let bytes = std::fs::read(&seg_paths[1]).unwrap();
     let cut = rng.gen_range(1..bytes.len());
-    std::fs::write(&seg_paths[1], &bytes[..cut]).unwrap();
+    truncate_file(&seg_paths[1], cut as u64).unwrap();
 
     let store = Store::open_with(&dir, cfg(ROWS, 8)).unwrap();
     let report = store.recovery_report();

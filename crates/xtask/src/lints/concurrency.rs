@@ -92,6 +92,21 @@ const BLOCKING: &[&str] = &[
     "copy_segment(",
     "sync_replica(",
     "sync_shard(",
+    // Network replication transport: every one of these is a socket
+    // round-trip (with retries and deadlines) or a staged file publish.
+    // A guard held across a pull pass serializes the whole fleet behind
+    // one slow peer.
+    "http_fetch(",
+    "http_fetch_retry(",
+    "pull_pass(",
+    "probe_pass(",
+    "pull_shard(",
+    "pull_segments(",
+    "pull_journal(",
+    "fetch_segment(",
+    "fetch_manifest(",
+    "publish_bytes(",
+    "append_bytes(",
 ];
 
 /// Name segments that mark an atomic as a publication gate for
@@ -1457,6 +1472,27 @@ mod tests {
                 .any(|s| s.rule == "AIIO-R002" && s.message.contains("a::S::state")),
             "guard held across copy_segment must flag: {sites:#?}"
         );
+    }
+
+    #[test]
+    fn network_pull_primitives_count_as_blocking() {
+        // A replication pull is a socket round-trip with retries plus a
+        // staged file publish; holding a guard across one serializes the
+        // whole server behind a slow peer and must flag R002.
+        for op in [
+            "pull_pass(&dir, &base, &cfg)",
+            "http_fetch_retry(&base, \"/x\", d, 0, b)",
+        ] {
+            let src = format!("impl S {{ fn f(&self) {{ let g = self.state.lock(); {op}; }} }}\n");
+            let w = ws(&[("crates/a/src/lib.rs", src.as_str())]);
+            let sites = analyze(&w);
+            assert!(
+                sites
+                    .iter()
+                    .any(|s| s.rule == "AIIO-R002" && s.message.contains("a::S::state")),
+                "guard held across {op} must flag: {sites:#?}"
+            );
+        }
     }
 
     #[test]
