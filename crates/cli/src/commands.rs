@@ -73,6 +73,10 @@ USAGE:
   aiio serve --model FILE [--addr HOST:PORT] [--workers N] [--queue N]
              [--threads T] [--store DIR] [--shards N]
              [--replicate-from URL]
+             [--sched-pull DUR] [--sched-compact DUR] [--sched-retrain DUR]
+             [--sched-jitter DUR] [--sched-seed S]
+             [--compact-max-segments N] [--compact-max-wal-bytes N]
+             [--retrain-min-rows N]
       Serve diagnoses over HTTP (the paper's §3.4 web service): POST
       /diagnose and /diagnose/batch, GET /healthz and /metrics, POST
       /admin/reload and /admin/shutdown. With --store, POST /ingest
@@ -87,8 +91,27 @@ USAGE:
       primary's store into --store DIR at startup, re-syncs on every
       POST /repl/sync, answers 403 on /ingest, and keeps serving its
       last-synced bytes if the primary dies (failover reads).
+      The --sched-* flags enable the background control plane (see
+      DESIGN.md § Control plane): --sched-pull re-pulls a follower's
+      primary every DUR so replication lag self-heals with no external
+      trigger; --sched-compact seals+compacts the store once it crosses
+      --compact-max-segments or --compact-max-wal-bytes; --sched-retrain
+      watches the drift gauge and hot-swaps a freshly trained model when
+      the ingested tail drifts past PSI 0.25 (needs at least
+      --retrain-min-rows stored rows). DUR accepts 500ms / 30s / 2m;
+      --sched-jitter adds a seeded uniform jitter in [0, DUR) to every
+      run so follower fleets do not stampede their primary in phase.
+      Schedules are validated up front: zero intervals, jitter >= period,
+      compacting a follower or pulling on a primary are startup errors.
+      GET /sched/stats reports per-task runs, failures, backoff level and
+      time to next run; /metrics exports the same as aiio_sched_*.
       Prints `listening on ADDR` once bound (use --addr 127.0.0.1:0 for
       an ephemeral port) and runs until /admin/shutdown.
+
+  aiio sched-stats --addr HOST:PORT [--json]
+      Print a running server's background-task counters (GET
+      /sched/stats): runs, failures, current backoff level and time to
+      the next run for each scheduled task.
 
   aiio client --addr HOST:PORT <health|metrics|diagnose|batch|reload|shutdown>
               [LOG-FILE...] [--path FILE] [--deadline-ms N]
@@ -153,6 +176,25 @@ where
     s.parse().map_err(|e| format!("bad {what} '{s}': {e}"))
 }
 
+/// Parse a human duration: `500ms`, `30s`, `2m`, or a bare number of
+/// seconds. Rejects empty and non-numeric magnitudes with a typed
+/// message naming the flag.
+fn parse_duration(s: &str, what: &str) -> Result<std::time::Duration, CliError> {
+    let (magnitude, unit_ms) = if let Some(v) = s.strip_suffix("ms") {
+        (v, 1u64)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1000)
+    } else if let Some(v) = s.strip_suffix('m') {
+        (v, 60_000)
+    } else {
+        (s, 1000)
+    };
+    let n: u64 = magnitude
+        .parse()
+        .map_err(|_| format!("bad {what} '{s}': expected a duration like 500ms, 30s or 2m"))?;
+    Ok(std::time::Duration::from_millis(n.saturating_mul(unit_ms)))
+}
+
 /// Entry point for the binary (and the integration tests).
 pub fn dispatch(args: &[String]) -> Result<(), CliError> {
     let Some(cmd) = args.first() else {
@@ -172,6 +214,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "train" => cmd_train(rest),
         "diagnose" => cmd_diagnose(rest),
         "serve" => cmd_serve(rest),
+        "sched-stats" => cmd_sched_stats(rest),
         "client" => cmd_client(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -715,6 +758,36 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     if let Some(url) = flag(&flags, "replicate-from") {
         config.replicate_from = Some(url.to_string());
     }
+    if let Some(d) = flag(&flags, "sched-pull") {
+        config.control.pull_every = Some(parse_duration(d, "sched-pull")?);
+    }
+    if let Some(d) = flag(&flags, "sched-compact") {
+        config.control.compact_every = Some(parse_duration(d, "sched-compact")?);
+    }
+    if let Some(d) = flag(&flags, "sched-retrain") {
+        config.control.retrain_every = Some(parse_duration(d, "sched-retrain")?);
+    }
+    if let Some(d) = flag(&flags, "sched-jitter") {
+        config.control.jitter = parse_duration(d, "sched-jitter")?;
+    }
+    if let Some(s) = flag(&flags, "sched-seed") {
+        config.control.seed = parse_num(s, "sched-seed")?;
+    }
+    if let Some(n) = flag(&flags, "compact-max-segments") {
+        config.control.compaction.max_segments = parse_num(n, "compact-max-segments")?;
+    }
+    if let Some(n) = flag(&flags, "compact-max-wal-bytes") {
+        config.control.compaction.max_wal_bytes = parse_num(n, "compact-max-wal-bytes")?;
+    }
+    if let Some(n) = flag(&flags, "retrain-min-rows") {
+        config.control.retrain_min_rows = parse_num(n, "retrain-min-rows")?;
+    }
+    // Surface schedule mistakes before a port binds or threads spawn:
+    // the same typed validation runs again inside Server::bind.
+    config
+        .control
+        .validate(config.replicate_from.is_some(), config.store_dir.is_some())
+        .map_err(|e| e.to_string())?;
     eprintln!(
         "serving {} models with {} workers (queue depth {}, engine threads {})",
         service.zoo().models().len(),
@@ -729,6 +802,54 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         server.local_addr().map_err(|e| e.to_string())?
     );
     server.run().map_err(|e| e.to_string())
+}
+
+fn cmd_sched_stats(args: &[String]) -> Result<(), CliError> {
+    let (_, flags) = parse_flags(args)?;
+    let addr = required(&flags, "addr")?;
+    let timeout = std::time::Duration::from_secs(30);
+    let response = aiio_serve::client::request(addr, "GET", "/sched/stats", None, timeout)
+        .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    if response.status >= 400 {
+        return Err(format!(
+            "GET /sched/stats answered {} {}: {}",
+            response.status,
+            aiio_serve::http::reason(response.status),
+            response.body
+        ));
+    }
+    if flag(&flags, "json").is_some() {
+        println!("{}", response.body);
+        return Ok(());
+    }
+    let parsed = serde_json::parse_value(&response.body).map_err(|e| e.to_string())?;
+    let tasks = parsed
+        .get("tasks")
+        .and_then(serde_json::Value::as_array)
+        .ok_or_else(|| format!("malformed /sched/stats body: {}", response.body))?;
+    for t in tasks {
+        let s = |k: &str| {
+            t.get(k)
+                .and_then(serde_json::Value::as_str)
+                .map(str::to_string)
+        };
+        let n = |k: &str| t.get(k).and_then(serde_json::Value::as_u64).unwrap_or(0);
+        let name = s("task").unwrap_or_else(|| "?".to_string());
+        let last_error = s("last_error").unwrap_or_default();
+        print!(
+            "{name:<8} runs {} (failures {}), backoff level {}, next run in {} ms",
+            n("runs"),
+            n("failures"),
+            n("backoff_level"),
+            n("next_run_in_ms"),
+        );
+        if last_error.is_empty() {
+            println!();
+        } else {
+            println!(", last error: {last_error}");
+        }
+    }
+    Ok(())
 }
 
 /// Read a log file (darshan text or JSON JobLog) as a JSON body.

@@ -51,6 +51,21 @@ impl Default for PullConfig {
     }
 }
 
+impl PullConfig {
+    /// No per-request retries: one attempt per request, fail fast. The
+    /// scheduled pull task in `aiio-sched` uses this so retry policy
+    /// lives in exactly one place — the scheduler's bounded exponential
+    /// backoff — instead of multiplying with the HTTP layer's own linear
+    /// retries.
+    pub fn single_attempt() -> Self {
+        PullConfig {
+            deadline: Duration::from_secs(10),
+            retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
 /// What one pass did for one shard.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct ShardPullReport {

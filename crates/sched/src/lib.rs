@@ -1,0 +1,41 @@
+//! `aiio-sched` — the deterministic background control plane.
+//!
+//! Every maintenance action in this workspace used to need an external
+//! trigger: a follower pulled only on `POST /repl/sync`, a store
+//! compacted only on `aiio compact`, a stale model retrained only when
+//! an operator noticed the drift gauge. This crate is the missing loop:
+//! a std-only, single-threaded tick scheduler that `aiio serve` embeds
+//! to run those tasks continuously.
+//!
+//! Design invariants (see `DESIGN.md` § Control plane):
+//!
+//! * **Deterministic by construction.** The scheduler owns no clock; it
+//!   is parameterised over [`Clock`]. Against a [`SimClock`] stepped by
+//!   a test, every schedule — jitter draws, backoff levels, run order,
+//!   drain on shutdown — is a pure function of (task specs, seed, clock
+//!   steps) and replays byte for byte at any machine speed and any
+//!   engine thread count. The run queue is a binary heap ordered by
+//!   (due time, registration index), so ties are deterministic too.
+//! * **Seeded jitter.** Each task draws its jitter from its own
+//!   SplitMix64 stream seeded at registration. Jittered periodic pulls
+//!   stop a fleet of followers from stampeding their primary in phase.
+//! * **Bounded exponential backoff.** A failing task backs off
+//!   `period·2^level` up to a cap; the first success resets the level
+//!   to zero. Success and "trigger not met" both count as healthy.
+//! * **Overlap suppression.** One thread runs every task, and the next
+//!   due time is computed from *completion*, so a task never runs
+//!   concurrently with itself and a slow run never causes a catch-up
+//!   burst of missed ticks.
+//! * **Panic isolation.** A panicking task is caught (`catch_unwind`),
+//!   counted as a failure, backed off, and the loop keeps ticking.
+//! * **Graceful drain.** Shutdown finishes the in-flight task, skips
+//!   everything still queued, and joins the loop thread.
+
+mod clock;
+mod scheduler;
+
+pub use clock::{Clock, RealClock, SimClock};
+pub use scheduler::{
+    format_events, Outcome, SchedError, SchedHandle, SchedStats, Scheduler, TaskSpec, TaskStats,
+    TickEvent,
+};

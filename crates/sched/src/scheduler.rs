@@ -1,0 +1,783 @@
+//! The tick loop: a binary-heap run queue over registered tasks, driven
+//! either by hand ([`Scheduler::run_due`] against a [`SimClock`]) or by
+//! a spawned thread ([`Scheduler::spawn`] against a [`RealClock`]).
+//!
+//! One thread runs every task, so a task can never overlap itself, and
+//! the next due time is anchored at *completion* — a run that outlasts
+//! its period reschedules once, it does not replay missed ticks.
+
+use crate::clock::Clock;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How one scheduled run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The task ran its action to completion.
+    Completed,
+    /// The task ran but its trigger was not met (healthy; no backoff).
+    Skipped,
+    /// The task returned an error; backoff escalates.
+    Failed,
+    /// The task panicked; the unwind was caught and isolated.
+    Panicked,
+}
+
+impl Outcome {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Completed => "completed",
+            Outcome::Skipped => "skipped",
+            Outcome::Failed => "failed",
+            Outcome::Panicked => "panicked",
+        }
+    }
+
+    /// Healthy outcomes reset backoff; unhealthy ones escalate it.
+    fn healthy(self) -> bool {
+        matches!(self, Outcome::Completed | Outcome::Skipped)
+    }
+}
+
+/// One entry of the deterministic schedule log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickEvent {
+    /// Clock time at which the loop processed the run.
+    pub at_ms: u64,
+    /// Task name, as registered.
+    pub task: &'static str,
+    /// How the run ended.
+    pub outcome: Outcome,
+}
+
+/// Render a schedule log as text, one line per event. Determinism
+/// suites compare these strings byte for byte across runs and thread
+/// counts; CI soak jobs persist them as failure artifacts.
+pub fn format_events(events: &[TickEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(events.len() * 32);
+    for e in events {
+        let _ = writeln!(out, "t={:08} {} {}", e.at_ms, e.task, e.outcome.as_str());
+    }
+    out
+}
+
+/// Why a task registration was refused. Parse-time validation: a bad
+/// schedule is a typed error at [`Scheduler::add`], never a panic or a
+/// silent clamp deep in the tick loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// `period` must be non-zero: a zero period is a busy loop.
+    ZeroPeriod { task: &'static str },
+    /// `jitter` must be strictly below `period`, or two consecutive
+    /// runs could be scheduled for the same instant.
+    JitterNotBelowPeriod {
+        task: &'static str,
+        jitter_ms: u64,
+        period_ms: u64,
+    },
+    /// The backoff cap must be at least the period (backoff only ever
+    /// slows a task down).
+    BackoffCapBelowPeriod {
+        task: &'static str,
+        cap_ms: u64,
+        period_ms: u64,
+    },
+    /// Task names are identities (metrics labels, schedule logs); two
+    /// tasks may not share one.
+    DuplicateTask { task: &'static str },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::ZeroPeriod { task } => {
+                write!(f, "task {task:?}: period must be non-zero")
+            }
+            SchedError::JitterNotBelowPeriod {
+                task,
+                jitter_ms,
+                period_ms,
+            } => write!(
+                f,
+                "task {task:?}: jitter ({jitter_ms} ms) must be strictly below the period ({period_ms} ms)"
+            ),
+            SchedError::BackoffCapBelowPeriod {
+                task,
+                cap_ms,
+                period_ms,
+            } => write!(
+                f,
+                "task {task:?}: backoff cap ({cap_ms} ms) must be at least the period ({period_ms} ms)"
+            ),
+            SchedError::DuplicateTask { task } => {
+                write!(f, "task {task:?} is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// The schedule of one background task.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Stable identity: metrics label, schedule-log name.
+    pub name: &'static str,
+    /// Base interval between run *completions*.
+    pub period: Duration,
+    /// Uniform jitter in `[0, jitter]` added to every scheduled run,
+    /// drawn from this task's seeded stream. Must be `< period`.
+    pub jitter: Duration,
+    /// Upper bound of the failure backoff (`period·2^level` saturates
+    /// here). Must be `>= period`.
+    pub backoff_cap: Duration,
+    /// Seed of this task's private SplitMix64 jitter stream.
+    pub seed: u64,
+}
+
+impl TaskSpec {
+    /// A spec with no jitter and a 16× backoff cap — the common shape
+    /// for tests and simple periodic work.
+    pub fn every(name: &'static str, period: Duration) -> TaskSpec {
+        TaskSpec {
+            name,
+            period,
+            jitter: Duration::ZERO,
+            backoff_cap: period.saturating_mul(16),
+            seed: 0,
+        }
+    }
+}
+
+/// A task's body. `Ok(true)` = did work, `Ok(false)` = trigger not met
+/// (skipped, still healthy), `Err` = failed (backoff escalates).
+pub type TaskFn = Box<dyn FnMut() -> Result<bool, String> + Send>;
+
+/// Live counters for one task, shared lock-free with metrics scrapers.
+pub struct TaskStats {
+    /// Task name, as registered.
+    pub name: &'static str,
+    /// Runs started (every outcome counts).
+    pub runs_total: AtomicU64,
+    /// Runs that failed or panicked.
+    pub failures_total: AtomicU64,
+    /// Current backoff level (0 = healthy, at base period).
+    pub backoff_level: AtomicU64,
+    /// Absolute clock time (ms) of the next scheduled run.
+    pub next_run_ms: AtomicU64,
+    /// Last failure message (empty until the first failure).
+    last_error: Mutex<String>,
+}
+
+impl TaskStats {
+    fn new(name: &'static str) -> TaskStats {
+        TaskStats {
+            name,
+            runs_total: AtomicU64::new(0),
+            failures_total: AtomicU64::new(0),
+            backoff_level: AtomicU64::new(0),
+            next_run_ms: AtomicU64::new(0),
+            last_error: Mutex::new(String::new()),
+        }
+    }
+
+    /// Last failure message ("" while the task has never failed).
+    pub fn last_error(&self) -> String {
+        self.last_error
+            .lock()
+            .map(|s| s.clone())
+            .unwrap_or_default()
+    }
+}
+
+/// A point-in-time view of the whole scheduler, cheap to clone around.
+/// Counters stay live (they are `Arc`-shared with the loop).
+pub struct SchedStats {
+    tasks: Vec<Arc<TaskStats>>,
+    clock: Arc<dyn Clock>,
+}
+
+impl SchedStats {
+    /// Per-task counters, in registration order.
+    pub fn tasks(&self) -> &[Arc<TaskStats>] {
+        &self.tasks
+    }
+
+    /// The scheduler clock's current time, for turning the absolute
+    /// `next_run_ms` gauges into "due in N ms".
+    pub fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+}
+
+/// SplitMix64 — the same finalizer `aiio-shard` uses for hash-range
+/// partitioning; here it is each task's private jitter stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Task {
+    spec: TaskSpec,
+    run: TaskFn,
+    stats: Arc<TaskStats>,
+    /// Jitter stream state.
+    rng: u64,
+    /// Current backoff level; delay = min(period·2^level, cap).
+    level: u32,
+}
+
+impl Task {
+    /// The delay from completion to the next run: base period at level
+    /// 0, `period·2^level` capped at `backoff_cap` otherwise, plus a
+    /// seeded jitter draw in `[0, jitter]`.
+    fn next_delay_ms(&mut self) -> u64 {
+        let period = duration_ms(self.spec.period);
+        let cap = duration_ms(self.spec.backoff_cap);
+        let backed_off = period
+            .saturating_mul(1u64 << self.level.min(20))
+            .min(cap.max(period));
+        let jitter_bound = duration_ms(self.spec.jitter);
+        let jitter = if jitter_bound == 0 {
+            0
+        } else {
+            splitmix64(&mut self.rng) % (jitter_bound + 1)
+        };
+        backed_off.saturating_add(jitter)
+    }
+}
+
+fn duration_ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Observer of every tick event (e.g. a soak-log writer).
+pub type EventSink = Box<dyn FnMut(&TickEvent) + Send>;
+
+/// The deterministic single-threaded tick scheduler. Build it, register
+/// tasks, then either drive it by hand ([`Scheduler::run_due`]) or hand
+/// it its own thread ([`Scheduler::spawn`]).
+pub struct Scheduler {
+    clock: Arc<dyn Clock>,
+    tasks: Vec<Task>,
+    /// Run queue: (due ms, registration index). `Reverse` makes the
+    /// `BinaryHeap` a min-heap; the index tie-break keeps simultaneous
+    /// deadlines deterministic.
+    queue: BinaryHeap<Reverse<(u64, usize)>>,
+    shutdown: Arc<AtomicBool>,
+    /// Optional observer of every tick event (soak logs).
+    sink: Option<EventSink>,
+}
+
+impl Scheduler {
+    pub fn new(clock: Arc<dyn Clock>) -> Scheduler {
+        Scheduler {
+            clock,
+            tasks: Vec::new(),
+            queue: BinaryHeap::new(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            sink: None,
+        }
+    }
+
+    /// Register a task. Its first run is due one (jittered) period from
+    /// now; every later run is scheduled from the previous completion.
+    pub fn add(&mut self, spec: TaskSpec, run: TaskFn) -> Result<(), SchedError> {
+        let period_ms = duration_ms(spec.period);
+        let jitter_ms = duration_ms(spec.jitter);
+        let cap_ms = duration_ms(spec.backoff_cap);
+        if period_ms == 0 {
+            return Err(SchedError::ZeroPeriod { task: spec.name });
+        }
+        if jitter_ms >= period_ms {
+            return Err(SchedError::JitterNotBelowPeriod {
+                task: spec.name,
+                jitter_ms,
+                period_ms,
+            });
+        }
+        if cap_ms < period_ms {
+            return Err(SchedError::BackoffCapBelowPeriod {
+                task: spec.name,
+                cap_ms,
+                period_ms,
+            });
+        }
+        if self.tasks.iter().any(|t| t.spec.name == spec.name) {
+            return Err(SchedError::DuplicateTask { task: spec.name });
+        }
+        let stats = Arc::new(TaskStats::new(spec.name));
+        let mut task = Task {
+            spec,
+            run,
+            stats,
+            rng: 0,
+            level: 0,
+        };
+        task.rng = task.spec.seed;
+        let due = self.clock.now_ms().saturating_add(task.next_delay_ms());
+        task.stats.next_run_ms.store(due, Ordering::Relaxed);
+        let idx = self.tasks.len();
+        self.tasks.push(task);
+        self.queue.push(Reverse((due, idx)));
+        Ok(())
+    }
+
+    /// Install an observer called on every tick event (e.g. a soak-log
+    /// writer). At most one sink; a second call replaces the first.
+    pub fn set_sink(&mut self, sink: EventSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Live counters for every registered task. Call after the last
+    /// [`Scheduler::add`]: the snapshot lists the tasks registered so
+    /// far (counters themselves stay live — they are shared).
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            tasks: self.tasks.iter().map(|t| Arc::clone(&t.stats)).collect(),
+            clock: Arc::clone(&self.clock),
+        }
+    }
+
+    /// The shutdown flag. Setting it makes the loop drain: the in-flight
+    /// task finishes, queued runs are skipped, the loop exits.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Clock time of the next scheduled run (`None` with no tasks).
+    pub fn next_due(&self) -> Option<u64> {
+        self.queue.peek().map(|&Reverse((due, _))| due)
+    }
+
+    /// Run every task due at or before `now`, in (due, registration)
+    /// order, and reschedule each from its completion. Returns the tick
+    /// events in execution order — the deterministic schedule log.
+    ///
+    /// A shutdown request observed between tasks drains: the current
+    /// task completes, later due tasks stay queued, and the method
+    /// returns.
+    pub fn run_due(&mut self) -> Vec<TickEvent> {
+        let mut events = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let now = self.clock.now_ms();
+            let Some(&Reverse((due, idx))) = self.queue.peek() else {
+                break;
+            };
+            if due > now {
+                break;
+            }
+            self.queue.pop();
+            let task = &mut self.tasks[idx];
+            // Panic isolation: a task that unwinds is a failure, not a
+            // dead loop. The closure owns no scheduler state, so the
+            // unwind cannot leave *us* logically torn (AssertUnwindSafe
+            // is about the task's own captures, which it must keep
+            // consistent across its own error paths anyway).
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| (task.run)()));
+            let outcome = match &result {
+                Ok(Ok(true)) => Outcome::Completed,
+                Ok(Ok(false)) => Outcome::Skipped,
+                Ok(Err(_)) => Outcome::Failed,
+                Err(_) => Outcome::Panicked,
+            };
+            task.stats.runs_total.fetch_add(1, Ordering::Relaxed);
+            if outcome.healthy() {
+                task.level = 0;
+            } else {
+                task.stats.failures_total.fetch_add(1, Ordering::Relaxed);
+                let message = match result {
+                    Ok(Err(e)) => e,
+                    _ => "task panicked (unwind caught and isolated)".to_string(),
+                };
+                if let Ok(mut last) = task.stats.last_error.lock() {
+                    *last = message;
+                }
+                // Stop escalating once the delay has saturated at the
+                // cap; the gauge then reports a stable level.
+                let period = duration_ms(task.spec.period);
+                let cap = duration_ms(task.spec.backoff_cap);
+                if period.saturating_mul(1u64 << task.level.min(20)) < cap {
+                    task.level += 1;
+                }
+            }
+            task.stats
+                .backoff_level
+                .store(u64::from(task.level), Ordering::Relaxed);
+            // Completion-anchored: overlap suppression and no catch-up
+            // bursts, even when the run outlasted its period.
+            let next = self.clock.now_ms().saturating_add(task.next_delay_ms());
+            task.stats.next_run_ms.store(next, Ordering::Relaxed);
+            self.queue.push(Reverse((next, idx)));
+            let event = TickEvent {
+                at_ms: now,
+                task: task.spec.name,
+                outcome,
+            };
+            if let Some(sink) = &mut self.sink {
+                sink(&event);
+            }
+            events.push(event);
+        }
+        events
+    }
+
+    /// Consume the scheduler into its own loop thread (wall-clock use).
+    /// The loop parks on the clock between due times; shutdown (via the
+    /// returned handle) wakes it, drains, and lets `join` return.
+    pub fn spawn(self) -> std::io::Result<SchedHandle> {
+        let shutdown = Arc::clone(&self.shutdown);
+        let clock = Arc::clone(&self.clock);
+        let stats = self.stats();
+        let mut sched = self;
+        let thread = std::thread::Builder::new()
+            .name("aiio-sched".into())
+            .spawn(move || {
+                while !sched.shutdown.load(Ordering::Acquire) {
+                    let _ = sched.run_due();
+                    let Some(next) = sched.next_due() else {
+                        // Nothing registered: the loop has no work, ever.
+                        break;
+                    };
+                    if sched.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    sched.clock.wait_until(next);
+                }
+            })?;
+        Ok(SchedHandle {
+            shutdown,
+            clock,
+            stats: Arc::new(stats),
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a spawned scheduler loop: request shutdown, observe stats,
+/// join the thread.
+pub struct SchedHandle {
+    shutdown: Arc<AtomicBool>,
+    clock: Arc<dyn Clock>,
+    stats: Arc<SchedStats>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SchedHandle {
+    /// Request a graceful drain: the in-flight task finishes, queued
+    /// runs are skipped, the loop exits. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.clock.wake();
+    }
+
+    /// Live per-task counters.
+    pub fn stats(&self) -> Arc<SchedStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Request shutdown (if not already) and join the loop thread.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SchedHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+
+    fn sim() -> (Arc<SimClock>, Scheduler) {
+        let clock = Arc::new(SimClock::new());
+        let sched = Scheduler::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        (clock, sched)
+    }
+
+    #[test]
+    fn validation_is_typed_at_parse_time() {
+        let (_c, mut s) = sim();
+        let zero = TaskSpec {
+            period: Duration::ZERO,
+            ..TaskSpec::every("t", Duration::from_millis(10))
+        };
+        assert_eq!(
+            s.add(zero, Box::new(|| Ok(true))),
+            Err(SchedError::ZeroPeriod { task: "t" })
+        );
+        let fat_jitter = TaskSpec {
+            jitter: Duration::from_millis(10),
+            ..TaskSpec::every("t", Duration::from_millis(10))
+        };
+        assert!(matches!(
+            s.add(fat_jitter, Box::new(|| Ok(true))),
+            Err(SchedError::JitterNotBelowPeriod { .. })
+        ));
+        let low_cap = TaskSpec {
+            backoff_cap: Duration::from_millis(5),
+            ..TaskSpec::every("t", Duration::from_millis(10))
+        };
+        assert!(matches!(
+            s.add(low_cap, Box::new(|| Ok(true))),
+            Err(SchedError::BackoffCapBelowPeriod { .. })
+        ));
+        s.add(
+            TaskSpec::every("t", Duration::from_millis(10)),
+            Box::new(|| Ok(true)),
+        )
+        .unwrap();
+        assert_eq!(
+            s.add(
+                TaskSpec::every("t", Duration::from_millis(10)),
+                Box::new(|| Ok(true))
+            ),
+            Err(SchedError::DuplicateTask { task: "t" })
+        );
+    }
+
+    #[test]
+    fn ticks_fire_in_period_and_registration_order() {
+        let (clock, mut s) = sim();
+        s.add(
+            TaskSpec::every("b", Duration::from_millis(10)),
+            Box::new(|| Ok(true)),
+        )
+        .unwrap();
+        s.add(
+            TaskSpec::every("a", Duration::from_millis(10)),
+            Box::new(|| Ok(true)),
+        )
+        .unwrap();
+        assert!(s.run_due().is_empty(), "nothing due at t=0");
+        clock.advance(10);
+        let events = s.run_due();
+        // Same deadline: registration order breaks the tie.
+        assert_eq!(
+            events.iter().map(|e| e.task).collect::<Vec<_>>(),
+            vec!["b", "a"]
+        );
+        assert!(events.iter().all(|e| e.outcome == Outcome::Completed));
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let draws = |seed: u64| -> Vec<u64> {
+            let (clock, mut s) = sim();
+            let spec = TaskSpec {
+                jitter: Duration::from_millis(7),
+                seed,
+                ..TaskSpec::every("j", Duration::from_millis(100))
+            };
+            s.add(spec, Box::new(|| Ok(true))).unwrap();
+            let mut dues = Vec::new();
+            for _ in 0..8 {
+                let due = s.next_due().unwrap();
+                dues.push(due);
+                clock.set(due);
+                assert_eq!(s.run_due().len(), 1);
+            }
+            dues
+        };
+        let a = draws(42);
+        let b = draws(42);
+        let c = draws(43);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different jitter");
+        // Every gap is period + jitter with jitter in [0, 7].
+        for w in a.windows(2) {
+            let gap = w[1] - w[0];
+            assert!((100..=107).contains(&gap), "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_to_cap_and_resets_on_first_success() {
+        let (clock, mut s) = sim();
+        let healthy = Arc::new(AtomicBool::new(false));
+        let h = Arc::clone(&healthy);
+        let spec = TaskSpec {
+            backoff_cap: Duration::from_millis(40),
+            ..TaskSpec::every("flaky", Duration::from_millis(10))
+        };
+        s.add(
+            spec,
+            Box::new(move || {
+                if h.load(Ordering::Relaxed) {
+                    Ok(true)
+                } else {
+                    Err("down".to_string())
+                }
+            }),
+        )
+        .unwrap();
+        let stats = s.stats();
+        let mut gaps = Vec::new();
+        for _ in 0..5 {
+            let due = s.next_due().unwrap();
+            clock.set(due);
+            s.run_due();
+            gaps.push(stats.tasks()[0].next_run_ms.load(Ordering::Relaxed) - due);
+        }
+        // 10 → 20 → 40 (cap) → 40 → 40.
+        assert_eq!(gaps, vec![20, 40, 40, 40, 40]);
+        assert_eq!(stats.tasks()[0].backoff_level.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.tasks()[0].last_error(), "down");
+        // First success resets to the base period.
+        healthy.store(true, Ordering::Relaxed);
+        let due = s.next_due().unwrap();
+        clock.set(due);
+        s.run_due();
+        assert_eq!(
+            stats.tasks()[0].next_run_ms.load(Ordering::Relaxed) - due,
+            10
+        );
+        assert_eq!(stats.tasks()[0].backoff_level.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.tasks()[0].failures_total.load(Ordering::Relaxed), 5);
+        assert_eq!(stats.tasks()[0].runs_total.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn skipped_runs_are_healthy() {
+        let (clock, mut s) = sim();
+        s.add(
+            TaskSpec::every("idle", Duration::from_millis(10)),
+            Box::new(|| Ok(false)),
+        )
+        .unwrap();
+        let stats = s.stats();
+        clock.advance(10);
+        let events = s.run_due();
+        assert_eq!(events[0].outcome, Outcome::Skipped);
+        assert_eq!(stats.tasks()[0].failures_total.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.tasks()[0].backoff_level.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn panicking_task_is_isolated_and_counted() {
+        let (clock, mut s) = sim();
+        s.add(
+            TaskSpec::every("boom", Duration::from_millis(10)),
+            Box::new(|| panic!("kaboom")),
+        )
+        .unwrap();
+        s.add(
+            TaskSpec::every("calm", Duration::from_millis(10)),
+            Box::new(|| Ok(true)),
+        )
+        .unwrap();
+        let stats = s.stats();
+        clock.advance(10);
+        let events = s.run_due();
+        assert_eq!(events[0].outcome, Outcome::Panicked);
+        assert_eq!(events[1].task, "calm");
+        assert_eq!(events[1].outcome, Outcome::Completed);
+        assert_eq!(stats.tasks()[0].failures_total.load(Ordering::Relaxed), 1);
+        assert!(stats.tasks()[0].last_error().contains("panicked"));
+        // The loop survives: the panicking task is rescheduled (backed
+        // off) and the healthy one keeps its base period.
+        clock.advance(40);
+        let events = s.run_due();
+        assert!(events.iter().any(|e| e.task == "boom"));
+        assert!(events.iter().any(|e| e.task == "calm"));
+    }
+
+    #[test]
+    fn overlap_suppression_schedules_from_completion() {
+        let (clock, mut s) = sim();
+        // A "slow" task: each run advances virtual time 35 ms, more
+        // than three periods.
+        let c = Arc::clone(&clock);
+        s.add(
+            TaskSpec::every("slow", Duration::from_millis(10)),
+            Box::new(move || {
+                c.advance(35);
+                Ok(true)
+            }),
+        )
+        .unwrap();
+        clock.advance(10);
+        let events = s.run_due();
+        // One run, not a catch-up burst for the 3 missed ticks...
+        assert_eq!(events.len(), 1);
+        // ...and the next run is a full period after *completion*.
+        assert_eq!(s.next_due().unwrap(), 45 + 10);
+    }
+
+    #[test]
+    fn shutdown_mid_batch_drains_cleanly() {
+        let (clock, mut s) = sim();
+        let flag = s.shutdown_flag();
+        s.add(
+            TaskSpec::every("first", Duration::from_millis(10)),
+            Box::new(move || {
+                // Shutdown lands while this task is running: it must
+                // finish, and "second" (due at the same tick) must not
+                // start.
+                flag.store(true, Ordering::Release);
+                Ok(true)
+            }),
+        )
+        .unwrap();
+        s.add(
+            TaskSpec::every("second", Duration::from_millis(10)),
+            Box::new(|| Ok(true)),
+        )
+        .unwrap();
+        clock.advance(10);
+        let events = s.run_due();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].task, "first");
+        assert_eq!(events[0].outcome, Outcome::Completed);
+    }
+
+    #[test]
+    fn spawned_loop_runs_and_joins_on_shutdown() {
+        let clock = Arc::new(crate::RealClock::new());
+        let mut s = Scheduler::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        let ran = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&ran);
+        s.add(
+            TaskSpec::every("tick", Duration::from_millis(5)),
+            Box::new(move || {
+                r.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }),
+        )
+        .unwrap();
+        let handle = s.spawn().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ran.load(Ordering::Relaxed) < 3 {
+            assert!(std::time::Instant::now() < deadline, "loop never ticked");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = handle.stats();
+        assert!(stats.tasks()[0].runs_total.load(Ordering::Relaxed) >= 3);
+        handle.join();
+        // After join, no further runs happen.
+        let frozen = ran.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(ran.load(Ordering::Relaxed), frozen);
+    }
+}

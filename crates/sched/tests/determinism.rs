@@ -1,0 +1,239 @@
+//! Determinism suite: the whole point of the simulated clock is that a
+//! seeded schedule — jitter draws, backoff escalation, overlap
+//! suppression, drains — replays byte for byte. These tests build the
+//! same three-task control-plane shape `aiio serve` registers (pull /
+//! compact / retrain) against a seeded fault plan, step the virtual
+//! clock through it twice, and compare the rendered schedule logs as
+//! strings.
+//!
+//! Set `AIIO_SCHED_SEED` to replay a different fault plan, and
+//! `AIIO_SCHED_LOG` to a path to persist the rendered schedule (written
+//! before the byte-identity assertions, so the file survives a failure
+//! and CI can upload it as an artifact). `AIIO_THREADS` is deliberately
+//! irrelevant here: the scheduler is single-threaded by construction,
+//! and the CI soak matrix runs this suite at 1 and 8 engine threads to
+//! prove the log does not depend on it.
+
+use aiio_sched::{format_events, Clock, Outcome, Scheduler, SimClock, TaskSpec, TickEvent};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// SplitMix64 — same finalizer the scheduler uses for jitter; here it
+/// is the fault plan's stream, kept private to the test so the plan and
+/// the jitter draws never share state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn seed_from_env() -> u64 {
+    std::env::var("AIIO_SCHED_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn write_schedule_log(seed: u64, log: &str) {
+    if let Ok(path) = std::env::var("AIIO_SCHED_LOG") {
+        let _ = std::fs::write(path, format!("seed {seed}\n{log}"));
+    }
+}
+
+/// A task body driven by a seeded fault plan: each run draws from its
+/// own SplitMix64 stream and fails roughly `fail_pct`% of the time,
+/// reads as "trigger not met" (skipped) `skip_pct`% of the time, and
+/// completes otherwise. Slow runs advance the virtual clock past the
+/// period, exercising completion-anchored rescheduling.
+fn plan_task(
+    clock: &Arc<SimClock>,
+    seed: u64,
+    fail_pct: u64,
+    skip_pct: u64,
+    slow_ms: u64,
+) -> Box<dyn FnMut() -> Result<bool, String> + Send> {
+    let state = AtomicU64::new(seed);
+    let clock = Arc::clone(clock);
+    Box::new(move || {
+        let mut s = state.load(Ordering::Relaxed);
+        let draw = splitmix64(&mut s) % 100;
+        let slow = splitmix64(&mut s) % 4 == 0;
+        state.store(s, Ordering::Relaxed);
+        if slow {
+            clock.advance(slow_ms);
+        }
+        if draw < fail_pct {
+            Err(format!("planned fault (draw {draw})"))
+        } else if draw < fail_pct + skip_pct {
+            Ok(false)
+        } else {
+            Ok(true)
+        }
+    })
+}
+
+/// Build the control-plane shape, run it to `horizon_ms` of virtual
+/// time, return the rendered schedule log plus the raw events.
+fn run_schedule(seed: u64, horizon_ms: u64) -> (String, Vec<TickEvent>) {
+    let clock = Arc::new(SimClock::new());
+    let mut sched = Scheduler::new(Arc::clone(&clock) as Arc<dyn Clock>);
+    // The same three-task shape `aiio serve` registers: a frequent
+    // flaky pull, a slower compaction that mostly skips, a rare retrain
+    // whose runs outlast the pull period.
+    sched
+        .add(
+            TaskSpec {
+                jitter: Duration::from_millis(9),
+                seed: seed ^ 0x70756c6c,
+                ..TaskSpec::every("pull", Duration::from_millis(50))
+            },
+            plan_task(&clock, seed.wrapping_mul(3), 35, 0, 0),
+        )
+        .unwrap();
+    sched
+        .add(
+            TaskSpec {
+                jitter: Duration::from_millis(13),
+                seed: seed ^ 0x636f6d70,
+                ..TaskSpec::every("compact", Duration::from_millis(70))
+            },
+            plan_task(&clock, seed.wrapping_mul(5), 10, 60, 0),
+        )
+        .unwrap();
+    sched
+        .add(
+            TaskSpec {
+                jitter: Duration::from_millis(21),
+                seed: seed ^ 0x72657472,
+                ..TaskSpec::every("retrain", Duration::from_millis(90))
+            },
+            plan_task(&clock, seed.wrapping_mul(7), 15, 40, 120),
+        )
+        .unwrap();
+    let mut events = Vec::new();
+    while let Some(due) = sched.next_due() {
+        if due > horizon_ms {
+            break;
+        }
+        clock.set(due.max(clock.now_ms()));
+        events.extend(sched.run_due());
+    }
+    (format_events(&events), events)
+}
+
+/// FNV-1a over the log bytes: a compact fingerprint CI can compare
+/// across jobs without shipping the full log around.
+fn fingerprint(log: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in log.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[test]
+fn schedule_log_is_byte_identical_across_runs() {
+    let seed = seed_from_env();
+    let (log_a, events) = run_schedule(seed, 10_000);
+    write_schedule_log(seed, &log_a);
+    let (log_b, _) = run_schedule(seed, 10_000);
+    assert_eq!(log_a, log_b, "same seed replayed a different schedule");
+    assert_eq!(fingerprint(&log_a), fingerprint(&log_b));
+
+    // The plan exercised every path the loop branches on: completions,
+    // skips, and failures (which drive backoff) all appear.
+    for outcome in [Outcome::Completed, Outcome::Skipped, Outcome::Failed] {
+        assert!(
+            events.iter().any(|e| e.outcome == outcome),
+            "fault plan for seed {seed} never produced {outcome:?}:\n{log_a}"
+        );
+    }
+    // The log is non-trivially long and strictly time-ordered.
+    assert!(events.len() > 100, "only {} events", events.len());
+    for w in events.windows(2) {
+        assert!(w[0].at_ms <= w[1].at_ms, "schedule log went backwards");
+    }
+
+    // A different seed must actually change the schedule — otherwise
+    // the identity assertions above prove nothing.
+    let (other, _) = run_schedule(seed.wrapping_add(1), 10_000);
+    assert_ne!(log_a, other, "seed does not influence the schedule");
+}
+
+#[test]
+fn sink_observes_the_same_log_run_due_returns() {
+    let seed = seed_from_env();
+    let clock = Arc::new(SimClock::new());
+    let mut sched = Scheduler::new(Arc::clone(&clock) as Arc<dyn Clock>);
+    sched
+        .add(
+            TaskSpec {
+                jitter: Duration::from_millis(3),
+                seed,
+                ..TaskSpec::every("only", Duration::from_millis(25))
+            },
+            plan_task(&clock, seed, 30, 20, 0),
+        )
+        .unwrap();
+    let seen: Arc<Mutex<Vec<TickEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink_seen = Arc::clone(&seen);
+    sched.set_sink(Box::new(move |e| {
+        sink_seen.lock().unwrap().push(e.clone());
+    }));
+    let mut returned = Vec::new();
+    for _ in 0..40 {
+        let due = sched.next_due().unwrap();
+        clock.set(due);
+        returned.extend(sched.run_due());
+    }
+    let observed = seen.lock().unwrap();
+    assert_eq!(
+        format_events(&returned),
+        format_events(&observed),
+        "the soak-log sink diverged from the returned events"
+    );
+}
+
+/// Backoff under a sustained outage is part of the determinism
+/// contract: the gap sequence must be the seeded jitter over the capped
+/// doubling, not wall-clock noise.
+#[test]
+fn outage_backoff_gaps_replay_exactly() {
+    let gaps = |seed: u64| -> Vec<u64> {
+        let clock = Arc::new(SimClock::new());
+        let mut sched = Scheduler::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        sched
+            .add(
+                TaskSpec {
+                    jitter: Duration::from_millis(5),
+                    backoff_cap: Duration::from_millis(80),
+                    seed,
+                    ..TaskSpec::every("down", Duration::from_millis(20))
+                },
+                Box::new(|| Err("primary unreachable".to_string())),
+            )
+            .unwrap();
+        let mut dues = Vec::new();
+        for _ in 0..8 {
+            let due = sched.next_due().unwrap();
+            dues.push(due);
+            clock.set(due);
+            sched.run_due();
+        }
+        dues.windows(2).map(|w| w[1] - w[0]).collect()
+    };
+    let seed = seed_from_env();
+    assert_eq!(gaps(seed), gaps(seed));
+    // Every gap is the capped doubling plus jitter in [0, 5]: by the
+    // fourth failure the base delay has saturated at the 80 ms cap.
+    for (i, gap) in gaps(seed).iter().enumerate().skip(3) {
+        assert!(
+            (80..=85).contains(gap),
+            "gap {i} = {gap} ms escaped the backoff cap"
+        );
+    }
+}

@@ -32,10 +32,13 @@
 //! ```
 
 pub mod client;
+pub mod control;
 pub mod http;
 pub mod metrics;
 pub mod pool;
 pub mod queue;
+
+pub use control::{ControlConfig, ControlError};
 
 use aiio::AiioService;
 use aiio_darshan::JobLog;
@@ -99,6 +102,10 @@ pub struct ServeConfig {
     /// `POST /repl/sync` pulls again on demand, and `POST /ingest`
     /// answers 403 (rows belong on the primary).
     pub replicate_from: Option<String>,
+    /// Background control plane (periodic replication pull, threshold
+    /// compaction, drift-triggered retrain). All tasks default to off;
+    /// see [`ControlConfig`].
+    pub control: ControlConfig,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +121,7 @@ impl Default for ServeConfig {
             shards: 0,
             drift_window: 256,
             replicate_from: None,
+            control: ControlConfig::default(),
         }
     }
 }
@@ -208,6 +216,39 @@ impl AttachedStore {
             AttachedStore::Sharded(fleet) => fleet.shards(),
         }
     }
+
+    /// The store's shape as one [`aiio_store::StoreStats`] regardless of
+    /// layout, so threshold policies ([`aiio_store::CompactionTrigger`])
+    /// apply uniformly.
+    fn combined_stats(&self) -> aiio_store::StoreStats {
+        match self {
+            AttachedStore::Single(store) => store.stats(),
+            AttachedStore::Sharded(fleet) => fleet.stats().combined_store(),
+        }
+    }
+
+    /// Seal the WAL tail into segments, then merge undersized segments.
+    fn seal_and_compact(&mut self) -> Result<(), aiio_store::StoreError> {
+        match self {
+            AttachedStore::Single(store) => {
+                store.seal()?;
+                store.compact()?;
+            }
+            AttachedStore::Sharded(fleet) => {
+                fleet.seal()?;
+                fleet.compact()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Every row in insertion order, for retraining.
+    fn read_all(&self) -> Result<aiio_darshan::LogDatabase, aiio_store::StoreError> {
+        match self {
+            AttachedStore::Single(store) => store.read_all(),
+            AttachedStore::Sharded(fleet) => fleet.read_all(),
+        }
+    }
 }
 
 /// The attached store plus the sliding window of freshly ingested feature
@@ -265,6 +306,8 @@ pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
     pool: Pool,
+    /// The background control plane, when any scheduled task is enabled.
+    sched: Option<aiio_sched::SchedHandle>,
 }
 
 impl Server {
@@ -338,10 +381,15 @@ impl Server {
             Arc::clone(&shared.slot),
             Arc::clone(&shared.metrics),
         );
+        // The control plane spawns last: its tasks observe a fully wired
+        // server (validation errors here surface before the accept loop
+        // ever starts).
+        let sched = control::spawn(&shared)?;
         Ok(Server {
             listener,
             shared,
             pool,
+            sched,
         })
     }
 
@@ -383,6 +431,9 @@ impl Server {
                     for h in connections {
                         let _ = h.join();
                     }
+                    if let Some(s) = self.sched {
+                        s.join();
+                    }
                     self.pool.join();
                     return Err(e);
                 }
@@ -390,9 +441,15 @@ impl Server {
         }
         // Graceful: in-flight connections finish (they may still enqueue
         // until the queue closes below, which is fine — admitted work is
-        // always completed), then workers drain.
+        // always completed), then the control plane drains (its in-flight
+        // task completes, queued runs are skipped — joined before the
+        // pool because a retrain mid-swap still touches the model slot),
+        // then workers drain.
         for h in connections {
             let _ = h.join();
+        }
+        if let Some(s) = self.sched {
+            s.join();
         }
         self.shared.queue.close();
         self.pool.join();
@@ -444,6 +501,7 @@ fn classify(path: &str) -> Endpoint {
         "/ingest" => Endpoint::Ingest,
         "/healthz" => Endpoint::Healthz,
         "/metrics" => Endpoint::Metrics,
+        "/sched/stats" => Endpoint::SchedStats,
         "/admin/reload" => Endpoint::AdminReload,
         "/admin/shutdown" => Endpoint::AdminShutdown,
         _ => Endpoint::Other,
@@ -462,6 +520,7 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
                 .metrics
                 .render(shared.queue.len(), shared.queue.capacity()),
         ),
+        ("GET", "/sched/stats") => control::sched_stats_response(&shared.metrics),
         ("POST", "/repl/sync") => repl_sync(req, shared),
         ("GET", p) if p.starts_with("/repl/") => repl_get(req, shared),
         ("POST", "/admin/reload") => admin_reload(req, shared),
@@ -704,61 +763,43 @@ fn repl_sync(req: &Request, shared: &Arc<Shared>) -> Response {
             "not a replication follower (start `aiio serve` with --replicate-from URL)",
         );
     };
-    let Some(state) = &shared.ingest else {
-        return Response::error(500, "follower has no store attached");
-    };
     let probe = req
         .body_utf8()
         .ok()
         .and_then(|b| serde_json::parse_value(b).ok())
         .and_then(|v| v.get("probe").and_then(serde_json::Value::as_bool))
         .unwrap_or(false);
-    // xtask-allow: AIIO-R002 — intentional hold: the repl mutex exists to
-    // serialize pull passes; concurrent passes would interleave staging
-    // writes and truncations on the same replica files.
-    // xtask-allow: AIIO-R001 — the repl mutex is acquired only here and
-    // always before the store state; the cycle the cross-crate name
-    // resolution reports runs through the dev-only test proxy crate,
-    // which is never linked into the server.
-    let Ok(primary) = repl.lock() else {
-        return Response::error(500, "replication mutex poisoned");
-    };
-    let Some(dir) = shared.config.store_dir.as_deref() else {
-        return Response::error(500, "follower has no store directory");
-    };
     let cfg = aiio_replnet::PullConfig::default();
     let report = if probe {
-        aiio_replnet::probe_pass(dir, &primary, &cfg)
-    } else {
-        aiio_replnet::pull_pass(dir, &primary, &cfg)
-    };
-    let report = match report {
-        Ok(r) => r,
-        Err(e) => return Response::error(502, &format!("pull from {} failed: {e}", &*primary)),
-    };
-    if !probe {
-        // xtask-allow: AIIO-R001 — the only order in this binary is
-        // repl -> state (this function is the repl mutex's sole user),
-        // so the cycle the cross-crate name resolution sees cannot
-        // close at runtime; the third lock it names lives in the
-        // dev-only test proxy, which is never linked into the server.
-        let Ok(mut st) = state.lock() else {
-            return Response::error(500, "store mutex poisoned");
+        let Some(dir) = shared.config.store_dir.as_deref() else {
+            return Response::error(500, "follower has no store directory");
         };
-        // xtask-allow: AIIO-R002 — intentional hold: the reopen swaps the
-        // attached store atomically with respect to concurrent readers of
-        // the ingest state; serving a half-swapped store would mix epochs.
-        match AttachedStore::open(dir, shared.config.shards) {
-            Ok(new_store) => st.store = new_store,
-            Err(e) => {
-                return Response::error(500, &format!("reopen after sync failed: {}", e.into_io()))
-            }
+        // xtask-allow: AIIO-R002 — intentional hold: the repl mutex
+        // serializes pull *and* probe passes; a probe interleaved with a
+        // pull would measure lag against half-published files.
+        // xtask-allow: AIIO-R001 — the repl mutex is acquired here and in
+        // control::pull_and_reopen, in both cases before any store state;
+        // the cycle the cross-crate name resolution reports runs through
+        // the dev-only test proxy crate, never linked into the server.
+        let Ok(primary) = repl.lock() else {
+            return Response::error(500, "replication mutex poisoned");
+        };
+        match aiio_replnet::probe_pass(dir, &primary, &cfg) {
+            Ok(r) => r,
+            Err(e) => return Response::error(502, &format!("pull from {} failed: {e}", &*primary)),
         }
-        let snapshot = st.store.snapshot();
-        drop(st);
-        update_store_gauges(&shared.metrics, &snapshot);
+    } else {
+        // The full pass (pull + reopen + gauges) is shared with the
+        // scheduler's periodic pull task.
+        match control::pull_and_reopen(shared, repl, &cfg) {
+            Ok(r) => r,
+            Err(control::PullError::Upstream(m)) => return Response::error(502, &m),
+            Err(control::PullError::Local(m)) => return Response::error(500, &m),
+        }
+    };
+    if probe {
+        update_repl_gauges(&shared.metrics, &report);
     }
-    update_repl_gauges(&shared.metrics, &report);
     match serde_json::to_string(&report) {
         Ok(json) => Response::json(200, json),
         Err(e) => Response::error(500, &format!("report serialization failed: {e}")),

@@ -8,6 +8,8 @@
 
 use aiio::ModelKind;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Upper bounds (milliseconds) of the latency histogram buckets; one
 /// implicit `+Inf` bucket follows.
@@ -26,11 +28,13 @@ pub enum Endpoint {
     /// Any `/repl/*` replication-transport exchange (WAL/segment/journal
     /// tails served to followers, `/repl/sync` pulls triggered on one).
     Repl,
+    /// `GET /sched/stats` — the background control plane's counters.
+    SchedStats,
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 9] = [
+    const ALL: [Endpoint; 10] = [
         Endpoint::Diagnose,
         Endpoint::DiagnoseBatch,
         Endpoint::Ingest,
@@ -39,6 +43,7 @@ impl Endpoint {
         Endpoint::AdminReload,
         Endpoint::AdminShutdown,
         Endpoint::Repl,
+        Endpoint::SchedStats,
         Endpoint::Other,
     ];
 
@@ -52,7 +57,8 @@ impl Endpoint {
             Endpoint::AdminReload => 5,
             Endpoint::AdminShutdown => 6,
             Endpoint::Repl => 7,
-            Endpoint::Other => 8,
+            Endpoint::SchedStats => 8,
+            Endpoint::Other => 9,
         }
     }
 
@@ -66,6 +72,7 @@ impl Endpoint {
             Endpoint::AdminReload => "admin_reload",
             Endpoint::AdminShutdown => "admin_shutdown",
             Endpoint::Repl => "repl",
+            Endpoint::SchedStats => "sched_stats",
             Endpoint::Other => "other",
         }
     }
@@ -123,7 +130,7 @@ pub struct ShardGauges {
 /// All server counters; shared as `Arc<Metrics>` between the accept loop,
 /// connection threads and the worker pool.
 pub struct Metrics {
-    endpoints: [EndpointStats; 9],
+    endpoints: [EndpointStats; 10],
     /// Requests refused with 503 because the queue was full.
     pub rejected_total: AtomicU64,
     /// Requests that missed their deadline (504).
@@ -132,6 +139,8 @@ pub struct Metrics {
     pub worker_panics_total: AtomicU64,
     /// Successful `/admin/reload` model swaps.
     pub reloads_total: AtomicU64,
+    /// Drift-triggered model retrains completed by the control plane.
+    pub retrains_total: AtomicU64,
     /// Successfully completed diagnoses (single and batch jobs alike) —
     /// the server's throughput counter.
     pub diagnoses_total: AtomicU64,
@@ -161,6 +170,12 @@ pub struct Metrics {
     /// Per-shard gauges when the attached store is sharded; empty for a
     /// single store (rendering then omits the shard family entirely).
     shards: Vec<ShardGauges>,
+    /// The embedded scheduler's live per-task counters, installed once
+    /// at bind when any background task is enabled; rendering the
+    /// `aiio_sched_*` family is gated on it.
+    sched: OnceLock<Arc<aiio_sched::SchedStats>>,
+    /// Construction time, for `aiio_uptime_seconds`.
+    started: Instant,
 }
 
 impl Metrics {
@@ -179,6 +194,7 @@ impl Metrics {
             timeouts_total: AtomicU64::new(0),
             worker_panics_total: AtomicU64::new(0),
             reloads_total: AtomicU64::new(0),
+            retrains_total: AtomicU64::new(0),
             diagnoses_total: AtomicU64::new(0),
             batch_jobs_total: AtomicU64::new(0),
             engine_threads: AtomicU64::new(1),
@@ -191,7 +207,20 @@ impl Metrics {
             inference: Default::default(),
             worker_jobs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             shards: (0..shards).map(|_| ShardGauges::default()).collect(),
+            sched: OnceLock::new(),
+            started: Instant::now(),
         }
+    }
+
+    /// Install the scheduler's counters (once, at bind). A second call
+    /// is ignored — the scheduler lives exactly as long as the server.
+    pub fn set_sched(&self, stats: Arc<aiio_sched::SchedStats>) {
+        let _ = self.sched.set(stats);
+    }
+
+    /// The scheduler's counters, when a control plane is running.
+    pub fn sched(&self) -> Option<&Arc<aiio_sched::SchedStats>> {
+        self.sched.get()
     }
 
     /// Gauges for shard `shard`, when the attached store is sharded.
@@ -309,6 +338,42 @@ impl Metrics {
             "aiio_reloads_total {}",
             self.reloads_total.load(Ordering::Relaxed)
         );
+        let _ = writeln!(
+            out,
+            "aiio_retrains_total {}",
+            self.retrains_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "aiio_uptime_seconds {}",
+            self.started.elapsed().as_secs()
+        );
+        if let Some(sched) = self.sched.get() {
+            let now = sched.now_ms();
+            for t in sched.tasks() {
+                let task = t.name;
+                let _ = writeln!(
+                    out,
+                    "aiio_sched_runs_total{{task=\"{task}\"}} {}",
+                    t.runs_total.load(Ordering::Relaxed)
+                );
+                let _ = writeln!(
+                    out,
+                    "aiio_sched_failures_total{{task=\"{task}\"}} {}",
+                    t.failures_total.load(Ordering::Relaxed)
+                );
+                let _ = writeln!(
+                    out,
+                    "aiio_sched_backoff_level{{task=\"{task}\"}} {}",
+                    t.backoff_level.load(Ordering::Relaxed)
+                );
+                let _ = writeln!(
+                    out,
+                    "aiio_sched_next_run_ms{{task=\"{task}\"}} {}",
+                    t.next_run_ms.load(Ordering::Relaxed).saturating_sub(now)
+                );
+            }
+        }
         let _ = writeln!(
             out,
             "aiio_diagnoses_total {}",
@@ -474,6 +539,33 @@ mod tests {
         let plain = Metrics::new(1);
         plain.store_attached.store(1, Ordering::Relaxed);
         assert!(!plain.render(0, 8).contains("aiio_store_shards"));
+    }
+
+    #[test]
+    fn sched_family_renders_once_installed() {
+        let m = Metrics::new(1);
+        let text = m.render(0, 8);
+        assert!(text.contains("aiio_uptime_seconds"));
+        assert!(text.contains("aiio_retrains_total 0"));
+        assert!(!text.contains("aiio_sched_runs_total"));
+        // Drive a tiny scheduler by hand and install its stats.
+        let clock = std::sync::Arc::new(aiio_sched::SimClock::new());
+        let mut sched =
+            aiio_sched::Scheduler::new(clock.clone() as std::sync::Arc<dyn aiio_sched::Clock>);
+        sched
+            .add(
+                aiio_sched::TaskSpec::every("pull", std::time::Duration::from_millis(10)),
+                Box::new(|| Ok(true)),
+            )
+            .unwrap();
+        m.set_sched(std::sync::Arc::new(sched.stats()));
+        clock.advance(10);
+        sched.run_due();
+        let text = m.render(0, 8);
+        assert!(text.contains("aiio_sched_runs_total{task=\"pull\"} 1"));
+        assert!(text.contains("aiio_sched_failures_total{task=\"pull\"} 0"));
+        assert!(text.contains("aiio_sched_backoff_level{task=\"pull\"} 0"));
+        assert!(text.contains("aiio_sched_next_run_ms{task=\"pull\"} 10"));
     }
 
     #[test]

@@ -126,6 +126,31 @@ pub struct FleetStats {
     pub per_shard: Vec<ShardStat>,
 }
 
+impl FleetStats {
+    /// The fleet's shape summed into one [`StoreStats`], so threshold
+    /// policies written against a single store (e.g.
+    /// [`aiio_store::CompactionTrigger`]) apply to a fleet unchanged.
+    /// Segment and WAL figures sum over every shard's *serving* store.
+    pub fn combined_store(&self) -> StoreStats {
+        let mut out = StoreStats {
+            segments: 0,
+            sealed_rows: 0,
+            wal_rows: 0,
+            total_rows: self.total_rows as usize,
+            sealed_bytes: 0,
+            wal_bytes: 0,
+        };
+        for p in &self.per_shard {
+            out.segments += p.store.segments;
+            out.sealed_rows += p.store.sealed_rows;
+            out.wal_rows += p.store.wal_rows;
+            out.sealed_bytes += p.store.sealed_bytes;
+            out.wal_bytes += p.store.wal_bytes;
+        }
+        out
+    }
+}
+
 /// Aggregate outcome of one [`ShardedStore::replicate`] pass.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct ReplicationReport {
@@ -837,6 +862,35 @@ mod tests {
             wal_block_rows: 4,
             verify_on_open: true,
         }
+    }
+
+    #[test]
+    fn combined_store_stats_sum_over_serving_shards() {
+        let root = tmpdir("combined_stats");
+        let mut fleet = ShardedStore::open_with(&root, 3, small_config()).unwrap();
+        let jobs: Vec<JobLog> = (0..40).map(job).collect();
+        fleet.append_batch(&jobs).unwrap();
+        fleet.sync().unwrap();
+        let stats = fleet.stats();
+        let combined = stats.combined_store();
+        assert_eq!(combined.total_rows, 40);
+        assert_eq!(
+            combined.sealed_rows + combined.wal_rows,
+            stats
+                .per_shard
+                .iter()
+                .map(|p| p.store.total_rows)
+                .sum::<usize>()
+        );
+        assert_eq!(
+            combined.wal_bytes,
+            stats
+                .per_shard
+                .iter()
+                .map(|p| p.store.wal_bytes)
+                .sum::<u64>()
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -29,5 +29,6 @@ pub use codec::crc32;
 pub use error::{Result, StoreError};
 pub use segment::{SegmentMeta, ZoneEntry};
 pub use store::{
-    CompactReport, CounterRange, RecoveryReport, ScanSummary, Store, StoreConfig, StoreStats,
+    CompactReport, CompactionTrigger, CounterRange, RecoveryReport, ScanSummary, Store,
+    StoreConfig, StoreStats,
 };

@@ -96,6 +96,36 @@ pub struct StoreStats {
     pub wal_bytes: u64,
 }
 
+/// Threshold policy deciding when a background maintenance pass should
+/// seal-and-compact a store: once sealed segments pile up past
+/// `max_segments` or the WAL tail grows past `max_wal_bytes`. The
+/// policy is pure (a predicate over [`StoreStats`]) so the control
+/// plane can evaluate it without touching the store, and so the same
+/// thresholds mean the same thing for a single store and for each
+/// member of a sharded fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionTrigger {
+    /// Fire once live sealed segments exceed this count (0 disables
+    /// the segment trigger).
+    pub max_segments: u64,
+    /// Fire once the WAL file exceeds this many bytes (0 disables the
+    /// WAL trigger).
+    pub max_wal_bytes: u64,
+}
+
+impl CompactionTrigger {
+    /// True when at least one threshold is active.
+    pub fn is_enabled(&self) -> bool {
+        self.max_segments > 0 || self.max_wal_bytes > 0
+    }
+
+    /// True when `stats` crosses an active threshold.
+    pub fn due(&self, stats: &StoreStats) -> bool {
+        (self.max_segments > 0 && stats.segments as u64 > self.max_segments)
+            || (self.max_wal_bytes > 0 && stats.wal_bytes > self.max_wal_bytes)
+    }
+}
+
 /// Outcome of [`Store::compact`].
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct CompactReport {
@@ -597,6 +627,41 @@ mod tests {
             wal_block_rows: 5,
             verify_on_open: true,
         }
+    }
+
+    #[test]
+    fn compaction_trigger_fires_on_either_threshold() {
+        let stats = StoreStats {
+            segments: 5,
+            sealed_rows: 80,
+            wal_rows: 3,
+            total_rows: 83,
+            sealed_bytes: 4096,
+            wal_bytes: 512,
+        };
+        let off = CompactionTrigger {
+            max_segments: 0,
+            max_wal_bytes: 0,
+        };
+        assert!(!off.is_enabled());
+        assert!(!off.due(&stats));
+        let by_segments = CompactionTrigger {
+            max_segments: 4,
+            max_wal_bytes: 0,
+        };
+        assert!(by_segments.is_enabled());
+        assert!(by_segments.due(&stats));
+        let by_wal = CompactionTrigger {
+            max_segments: 0,
+            max_wal_bytes: 256,
+        };
+        assert!(by_wal.due(&stats));
+        // Thresholds are strict: exactly-at does not fire.
+        let at_edge = CompactionTrigger {
+            max_segments: 5,
+            max_wal_bytes: 512,
+        };
+        assert!(!at_edge.due(&stats));
     }
 
     #[test]

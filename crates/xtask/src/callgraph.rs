@@ -48,6 +48,7 @@ const GENERIC_METHOD_NAMES: &[&str] = &[
     "any",
     "capacity",
     "chain",
+    "clear",
     "clone",
     "cloned",
     "collect",
@@ -66,8 +67,10 @@ const GENERIC_METHOD_NAMES: &[&str] = &[
     "insert",
     "is_empty",
     "iter",
+    "join",
     "last",
     "len",
+    "load",
     "map",
     "max",
     "min",
@@ -79,6 +82,8 @@ const GENERIC_METHOD_NAMES: &[&str] = &[
     "skip",
     "sort",
     "sort_by",
+    "spawn",
+    "store",
     "sum",
     "take",
     "trim",

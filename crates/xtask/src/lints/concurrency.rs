@@ -107,6 +107,16 @@ const BLOCKING: &[&str] = &[
     "fetch_manifest(",
     "publish_bytes(",
     "append_bytes(",
+    // Scheduler surface: parking on the control-plane clock and running
+    // maintenance tasks (a pull pass, a store compaction, a full
+    // retrain) are long blocking operations by design. A guard held
+    // across any of them freezes every request path that wants the same
+    // lock for the whole maintenance window.
+    "wait_until(",
+    "run_due(",
+    "run_pull(",
+    "run_compact(",
+    "run_retrain(",
 ];
 
 /// Name segments that mark an atomic as a publication gate for
@@ -274,6 +284,59 @@ pub fn analyze(ws: &Workspace) -> Vec<ConcurrencySite> {
             })
             .collect(),
     );
+
+    if let (Ok(dbg), Ok(target)) = (
+        std::env::var("XTASK_DEBUG_FN"),
+        std::env::var("XTASK_DEBUG_LOCK"),
+    ) {
+        // BFS over name-resolved call edges from `dbg` to the nearest
+        // function that *directly* acquires `target`; print the chain.
+        let mut prev: Vec<Option<(usize, String)>> = vec![None; graph.nodes.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for (i, node) in graph.nodes.iter().enumerate() {
+            if node.name == dbg {
+                prev[i] = Some((i, String::new()));
+                queue.push_back(i);
+            }
+        }
+        'bfs: while let Some(i) = queue.pop_front() {
+            if acqs[i].iter().any(|a| a.lock == target) {
+                let mut chain = vec![format!(
+                    "{} ({}:{}) ACQUIRES {target}",
+                    graph.nodes[i].name, graph.nodes[i].file, graph.nodes[i].line
+                )];
+                let mut j = i;
+                while let Some((p, via)) = prev[j].clone() {
+                    if p == j {
+                        break;
+                    }
+                    chain.push(format!(
+                        "{} ({}:{}) calls `{via}`",
+                        graph.nodes[p].name, graph.nodes[p].file, graph.nodes[p].line
+                    ));
+                    j = p;
+                }
+                chain.reverse();
+                eprintln!("== path {dbg} -> {target}:");
+                for c in &chain {
+                    eprintln!("   {c}");
+                }
+                break 'bfs;
+            }
+            let Some(file) = ws.file(&graph.nodes[i].file) else {
+                continue;
+            };
+            let text = &file.code[graph.nodes[i].body.clone()];
+            for call in call_sites(text) {
+                for r in graph.resolve(&call) {
+                    if prev[r].is_none() {
+                        prev[r] = Some((i, call.name.clone()));
+                        queue.push_back(r);
+                    }
+                }
+            }
+        }
+    }
 
     let mut sites = Vec::new();
     r001(ws, &graph, &acqs, &regions, &may_acquire, &mut sites);
@@ -1482,6 +1545,31 @@ mod tests {
         for op in [
             "pull_pass(&dir, &base, &cfg)",
             "http_fetch_retry(&base, \"/x\", d, 0, b)",
+        ] {
+            let src = format!("impl S {{ fn f(&self) {{ let g = self.state.lock(); {op}; }} }}\n");
+            let w = ws(&[("crates/a/src/lib.rs", src.as_str())]);
+            let sites = analyze(&w);
+            assert!(
+                sites
+                    .iter()
+                    .any(|s| s.rule == "AIIO-R002" && s.message.contains("a::S::state")),
+                "guard held across {op} must flag: {sites:#?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_surface_counts_as_blocking() {
+        // Control-plane entry points: parking on the scheduler clock and
+        // the maintenance tasks themselves (pull, compact, retrain) all
+        // block for a full maintenance window; a guard held across any
+        // of them must flag R002.
+        for op in [
+            "clock.wait_until(deadline)",
+            "sched.run_due()",
+            "run_pull(&shared)",
+            "run_compact(&shared)",
+            "run_retrain(&shared)",
         ] {
             let src = format!("impl S {{ fn f(&self) {{ let g = self.state.lock(); {op}; }} }}\n");
             let w = ws(&[("crates/a/src/lib.rs", src.as_str())]);
