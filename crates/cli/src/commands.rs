@@ -108,6 +108,18 @@ USAGE:
       Prints `listening on ADDR` once bound (use --addr 127.0.0.1:0 for
       an ephemeral port) and runs until /admin/shutdown.
 
+  aiio query --counter NAME (--store DIR | --addr HOST:PORT)
+             [--min X] [--max X] [--limit N] [--json] [--threads T]
+      Scan a store for jobs whose counter lies in [min, max] (inclusive;
+      either bound may be omitted). With --store the scan runs in
+      process, pruning segments via the zone map and reusing the decoded-
+      segment block cache; with --addr it asks a running `aiio serve`
+      (GET /query) instead. Rows stream back in global insertion order
+      on plain stores and sharded fleets alike; --limit caps the rows
+      printed (default 100) while the summary still covers the whole
+      scan. --json prints raw JobLog rows (one per line locally, the
+      server's response body remotely).
+
   aiio sched-stats --addr HOST:PORT [--json]
       Print a running server's background-task counters (GET
       /sched/stats): runs, failures, current backoff level and time to
@@ -214,6 +226,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "train" => cmd_train(rest),
         "diagnose" => cmd_diagnose(rest),
         "serve" => cmd_serve(rest),
+        "query" => cmd_query(rest),
         "sched-stats" => cmd_sched_stats(rest),
         "client" => cmd_client(rest),
         "help" | "--help" | "-h" => {
@@ -802,6 +815,154 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         server.local_addr().map_err(|e| e.to_string())?
     );
     server.run().map_err(|e| e.to_string())
+}
+
+/// One human-readable line per matched row.
+fn print_query_row(job_id: u64, app: &str, counter: aiio_darshan::CounterId, value: f64) {
+    println!("job {job_id:>12}  {app:<12} {}={value}", counter.name());
+}
+
+fn cmd_query(args: &[String]) -> Result<(), CliError> {
+    let (_, flags) = parse_flags(args)?;
+    apply_threads_flag(&flags)?;
+    let counter_name = required(&flags, "counter")?;
+    let counter = aiio_darshan::CounterId::from_name(counter_name)
+        .ok_or_else(|| format!("unknown counter '{counter_name}' (see Table 4 names)"))?;
+    let min: f64 = flag(&flags, "min")
+        .map(|s| parse_num(s, "min"))
+        .transpose()?
+        .unwrap_or(f64::NEG_INFINITY);
+    let max: f64 = flag(&flags, "max")
+        .map(|s| parse_num(s, "max"))
+        .transpose()?
+        .unwrap_or(f64::INFINITY);
+    let limit: usize = flag(&flags, "limit")
+        .map(|s| parse_num(s, "limit"))
+        .transpose()?
+        .unwrap_or(aiio_serve::DEFAULT_QUERY_LIMIT);
+    let json = flag(&flags, "json").is_some();
+
+    if let Some(addr) = flag(&flags, "addr") {
+        // Remote: let the running server do the scan (its block cache is
+        // warm). Counter names and numbers never need percent-encoding.
+        let mut path = format!("/query?counter={counter_name}&limit={limit}");
+        if let Some(v) = flag(&flags, "min") {
+            path.push_str(&format!("&min={v}"));
+        }
+        if let Some(v) = flag(&flags, "max") {
+            path.push_str(&format!("&max={v}"));
+        }
+        let timeout = std::time::Duration::from_secs(120);
+        let response = aiio_serve::client::request(addr, "GET", &path, None, timeout)
+            .map_err(|e| format!("request to {addr} failed: {e}"))?;
+        if response.status >= 400 {
+            return Err(format!(
+                "GET /query answered {} {}: {}",
+                response.status,
+                aiio_serve::http::reason(response.status),
+                response.body
+            ));
+        }
+        if json {
+            println!("{}", response.body);
+            return Ok(());
+        }
+        let parsed = serde_json::parse_value(&response.body).map_err(|e| e.to_string())?;
+        let rows = parsed
+            .get("rows")
+            .and_then(serde_json::Value::as_array)
+            .ok_or_else(|| format!("malformed /query body: {}", response.body))?;
+        let idx = aiio_darshan::CounterId::ALL
+            .iter()
+            .position(|c| *c == counter)
+            .ok_or("counter missing from CounterId::ALL")?;
+        for row in rows {
+            let job_id = row.get("job_id").and_then(serde_json::Value::as_u64);
+            let app = row.get("app").and_then(serde_json::Value::as_str);
+            let value = row
+                .get("counters")
+                .and_then(|c| c.get("values"))
+                .and_then(|v| v.get_index(idx))
+                .and_then(serde_json::Value::as_f64);
+            match (job_id, app, value) {
+                (Some(id), Some(app), Some(v)) => print_query_row(id, app, counter, v),
+                _ => return Err(format!("malformed row in /query body: {}", response.body)),
+            }
+        }
+        let n = |k: &str| {
+            parsed
+                .get(k)
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0)
+        };
+        let s = |k: &str| {
+            parsed
+                .get("summary")
+                .and_then(|v| v.get(k))
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0)
+        };
+        eprintln!(
+            "query: {} row(s) returned{} of {} matched; scanned {} segment(s), \
+             skipped {} via zone map, {} row(s) tested",
+            n("returned"),
+            if parsed.get("truncated").and_then(serde_json::Value::as_bool) == Some(true) {
+                " (truncated)"
+            } else {
+                ""
+            },
+            s("rows_matched"),
+            s("segments_scanned"),
+            s("segments_skipped"),
+            s("rows_scanned"),
+        );
+        return Ok(());
+    }
+
+    let dir = flag(&flags, "store").ok_or("query needs --store DIR or --addr HOST:PORT")?;
+    let range = aiio_store::CounterRange::new(counter, min, max).map_err(|e| e.to_string())?;
+    let mut printed = 0usize;
+    let mut truncated = false;
+    let mut row_err: Option<String> = None;
+    let mut emit = |job: &JobLog| {
+        if printed >= limit {
+            truncated = true;
+            return;
+        }
+        if json {
+            match serde_json::to_string(job) {
+                Ok(line) => println!("{line}"),
+                Err(e) => row_err = Some(e.to_string()),
+            }
+        } else {
+            print_query_row(job.job_id, &job.app, counter, job.counters.get(counter));
+        }
+        printed += 1;
+    };
+    let summary = if is_fleet_dir(dir) {
+        let fleet = open_fleet(dir, 0)?;
+        fleet
+            .scan_filtered(&range, &mut emit)
+            .map_err(|e| e.to_string())?
+    } else {
+        let store = open_store(dir)?;
+        store
+            .scan_filtered(&range, &mut emit)
+            .map_err(|e| e.to_string())?
+    };
+    if let Some(e) = row_err {
+        return Err(format!("row serialization failed: {e}"));
+    }
+    eprintln!(
+        "query: {printed} row(s) printed{} of {} matched; scanned {} segment(s), \
+         skipped {} via zone map, {} row(s) tested",
+        if truncated { " (truncated)" } else { "" },
+        summary.rows_matched,
+        summary.segments_scanned,
+        summary.segments_skipped,
+        summary.rows_scanned,
+    );
+    Ok(())
 }
 
 fn cmd_sched_stats(args: &[String]) -> Result<(), CliError> {

@@ -361,6 +361,14 @@ fn pull_segments(dir: &Path, base: &str, s: usize, cfg: &PullConfig) -> io::Resu
             removed += 1;
         }
     }
+    if copied + removed > 0 {
+        // Segment files under this shard dir were replaced or dropped;
+        // release any cached decodes of the previous generation (the
+        // fingerprint check already makes them unservable).
+        if let Some(cache) = aiio_store::SegmentCache::shared() {
+            cache.invalidate_dir(dir);
+        }
+    }
     Ok((copied, removed))
 }
 

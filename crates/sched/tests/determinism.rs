@@ -60,7 +60,7 @@ fn plan_task(
     Box::new(move || {
         let mut s = state.load(Ordering::Relaxed);
         let draw = splitmix64(&mut s) % 100;
-        let slow = splitmix64(&mut s) % 4 == 0;
+        let slow = splitmix64(&mut s).is_multiple_of(4);
         state.store(s, Ordering::Relaxed);
         if slow {
             clock.advance(slow_ms);

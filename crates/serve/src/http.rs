@@ -39,6 +39,8 @@ pub enum ParseError {
     Bad(String),
     /// Body exceeds the configured limit (maps to 413).
     TooLarge { limit: usize },
+    /// Request line or headers exceed their byte cap (maps to 431).
+    HeadTooLarge { limit: usize },
     /// The peer closed before a full request arrived.
     Io(std::io::Error),
 }
@@ -49,6 +51,9 @@ impl std::fmt::Display for ParseError {
             ParseError::Bad(m) => write!(f, "bad request: {m}"),
             ParseError::TooLarge { limit } => {
                 write!(f, "body exceeds the {limit}-byte limit")
+            }
+            ParseError::HeadTooLarge { limit } => {
+                write!(f, "request head exceeds the {limit}-byte limit")
             }
             ParseError::Io(e) => write!(f, "i/o error reading request: {e}"),
         }
@@ -63,10 +68,37 @@ impl From<std::io::Error> for ParseError {
     }
 }
 
+/// Byte cap on the request line. One endless unterminated line must not
+/// grow a `String` without bound — the 100-header limit only counts
+/// *terminated* lines, so before these caps a hostile peer could stream
+/// gigabytes into `read_line`.
+pub const MAX_REQUEST_LINE_BYTES: usize = 8 * 1024;
+
+/// Byte cap on the headers cumulatively (names, values and line
+/// terminators together).
+pub const MAX_HEADER_BYTES: usize = 32 * 1024;
+
+/// Read one line of at most `cap` bytes (including the terminator).
+/// Exceeding the cap is [`ParseError::HeadTooLarge`] carrying `limit`
+/// (the overall budget, for the error message) — the line's excess bytes
+/// stay unread, which is fine because head errors close the connection.
+fn read_line_capped(
+    reader: &mut impl BufRead,
+    cap: usize,
+    limit: usize,
+) -> Result<String, ParseError> {
+    let mut line = String::new();
+    let n = std::io::Read::take(&mut *reader, cap as u64 + 1).read_line(&mut line)?;
+    if n > cap {
+        return Err(ParseError::HeadTooLarge { limit });
+    }
+    Ok(line)
+}
+
 /// Read the request line and headers (up to the blank line).
 pub fn read_head(reader: &mut impl BufRead) -> Result<Request, ParseError> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+    let line = read_line_capped(reader, MAX_REQUEST_LINE_BYTES, MAX_REQUEST_LINE_BYTES)?;
+    if line.is_empty() {
         return Err(ParseError::Io(std::io::Error::new(
             std::io::ErrorKind::UnexpectedEof,
             "connection closed before request line",
@@ -87,11 +119,13 @@ pub fn read_head(reader: &mut impl BufRead) -> Result<Request, ParseError> {
     }
 
     let mut headers = Vec::new();
+    let mut header_budget = MAX_HEADER_BYTES;
     loop {
-        let mut h = String::new();
-        if reader.read_line(&mut h)? == 0 {
+        let h = read_line_capped(reader, header_budget, MAX_HEADER_BYTES)?;
+        if h.is_empty() {
             return Err(ParseError::Bad("connection closed inside headers".into()));
         }
+        header_budget -= h.len().min(header_budget);
         let h = h.trim_end();
         if h.is_empty() {
             break;
@@ -118,9 +152,19 @@ pub fn read_body(
     req: &mut Request,
     max_bytes: usize,
 ) -> Result<(), ParseError> {
-    let len: usize = match req.header("content-length") {
+    // `Request::header` is first-match-wins, so before trusting it the
+    // framing must reject duplicate Content-Length headers outright —
+    // two conflicting values is the classic request-smuggling shape
+    // (the framing uses one, a downstream handler the other), and even
+    // agreeing duplicates signal a mangled or hostile client.
+    let mut lengths = req.headers.iter().filter(|(n, _)| n == "content-length");
+    let first = lengths.next();
+    if lengths.next().is_some() {
+        return Err(ParseError::Bad("multiple Content-Length headers".into()));
+    }
+    let len: usize = match first {
         None => return Ok(()),
-        Some(v) => v
+        Some((_, v)) => v
             .parse()
             .map_err(|_| ParseError::Bad(format!("bad Content-Length '{v}'")))?,
     };
@@ -198,6 +242,7 @@ impl From<&ParseError> for Response {
         match e {
             ParseError::Bad(m) => Response::error(400, m),
             ParseError::TooLarge { .. } => Response::error(413, &e.to_string()),
+            ParseError::HeadTooLarge { .. } => Response::error(431, &e.to_string()),
             ParseError::Io(_) => Response::error(400, &e.to_string()),
         }
     }
@@ -213,12 +258,72 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "",
     }
+}
+
+/// Split a request target into its path and query string (`""` when the
+/// target has no `?`). Routing must match on the path alone.
+pub fn split_query(target: &str) -> (&str, &str) {
+    match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    }
+}
+
+/// Parse `a=1&b=two` into pairs, percent-decoding both sides (`+` is a
+/// space). Keys without `=` get an empty value; empty sections between
+/// `&`s are dropped.
+pub fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            // Decode on raw bytes (not &str slices) so a '%' followed by
+            // part of a multibyte char cannot land on a non-boundary.
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3])
+                    .ok()
+                    .and_then(|h| u8::from_str_radix(h, 16).ok());
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// JSON string literal (quotes + escapes) for error envelopes, without a
@@ -296,5 +401,106 @@ mod tests {
     #[test]
     fn json_string_escapes() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn rejects_oversized_request_line() {
+        let raw = format!(
+            "GET /{} HTTP/1.1\r\n\r\n",
+            "a".repeat(MAX_REQUEST_LINE_BYTES)
+        );
+        let err = parse(&raw).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::HeadTooLarge {
+                limit: MAX_REQUEST_LINE_BYTES
+            }
+        ));
+        assert_eq!(Response::from(&err).status, 431);
+    }
+
+    #[test]
+    fn rejects_oversized_header_block() {
+        // Each header is well under the per-line cap; only the cumulative
+        // budget can reject this head.
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..10 {
+            raw.push_str(&format!("X-Pad-{i}: {}\r\n", "b".repeat(4 * 1024)));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(
+            parse(&raw),
+            Err(ParseError::HeadTooLarge {
+                limit: MAX_HEADER_BYTES
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_unterminated_giant_header_line() {
+        let mut raw = String::from("GET / HTTP/1.1\r\nX-Huge: ");
+        raw.push_str(&"c".repeat(MAX_HEADER_BYTES + 1024));
+        // No terminating CRLFs at all: the cap must fire before EOF handling.
+        assert!(matches!(parse(&raw), Err(ParseError::HeadTooLarge { .. })));
+    }
+
+    #[test]
+    fn accepts_head_just_under_the_caps() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "d".repeat(MAX_HEADER_BYTES / 2)
+        );
+        let req = parse(&raw).unwrap();
+        assert_eq!(req.path, "/");
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length() {
+        // Conflicting values.
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nabcd";
+        let err = parse(raw).unwrap_err();
+        assert!(matches!(err, ParseError::Bad(_)));
+        assert_eq!(Response::from(&err).status, 400);
+        // Even agreeing duplicates are a smuggling shape; reject those too.
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        assert!(matches!(parse(raw), Err(ParseError::Bad(_))));
+    }
+
+    #[test]
+    fn split_query_separates_path_and_query() {
+        assert_eq!(
+            split_query("/query?counter=X&min=0"),
+            ("/query", "counter=X&min=0")
+        );
+        assert_eq!(split_query("/stats"), ("/stats", ""));
+        assert_eq!(split_query("/q?"), ("/q", ""));
+    }
+
+    #[test]
+    fn parse_query_decodes_pairs() {
+        let pairs = parse_query("counter=POSIX_SEQ_READS&min=-1.5&max=2e9&flag");
+        assert_eq!(
+            pairs,
+            vec![
+                ("counter".to_string(), "POSIX_SEQ_READS".to_string()),
+                ("min".to_string(), "-1.5".to_string()),
+                ("max".to_string(), "2e9".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn percent_decoding_handles_escapes_and_junk() {
+        let pairs = parse_query("a%20b=c%2Bd&plus+sign=1&bad=%zz&trail=%2");
+        assert_eq!(
+            pairs,
+            vec![
+                ("a b".to_string(), "c+d".to_string()),
+                ("plus sign".to_string(), "1".to_string()),
+                ("bad".to_string(), "%zz".to_string()),
+                ("trail".to_string(), "%2".to_string()),
+            ]
+        );
     }
 }

@@ -249,6 +249,38 @@ impl AttachedStore {
             AttachedStore::Sharded(fleet) => fleet.read_all(),
         }
     }
+
+    /// An owned snapshot of the published layout for lock-free scanning.
+    /// Cheap: segment metadata and the WAL tail rows are copied, segment
+    /// bytes are not — those are read (through the block cache) after
+    /// the ingest lock is dropped.
+    fn read_view(&self) -> ReadView {
+        match self {
+            AttachedStore::Single(store) => ReadView::Single(store.read_view()),
+            AttachedStore::Sharded(fleet) => ReadView::Fleet(fleet.read_view()),
+        }
+    }
+}
+
+/// A point-in-time scan surface over either store layout, uniform for the
+/// `/query` handler. Scans see exactly the rows published at snapshot
+/// time, in global insertion order, no matter what ingestion does next.
+enum ReadView {
+    Single(aiio_store::StoreReadView),
+    Fleet(aiio_shard::FleetReadView),
+}
+
+impl ReadView {
+    fn scan_filtered(
+        &self,
+        range: &aiio_store::CounterRange,
+        sink: &mut dyn FnMut(&JobLog),
+    ) -> Result<aiio_store::ScanSummary, aiio_store::StoreError> {
+        match self {
+            ReadView::Single(view) => view.scan_filtered(range, sink),
+            ReadView::Fleet(view) => view.scan_filtered(range, sink),
+        }
+    }
 }
 
 /// The attached store plus the sliding window of freshly ingested feature
@@ -345,6 +377,14 @@ impl Server {
             config.workers,
             attached.as_ref().map_or(0, AttachedStore::shard_count),
         ));
+        if attached.is_some() {
+            // Expose the decoded-segment block cache's counters next to
+            // the store gauges it accelerates (None when AIIO_CACHE_BYTES=0
+            // disables caching; /metrics then omits the family).
+            if let Some(cache) = aiio_store::SegmentCache::shared() {
+                metrics.set_cache(cache);
+            }
+        }
         let ingest = match attached {
             Some(store) => {
                 // Publish the gauges while the store is still exclusively
@@ -491,7 +531,8 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = response.write_to(&mut writer);
 }
 
-fn classify(path: &str) -> Endpoint {
+fn classify(target: &str) -> Endpoint {
+    let (path, _) = http::split_query(target);
     if path.starts_with("/repl/") {
         return Endpoint::Repl;
     }
@@ -502,6 +543,7 @@ fn classify(path: &str) -> Endpoint {
         "/healthz" => Endpoint::Healthz,
         "/metrics" => Endpoint::Metrics,
         "/sched/stats" => Endpoint::SchedStats,
+        "/query" => Endpoint::Query,
         "/admin/reload" => Endpoint::AdminReload,
         "/admin/shutdown" => Endpoint::AdminShutdown,
         _ => Endpoint::Other,
@@ -509,7 +551,8 @@ fn classify(path: &str) -> Endpoint {
 }
 
 fn route(req: &Request, shared: &Arc<Shared>) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
+    let (path, query) = http::split_query(&req.path);
+    match (req.method.as_str(), path) {
         ("POST", "/diagnose") => diagnose_one(req, shared),
         ("POST", "/diagnose/batch") => diagnose_batch(req, shared),
         ("POST", "/ingest") => ingest(req, shared),
@@ -521,6 +564,7 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
                 .render(shared.queue.len(), shared.queue.capacity()),
         ),
         ("GET", "/sched/stats") => control::sched_stats_response(&shared.metrics),
+        ("GET", "/query") => query_rows(query, shared),
         ("POST", "/repl/sync") => repl_sync(req, shared),
         ("GET", p) if p.starts_with("/repl/") => repl_get(req, shared),
         ("POST", "/admin/reload") => admin_reload(req, shared),
@@ -528,7 +572,7 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
             shared.shutdown.store(true, Ordering::Release);
             Response::json(200, "{\"shutting_down\":true}")
         }
-        ("GET" | "POST", _) => Response::error(404, &format!("no such endpoint {}", req.path)),
+        ("GET" | "POST", _) => Response::error(404, &format!("no such endpoint {path}")),
         (m, _) => Response::error(405, &format!("method {m} not supported")),
     }
 }
@@ -910,6 +954,118 @@ fn healthz(shared: &Arc<Shared>) -> Response {
             shared.config.workers,
             shared.queue.len(),
             shared.queue.capacity()
+        ),
+    )
+}
+
+/// Rows `GET /query` returns when no `limit` parameter is given.
+pub const DEFAULT_QUERY_LIMIT: usize = 100;
+
+/// A float as a JSON value: finite numbers verbatim, infinities as
+/// `null` (JSON has no spelling for them; an absent bound reads as
+/// "unbounded" either way).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// `GET /query`: a zone-map-pruned row scan over the attached store.
+/// `counter` names a Table-4 counter (required); `min`/`max` bound it
+/// inclusively (default unbounded); `limit` caps the rows returned (the
+/// summary still covers the whole scan). Rows come back in global
+/// insertion order on both layouts. Malformed parameters answer 400;
+/// well-formed but unanswerable ranges (unknown counter, NaN, inverted
+/// bounds) answer 422.
+fn query_rows(query: &str, shared: &Arc<Shared>) -> Response {
+    let Some(state) = &shared.ingest else {
+        return Response::error(
+            404,
+            "no job-log store attached (start `aiio serve` with --store DIR)",
+        );
+    };
+    let mut counter = None;
+    let mut min = f64::NEG_INFINITY;
+    let mut max = f64::INFINITY;
+    let mut limit = DEFAULT_QUERY_LIMIT;
+    for (name, value) in http::parse_query(query) {
+        match name.as_str() {
+            "counter" => match aiio_darshan::CounterId::from_name(&value) {
+                Some(c) => counter = Some(c),
+                None => return Response::error(422, &format!("unknown counter {value:?}")),
+            },
+            "min" => match value.parse::<f64>() {
+                Ok(v) => min = v,
+                Err(_) => return Response::error(400, &format!("min is not a number: {value:?}")),
+            },
+            "max" => match value.parse::<f64>() {
+                Ok(v) => max = v,
+                Err(_) => return Response::error(400, &format!("max is not a number: {value:?}")),
+            },
+            "limit" => match value.parse::<usize>() {
+                Ok(v) => limit = v,
+                Err(_) => return Response::error(400, &format!("limit is not a count: {value:?}")),
+            },
+            other => return Response::error(400, &format!("unknown query parameter {other:?}")),
+        }
+    }
+    let Some(counter) = counter else {
+        return Response::error(400, "missing required parameter: counter");
+    };
+    let range = match aiio_store::CounterRange::new(counter, min, max) {
+        Ok(r) => r,
+        Err(e) => return Response::error(422, &e.to_string()),
+    };
+    let view = {
+        let Ok(state) = state.lock() else {
+            return Response::error(500, "store mutex poisoned");
+        };
+        // xtask-allow: AIIO-R002 — only clones segment metadata and the
+        // WAL tail under the guard; segment bytes are read (through the
+        // block cache) by the scan below, after the guard is gone.
+        state.store.read_view()
+    };
+    let mut rows = String::from("[");
+    let mut returned = 0usize;
+    let mut truncated = false;
+    let mut ser_err: Option<String> = None;
+    let summary = view.scan_filtered(&range, &mut |job| {
+        if returned >= limit {
+            truncated = true;
+            return;
+        }
+        match serde_json::to_string(job) {
+            Ok(json) => {
+                if returned > 0 {
+                    rows.push(',');
+                }
+                rows.push_str(&json);
+                returned += 1;
+            }
+            Err(e) => ser_err = Some(e.to_string()),
+        }
+    });
+    let summary = match summary {
+        Ok(s) => s,
+        Err(e) => return Response::error(500, &format!("scan failed: {e}")),
+    };
+    if let Some(e) = ser_err {
+        return Response::error(500, &format!("row serialization failed: {e}"));
+    }
+    rows.push(']');
+    Response::json(
+        200,
+        format!(
+            "{{\"counter\":\"{}\",\"min\":{},\"max\":{},\"limit\":{limit},\"returned\":{returned},\"truncated\":{truncated},\"rows\":{rows},\"summary\":{{\"segments_scanned\":{},\"segments_skipped\":{},\"rows_scanned\":{},\"rows_matched\":{}}}}}",
+            counter.name(),
+            json_f64(min),
+            json_f64(max),
+            summary.segments_scanned,
+            summary.segments_skipped,
+            summary.rows_scanned,
+            summary.rows_matched,
         ),
     )
 }

@@ -30,11 +30,13 @@ pub enum Endpoint {
     Repl,
     /// `GET /sched/stats` — the background control plane's counters.
     SchedStats,
+    /// `GET /query` — zone-map-pruned row scans over the attached store.
+    Query,
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 10] = [
+    const ALL: [Endpoint; 11] = [
         Endpoint::Diagnose,
         Endpoint::DiagnoseBatch,
         Endpoint::Ingest,
@@ -44,6 +46,7 @@ impl Endpoint {
         Endpoint::AdminShutdown,
         Endpoint::Repl,
         Endpoint::SchedStats,
+        Endpoint::Query,
         Endpoint::Other,
     ];
 
@@ -58,7 +61,8 @@ impl Endpoint {
             Endpoint::AdminShutdown => 6,
             Endpoint::Repl => 7,
             Endpoint::SchedStats => 8,
-            Endpoint::Other => 9,
+            Endpoint::Query => 9,
+            Endpoint::Other => 10,
         }
     }
 
@@ -73,6 +77,7 @@ impl Endpoint {
             Endpoint::AdminShutdown => "admin_shutdown",
             Endpoint::Repl => "repl",
             Endpoint::SchedStats => "sched_stats",
+            Endpoint::Query => "query",
             Endpoint::Other => "other",
         }
     }
@@ -130,7 +135,7 @@ pub struct ShardGauges {
 /// All server counters; shared as `Arc<Metrics>` between the accept loop,
 /// connection threads and the worker pool.
 pub struct Metrics {
-    endpoints: [EndpointStats; 10],
+    endpoints: [EndpointStats; 11],
     /// Requests refused with 503 because the queue was full.
     pub rejected_total: AtomicU64,
     /// Requests that missed their deadline (504).
@@ -174,6 +179,10 @@ pub struct Metrics {
     /// at bind when any background task is enabled; rendering the
     /// `aiio_sched_*` family is gated on it.
     sched: OnceLock<Arc<aiio_sched::SchedStats>>,
+    /// The process-wide decoded-segment block cache, installed once at
+    /// bind when a store is attached and caching is enabled; rendering
+    /// the `aiio_cache_*` family is gated on it.
+    cache: OnceLock<Arc<aiio_store::SegmentCache>>,
     /// Construction time, for `aiio_uptime_seconds`.
     started: Instant,
 }
@@ -208,6 +217,7 @@ impl Metrics {
             worker_jobs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             shards: (0..shards).map(|_| ShardGauges::default()).collect(),
             sched: OnceLock::new(),
+            cache: OnceLock::new(),
             started: Instant::now(),
         }
     }
@@ -221,6 +231,18 @@ impl Metrics {
     /// The scheduler's counters, when a control plane is running.
     pub fn sched(&self) -> Option<&Arc<aiio_sched::SchedStats>> {
         self.sched.get()
+    }
+
+    /// Install the segment block cache's counters (once, at bind). A
+    /// second call is ignored — the cache is process-global and outlives
+    /// the server.
+    pub fn set_cache(&self, cache: Arc<aiio_store::SegmentCache>) {
+        let _ = self.cache.set(cache);
+    }
+
+    /// The segment cache's counters, when caching is enabled.
+    pub fn cache(&self) -> Option<&Arc<aiio_store::SegmentCache>> {
+        self.cache.get()
     }
 
     /// Gauges for shard `shard`, when the attached store is sharded.
@@ -373,6 +395,17 @@ impl Metrics {
                     t.next_run_ms.load(Ordering::Relaxed).saturating_sub(now)
                 );
             }
+        }
+        if let Some(cache) = self.cache.get() {
+            let s = cache.stats();
+            let _ = writeln!(out, "aiio_cache_hits_total {}", s.hits);
+            let _ = writeln!(out, "aiio_cache_misses_total {}", s.misses);
+            let _ = writeln!(out, "aiio_cache_insertions_total {}", s.insertions);
+            let _ = writeln!(out, "aiio_cache_evictions_total {}", s.evictions);
+            let _ = writeln!(out, "aiio_cache_invalidations_total {}", s.invalidations);
+            let _ = writeln!(out, "aiio_cache_entries {}", s.entries);
+            let _ = writeln!(out, "aiio_cache_bytes {}", s.bytes);
+            let _ = writeln!(out, "aiio_cache_capacity_bytes {}", s.capacity_bytes);
         }
         let _ = writeln!(
             out,
@@ -566,6 +599,18 @@ mod tests {
         assert!(text.contains("aiio_sched_failures_total{task=\"pull\"} 0"));
         assert!(text.contains("aiio_sched_backoff_level{task=\"pull\"} 0"));
         assert!(text.contains("aiio_sched_next_run_ms{task=\"pull\"} 10"));
+    }
+
+    #[test]
+    fn cache_family_renders_once_installed() {
+        let m = Metrics::new(1);
+        assert!(!m.render(0, 8).contains("aiio_cache_hits_total"));
+        m.set_cache(std::sync::Arc::new(aiio_store::SegmentCache::new(1024)));
+        let text = m.render(0, 8);
+        assert!(text.contains("aiio_cache_hits_total 0"));
+        assert!(text.contains("aiio_cache_misses_total 0"));
+        assert!(text.contains("aiio_cache_entries 0"));
+        assert!(text.contains("aiio_cache_capacity_bytes 1024"));
     }
 
     #[test]

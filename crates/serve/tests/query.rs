@@ -1,0 +1,240 @@
+//! `GET /query` end-to-end: a real server over a real store (plain and
+//! 4-shard fleet), rows back in global insertion order, 422 on
+//! unanswerable ranges, and the hardened parser limits (431 oversized
+//! head, 400 duplicate Content-Length) observed on the wire.
+
+use aiio::{AiioService, TrainConfig};
+use aiio_darshan::{CounterId, JobLog};
+use aiio_iosim::{DatabaseSampler, SamplerConfig};
+use aiio_serve::client::request;
+use aiio_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const RPC_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn service() -> &'static AiioService {
+    static CACHE: OnceLock<AiioService> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let db = DatabaseSampler::new(SamplerConfig {
+            n_jobs: 150,
+            seed: 9,
+            noise_sigma: 0.0,
+        })
+        .generate();
+        let mut cfg = TrainConfig::fast();
+        cfg.zoo = cfg.zoo.with_kinds(&[aiio::ModelKind::XgboostLike]);
+        cfg.diagnosis.max_evals = 32;
+        AiioService::train(&cfg, &db).unwrap()
+    })
+}
+
+/// A job whose queried counter is exactly `i`, so range selections and
+/// row order are verifiable by eye.
+fn job(i: u64) -> JobLog {
+    let mut j = JobLog::new(i, format!("app-{}", i % 3), 2021);
+    j.counters.set(CounterId::PosixOpens, i as f64);
+    j.time.slowest_rank_seconds = 1.0 + i as f64;
+    j
+}
+
+struct Running {
+    addr: String,
+    handle: aiio_serve::Handle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl Running {
+    fn start(config: ServeConfig) -> Running {
+        let server = Server::bind("127.0.0.1:0", service().clone(), config).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run());
+        Running {
+            addr,
+            handle,
+            thread,
+        }
+    }
+
+    fn with_store(dir: &std::path::Path, shards: usize) -> Running {
+        Running::start(ServeConfig {
+            store_dir: Some(dir.to_path_buf()),
+            shards,
+            ..ServeConfig::default()
+        })
+    }
+
+    fn get(&self, path: &str) -> aiio_serve::client::ClientResponse {
+        request(&self.addr, "GET", path, None, RPC_TIMEOUT).unwrap()
+    }
+
+    fn ingest(&self, jobs: &[JobLog]) {
+        let body = format!(
+            "[{}]",
+            jobs.iter()
+                .map(|j| serde_json::to_string(j).unwrap())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let r = request(&self.addr, "POST", "/ingest", Some(&body), RPC_TIMEOUT).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().unwrap().unwrap();
+    }
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    aiio_testkit::tmpdir("aiio_serve_query", tag).unwrap()
+}
+
+/// `job_id`s of the rows in a /query response body, in response order.
+fn row_ids(body: &str) -> Vec<u64> {
+    let parsed = serde_json::parse_value(body).unwrap();
+    parsed
+        .get("rows")
+        .and_then(serde_json::Value::as_array)
+        .unwrap_or_else(|| panic!("no rows in {body}"))
+        .iter()
+        .map(|r| r.get("job_id").and_then(serde_json::Value::as_u64).unwrap())
+        .collect()
+}
+
+fn check_query_contract(s: &Running) {
+    // Bounded range: counter values equal job_id here, so ids 10..=19 in
+    // insertion order.
+    let r = s.get("/query?counter=POSIX_OPENS&min=10&max=19.5");
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(row_ids(&r.body), (10..20).collect::<Vec<u64>>());
+    assert!(r.body.contains("\"truncated\":false"), "{}", r.body);
+
+    // limit truncates rows but the summary still covers the whole scan.
+    let r = s.get("/query?counter=POSIX_OPENS&min=10&max=19.5&limit=4");
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(row_ids(&r.body), vec![10, 11, 12, 13]);
+    assert!(r.body.contains("\"truncated\":true"), "{}", r.body);
+    assert!(r.body.contains("\"rows_matched\":10"), "{}", r.body);
+
+    // Unbounded scan returns everything in global insertion order.
+    let r = s.get("/query?counter=POSIX_OPENS");
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(row_ids(&r.body), (0..40).collect::<Vec<u64>>());
+
+    // Unanswerable ranges: 422 with a reasoned message.
+    assert_eq!(s.get("/query?counter=NOT_A_COUNTER").status, 422);
+    let r = s.get("/query?counter=POSIX_OPENS&min=5&max=2");
+    assert_eq!(r.status, 422);
+    assert!(r.body.contains("inverted"), "{}", r.body);
+    assert_eq!(s.get("/query?counter=POSIX_OPENS&min=nan").status, 422);
+
+    // Malformed parameters: 400.
+    assert_eq!(s.get("/query?counter=POSIX_OPENS&limit=many").status, 400);
+    assert_eq!(s.get("/query?counter=POSIX_OPENS&min=abc").status, 400);
+    assert_eq!(s.get("/query?counter=POSIX_OPENS&frob=1").status, 400);
+    assert_eq!(s.get("/query").status, 400);
+}
+
+#[test]
+fn query_on_plain_store_returns_insertion_order() {
+    let dir = tmpdir("plain");
+    let s = Running::with_store(&dir, 0);
+    let jobs: Vec<JobLog> = (0..40).map(job).collect();
+    s.ingest(&jobs);
+    check_query_contract(&s);
+
+    // The endpoint shows up in metrics under its own label, and the
+    // cache family renders whenever caching is enabled.
+    let metrics = s.get("/metrics");
+    assert!(
+        metrics
+            .body
+            .contains("aiio_requests_total{endpoint=\"query\"}"),
+        "{}",
+        metrics.body
+    );
+    let cache_disabled = std::env::var("AIIO_CACHE_BYTES").ok().as_deref() == Some("0");
+    assert_eq!(
+        metrics.body.contains("aiio_cache_capacity_bytes"),
+        !cache_disabled,
+        "cache family presence must follow AIIO_CACHE_BYTES"
+    );
+    s.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_on_fleet_merges_scatter_gather_in_insertion_order() {
+    let dir = tmpdir("fleet");
+    let s = Running::with_store(&dir, 4);
+    let jobs: Vec<JobLog> = (0..40).map(job).collect();
+    s.ingest(&jobs);
+    // Same contract as the plain store: sharding must be invisible.
+    check_query_contract(&s);
+    s.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_without_a_store_is_404() {
+    let s = Running::start(ServeConfig::default());
+    assert_eq!(s.get("/query?counter=POSIX_OPENS").status, 404);
+    s.stop();
+}
+
+/// Raw-socket requests the bundled client refuses to build: an oversized
+/// request line and duplicate Content-Length headers.
+fn raw_roundtrip(addr: &str, raw: &[u8]) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(RPC_TIMEOUT)).unwrap();
+    stream.write_all(raw).unwrap();
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn hardened_parser_limits_hold_on_the_wire() {
+    let s = Running::start(ServeConfig::default());
+
+    // 9 KiB request line: over the 8 KiB cap, answered 431.
+    let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9 * 1024));
+    let reply = raw_roundtrip(&s.addr, long.as_bytes());
+    assert!(
+        reply.starts_with("HTTP/1.1 431 "),
+        "expected 431, got: {}",
+        reply.lines().next().unwrap_or("")
+    );
+
+    // Cumulative header bytes over 32 KiB: also 431, even though every
+    // individual line is modest.
+    let mut head = String::from("GET /healthz HTTP/1.1\r\n");
+    for i in 0..10 {
+        head.push_str(&format!("X-Pad-{i}: {}\r\n", "b".repeat(4 * 1024)));
+    }
+    head.push_str("\r\n");
+    let reply = raw_roundtrip(&s.addr, head.as_bytes());
+    assert!(
+        reply.starts_with("HTTP/1.1 431 "),
+        "expected 431, got: {}",
+        reply.lines().next().unwrap_or("")
+    );
+
+    // Duplicate Content-Length is a request-smuggling shape: 400 even
+    // when the copies agree.
+    let smuggle = "POST /diagnose HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}";
+    let reply = raw_roundtrip(&s.addr, smuggle.as_bytes());
+    assert!(
+        reply.starts_with("HTTP/1.1 400 "),
+        "expected 400, got: {}",
+        reply.lines().next().unwrap_or("")
+    );
+
+    // A request inside every limit still works on the same server.
+    let ok = raw_roundtrip(&s.addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert!(ok.starts_with("HTTP/1.1 200 "), "{ok}");
+    s.stop();
+}

@@ -30,13 +30,14 @@
 //! re-seeds the other side.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use aiio_darshan::{JobLog, LogDatabase, StoreBackend};
 use aiio_store::schema::counter_column;
 use aiio_store::segment::SegmentMeta;
 use aiio_store::{
-    segment, CompactReport, CounterRange, RecoveryReport, Result, ScanSummary, Store, StoreConfig,
-    StoreError, StoreStats,
+    segment, CompactReport, CounterRange, RecoveryReport, Result, ScanSummary, SegmentCache, Store,
+    StoreConfig, StoreError, StoreStats,
 };
 use serde::Serialize;
 
@@ -507,6 +508,11 @@ impl ShardedStore {
             }
             std::fs::remove_dir_all(&dir)?;
             std::fs::rename(&staged, &dir)?;
+            // The rebuilt directory reuses the old segment paths with new
+            // bytes; drop the dead entries before reopening over them.
+            if let Some(cache) = self.states[s].store.cache() {
+                cache.invalidate_dir(&dir);
+            }
             self.states[s].store = Store::open_with(&dir, self.store_config)?;
             trimmed += self.orphan_rows[s];
             self.orphan_rows[s] = 0;
@@ -554,6 +560,13 @@ impl ShardedStore {
             let leader = self.states[s].serving_dir().to_path_buf();
             let follower = self.states[s].follower_dir().to_path_buf();
             let ship = replica::sync_shard(&leader, &follower)?;
+            if ship.segments_copied + ship.segments_removed > 0 {
+                // Follower segment files changed under any cached decode
+                // of a previous failover's serving stint.
+                if let Some(cache) = self.states[s].store.cache() {
+                    cache.invalidate_dir(&follower);
+                }
+            }
             report.shards_synced += 1;
             report.segments_copied += ship.segments_copied;
             report.frames_shipped += ship.frames_shipped;
@@ -622,69 +635,51 @@ impl ShardedStore {
         filter: Option<&CounterRange>,
         sink: &mut dyn FnMut(&JobLog),
     ) -> Result<ScanSummary> {
-        let mut summary = ScanSummary::default();
-        // Prefetch: decode every shard's first segment in one parallel
-        // wave. Merge order is journal-driven, so thread count cannot
-        // change the output.
-        let shard_ids: Vec<usize> = (0..self.states.len()).collect();
-        let prefetched: Vec<Option<Result<Vec<JobLog>>>> = if filter.is_none() {
-            aiio_par::map(&shard_ids, |&s| {
-                self.states[s]
-                    .store
-                    .segments()
-                    .first()
-                    .map(|meta| segment::read_jobs(&meta.path))
+        let parts: Vec<ShardParts<'_>> = self
+            .states
+            .iter()
+            .map(|st| {
+                (
+                    st.store.segments(),
+                    st.store.tail_rows(),
+                    st.store.cache().map(|c| c.as_ref()),
+                )
             })
-        } else {
-            shard_ids.iter().map(|_| None).collect()
-        };
-        let mut cursors: Vec<ShardCursor<'_>> = Vec::with_capacity(self.states.len());
-        for (s, pre) in prefetched.into_iter().enumerate() {
-            let store = &self.states[s].store;
-            let mut cursor = ShardCursor::new(store.segments(), store.tail_rows());
-            if let Some(first) = pre {
-                cursor.window = Window::Rows(first?);
-                cursor.next_segment = 1;
-                if filter.is_none() {
-                    summary.segments_scanned += 1;
-                }
-            }
-            cursors.push(cursor);
+            .collect();
+        merge_scan_parts(&self.assignments, &parts, filter, sink)
+    }
+
+    /// Take an owned [`FleetReadView`] of the current readable state:
+    /// the journal's assignments plus each shard's segment metadata, WAL
+    /// tail copy and cache handle. Like [`Store::read_view`], this is what
+    /// the serving layer snapshots under its ingest lock so a `/query`
+    /// scan runs after the lock is dropped.
+    pub fn read_view(&self) -> FleetReadView {
+        FleetReadView {
+            assignments: self.assignments.clone(),
+            shards: self
+                .states
+                .iter()
+                .map(|st| ShardView {
+                    // Orphan tail rows may be copied too; the journal-
+                    // driven merge never reaches them, exactly as on the
+                    // live fleet.
+                    segments: st.store.segments().to_vec(),
+                    tail: st.store.tail_rows().to_vec(),
+                    cache: st.store.cache().cloned(),
+                })
+                .collect(),
         }
-        let filter_col = filter.map(|r| (r, counter_column(r.counter)));
-        for &s in &self.assignments {
-            let cursor = &mut cursors[s as usize];
-            loop {
-                match &cursor.window {
-                    Window::Rows(rows) if cursor.pos < rows.len() => {
-                        summary.rows_scanned += 1;
-                        let job = &rows[cursor.pos];
-                        if filter.is_none_or(|r| r.matches(job)) {
-                            summary.rows_matched += 1;
-                        }
-                        sink(job);
-                        cursor.pos += 1;
-                        break;
-                    }
-                    Window::Tail(rows) if cursor.pos < rows.len() => {
-                        summary.rows_scanned += 1;
-                        let job = &rows[cursor.pos];
-                        if filter.is_none_or(|r| r.matches(job)) {
-                            summary.rows_matched += 1;
-                        }
-                        sink(job);
-                        cursor.pos += 1;
-                        break;
-                    }
-                    Window::Skipped(n) if cursor.pos < *n => {
-                        cursor.pos += 1;
-                        break;
-                    }
-                    _ => cursor.refill(filter_col, &mut summary)?,
-                }
-            }
+    }
+
+    /// Replace every shard's segment block cache (`None` disables
+    /// caching). Differential tests use this to prove scans are
+    /// byte-identical cache on and off; production fleets keep the
+    /// process-wide cache their stores picked up at open.
+    pub fn set_cache(&mut self, cache: Option<Arc<aiio_store::SegmentCache>>) {
+        for st in &mut self.states {
+            st.store.set_cache(cache.clone());
         }
-        Ok(summary)
     }
 
     /// Apply `f` to every row, fanning all shards' segments out across
@@ -711,8 +706,10 @@ impl ShardedStore {
         }
         let per_unit: Vec<(usize, Result<Vec<R>>)> = aiio_par::map(&units, |unit| match *unit {
             Unit::Segment(s, i) => {
-                let meta = &self.states[s].store.segments()[i];
-                let mapped = segment::read_jobs(&meta.path)
+                let store = &self.states[s].store;
+                let meta = &store.segments()[i];
+                let mapped = store
+                    .read_segment(meta)
                     .map(|jobs| jobs.iter().map(&f).collect::<Vec<R>>());
                 (s, mapped)
             }
@@ -765,11 +762,151 @@ impl StoreBackend for ShardedStore {
     }
 }
 
+/// One shard's readable parts: segment metadata, WAL tail, cache handle.
+type ShardParts<'a> = (&'a [SegmentMeta], &'a [JobLog], Option<&'a SegmentCache>);
+
+fn read_segment_via(cache: Option<&SegmentCache>, meta: &SegmentMeta) -> Result<Arc<Vec<JobLog>>> {
+    match cache {
+        Some(cache) => cache.read_through(meta),
+        None => segment::read_jobs(&meta.path).map(Arc::new),
+    }
+}
+
+/// The journal-driven scatter-gather merge over explicit shard parts —
+/// shared by [`ShardedStore::merge_scan`] (borrowing live shards) and
+/// [`FleetReadView::merge_scan`] (owning a snapshot). Output order is
+/// the journal's, so shard count, thread count and cache state cannot
+/// change it.
+fn merge_scan_parts(
+    assignments: &[u8],
+    shards: &[ShardParts<'_>],
+    filter: Option<&CounterRange>,
+    sink: &mut dyn FnMut(&JobLog),
+) -> Result<ScanSummary> {
+    let mut summary = ScanSummary::default();
+    // Prefetch: decode every shard's first segment in one parallel
+    // wave. Merge order is journal-driven, so thread count cannot
+    // change the output.
+    let prefetched: Vec<Option<Result<Arc<Vec<JobLog>>>>> = if filter.is_none() {
+        aiio_par::map(shards, |&(segments, _, cache)| {
+            segments.first().map(|meta| read_segment_via(cache, meta))
+        })
+    } else {
+        shards.iter().map(|_| None).collect()
+    };
+    let mut cursors: Vec<ShardCursor<'_>> = Vec::with_capacity(shards.len());
+    for (&(segments, tail, cache), pre) in shards.iter().zip(prefetched) {
+        let mut cursor = ShardCursor::new(segments, tail, cache);
+        if let Some(first) = pre {
+            cursor.window = Window::Rows(first?);
+            cursor.next_segment = 1;
+            if filter.is_none() {
+                summary.segments_scanned += 1;
+            }
+        }
+        cursors.push(cursor);
+    }
+    let filter_col = filter.map(|r| (r, counter_column(r.counter)));
+    for &s in assignments {
+        let cursor = &mut cursors[s as usize];
+        loop {
+            match &cursor.window {
+                Window::Rows(rows) if cursor.pos < rows.len() => {
+                    summary.rows_scanned += 1;
+                    let job = &rows[cursor.pos];
+                    if filter.is_none_or(|r| r.matches(job)) {
+                        summary.rows_matched += 1;
+                    }
+                    sink(job);
+                    cursor.pos += 1;
+                    break;
+                }
+                Window::Tail(rows) if cursor.pos < rows.len() => {
+                    summary.rows_scanned += 1;
+                    let job = &rows[cursor.pos];
+                    if filter.is_none_or(|r| r.matches(job)) {
+                        summary.rows_matched += 1;
+                    }
+                    sink(job);
+                    cursor.pos += 1;
+                    break;
+                }
+                Window::Skipped(n) if cursor.pos < *n => {
+                    cursor.pos += 1;
+                    break;
+                }
+                _ => cursor.refill(filter_col, &mut summary)?,
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[derive(Debug, Clone)]
+struct ShardView {
+    segments: Vec<SegmentMeta>,
+    tail: Vec<JobLog>,
+    cache: Option<Arc<SegmentCache>>,
+}
+
+/// An owned point-in-time view of a fleet's readable state — the
+/// fleet-shaped sibling of [`aiio_store::StoreReadView`]. Scans replay
+/// the same global insertion order as the live fleet.
+#[derive(Debug, Clone)]
+pub struct FleetReadView {
+    assignments: Vec<u8>,
+    shards: Vec<ShardView>,
+}
+
+impl FleetReadView {
+    /// Rows this view serves.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True when the view holds no journaled rows.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    fn merge_scan(
+        &self,
+        filter: Option<&CounterRange>,
+        sink: &mut dyn FnMut(&JobLog),
+    ) -> Result<ScanSummary> {
+        let parts: Vec<ShardParts<'_>> = self
+            .shards
+            .iter()
+            .map(|sh| (&sh.segments[..], &sh.tail[..], sh.cache.as_deref()))
+            .collect();
+        merge_scan_parts(&self.assignments, &parts, filter, sink)
+    }
+
+    /// Stream every row in global insertion order.
+    pub fn scan(&self, sink: &mut dyn FnMut(&JobLog)) -> Result<()> {
+        self.merge_scan(None, sink).map(|_| ())
+    }
+
+    /// Stream rows matching `range` in global insertion order, zone-map
+    /// pruning intact — same contract as [`ShardedStore::scan_filtered`].
+    pub fn scan_filtered(
+        &self,
+        range: &CounterRange,
+        sink: &mut dyn FnMut(&JobLog),
+    ) -> Result<ScanSummary> {
+        self.merge_scan(Some(range), &mut |job| {
+            if range.matches(job) {
+                sink(job);
+            }
+        })
+    }
+}
+
 enum Window<'a> {
     /// Nothing loaded yet (or just exhausted).
     Empty,
-    /// A decoded segment.
-    Rows(Vec<JobLog>),
+    /// A decoded segment (shared with the cache when one is attached).
+    Rows(Arc<Vec<JobLog>>),
     /// The shard's live WAL tail, borrowed.
     Tail(&'a [JobLog]),
     /// A zone-pruned segment: rows are consumed blind, never decoded.
@@ -779,6 +916,7 @@ enum Window<'a> {
 struct ShardCursor<'a> {
     segments: &'a [SegmentMeta],
     tail: &'a [JobLog],
+    cache: Option<&'a SegmentCache>,
     next_segment: usize,
     tail_taken: bool,
     window: Window<'a>,
@@ -786,10 +924,15 @@ struct ShardCursor<'a> {
 }
 
 impl<'a> ShardCursor<'a> {
-    fn new(segments: &'a [SegmentMeta], tail: &'a [JobLog]) -> ShardCursor<'a> {
+    fn new(
+        segments: &'a [SegmentMeta],
+        tail: &'a [JobLog],
+        cache: Option<&'a SegmentCache>,
+    ) -> ShardCursor<'a> {
         ShardCursor {
             segments,
             tail,
+            cache,
             next_segment: 0,
             tail_taken: false,
             window: Window::Empty,
@@ -815,7 +958,7 @@ impl<'a> ShardCursor<'a> {
                 }
             }
             summary.segments_scanned += 1;
-            self.window = Window::Rows(segment::read_jobs(&meta.path)?);
+            self.window = Window::Rows(read_segment_via(self.cache, meta)?);
             return Ok(());
         }
         if !self.tail_taken {

@@ -208,7 +208,13 @@ pub fn rebalance_with(
     )?;
     report.to_epoch = next_epoch;
 
-    // Phase 3: cleanup (best-effort; later opens re-sweep).
+    // Phase 3: cleanup (best-effort; later opens re-sweep). Cached
+    // decodes under the retired epoch (and the staging copy) are dead
+    // weight now that the manifest points at the new epoch.
+    if let Some(cache) = aiio_store::SegmentCache::shared() {
+        cache.invalidate_dir(&manifest::epoch_dir(root, from.epoch));
+        cache.invalidate_dir(&staging_root);
+    }
     let _ = std::fs::remove_dir_all(&staging_root);
     manifest::sweep_stale_epochs(root, next_epoch);
     Ok(report)

@@ -51,6 +51,21 @@ pub fn crc32_finish(c: u32) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
+/// FNV-1a 64-bit hash of `bytes` — the segment cache's content
+/// fingerprint. CRC-32 cannot play that role here: every region of a
+/// segment file is stored as `data ‖ crc32(data)`, and appending a
+/// message's own CRC drives the CRC register to a content-independent
+/// residue, so the whole-file CRC-32 of any two same-shape segments is
+/// identical. FNV-1a has no such self-cancelling structure.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Append a `u32` in little-endian order.
 pub fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());

@@ -18,6 +18,7 @@
 //! and therefore model-zoo training — runs out-of-core straight from disk,
 //! byte-identical to the in-memory path.
 
+pub mod cache;
 mod codec;
 pub mod error;
 pub mod schema;
@@ -25,10 +26,11 @@ pub mod segment;
 pub mod store;
 pub mod wal;
 
+pub use cache::{CacheStats, SegmentCache};
 pub use codec::crc32;
 pub use error::{Result, StoreError};
 pub use segment::{SegmentMeta, ZoneEntry};
 pub use store::{
-    CompactReport, CompactionTrigger, CounterRange, RecoveryReport, ScanSummary, Store,
-    StoreConfig, StoreStats,
+    CompactReport, CompactionTrigger, CounterRange, RangeError, RecoveryReport, ScanSummary, Store,
+    StoreConfig, StoreReadView, StoreStats,
 };

@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 
 use aiio_darshan::JobLog;
 
-use crate::codec::{crc32, push_u32, push_u64, read_u32, read_u64};
+use crate::codec::{crc32, fnv1a64, push_u32, push_u64, read_u32, read_u64};
 use crate::error::{Result, StoreError};
 use crate::schema::{decode_row, encode_row, zone_value, FORMAT_VERSION, N_STORE_COLUMNS};
 
@@ -74,6 +74,12 @@ pub struct SegmentMeta {
     pub base_ordinal: u64,
     /// File size in bytes.
     pub bytes: u64,
+    /// FNV-1a 64 hash of the whole file — the content identity the
+    /// segment cache keys on, so an entry cached for one generation of a
+    /// path can never be served for another (compaction reuses the first
+    /// member's id). Not CRC-32: the per-region CRC framing makes the
+    /// whole-file CRC content-independent (see `codec::fnv1a64`).
+    pub fingerprint: u64,
     /// One entry per store column.
     pub zones: Vec<ZoneEntry>,
 }
@@ -300,6 +306,7 @@ pub fn load_meta(path: &Path) -> Result<SegmentMeta> {
         rows: h.n_rows,
         base_ordinal: h.base_ordinal,
         bytes: bytes.len() as u64,
+        fingerprint: fnv1a64(&bytes),
         zones,
     })
 }
@@ -309,7 +316,14 @@ pub fn load_meta(path: &Path) -> Result<SegmentMeta> {
 /// is a [`StoreError::Corrupt`] naming the offending block.
 pub fn read_jobs(path: &Path) -> Result<Vec<JobLog>> {
     let bytes = std::fs::read(path)?;
-    let h = parse_header(path, &bytes)?;
+    decode_jobs(path, &bytes)
+}
+
+/// Decode (and fully CRC-verify) segment bytes already read from `path`.
+/// Split out of [`read_jobs`] so the segment cache can fingerprint the
+/// exact bytes it decoded in one pass over the file.
+pub fn decode_jobs(path: &Path, bytes: &[u8]) -> Result<Vec<JobLog>> {
+    let h = parse_header(path, bytes)?;
     if bytes.len() != expected_len(&h) {
         return Err(corrupt(
             path,
@@ -325,7 +339,7 @@ pub fn read_jobs(path: &Path) -> Result<Vec<JobLog>> {
     let dict_start = HEADER_LEN;
     let dict_end = dict_start + h.dict_len;
     let dict_bytes = &bytes[dict_start..dict_end];
-    let stored = read_u32(&bytes, dict_end).unwrap_or(0);
+    let stored = read_u32(bytes, dict_end).unwrap_or(0);
     if crc32(dict_bytes) != stored {
         return Err(corrupt(
             path,
@@ -346,7 +360,7 @@ pub fn read_jobs(path: &Path) -> Result<Vec<JobLog>> {
     for col in 0..N_STORE_COLUMNS {
         let block_len = h.n_rows * 8;
         let block = &bytes[off..off + block_len];
-        let stored = read_u32(&bytes, off + block_len).unwrap_or(0);
+        let stored = read_u32(bytes, off + block_len).unwrap_or(0);
         if crc32(block) != stored {
             return Err(corrupt(
                 path,
@@ -365,7 +379,7 @@ pub fn read_jobs(path: &Path) -> Result<Vec<JobLog>> {
 
     let foff = footer_offset(&h);
     let footer = &bytes[foff..bytes.len() - 4];
-    let stored = read_u32(&bytes, bytes.len() - 4).unwrap_or(0);
+    let stored = read_u32(bytes, bytes.len() - 4).unwrap_or(0);
     if crc32(footer) != stored {
         return Err(corrupt(
             path,

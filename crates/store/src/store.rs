@@ -15,10 +15,12 @@
 //! bit-identical at any thread count.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use aiio_darshan::{CounterId, JobLog, LogDatabase, StoreBackend};
 use serde::Serialize;
 
+use crate::cache::SegmentCache;
 use crate::error::{Result, StoreError};
 use crate::schema::counter_column;
 use crate::segment::{self, SegmentMeta, ZoneEntry};
@@ -139,6 +141,36 @@ pub struct CompactReport {
     pub rows_moved: usize,
 }
 
+/// Why a requested counter range is unanswerable. `matches` and
+/// `overlaps` on a NaN or inverted range both come back `false` for every
+/// row, so without up-front validation a bad query silently returns an
+/// empty result instead of an error — `/query` turns this into a 422.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RangeError {
+    /// A bound is NaN.
+    NotANumber,
+    /// `min` is greater than `max`, so no value can satisfy both bounds.
+    Inverted {
+        /// The requested lower bound.
+        min: f64,
+        /// The requested upper bound.
+        max: f64,
+    },
+}
+
+impl std::fmt::Display for RangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RangeError::NotANumber => write!(f, "range bound is NaN"),
+            RangeError::Inverted { min, max } => {
+                write!(f, "inverted range: min {min} > max {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RangeError {}
+
 /// Inclusive value range over one Table-4 counter, used both to filter
 /// rows and to skip whole segments whose zone map cannot intersect it.
 #[derive(Debug, Clone, Copy)]
@@ -152,6 +184,18 @@ pub struct CounterRange {
 }
 
 impl CounterRange {
+    /// Validating constructor: rejects NaN and inverted (`min > max`)
+    /// bounds, which would otherwise match nothing without any error.
+    /// Infinite bounds are fine (that is how half-open ranges are spelt).
+    pub fn new(counter: CounterId, min: f64, max: f64) -> std::result::Result<Self, RangeError> {
+        if min.is_nan() || max.is_nan() {
+            return Err(RangeError::NotANumber);
+        }
+        if min > max {
+            return Err(RangeError::Inverted { min, max });
+        }
+        Ok(CounterRange { counter, min, max })
+    }
     /// Rows where `counter` is exactly zero (the "jobs with
     /// POSIX_SEQ_READS == 0" shape of query, without a float `==`).
     pub fn exactly_zero(counter: CounterId) -> Self {
@@ -196,6 +240,117 @@ pub struct ScanSummary {
     pub rows_matched: usize,
 }
 
+/// Decode one segment, through `cache` when present, raw otherwise.
+/// Either way the result is the fully CRC-verified decode of the file.
+pub(crate) fn read_segment_with(
+    cache: Option<&SegmentCache>,
+    meta: &SegmentMeta,
+) -> Result<Arc<Vec<JobLog>>> {
+    match cache {
+        Some(cache) => cache.read_through(meta),
+        None => segment::read_jobs(&meta.path).map(Arc::new),
+    }
+}
+
+/// The zone-mapped filtered scan over explicit parts — shared by
+/// [`Store::scan_filtered`] (borrowing live fields) and
+/// [`StoreReadView::scan_filtered`] (owning a snapshot).
+fn scan_filtered_parts(
+    segments: &[SegmentMeta],
+    tail: &[JobLog],
+    cache: Option<&SegmentCache>,
+    range: &CounterRange,
+    sink: &mut dyn FnMut(&JobLog),
+) -> Result<ScanSummary> {
+    let col = counter_column(range.counter);
+    let mut summary = ScanSummary::default();
+    for meta in segments {
+        let zone = meta.zones.get(col).copied().unwrap_or(ZoneEntry {
+            min: f64::NEG_INFINITY,
+            max: f64::INFINITY,
+        });
+        if !range.overlaps(&zone) {
+            summary.segments_skipped += 1;
+            continue;
+        }
+        summary.segments_scanned += 1;
+        let jobs = read_segment_with(cache, meta)?;
+        for job in jobs.iter() {
+            summary.rows_scanned += 1;
+            if range.matches(job) {
+                summary.rows_matched += 1;
+                sink(job);
+            }
+        }
+    }
+    for job in tail {
+        summary.rows_scanned += 1;
+        if range.matches(job) {
+            summary.rows_matched += 1;
+            sink(job);
+        }
+    }
+    Ok(summary)
+}
+
+/// An owned point-in-time view of a store's readable state: segment
+/// metadata, a copy of the WAL tail, and the cache handle. Cheap to take
+/// (metas + tail clone, no segment decode), and scannable without the
+/// store — the serving layer snapshots one under its ingest lock and
+/// runs the query after dropping it, so a large scan never blocks
+/// ingest. Sealed segments are immutable, so the view stays correct even
+/// if the store ingests, seals or compacts concurrently (a compacted-away
+/// segment's rows are still served from its cached entry or quarantine-
+/// free file until the view is dropped).
+#[derive(Debug, Clone)]
+pub struct StoreReadView {
+    segments: Vec<SegmentMeta>,
+    tail: Vec<JobLog>,
+    cache: Option<Arc<SegmentCache>>,
+}
+
+impl StoreReadView {
+    /// Rows this view serves.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.rows).sum::<usize>() + self.tail.len()
+    }
+
+    /// True when the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stream every row in insertion order.
+    pub fn scan(&self, sink: &mut dyn FnMut(&JobLog)) -> Result<()> {
+        for meta in &self.segments {
+            let jobs = read_segment_with(self.cache.as_deref(), meta)?;
+            for job in jobs.iter() {
+                sink(job);
+            }
+        }
+        for job in &self.tail {
+            sink(job);
+        }
+        Ok(())
+    }
+
+    /// Stream rows matching `range` in insertion order, zone-map pruning
+    /// intact — same contract as [`Store::scan_filtered`].
+    pub fn scan_filtered(
+        &self,
+        range: &CounterRange,
+        sink: &mut dyn FnMut(&JobLog),
+    ) -> Result<ScanSummary> {
+        scan_filtered_parts(
+            &self.segments,
+            &self.tail,
+            self.cache.as_deref(),
+            range,
+            sink,
+        )
+    }
+}
+
 /// An open job-log store rooted at one directory.
 #[derive(Debug)]
 pub struct Store {
@@ -209,6 +364,9 @@ pub struct Store {
     sealed_watermark: u64,
     next_segment_id: u64,
     recovery: RecoveryReport,
+    /// Decoded-segment cache every read path goes through; `None` reads
+    /// straight from disk (`AIIO_CACHE_BYTES=0`, or a test opting out).
+    cache: Option<Arc<SegmentCache>>,
 }
 
 impl Store {
@@ -222,6 +380,7 @@ impl Store {
     pub fn open_with(root: impl AsRef<Path>, config: StoreConfig) -> Result<Store> {
         let root = root.as_ref().to_path_buf();
         std::fs::create_dir_all(&root)?;
+        let cache = SegmentCache::shared();
         let mut report = RecoveryReport::default();
 
         // Discover sealed segments. A leftover staging file is a seal that
@@ -260,6 +419,9 @@ impl Store {
                     report.quarantined_rows += rows;
                     let q = segment::quarantine(path)?;
                     report.quarantined_segments.push(q.display().to_string());
+                    if let Some(c) = &cache {
+                        c.invalidate(path);
+                    }
                 }
             }
         }
@@ -272,6 +434,9 @@ impl Store {
             if meta.end_ordinal() <= watermark {
                 std::fs::remove_file(&meta.path)?;
                 report.stale_segments_removed += 1;
+                if let Some(c) = &cache {
+                    c.invalidate(&meta.path);
+                }
                 continue;
             }
             if meta.base_ordinal < watermark {
@@ -280,6 +445,9 @@ impl Store {
                 report.quarantined_rows += meta.rows;
                 let q = segment::quarantine(&meta.path)?;
                 report.quarantined_segments.push(q.display().to_string());
+                if let Some(c) = &cache {
+                    c.invalidate(&meta.path);
+                }
                 continue;
             }
             watermark = meta.end_ordinal();
@@ -323,6 +491,7 @@ impl Store {
             sealed_watermark,
             next_segment_id,
             recovery: report,
+            cache,
         })
     }
 
@@ -344,6 +513,32 @@ impl Store {
     /// Sealed segment metadata, in scan order.
     pub fn segments(&self) -> &[SegmentMeta] {
         &self.segments
+    }
+
+    /// The segment cache this handle reads through, if any.
+    pub fn cache(&self) -> Option<&Arc<SegmentCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Replace the cache (a private one for a test, or `None` to read
+    /// straight from disk). Results are byte-identical either way.
+    pub fn set_cache(&mut self, cache: Option<Arc<SegmentCache>>) {
+        self.cache = cache;
+    }
+
+    /// Decode one sealed segment through the cache (full CRC verification
+    /// on every fill; cache hits skip disk entirely).
+    pub fn read_segment(&self, meta: &SegmentMeta) -> Result<Arc<Vec<JobLog>>> {
+        read_segment_with(self.cache.as_deref(), meta)
+    }
+
+    /// Take an owned [`StoreReadView`] of the current readable state.
+    pub fn read_view(&self) -> StoreReadView {
+        StoreReadView {
+            segments: self.segments.clone(),
+            tail: self.tail.clone(),
+            cache: self.cache.clone(),
+        }
     }
 
     /// Rows still in the WAL tail (everything past the last sealed
@@ -466,6 +661,15 @@ impl Store {
                 for m in group.iter().skip(1) {
                     std::fs::remove_file(&m.path)?;
                 }
+                // The first member's path now holds the merged bytes and
+                // the rest are gone; the fingerprint check already makes
+                // the old entries unservable — dropping them here keeps
+                // the cache's byte budget from carrying dead weight.
+                if let Some(c) = &self.cache {
+                    for m in group.iter() {
+                        c.invalidate(&m.path);
+                    }
+                }
                 report.groups_merged += 1;
                 report.rows_moved += jobs.len();
                 rebuilt.push(merged);
@@ -504,8 +708,8 @@ impl Store {
     /// segment regardless of store size.
     pub fn scan(&self, sink: &mut dyn FnMut(&JobLog)) -> Result<()> {
         for meta in &self.segments {
-            let jobs = segment::read_jobs(&meta.path)?;
-            for job in &jobs {
+            let jobs = self.read_segment(meta)?;
+            for job in jobs.iter() {
                 sink(job);
             }
         }
@@ -523,35 +727,13 @@ impl Store {
         range: &CounterRange,
         sink: &mut dyn FnMut(&JobLog),
     ) -> Result<ScanSummary> {
-        let col = counter_column(range.counter);
-        let mut summary = ScanSummary::default();
-        for meta in &self.segments {
-            let zone = meta.zones.get(col).copied().unwrap_or(ZoneEntry {
-                min: f64::NEG_INFINITY,
-                max: f64::INFINITY,
-            });
-            if !range.overlaps(&zone) {
-                summary.segments_skipped += 1;
-                continue;
-            }
-            summary.segments_scanned += 1;
-            let jobs = segment::read_jobs(&meta.path)?;
-            for job in &jobs {
-                summary.rows_scanned += 1;
-                if range.matches(job) {
-                    summary.rows_matched += 1;
-                    sink(job);
-                }
-            }
-        }
-        for job in &self.tail {
-            summary.rows_scanned += 1;
-            if range.matches(job) {
-                summary.rows_matched += 1;
-                sink(job);
-            }
-        }
-        Ok(summary)
+        scan_filtered_parts(
+            &self.segments,
+            &self.tail,
+            self.cache.as_deref(),
+            range,
+            sink,
+        )
     }
 
     /// Apply `f` to every row, fanning segments out across the
@@ -564,7 +746,7 @@ impl Store {
         F: Fn(&JobLog) -> R + Sync,
     {
         let per_segment: Vec<Result<Vec<R>>> = aiio_par::map(&self.segments, |meta| {
-            let jobs = segment::read_jobs(&meta.path)?;
+            let jobs = self.read_segment(meta)?;
             Ok(jobs.iter().map(&f).collect())
         });
         let mut out = Vec::with_capacity(self.len());

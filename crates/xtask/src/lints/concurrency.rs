@@ -107,6 +107,14 @@ const BLOCKING: &[&str] = &[
     "fetch_manifest(",
     "publish_bytes(",
     "append_bytes(",
+    // Segment read path: decoding a sealed segment (directly or through
+    // the block cache's fill path) reads and checksums megabytes of file
+    // bytes. The cache is deliberately probe-unlock-fill-insert so no
+    // lock is held across the decode; a guard held across either call
+    // would reintroduce exactly that stall.
+    "read_segment(",
+    "read_segment_with(",
+    "read_through(",
     // Scheduler surface: parking on the control-plane clock and running
     // maintenance tasks (a pull pass, a store compaction, a full
     // retrain) are long blocking operations by design. A guard held
@@ -1545,6 +1553,28 @@ mod tests {
         for op in [
             "pull_pass(&dir, &base, &cfg)",
             "http_fetch_retry(&base, \"/x\", d, 0, b)",
+        ] {
+            let src = format!("impl S {{ fn f(&self) {{ let g = self.state.lock(); {op}; }} }}\n");
+            let w = ws(&[("crates/a/src/lib.rs", src.as_str())]);
+            let sites = analyze(&w);
+            assert!(
+                sites
+                    .iter()
+                    .any(|s| s.rule == "AIIO-R002" && s.message.contains("a::S::state")),
+                "guard held across {op} must flag: {sites:#?}"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_read_path_counts_as_blocking() {
+        // Decoding a sealed segment — directly or via the block cache's
+        // read-through fill — is file I/O plus checksumming; a guard held
+        // across it serializes every reader behind one decode.
+        for op in [
+            "self.read_segment(&meta)",
+            "read_segment_with(&dir, &meta, true)",
+            "cache.read_through(&meta)",
         ] {
             let src = format!("impl S {{ fn f(&self) {{ let g = self.state.lock(); {op}; }} }}\n");
             let w = ws(&[("crates/a/src/lib.rs", src.as_str())]);
